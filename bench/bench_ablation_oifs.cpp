@@ -1,0 +1,140 @@
+// Ablation: OIFS (characteristics) vs EXT2 (extrapolated) convection
+// across convective CFL numbers.
+//
+// The paper's §4 claim: subintegration of the convection term permits
+// dt corresponding to convective CFL 1-5, "significantly reducing the
+// number of (expensive) Stokes solves".  This ablation sweeps dt and
+// reports, for each treatment, stability, kinetic energy at a fixed
+// final time, and wall clock — EXT2 blows up shortly beyond
+// its explicit stability limit (CFL ~ 0.6-0.9) while OIFS remains stable
+// through CFL ~ 5+ with wall time per simulated second DROPPING as dt
+// grows — fewer expensive Stokes solves, traded for cheap RK4 convection
+// substeps.
+//
+// The workload is a (filtered) double shear layer, where the
+// convective term is dynamically active.  (On Taylor-Green-like flows
+// (u.grad)u is a pure gradient absorbed by the pressure, so explicit
+// treatment never destabilizes and the comparison is vacuous.)
+//
+// Also sweeps the projection window L at fixed dt (the second design
+// choice DESIGN.md calls out) and prints total pressure iterations
+// (expect a 2.5-5x reduction, consistent with Fig 4).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "ns/navier_stokes.hpp"
+
+namespace {
+
+constexpr double kNu = 1e-4;  // Re = 1e4 shear layer
+
+struct Result {
+  bool stable = false;
+  double ke = 0.0;
+  double cfl = 0.0;
+  int steps = 0;
+  double seconds = 0.0;
+};
+
+Result run(tsem::NsOptions::Convection conv, double dt, double tfinal) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 8),
+                                tsem::linspace(0, 1, 8));
+  spec.periodic_x = spec.periodic_y = true;
+  tsem::Space s(tsem::build_mesh(spec, 8));
+  const auto& m = s.mesh();
+  tsem::NsOptions opt;
+  opt.dt = dt;
+  opt.viscosity = kNu;
+  opt.convection = conv;
+  opt.filter_alpha = 0.3;
+  opt.pres_tol = 1e-6;
+  opt.proj_len = 8;
+  tsem::NavierStokes ns(s, 0u, opt);
+  const double rho = 30.0;
+  for (std::size_t i = 0; i < s.nlocal(); ++i) {
+    const double y = m.y[i];
+    ns.u(0)[i] = (y <= 0.5) ? std::tanh(rho * (y - 0.25))
+                            : std::tanh(rho * (0.75 - y));
+    ns.u(1)[i] = 0.05 * std::sin(2.0 * M_PI * m.x[i]);
+  }
+  Result r;
+  r.steps = static_cast<int>(tfinal / dt + 0.5);
+  const double ke0 = ns.kinetic_energy();
+  tsem::Timer timer;
+  for (int n = 0; n < r.steps; ++n) {
+    const auto st = ns.step();
+    r.cfl = std::max(r.cfl, st.cfl);
+    r.ke = ns.kinetic_energy();
+    if (!std::isfinite(r.ke) || r.ke > 4.0 * ke0) {
+      r.seconds = timer.seconds();
+      return r;  // blow-up
+    }
+  }
+  r.seconds = timer.seconds();
+  r.stable = true;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double tfinal = 0.6;
+  std::printf("# Ablation 1: convection treatment vs timestep "
+              "(shear layer rho=30 Re=1e4, K=64, N=8, alpha=0.3, "
+              "T=%.1f)\n", tfinal);
+  std::printf("%8s | %-9s %6s %9s %8s | %-9s %6s %9s %8s\n", "dt", "OIFS",
+              "CFL", "KE", "wall(s)", "EXT2", "CFL", "KE", "wall(s)");
+  for (double dt : {0.002, 0.004, 0.008, 0.016, 0.032}) {
+    const auto o = run(tsem::NsOptions::Convection::Oifs, dt, tfinal);
+    const auto e = run(tsem::NsOptions::Convection::Ext, dt, tfinal);
+    auto fmt = [](const Result& r) {
+      if (r.stable)
+        std::printf("| %-9s %6.2f %9.5f %8.2f ", "stable", r.cfl, r.ke,
+                    r.seconds);
+      else
+        std::printf("| %-9s %6.2f %9s %8.2f ", "BLOW-UP", r.cfl, "-",
+                    r.seconds);
+    };
+    std::printf("%8.3f ", dt);
+    fmt(o);
+    fmt(e);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("#\n# Ablation 2: projection window L at dt = 0.002 "
+              "(total pressure iterations over %d shear-layer steps)\n",
+              static_cast<int>(tfinal / 0.002 + 0.5) / 2);
+  std::printf("%6s %12s\n", "L", "sum p-its");
+  const double rho = 30.0;
+  for (int l : {0, 2, 5, 10, 20}) {
+    auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 8),
+                                  tsem::linspace(0, 1, 8));
+    spec.periodic_x = spec.periodic_y = true;
+    tsem::Space s(tsem::build_mesh(spec, 8));
+    const auto& m = s.mesh();
+    tsem::NsOptions opt;
+    opt.dt = 0.002;
+    opt.viscosity = kNu;
+    opt.filter_alpha = 0.3;
+    opt.pres_tol = 1e-6;
+    opt.proj_len = l;
+    tsem::NavierStokes ns(s, 0u, opt);
+    for (std::size_t i = 0; i < s.nlocal(); ++i) {
+      const double y = m.y[i];
+      ns.u(0)[i] = (y <= 0.5) ? std::tanh(rho * (y - 0.25))
+                              : std::tanh(rho * (0.75 - y));
+      ns.u(1)[i] = 0.05 * std::sin(2.0 * M_PI * m.x[i]);
+    }
+    int total = 0;
+    const int nsteps = static_cast<int>(tfinal / opt.dt + 0.5) / 2;
+    for (int n = 0; n < nsteps; ++n) total += ns.step().pressure_iters;
+    std::printf("%6d %12d\n", l, total);
+    std::fflush(stdout);
+  }
+  return 0;
+}

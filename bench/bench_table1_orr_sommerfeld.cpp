@@ -1,0 +1,210 @@
+// Table 1: spatial and temporal convergence on the Orr-Sommerfeld
+// problem, K = 15.
+//
+// A small-amplitude (1e-5) Tollmien-Schlichting wave is superimposed on
+// plane Poiseuille flow at Re = 7500 in a [0, 2pi] x [-1, 1] channel
+// (periodic in x, no-slip walls, alpha_wave = 1).  The growth rate of the
+// perturbation energy is measured from the nonlinear Navier-Stokes
+// solution and compared with linear theory — computed here by our own
+// Chebyshev Orr-Sommerfeld solver (DESIGN.md substitution), exactly the
+// comparison the paper makes.
+//
+// Left block: error vs N at dt = 0.003125 for filter strengths
+// alpha = 0 and 0.2.  Right block: error vs dt at N = 17 for the 2nd- and
+// 3rd-order schemes (the filtered 3rd-order scheme is stable even where
+// the unfiltered one fails — the paper's key stabilization result).
+//
+// usage: bench_table1_orr_sommerfeld [spatial|temporal|all] [--quick]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "ns/navier_stokes.hpp"
+#include "osref/orr_sommerfeld.hpp"
+
+namespace {
+
+constexpr double kRe = 7500.0;
+constexpr double kAlphaWave = 1.0;
+constexpr double kAmp = 1e-5;
+
+struct RunConfig {
+  int order = 7;            // polynomial order N
+  double dt = 0.003125;
+  int torder = 2;
+  double filter_alpha = 0.0;
+  double t_settle = 2.0;    // discard initial transient
+  double t_final = 8.0;     // measure on [t_settle, t_final]
+};
+
+// Measured growth rate (of amplitude, = alpha * Im(c)) or NaN on blowup.
+double measure_growth(const RunConfig& cfg,
+                      const tsem::OrrSommerfeldResult& os) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2 * M_PI, 5),
+                                tsem::linspace(-1, 1, 3));
+  spec.periodic_x = true;
+  tsem::Space space(tsem::build_mesh(spec, cfg.order));
+  const auto& m = space.mesh();
+
+  tsem::NsOptions opt;
+  opt.dt = cfg.dt;
+  opt.viscosity = 1.0 / kRe;
+  opt.torder = cfg.torder;
+  opt.filter_alpha = cfg.filter_alpha;
+  opt.helm_tol = 1e-12;
+  opt.pres_tol = 1e-10;
+  opt.proj_len = 20;
+  tsem::NavierStokes ns(space, (1u << tsem::kFaceYLo) | (1u << tsem::kFaceYHi),
+                        opt);
+
+  // Base flow + TS eigenfunction (normalized to max |v| = 1).
+  double vmax = 0.0;
+  for (const auto& v : os.v) vmax = std::max(vmax, std::abs(v));
+  std::vector<double> ubase(space.nlocal());
+  for (std::size_t i = 0; i < space.nlocal(); ++i) {
+    const double x = m.x[i], y = m.y[i];
+    const auto vh = tsem::chebyshev_eval(os.y, os.v, y) / vmax;
+    const auto uh = tsem::chebyshev_eval(os.y, os.u, y) / vmax;
+    const std::complex<double> phase(std::cos(kAlphaWave * x),
+                                     std::sin(kAlphaWave * x));
+    ubase[i] = 1.0 - y * y;
+    ns.u(0)[i] = ubase[i] + kAmp * (uh * phase).real();
+    ns.u(1)[i] = kAmp * (vh * phase).real();
+  }
+  const double nu = opt.viscosity;
+  ns.set_forcing([nu, &space](const tsem::NavierStokes&, double,
+                              const std::array<double*, 3>& f) {
+    for (std::size_t i = 0; i < space.nlocal(); ++i) f[0][i] += 2.0 * nu;
+  });
+
+  // Perturbation-energy samples for the log-linear fit.
+  std::vector<double> ts, loge;
+  const int nsteps = static_cast<int>(cfg.t_final / cfg.dt + 0.5);
+  const int sample_every = std::max(1, nsteps / 400);
+  const std::array<const double*, 3> uref = {ubase.data(), nullptr, nullptr};
+  for (int n = 1; n <= nsteps; ++n) {
+    ns.step();
+    const double e = ns.kinetic_energy(uref);
+    if (!std::isfinite(e) || e > 1.0) return std::nan("");  // blow-up
+    if (ns.time() >= cfg.t_settle && n % sample_every == 0) {
+      ts.push_back(ns.time());
+      loge.push_back(std::log(e));
+    }
+  }
+  // Least-squares slope of log E: slope = 2 * growth rate.
+  const std::size_t n = ts.size();
+  double st = 0, se = 0, stt = 0, ste = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    st += ts[i];
+    se += loge[i];
+    stt += ts[i] * ts[i];
+    ste += ts[i] * loge[i];
+  }
+  const double slope = (n * ste - st * se) / (n * stt - st * st);
+  return 0.5 * slope;
+}
+
+void print_row_header() {
+  std::printf("%6s | %12s %12s\n", "", "alpha=0.0", "alpha=0.2");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "all";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0)
+      quick = true;
+    else
+      mode = argv[i];
+  }
+
+  // Linear theory (our Orr-Sommerfeld substrate).
+  const auto os =
+      tsem::solve_orr_sommerfeld(kRe, kAlphaWave, 128, {0.25, 0.0025});
+  if (!os.converged) {
+    std::printf("Orr-Sommerfeld reference failed to converge\n");
+    return 1;
+  }
+  const double wref = os.growth_rate();
+  std::printf("# Table 1 reproduction: Orr-Sommerfeld problem, K = 15, "
+              "Re = %.0f\n", kRe);
+  std::printf("# linear theory: c = %.8f + %.8fi, growth rate = %.8e\n",
+              os.c.real(), os.c.imag(), wref);
+  if (quick) std::printf("# (--quick: shorter horizon, N <= 11)\n");
+
+  tsem::Timer timer;
+  auto rel_err = [&](double w) {
+    return std::isnan(w) ? std::nan("") : std::fabs(w - wref) / std::fabs(wref);
+  };
+  auto show = [&](double e) {
+    if (std::isnan(e))
+      std::printf(" %12s", "blow-up");
+    else
+      std::printf(" %12.5f", e);
+  };
+
+  if (mode == "all" || mode == "spatial") {
+    std::printf("#\n# spatial convergence: relative growth-rate error, "
+                "dt = 0.003125\n");
+    print_row_header();
+    std::vector<int> orders = quick ? std::vector<int>{7, 9, 11}
+                                    : std::vector<int>{7, 9, 11, 13, 15};
+    for (int n : orders) {
+      RunConfig cfg;
+      cfg.order = n;
+      if (quick) {
+        cfg.t_settle = 1.0;
+        cfg.t_final = 5.0;
+      }
+      cfg.filter_alpha = 0.0;
+      const double e0 = rel_err(measure_growth(cfg, os));
+      cfg.filter_alpha = 0.2;
+      const double e2 = rel_err(measure_growth(cfg, os));
+      std::printf("N=%4d |", n);
+      show(e0);
+      show(e2);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
+  if (mode == "all" || mode == "temporal") {
+    std::printf("#\n# temporal convergence: N = %d, relative growth-rate "
+                "error\n", quick ? 11 : 17);
+    std::printf("%9s | %12s %12s | %12s %12s\n", "dt", "2nd a=0.0",
+                "2nd a=0.2", "3rd a=0.0", "3rd a=0.2");
+    std::vector<double> dts = quick
+                                  ? std::vector<double>{0.2, 0.1, 0.05}
+                                  : std::vector<double>{0.2, 0.1, 0.05,
+                                                        0.025, 0.0125};
+    for (double dt : dts) {
+      RunConfig cfg;
+      cfg.order = quick ? 11 : 17;
+      cfg.dt = dt;
+      if (quick) {
+        cfg.t_settle = 1.0;
+        cfg.t_final = 5.0;
+      }
+      std::printf("%9.5f |", dt);
+      for (int torder : {2, 3}) {
+        for (double fa : {0.0, 0.2}) {
+          cfg.torder = torder;
+          cfg.filter_alpha = fa;
+          show(rel_err(measure_growth(cfg, os)));
+        }
+        if (torder == 2) std::printf(" |");
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("# wall time: %.1fs\n", timer.seconds());
+  return 0;
+}

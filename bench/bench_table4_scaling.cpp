@@ -1,0 +1,80 @@
+// Table 4: total time and sustained GFLOPS for 26 timesteps of the
+// hairpin run (K = 8168, N = 15) on ASCI-Red-333 at P = 512/1024/2048
+// nodes, single- vs dual-processor mode, std. vs perf. mxm kernels.
+//
+// Fully model-driven at the paper's scale (DESIGN.md hardware
+// substitution): flop counts come from the same analytic kernel formulas
+// the live code uses, iteration counts follow the paper's reported
+// settled behavior (pressure ~40/step after the initial transient, with
+// the early-step transient of Fig 8 included), and communication uses
+// the LogP machine model with surface-exchange gather-scatter and the
+// XXT coarse solve.  Expected shape: near-linear speedup 512 -> 2048
+// (the paper loses only ~13% of perfect scaling), dual/single ~ 1.46x
+// (std.) to 1.64x (perf.), peak sustained around 319 GF for dual perf.
+// at P = 2048.
+#include <cstdio>
+#include <vector>
+
+#include "bench/hairpin_model.hpp"
+
+int main() {
+  tsem::hairpin::ProblemScale scale;
+  // 26-step iteration profile: impulsive-start transient decaying into
+  // the settled 30-50 range (Fig 8's right panel).
+  // The paper's Fig 8 shows the impulsive-start pressure counts starting
+  // near ~250 and decaying to the settled 30-50 band over ~15 steps.
+  std::vector<double> pressure_profile;
+  for (int n = 0; n < 26; ++n) {
+    const double transient = 260.0 * std::exp(-n / 4.0);
+    pressure_profile.push_back(40.0 + transient);
+  }
+
+  std::printf("# Table 4 reproduction: total time (s) and sustained GFLOPS, "
+              "26 steps, K=8168 N=15 (modeled)\n");
+  std::printf("%6s | %10s %8s | %10s %8s | %10s %8s | %10s %8s\n", "P",
+              "single/std", "GF", "dual/std", "GF", "single/perf", "GF",
+              "dual/perf", "GF");
+
+  for (int p : {512, 1024, 2048}) {
+    std::printf("%6d |", p);
+    for (const bool perf : {false, true}) {
+      for (const bool dual : {false, true}) {
+        const auto mach = tsem::MachineParams::asci_red(dual, perf);
+        double total = 0.0, flops = 0.0;
+        for (double pits : pressure_profile) {
+          tsem::hairpin::StepCounts c;
+          c.pressure_iters = pits;
+          const auto t = tsem::hairpin::time_per_step(scale, c, mach, p);
+          total += t.total;
+          flops += tsem::hairpin::flops_per_step(scale, c);
+        }
+        std::printf(" %10.0f %8.0f |", total, flops / total / 1e9);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Parallel-efficiency summary (the "shape" claims of the paper).
+  std::printf("#\n# shape checks:\n");
+  {
+    const auto mach = tsem::MachineParams::asci_red(true, true);
+    tsem::hairpin::StepCounts c;
+    const double t512 = tsem::hairpin::time_per_step(scale, c, mach, 512).total;
+    const double t2048 =
+        tsem::hairpin::time_per_step(scale, c, mach, 2048).total;
+    std::printf("#   512 -> 2048 speedup (dual perf.): %.2fx of ideal 4x "
+                "(paper: ~3.9x)\n", t512 / t2048);
+  }
+  {
+    tsem::hairpin::StepCounts c;
+    const double ts = tsem::hairpin::time_per_step(
+                          scale, c, tsem::MachineParams::asci_red(false, true),
+                          2048).total;
+    const double td = tsem::hairpin::time_per_step(
+                          scale, c, tsem::MachineParams::asci_red(true, true),
+                          2048).total;
+    std::printf("#   dual-processor gain at P=2048 (perf.): %.2fx "
+                "(paper: 1.64x = 82%% efficiency)\n", ts / td);
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Shared performance model for the hairpin-vortex production run
+// (paper §7: K = 8168, N = 15, 27.8M velocity gridpoints, coarse grid
+// n = 10142) on the simulated ASCI-Red (DESIGN.md hardware substitution).
+//
+// Flop counts use the same analytic kernel formulas as the live code
+// (core/flops.hpp); per-step algorithmic counts (solver iterations, OIFS
+// substeps) are supplied by the caller — measured from the real scaled-
+// down 3D run in bench_fig8_hairpin, or the paper's reported settled
+// ranges in bench_table4_scaling.  Communication uses the LogP-style
+// machine model with surface-to-volume gather-scatter exchanges and the
+// XXT coarse-solve tree schedule.
+#pragma once
+
+#include <cmath>
+
+#include "core/flops.hpp"
+#include "sim/machine.hpp"
+
+namespace tsem::hairpin {
+
+struct ProblemScale {
+  int nelem = 8168;
+  int order = 15;
+  int coarse_n = 10142;
+  [[nodiscard]] int n1() const { return order + 1; }
+  [[nodiscard]] int ng() const { return order - 1; }
+  [[nodiscard]] double npe() const {
+    return static_cast<double>(n1()) * n1() * n1();
+  }
+  [[nodiscard]] double npe_p() const {
+    return static_cast<double>(ng()) * ng() * ng();
+  }
+};
+
+struct StepCounts {
+  double pressure_iters = 40.0;   // paper: settles at 30-50
+  double helmholtz_iters = 3 * 8; // sum over the three components
+  double oifs_stage_evals = 2 * 3 * 4 * 4;  // q-sum x fields x RK4 x subs
+};
+
+// ---- flops ------------------------------------------------------------
+
+inline double stiffness_flops(const ProblemScale& s) {
+  const double n = s.order;
+  return s.nelem * (12.0 * n * n * n * n + 15.0 * n * n * n);
+}
+
+inline double e_flops(const ProblemScale& s) {
+  const double ta = tensor_apply_flops(s.ng(), s.n1(), 3);
+  return s.nelem * (2.0 * 9.0 * (ta + 2.0 * s.npe_p())) +
+         3.0 * s.nelem * s.npe();
+}
+
+inline double schwarz_flops(const ProblemScale& s) {
+  // FDM local solves on (N+1)^3 extended grids.
+  const double m = s.n1();
+  return s.nelem * (12.0 * m * m * m * m + m * m * m);
+}
+
+inline double convection_flops(const ProblemScale& s) {
+  const double n1 = s.n1();
+  return s.nelem * (3.0 * 2.0 * n1 * s.npe() + 24.0 * s.npe());
+}
+
+/// Production-overhead calibration: the paper's hardware-counter flop
+/// measurement (319 GF x 927 s / 26 steps ~ 1.14e13 flops/step) exceeds
+/// the bare-kernel model by ~2.6x — convection subintegration at the
+/// production CFL (~4, more RK4 stages than our default), the full
+/// startup-transient Helmholtz counts, multi-field diagnostics and
+/// operator setup.  This single constant is calibrated once against that
+/// total; everything else in Table 4 / Fig 8 (scaling shape, single/dual
+/// ratios, GFLOPS) is then predicted by the model.
+constexpr double kProductionOverhead = 2.6;
+
+inline double flops_per_step(const ProblemScale& s, const StepCounts& c) {
+  const double helm =
+      c.helmholtz_iters * (stiffness_flops(s) + 14.0 * s.nelem * s.npe());
+  const double pres =
+      c.pressure_iters *
+      (e_flops(s) + schwarz_flops(s) + 12.0 * s.nelem * s.npe_p());
+  const double oifs = c.oifs_stage_evals *
+                      (convection_flops(s) + 6.0 * s.nelem * s.npe());
+  const double misc = 30.0 * s.nelem * s.npe();  // corrections, filter, BDF
+  return kProductionOverhead * (helm + pres + oifs + misc);
+}
+
+// ---- communication ----------------------------------------------------
+
+/// Words exchanged per rank per gather-scatter of one (N+1)^3 field:
+/// compact RSB partitions have ~6 (K/P)^(2/3) interface faces of
+/// (N+1)^2 nodes.
+inline double gs_words(const ProblemScale& s, int nranks) {
+  const double kper = static_cast<double>(s.nelem) / nranks;
+  return 6.0 * std::pow(kper, 2.0 / 3.0) * s.n1() * s.n1();
+}
+
+/// XXT coarse solve time: measured-shape tree schedule with per-level
+/// messages ~ 3 n^(2/3) (the paper's 3D bound) and balanced local
+/// mat-vec work on the O(n^(4/3)) factor.
+inline double coarse_time(const ProblemScale& s, const MachineParams& m,
+                          int nranks) {
+  if (nranks <= 1) return 0.0;
+  int levels = 0;
+  while ((1 << levels) < nranks) ++levels;
+  const double msg = 3.0 * std::pow(static_cast<double>(s.coarse_n), 2.0 / 3.0);
+  double t = 0.0;
+  for (int l = 0; l < levels; ++l) t += m.msg_time(static_cast<std::int64_t>(msg));
+  t *= 2.0;  // fan-in + fan-out
+  const double nnz = std::pow(static_cast<double>(s.coarse_n), 4.0 / 3.0);
+  t += m.compute_time(4.0 * nnz / nranks);
+  return t;
+}
+
+/// Row-distributed A^{-1} coarse solve (the paper's §7 counterfactual:
+/// "If the A^{-1} approach were used instead, [the coarse fraction]
+/// would have increased to 15%").
+inline double coarse_time_ainv(const ProblemScale& s, const MachineParams& m,
+                               int nranks) {
+  const double n = s.coarse_n;
+  return allgather_time(m, nranks, static_cast<std::int64_t>(n)) +
+         m.compute_time(2.0 * n * n / nranks);
+}
+
+struct StepTime {
+  double total = 0.0;
+  double compute = 0.0;
+  double gs = 0.0;
+  double allreduce = 0.0;
+  double coarse = 0.0;
+};
+
+inline StepTime time_per_step(const ProblemScale& s, const StepCounts& c,
+                              const MachineParams& m, int nranks,
+                              bool ainv_coarse = false) {
+  StepTime t;
+  t.compute = m.compute_time(flops_per_step(s, c) / nranks);
+  // gather-scatters: 1 per Helmholtz iter, 3 per E apply + 2 exchanges
+  // per Schwarz apply, 4 per OIFS stage... counted per field touched.
+  const double ngs = c.helmholtz_iters + c.pressure_iters * 5.0 +
+                     c.oifs_stage_evals + 10.0;
+  // Pairwise exchanges to ~6 face neighbors per gs.
+  t.gs = ngs * (6.0 * m.alpha +
+                gs_words(s, nranks) * m.beta);
+  // Two allreduce'd inner products per CG iteration.
+  int levels = 0;
+  while ((1 << levels) < nranks) ++levels;
+  t.allreduce = 2.0 * (c.helmholtz_iters + c.pressure_iters) * levels *
+                (m.alpha + m.beta);
+  t.coarse = c.pressure_iters *
+             (ainv_coarse ? coarse_time_ainv(s, m, nranks)
+                          : coarse_time(s, m, nranks));
+  t.total = t.compute + t.gs + t.allreduce + t.coarse;
+  return t;
+}
+
+}  // namespace tsem::hairpin

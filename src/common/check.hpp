@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant checking for terasem.
+//
+// TSEM_REQUIRE is used for API preconditions that must hold in all build
+// types (mesh/solver setup paths, not inner loops); TSEM_ASSERT compiles
+// away in release builds and may be used in hot kernels.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsem {
+
+[[noreturn]] inline void check_fail(const char* what, const char* expr,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "terasem: %s failed: %s (%s:%d)\n", what, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace tsem
+
+#define TSEM_REQUIRE(expr)                                            \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::tsem::check_fail("requirement", #expr, __FILE__, __LINE__);   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TSEM_ASSERT(expr) ((void)0)
+#else
+#define TSEM_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::tsem::check_fail("assertion", #expr, __FILE__, __LINE__);     \
+  } while (0)
+#endif

@@ -1,0 +1,58 @@
+#include "common/csr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+CsrMatrix::CsrMatrix(int n, std::vector<Triplet> triplets) : n_(n) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row < b.row || (a.row == b.row && a.col < b.col);
+            });
+  row_ptr_.assign(n + 1, 0);
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    std::size_t j = i;
+    double s = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      s += triplets[j].val;
+      ++j;
+    }
+    TSEM_REQUIRE(triplets[i].row >= 0 && triplets[i].row < n);
+    TSEM_REQUIRE(triplets[i].col >= 0 && triplets[i].col < n);
+    col_.push_back(triplets[i].col);
+    val_.push_back(s);
+    ++row_ptr_[triplets[i].row + 1];
+    i = j;
+  }
+  for (int r = 0; r < n; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+void CsrMatrix::matvec(const double* x, double* y) const {
+  for (int r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += val_[k] * x[col_[k]];
+    y[r] = s;
+  }
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> d(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (int r = 0; r < n_; ++r)
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      d[static_cast<std::size_t>(r) * n_ + col_[k]] += val_[k];
+  return d;
+}
+
+void CsrMatrix::column(
+    int j, std::vector<std::pair<std::int32_t, double>>& out) const {
+  out.clear();
+  for (std::int32_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k)
+    out.emplace_back(col_[k], val_[k]);
+}
+
+}  // namespace tsem

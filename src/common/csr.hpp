@@ -1,0 +1,46 @@
+// Minimal CSR sparse matrix used by the coarse-grid solvers and the
+// partitioner.  Built from triplets; duplicate entries are summed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsem {
+
+struct Triplet {
+  std::int32_t row;
+  std::int32_t col;
+  double val;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int n, std::vector<Triplet> triplets);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+
+  void matvec(const double* x, double* y) const;
+
+  [[nodiscard]] const std::vector<std::int32_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& col() const { return col_; }
+  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+
+  /// Dense copy (small systems only).
+  [[nodiscard]] std::vector<double> to_dense() const;
+
+  /// y = A e_j as a sparse column: returns (row, value) pairs.  Symmetric
+  /// matrices only need row j.
+  void column(int j, std::vector<std::pair<std::int32_t, double>>& out) const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::int32_t> row_ptr_;
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace tsem

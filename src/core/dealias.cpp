@@ -1,0 +1,162 @@
+#include "core/dealias.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "poly/basis1d.hpp"
+#include "poly/lagrange.hpp"
+#include "tensor/mxm.hpp"
+
+namespace tsem {
+
+DealiasedConvection::DealiasedConvection(const Mesh& mesh, int fine_pts)
+    : mesh_(&mesh), dim_(mesh.dim), n1_(mesh.n1d()) {
+  mfine_ = fine_pts > 0 ? fine_pts : (3 * n1_ + 1) / 2;
+  TSEM_REQUIRE(mfine_ >= n1_);
+  nfe_ = 1;
+  for (int d = 0; d < dim_; ++d) nfe_ *= mfine_;
+
+  const auto& b = Basis1D::get(mesh.order);
+  if_ = gll_to_gauss(mesh.order, mfine_);  // M x n1
+  dif_.assign(static_cast<std::size_t>(mfine_) * n1_, 0.0);
+  mxm_generic(if_.data(), mfine_, b.d.data(), n1_, dif_.data(), n1_);
+  ift_.resize(if_.size());
+  dift_.resize(dif_.size());
+  for (int i = 0; i < mfine_; ++i)
+    for (int j = 0; j < n1_; ++j) {
+      ift_[j * mfine_ + i] = if_[i * n1_ + j];
+      dift_[j * mfine_ + i] = dif_[i * n1_ + j];
+    }
+
+  // Fine-grid metrics per element: interpolate the (polynomial)
+  // coordinate derivatives, then form the rational metric terms — exact,
+  // as in the pressure-mesh setup.
+  const auto& gw = gauss_weights(mfine_);
+  const std::size_t total = static_cast<std::size_t>(mesh.nelem) * nfe_;
+  jw_.resize(total);
+  md_.resize(static_cast<std::size_t>(dim_) * dim_ * total);
+  TensorWork work;
+  double* scratch = work.get(3 * nfe_ + nfe_);
+  std::vector<double> d(9 * nfe_);
+  const double* coords[3] = {mesh.x.data(), mesh.y.data(),
+                             dim_ == 3 ? mesh.z.data() : nullptr};
+  for (int e = 0; e < mesh.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * mesh.npe;
+    const std::size_t foff = static_cast<std::size_t>(e) * nfe_;
+    for (int c = 0; c < dim_; ++c) {
+      for (int j = 0; j < dim_; ++j) {
+        const double* ax = (j == 0) ? dif_.data() : if_.data();
+        const double* ay = (j == 1) ? dif_.data() : if_.data();
+        if (dim_ == 2) {
+          tensor2_apply(ax, mfine_, n1_, ay, mfine_, n1_, coords[c] + off,
+                        d.data() + (c * dim_ + j) * nfe_, scratch);
+        } else {
+          const double* az = (j == 2) ? dif_.data() : if_.data();
+          tensor3_apply(ax, mfine_, n1_, ay, mfine_, n1_, az, mfine_, n1_,
+                        coords[c] + off, d.data() + (c * dim_ + j) * nfe_,
+                        scratch);
+        }
+      }
+    }
+    for (std::size_t q = 0; q < nfe_; ++q) {
+      double wq = 1.0;
+      std::size_t rem = q;
+      for (int dd = 0; dd < dim_; ++dd) {
+        wq *= gw[rem % mfine_];
+        rem /= mfine_;
+      }
+      if (dim_ == 2) {
+        const double xr = d[0 * nfe_ + q], xs = d[1 * nfe_ + q];
+        const double yr = d[2 * nfe_ + q], ys = d[3 * nfe_ + q];
+        const double jac = xr * ys - xs * yr;
+        TSEM_REQUIRE(jac > 0.0);
+        jw_[foff + q] = wq * jac;
+        md_[(0 * 2 + 0) * total + foff + q] = ys / jac;   // dr/dx
+        md_[(0 * 2 + 1) * total + foff + q] = -yr / jac;  // ds/dx
+        md_[(1 * 2 + 0) * total + foff + q] = -xs / jac;  // dr/dy
+        md_[(1 * 2 + 1) * total + foff + q] = xr / jac;   // ds/dy
+      } else {
+        const double xr = d[0 * nfe_ + q], xs = d[1 * nfe_ + q],
+                     xt = d[2 * nfe_ + q];
+        const double yr = d[3 * nfe_ + q], ys = d[4 * nfe_ + q],
+                     yt = d[5 * nfe_ + q];
+        const double zr = d[6 * nfe_ + q], zs = d[7 * nfe_ + q],
+                     zt = d[8 * nfe_ + q];
+        const double jac = xr * (ys * zt - yt * zs) -
+                           xs * (yr * zt - yt * zr) +
+                           xt * (yr * zs - ys * zr);
+        TSEM_REQUIRE(jac > 0.0);
+        jw_[foff + q] = wq * jac;
+        const double dr[9] = {
+            (ys * zt - yt * zs) / jac, (yt * zr - yr * zt) / jac,
+            (yr * zs - ys * zr) / jac, (xt * zs - xs * zt) / jac,
+            (xr * zt - xt * zr) / jac, (xs * zr - xr * zs) / jac,
+            (xs * yt - xt * ys) / jac, (xt * yr - xr * yt) / jac,
+            (xr * ys - xs * yr) / jac};
+        // dr[xi*3 + rj] = d r_rj / d x_xi.
+        for (int xi = 0; xi < 3; ++xi)
+          for (int rj = 0; rj < 3; ++rj)
+            md_[(static_cast<std::size_t>(xi) * 3 + rj) * total + foff + q] =
+                dr[xi * 3 + rj];
+      }
+    }
+  }
+}
+
+void DealiasedConvection::apply(const double* const* vel, const double* u,
+                                double* out, TensorWork& work) const {
+  const Mesh& m = *mesh_;
+  const std::size_t total = jw_.size();
+  double* buf = work.get((2 * dim_ + 3) * nfe_ + 3 * nfe_);
+  double* urf = buf;                       // dim fine derivative fields
+  double* vf = urf + dim_ * nfe_;          // dim fine velocity fields
+  double* sf = vf + dim_ * nfe_;           // product accumulator
+  double* scratch = sf + nfe_;             // tensor workspace (2 nfe_ +)
+
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+    const std::size_t foff = static_cast<std::size_t>(e) * nfe_;
+    // du/dr_j and velocity components on the fine grid.
+    for (int j = 0; j < dim_; ++j) {
+      const double* ax = (j == 0) ? dif_.data() : if_.data();
+      const double* ay = (j == 1) ? dif_.data() : if_.data();
+      if (dim_ == 2)
+        tensor2_apply(ax, mfine_, n1_, ay, mfine_, n1_, u + off,
+                      urf + j * nfe_, scratch);
+      else
+        tensor3_apply(ax, mfine_, n1_, ay, mfine_, n1_,
+                      (j == 2) ? dif_.data() : if_.data(), mfine_, n1_,
+                      u + off, urf + j * nfe_, scratch);
+    }
+    for (int c = 0; c < dim_; ++c) {
+      if (dim_ == 2)
+        tensor2_apply(if_.data(), mfine_, n1_, if_.data(), mfine_, n1_,
+                      vel[c] + off, vf + c * nfe_, scratch);
+      else
+        tensor3_apply(if_.data(), mfine_, n1_, if_.data(), mfine_, n1_,
+                      if_.data(), mfine_, n1_, vel[c] + off, vf + c * nfe_,
+                      scratch);
+    }
+    // s = W J sum_c v_c sum_j (dr_j/dx_c) du/dr_j on the fine grid.
+    for (std::size_t q = 0; q < nfe_; ++q) {
+      double s = 0.0;
+      for (int c = 0; c < dim_; ++c) {
+        double dudxc = 0.0;
+        for (int j = 0; j < dim_; ++j)
+          dudxc += metric_f(c, j)[foff + q] * urf[j * nfe_ + q];
+        s += vf[c * nfe_ + q] * dudxc;
+      }
+      sf[q] = jw_[foff + q] * s;
+    }
+    // Project back: out = I^T s (weak form on the GLL nodes).
+    if (dim_ == 2)
+      tensor2_apply(ift_.data(), n1_, mfine_, ift_.data(), n1_, mfine_, sf,
+                    out + off, scratch);
+    else
+      tensor3_apply(ift_.data(), n1_, mfine_, ift_.data(), n1_, mfine_,
+                    ift_.data(), n1_, mfine_, sf, out + off, scratch);
+  }
+  (void)total;
+}
+
+}  // namespace tsem

@@ -1,0 +1,48 @@
+// Modeled flop counts for the performance studies (Fig 8, Table 4).
+//
+// The paper instruments the code and reads hardware counters; we model
+// the dominant kernels analytically (the two agree within a few percent
+// for tensor-product codes since >90% of flops are in the mxm kernels).
+#pragma once
+
+#include "core/pressure.hpp"
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+/// Cost of one (m x n) x (n x n x ...) tensor-product application in d
+/// dims: 2 m n^d + 2 m^2 n^(d-1) + ... (successive contractions).
+inline double tensor_apply_flops(int m, int n, int d) {
+  double f = 0.0;
+  double pre = 1.0;   // product of already-contracted output extents
+  double post = 1.0;  // product of not-yet-contracted input extents
+  for (int i = 0; i < d - 1; ++i) post *= n;
+  for (int i = 0; i < d; ++i) {
+    f += 2.0 * m * n * pre * post;
+    pre *= m;
+    if (i < d - 1) post /= n;
+  }
+  return f;
+}
+
+/// One local convection evaluation (u.grad)v over the mesh.
+inline double convection_flops(const Mesh& m) {
+  const int n1 = m.order + 1;
+  const double per_elem =
+      m.dim * tensor_apply_flops(n1, n1, 1) * m.npe / n1  // derivatives
+      + (2.0 * m.dim * m.dim + 2.0 * m.dim) * m.npe;      // chain rule + dot
+  return per_elem * m.nelem;
+}
+
+/// One application of E = D B^{-1} D^T.
+inline double e_apply_flops(const PressureSystem& p) {
+  const Mesh& m = p.vspace().mesh();
+  const int n1 = m.order + 1;
+  const int ng = p.ng1();
+  // gradient_t + divergence: dim^2 mixed tensor applies each.
+  const double ta = tensor_apply_flops(ng, n1, m.dim);
+  return m.nelem * (2.0 * m.dim * m.dim * (ta + 2.0 * p.npe())) +
+         3.0 * m.nlocal();
+}
+
+}  // namespace tsem

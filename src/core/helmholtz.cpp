@@ -1,0 +1,28 @@
+#include "core/helmholtz.hpp"
+
+#include "common/check.hpp"
+#include "core/operators.hpp"
+
+namespace tsem {
+
+HelmholtzOp::HelmholtzOp(const Space& space, double h1, double h2,
+                         std::vector<double> mask)
+    : space_(&space), h1_(h1), h2_(h2), mask_(std::move(mask)) {
+  TSEM_REQUIRE(mask_.size() == space.nlocal());
+  const auto& m = space.mesh();
+  auto diag_a = stiffness_diagonal_local(m);
+  diag_.resize(space.nlocal());
+  for (std::size_t i = 0; i < diag_.size(); ++i)
+    diag_[i] = h1_ * diag_a[i] + h2_ * m.bm[i];
+  space.gs().op(diag_.data());
+  for (std::size_t i = 0; i < diag_.size(); ++i)
+    if (mask_[i] == 0.0) diag_[i] = 1.0;
+}
+
+void HelmholtzOp::apply(const double* u, double* w) const {
+  apply_helmholtz_local(space_->mesh(), h1_, h2_, u, w, work_);
+  space_->gs().op(w);
+  for (std::size_t i = 0; i < mask_.size(); ++i) w[i] *= mask_[i];
+}
+
+}  // namespace tsem

@@ -1,0 +1,41 @@
+// Global Helmholtz operator H = h1 * A + h2 * B on a masked C0 space
+// (paper §4): the diagonally dominant operator governing each velocity
+// component in the split Stokes problem, solved with Jacobi-preconditioned
+// conjugate gradients.
+#pragma once
+
+#include <vector>
+
+#include "core/space.hpp"
+#include "tensor/tensor_apply.hpp"
+
+namespace tsem {
+
+class HelmholtzOp {
+ public:
+  /// mask: Dirichlet mask (from Space::make_mask); h1 multiplies the
+  /// stiffness (e.g. 1/Re), h2 the mass (e.g. bdf0/dt); h2 may be 0 for a
+  /// pure Poisson operator.
+  HelmholtzOp(const Space& space, double h1, double h2,
+              std::vector<double> mask);
+
+  /// w = mask .* QQ^T (h1 A_L + h2 B_L) u for a C0, masked input u.
+  void apply(const double* u, double* w) const;
+
+  /// Assembled, masked diagonal (1.0 at masked nodes) for Jacobi.
+  [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
+
+  [[nodiscard]] const Space& space() const { return *space_; }
+  [[nodiscard]] const std::vector<double>& mask() const { return mask_; }
+  [[nodiscard]] double h1() const { return h1_; }
+  [[nodiscard]] double h2() const { return h2_; }
+
+ private:
+  const Space* space_;
+  double h1_, h2_;
+  std::vector<double> mask_;
+  std::vector<double> diag_;
+  mutable TensorWork work_;
+};
+
+}  // namespace tsem

@@ -1,0 +1,255 @@
+#include "core/operators.hpp"
+
+#include "common/check.hpp"
+#include "poly/basis1d.hpp"
+
+namespace tsem {
+namespace {
+
+void stiffness_elem_2d(const Basis1D& b, const double* g, std::size_t nl,
+                       std::size_t off, int npe, const double* u, double* w,
+                       double* ur, double* us, double* t) {
+  const int n1 = b.npts();
+  tensor2_apply_x(b.d.data(), n1, n1, u, ur);
+  tensor2_apply_y(b.d.data(), n1, n1, u, us);
+  const double* grr = g + 0 * nl + off;
+  const double* grs = g + 1 * nl + off;
+  const double* gss = g + 2 * nl + off;
+  for (int n = 0; n < npe; ++n) {
+    const double wr = grr[n] * ur[n] + grs[n] * us[n];
+    const double ws = grs[n] * ur[n] + gss[n] * us[n];
+    ur[n] = wr;
+    us[n] = ws;
+  }
+  tensor2_apply_x(b.dt.data(), n1, n1, ur, w);
+  tensor2_apply_y(b.dt.data(), n1, n1, us, t);
+  for (int n = 0; n < npe; ++n) w[n] += t[n];
+}
+
+void stiffness_elem_3d(const Basis1D& b, const double* g, std::size_t nl,
+                       std::size_t off, int npe, const double* u, double* w,
+                       double* ur, double* us, double* ut, double* t) {
+  const int n1 = b.npts();
+  tensor3_apply_x(b.d.data(), n1, n1, n1, u, ur);
+  tensor3_apply_y(b.d.data(), n1, n1, n1, u, us);
+  tensor3_apply_z(b.d.data(), n1, n1, n1, u, ut);
+  const double* grr = g + 0 * nl + off;
+  const double* grs = g + 1 * nl + off;
+  const double* grt = g + 2 * nl + off;
+  const double* gss = g + 3 * nl + off;
+  const double* gst = g + 4 * nl + off;
+  const double* gtt = g + 5 * nl + off;
+  for (int n = 0; n < npe; ++n) {
+    const double wr = grr[n] * ur[n] + grs[n] * us[n] + grt[n] * ut[n];
+    const double ws = grs[n] * ur[n] + gss[n] * us[n] + gst[n] * ut[n];
+    const double wt = grt[n] * ur[n] + gst[n] * us[n] + gtt[n] * ut[n];
+    ur[n] = wr;
+    us[n] = ws;
+    ut[n] = wt;
+  }
+  tensor3_apply_x(b.dt.data(), n1, n1, n1, ur, w);
+  tensor3_apply_y(b.dt.data(), n1, n1, n1, us, t);
+  for (int n = 0; n < npe; ++n) w[n] += t[n];
+  tensor3_apply_z(b.dt.data(), n1, n1, n1, ut, t);
+  for (int n = 0; n < npe; ++n) w[n] += t[n];
+}
+
+}  // namespace
+
+void apply_stiffness_local(const Mesh& m, const double* u, double* w,
+                           TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const std::size_t nl = m.nlocal();
+  const int npe = m.npe;
+  if (m.dim == 2) {
+    double* buf = work.get(3 * static_cast<std::size_t>(npe));
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+      std::vector<double> priv(3 * static_cast<std::size_t>(npe));
+      double* ur = priv.data();
+      double* us = ur + npe;
+      double* t = us + npe;
+      (void)buf;
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (int e = 0; e < m.nelem; ++e) {
+        const std::size_t off = static_cast<std::size_t>(e) * npe;
+        stiffness_elem_2d(b, m.g.data(), nl, off, npe, u + off, w + off, ur,
+                          us, t);
+      }
+    }
+  } else {
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+      std::vector<double> priv(4 * static_cast<std::size_t>(npe));
+      double* ur = priv.data();
+      double* us = ur + npe;
+      double* ut = us + npe;
+      double* t = ut + npe;
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (int e = 0; e < m.nelem; ++e) {
+        const std::size_t off = static_cast<std::size_t>(e) * npe;
+        stiffness_elem_3d(b, m.g.data(), nl, off, npe, u + off, w + off, ur,
+                          us, ut, t);
+      }
+    }
+  }
+  (void)work;
+}
+
+void apply_helmholtz_local(const Mesh& m, double h1, double h2,
+                           const double* u, double* w, TensorWork& work) {
+  apply_stiffness_local(m, u, w, work);
+  const std::size_t nl = m.nlocal();
+  for (std::size_t i = 0; i < nl; ++i) w[i] = h1 * w[i] + h2 * m.bm[i] * u[i];
+}
+
+std::vector<double> stiffness_diagonal_local(const Mesh& m) {
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = b.npts();
+  const std::size_t nl = m.nlocal();
+  std::vector<double> diag(nl, 0.0);
+  // Column c of D-hat squared, summed against the G factors along the
+  // active direction; cross terms hit only the node itself (see the
+  // derivation in DESIGN.md / standard SEM references).
+  std::vector<double> d2(static_cast<std::size_t>(n1) * n1);
+  for (int q = 0; q < n1; ++q)
+    for (int a = 0; a < n1; ++a) d2[q * n1 + a] = b.d[q * n1 + a] * b.d[q * n1 + a];
+
+  if (m.dim == 2) {
+    for (int e = 0; e < m.nelem; ++e) {
+      const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+      const double* grr = m.g.data() + 0 * nl + off;
+      const double* grs = m.g.data() + 1 * nl + off;
+      const double* gss = m.g.data() + 2 * nl + off;
+      for (int bb = 0; bb < n1; ++bb)
+        for (int a = 0; a < n1; ++a) {
+          double s = 0.0;
+          for (int q = 0; q < n1; ++q) {
+            s += d2[q * n1 + a] * grr[bb * n1 + q];
+            s += d2[q * n1 + bb] * gss[q * n1 + a];
+          }
+          s += 2.0 * b.d[a * n1 + a] * b.d[bb * n1 + bb] * grs[bb * n1 + a];
+          diag[off + bb * n1 + a] = s;
+        }
+    }
+  } else {
+    for (int e = 0; e < m.nelem; ++e) {
+      const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+      const double* g0 = m.g.data() + 0 * nl + off;
+      const double* g1 = m.g.data() + 1 * nl + off;
+      const double* g2 = m.g.data() + 2 * nl + off;
+      const double* g3 = m.g.data() + 3 * nl + off;
+      const double* g4 = m.g.data() + 4 * nl + off;
+      const double* g5 = m.g.data() + 5 * nl + off;
+      for (int c = 0; c < n1; ++c)
+        for (int bb = 0; bb < n1; ++bb)
+          for (int a = 0; a < n1; ++a) {
+            double s = 0.0;
+            for (int q = 0; q < n1; ++q) {
+              s += d2[q * n1 + a] * g0[(c * n1 + bb) * n1 + q];
+              s += d2[q * n1 + bb] * g3[(c * n1 + q) * n1 + a];
+              s += d2[q * n1 + c] * g5[(q * n1 + bb) * n1 + a];
+            }
+            const int n = (c * n1 + bb) * n1 + a;
+            s += 2.0 * b.d[a * n1 + a] * b.d[bb * n1 + bb] * g1[n];
+            s += 2.0 * b.d[a * n1 + a] * b.d[c * n1 + c] * g2[n];
+            s += 2.0 * b.d[bb * n1 + bb] * b.d[c * n1 + c] * g4[n];
+            diag[off + n] = s;
+          }
+    }
+  }
+  return diag;
+}
+
+void gradient_local(const Mesh& m, const double* u, double* const* grad,
+                    TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = b.npts();
+  const std::size_t nl = m.nlocal();
+  const int npe = m.npe;
+  double* buf = work.get(3 * static_cast<std::size_t>(npe));
+  double* ur = buf;
+  double* us = buf + npe;
+  double* ut = buf + 2 * static_cast<std::size_t>(npe);
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * npe;
+    if (m.dim == 2) {
+      tensor2_apply_x(b.d.data(), n1, n1, u + off, ur);
+      tensor2_apply_y(b.d.data(), n1, n1, u + off, us);
+      const double* rx = m.metric(0, 0) + off;
+      const double* ry = m.metric(0, 1) + off;
+      const double* sx = m.metric(1, 0) + off;
+      const double* sy = m.metric(1, 1) + off;
+      for (int n = 0; n < npe; ++n) {
+        grad[0][off + n] = rx[n] * ur[n] + sx[n] * us[n];
+        grad[1][off + n] = ry[n] * ur[n] + sy[n] * us[n];
+      }
+    } else {
+      tensor3_apply_x(b.d.data(), n1, n1, n1, u + off, ur);
+      tensor3_apply_y(b.d.data(), n1, n1, n1, u + off, us);
+      tensor3_apply_z(b.d.data(), n1, n1, n1, u + off, ut);
+      for (int c = 0; c < 3; ++c) {
+        const double* rc = m.metric(0, c) + off;
+        const double* sc = m.metric(1, c) + off;
+        const double* tc = m.metric(2, c) + off;
+        double* gc = grad[c] + off;
+        for (int n = 0; n < npe; ++n)
+          gc[n] = rc[n] * ur[n] + sc[n] * us[n] + tc[n] * ut[n];
+      }
+    }
+  }
+  (void)nl;
+}
+
+void convect_local(const Mesh& m, const double* const* vel, const double* u,
+                   double* conv, TensorWork& work) {
+  const std::size_t nl = m.nlocal();
+  std::vector<double> gx(nl), gy(nl), gz(m.dim == 3 ? nl : 0);
+  double* grad[3] = {gx.data(), gy.data(), gz.data()};
+  gradient_local(m, u, grad, work);
+  for (std::size_t i = 0; i < nl; ++i) {
+    double s = vel[0][i] * gx[i] + vel[1][i] * gy[i];
+    if (m.dim == 3) s += vel[2][i] * gz[i];
+    conv[i] = s;
+  }
+}
+
+void apply_filter_local(const Mesh& m, const std::vector<double>& f,
+                        double* u, TensorWork& work) {
+  const int n1 = m.n1d();
+  const int npe = m.npe;
+  TSEM_REQUIRE(static_cast<int>(f.size()) == n1 * n1);
+  double* buf = work.get(3 * static_cast<std::size_t>(npe));
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * npe;
+    if (m.dim == 2) {
+      tensor2_apply(f.data(), n1, n1, f.data(), n1, n1, u + off, buf + npe,
+                    buf);
+      for (int n = 0; n < npe; ++n) u[off + n] = buf[npe + n];
+    } else {
+      // work needs nz*ny*mx + nz*my*mx = 2*npe, plus npe for the result.
+      double* big = work.get(3 * static_cast<std::size_t>(npe));
+      tensor3_apply(f.data(), n1, n1, f.data(), n1, n1, f.data(), n1, n1,
+                    u + off, big + 2 * static_cast<std::size_t>(npe), big);
+      for (int n = 0; n < npe; ++n)
+        u[off + n] = big[2 * static_cast<std::size_t>(npe) + n];
+    }
+  }
+}
+
+double stiffness_flops(const Mesh& m) {
+  const double n = m.order;
+  if (m.dim == 3)
+    return m.nelem * (12.0 * n * n * n * n + 15.0 * n * n * n);
+  return m.nelem * (8.0 * n * n * n + 8.0 * n * n);
+}
+
+}  // namespace tsem

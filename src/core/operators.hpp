@@ -1,0 +1,49 @@
+// Matrix-free element-local operator kernels (paper §3).
+//
+// All kernels operate on the element-by-element storage and do NOT
+// perform assembly; callers compose them with Space::dssum and masks to
+// obtain the global SPD operators (see helmholtz.hpp, pressure.hpp).
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "tensor/tensor_apply.hpp"
+
+namespace tsem {
+
+/// w = A_L u : the unassembled stiffness (discrete Laplacian) of eq. (4),
+///   A^k = (D_r D_s D_t)^T [G_ij] (D_r D_s D_t),
+/// evaluated as 2d tensor contractions + pointwise work per element.
+void apply_stiffness_local(const Mesh& m, const double* u, double* w,
+                           TensorWork& work);
+
+/// w = h1 * A_L u + h2 * B_L u (local Helmholtz).
+void apply_helmholtz_local(const Mesh& m, double h1, double h2,
+                           const double* u, double* w, TensorWork& work);
+
+/// Diagonal of the local stiffness matrix (for Jacobi preconditioning).
+std::vector<double> stiffness_diagonal_local(const Mesh& m);
+
+/// Physical-space gradient at the GLL nodes: for each direction c,
+/// grad[c] = du/dx_c, via the chain rule with the stored metrics.
+/// grad must point to dim arrays of length nlocal.
+void gradient_local(const Mesh& m, const double* u, double* const* grad,
+                    TensorWork& work);
+
+/// conv = (vel . grad) u  evaluated pointwise at the GLL nodes
+/// (collocation form); vel is an array of dim component fields.
+void convect_local(const Mesh& m, const double* const* vel, const double* u,
+                   double* conv, TensorWork& work);
+
+/// Apply the 1D filter matrix f (built by filter_matrix) to every element
+/// in every direction: u <- (F (x) F (x) F) u.
+void apply_filter_local(const Mesh& m, const std::vector<double>& f,
+                        double* u, TensorWork& work);
+
+/// Flop count for one local stiffness application over the whole mesh
+/// (paper §3: 12 N^4 + 15 N^3 per element in 3D) — used by the
+/// performance model.
+double stiffness_flops(const Mesh& m);
+
+}  // namespace tsem

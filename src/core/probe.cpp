@@ -1,0 +1,198 @@
+#include "core/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "poly/basis1d.hpp"
+#include "poly/lagrange.hpp"
+
+namespace tsem {
+
+FieldProbe::FieldProbe(const Mesh& mesh) : mesh_(&mesh), n1_(mesh.n1d()) {
+  bbox_.resize(mesh.nelem);
+  for (int e = 0; e < mesh.nelem; ++e) {
+    auto& b = bbox_[e];
+    b = {1e300, -1e300, 1e300, -1e300, 1e300, -1e300};
+    const std::size_t off = static_cast<std::size_t>(e) * mesh.npe;
+    for (int n = 0; n < mesh.npe; ++n) {
+      b[0] = std::min(b[0], mesh.x[off + n]);
+      b[1] = std::max(b[1], mesh.x[off + n]);
+      b[2] = std::min(b[2], mesh.y[off + n]);
+      b[3] = std::max(b[3], mesh.y[off + n]);
+      if (mesh.dim == 3) {
+        b[4] = std::min(b[4], mesh.z[off + n]);
+        b[5] = std::max(b[5], mesh.z[off + n]);
+      }
+    }
+    // Inflate: curved faces can bulge past the nodal hull slightly.
+    const double pad =
+        0.05 * std::max({b[1] - b[0], b[3] - b[2],
+                         mesh.dim == 3 ? b[5] - b[4] : 0.0});
+    b[0] -= pad;
+    b[1] += pad;
+    b[2] -= pad;
+    b[3] += pad;
+    if (mesh.dim == 3) {
+      b[4] -= pad;
+      b[5] += pad;
+    }
+  }
+}
+
+void FieldProbe::basis1d(double r, std::vector<double>& h,
+                         std::vector<double>& hd) const {
+  const auto& b = Basis1D::get(mesh_->order);
+  const std::vector<double> pt = {r};
+  const auto row = interpolation_matrix(b.z, pt);  // 1 x n1
+  h = row;
+  // h_j'(r) = sum_k l_k(r) D[k][j] (h_j' is degree N-1, exactly
+  // representable on the GLL grid).
+  hd.assign(n1_, 0.0);
+  for (int j = 0; j < n1_; ++j) {
+    double s = 0.0;
+    for (int k = 0; k < n1_; ++k) s += row[k] * b.d[k * n1_ + j];
+    hd[j] = s;
+  }
+}
+
+bool FieldProbe::newton(int elem, const double* target,
+                        std::array<double, 3>& rst) const {
+  const Mesh& m = *mesh_;
+  const int dim = m.dim;
+  const std::size_t off = static_cast<std::size_t>(elem) * m.npe;
+  const double* coords[3] = {m.x.data() + off, m.y.data() + off,
+                             dim == 3 ? m.z.data() + off : nullptr};
+  rst = {0.0, 0.0, 0.0};
+  std::vector<double> h[3], hd[3];
+  for (int it = 0; it < 50; ++it) {
+    for (int d = 0; d < dim; ++d) basis1d(rst[d], h[d], hd[d]);
+    // Evaluate x(r) and the Jacobian dx/dr.
+    double xr[3] = {0, 0, 0};
+    double jac[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+    if (dim == 2) {
+      for (int j = 0; j < n1_; ++j)
+        for (int i = 0; i < n1_; ++i) {
+          const double w = h[0][i] * h[1][j];
+          const double wr = hd[0][i] * h[1][j];
+          const double ws = h[0][i] * hd[1][j];
+          for (int c = 0; c < 2; ++c) {
+            const double v = coords[c][j * n1_ + i];
+            xr[c] += w * v;
+            jac[c * 2 + 0] += wr * v;
+            jac[c * 2 + 1] += ws * v;
+          }
+        }
+    } else {
+      for (int k = 0; k < n1_; ++k)
+        for (int j = 0; j < n1_; ++j)
+          for (int i = 0; i < n1_; ++i) {
+            const double hh = h[0][i] * h[1][j] * h[2][k];
+            const double wr = hd[0][i] * h[1][j] * h[2][k];
+            const double ws = h[0][i] * hd[1][j] * h[2][k];
+            const double wt = h[0][i] * h[1][j] * hd[2][k];
+            const std::size_t idx =
+                (static_cast<std::size_t>(k) * n1_ + j) * n1_ + i;
+            for (int c = 0; c < 3; ++c) {
+              const double v = coords[c][idx];
+              xr[c] += hh * v;
+              jac[c * 3 + 0] += wr * v;
+              jac[c * 3 + 1] += ws * v;
+              jac[c * 3 + 2] += wt * v;
+            }
+          }
+    }
+    double res[3] = {target[0] - xr[0], target[1] - xr[1],
+                     dim == 3 ? target[2] - xr[2] : 0.0};
+    double rn = 0.0;
+    for (int c = 0; c < dim; ++c) rn += res[c] * res[c];
+    // Solve jac * dr = res.
+    double dr[3] = {0, 0, 0};
+    if (dim == 2) {
+      const double det = jac[0] * jac[3] - jac[1] * jac[2];
+      if (std::fabs(det) < 1e-300) return false;
+      dr[0] = (res[0] * jac[3] - res[1] * jac[1]) / det;
+      dr[1] = (jac[0] * res[1] - jac[2] * res[0]) / det;
+    } else {
+      const double det =
+          jac[0] * (jac[4] * jac[8] - jac[5] * jac[7]) -
+          jac[1] * (jac[3] * jac[8] - jac[5] * jac[6]) +
+          jac[2] * (jac[3] * jac[7] - jac[4] * jac[6]);
+      if (std::fabs(det) < 1e-300) return false;
+      const double inv[9] = {
+          (jac[4] * jac[8] - jac[5] * jac[7]) / det,
+          (jac[2] * jac[7] - jac[1] * jac[8]) / det,
+          (jac[1] * jac[5] - jac[2] * jac[4]) / det,
+          (jac[5] * jac[6] - jac[3] * jac[8]) / det,
+          (jac[0] * jac[8] - jac[2] * jac[6]) / det,
+          (jac[2] * jac[3] - jac[0] * jac[5]) / det,
+          (jac[3] * jac[7] - jac[4] * jac[6]) / det,
+          (jac[1] * jac[6] - jac[0] * jac[7]) / det,
+          (jac[0] * jac[4] - jac[1] * jac[3]) / det};
+      for (int a = 0; a < 3; ++a)
+        for (int c = 0; c < 3; ++c) dr[a] += inv[a * 3 + c] * res[c];
+    }
+    bool small = true;
+    for (int c = 0; c < dim; ++c) {
+      rst[c] += dr[c];
+      // Keep the iterate in a sane neighborhood of the reference cube.
+      rst[c] = std::min(2.0, std::max(-2.0, rst[c]));
+      if (std::fabs(dr[c]) > 1e-13) small = false;
+    }
+    if (small && rn < 1e-24 * (1.0 + mesh_->bbox_diag())) break;
+    if (small) break;
+  }
+  const double tol = 1.0 + 1e-8;
+  for (int c = 0; c < dim; ++c)
+    if (std::fabs(rst[c]) > tol) return false;
+  return true;
+}
+
+bool FieldProbe::locate(double x, double y, double z, int* elem,
+                        std::array<double, 3>* rst) const {
+  const double target[3] = {x, y, z};
+  for (int e = 0; e < mesh_->nelem; ++e) {
+    const auto& b = bbox_[e];
+    if (x < b[0] || x > b[1] || y < b[2] || y > b[3]) continue;
+    if (mesh_->dim == 3 && (z < b[4] || z > b[5])) continue;
+    std::array<double, 3> r;
+    if (newton(e, target, r)) {
+      *elem = e;
+      *rst = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FieldProbe::eval(const double* field, int elem,
+                        const std::array<double, 3>& rst) const {
+  const Mesh& m = *mesh_;
+  const std::size_t off = static_cast<std::size_t>(elem) * m.npe;
+  std::vector<double> h[3], hd[3];
+  for (int d = 0; d < m.dim; ++d) basis1d(rst[d], h[d], hd[d]);
+  double s = 0.0;
+  if (m.dim == 2) {
+    for (int j = 0; j < n1_; ++j)
+      for (int i = 0; i < n1_; ++i)
+        s += h[0][i] * h[1][j] * field[off + j * n1_ + i];
+  } else {
+    for (int k = 0; k < n1_; ++k)
+      for (int j = 0; j < n1_; ++j)
+        for (int i = 0; i < n1_; ++i)
+          s += h[0][i] * h[1][j] * h[2][k] *
+               field[off + (static_cast<std::size_t>(k) * n1_ + j) * n1_ + i];
+  }
+  return s;
+}
+
+bool FieldProbe::sample(const double* field, double x, double y, double z,
+                        double* out) const {
+  int elem;
+  std::array<double, 3> rst;
+  if (!locate(x, y, z, &elem, &rst)) return false;
+  *out = eval(field, elem, rst);
+  return true;
+}
+
+}  // namespace tsem

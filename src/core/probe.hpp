@@ -1,0 +1,48 @@
+// Spectral field probing: evaluate element fields at arbitrary physical
+// points (history points, line samples, comparison against experiments —
+// the paper's §1 motivation of "comparative numerical and experimental
+// studies" needs exactly this).
+//
+// locate() inverts the element mapping x(r) by Newton iteration using
+// the same tensor-product Lagrange basis the discretization uses, so
+// evaluation is spectrally accurate — no low-order interpolation step.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+class FieldProbe {
+ public:
+  explicit FieldProbe(const Mesh& mesh);
+
+  /// Find the element containing (x, y[, z]) and its reference
+  /// coordinates.  Returns false if the point lies in no element.
+  bool locate(double x, double y, double z, int* elem,
+              std::array<double, 3>* rst) const;
+
+  /// Evaluate a field (element-by-element storage) at a located point.
+  [[nodiscard]] double eval(const double* field, int elem,
+                            const std::array<double, 3>& rst) const;
+
+  /// locate + eval in one call; returns false if the point is outside.
+  bool sample(const double* field, double x, double y, double z,
+              double* out) const;
+
+ private:
+  /// 1D Lagrange basis values (and derivative values) at r on GLL nodes.
+  void basis1d(double r, std::vector<double>& h, std::vector<double>& hd)
+      const;
+  bool newton(int elem, const double* target, std::array<double, 3>& rst)
+      const;
+
+  const Mesh* mesh_;
+  int n1_;
+  // Element bounding boxes (slightly inflated) for candidate search.
+  std::vector<std::array<double, 6>> bbox_;
+};
+
+}  // namespace tsem

@@ -1,0 +1,60 @@
+#include "core/space.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+Space::Space(Mesh mesh)
+    : mesh_(std::move(mesh)), gs_(mesh_.node_id), mult_(gs_.multiplicity()) {
+  bma_ = mesh_.bm;
+  gs_.op(bma_.data());
+  bmi_.resize(bma_.size());
+  for (std::size_t i = 0; i < bma_.size(); ++i) {
+    TSEM_REQUIRE(bma_[i] > 0.0);
+    bmi_[i] = 1.0 / bma_[i];
+  }
+  volume_ = 0.0;
+  for (std::size_t i = 0; i < mesh_.bm.size(); ++i) volume_ += mesh_.bm[i];
+}
+
+void Space::daverage(double* u) const {
+  gs_.op(u);
+  for (std::size_t i = 0; i < mult_.size(); ++i) u[i] /= mult_[i];
+}
+
+std::vector<double> Space::make_mask(std::uint32_t tag_bits) const {
+  std::vector<double> mask(nlocal(), 1.0);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    if (mesh_.bdry_bits[i] & tag_bits) mask[i] = 0.0;
+  // A node Dirichlet in any element copy must be Dirichlet in all copies.
+  gs_.op(mask.data(), GsOp::Min);
+  return mask;
+}
+
+double Space::integrate(const double* u) const {
+  // bm is the local (unassembled) quadrature weight, so summing bm*u over
+  // all local copies counts each global node exactly once in the integral
+  // sense.
+  double s = 0.0;
+  for (std::size_t i = 0; i < mesh_.bm.size(); ++i) s += mesh_.bm[i] * u[i];
+  return s;
+}
+
+double Space::glsum_dot(const double* u, const double* v) const {
+  // Assumes u and v are C0 (equal on shared copies); divide by
+  // multiplicity so each global node contributes once.
+  double s = 0.0;
+  for (std::size_t i = 0; i < mult_.size(); ++i) s += u[i] * v[i] / mult_[i];
+  return s;
+}
+
+double Space::l2_norm(const double* u) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < mesh_.bm.size(); ++i)
+    s += mesh_.bm[i] * u[i] * u[i];
+  return std::sqrt(s);
+}
+
+}  // namespace tsem

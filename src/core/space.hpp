@@ -1,0 +1,62 @@
+// A spectral element function space: mesh + C0 connectivity + boundary
+// masks.  This is the object user code builds first; operators and
+// solvers are constructed on top of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gs/gather_scatter.hpp"
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+class Space {
+ public:
+  explicit Space(Mesh mesh);
+
+  [[nodiscard]] const Mesh& mesh() const { return mesh_; }
+  [[nodiscard]] const GatherScatter& gs() const { return gs_; }
+  [[nodiscard]] std::size_t nlocal() const { return mesh_.nlocal(); }
+
+  /// Direct stiffness summation: shared nodes are summed (Q Q^T).
+  void dssum(double* u) const { gs_.op(u); }
+
+  /// Make a C0 field: dssum followed by division by multiplicity.
+  void daverage(double* u) const;
+
+  /// Node multiplicity (copies across elements).
+  [[nodiscard]] const std::vector<double>& mult() const { return mult_; }
+
+  /// Assembled (dssum'd) diagonal mass matrix, stored redundantly on every
+  /// local copy; and its inverse.
+  [[nodiscard]] const std::vector<double>& bm_assembled() const {
+    return bma_;
+  }
+  [[nodiscard]] const std::vector<double>& bm_inv() const { return bmi_; }
+
+  /// Dirichlet mask for the given set of boundary tags: 0 at nodes lying
+  /// on any face whose tag is in the set, 1 elsewhere.
+  [[nodiscard]] std::vector<double> make_mask(std::uint32_t tag_bits) const;
+
+  /// Integral of a field over the domain (sum bm * u counting each global
+  /// node once).
+  [[nodiscard]] double integrate(const double* u) const;
+  /// Domain volume/area.
+  [[nodiscard]] double volume() const { return volume_; }
+
+  /// Global (assembled) inner products: each shared node counted once.
+  [[nodiscard]] double glsum_dot(const double* u, const double* v) const;
+  [[nodiscard]] double l2_norm(const double* u) const;
+
+ private:
+  Mesh mesh_;
+  GatherScatter gs_;
+  std::vector<double> mult_;
+  std::vector<double> bma_;
+  std::vector<double> bmi_;
+  double volume_ = 0.0;
+};
+
+}  // namespace tsem

@@ -1,0 +1,333 @@
+#include "fem/fem.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+void fem1d_operators(const std::vector<double>& pts, std::vector<double>& a,
+                     std::vector<double>& b_lumped) {
+  const int n = static_cast<int>(pts.size());
+  TSEM_REQUIRE(n >= 3);
+  const int m = n - 2;
+  a.assign(static_cast<std::size_t>(m) * m, 0.0);
+  b_lumped.assign(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int g = i + 1;
+    const double hl = pts[g] - pts[g - 1];
+    const double hr = pts[g + 1] - pts[g];
+    TSEM_REQUIRE(hl > 0.0 && hr > 0.0);
+    a[i * m + i] = 1.0 / hl + 1.0 / hr;
+    if (i + 1 < m) {
+      a[i * m + i + 1] = -1.0 / hr;
+      a[(i + 1) * m + i] = -1.0 / hr;
+    }
+    b_lumped[i] = 0.5 * (hl + hr);
+  }
+}
+
+namespace {
+
+// Accumulate the P1 stiffness of one triangle into a dense matrix over
+// global point indices (index < 0 marks a Dirichlet node, dropped).
+void add_triangle(double* a, int n, const std::array<int, 3>& idx,
+                  const std::array<double, 3>& px,
+                  const std::array<double, 3>& py) {
+  const double b0 = py[1] - py[2], b1 = py[2] - py[0], b2 = py[0] - py[1];
+  const double c0 = px[2] - px[1], c1 = px[0] - px[2], c2 = px[1] - px[0];
+  const double area2 = px[0] * b0 + px[1] * b1 + px[2] * b2;  // 2*area
+  TSEM_REQUIRE(std::fabs(area2) > 0.0);
+  const double coef = 1.0 / (2.0 * std::fabs(area2));
+  const double b[3] = {b0, b1, b2};
+  const double c[3] = {c0, c1, c2};
+  for (int i = 0; i < 3; ++i) {
+    if (idx[i] < 0) continue;
+    for (int j = 0; j < 3; ++j) {
+      if (idx[j] < 0) continue;
+      a[idx[i] * n + idx[j]] += coef * (b[i] * b[j] + c[i] * c[j]);
+    }
+  }
+}
+
+// P1 stiffness of a tetrahedron from vertex coordinates.
+void add_tet(double* a, int n, const std::array<int, 4>& idx,
+             const std::array<std::array<double, 3>, 4>& p) {
+  // Gradients of the barycentric basis: solve from the edge matrix.
+  double m[9];
+  for (int c = 0; c < 3; ++c) {
+    m[0 * 3 + c] = p[1][c] - p[0][c];
+    m[1 * 3 + c] = p[2][c] - p[0][c];
+    m[2 * 3 + c] = p[3][c] - p[0][c];
+  }
+  const double det = m[0] * (m[4] * m[8] - m[5] * m[7]) -
+                     m[1] * (m[3] * m[8] - m[5] * m[6]) +
+                     m[2] * (m[3] * m[7] - m[4] * m[6]);
+  TSEM_REQUIRE(std::fabs(det) > 0.0);
+  const double vol = std::fabs(det) / 6.0;
+  // inverse transpose of m gives gradients of barycentric coords 1..3.
+  const double inv[9] = {
+      (m[4] * m[8] - m[5] * m[7]) / det, (m[2] * m[7] - m[1] * m[8]) / det,
+      (m[1] * m[5] - m[2] * m[4]) / det, (m[5] * m[6] - m[3] * m[8]) / det,
+      (m[0] * m[8] - m[2] * m[6]) / det, (m[2] * m[3] - m[0] * m[5]) / det,
+      (m[3] * m[7] - m[4] * m[6]) / det, (m[1] * m[6] - m[0] * m[7]) / det,
+      (m[0] * m[4] - m[1] * m[3]) / det};
+  double g[4][3];
+  for (int c = 0; c < 3; ++c) {
+    g[1][c] = inv[c * 3 + 0];
+    g[2][c] = inv[c * 3 + 1];
+    g[3][c] = inv[c * 3 + 2];
+    g[0][c] = -(g[1][c] + g[2][c] + g[3][c]);
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (idx[i] < 0) continue;
+    for (int j = 0; j < 4; ++j) {
+      if (idx[j] < 0) continue;
+      double s = 0.0;
+      for (int c = 0; c < 3; ++c) s += g[i][c] * g[j][c];
+      a[idx[i] * n + idx[j]] += vol * s;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> p1_laplacian_2d(const std::vector<double>& xs,
+                                    const std::vector<double>& ys) {
+  const int nx = static_cast<int>(xs.size());
+  const int ny = static_cast<int>(ys.size());
+  TSEM_REQUIRE(nx >= 3 && ny >= 3);
+  const int mx = nx - 2, my = ny - 2;
+  const int n = mx * my;
+  auto interior = [&](int i, int j) -> int {
+    if (i <= 0 || i >= nx - 1 || j <= 0 || j >= ny - 1) return -1;
+    return (j - 1) * mx + (i - 1);
+  };
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j + 1 < ny; ++j) {
+    for (int i = 0; i + 1 < nx; ++i) {
+      const std::array<int, 3> t1 = {interior(i, j), interior(i + 1, j),
+                                     interior(i + 1, j + 1)};
+      const std::array<int, 3> t2 = {interior(i, j), interior(i + 1, j + 1),
+                                     interior(i, j + 1)};
+      add_triangle(a.data(), n, t1, {xs[i], xs[i + 1], xs[i + 1]},
+                   {ys[j], ys[j], ys[j + 1]});
+      add_triangle(a.data(), n, t2, {xs[i], xs[i + 1], xs[i]},
+                   {ys[j], ys[j + 1], ys[j + 1]});
+    }
+  }
+  return a;
+}
+
+std::vector<double> p1_laplacian_3d(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    const std::vector<double>& zs) {
+  const int nx = static_cast<int>(xs.size());
+  const int ny = static_cast<int>(ys.size());
+  const int nz = static_cast<int>(zs.size());
+  TSEM_REQUIRE(nx >= 3 && ny >= 3 && nz >= 3);
+  const int mx = nx - 2, my = ny - 2, mz = nz - 2;
+  const int n = mx * my * mz;
+  auto interior = [&](int i, int j, int k) -> int {
+    if (i <= 0 || i >= nx - 1 || j <= 0 || j >= ny - 1 || k <= 0 ||
+        k >= nz - 1)
+      return -1;
+    return ((k - 1) * my + (j - 1)) * mx + (i - 1);
+  };
+  // Kuhn split of the unit cube into 6 tets (vertex order: binary corners).
+  static const int kTets[6][4] = {{0, 1, 3, 7}, {0, 1, 5, 7}, {0, 2, 3, 7},
+                                  {0, 2, 6, 7}, {0, 4, 5, 7}, {0, 4, 6, 7}};
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int k = 0; k + 1 < nz; ++k)
+    for (int j = 0; j + 1 < ny; ++j)
+      for (int i = 0; i + 1 < nx; ++i) {
+        int cid[8];
+        std::array<std::array<double, 3>, 8> cpt;
+        for (int c = 0; c < 8; ++c) {
+          const int ii = i + (c & 1), jj = j + ((c >> 1) & 1),
+                    kk = k + ((c >> 2) & 1);
+          cid[c] = interior(ii, jj, kk);
+          cpt[c] = {xs[ii], ys[jj], zs[kk]};
+        }
+        for (const auto& t : kTets) {
+          add_tet(a.data(), n, {cid[t[0]], cid[t[1]], cid[t[2]], cid[t[3]]},
+                  {cpt[t[0]], cpt[t[1]], cpt[t[2]], cpt[t[3]]});
+        }
+      }
+  return a;
+}
+
+CsrMatrix q1_vertex_laplacian(const Mesh& mesh) {
+  const int nv = static_cast<int>(mesh.nvert);
+  std::vector<Triplet> trip;
+  const int n1 = mesh.n1d();
+  // 2-point Gauss quadrature in each direction.
+  const double gq = 1.0 / std::sqrt(3.0);
+  if (mesh.dim == 2) {
+    for (int e = 0; e < mesh.nelem; ++e) {
+      double cx[4], cy[4];
+      for (int c = 0; c < 4; ++c) {
+        const int a = c & 1, b = (c >> 1) & 1;
+        const std::size_t idx = static_cast<std::size_t>(e) * mesh.npe +
+                                static_cast<std::size_t>(b * mesh.order) * n1 +
+                                a * mesh.order;
+        cx[c] = mesh.x[idx];
+        cy[c] = mesh.y[idx];
+      }
+      double k[4][4] = {};
+      for (int qj = 0; qj < 2; ++qj)
+        for (int qi = 0; qi < 2; ++qi) {
+          const double r = (qi == 0 ? -gq : gq), s = (qj == 0 ? -gq : gq);
+          // dN/dr, dN/ds for N_c = (1 +- r)(1 +- s)/4.
+          double dr[4], ds[4];
+          for (int c = 0; c < 4; ++c) {
+            const double sr = (c & 1) ? 1.0 : -1.0;
+            const double ss = (c & 2) ? 1.0 : -1.0;
+            dr[c] = sr * (1.0 + ss * s) * 0.25;
+            ds[c] = ss * (1.0 + sr * r) * 0.25;
+          }
+          double xr = 0, xs = 0, yr = 0, ys = 0;
+          for (int c = 0; c < 4; ++c) {
+            xr += dr[c] * cx[c];
+            xs += ds[c] * cx[c];
+            yr += dr[c] * cy[c];
+            ys += ds[c] * cy[c];
+          }
+          const double jac = xr * ys - xs * yr;
+          TSEM_REQUIRE(jac > 0.0);
+          double gx[4], gy[4];
+          for (int c = 0; c < 4; ++c) {
+            gx[c] = (dr[c] * ys - ds[c] * yr) / jac;
+            gy[c] = (-dr[c] * xs + ds[c] * xr) / jac;
+          }
+          for (int a = 0; a < 4; ++a)
+            for (int b = 0; b < 4; ++b)
+              k[a][b] += (gx[a] * gx[b] + gy[a] * gy[b]) * jac;
+        }
+      const std::int64_t* v = &mesh.vert_id[static_cast<std::size_t>(e) * 4];
+      for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+          trip.push_back({static_cast<std::int32_t>(v[a]),
+                          static_cast<std::int32_t>(v[b]), k[a][b]});
+    }
+  } else {
+    for (int e = 0; e < mesh.nelem; ++e) {
+      double cx[8], cy[8], cz[8];
+      for (int c = 0; c < 8; ++c) {
+        const int a = c & 1, b = (c >> 1) & 1, d = (c >> 2) & 1;
+        const std::size_t idx =
+            static_cast<std::size_t>(e) * mesh.npe +
+            (static_cast<std::size_t>(d * mesh.order) * n1 + b * mesh.order) *
+                n1 +
+            a * mesh.order;
+        cx[c] = mesh.x[idx];
+        cy[c] = mesh.y[idx];
+        cz[c] = mesh.z[idx];
+      }
+      double k[8][8] = {};
+      for (int qk = 0; qk < 2; ++qk)
+        for (int qj = 0; qj < 2; ++qj)
+          for (int qi = 0; qi < 2; ++qi) {
+            const double r = (qi == 0 ? -gq : gq), s = (qj == 0 ? -gq : gq),
+                         t = (qk == 0 ? -gq : gq);
+            double dr[8], ds[8], dt[8];
+            for (int c = 0; c < 8; ++c) {
+              const double sr = (c & 1) ? 1.0 : -1.0;
+              const double ss = (c & 2) ? 1.0 : -1.0;
+              const double st = (c & 4) ? 1.0 : -1.0;
+              dr[c] = sr * (1 + ss * s) * (1 + st * t) * 0.125;
+              ds[c] = ss * (1 + sr * r) * (1 + st * t) * 0.125;
+              dt[c] = st * (1 + sr * r) * (1 + ss * s) * 0.125;
+            }
+            double xr = 0, xs = 0, xt = 0, yr = 0, ys = 0, yt = 0, zr = 0,
+                   zs = 0, zt = 0;
+            for (int c = 0; c < 8; ++c) {
+              xr += dr[c] * cx[c];
+              xs += ds[c] * cx[c];
+              xt += dt[c] * cx[c];
+              yr += dr[c] * cy[c];
+              ys += ds[c] * cy[c];
+              yt += dt[c] * cy[c];
+              zr += dr[c] * cz[c];
+              zs += ds[c] * cz[c];
+              zt += dt[c] * cz[c];
+            }
+            const double jac = xr * (ys * zt - yt * zs) -
+                               xs * (yr * zt - yt * zr) +
+                               xt * (yr * zs - ys * zr);
+            TSEM_REQUIRE(jac > 0.0);
+            const double rx = (ys * zt - yt * zs) / jac;
+            const double ry = (xt * zs - xs * zt) / jac;
+            const double rz = (xs * yt - xt * ys) / jac;
+            const double sx = (yt * zr - yr * zt) / jac;
+            const double sy = (xr * zt - xt * zr) / jac;
+            const double sz = (xt * yr - xr * yt) / jac;
+            const double tx = (yr * zs - ys * zr) / jac;
+            const double ty = (xs * zr - xr * zs) / jac;
+            const double tz = (xr * ys - xs * yr) / jac;
+            double gx[8], gy[8], gz[8];
+            for (int c = 0; c < 8; ++c) {
+              gx[c] = dr[c] * rx + ds[c] * sx + dt[c] * tx;
+              gy[c] = dr[c] * ry + ds[c] * sy + dt[c] * ty;
+              gz[c] = dr[c] * rz + ds[c] * sz + dt[c] * tz;
+            }
+            for (int a = 0; a < 8; ++a)
+              for (int b = 0; b < 8; ++b)
+                k[a][b] +=
+                    (gx[a] * gx[b] + gy[a] * gy[b] + gz[a] * gz[b]) * jac;
+          }
+      const std::int64_t* v = &mesh.vert_id[static_cast<std::size_t>(e) * 8];
+      for (int a = 0; a < 8; ++a)
+        for (int b = 0; b < 8; ++b)
+          trip.push_back({static_cast<std::int32_t>(v[a]),
+                          static_cast<std::int32_t>(v[b]), k[a][b]});
+    }
+  }
+  return CsrMatrix(nv, std::move(trip));
+}
+
+void vertex_coords(const Mesh& mesh, std::vector<double>& vx,
+                   std::vector<double>& vy, std::vector<double>& vz) {
+  vx.assign(mesh.nvert, 0.0);
+  vy.assign(mesh.nvert, 0.0);
+  vz.assign(mesh.nvert, 0.0);
+  const int ncorner = 1 << mesh.dim;
+  const int n1 = mesh.n1d();
+  for (int e = 0; e < mesh.nelem; ++e) {
+    for (int c = 0; c < ncorner; ++c) {
+      const int a = c & 1, b = (c >> 1) & 1, d = (c >> 2) & 1;
+      std::size_t idx = static_cast<std::size_t>(e) * mesh.npe;
+      if (mesh.dim == 2)
+        idx += static_cast<std::size_t>(b * mesh.order) * n1 + a * mesh.order;
+      else
+        idx += (static_cast<std::size_t>(d * mesh.order) * n1 +
+                b * mesh.order) *
+                   n1 +
+               a * mesh.order;
+      const auto v = mesh.vert_id[static_cast<std::size_t>(e) * ncorner + c];
+      vx[v] = mesh.x[idx];
+      vy[v] = mesh.y[idx];
+      if (mesh.dim == 3) vz[v] = mesh.z[idx];
+    }
+  }
+}
+
+CsrMatrix poisson5(int nx, int ny) {
+  const int n = nx * ny;
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(n) * 5);
+  auto id = [nx](int i, int j) { return j * nx + i; };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      const std::int32_t r = id(i, j);
+      trip.push_back({r, r, 4.0});
+      if (i > 0) trip.push_back({r, id(i - 1, j), -1.0});
+      if (i < nx - 1) trip.push_back({r, id(i + 1, j), -1.0});
+      if (j > 0) trip.push_back({r, id(i, j - 1), -1.0});
+      if (j < ny - 1) trip.push_back({r, id(i, j + 1), -1.0});
+    }
+  return CsrMatrix(n, std::move(trip));
+}
+
+}  // namespace tsem

@@ -1,0 +1,56 @@
+// Low-order finite element substrate.
+//
+// Three roles in the paper's solver stack:
+//   * 1D P1 stiffness/mass on arbitrary point sets — the building blocks
+//     of the tensor-product Schwarz local problems (paper eq. (2) form)
+//     consumed by the fast diagonalization method;
+//   * P1 (simplex) Laplacians on tensor subgrids — the paper's
+//     "FEM-based" Schwarz local-solve baseline (Fig 5 left, Table 2),
+//     which requires a real factorization instead of FDM;
+//   * Q1 Laplacian on the spectral element vertex mesh — the coarse-grid
+//     operator A_0 — and the 5-point-stencil Poisson matrices of the
+//     Fig 6 coarse-solver study.
+#pragma once
+
+#include <vector>
+
+#include "common/csr.hpp"
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+/// 1D P1 FEM on nodes pts[0..n-1] with homogeneous Dirichlet at both
+/// endpoints: dense (n-2)^2 stiffness over the interior nodes and the
+/// lumped-mass diagonal.
+void fem1d_operators(const std::vector<double>& pts, std::vector<double>& a,
+                     std::vector<double>& b_lumped);
+
+/// P1 Laplacian on the tensor grid xs x ys (each quad cell split into two
+/// triangles), homogeneous Dirichlet on the outer ring.  Returns the dense
+/// matrix over the (nx-2)*(ny-2) interior points, x fastest.
+std::vector<double> p1_laplacian_2d(const std::vector<double>& xs,
+                                    const std::vector<double>& ys);
+
+/// P1 Laplacian on the tensor grid xs x ys x zs (each hex cell split into
+/// six tetrahedra), Dirichlet on the outer shell.  Dense over interior
+/// points, x fastest.
+std::vector<double> p1_laplacian_3d(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    const std::vector<double>& zs);
+
+/// Q1 (bi/trilinear) Laplacian assembled on the spectral element vertex
+/// mesh — the coarse-grid operator A_0 (paper §5).  One Q1 cell per
+/// spectral element, using the element corner coordinates.
+CsrMatrix q1_vertex_laplacian(const Mesh& mesh);
+
+/// Vertex coordinates (nvert entries per component) extracted from the
+/// mesh corner data, for partitioning / nested dissection of A_0.
+void vertex_coords(const Mesh& mesh, std::vector<double>& vx,
+                   std::vector<double>& vy, std::vector<double>& vz);
+
+/// 5-point-stencil Poisson matrix on an nx x ny interior grid of the unit
+/// square (Dirichlet boundary eliminated) — the Fig 6 model problem
+/// (nx = ny = 63 -> n = 3969; 127 -> 16129).
+CsrMatrix poisson5(int nx, int ny);
+
+}  // namespace tsem

@@ -1,0 +1,160 @@
+#include "gs/gather_scatter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+GatherScatter::GatherScatter(const std::int64_t* ids, std::size_t n) {
+  nlocal_ = n;
+  // Sort local indices by id to find groups and assign dense ids.
+  std::vector<std::int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return ids[a] < ids[b] || (ids[a] == ids[b] && a < b);
+  });
+  dense_id_.resize(n);
+  group_offset_.push_back(0);
+  std::size_t i = 0;
+  std::int64_t dense = -1;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && ids[order[j]] == ids[order[i]]) ++j;
+    ++dense;
+    for (std::size_t k = i; k < j; ++k) dense_id_[order[k]] = dense;
+    if (j - i >= 2) {
+      for (std::size_t k = i; k < j; ++k) gather_ix_.push_back(order[k]);
+      group_offset_.push_back(static_cast<std::int32_t>(gather_ix_.size()));
+    }
+    i = j;
+  }
+  nglobal_ = dense + 1;
+}
+
+namespace {
+
+inline double reduce_init(GsOp o) {
+  switch (o) {
+    case GsOp::Add: return 0.0;
+    case GsOp::Mul: return 1.0;
+    case GsOp::Min: return std::numeric_limits<double>::infinity();
+    case GsOp::Max: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+inline double reduce_apply(GsOp o, double a, double b) {
+  switch (o) {
+    case GsOp::Add: return a + b;
+    case GsOp::Mul: return a * b;
+    case GsOp::Min: return a < b ? a : b;
+    case GsOp::Max: return a > b ? a : b;
+  }
+  return a;
+}
+
+}  // namespace
+
+void GatherScatter::op(double* u, GsOp o) const {
+  const std::size_t ng = ngroups();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (ng > 4096)
+#endif
+  for (std::size_t g = 0; g < ng; ++g) {
+    const std::int32_t b = group_offset_[g];
+    const std::int32_t e = group_offset_[g + 1];
+    double acc = reduce_init(o);
+    for (std::int32_t k = b; k < e; ++k)
+      acc = reduce_apply(o, acc, u[gather_ix_[k]]);
+    for (std::int32_t k = b; k < e; ++k) u[gather_ix_[k]] = acc;
+  }
+}
+
+void GatherScatter::op_vec(double* u, int m, GsOp o) const {
+  const std::size_t ng = ngroups();
+  for (std::size_t g = 0; g < ng; ++g) {
+    const std::int32_t b = group_offset_[g];
+    const std::int32_t e = group_offset_[g + 1];
+    for (int c = 0; c < m; ++c) {
+      double acc = reduce_init(o);
+      for (std::int32_t k = b; k < e; ++k)
+        acc = reduce_apply(o, acc, u[static_cast<std::size_t>(gather_ix_[k]) * m + c]);
+      for (std::int32_t k = b; k < e; ++k)
+        u[static_cast<std::size_t>(gather_ix_[k]) * m + c] = acc;
+    }
+  }
+}
+
+std::vector<double> GatherScatter::multiplicity() const {
+  std::vector<double> mult(nlocal_, 1.0);
+  for (std::size_t g = 0; g < ngroups(); ++g) {
+    const std::int32_t b = group_offset_[g];
+    const std::int32_t e = group_offset_[g + 1];
+    for (std::int32_t k = b; k < e; ++k)
+      mult[gather_ix_[k]] = static_cast<double>(e - b);
+  }
+  return mult;
+}
+
+void GatherScatter::local_to_global(const double* u, double* ug) const {
+  std::fill(ug, ug + nglobal_, 0.0);
+  for (std::size_t i = 0; i < nlocal_; ++i) ug[dense_id_[i]] += u[i];
+}
+
+void GatherScatter::global_to_local(const double* ug, double* u) const {
+  for (std::size_t i = 0; i < nlocal_; ++i) u[i] = ug[dense_id_[i]];
+}
+
+std::int64_t CommProfile::max_send_words() const {
+  std::int64_t m = 0;
+  for (auto v : send_words) m = std::max(m, v);
+  return m;
+}
+
+int CommProfile::max_neighbors() const {
+  int m = 0;
+  for (auto v : neighbors) m = std::max(m, v);
+  return m;
+}
+
+CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
+                            const std::vector<int>& elem_rank, int nranks) {
+  TSEM_REQUIRE(npe > 0);
+  TSEM_REQUIRE(ids.size() % static_cast<std::size_t>(npe) == 0);
+  const std::size_t nelem = ids.size() / npe;
+  TSEM_REQUIRE(elem_rank.size() == nelem);
+
+  // For every global id, the set of ranks that own a copy.
+  std::map<std::int64_t, std::set<int>> ranks_of;
+  for (std::size_t e = 0; e < nelem; ++e) {
+    const int r = elem_rank[e];
+    TSEM_REQUIRE(r >= 0 && r < nranks);
+    for (int n = 0; n < npe; ++n) ranks_of[ids[e * npe + n]].insert(r);
+  }
+
+  CommProfile prof;
+  prof.nranks = nranks;
+  prof.send_words.assign(nranks, 0);
+  std::vector<std::set<int>> nbr(nranks);
+  for (const auto& [id, rs] : ranks_of) {
+    if (rs.size() < 2) continue;
+    // Pairwise exchange: each sharing rank sends this id's value to every
+    // other sharing rank (the stand-alone gs utility's pairwise mode).
+    for (int r : rs) {
+      prof.send_words[r] += static_cast<std::int64_t>(rs.size()) - 1;
+      for (int q : rs)
+        if (q != r) nbr[r].insert(q);
+    }
+  }
+  prof.neighbors.resize(nranks);
+  for (int r = 0; r < nranks; ++r)
+    prof.neighbors[r] = static_cast<int>(nbr[r].size());
+  return prof;
+}
+
+}  // namespace tsem

@@ -1,0 +1,90 @@
+// Gather-scatter utility (paper §6, ref. [27]).
+//
+// The principal communication kernel of the code: residual-vector
+// assembly ("direct stiffness summation").  Data is stored
+// element-by-element; nodal values shared by adjacent elements are
+// exchanged and reduced in a single local-to-local transformation —
+// there are no separate gather and scatter phases.
+//
+// Mirrors the paper's two-call interface:
+//     handle = gs_init(global_node_numbers, n)
+//     ierr   = gs_op(u, op, handle)
+// as   GatherScatter gs(ids);  gs.op(u, GsOp::Add);
+// with the same general commutative/associative operation set and a
+// vector mode for multiple degrees of freedom per node.
+//
+// The numerics are executed in-process; CommProfile reports, for a given
+// element-to-rank partition, the exact pairwise exchange lists a
+// message-passing execution would need (used by the simulated-machine
+// cost models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsem {
+
+enum class GsOp { Add, Mul, Min, Max };
+
+class GatherScatter {
+ public:
+  GatherScatter() = default;
+  /// ids[i] is the global number of local value i; values with equal ids
+  /// are reduced together.
+  GatherScatter(const std::int64_t* ids, std::size_t n);
+  explicit GatherScatter(const std::vector<std::int64_t>& ids)
+      : GatherScatter(ids.data(), ids.size()) {}
+
+  /// Exchange-and-reduce in place: after the call every member of a
+  /// shared-id group holds the reduction over the group.
+  void op(double* u, GsOp o = GsOp::Add) const;
+
+  /// Vector mode: u holds m consecutive values per node (AoS layout).
+  void op_vec(double* u, int m, GsOp o = GsOp::Add) const;
+
+  /// Multiplicity (number of local copies) of each local value.
+  [[nodiscard]] std::vector<double> multiplicity() const;
+
+  [[nodiscard]] std::size_t nlocal() const { return nlocal_; }
+  /// Number of shared-id groups (ids with multiplicity >= 2).
+  [[nodiscard]] std::size_t ngroups() const {
+    return group_offset_.empty() ? 0 : group_offset_.size() - 1;
+  }
+
+  /// Sum local values into a compact global vector (size = #distinct ids,
+  /// indexed by dense id order) and the reverse broadcast.  Used by the
+  /// coarse-grid solvers where a globally indexed vector is required.
+  void local_to_global(const double* u, double* ug) const;
+  void global_to_local(const double* ug, double* u) const;
+  [[nodiscard]] std::int64_t nglobal() const { return nglobal_; }
+  /// Dense global index of local value i (in [0, nglobal)).
+  [[nodiscard]] const std::vector<std::int64_t>& dense_id() const {
+    return dense_id_;
+  }
+
+ private:
+  std::size_t nlocal_ = 0;
+  std::int64_t nglobal_ = 0;
+  std::vector<std::int64_t> dense_id_;   // local -> dense global
+  std::vector<std::int32_t> gather_ix_;  // members of shared groups
+  std::vector<std::int32_t> group_offset_;
+};
+
+/// Message-passing profile of a gather-scatter under an element partition.
+struct CommProfile {
+  int nranks = 0;
+  /// For each rank: number of distinct neighbor ranks it exchanges with.
+  std::vector<int> neighbors;
+  /// For each rank: total words sent per gs_op (sum over neighbors of the
+  /// number of shared interface nodes with that neighbor).
+  std::vector<std::int64_t> send_words;
+  [[nodiscard]] std::int64_t max_send_words() const;
+  [[nodiscard]] int max_neighbors() const;
+};
+
+/// Compute the exchange profile: ids per local node (element-major),
+/// npe nodes per element, elem_rank[e] in [0, nranks).
+CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
+                            const std::vector<int>& elem_rank, int nranks);
+
+}  // namespace tsem

@@ -1,0 +1,72 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+bool write_vtk(const Mesh& mesh, const std::vector<VtkField>& fields,
+               const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t npts = mesh.nlocal();
+  const int n1 = mesh.n1d();
+  const int order = mesh.order;
+
+  std::fprintf(f, "# vtk DataFile Version 3.0\n");
+  std::fprintf(f, "terasem spectral element field\n");
+  std::fprintf(f, "ASCII\nDATASET UNSTRUCTURED_GRID\n");
+  std::fprintf(f, "POINTS %zu double\n", npts);
+  for (std::size_t i = 0; i < npts; ++i)
+    std::fprintf(f, "%.9g %.9g %.9g\n", mesh.x[i], mesh.y[i],
+                 mesh.dim == 3 ? mesh.z[i] : 0.0);
+
+  // Each element contributes N^d linear sub-cells over its GLL grid.
+  const long cells_per_elem =
+      mesh.dim == 2 ? static_cast<long>(order) * order
+                    : static_cast<long>(order) * order * order;
+  const long ncells = cells_per_elem * mesh.nelem;
+  const int verts = mesh.dim == 2 ? 4 : 8;
+  std::fprintf(f, "CELLS %ld %ld\n", ncells, ncells * (verts + 1));
+  for (int e = 0; e < mesh.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * mesh.npe;
+    if (mesh.dim == 2) {
+      for (int j = 0; j < order; ++j)
+        for (int i = 0; i < order; ++i) {
+          const std::size_t p00 = off + static_cast<std::size_t>(j) * n1 + i;
+          std::fprintf(f, "4 %zu %zu %zu %zu\n", p00, p00 + 1, p00 + n1 + 1,
+                       p00 + n1);
+        }
+    } else {
+      for (int k = 0; k < order; ++k)
+        for (int j = 0; j < order; ++j)
+          for (int i = 0; i < order; ++i) {
+            const std::size_t p =
+                off + (static_cast<std::size_t>(k) * n1 + j) * n1 + i;
+            const std::size_t dz = static_cast<std::size_t>(n1) * n1;
+            std::fprintf(f, "8 %zu %zu %zu %zu %zu %zu %zu %zu\n", p, p + 1,
+                         p + n1 + 1, p + n1, p + dz, p + dz + 1,
+                         p + dz + n1 + 1, p + dz + n1);
+          }
+    }
+  }
+  std::fprintf(f, "CELL_TYPES %ld\n", ncells);
+  const int ctype = mesh.dim == 2 ? 9 : 12;  // VTK_QUAD / VTK_HEXAHEDRON
+  for (long c = 0; c < ncells; ++c) std::fprintf(f, "%d\n", ctype);
+
+  if (!fields.empty()) {
+    std::fprintf(f, "POINT_DATA %zu\n", npts);
+    for (const auto& field : fields) {
+      TSEM_REQUIRE(field.data != nullptr);
+      std::fprintf(f, "SCALARS %s double 1\nLOOKUP_TABLE default\n",
+                   field.name.c_str());
+      for (std::size_t i = 0; i < npts; ++i)
+        std::fprintf(f, "%.9g\n", field.data[i]);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tsem

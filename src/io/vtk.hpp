@@ -1,0 +1,26 @@
+// Legacy VTK output of spectral element fields.
+//
+// Writes the GLL point cloud as an unstructured grid of linear
+// quads/hexahedra (each element's GLL subgrid is split into N^d cells),
+// with any number of named point fields — enough for ParaView/VisIt to
+// render the Fig 1/Fig 7-style visualizations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+struct VtkField {
+  std::string name;
+  const double* data;  ///< nlocal values (element-by-element storage)
+};
+
+/// Write mesh + fields to `path` in legacy VTK (ASCII).  Returns false on
+/// I/O failure.
+bool write_vtk(const Mesh& mesh, const std::vector<VtkField>& fields,
+               const std::string& path);
+
+}  // namespace tsem

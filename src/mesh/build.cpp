@@ -1,0 +1,384 @@
+#include "mesh/build.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "mesh/point_numberer.hpp"
+#include "poly/basis1d.hpp"
+#include "tensor/tensor_apply.hpp"
+
+namespace tsem {
+namespace {
+
+double wrap(double v, bool periodic, double lo, double hi, double tol) {
+  if (periodic && std::fabs(v - hi) < tol) return lo;
+  return v;
+}
+
+struct BBox {
+  double diag = 0.0;
+};
+
+BBox bbox_of(const std::vector<double>& x, const std::vector<double>& y,
+             const std::vector<double>& z) {
+  double lo[3] = {1e300, 1e300, 1e300}, hi[3] = {-1e300, -1e300, -1e300};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    lo[0] = std::min(lo[0], x[i]);
+    hi[0] = std::max(hi[0], x[i]);
+    lo[1] = std::min(lo[1], y[i]);
+    hi[1] = std::max(hi[1], y[i]);
+    if (!z.empty()) {
+      lo[2] = std::min(lo[2], z[i]);
+      hi[2] = std::max(hi[2], z[i]);
+    }
+  }
+  const double dz = z.empty() ? 0.0 : hi[2] - lo[2];
+  return {std::sqrt((hi[0] - lo[0]) * (hi[0] - lo[0]) +
+                    (hi[1] - lo[1]) * (hi[1] - lo[1]) + dz * dz)};
+}
+
+}  // namespace
+
+double Mesh::bbox_diag() const { return bbox_of(x, y, z).diag; }
+
+Mesh build_mesh(const MeshSpec2D& spec, int order) {
+  TSEM_REQUIRE(!spec.elems.empty());
+  TSEM_REQUIRE(order >= 2);
+  Mesh m;
+  m.dim = 2;
+  m.order = order;
+  m.nelem = static_cast<int>(spec.elems.size());
+  const int n1 = order + 1;
+  m.npe = n1 * n1;
+  const std::size_t nl = m.nlocal();
+  const auto& basis = Basis1D::get(order);
+
+  m.x.resize(nl);
+  m.y.resize(nl);
+  for (int e = 0; e < m.nelem; ++e) {
+    const auto& map = spec.elems[e];
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i) {
+        const auto p = map(basis.z[i], basis.z[j]);
+        const std::size_t idx = static_cast<std::size_t>(e) * m.npe + j * n1 + i;
+        m.x[idx] = p[0];
+        m.y[idx] = p[1];
+      }
+  }
+
+  const double diag = bbox_of(m.x, m.y, m.z).diag;
+  const double tol = 1e-8 * diag;
+  const double cell = 1e-5 * diag;
+
+  // ---- C0 global numbering (with periodic identification) ----
+  m.node_id.resize(nl);
+  {
+    PointNumberer num(cell, tol);
+    const double ptol_x = 1e-8 * (spec.x_hi - spec.x_lo + diag);
+    const double ptol_y = 1e-8 * (spec.y_hi - spec.y_lo + diag);
+    for (std::size_t i = 0; i < nl; ++i) {
+      const double xx =
+          wrap(m.x[i], spec.periodic_x, spec.x_lo, spec.x_hi, ptol_x);
+      const double yy =
+          wrap(m.y[i], spec.periodic_y, spec.y_lo, spec.y_hi, ptol_y);
+      m.node_id[i] = num.id_of(xx, yy, 0.0);
+    }
+    m.nglob = num.count();
+  }
+
+  // ---- corner-vertex numbering ----
+  m.vert_id.resize(static_cast<std::size_t>(m.nelem) * 4);
+  {
+    PointNumberer num(cell, tol);
+    const double ptol_x = 1e-8 * (spec.x_hi - spec.x_lo + diag);
+    const double ptol_y = 1e-8 * (spec.y_hi - spec.y_lo + diag);
+    for (int e = 0; e < m.nelem; ++e) {
+      for (int b = 0; b < 2; ++b)
+        for (int a = 0; a < 2; ++a) {
+          const std::size_t idx =
+              static_cast<std::size_t>(e) * m.npe + (b * order) * n1 + a * order;
+          const double xx =
+              wrap(m.x[idx], spec.periodic_x, spec.x_lo, spec.x_hi, ptol_x);
+          const double yy =
+              wrap(m.y[idx], spec.periodic_y, spec.y_lo, spec.y_hi, ptol_y);
+          m.vert_id[e * 4 + b * 2 + a] = num.id_of(xx, yy, 0.0);
+        }
+    }
+    m.nvert = num.count();
+  }
+
+  // ---- metrics and geometric factors ----
+  m.jac.resize(nl);
+  m.bm.resize(nl);
+  m.g.resize(3 * nl);
+  m.drdx.resize(4 * nl);
+  std::vector<double> xr(m.npe), xs(m.npe), yr(m.npe), ys(m.npe);
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+    tensor2_apply_x(basis.d.data(), n1, n1, m.x.data() + off, xr.data());
+    tensor2_apply_y(basis.d.data(), n1, n1, m.x.data() + off, xs.data());
+    tensor2_apply_x(basis.d.data(), n1, n1, m.y.data() + off, yr.data());
+    tensor2_apply_y(basis.d.data(), n1, n1, m.y.data() + off, ys.data());
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i) {
+        const int n = j * n1 + i;
+        const double jac = xr[n] * ys[n] - xs[n] * yr[n];
+        TSEM_REQUIRE(jac > 0.0);
+        const double rx = ys[n] / jac, ry = -xs[n] / jac;
+        const double sx = -yr[n] / jac, sy = xr[n] / jac;
+        const double w = basis.w[i] * basis.w[j];
+        m.jac[off + n] = jac;
+        m.bm[off + n] = w * jac;
+        m.g[0 * nl + off + n] = w * jac * (rx * rx + ry * ry);
+        m.g[1 * nl + off + n] = w * jac * (rx * sx + ry * sy);
+        m.g[2 * nl + off + n] = w * jac * (sx * sx + sy * sy);
+        m.drdx[0 * nl + off + n] = rx;
+        m.drdx[1 * nl + off + n] = ry;
+        m.drdx[2 * nl + off + n] = sx;
+        m.drdx[3 * nl + off + n] = sy;
+      }
+  }
+
+  // ---- boundary faces ----
+  m.bdry_bits.assign(nl, 0u);
+  // Face key = sorted pair of corner vertex ids; faces seen once are
+  // physical boundary.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> face_count;
+  auto face_key = [&](int e, int f) {
+    // f: 0 = s-lo, 1 = r-hi, 2 = s-hi, 3 = r-lo
+    const std::int64_t* v = &m.vert_id[static_cast<std::size_t>(e) * 4];
+    std::int64_t a, b;
+    switch (f) {
+      case 0: a = v[0]; b = v[1]; break;
+      case 1: a = v[1]; b = v[3]; break;
+      case 2: a = v[2]; b = v[3]; break;
+      default: a = v[0]; b = v[2]; break;
+    }
+    if (a > b) std::swap(a, b);
+    return std::make_pair(a, b);
+  };
+  for (int e = 0; e < m.nelem; ++e)
+    for (int f = 0; f < 4; ++f) ++face_count[face_key(e, f)];
+  auto face_nodes = [&](int e, int f, auto&& fn) {
+    for (int q = 0; q < n1; ++q) {
+      int i, j;
+      switch (f) {
+        case 0: i = q; j = 0; break;
+        case 1: i = order; j = q; break;
+        case 2: i = q; j = order; break;
+        default: i = 0; j = q; break;
+      }
+      fn(static_cast<std::size_t>(e) * m.npe + j * n1 + i);
+    }
+  };
+  for (int e = 0; e < m.nelem; ++e) {
+    for (int f = 0; f < 4; ++f) {
+      if (face_count[face_key(e, f)] != 1) continue;
+      // Centroid of the face (mean of its nodes).
+      double cx = 0, cy = 0;
+      face_nodes(e, f, [&](std::size_t idx) {
+        cx += m.x[idx];
+        cy += m.y[idx];
+      });
+      cx /= n1;
+      cy /= n1;
+      const int tag = spec.classify ? spec.classify(cx, cy, 0.0) : 0;
+      TSEM_REQUIRE(tag >= 0 && tag < 32);
+      face_nodes(e, f,
+                 [&](std::size_t idx) { m.bdry_bits[idx] |= 1u << tag; });
+    }
+  }
+
+  return m;
+}
+
+Mesh build_mesh(const MeshSpec3D& spec, int order) {
+  TSEM_REQUIRE(!spec.elems.empty());
+  TSEM_REQUIRE(order >= 2);
+  Mesh m;
+  m.dim = 3;
+  m.order = order;
+  m.nelem = static_cast<int>(spec.elems.size());
+  const int n1 = order + 1;
+  m.npe = n1 * n1 * n1;
+  const std::size_t nl = m.nlocal();
+  const auto& basis = Basis1D::get(order);
+
+  m.x.resize(nl);
+  m.y.resize(nl);
+  m.z.resize(nl);
+  for (int e = 0; e < m.nelem; ++e) {
+    const auto& map = spec.elems[e];
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j)
+        for (int i = 0; i < n1; ++i) {
+          const auto p = map(basis.z[i], basis.z[j], basis.z[k]);
+          const std::size_t idx = static_cast<std::size_t>(e) * m.npe +
+                                  (static_cast<std::size_t>(k) * n1 + j) * n1 +
+                                  i;
+          m.x[idx] = p[0];
+          m.y[idx] = p[1];
+          m.z[idx] = p[2];
+        }
+  }
+
+  const double diag = bbox_of(m.x, m.y, m.z).diag;
+  const double tol = 1e-8 * diag;
+  const double cell = 1e-5 * diag;
+  const double ptx = 1e-8 * (spec.x_hi - spec.x_lo + diag);
+  const double pty = 1e-8 * (spec.y_hi - spec.y_lo + diag);
+  const double ptz = 1e-8 * (spec.z_hi - spec.z_lo + diag);
+
+  auto wrapped = [&](std::size_t idx) {
+    return std::array<double, 3>{
+        wrap(m.x[idx], spec.periodic_x, spec.x_lo, spec.x_hi, ptx),
+        wrap(m.y[idx], spec.periodic_y, spec.y_lo, spec.y_hi, pty),
+        wrap(m.z[idx], spec.periodic_z, spec.z_lo, spec.z_hi, ptz)};
+  };
+
+  m.node_id.resize(nl);
+  {
+    PointNumberer num(cell, tol);
+    for (std::size_t i = 0; i < nl; ++i) {
+      const auto p = wrapped(i);
+      m.node_id[i] = num.id_of(p[0], p[1], p[2]);
+    }
+    m.nglob = num.count();
+  }
+
+  m.vert_id.resize(static_cast<std::size_t>(m.nelem) * 8);
+  {
+    PointNumberer num(cell, tol);
+    for (int e = 0; e < m.nelem; ++e) {
+      for (int c = 0; c < 2; ++c)
+        for (int b = 0; b < 2; ++b)
+          for (int a = 0; a < 2; ++a) {
+            const std::size_t idx =
+                static_cast<std::size_t>(e) * m.npe +
+                (static_cast<std::size_t>(c * order) * n1 + b * order) * n1 +
+                a * order;
+            const auto p = wrapped(idx);
+            m.vert_id[e * 8 + (c * 2 + b) * 2 + a] =
+                num.id_of(p[0], p[1], p[2]);
+          }
+    }
+    m.nvert = num.count();
+  }
+
+  // ---- metrics ----
+  m.jac.resize(nl);
+  m.bm.resize(nl);
+  m.g.resize(6 * nl);
+  m.drdx.resize(9 * nl);
+  std::vector<double> d[9];
+  for (auto& v : d) v.resize(m.npe);
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+    const double* coords[3] = {m.x.data() + off, m.y.data() + off,
+                               m.z.data() + off};
+    for (int c = 0; c < 3; ++c) {
+      tensor3_apply_x(basis.d.data(), n1, n1, n1, coords[c], d[c * 3 + 0].data());
+      tensor3_apply_y(basis.d.data(), n1, n1, n1, coords[c], d[c * 3 + 1].data());
+      tensor3_apply_z(basis.d.data(), n1, n1, n1, coords[c], d[c * 3 + 2].data());
+    }
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j)
+        for (int i = 0; i < n1; ++i) {
+          const int n = (k * n1 + j) * n1 + i;
+          const double xr = d[0][n], xs = d[1][n], xt = d[2][n];
+          const double yr = d[3][n], ys = d[4][n], yt = d[5][n];
+          const double zr = d[6][n], zs = d[7][n], zt = d[8][n];
+          const double jac = xr * (ys * zt - yt * zs) -
+                             xs * (yr * zt - yt * zr) +
+                             xt * (yr * zs - ys * zr);
+          TSEM_REQUIRE(jac > 0.0);
+          const double rx = (ys * zt - yt * zs) / jac;
+          const double ry = (xt * zs - xs * zt) / jac;
+          const double rz = (xs * yt - xt * ys) / jac;
+          const double sx = (yt * zr - yr * zt) / jac;
+          const double sy = (xr * zt - xt * zr) / jac;
+          const double sz = (xt * yr - xr * yt) / jac;
+          const double tx = (yr * zs - ys * zr) / jac;
+          const double ty = (xs * zr - xr * zs) / jac;
+          const double tz = (xr * ys - xs * yr) / jac;
+          const double w = basis.w[i] * basis.w[j] * basis.w[k];
+          m.jac[off + n] = jac;
+          m.bm[off + n] = w * jac;
+          const double wj = w * jac;
+          m.g[0 * nl + off + n] = wj * (rx * rx + ry * ry + rz * rz);
+          m.g[1 * nl + off + n] = wj * (rx * sx + ry * sy + rz * sz);
+          m.g[2 * nl + off + n] = wj * (rx * tx + ry * ty + rz * tz);
+          m.g[3 * nl + off + n] = wj * (sx * sx + sy * sy + sz * sz);
+          m.g[4 * nl + off + n] = wj * (sx * tx + sy * ty + sz * tz);
+          m.g[5 * nl + off + n] = wj * (tx * tx + ty * ty + tz * tz);
+          const double dr[9] = {rx, ry, rz, sx, sy, sz, tx, ty, tz};
+          for (int c = 0; c < 9; ++c) m.drdx[c * nl + off + n] = dr[c];
+        }
+  }
+
+  // ---- boundary faces ----
+  m.bdry_bits.assign(nl, 0u);
+  std::map<std::array<std::int64_t, 4>, int> face_count;
+  // Local faces: 0 r-lo, 1 r-hi, 2 s-lo, 3 s-hi, 4 t-lo, 5 t-hi.
+  auto face_verts = [&](int e, int f) {
+    const std::int64_t* v = &m.vert_id[static_cast<std::size_t>(e) * 8];
+    std::array<std::int64_t, 4> key{};
+    auto vid = [&](int a, int b, int c) { return v[(c * 2 + b) * 2 + a]; };
+    switch (f) {
+      case 0: key = {vid(0, 0, 0), vid(0, 1, 0), vid(0, 0, 1), vid(0, 1, 1)}; break;
+      case 1: key = {vid(1, 0, 0), vid(1, 1, 0), vid(1, 0, 1), vid(1, 1, 1)}; break;
+      case 2: key = {vid(0, 0, 0), vid(1, 0, 0), vid(0, 0, 1), vid(1, 0, 1)}; break;
+      case 3: key = {vid(0, 1, 0), vid(1, 1, 0), vid(0, 1, 1), vid(1, 1, 1)}; break;
+      case 4: key = {vid(0, 0, 0), vid(1, 0, 0), vid(0, 1, 0), vid(1, 1, 0)}; break;
+      default: key = {vid(0, 0, 1), vid(1, 0, 1), vid(0, 1, 1), vid(1, 1, 1)}; break;
+    }
+    std::sort(key.begin(), key.end());
+    return key;
+  };
+  for (int e = 0; e < m.nelem; ++e)
+    for (int f = 0; f < 6; ++f) ++face_count[face_verts(e, f)];
+  auto face_nodes = [&](int e, int f, auto&& fn) {
+    for (int q2 = 0; q2 < n1; ++q2)
+      for (int q1 = 0; q1 < n1; ++q1) {
+        int i, j, k;
+        switch (f) {
+          case 0: i = 0; j = q1; k = q2; break;
+          case 1: i = order; j = q1; k = q2; break;
+          case 2: i = q1; j = 0; k = q2; break;
+          case 3: i = q1; j = order; k = q2; break;
+          case 4: i = q1; j = q2; k = 0; break;
+          default: i = q1; j = q2; k = order; break;
+        }
+        fn(static_cast<std::size_t>(e) * m.npe +
+           (static_cast<std::size_t>(k) * n1 + j) * n1 + i);
+      }
+  };
+  for (int e = 0; e < m.nelem; ++e) {
+    for (int f = 0; f < 6; ++f) {
+      if (face_count[face_verts(e, f)] != 1) continue;
+      double cx = 0, cy = 0, cz = 0;
+      face_nodes(e, f, [&](std::size_t idx) {
+        cx += m.x[idx];
+        cy += m.y[idx];
+        cz += m.z[idx];
+      });
+      const double nn = static_cast<double>(n1) * n1;
+      cx /= nn;
+      cy /= nn;
+      cz /= nn;
+      const int tag = spec.classify ? spec.classify(cx, cy, cz) : 0;
+      TSEM_REQUIRE(tag >= 0 && tag < 32);
+      face_nodes(e, f,
+                 [&](std::size_t idx) { m.bdry_bits[idx] |= 1u << tag; });
+    }
+  }
+
+  return m;
+}
+
+}  // namespace tsem

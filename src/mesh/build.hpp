@@ -1,0 +1,12 @@
+// Discretize a MeshSpec into a Mesh at a given polynomial order.
+#pragma once
+
+#include "mesh/mesh.hpp"
+#include "mesh/spec.hpp"
+
+namespace tsem {
+
+Mesh build_mesh(const MeshSpec2D& spec, int order);
+Mesh build_mesh(const MeshSpec3D& spec, int order);
+
+}  // namespace tsem

@@ -1,0 +1,75 @@
+// Spectral element mesh: an unstructured array of deformed quadrilateral /
+// hexahedral elements, each carrying a tensor-product GLL node grid
+// (paper §2, Fig 2).
+//
+// The Mesh owns everything geometry-derived that operators need:
+//   * GLL node coordinates per element,
+//   * the C0 global numbering (which nodes coincide across elements),
+//   * Jacobians, the diagonal local mass matrix W*J,
+//   * the symmetric geometric factors G_ij of eq. (4),
+//   * the metric terms dr_i/dx_j used by convection and divergence,
+//   * boundary-face tags (as per-node tag bitmasks).
+//
+// Fields on a mesh are flat arrays of length nelem * npe with the x index
+// fastest within each element (see tensor_apply.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsem {
+
+class Mesh {
+ public:
+  int dim = 0;     ///< 2 or 3
+  int order = 0;   ///< polynomial order N
+  int nelem = 0;   ///< K
+  int npe = 0;     ///< (N+1)^dim nodes per element
+
+  /// GLL node coordinates, nelem*npe each (z empty in 2D).
+  std::vector<double> x, y, z;
+
+  /// C0 global node id per local node, and the number of distinct ids.
+  std::vector<std::int64_t> node_id;
+  std::int64_t nglob = 0;
+
+  /// Element corner-vertex global ids (2^dim per element, lexicographic in
+  /// (r,s,t)) — the "spectral element vertex mesh" used by the coarse grid.
+  std::vector<std::int64_t> vert_id;
+  std::int64_t nvert = 0;
+
+  /// Jacobian determinant at each node (positive for valid meshes).
+  std::vector<double> jac;
+  /// Diagonal of the local mass matrix: w_i w_j (w_k) * J.
+  std::vector<double> bm;
+  /// Geometric factors, component-major: g[c * nelem*npe + idx].
+  /// 2D: c = rr, rs, ss.  3D: c = rr, rs, rt, ss, st, tt.
+  /// Each includes the quadrature weights: G_ij = W J grad(r_i).grad(r_j).
+  std::vector<double> g;
+  /// Metric terms dr_i/dx_j, component-major with c = i*dim + j.
+  std::vector<double> drdx;
+
+  /// Per-node boundary tag bitmask: bit t set if the node lies on a
+  /// boundary face classified with tag t.  0 for interior nodes.
+  std::vector<std::uint32_t> bdry_bits;
+
+  [[nodiscard]] int n1d() const { return order + 1; }
+  [[nodiscard]] std::size_t nlocal() const {
+    return static_cast<std::size_t>(nelem) * npe;
+  }
+  [[nodiscard]] int ngeo() const { return dim == 2 ? 3 : 6; }
+
+  [[nodiscard]] const double* geo(int c) const { return g.data() + c * nlocal(); }
+  [[nodiscard]] const double* metric(int i, int j) const {
+    return drdx.data() + (static_cast<std::size_t>(i) * dim + j) * nlocal();
+  }
+
+  /// Bounding-box diagonal (used for tolerances).
+  [[nodiscard]] double bbox_diag() const;
+
+  /// Total number of velocity gridpoints as the paper counts them
+  /// (distinct global nodes).
+  [[nodiscard]] std::int64_t gridpoints() const { return nglob; }
+};
+
+}  // namespace tsem

@@ -1,0 +1,62 @@
+// Stable geometric point numbering: merges points that coincide to within
+// an absolute tolerance.  Used for C0 node numbering, vertex numbering,
+// and the Schwarz ghost-exchange face anchors.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tsem {
+
+/// Quantized spatial hash with neighbor-cell probing, so coincident points
+/// straddling a cell boundary are still merged.
+class PointNumberer {
+ public:
+  PointNumberer(double cell, double tol) : cell_(cell), tol2_(tol * tol) {}
+
+  std::int64_t id_of(double x, double y, double z) {
+    const std::array<double, 3> p{x, y, z};
+    const long cx = cell_index(x), cy = cell_index(y), cz = cell_index(z);
+    for (long dx = -1; dx <= 1; ++dx)
+      for (long dy = -1; dy <= 1; ++dy)
+        for (long dz = -1; dz <= 1; ++dz) {
+          const auto it = cells_.find(key(cx + dx, cy + dy, cz + dz));
+          if (it == cells_.end()) continue;
+          for (const auto& [q, id] : it->second) {
+            const double d2 = (p[0] - q[0]) * (p[0] - q[0]) +
+                              (p[1] - q[1]) * (p[1] - q[1]) +
+                              (p[2] - q[2]) * (p[2] - q[2]);
+            if (d2 <= tol2_) return id;
+          }
+        }
+    const std::int64_t id = next_++;
+    cells_[key(cx, cy, cz)].emplace_back(p, id);
+    return id;
+  }
+
+  [[nodiscard]] std::int64_t count() const { return next_; }
+
+ private:
+  [[nodiscard]] long cell_index(double v) const {
+    return static_cast<long>(std::floor(v / cell_));
+  }
+  static std::uint64_t key(long a, long b, long c) {
+    const auto h = [](long v) {
+      return static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+    };
+    return h(a) ^ (h(b) << 21 | h(b) >> 43) ^ (h(c) << 42 | h(c) >> 22);
+  }
+
+  double cell_;
+  double tol2_;
+  std::int64_t next_ = 0;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::array<double, 3>, std::int64_t>>>
+      cells_;
+};
+
+}  // namespace tsem

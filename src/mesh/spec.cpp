@@ -1,0 +1,213 @@
+#include "mesh/spec.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+namespace {
+
+MapFn2D sub_map_2d(MapFn2D parent, double r0, double r1, double s0,
+                   double s1) {
+  return [parent = std::move(parent), r0, r1, s0, s1](double r, double s) {
+    const double rr = 0.5 * ((1 - r) * r0 + (1 + r) * r1);
+    const double ss = 0.5 * ((1 - s) * s0 + (1 + s) * s1);
+    return parent(rr, ss);
+  };
+}
+
+MapFn3D sub_map_3d(MapFn3D parent, double r0, double r1, double s0, double s1,
+                   double t0, double t1) {
+  return [parent = std::move(parent), r0, r1, s0, s1, t0,
+          t1](double r, double s, double t) {
+    const double rr = 0.5 * ((1 - r) * r0 + (1 + r) * r1);
+    const double ss = 0.5 * ((1 - s) * s0 + (1 + s) * s1);
+    const double tt = 0.5 * ((1 - t) * t0 + (1 + t) * t1);
+    return parent(rr, ss, tt);
+  };
+}
+
+}  // namespace
+
+MeshSpec2D quad_refine(const MeshSpec2D& spec) {
+  MeshSpec2D out = spec;
+  out.elems.clear();
+  out.elems.reserve(spec.elems.size() * 4);
+  for (const auto& map : spec.elems) {
+    for (int j = 0; j < 2; ++j) {
+      for (int i = 0; i < 2; ++i) {
+        out.elems.push_back(
+            sub_map_2d(map, -1.0 + i, i, -1.0 + j, j));
+      }
+    }
+  }
+  return out;
+}
+
+MeshSpec3D oct_refine(const MeshSpec3D& spec) {
+  MeshSpec3D out = spec;
+  out.elems.clear();
+  out.elems.reserve(spec.elems.size() * 8);
+  for (const auto& map : spec.elems) {
+    for (int k = 0; k < 2; ++k)
+      for (int j = 0; j < 2; ++j)
+        for (int i = 0; i < 2; ++i)
+          out.elems.push_back(sub_map_3d(map, -1.0 + i, i, -1.0 + j, j,
+                                         -1.0 + k, k));
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, int nseg) {
+  TSEM_REQUIRE(nseg >= 1);
+  std::vector<double> pts(nseg + 1);
+  for (int i = 0; i <= nseg; ++i)
+    pts[i] = lo + (hi - lo) * static_cast<double>(i) / nseg;
+  return pts;
+}
+
+std::vector<double> geomspace(double lo, double hi, int nseg, double ratio) {
+  TSEM_REQUIRE(nseg >= 1 && ratio > 0.0);
+  std::vector<double> w(nseg);
+  double sum = 0.0, cur = 1.0;
+  for (int i = 0; i < nseg; ++i) {
+    w[i] = cur;
+    sum += cur;
+    cur *= ratio;
+  }
+  std::vector<double> pts(nseg + 1);
+  pts[0] = lo;
+  double acc = 0.0;
+  for (int i = 0; i < nseg; ++i) {
+    acc += w[i];
+    pts[i + 1] = lo + (hi - lo) * acc / sum;
+  }
+  pts[nseg] = hi;
+  return pts;
+}
+
+MeshSpec2D box_spec_2d(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  MeshSpec2D spec;
+  const int kx = static_cast<int>(xs.size()) - 1;
+  const int ky = static_cast<int>(ys.size()) - 1;
+  TSEM_REQUIRE(kx >= 1 && ky >= 1);
+  spec.x_lo = xs.front();
+  spec.x_hi = xs.back();
+  spec.y_lo = ys.front();
+  spec.y_hi = ys.back();
+  for (int j = 0; j < ky; ++j) {
+    for (int i = 0; i < kx; ++i) {
+      const double x0 = xs[i], x1 = xs[i + 1], y0 = ys[j], y1 = ys[j + 1];
+      spec.elems.push_back([x0, x1, y0, y1](double r, double s) {
+        return std::array<double, 2>{0.5 * ((1 - r) * x0 + (1 + r) * x1),
+                                     0.5 * ((1 - s) * y0 + (1 + s) * y1)};
+      });
+    }
+  }
+  const double xlo = spec.x_lo, xhi = spec.x_hi, ylo = spec.y_lo,
+               yhi = spec.y_hi;
+  const double tol = 1e-8 * (std::fabs(xhi - xlo) + std::fabs(yhi - ylo));
+  spec.classify = [=](double x, double y, double) {
+    if (std::fabs(x - xlo) < tol) return kFaceXLo;
+    if (std::fabs(x - xhi) < tol) return kFaceXHi;
+    if (std::fabs(y - ylo) < tol) return kFaceYLo;
+    return kFaceYHi;
+  };
+  return spec;
+}
+
+MeshSpec3D box_spec_3d(const std::vector<double>& xs,
+                       const std::vector<double>& ys,
+                       const std::vector<double>& zs) {
+  MeshSpec3D spec;
+  const int kx = static_cast<int>(xs.size()) - 1;
+  const int ky = static_cast<int>(ys.size()) - 1;
+  const int kz = static_cast<int>(zs.size()) - 1;
+  TSEM_REQUIRE(kx >= 1 && ky >= 1 && kz >= 1);
+  spec.x_lo = xs.front();
+  spec.x_hi = xs.back();
+  spec.y_lo = ys.front();
+  spec.y_hi = ys.back();
+  spec.z_lo = zs.front();
+  spec.z_hi = zs.back();
+  for (int k = 0; k < kz; ++k)
+    for (int j = 0; j < ky; ++j)
+      for (int i = 0; i < kx; ++i) {
+        const double x0 = xs[i], x1 = xs[i + 1];
+        const double y0 = ys[j], y1 = ys[j + 1];
+        const double z0 = zs[k], z1 = zs[k + 1];
+        spec.elems.push_back([=](double r, double s, double t) {
+          return std::array<double, 3>{0.5 * ((1 - r) * x0 + (1 + r) * x1),
+                                       0.5 * ((1 - s) * y0 + (1 + s) * y1),
+                                       0.5 * ((1 - t) * z0 + (1 + t) * z1)};
+        });
+      }
+  const double xlo = spec.x_lo, xhi = spec.x_hi, ylo = spec.y_lo,
+               yhi = spec.y_hi, zlo = spec.z_lo, zhi = spec.z_hi;
+  const double tol = 1e-8 * (std::fabs(xhi - xlo) + std::fabs(yhi - ylo) +
+                             std::fabs(zhi - zlo));
+  spec.classify = [=](double x, double y, double z) {
+    if (std::fabs(x - xlo) < tol) return kFaceXLo;
+    if (std::fabs(x - xhi) < tol) return kFaceXHi;
+    if (std::fabs(y - ylo) < tol) return kFaceYLo;
+    if (std::fabs(y - yhi) < tol) return kFaceYHi;
+    if (std::fabs(z - zlo) < tol) return kFaceZLo;
+    return kFaceZHi;
+  };
+  return spec;
+}
+
+MeshSpec2D annulus_spec(double r0, double r1, int kr, int kt, double ratio) {
+  TSEM_REQUIRE(r0 > 0.0 && r1 > r0 && kr >= 1 && kt >= 3);
+  MeshSpec2D spec;
+  const auto radii = geomspace(r0, r1, kr, ratio);
+  for (int j = 0; j < kt; ++j) {
+    const double th0 = 2.0 * M_PI * j / kt;
+    const double th1 = 2.0 * M_PI * (j + 1) / kt;
+    for (int i = 0; i < kr; ++i) {
+      const double ra = radii[i], rb = radii[i + 1];
+      spec.elems.push_back([ra, rb, th0, th1](double r, double s) {
+        const double rad = 0.5 * ((1 - r) * ra + (1 + r) * rb);
+        const double th = 0.5 * ((1 - s) * th0 + (1 + s) * th1);
+        return std::array<double, 2>{rad * std::cos(th), rad * std::sin(th)};
+      });
+    }
+  }
+  spec.x_lo = -r1;
+  spec.x_hi = r1;
+  spec.y_lo = -r1;
+  spec.y_hi = r1;
+  spec.classify = [r0, r1](double x, double y, double) {
+    const double rad = std::sqrt(x * x + y * y);
+    return (std::fabs(rad - r0) < std::fabs(rad - r1)) ? 0 : 1;
+  };
+  return spec;
+}
+
+MeshSpec3D bump_channel_spec(const std::vector<double>& xs,
+                             const std::vector<double>& ys,
+                             const std::vector<double>& zs, double cx,
+                             double cy, double rad, double h) {
+  MeshSpec3D spec = box_spec_3d(xs, ys, zs);
+  const double zlo = spec.z_lo, zhi = spec.z_hi;
+  // Wrap each element map: shift z by a smooth compactly supported bump
+  // that decays linearly to zero at the top wall.
+  auto bump = [=](double x, double y) {
+    const double d2 = ((x - cx) * (x - cx) + (y - cy) * (y - cy)) / (rad * rad);
+    if (d2 >= 1.0) return 0.0;
+    const double c = std::cos(0.5 * M_PI * std::sqrt(d2));
+    return h * c * c;
+  };
+  for (auto& map : spec.elems) {
+    map = [map, bump, zlo, zhi](double r, double s, double t) {
+      auto p = map(r, s, t);
+      const double b = bump(p[0], p[1]);
+      p[2] += b * (zhi - p[2]) / (zhi - zlo);
+      return p;
+    };
+  }
+  return spec;
+}
+
+}  // namespace tsem

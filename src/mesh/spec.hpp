@@ -1,0 +1,82 @@
+// Mesh specifications: a pre-discretization description of a domain as a
+// collection of analytically mapped elements.
+//
+// Each element is a smooth map from the reference square/cube [-1,1]^d.
+// Refinement (the paper's quad-/oct-refinement used to generate the
+// Table 2 and §7 meshes) composes the parent map with an affine reference
+// sub-cell map, so curved geometry stays exact under refinement.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+namespace tsem {
+
+using MapFn2D = std::function<std::array<double, 2>(double r, double s)>;
+using MapFn3D =
+    std::function<std::array<double, 3>(double r, double s, double t)>;
+
+/// Classifies a boundary face by its centroid; returns a tag in [0, 32).
+using BoundaryClassifier =
+    std::function<int(double x, double y, double z)>;
+
+struct MeshSpec2D {
+  std::vector<MapFn2D> elems;
+  BoundaryClassifier classify;  ///< optional; default tag 0 for all faces
+  /// Periodic directions: nodes at coordinate hi are identified with lo.
+  bool periodic_x = false, periodic_y = false;
+  double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+};
+
+struct MeshSpec3D {
+  std::vector<MapFn3D> elems;
+  BoundaryClassifier classify;
+  bool periodic_x = false, periodic_y = false, periodic_z = false;
+  double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0, z_lo = 0, z_hi = 0;
+};
+
+/// Split every element into 4 (2D) children in reference space.
+MeshSpec2D quad_refine(const MeshSpec2D& spec);
+/// Split every element into 8 (3D) children in reference space.
+MeshSpec3D oct_refine(const MeshSpec3D& spec);
+
+// ---- canonical domains -----------------------------------------------------
+
+/// Tensor box with prescribed breakpoints (elements kx = xs.size()-1 etc).
+MeshSpec2D box_spec_2d(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+MeshSpec3D box_spec_3d(const std::vector<double>& xs,
+                       const std::vector<double>& ys,
+                       const std::vector<double>& zs);
+
+/// Uniform breakpoints helper.
+std::vector<double> linspace(double lo, double hi, int nseg);
+/// Geometrically graded breakpoints (ratio r between successive widths).
+std::vector<double> geomspace(double lo, double hi, int nseg, double ratio);
+
+/// Annulus between radii r0 < r1 with kr radial (geometrically graded
+/// toward r0, grading `ratio`) and kt azimuthal elements; exact circular
+/// arcs.  Stands in for the paper's cylinder-wake mesh: thin high-aspect
+/// elements near the inner circle.  Boundary tags: 0 inner, 1 outer.
+MeshSpec2D annulus_spec(double r0, double r1, int kr, int kt, double ratio);
+
+/// 3D channel [0,Lx]x[0,Ly]x[0,Lz] with a smooth wall bump (hemispherical
+/// roughness stand-in) of height h and radius rad centered at (cx, cy) on
+/// the z=0 wall.  Used by the hairpin-mini experiment.
+MeshSpec3D bump_channel_spec(const std::vector<double>& xs,
+                             const std::vector<double>& ys,
+                             const std::vector<double>& zs, double cx,
+                             double cy, double rad, double h);
+
+// Standard boundary tags produced by the box classifiers.
+enum BoxFace : int {
+  kFaceXLo = 0,
+  kFaceXHi = 1,
+  kFaceYLo = 2,
+  kFaceYHi = 3,
+  kFaceZLo = 4,
+  kFaceZHi = 5,
+};
+
+}  // namespace tsem

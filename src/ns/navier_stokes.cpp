@@ -1,0 +1,571 @@
+#include "ns/navier_stokes.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/flops.hpp"
+#include "core/operators.hpp"
+#include "poly/basis1d.hpp"
+#include "poly/filter.hpp"
+#include "solver/cg.hpp"
+
+namespace tsem {
+
+struct NavierStokes::ScalarData {
+  double diffusivity = 0.0;
+  std::vector<double> mask;
+  std::vector<double> th;
+  std::vector<double> thbc;
+  std::array<std::vector<double>, 3> hist;
+  std::unique_ptr<HelmholtzOp> hop;
+  double hop_beta0 = -1.0;
+};
+
+NavierStokes::NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
+                           NsOptions opt)
+    : space_(&space), opt_(opt) {
+  const Mesh& m = space.mesh();
+  dim_ = m.dim;
+  nl_ = space.nlocal();
+  TSEM_REQUIRE(opt_.torder >= 1 && opt_.torder <= 3);
+  mask_ = space.make_mask(dirichlet_tags);
+  for (int c = 0; c < dim_; ++c) {
+    u_[c].assign(nl_, 0.0);
+    ubc_[c].assign(nl_, 0.0);
+    for (auto& h : uh_) h[c].assign(nl_, 0.0);
+    for (auto& h : ch_) h[c].assign(nl_, 0.0);
+  }
+  psys_ = std::make_unique<PressureSystem>(space, mask_);
+  p_.assign(psys_->nloc(), 0.0);
+  if (opt_.use_schwarz)
+    schwarz_ = std::make_unique<SchwarzPrecond>(*psys_, opt_.schwarz);
+  if (opt_.proj_len > 0)
+    proj_ = std::make_unique<SolutionProjection>(psys_->nloc(),
+                                                 opt_.proj_len);
+  if (opt_.filter_alpha > 0.0)
+    fmat_ = filter_matrix(m.order, opt_.filter_alpha);
+  if (opt_.dealias) {
+    TSEM_REQUIRE(opt_.convection == NsOptions::Convection::Oifs);
+    dealias_ = std::make_unique<DealiasedConvection>(m);
+  }
+}
+
+NavierStokes::~NavierStokes() = default;
+
+int NavierStokes::add_scalar(std::uint32_t dirichlet_tags,
+                             double diffusivity) {
+  TSEM_REQUIRE(nsteps_ == 0);  // add species before the first step
+  auto sc = std::make_unique<ScalarData>();
+  sc->diffusivity = diffusivity;
+  sc->mask = space_->make_mask(dirichlet_tags);
+  sc->th.assign(nl_, 0.0);
+  sc->thbc.assign(nl_, 0.0);
+  for (auto& h : sc->hist) h.assign(nl_, 0.0);
+  scalars_.push_back(std::move(sc));
+  return static_cast<int>(scalars_.size()) - 1;
+}
+
+std::vector<double>& NavierStokes::scalar(int which) {
+  TSEM_REQUIRE(which >= 0 && which < nscalars());
+  return scalars_[which]->th;
+}
+
+const std::vector<double>& NavierStokes::scalar(int which) const {
+  TSEM_REQUIRE(which >= 0 && which < nscalars());
+  return scalars_[which]->th;
+}
+
+void NavierStokes::compute_bdf_coeffs(int order, double* beta0,
+                                      double* c) const {
+  c[0] = c[1] = c[2] = 0.0;
+  switch (order) {
+    case 1:
+      *beta0 = 1.0;
+      c[0] = 1.0;
+      break;
+    case 2:
+      *beta0 = 1.5;
+      c[0] = 2.0;
+      c[1] = -0.5;
+      break;
+    default:
+      *beta0 = 11.0 / 6.0;
+      c[0] = 3.0;
+      c[1] = -1.5;
+      c[2] = 1.0 / 3.0;
+      break;
+  }
+}
+
+double NavierStokes::current_cfl() const {
+  const Mesh& m = space_->mesh();
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = m.n1d();
+  // Minimum reference-space gap adjacent to each 1D node.
+  std::vector<double> gap(n1);
+  for (int i = 0; i < n1; ++i) {
+    double g = 1e300;
+    if (i > 0) g = std::min(g, b.z[i] - b.z[i - 1]);
+    if (i < n1 - 1) g = std::min(g, b.z[i + 1] - b.z[i]);
+    gap[i] = g;
+  }
+  double cfl = 0.0;
+  const std::size_t nl = nl_;
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+    for (int n = 0; n < m.npe; ++n) {
+      int idx[3] = {0, 0, 0};
+      int rem = n;
+      for (int d = 0; d < dim_; ++d) {
+        idx[d] = rem % n1;
+        rem /= n1;
+      }
+      double s = 0.0;
+      for (int d = 0; d < dim_; ++d) {
+        double ur = 0.0;
+        for (int c = 0; c < dim_; ++c)
+          ur += u_[c][off + n] * m.drdx[(static_cast<std::size_t>(d) * dim_ +
+                                         c) * nl + off + n];
+        s += std::fabs(ur) / gap[idx[d]];
+      }
+      cfl = std::max(cfl, s);
+    }
+  }
+  return cfl * opt_.dt;
+}
+
+double NavierStokes::divergence_norm() const {
+  std::vector<double> dp(psys_->nloc());
+  const double* uu[3] = {u_[0].data(), u_[1].data(),
+                         dim_ == 3 ? u_[2].data() : nullptr};
+  psys_->divergence(uu, dp.data());
+  double s = 0.0;
+  for (double v : dp) s += v * v;
+  return std::sqrt(s);
+}
+
+double NavierStokes::kinetic_energy(
+    const std::array<const double*, 3>& uref) const {
+  const Mesh& m = space_->mesh();
+  double e = 0.0;
+  for (std::size_t i = 0; i < nl_; ++i) {
+    double s = 0.0;
+    for (int c = 0; c < dim_; ++c) {
+      const double d = u_[c][i] - (uref[c] ? uref[c][i] : 0.0);
+      s += d * d;
+    }
+    e += 0.5 * m.bm[i] * s;
+  }
+  return e;
+}
+
+void NavierStokes::oifs_advect(
+    int q, int order, int substeps,
+    const std::vector<std::vector<double>*>& fields,
+    const std::vector<const double*>& field_masks) {
+  const Mesh& m = space_->mesh();
+  const auto& bmi = space_->bm_inv();
+  const int nsub = substeps * q;
+  const double h = (q * opt_.dt) / nsub;
+  const double t_n1 = 0.0;   // time of u^{n-1} relative to itself
+  const double t_n2 = -opt_.dt;
+
+  // Advecting velocity at relative time s (s = 0 at t^{n-1}, the newest
+  // known level; the integration runs from -(q-1)*dt ... wait, the field
+  // being advected starts at t^{n-q} = -(q-1)*dt relative to t^{n-1} and
+  // ends at t^n = +dt.
+  std::array<std::vector<double>, 3> vbuf;
+  for (int c = 0; c < dim_; ++c) vbuf[c].resize(nl_);
+  auto velocity_at = [&](double s) {
+    const double dt = opt_.dt;
+    for (int c = 0; c < dim_; ++c) {
+      if (order >= 3 && nsteps_ >= 2) {
+        // Quadratic Lagrange through (0, -dt, -2dt): needed so the
+        // advecting field does not cap the BDF3 scheme at 2nd order.
+        const double w1 = (s + dt) * (s + 2 * dt) / (2 * dt * dt);
+        const double w2 = -s * (s + 2 * dt) / (dt * dt);
+        const double w3 = s * (s + dt) / (2 * dt * dt);
+        for (std::size_t i = 0; i < nl_; ++i)
+          vbuf[c][i] =
+              w1 * u_[c][i] + w2 * uh_[0][c][i] + w3 * uh_[1][c][i];
+      } else if (order >= 2 && nsteps_ >= 1) {
+        const double w1 = (s - t_n2) / (t_n1 - t_n2);
+        const double w2 = 1.0 - w1;
+        for (std::size_t i = 0; i < nl_; ++i)
+          vbuf[c][i] = w1 * u_[c][i] + w2 * uh_[0][c][i];
+      } else {
+        std::copy(u_[c].begin(), u_[c].end(), vbuf[c].begin());
+      }
+    }
+  };
+
+  const int nf = static_cast<int>(fields.size());
+  std::vector<std::vector<double>> k1(nf), k2(nf), k3(nf), k4(nf), wtmp(nf);
+  for (int f = 0; f < nf; ++f) {
+    k1[f].resize(nl_);
+    k2[f].resize(nl_);
+    k3[f].resize(nl_);
+    k4[f].resize(nl_);
+    wtmp[f].resize(nl_);
+  }
+
+  const double* vel[3] = {vbuf[0].data(), vbuf[1].data(),
+                          dim_ == 3 ? vbuf[2].data() : nullptr};
+  auto rate = [&](const double* w, double* k, const double* fmask) {
+    if (dealias_) {
+      // Weak form directly from the fine-grid quadrature.
+      dealias_->apply(vel, w, k, work_);
+      for (std::size_t i = 0; i < nl_; ++i) k[i] = -k[i];
+    } else {
+      convect_local(m, vel, w, k, work_);
+      for (std::size_t i = 0; i < nl_; ++i) k[i] *= -m.bm[i];
+    }
+    space_->gs().op(k);
+    for (std::size_t i = 0; i < nl_; ++i) k[i] *= bmi[i] * fmask[i];
+  };
+
+  double s = -(q - 1) * opt_.dt;  // start time relative to t^{n-1}
+  for (int step = 0; step < nsub; ++step) {
+    // RK4 stages at s, s+h/2, s+h.
+    velocity_at(s);
+    for (int f = 0; f < nf; ++f)
+      rate(fields[f]->data(), k1[f].data(), field_masks[f]);
+    velocity_at(s + 0.5 * h);
+    for (int f = 0; f < nf; ++f) {
+      for (std::size_t i = 0; i < nl_; ++i)
+        wtmp[f][i] = (*fields[f])[i] + 0.5 * h * k1[f][i];
+      rate(wtmp[f].data(), k2[f].data(), field_masks[f]);
+      for (std::size_t i = 0; i < nl_; ++i)
+        wtmp[f][i] = (*fields[f])[i] + 0.5 * h * k2[f][i];
+      rate(wtmp[f].data(), k3[f].data(), field_masks[f]);
+    }
+    velocity_at(s + h);
+    for (int f = 0; f < nf; ++f) {
+      for (std::size_t i = 0; i < nl_; ++i)
+        wtmp[f][i] = (*fields[f])[i] + h * k3[f][i];
+      rate(wtmp[f].data(), k4[f].data(), field_masks[f]);
+      for (std::size_t i = 0; i < nl_; ++i)
+        (*fields[f])[i] += h / 6.0 *
+                           (k1[f][i] + 2.0 * k2[f][i] + 2.0 * k3[f][i] +
+                            k4[f][i]);
+    }
+    s += h;
+    flops_total_ += 4.0 * nf * (convection_flops(m) + 6.0 * nl_);
+  }
+}
+
+int NavierStokes::helmholtz_solve(const HelmholtzOp& h,
+                                  const std::vector<double>& mask,
+                                  const std::vector<double>& bcvals,
+                                  const std::vector<double>& rhs_weak,
+                                  std::vector<double>& out) {
+  const Mesh& m = space_->mesh();
+  // Lift: ub carries the Dirichlet values, zero elsewhere.
+  std::vector<double> ub(nl_), b(rhs_weak), t(nl_);
+  for (std::size_t i = 0; i < nl_; ++i)
+    ub[i] = (1.0 - mask[i]) * bcvals[i];
+  space_->gs().op(b.data());
+  apply_helmholtz_local(m, h.h1(), h.h2(), ub.data(), t.data(), work_);
+  space_->gs().op(t.data());
+  for (std::size_t i = 0; i < nl_; ++i) b[i] = (b[i] - t[i]) * mask[i];
+
+  // Initial guess: previous solution minus the lift.
+  std::vector<double> x(nl_);
+  for (std::size_t i = 0; i < nl_; ++i) x[i] = (out[i] - ub[i]) * mask[i];
+
+  auto apply = [&](const double* xx, double* yy) { h.apply(xx, yy); };
+  auto dot = [&](const double* a2, const double* b2) {
+    return space_->glsum_dot(a2, b2);
+  };
+  CgOptions copt;
+  copt.tol = opt_.helm_tol;
+  copt.relative = true;
+  copt.max_iter = opt_.max_iter;
+  auto res = pcg(nl_, apply, jacobi_precond(h.diagonal()), dot, b.data(),
+                 x.data(), copt);
+  for (std::size_t i = 0; i < nl_; ++i) out[i] = x[i] + ub[i];
+  flops_total_ +=
+      res.iterations * (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
+  return res.iterations;
+}
+
+void NavierStokes::apply_velocity_filter() {
+  if (fmat_.empty()) return;
+  const Mesh& m = space_->mesh();
+  for (int c = 0; c < dim_; ++c) {
+    apply_filter_local(m, fmat_, u_[c].data(), work_);
+    space_->daverage(u_[c].data());
+    for (std::size_t i = 0; i < nl_; ++i)
+      u_[c][i] = mask_[i] * u_[c][i] + (1.0 - mask_[i]) * ubc_[c][i];
+  }
+  for (auto& sc : scalars_) {
+    apply_filter_local(m, fmat_, sc->th.data(), work_);
+    space_->daverage(sc->th.data());
+    for (std::size_t i = 0; i < nl_; ++i)
+      sc->th[i] =
+          sc->mask[i] * sc->th[i] + (1.0 - sc->mask[i]) * sc->thbc[i];
+  }
+  flops_total_ += dim_ * 2.0 * tensor_apply_flops(m.n1d(), m.n1d(), m.dim) *
+                  m.nelem;
+}
+
+StepStats NavierStokes::step() {
+  const Mesh& m = space_->mesh();
+  StepStats stats;
+  const int order = std::min(opt_.torder, nsteps_ + 1);
+  double beta0, cq[3];
+  compute_bdf_coeffs(order, &beta0, cq);
+  const double dt = opt_.dt;
+
+  if (!bc_frozen_) {
+    for (int c = 0; c < dim_; ++c) {
+      space_->daverage(u_[c].data());
+      ubc_[c] = u_[c];
+    }
+    for (auto& sc : scalars_) {
+      space_->daverage(sc->th.data());
+      sc->thbc = sc->th;
+    }
+    bc_frozen_ = true;
+  }
+
+  stats.cfl = current_cfl();
+  const int base_sub =
+      opt_.oifs_substeps > 0
+          ? opt_.oifs_substeps
+          : std::max(1, static_cast<int>(std::ceil(stats.cfl / 0.5)));
+
+  // Snapshot of the entering state (u^{n-1} etc.).
+  std::array<std::vector<double>, 3> un1;
+  std::vector<std::vector<double>> thn1(scalars_.size());
+  for (int c = 0; c < dim_; ++c) un1[c] = u_[c];
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc)
+    thn1[sc] = scalars_[sc]->th;
+
+  // ---- convective contribution -> weak rhs accumulators ----
+  const int nf = dim_ + static_cast<int>(scalars_.size());
+  std::vector<std::vector<double>> rhs(nf);
+  for (auto& r : rhs) r.assign(nl_, 0.0);
+
+  if (opt_.convection == NsOptions::Convection::Oifs) {
+    for (int q = 1; q <= order; ++q) {
+      // Fields at t^{n-q}: copies that get advected to t^n.
+      std::vector<std::vector<double>> adv(nf);
+      std::vector<std::vector<double>*> fptr(nf);
+      std::vector<const double*> fmask(nf);
+      for (int c = 0; c < dim_; ++c) {
+        adv[c] = (q == 1) ? un1[c] : uh_[q - 2][c];
+        fptr[c] = &adv[c];
+        fmask[c] = mask_.data();
+      }
+      for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+        const int f = dim_ + static_cast<int>(sc);
+        adv[f] = (q == 1) ? thn1[sc] : scalars_[sc]->hist[q - 2];
+        fptr[f] = &adv[f];
+        fmask[f] = scalars_[sc]->mask.data();
+      }
+      oifs_advect(q, order, base_sub, fptr, fmask);
+      const double coef = cq[q - 1] / dt;
+      for (int f = 0; f < nf; ++f)
+        for (std::size_t i = 0; i < nl_; ++i) rhs[f][i] += coef * adv[f][i];
+    }
+  } else {
+    // EXTk: BDF terms on the raw history + extrapolated convection.
+    double gam[3] = {1.0, 0.0, 0.0};
+    if (order == 2) {
+      gam[0] = 2.0;
+      gam[1] = -1.0;
+    } else if (order == 3) {
+      gam[0] = 3.0;
+      gam[1] = -3.0;
+      gam[2] = 1.0;
+    }
+    // Convection of the newest level into history slot 0 (rotated below).
+    const double* vel[3] = {un1[0].data(), un1[1].data(),
+                            dim_ == 3 ? un1[2].data() : nullptr};
+    for (int c = 0; c < dim_; ++c)
+      convect_local(m, vel, un1[c].data(), ch_[0][c].data(), work_);
+    for (std::size_t sc = 0; sc < scalars_.size(); ++sc)
+      convect_local(m, vel, thn1[sc].data(), scalars_[sc]->hist[2].data(),
+                    work_);
+    flops_total_ += nf * convection_flops(m);
+    for (int q = 1; q <= order; ++q) {
+      const double coef = cq[q - 1] / dt;
+      for (int c = 0; c < dim_; ++c) {
+        const auto& uq = (q == 1) ? un1[c] : uh_[q - 2][c];
+        for (std::size_t i = 0; i < nl_; ++i) rhs[c][i] += coef * uq[i];
+      }
+      for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+        const auto& tq = (q == 1) ? thn1[sc] : scalars_[sc]->hist[q - 2];
+        for (std::size_t i = 0; i < nl_; ++i)
+          rhs[dim_ + sc][i] += coef * tq[i];
+      }
+    }
+    for (int q = 1; q <= order; ++q) {
+      if (gam[q - 1] == 0.0) continue;
+      for (int c = 0; c < dim_; ++c) {
+        const auto& cc = (q == 1) ? ch_[0][c] : ch_[q - 1][c];
+        for (std::size_t i = 0; i < nl_; ++i)
+          rhs[c][i] -= gam[q - 1] * cc[i];
+      }
+      // (scalar EXT convection history kept in hist[2] for q=1 only; the
+      // scalar path is primarily exercised with OIFS)
+    }
+  }
+
+  // ---- forcing ----
+  if (forcing_) {
+    std::vector<std::vector<double>> f(dim_);
+    std::array<double*, 3> fp = {nullptr, nullptr, nullptr};
+    for (int c = 0; c < dim_; ++c) {
+      f[c].assign(nl_, 0.0);
+      fp[c] = f[c].data();
+    }
+    forcing_(*this, time_ + dt, fp);
+    for (int c = 0; c < dim_; ++c)
+      for (std::size_t i = 0; i < nl_; ++i) rhs[c][i] += f[c][i];
+  }
+
+  // ---- Helmholtz solves for u* ----
+  if (!hop_ || hop_beta0_ != beta0) {
+    hop_ = std::make_unique<HelmholtzOp>(*space_, opt_.viscosity, beta0 / dt,
+                                         mask_);
+    hop_beta0_ = beta0;
+  }
+  // Weak rhs: B * rhs + D^T p (lagged pressure gradient).
+  {
+    std::array<std::vector<double>, 3> gp;
+    double* gpp[3] = {nullptr, nullptr, nullptr};
+    for (int c = 0; c < dim_; ++c) {
+      gp[c].assign(nl_, 0.0);
+      gpp[c] = gp[c].data();
+    }
+    psys_->gradient_t(p_.data(), gpp);
+    flops_total_ += e_apply_flops(*psys_) / 2.0;
+    for (int c = 0; c < dim_; ++c) {
+      std::vector<double> weak(nl_);
+      for (std::size_t i = 0; i < nl_; ++i)
+        weak[i] = m.bm[i] * rhs[c][i] + gp[c][i];
+      stats.helmholtz_iters[c] =
+          helmholtz_solve(*hop_, mask_, ubc_[c], weak, u_[c]);
+    }
+  }
+
+  // ---- scalar (species) transport ----
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    auto& sd = *scalars_[sc];
+    if (!sd.hop || sd.hop_beta0 != beta0) {
+      sd.hop = std::make_unique<HelmholtzOp>(*space_, sd.diffusivity,
+                                             beta0 / dt, sd.mask);
+      sd.hop_beta0 = beta0;
+    }
+    std::vector<double> weak(nl_);
+    for (std::size_t i = 0; i < nl_; ++i)
+      weak[i] = m.bm[i] * rhs[dim_ + sc][i];
+    helmholtz_solve(*sd.hop, sd.mask, sd.thbc, weak, sd.th);
+  }
+
+  // ---- pressure correction ----
+  {
+    const std::size_t np = psys_->nloc();
+    std::vector<double> g(np), dp(np, 0.0);
+    const double* uu[3] = {u_[0].data(), u_[1].data(),
+                           dim_ == 3 ? u_[2].data() : nullptr};
+    psys_->divergence(uu, g.data());
+    const double scale = -beta0 / dt;
+    for (auto& v : g) v *= scale;
+    if (opt_.pressure_mean_free) psys_->remove_mean_plain(g.data());
+
+    auto applyE = [&](const double* x, double* y) {
+      psys_->apply_E(x, y);
+      // Keep the Krylov space on the mean-free quotient (E preserves it
+      // exactly in exact arithmetic; this suppresses roundoff drift of
+      // the singular mode).
+      if (opt_.pressure_mean_free) psys_->remove_mean_plain(y);
+      flops_total_ += e_apply_flops(*psys_);
+    };
+    auto pdot = [np](const double* a2, const double* b2) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < np; ++i) s += a2[i] * b2[i];
+      return s;
+    };
+    auto precond = [&](const double* r, double* z) {
+      if (schwarz_) {
+        schwarz_->apply(r, z);
+        flops_total_ += schwarz_->local_flops_per_apply();
+        if (opt_.pressure_mean_free) psys_->remove_mean_plain(z);
+      } else {
+        std::copy(r, r + np, z);
+      }
+    };
+
+    std::vector<double> p0(np, 0.0);
+    if (proj_) {
+      std::vector<double> r(np);
+      stats.pressure_res0 = proj_->project(g.data(), p0.data(), r.data());
+      dp = p0;
+      flops_total_ += 4.0 * proj_->size() * static_cast<double>(np);
+    }
+    // Tolerance relative to the FULL rhs norm (not the projection-reduced
+    // residual), so projection genuinely reduces the iteration count.
+    double gnorm = 0.0;
+    for (std::size_t i = 0; i < np; ++i) gnorm += g[i] * g[i];
+    gnorm = std::sqrt(gnorm);
+    CgOptions copt;
+    copt.tol = opt_.pres_tol * (gnorm > 0.0 ? gnorm : 1.0);
+    copt.max_iter = opt_.max_iter;
+    auto res = pcg(np, applyE, precond, pdot, g.data(), dp.data(), copt);
+    stats.pressure_iters = res.iterations;
+    if (!proj_) stats.pressure_res0 = res.initial_residual;
+    if (proj_) proj_->update(dp.data(), p0.data(), applyE);
+    if (opt_.pressure_mean_free) psys_->remove_mean_plain(dp.data());
+
+    // Velocity correction and pressure update.
+    std::array<std::vector<double>, 3> gd;
+    double* gdp[3] = {nullptr, nullptr, nullptr};
+    for (int c = 0; c < dim_; ++c) {
+      gd[c].assign(nl_, 0.0);
+      gdp[c] = gd[c].data();
+    }
+    psys_->gradient_t(dp.data(), gdp);
+    flops_total_ += e_apply_flops(*psys_) / 2.0;
+    const auto& bmi = space_->bm_inv();
+    const double corr = dt / beta0;
+    for (int c = 0; c < dim_; ++c) {
+      space_->gs().op(gd[c].data());
+      for (std::size_t i = 0; i < nl_; ++i)
+        u_[c][i] += corr * mask_[i] * bmi[i] * gd[c][i];
+    }
+    for (std::size_t i = 0; i < np; ++i) p_[i] += dp[i];
+    if (opt_.pressure_mean_free) psys_->remove_mean(p_.data());
+  }
+
+  // ---- filter, history rotation, stats ----
+  apply_velocity_filter();
+
+  for (int c = 0; c < dim_; ++c) {
+    uh_[1][c].swap(uh_[0][c]);
+    uh_[0][c].swap(un1[c]);
+  }
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    scalars_[sc]->hist[1].swap(scalars_[sc]->hist[0]);
+    scalars_[sc]->hist[0].swap(thn1[sc]);
+  }
+  if (opt_.convection == NsOptions::Convection::Ext) {
+    // ch_[0] holds C(u^{n-1}) computed this step; rotate to history.
+    for (int c = 0; c < dim_; ++c) {
+      ch_[2][c].swap(ch_[1][c]);
+      ch_[1][c].swap(ch_[0][c]);
+    }
+  }
+
+  time_ += dt;
+  ++nsteps_;
+  stats.step = nsteps_;
+  stats.time = time_;
+  stats.divergence = divergence_norm();
+  stats.flops = flops_total_;
+  return stats;
+}
+
+}  // namespace tsem

@@ -1,0 +1,173 @@
+// Unsteady incompressible Navier-Stokes integrator (paper §4).
+//
+// Semi-discrete form (P_N x P_{N-2}):
+//     B du/dt = -B (u.grad)u - nu A u + D^T p + B f,    D u = 0
+// advanced by a BDF operator-splitting scheme:
+//   * the convective term is treated either by OIFS sub-integration
+//     (characteristics: the paper's production scheme, allowing
+//     convective CFL 1-5) or by explicit extrapolation (EXTk);
+//   * each velocity component solves a Jacobi-PCG Helmholtz system
+//     H = (beta0/dt) B + nu A;
+//   * the pressure correction solves E dp = -(beta0/dt) D u* with
+//     Schwarz-preconditioned PCG accelerated by projection onto previous
+//     solutions;
+//   * the Fischer-Mullen filter F_alpha is applied once per step.
+//
+// An optional advected-diffused scalar (temperature) with its own
+// boundary conditions supports the Boussinesq convection applications.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dealias.hpp"
+#include "core/helmholtz.hpp"
+#include "core/pressure.hpp"
+#include "core/space.hpp"
+#include "solver/projection.hpp"
+#include "solver/schwarz.hpp"
+
+namespace tsem {
+
+struct NsOptions {
+  double dt = 1e-3;
+  double viscosity = 1e-3;  ///< nu = 1/Re
+  int torder = 2;           ///< BDF order (1-3); ramps up from 1 at start
+  double filter_alpha = 0.0;
+  enum class Convection { Oifs, Ext };
+  Convection convection = Convection::Oifs;
+  int oifs_substeps = 0;  ///< 0 = auto from the current CFL (target ~0.5)
+  /// Over-integrate the convective term on a 3/2-rule fine Gauss grid
+  /// (OIFS mode only) — removes the aliasing error of the collocation
+  /// form (see core/dealias.hpp).
+  bool dealias = false;
+  /// Solver tolerances.  helm_tol is relative to the initial residual;
+  /// pres_tol is relative to the FULL rhs norm each step (not the
+  /// projection-reduced residual), so projection genuinely saves
+  /// iterations, matching the paper's usage.
+  double helm_tol = 1e-9;
+  double pres_tol = 1e-6;
+  int max_iter = 4000;
+  int proj_len = 8;  ///< projection window L (0 disables)
+  bool use_schwarz = true;
+  SchwarzOptions schwarz;
+  /// Remove the pressure nullspace (enclosed / fully periodic flows).
+  bool pressure_mean_free = true;
+};
+
+struct StepStats {
+  int step = 0;
+  double time = 0.0;
+  int pressure_iters = 0;
+  std::array<int, 3> helmholtz_iters{0, 0, 0};
+  double pressure_res0 = 0.0;  ///< residual before iteration (after proj)
+  double divergence = 0.0;     ///< ||D u^n||_2 after correction
+  double cfl = 0.0;
+  double flops = 0.0;  ///< modeled flops spent this step
+};
+
+class NavierStokes {
+ public:
+  /// dirichlet_tags: boundary tag bits where ALL velocity components are
+  /// Dirichlet (per-component masks can be overridden with set_mask).
+  NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
+               NsOptions opt);
+  ~NavierStokes();  // out-of-line: ScalarData is incomplete here
+
+  [[nodiscard]] const Space& space() const { return *space_; }
+  [[nodiscard]] const NsOptions& options() const { return opt_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] double time() const { return time_; }
+
+  /// Velocity component c (element-by-element storage); set initial
+  /// conditions here before the first step.  Boundary values are frozen
+  /// from this field at the first step() (time-independent BCs).
+  std::vector<double>& u(int c) { return u_[c]; }
+  [[nodiscard]] const std::vector<double>& u(int c) const { return u_[c]; }
+  std::vector<double>& pressure() { return p_; }
+  [[nodiscard]] const PressureSystem& pressure_system() const {
+    return *psys_;
+  }
+
+  /// Nodal body force, called once per step; add into f[c].
+  using Forcing = std::function<void(const NavierStokes&, double t,
+                                     const std::array<double*, 3>& f)>;
+  void set_forcing(Forcing f) { forcing_ = std::move(f); }
+
+  /// Optional advected-diffused scalars (temperature, species, ...):
+  /// the paper's "multiple-species transport" support.  Returns the
+  /// index of the new scalar.
+  int add_scalar(std::uint32_t dirichlet_tags, double diffusivity);
+  [[nodiscard]] int nscalars() const {
+    return static_cast<int>(scalars_.size());
+  }
+  [[nodiscard]] bool has_scalar() const { return !scalars_.empty(); }
+  std::vector<double>& scalar(int which = 0);
+  [[nodiscard]] const std::vector<double>& scalar(int which = 0) const;
+
+  /// Advance one time step.
+  StepStats step();
+
+  /// max_q |u . grad| based convective CFL of the current field.
+  [[nodiscard]] double current_cfl() const;
+  /// ||D u||_2 of the current velocity.
+  [[nodiscard]] double divergence_norm() const;
+  /// Volume-integrated kinetic energy of (u - uref), uref optional.
+  [[nodiscard]] double kinetic_energy(
+      const std::array<const double*, 3>& uref = {nullptr, nullptr,
+                                                  nullptr}) const;
+
+  /// Cumulative modeled flop count (see DESIGN.md performance model).
+  [[nodiscard]] double total_flops() const { return flops_total_; }
+
+ private:
+  struct ScalarData;
+
+  void compute_bdf_coeffs(int order, double* beta0, double* c) const;
+  /// Advect `fields` (in place) from t^{n-q} to t^n by RK4 sub-stepping
+  /// of the pure convection problem, with the advecting velocity
+  /// interpolated/extrapolated from the known history.
+  void oifs_advect(int q, int order, int substeps,
+                   const std::vector<std::vector<double>*>& fields,
+                   const std::vector<const double*>& field_masks);
+  int helmholtz_solve(const HelmholtzOp& h, const std::vector<double>& mask,
+                      const std::vector<double>& bcvals,
+                      const std::vector<double>& rhs_weak,
+                      std::vector<double>& out);
+  void apply_velocity_filter();
+
+  const Space* space_;
+  NsOptions opt_;
+  int dim_;
+  std::size_t nl_;
+  double time_ = 0.0;
+  int nsteps_ = 0;
+
+  std::vector<double> mask_;
+  std::array<std::vector<double>, 3> u_;
+  std::array<std::vector<double>, 3> ubc_;  // frozen Dirichlet values
+  bool bc_frozen_ = false;
+  // Velocity history u^{n-1}, u^{n-2}, u^{n-3}.
+  std::array<std::array<std::vector<double>, 3>, 3> uh_;
+  // Convection history for EXT mode.
+  std::array<std::array<std::vector<double>, 3>, 3> ch_;
+  std::vector<double> p_;
+
+  std::unique_ptr<PressureSystem> psys_;
+  std::unique_ptr<DealiasedConvection> dealias_;
+  std::unique_ptr<SchwarzPrecond> schwarz_;
+  std::unique_ptr<SolutionProjection> proj_;
+  std::unique_ptr<HelmholtzOp> hop_;
+  double hop_beta0_ = -1.0;
+
+  std::vector<std::unique_ptr<ScalarData>> scalars_;
+  Forcing forcing_;
+  std::vector<double> fmat_;  // cached 1D filter matrix
+  mutable TensorWork work_;
+  double flops_total_ = 0.0;
+};
+
+}  // namespace tsem

@@ -1,0 +1,188 @@
+#include "osref/orr_sommerfeld.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/linalg.hpp"
+
+namespace tsem {
+namespace {
+
+using C = std::complex<double>;
+
+// Trefethen's Chebyshev differentiation matrix on x_j = cos(j pi / n).
+void cheb(int n, std::vector<double>& x, std::vector<double>& d) {
+  const int np = n + 1;
+  x.resize(np);
+  for (int j = 0; j <= n; ++j) x[j] = std::cos(M_PI * j / n);
+  d.assign(static_cast<std::size_t>(np) * np, 0.0);
+  auto cw = [n](int i) { return (i == 0 || i == n) ? 2.0 : 1.0; };
+  for (int i = 0; i <= n; ++i) {
+    double rowsum = 0.0;
+    for (int j = 0; j <= n; ++j) {
+      if (i == j) continue;
+      const double sign = ((i + j) % 2 == 0) ? 1.0 : -1.0;
+      const double v = (cw(i) / cw(j)) * sign / (x[i] - x[j]);
+      d[i * np + j] = v;
+      rowsum += v;
+    }
+    d[i * np + i] = -rowsum;
+  }
+}
+
+}  // namespace
+
+OrrSommerfeldResult solve_orr_sommerfeld(double re, double alpha, int npts,
+                                         C guess) {
+  TSEM_REQUIRE(npts >= 16);
+  const int n = npts - 1;
+  const int np = npts;
+  std::vector<double> x, d;
+  cheb(n, x, d);
+
+  // D2 = D*D, D4 = D2*D2 (real).
+  std::vector<double> d2(static_cast<std::size_t>(np) * np, 0.0);
+  for (int i = 0; i < np; ++i)
+    for (int k = 0; k < np; ++k) {
+      const double dik = d[i * np + k];
+      if (dik == 0.0) continue;
+      for (int j = 0; j < np; ++j) d2[i * np + j] += dik * d[k * np + j];
+    }
+  std::vector<double> d4(static_cast<std::size_t>(np) * np, 0.0);
+  for (int i = 0; i < np; ++i)
+    for (int k = 0; k < np; ++k) {
+      const double v = d2[i * np + k];
+      if (v == 0.0) continue;
+      for (int j = 0; j < np; ++j) d4[i * np + j] += v * d2[k * np + j];
+    }
+
+  const double a2 = alpha * alpha;
+  // L = D2 - a^2 I; L2 = (D2 - a^2)^2 = D4 - 2 a^2 D2 + a^4 I.
+  std::vector<C> amat(static_cast<std::size_t>(np) * np);
+  std::vector<C> bmat(static_cast<std::size_t>(np) * np);
+  const C ia(0.0, alpha);
+  for (int i = 0; i < np; ++i) {
+    const double u = 1.0 - x[i] * x[i];  // U(y)
+    const double upp = -2.0;             // U''
+    for (int j = 0; j < np; ++j) {
+      const double l = d2[i * np + j] - (i == j ? a2 : 0.0);
+      const double l2 = d4[i * np + j] - 2.0 * a2 * d2[i * np + j] +
+                        (i == j ? a2 * a2 : 0.0);
+      amat[i * np + j] = u * l - (i == j ? upp : 0.0) - l2 / (ia * re);
+      bmat[i * np + j] = l;
+    }
+  }
+  // Clamped BCs: v(+-1) = 0 on rows 0, n; v'(+-1) = 0 on rows 1, n-1.
+  for (int j = 0; j < np; ++j) {
+    amat[0 * np + j] = (j == 0) ? 1.0 : 0.0;
+    amat[n * np + j] = (j == n) ? 1.0 : 0.0;
+    amat[1 * np + j] = d[0 * np + j];
+    amat[(n - 1) * np + j] = d[n * np + j];
+    bmat[0 * np + j] = bmat[n * np + j] = 0.0;
+    bmat[1 * np + j] = bmat[(n - 1) * np + j] = 0.0;
+  }
+
+  OrrSommerfeldResult res;
+  res.alpha = alpha;
+  res.re = re;
+  res.y = x;
+
+  // Shift-inverted Rayleigh iteration.
+  C sigma = guess;
+  std::vector<C> v(np);
+  for (int i = 0; i < np; ++i) v[i] = std::sin(M_PI * 0.5 * (1.0 + x[i]));
+  v[0] = v[n] = 0.0;
+  std::vector<C> m(static_cast<std::size_t>(np) * np), bv(np), w(np);
+  std::vector<int> piv(np);
+  C lambda = sigma;
+  for (int it = 0; it < 60; ++it) {
+    for (std::size_t k = 0; k < m.size(); ++k)
+      m[k] = amat[k] - sigma * bmat[k];
+    if (!zlu_factor(m.data(), np, piv.data())) {
+      // Exactly singular shift: sigma IS the eigenvalue.
+      res.converged = it > 0;
+      lambda = sigma;
+      break;
+    }
+    // w = (A - sigma B)^{-1} B v
+    for (int i = 0; i < np; ++i) {
+      C s = 0.0;
+      for (int j = 0; j < np; ++j) s += bmat[i * np + j] * v[j];
+      bv[i] = s;
+    }
+    w = bv;
+    zlu_solve(m.data(), piv.data(), np, w.data());
+    // mu = (v, w)/(v, v): lambda = sigma + 1/mu.
+    C num = 0.0, den = 0.0;
+    for (int i = 0; i < np; ++i) {
+      num += std::conj(v[i]) * w[i];
+      den += std::conj(v[i]) * v[i];
+    }
+    const C mu = num / den;
+    if (std::abs(mu) > 1e10) {
+      // Shift is numerically the eigenvalue; the solve amplified by 1/eps.
+      res.converged = true;
+      lambda = sigma;
+      double nn = 0.0;
+      for (int i = 0; i < np; ++i) nn += std::norm(w[i]);
+      nn = std::sqrt(nn);
+      for (int i = 0; i < np; ++i) v[i] = w[i] / nn;
+      break;
+    }
+    const C lambda_new = sigma + 1.0 / mu;
+    double nrm = 0.0;
+    for (int i = 0; i < np; ++i) nrm += std::norm(w[i]);
+    nrm = std::sqrt(nrm);
+    for (int i = 0; i < np; ++i) v[i] = w[i] / nrm;
+    if (std::abs(lambda_new - lambda) < 1e-11 * std::abs(lambda_new)) {
+      lambda = lambda_new;
+      res.converged = true;
+      break;
+    }
+    lambda = lambda_new;
+    if (it >= 2) sigma = lambda;  // Rayleigh update after stabilization
+  }
+  res.c = lambda;
+  res.v = v;
+  // u = (i/alpha) dv/dy.
+  res.u.assign(np, C(0.0, 0.0));
+  for (int i = 0; i < np; ++i) {
+    C s = 0.0;
+    for (int j = 0; j < np; ++j) s += d[i * np + j] * v[j];
+    res.u[i] = C(0.0, 1.0) / alpha * s;
+  }
+  return res;
+}
+
+std::complex<double> chebyshev_eval(
+    const std::vector<double>& ygrid,
+    const std::vector<std::complex<double>>& f, double y) {
+  const int np = static_cast<int>(ygrid.size());
+  const int n = np - 1;
+  // Barycentric weights for Chebyshev points: (-1)^j, halved at ends.
+  C num(0.0, 0.0);
+  double den = 0.0;
+  C numc(0.0, 0.0);
+  std::complex<double> result(0.0, 0.0);
+  double denr = 0.0;
+  bool hit = false;
+  for (int j = 0; j <= n; ++j) {
+    const double dy = y - ygrid[j];
+    if (std::fabs(dy) < 1e-14) {
+      result = f[j];
+      hit = true;
+      break;
+    }
+    double wj = (j % 2 == 0) ? 1.0 : -1.0;
+    if (j == 0 || j == n) wj *= 0.5;
+    const double r = wj / dy;
+    numc += r * f[j];
+    denr += r;
+  }
+  (void)num;
+  (void)den;
+  if (!hit) result = numc / denr;
+  return result;
+}
+
+}  // namespace tsem

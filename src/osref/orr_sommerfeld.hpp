@@ -1,0 +1,40 @@
+// Orr-Sommerfeld reference solver (DESIGN.md substitution for the
+// "linear theory" growth rates Table 1 compares against).
+//
+// Chebyshev collocation of the Orr-Sommerfeld equation for plane
+// Poiseuille flow U(y) = 1 - y^2:
+//   (1/(i alpha Re)) (D^2-a^2)^2 v = (U - c)(D^2-a^2) v - U'' v,
+// with clamped boundary conditions v(+-1) = v'(+-1) = 0, solved by
+// shift-inverted Rayleigh-quotient iteration for the eigenvalue c nearest
+// an initial guess.  The temporal growth rate of a TS wave of
+// streamwise wavenumber alpha is omega_i = alpha * Im(c).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tsem {
+
+struct OrrSommerfeldResult {
+  std::complex<double> c;  ///< complex phase speed
+  double alpha = 0.0;
+  double re = 0.0;
+  bool converged = false;
+  std::vector<double> y;                 ///< Chebyshev points, 1 .. -1
+  std::vector<std::complex<double>> v;   ///< wall-normal eigenfunction
+  std::vector<std::complex<double>> u;   ///< streamwise: (i/alpha) v'
+  /// Temporal growth rate alpha * Im(c) of the perturbation amplitude.
+  [[nodiscard]] double growth_rate() const { return alpha * c.imag(); }
+};
+
+/// npts: Chebyshev points (>= 64 recommended); guess: initial eigenvalue
+/// estimate (e.g. 0.25 + 0.0025i for the Re = 7500, alpha = 1 TS mode).
+OrrSommerfeldResult solve_orr_sommerfeld(double re, double alpha, int npts,
+                                         std::complex<double> guess);
+
+/// Barycentric evaluation of a (complex) Chebyshev-grid function at y.
+std::complex<double> chebyshev_eval(const std::vector<double>& ygrid,
+                                    const std::vector<std::complex<double>>& f,
+                                    double y);
+
+}  // namespace tsem

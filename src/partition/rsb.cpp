@@ -1,0 +1,231 @@
+#include "partition/rsb.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <random>
+
+#include "common/check.hpp"
+#include "tensor/linalg.hpp"
+
+namespace tsem {
+
+std::vector<std::vector<int>> element_graph(const Mesh& mesh) {
+  const int ncorner = 1 << mesh.dim;
+  const int faces = 2 * mesh.dim;
+  // Face key: sorted corner-vertex ids.
+  std::map<std::array<std::int64_t, 4>, std::vector<int>> face_elems;
+  for (int e = 0; e < mesh.nelem; ++e) {
+    const std::int64_t* v =
+        &mesh.vert_id[static_cast<std::size_t>(e) * ncorner];
+    for (int f = 0; f < faces; ++f) {
+      const int axis = f / 2, side = f % 2;
+      std::array<std::int64_t, 4> key{-1, -1, -1, -1};
+      int k = 0;
+      for (int c = 0; c < ncorner; ++c) {
+        if (((c >> axis) & 1) == side) key[k++] = v[c];
+      }
+      std::sort(key.begin(), key.end());
+      face_elems[key].push_back(e);
+    }
+  }
+  std::vector<std::vector<int>> adj(mesh.nelem);
+  for (const auto& [key, elems] : face_elems) {
+    for (std::size_t a = 0; a < elems.size(); ++a)
+      for (std::size_t b = a + 1; b < elems.size(); ++b) {
+        adj[elems[a]].push_back(elems[b]);
+        adj[elems[b]].push_back(elems[a]);
+      }
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return adj;
+}
+
+namespace {
+
+// y = L x for the graph Laplacian.
+void laplacian_apply(const std::vector<std::vector<int>>& adj,
+                     const double* x, double* y) {
+  const int n = static_cast<int>(adj.size());
+  for (int i = 0; i < n; ++i) {
+    double s = static_cast<double>(adj[i].size()) * x[i];
+    for (int j : adj[i]) s -= x[j];
+    y[i] = s;
+  }
+}
+
+void orth_ones(std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  for (double& x : v) x -= mean;
+}
+
+}  // namespace
+
+std::vector<double> fiedler_vector(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  TSEM_REQUIRE(n >= 2);
+  if (n == 2) return {-1.0, 1.0};
+  const int m = std::min(n - 1, 60);  // Lanczos steps
+
+  std::vector<std::vector<double>> v;  // Lanczos vectors
+  std::vector<double> alpha, beta;
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> w(n);
+  for (auto& x : w) x = dist(rng);
+  orth_ones(w);
+  double nrm = norm2(w.data(), n);
+  for (auto& x : w) x /= nrm;
+  v.push_back(w);
+
+  std::vector<double> lw(n);
+  for (int k = 0; k < m; ++k) {
+    laplacian_apply(adj, v[k].data(), lw.data());
+    const double a = dot(v[k].data(), lw.data(), n);
+    alpha.push_back(a);
+    axpy(-a, v[k].data(), lw.data(), n);
+    if (k > 0) axpy(-beta[k - 1], v[k - 1].data(), lw.data(), n);
+    // Full reorthogonalization (incl. constants).
+    orth_ones(lw);
+    for (const auto& vi : v) {
+      const double c = dot(vi.data(), lw.data(), n);
+      axpy(-c, vi.data(), lw.data(), n);
+    }
+    const double b = norm2(lw.data(), n);
+    if (b < 1e-12) break;
+    beta.push_back(b);
+    for (auto& x : lw) x /= b;
+    v.push_back(lw);
+  }
+  const int steps = static_cast<int>(alpha.size());
+  // Tridiagonal eigenproblem; tridiag_eig expects e[i] coupling (i-1, i).
+  std::vector<double> d(alpha.begin(), alpha.end());
+  std::vector<double> e(steps, 0.0);
+  for (int i = 1; i < steps; ++i) e[i] = beta[i - 1];
+  std::vector<double> z(static_cast<std::size_t>(steps) * steps, 0.0);
+  for (int i = 0; i < steps; ++i) z[i * steps + i] = 1.0;
+  TSEM_REQUIRE(tridiag_eig(d, e, z, steps));
+  // Smallest Ritz pair approximates the Fiedler pair (constants deflated).
+  std::vector<double> fied(n, 0.0);
+  for (int k = 0; k < steps; ++k)
+    axpy(z[k * steps + 0], v[k].data(), fied.data(), n);
+  return fied;
+}
+
+namespace {
+
+void rsb_recurse(const std::vector<std::vector<int>>& adj,
+                 const std::vector<int>& elems, int level,
+                 std::vector<int>& part, int base) {
+  if (level == 0) {
+    for (int e : elems) part[e] = base;
+    return;
+  }
+  const int n = static_cast<int>(elems.size());
+  if (n <= 1) {
+    for (int e : elems) part[e] = base << level;
+    return;
+  }
+  // Subgraph adjacency (may be disconnected; Lanczos still yields a
+  // usable splitting vector, and ties fall to the median split).
+  std::vector<int> local(adj.size(), -1);
+  for (int i = 0; i < n; ++i) local[elems[i]] = i;
+  std::vector<std::vector<int>> sub(n);
+  for (int i = 0; i < n; ++i)
+    for (int j : adj[elems[i]])
+      if (local[j] >= 0) sub[i].push_back(local[j]);
+
+  const auto f = fiedler_vector(sub);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return f[a] < f[b]; });
+  std::vector<int> lo, hi;
+  for (int i = 0; i < n; ++i)
+    (i < n / 2 ? lo : hi).push_back(elems[order[i]]);
+  rsb_recurse(adj, lo, level - 1, part, base * 2);
+  rsb_recurse(adj, hi, level - 1, part, base * 2 + 1);
+}
+
+int log2_exact(int nparts) {
+  int l = 0;
+  while ((1 << l) < nparts) ++l;
+  TSEM_REQUIRE((1 << l) == nparts);
+  return l;
+}
+
+}  // namespace
+
+std::vector<int> recursive_spectral_bisection(const Mesh& mesh, int nparts) {
+  const int levels = log2_exact(nparts);
+  const auto adj = element_graph(mesh);
+  std::vector<int> part(mesh.nelem, 0);
+  std::vector<int> all(mesh.nelem);
+  std::iota(all.begin(), all.end(), 0);
+  rsb_recurse(adj, all, levels, part, 0);
+  return part;
+}
+
+namespace {
+
+void rcb_recurse(const std::vector<std::array<double, 3>>& c,
+                 std::vector<int>& elems, int level, std::vector<int>& part,
+                 int base) {
+  if (level == 0) {
+    for (int e : elems) part[e] = base;
+    return;
+  }
+  double lo[3] = {1e300, 1e300, 1e300}, hi[3] = {-1e300, -1e300, -1e300};
+  for (int e : elems)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[e][d]);
+      hi[d] = std::max(hi[d], c[e][d]);
+    }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+  std::sort(elems.begin(), elems.end(),
+            [&](int a, int b) { return c[a][axis] < c[b][axis]; });
+  std::vector<int> left(elems.begin(), elems.begin() + elems.size() / 2);
+  std::vector<int> right(elems.begin() + elems.size() / 2, elems.end());
+  rcb_recurse(c, left, level - 1, part, base * 2);
+  rcb_recurse(c, right, level - 1, part, base * 2 + 1);
+}
+
+}  // namespace
+
+std::vector<int> recursive_coordinate_bisection(const Mesh& mesh,
+                                                int nparts) {
+  const int levels = log2_exact(nparts);
+  std::vector<std::array<double, 3>> cent(mesh.nelem, {0, 0, 0});
+  for (int e = 0; e < mesh.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * mesh.npe;
+    for (int n = 0; n < mesh.npe; ++n) {
+      cent[e][0] += mesh.x[off + n];
+      cent[e][1] += mesh.y[off + n];
+      if (mesh.dim == 3) cent[e][2] += mesh.z[off + n];
+    }
+    for (int d = 0; d < 3; ++d) cent[e][d] /= mesh.npe;
+  }
+  std::vector<int> part(mesh.nelem, 0);
+  std::vector<int> all(mesh.nelem);
+  std::iota(all.begin(), all.end(), 0);
+  rcb_recurse(cent, all, levels, part, 0);
+  return part;
+}
+
+std::vector<int> block_partition(int nelem, int nparts) {
+  std::vector<int> part(nelem);
+  for (int e = 0; e < nelem; ++e)
+    part[e] = static_cast<int>(static_cast<std::int64_t>(e) * nparts / nelem);
+  return part;
+}
+
+}  // namespace tsem

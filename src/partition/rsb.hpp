@@ -1,0 +1,33 @@
+// Element partitioning (paper §6): recursive spectral bisection
+// (Pothen, Simon & Liou [22]) minimizes the number of interface vertices
+// shared between processors and hence the gather-scatter communication;
+// a geometric recursive coordinate bisection baseline is provided for
+// comparison.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace tsem {
+
+/// Face-adjacency graph of the elements: adj[e] = face neighbors of e.
+std::vector<std::vector<int>> element_graph(const Mesh& mesh);
+
+/// Fiedler vector (second Laplacian eigenvector) of a connected graph via
+/// Lanczos with full reorthogonalization on the span orthogonal to
+/// constants.  Returned vector has size adj.size().
+std::vector<double> fiedler_vector(const std::vector<std::vector<int>>& adj);
+
+/// Partition the mesh elements into nparts (power of two) parts by
+/// recursive spectral bisection.  Returns elem -> rank.
+std::vector<int> recursive_spectral_bisection(const Mesh& mesh, int nparts);
+
+/// Geometric baseline: recursive coordinate bisection on element
+/// centroids.
+std::vector<int> recursive_coordinate_bisection(const Mesh& mesh, int nparts);
+
+/// Naive baseline: contiguous blocks of element indices.
+std::vector<int> block_partition(int nelem, int nparts);
+
+}  // namespace tsem

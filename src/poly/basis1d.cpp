@@ -1,0 +1,104 @@
+#include "poly/basis1d.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "poly/lagrange.hpp"
+#include "poly/quadrature.hpp"
+
+namespace tsem {
+namespace {
+
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Basis1D build_basis(int order) {
+  TSEM_REQUIRE(order >= 1);
+  Basis1D b;
+  b.order = order;
+  auto q = gauss_lobatto(order + 1);
+  b.z = std::move(q.z);
+  b.w = std::move(q.w);
+  b.d = derivative_matrix(b.z);
+  const int n = order + 1;
+  b.dt.resize(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b.dt[j * n + i] = b.d[i * n + j];
+  b.ahat.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) s += b.w[k] * b.d[k * n + i] * b.d[k * n + j];
+      b.ahat[i * n + j] = s;
+    }
+  return b;
+}
+
+}  // namespace
+
+const Basis1D& Basis1D::get(int order) {
+  static std::map<int, std::unique_ptr<Basis1D>> cache;
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& slot = cache[order];
+  if (!slot) slot = std::make_unique<Basis1D>(build_basis(order));
+  return *slot;
+}
+
+const std::vector<double>& gll_to_gll(int n_from, int n_to) {
+  static std::map<std::pair<int, int>, std::unique_ptr<std::vector<double>>>
+      cache;
+  const auto& from = Basis1D::get(n_from).z;
+  const auto& to = Basis1D::get(n_to).z;
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& slot = cache[{n_from, n_to}];
+  if (!slot)
+    slot = std::make_unique<std::vector<double>>(
+        interpolation_matrix(from, to));
+  return *slot;
+}
+
+namespace {
+
+struct GaussCache {
+  std::vector<double> z;
+  std::vector<double> w;
+};
+
+const GaussCache& gauss_cache(int npts) {
+  static std::map<int, std::unique_ptr<GaussCache>> cache;
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& slot = cache[npts];
+  if (!slot) {
+    auto q = gauss(npts);
+    slot = std::make_unique<GaussCache>(
+        GaussCache{std::move(q.z), std::move(q.w)});
+  }
+  return *slot;
+}
+
+}  // namespace
+
+const std::vector<double>& gll_to_gauss(int order, int gauss_pts) {
+  static std::map<std::pair<int, int>, std::unique_ptr<std::vector<double>>>
+      cache;
+  const auto& gz = gauss_cache(gauss_pts).z;
+  const auto& from = Basis1D::get(order).z;
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& slot = cache[{order, gauss_pts}];
+  if (!slot)
+    slot = std::make_unique<std::vector<double>>(
+        interpolation_matrix(from, gz));
+  return *slot;
+}
+
+const std::vector<double>& gauss_nodes(int npts) { return gauss_cache(npts).z; }
+
+const std::vector<double>& gauss_weights(int npts) {
+  return gauss_cache(npts).w;
+}
+
+}  // namespace tsem

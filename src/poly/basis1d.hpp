@@ -1,0 +1,39 @@
+// Cached one-dimensional spectral element basis data.
+//
+// All multi-dimensional operators are tensor products of these 1D
+// ingredients (paper eq. 2): the GLL nodes/weights, the nodal
+// differentiation matrix D-hat, the diagonal mass matrix B-hat = diag(w),
+// and the 1D stiffness matrix A-hat = D^T diag(w) D.
+#pragma once
+
+#include <vector>
+
+namespace tsem {
+
+struct Basis1D {
+  int order = 0;                ///< polynomial order N
+  std::vector<double> z;        ///< N+1 GLL nodes
+  std::vector<double> w;        ///< N+1 GLL weights (diagonal of B-hat)
+  std::vector<double> d;        ///< (N+1)^2 differentiation matrix
+  std::vector<double> dt;       ///< transpose of d
+  std::vector<double> ahat;     ///< (N+1)^2 1D stiffness D^T W D
+
+  [[nodiscard]] int npts() const { return order + 1; }
+
+  /// Shared, lazily built, immutable basis for order N (thread-safe).
+  static const Basis1D& get(int order);
+};
+
+/// Interpolation matrix from the GLL(N_from) grid to the GLL(N_to) grid,
+/// (N_to+1) x (N_from+1), cached.
+const std::vector<double>& gll_to_gll(int n_from, int n_to);
+
+/// Interpolation matrix from the GLL(N) grid to the M-point Gauss grid,
+/// M x (N+1), cached.  Used by the P_N x P_{N-2} pressure coupling.
+const std::vector<double>& gll_to_gauss(int order, int gauss_pts);
+
+/// Gauss rule cache (for the pressure mesh).
+const std::vector<double>& gauss_nodes(int npts);
+const std::vector<double>& gauss_weights(int npts);
+
+}  // namespace tsem

@@ -1,0 +1,25 @@
+#include "poly/filter.hpp"
+
+#include "common/check.hpp"
+#include "poly/basis1d.hpp"
+#include "tensor/mxm.hpp"
+
+namespace tsem {
+
+std::vector<double> filter_matrix(int order, double alpha) {
+  TSEM_REQUIRE(order >= 2);
+  TSEM_REQUIRE(alpha >= 0.0 && alpha <= 1.0);
+  const int n = order + 1;
+  const auto& down = gll_to_gll(order, order - 1);  // n-1 x n
+  const auto& up = gll_to_gll(order - 1, order);    // n x n-1
+  std::vector<double> pi(static_cast<std::size_t>(n) * n);
+  mxm_generic(up.data(), n, down.data(), n - 1, pi.data(), n);
+  std::vector<double> f(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      f[i * n + j] = alpha * pi[i * n + j] +
+                     (1.0 - alpha) * (i == j ? 1.0 : 0.0);
+  return f;
+}
+
+}  // namespace tsem

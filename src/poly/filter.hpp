@@ -1,0 +1,18 @@
+// Fischer-Mullen interpolation-based filter (paper §2, ref. [11]).
+//
+// F_alpha = (1 - alpha) I + alpha * Pi_{N-1}, where Pi_{N-1} interpolates
+// down to the GLL grid of order N-1 and back, annihilating the N-th mode
+// in each element.  alpha = 0 is no filtering, alpha = 1 full suppression
+// of the N-th mode.  Applied once per timestep to each velocity component
+// (one 1D matrix per direction — pure tensor-product work, no
+// communication).
+#pragma once
+
+#include <vector>
+
+namespace tsem {
+
+/// The (N+1) x (N+1) 1D filter matrix for strength alpha in [0, 1].
+std::vector<double> filter_matrix(int order, double alpha);
+
+}  // namespace tsem

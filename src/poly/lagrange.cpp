@@ -1,0 +1,66 @@
+#include "poly/lagrange.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+std::vector<double> barycentric_weights(const std::vector<double>& x) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> w(n, 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < n; ++k) {
+      if (k != j) w[j] *= (x[j] - x[k]);
+    }
+    TSEM_REQUIRE(w[j] != 0.0);
+    w[j] = 1.0 / w[j];
+  }
+  return w;
+}
+
+std::vector<double> interpolation_matrix(const std::vector<double>& from,
+                                         const std::vector<double>& to) {
+  const int nf = static_cast<int>(from.size());
+  const int nt = static_cast<int>(to.size());
+  const auto w = barycentric_weights(from);
+  std::vector<double> j(static_cast<std::size_t>(nt) * nf, 0.0);
+  for (int i = 0; i < nt; ++i) {
+    // Exact hit: emit a row of the identity.
+    int hit = -1;
+    for (int c = 0; c < nf; ++c) {
+      if (to[i] == from[c] || std::fabs(to[i] - from[c]) < 1e-14) {
+        hit = c;
+        break;
+      }
+    }
+    if (hit >= 0) {
+      j[i * nf + hit] = 1.0;
+      continue;
+    }
+    double denom = 0.0;
+    for (int c = 0; c < nf; ++c) denom += w[c] / (to[i] - from[c]);
+    for (int c = 0; c < nf; ++c)
+      j[i * nf + c] = (w[c] / (to[i] - from[c])) / denom;
+  }
+  return j;
+}
+
+std::vector<double> derivative_matrix(const std::vector<double>& x) {
+  const int n = static_cast<int>(x.size());
+  const auto w = barycentric_weights(x);
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dij = (w[j] / w[i]) / (x[i] - x[j]);
+      d[i * n + j] = dij;
+      diag -= dij;
+    }
+    d[i * n + i] = diag;
+  }
+  return d;
+}
+
+}  // namespace tsem

@@ -1,0 +1,21 @@
+// Barycentric Lagrange interpolation and differentiation matrices.
+#pragma once
+
+#include <vector>
+
+namespace tsem {
+
+/// Barycentric weights for the node set x (distinct nodes).
+std::vector<double> barycentric_weights(const std::vector<double>& x);
+
+/// Interpolation matrix J (to.size() x from.size()) with
+/// J[i][j] = h_j(to[i]) where h_j are the Lagrange cardinal polynomials on
+/// the `from` nodes.  Exact (row of the identity) when to[i] coincides
+/// with a source node.
+std::vector<double> interpolation_matrix(const std::vector<double>& from,
+                                         const std::vector<double>& to);
+
+/// Differentiation matrix D (n x n) with D[i][j] = h_j'(x[i]).
+std::vector<double> derivative_matrix(const std::vector<double>& x);
+
+}  // namespace tsem

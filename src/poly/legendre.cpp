@@ -1,0 +1,27 @@
+#include "poly/legendre.hpp"
+
+namespace tsem {
+
+LegendreEval legendre(int n, double x) {
+  if (n == 0) return {1.0, 0.0, 0.0};
+  double pm1 = 1.0;  // P_0
+  double p = x;      // P_1
+  for (int k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * k - 1.0) * x * p - (k - 1.0) * pm1) / k;
+    pm1 = p;
+    p = pk;
+  }
+  // (1-x^2) P_n' = n (P_{n-1} - x P_n)
+  const double om = 1.0 - x * x;
+  double dp;
+  if (om > 1e-14) {
+    dp = n * (pm1 - x * p) / om;
+  } else {
+    // Endpoint limit: P_n'(+-1) = (+-1)^{n-1} n(n+1)/2.
+    const double sign = (x > 0.0) ? 1.0 : ((n % 2 == 0) ? -1.0 : 1.0);
+    dp = sign * 0.5 * n * (n + 1.0);
+  }
+  return {p, dp, pm1};
+}
+
+}  // namespace tsem

@@ -1,0 +1,16 @@
+// Legendre polynomial evaluation by three-term recurrence.
+#pragma once
+
+namespace tsem {
+
+struct LegendreEval {
+  double p;    ///< P_n(x)
+  double dp;   ///< P_n'(x)
+  double pm1;  ///< P_{n-1}(x)
+};
+
+/// Evaluate P_n and its derivative at x (|x| <= 1 expected but not
+/// required).  n >= 0.
+LegendreEval legendre(int n, double x);
+
+}  // namespace tsem

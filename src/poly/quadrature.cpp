@@ -1,0 +1,70 @@
+#include "poly/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "poly/legendre.hpp"
+
+namespace tsem {
+
+Quadrature gauss_lobatto(int npts) {
+  TSEM_REQUIRE(npts >= 2);
+  const int n = npts - 1;  // polynomial order
+  Quadrature q;
+  q.z.resize(npts);
+  q.w.resize(npts);
+  q.z.front() = -1.0;
+  q.z.back() = 1.0;
+  // Interior nodes: roots of P_n'.  Newton from Chebyshev-Lobatto guesses.
+  for (int i = 1; i < n; ++i) {
+    double x = -std::cos(M_PI * i / n);
+    for (int it = 0; it < 100; ++it) {
+      const auto ev = legendre(n, x);
+      // f = P_n'; f' = P_n'' = (2x P_n' - n(n+1) P_n) / (1 - x^2)
+      const double f = ev.dp;
+      const double fp = (2.0 * x * ev.dp - n * (n + 1.0) * ev.p) /
+                        (1.0 - x * x);
+      const double dx = f / fp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    q.z[i] = x;
+  }
+  for (int i = 0; i <= n; ++i) {
+    const auto ev = legendre(n, q.z[i]);
+    q.w[i] = 2.0 / (n * (n + 1.0) * ev.p * ev.p);
+  }
+  return q;
+}
+
+Quadrature gauss(int npts) {
+  TSEM_REQUIRE(npts >= 1);
+  const int n = npts;
+  Quadrature q;
+  q.z.resize(npts);
+  q.w.resize(npts);
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    // Tricomi-style initial guess, roots ordered descending for this loop.
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const auto ev = legendre(n, x);
+      const double dx = ev.p / ev.dp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    const auto ev = legendre(n, x);
+    const double w = 2.0 / ((1.0 - x * x) * ev.dp * ev.dp);
+    q.z[n - 1 - i] = x;
+    q.w[n - 1 - i] = w;
+    q.z[i] = -x;
+    q.w[i] = w;
+  }
+  if (n % 2 == 1) {
+    const auto ev = legendre(n, 0.0);
+    q.z[n / 2] = 0.0;
+    q.w[n / 2] = 2.0 / (ev.dp * ev.dp);
+  }
+  return q;
+}
+
+}  // namespace tsem

@@ -1,0 +1,26 @@
+// Gauss and Gauss-Lobatto-Legendre quadrature rules on [-1, 1].
+//
+// The spectral element method collocates velocity on the Gauss-Lobatto
+// (GL in the paper's terminology) points — which include the element
+// boundary, enabling C0 assembly — and pressure on the interior Gauss
+// points (the P_N x P_{N-2} method).
+#pragma once
+
+#include <vector>
+
+namespace tsem {
+
+struct Quadrature {
+  std::vector<double> z;  ///< nodes, ascending in [-1, 1]
+  std::vector<double> w;  ///< positive weights, sum = 2
+};
+
+/// Gauss-Lobatto-Legendre rule with npts >= 2 points (exact through degree
+/// 2*npts - 3).
+Quadrature gauss_lobatto(int npts);
+
+/// Gauss-Legendre rule with npts >= 1 points (exact through degree
+/// 2*npts - 1).
+Quadrature gauss(int npts);
+
+}  // namespace tsem

@@ -1,0 +1,51 @@
+// Simulated distributed-memory machine (DESIGN.md "hardware
+// substitution").
+//
+// A LogP-flavored alpha-beta-rate cost model calibrated to the 1999 Intel
+// ASCI-Red system the paper benchmarks on: 333 MHz dual-Pentium-II nodes,
+// NX/MPI messaging.  The *numerics* in this repository all run for real;
+// this model only supplies the clock for the scaling studies (Fig 6,
+// Fig 8, Table 4), driven by communication volumes and flop counts
+// measured from the real algorithms.
+#pragma once
+
+#include <cstdint>
+
+namespace tsem {
+
+struct MachineParams {
+  double alpha = 20e-6;        ///< message latency, seconds
+  double beta = 8.0 / 310e6;   ///< seconds per 8-byte word (310 MB/s links)
+  double flop_rate = 60e6;     ///< achieved per-node flop/s (std. kernels)
+  const char* name = "machine";
+
+  /// ASCI-Red-333 with the measured kernel tiers of Table 3/4:
+  /// std: stock-library mxm rates; perf: best-of-table kernels;
+  /// dual: two processors per node sharing one memory bus (the paper
+  /// reports 82% dual-processor efficiency).
+  static MachineParams asci_red(bool dual, bool perf);
+
+  [[nodiscard]] double msg_time(std::int64_t words) const {
+    return alpha + static_cast<double>(words) * beta;
+  }
+  [[nodiscard]] double compute_time(double flops) const {
+    return flops / flop_rate;
+  }
+};
+
+/// Time for an allgather of `words` total result words over P ranks
+/// (recursive doubling: log2 P stages, (P-1)/P of the data moved).
+double allgather_time(const MachineParams& m, int nranks, std::int64_t words);
+
+/// Time for an allreduce of `words` words (recursive doubling).
+double allreduce_time(const MachineParams& m, int nranks, std::int64_t words);
+
+/// Contention-free binary-tree fan-in + fan-out with per-level message
+/// sizes msg[l] (l = 0 at the root), the XXT solve schedule.
+double tree_fan_time(const MachineParams& m, const std::int64_t* level_words,
+                     int nlevels);
+
+/// The paper's Fig 6 lower-bound curve: latency * 2 log2 P.
+double latency_bound(const MachineParams& m, int nranks);
+
+}  // namespace tsem

@@ -1,0 +1,110 @@
+// Preconditioned conjugate gradient iteration (paper §1, §5).
+//
+// Generic over the operator, preconditioner and inner product so the same
+// driver serves the Jacobi-preconditioned Helmholtz solves, the
+// Schwarz-preconditioned pressure solves, and the unit tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tsem {
+
+struct CgOptions {
+  int max_iter = 2000;
+  double tol = 1e-8;        ///< on the 2-norm of the (preconditioned) residual
+  bool relative = false;    ///< scale tol by the initial residual norm
+  bool record_history = false;
+  /// Stop (non-converged) if the best residual has not improved over this
+  /// many iterations — guards against spinning on a roundoff floor when an
+  /// absolute tolerance is set below what the system can attain.
+  int stall_window = 100;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double final_residual = 0.0;
+  double initial_residual = 0.0;
+  bool converged = false;
+  std::vector<double> history;  ///< residual norm per iteration if recorded
+};
+
+/// Solve A x = b.  `apply(p, ap)` computes ap = A p; `precond(r, z)`
+/// computes z = M^{-1} r (may alias-copy for identity); `dot(u, v)` is the
+/// inner product in which A is self-adjoint.  x holds the initial guess on
+/// entry and the solution on return.
+template <class Apply, class Precond, class Dot>
+CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
+             const double* b, double* x, const CgOptions& opt = {}) {
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  apply(x, ap.data());
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  CgResult res;
+  double rnorm = std::sqrt(dot(r.data(), r.data()));
+  res.initial_residual = rnorm;
+  const double target = opt.relative ? opt.tol * (rnorm > 0 ? rnorm : 1.0)
+                                     : opt.tol;
+  if (opt.record_history) res.history.push_back(rnorm);
+  if (rnorm <= target) {
+    res.converged = true;
+    res.final_residual = rnorm;
+    return res;
+  }
+
+  precond(r.data(), z.data());
+  for (std::size_t i = 0; i < n; ++i) p[i] = z[i];
+  double rz = dot(r.data(), z.data());
+
+  double best = rnorm;
+  int best_it = 0;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    apply(p.data(), ap.data());
+    const double pap = dot(p.data(), ap.data());
+    if (!(pap > 0.0)) break;  // loss of positive definiteness (or NaN)
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    rnorm = std::sqrt(dot(r.data(), r.data()));
+    res.iterations = it;
+    if (opt.record_history) res.history.push_back(rnorm);
+    if (rnorm <= target) {
+      res.converged = true;
+      break;
+    }
+    if (rnorm < 0.999 * best) {
+      best = rnorm;
+      best_it = it;
+    } else if (it - best_it >= opt.stall_window) {
+      break;  // stagnated at the attainable floor
+    }
+    precond(r.data(), z.data());
+    const double rz_new = dot(r.data(), z.data());
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.final_residual = rnorm;
+  return res;
+}
+
+/// Identity preconditioner.
+inline auto identity_precond(std::size_t n) {
+  return [n](const double* r, double* z) {
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i];
+  };
+}
+
+/// Diagonal (Jacobi) preconditioner from a diagonal vector.
+inline auto jacobi_precond(const std::vector<double>& diag) {
+  return [&diag](const double* r, double* z) {
+    for (std::size_t i = 0; i < diag.size(); ++i) z[i] = r[i] / diag[i];
+  };
+}
+
+}  // namespace tsem

@@ -1,0 +1,98 @@
+#include "solver/coarse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+XxtCoarse::XxtCoarse(const CsrMatrix& a, const std::vector<double>& x,
+                     const std::vector<double>& y,
+                     const std::vector<double>& z, int nlevels) {
+  const auto nd = nested_dissection(a, x, y, z, nlevels);
+  solver_ = std::make_unique<XxtSolver>(a, nd);
+}
+
+void XxtCoarse::solve(const double* b, double* x) const {
+  solver_->solve(b, x);
+}
+
+namespace {
+
+int matrix_bandwidth(const CsrMatrix& a) {
+  int kd = 0;
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col();
+  for (int r = 0; r < a.n(); ++r)
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k)
+      kd = std::max(kd, std::abs(r - col[k]));
+  return kd;
+}
+
+std::vector<double> band_storage(const CsrMatrix& a, int kd) {
+  const int n = a.n();
+  std::vector<double> band(static_cast<std::size_t>(n) * (kd + 1), 0.0);
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col();
+  const auto& val = a.val();
+  for (int r = 0; r < n; ++r)
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k)
+      if (col[k] <= r) band[static_cast<std::size_t>(r) * (kd + 1) +
+                            (r - col[k])] = val[k];
+  return band;
+}
+
+}  // namespace
+
+RedundantLuCoarse::RedundantLuCoarse(const CsrMatrix& a) : n_(a.n()) {
+  const int kd = matrix_bandwidth(a);
+  TSEM_REQUIRE(chol_.factor(band_storage(a, kd), n_, kd));
+}
+
+void RedundantLuCoarse::solve(const double* b, double* x) const {
+  std::copy(b, b + n_, x);
+  chol_.solve(x);
+}
+
+DistributedInvCoarse::DistributedInvCoarse(const CsrMatrix& a) : n_(a.n()) {
+  TSEM_REQUIRE(n_ <= 8192);  // O(n^2 bw) construction
+  const int kd = matrix_bandwidth(a);
+  BandedCholesky chol;
+  TSEM_REQUIRE(chol.factor(band_storage(a, kd), n_, kd));
+  inv_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  std::vector<double> col(n_);
+  for (int j = 0; j < n_; ++j) {
+    std::fill(col.begin(), col.end(), 0.0);
+    col[j] = 1.0;
+    chol.solve(col.data());
+    for (int i = 0; i < n_; ++i) inv_[static_cast<std::size_t>(i) * n_ + j] =
+        col[i];
+  }
+}
+
+void DistributedInvCoarse::solve(const double* b, double* x) const {
+  for (int i = 0; i < n_; ++i) {
+    double s = 0.0;
+    const double* row = inv_.data() + static_cast<std::size_t>(i) * n_;
+    for (int j = 0; j < n_; ++j) s += row[j] * b[j];
+    x[i] = s;
+  }
+}
+
+CsrMatrix pin_dof(const CsrMatrix& a, int dof) {
+  std::vector<Triplet> trip;
+  const auto& rp = a.row_ptr();
+  const auto& col = a.col();
+  const auto& val = a.val();
+  for (int r = 0; r < a.n(); ++r)
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (r == dof || col[k] == dof) continue;
+      trip.push_back({r, col[k], val[k]});
+    }
+  trip.push_back({static_cast<std::int32_t>(dof),
+                  static_cast<std::int32_t>(dof), 1.0});
+  return CsrMatrix(a.n(), std::move(trip));
+}
+
+}  // namespace tsem

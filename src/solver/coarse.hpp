@@ -1,0 +1,71 @@
+// Coarse-grid solver backends (paper §5, Fig 6).
+//
+// All three produce the same x0 = A0^{-1} b0; they differ in parallel
+// cost, which bench_fig6_coarse models on the simulated machine:
+//   * XxtCoarse            — the paper's X X^T sparse-factorization solver;
+//   * RedundantLuCoarse    — every rank gathers b0 and back-solves a banded
+//                            Cholesky factorization redundantly;
+//   * DistributedInvCoarse — A0^{-1} rows distributed; allgather b0 then a
+//                            local dense row block product.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/csr.hpp"
+#include "solver/xxt.hpp"
+#include "tensor/linalg.hpp"
+
+namespace tsem {
+
+class CoarseSolver {
+ public:
+  virtual ~CoarseSolver() = default;
+  virtual void solve(const double* b, double* x) const = 0;
+  [[nodiscard]] virtual int n() const = 0;
+};
+
+class XxtCoarse final : public CoarseSolver {
+ public:
+  XxtCoarse(const CsrMatrix& a, const std::vector<double>& x,
+            const std::vector<double>& y, const std::vector<double>& z,
+            int nlevels);
+  void solve(const double* b, double* x) const override;
+  [[nodiscard]] int n() const override { return solver_->n(); }
+  [[nodiscard]] const XxtSolver& xxt() const { return *solver_; }
+
+ private:
+  std::unique_ptr<XxtSolver> solver_;
+};
+
+class RedundantLuCoarse final : public CoarseSolver {
+ public:
+  explicit RedundantLuCoarse(const CsrMatrix& a);
+  void solve(const double* b, double* x) const override;
+  [[nodiscard]] int n() const override { return n_; }
+  [[nodiscard]] int bandwidth() const { return chol_.bandwidth(); }
+  [[nodiscard]] double solve_flops() const { return chol_.solve_flops(); }
+
+ private:
+  int n_;
+  BandedCholesky chol_;
+};
+
+class DistributedInvCoarse final : public CoarseSolver {
+ public:
+  /// Builds the explicit inverse (rows of A^{-1}); n is capped since the
+  /// construction is O(n^2 * bandwidth).
+  explicit DistributedInvCoarse(const CsrMatrix& a);
+  void solve(const double* b, double* x) const override;
+  [[nodiscard]] int n() const override { return n_; }
+
+ private:
+  int n_;
+  std::vector<double> inv_;
+};
+
+/// Zero row/column `dof` of a (keeping a unit diagonal): regularizes the
+/// singular pure-Neumann coarse operator by pinning one vertex.
+CsrMatrix pin_dof(const CsrMatrix& a, int dof);
+
+}  // namespace tsem

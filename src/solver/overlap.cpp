@@ -1,0 +1,136 @@
+#include "solver/overlap.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+#include "mesh/point_numberer.hpp"
+#include "poly/basis1d.hpp"
+#include "tensor/mxm.hpp"
+#include "tensor/tensor_apply.hpp"
+
+namespace tsem {
+
+GhostExchange::GhostExchange(const PressureSystem& psys, int nlayers)
+    : dim_(psys.vspace().mesh().dim),
+      ng1_(psys.ng1()),
+      nlayers_(nlayers) {
+  TSEM_REQUIRE(nlayers_ >= 1 && nlayers_ <= ng1_);
+  const Mesh& m = psys.vspace().mesh();
+  const int n1 = m.n1d();
+  nt_ = 1;
+  for (int d = 1; d < dim_; ++d) nt_ *= ng1_;
+  nslots_ = static_cast<std::size_t>(m.nelem) * 2 * dim_ * nt_;
+
+  const auto& ig = gll_to_gauss(m.order, ng1_);  // ng1 x n1
+  const double diag = m.bbox_diag();
+  PointNumberer num(1e-5 * diag, 1e-8 * diag);
+  std::vector<std::int64_t> ids(nslots_);
+
+  // Workspaces for face-coordinate interpolation.
+  std::vector<double> face_vals(static_cast<std::size_t>(n1) * n1);
+  std::vector<double> anchor(static_cast<std::size_t>(nt_) * 3, 0.0);
+  std::vector<double> work(static_cast<std::size_t>(ng1_) * n1 + nt_);
+
+  const double* coords[3] = {m.x.data(), m.y.data(),
+                             dim_ == 3 ? m.z.data() : nullptr};
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+    for (int f = 0; f < 2 * dim_; ++f) {
+      const int axis = f / 2;
+      const int side = f % 2;
+      for (int c = 0; c < dim_; ++c) {
+        // Extract the face restriction of coordinate c on the GLL grid
+        // (tangential axes ascending, lower axis fastest), then
+        // interpolate to the Gauss tangential grid.
+        if (dim_ == 2) {
+          const int tax = 1 - axis;
+          for (int q = 0; q < n1; ++q) {
+            int ij[2];
+            ij[axis] = side == 0 ? 0 : m.order;
+            ij[tax] = q;
+            face_vals[q] = coords[c][off + ij[1] * n1 + ij[0]];
+          }
+          // anchor_t = sum_q ig[t][q] face_vals[q]
+          for (int t = 0; t < ng1_; ++t) {
+            double s = 0.0;
+            for (int q = 0; q < n1; ++q) s += ig[t * n1 + q] * face_vals[q];
+            anchor[t * 3 + c] = s;
+          }
+        } else {
+          int taxes[2], ti = 0;
+          for (int d = 0; d < 3; ++d)
+            if (d != axis) taxes[ti++] = d;
+          for (int q2 = 0; q2 < n1; ++q2)
+            for (int q1 = 0; q1 < n1; ++q1) {
+              int ijk[3];
+              ijk[axis] = side == 0 ? 0 : m.order;
+              ijk[taxes[0]] = q1;
+              ijk[taxes[1]] = q2;
+              face_vals[q2 * n1 + q1] =
+                  coords[c][off + (static_cast<std::size_t>(ijk[2]) * n1 +
+                                   ijk[1]) * n1 + ijk[0]];
+            }
+          std::vector<double> out(static_cast<std::size_t>(ng1_) * ng1_);
+          tensor2_apply(ig.data(), ng1_, n1, ig.data(), ng1_, n1,
+                        face_vals.data(), out.data(), work.data());
+          for (int t = 0; t < nt_; ++t) anchor[t * 3 + c] = out[t];
+        }
+      }
+      const std::size_t base =
+          (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt_;
+      for (int t = 0; t < nt_; ++t)
+        ids[base + t] =
+            num.id_of(anchor[t * 3 + 0], anchor[t * 3 + 1], anchor[t * 3 + 2]);
+    }
+  }
+  gs_ = GatherScatter(ids);
+  buf_.resize(nslots_);
+  own_.resize(nslots_);
+}
+
+std::size_t GhostExchange::donor_node(std::size_t slot, int layer) const {
+  const int t = static_cast<int>(slot % nt_);
+  const int f = static_cast<int>((slot / nt_) % (2 * dim_));
+  const std::size_t e = slot / (static_cast<std::size_t>(nt_) * 2 * dim_);
+  const int axis = f / 2;
+  const int side = f % 2;
+  int idx[3] = {0, 0, 0};
+  idx[axis] = side == 0 ? layer : ng1_ - 1 - layer;
+  if (dim_ == 2) {
+    idx[1 - axis] = t;
+    return (e * ng1_ + idx[1]) * ng1_ + idx[0];
+  }
+  int taxes[2], ti = 0;
+  for (int d = 0; d < 3; ++d)
+    if (d != axis) taxes[ti++] = d;
+  idx[taxes[0]] = t % ng1_;
+  idx[taxes[1]] = t / ng1_;
+  return ((e * ng1_ + idx[2]) * ng1_ + idx[1]) * ng1_ + idx[0];
+}
+
+void GhostExchange::exchange(const double* p, double* ghost) const {
+  for (int l = 0; l < nlayers_; ++l) {
+    for (std::size_t s = 0; s < nslots_; ++s) {
+      own_[s] = p[donor_node(s, l)];
+      buf_[s] = own_[s];
+    }
+    gs_.op(buf_.data());
+    double* g = ghost + static_cast<std::size_t>(l) * nslots_;
+    for (std::size_t s = 0; s < nslots_; ++s) g[s] = buf_[s] - own_[s];
+  }
+}
+
+void GhostExchange::scatter_add(const double* v, double* p) const {
+  for (int l = 0; l < nlayers_; ++l) {
+    const double* g = v + static_cast<std::size_t>(l) * nslots_;
+    for (std::size_t s = 0; s < nslots_; ++s) {
+      own_[s] = g[s];
+      buf_[s] = g[s];
+    }
+    gs_.op(buf_.data());
+    for (std::size_t s = 0; s < nslots_; ++s)
+      p[donor_node(s, l)] += buf_[s] - own_[s];
+  }
+}
+
+}  // namespace tsem

@@ -1,0 +1,55 @@
+// Ghost-layer exchange for the overlapping Schwarz preconditioner
+// (paper §5, Fig 5 right).
+//
+// Each element's local subdomain extends `nlayers` Gauss points into its
+// face neighbors.  The exchange is organized around geometric "anchors":
+// the intersection points of each element's tangential Gauss lines with
+// its faces.  For conforming meshes both sharing elements compute the
+// same anchor coordinates, so matching anchors (and a layer index) pairs
+// up donor and receiver slots without any explicit neighbor/orientation
+// bookkeeping — the machinery reduces to the same gather-scatter kernel
+// used for residual assembly.
+//
+// Slot layout: slot(e, f, t) = (e * 2*dim + f) * nt + t, with f = 2*axis
+// + side and t the tangential multi-index (x-fastest among the non-normal
+// axes); layers are stored as consecutive nslots-sized blocks.
+#pragma once
+
+#include <vector>
+
+#include "core/pressure.hpp"
+#include "gs/gather_scatter.hpp"
+
+namespace tsem {
+
+class GhostExchange {
+ public:
+  GhostExchange(const PressureSystem& psys, int nlayers);
+
+  [[nodiscard]] int nlayers() const { return nlayers_; }
+  /// Slots per layer (= nelem * 2*dim * ng1^(dim-1)).
+  [[nodiscard]] std::size_t nslots() const { return nslots_; }
+
+  /// Fill ghost[l*nslots + slot] with the neighbor's layer-l value
+  /// adjacent to each face (0 beyond physical boundaries), reading from
+  /// the pressure field p.
+  void exchange(const double* p, double* ghost) const;
+
+  /// Reverse path: v[l*nslots + slot] holds this element's local-solve
+  /// value at its ghost points; route each to the neighbor that owns the
+  /// underlying dof and accumulate into p.
+  void scatter_add(const double* v, double* p) const;
+
+  /// Local pressure dof index for (slot, layer) — the donor node.
+  [[nodiscard]] std::size_t donor_node(std::size_t slot, int layer) const;
+
+ private:
+  int dim_, ng1_, nlayers_;
+  int nt_;  // tangential slots per face
+  std::size_t nslots_;
+  GatherScatter gs_;
+  mutable std::vector<double> buf_;
+  mutable std::vector<double> own_;
+};
+
+}  // namespace tsem

@@ -1,0 +1,62 @@
+#include "solver/projection.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/linalg.hpp"
+
+namespace tsem {
+
+SolutionProjection::SolutionProjection(std::size_t n, int lmax)
+    : n_(n), lmax_(lmax) {
+  TSEM_REQUIRE(lmax >= 1);
+}
+
+double SolutionProjection::project(const double* g, double* p0,
+                                   double* r) const {
+  std::fill(p0, p0 + n_, 0.0);
+  std::copy(g, g + n_, r);
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    const double c = dot(q_[i].data(), g, n_);
+    axpy(c, q_[i].data(), p0, n_);
+    axpy(-c, w_[i].data(), r, n_);
+  }
+  return norm2(r, n_);
+}
+
+void SolutionProjection::push(std::vector<double> q, std::vector<double> w) {
+  // Two-pass Gram-Schmidt in the E inner product for numerical stability.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      const double c = dot(w_[i].data(), q.data(), n_);
+      axpy(-c, q_[i].data(), q.data(), n_);
+      axpy(-c, w_[i].data(), w.data(), n_);
+    }
+  }
+  const double nrm2 = dot(q.data(), w.data(), n_);
+  if (!(nrm2 > 1e-28)) return;  // linearly dependent; drop
+  const double inv = 1.0 / std::sqrt(nrm2);
+  for (std::size_t k = 0; k < n_; ++k) {
+    q[k] *= inv;
+    w[k] *= inv;
+  }
+  q_.push_back(std::move(q));
+  w_.push_back(std::move(w));
+}
+
+void SolutionProjection::update(const double* p, const double* p0,
+                                const Apply& apply) {
+  std::vector<double> delta(n_);
+  for (std::size_t k = 0; k < n_; ++k) delta[k] = p[k] - p0[k];
+  std::vector<double> image(n_);
+
+  if (static_cast<int>(q_.size()) >= lmax_) {
+    // Window full: restart the basis from the current full solution.
+    clear();
+    std::copy(p, p + n_, delta.data());
+  }
+  apply(delta.data(), image.data());
+  push(std::move(delta), std::move(image));
+}
+
+}  // namespace tsem

@@ -1,0 +1,272 @@
+#include "solver/schwarz.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fem/fem.hpp"
+#include "poly/basis1d.hpp"
+#include "tensor/linalg.hpp"
+
+namespace tsem {
+namespace {
+
+// Physical extent of element e along reference axis d: distance between
+// the centroids of the two opposite faces.
+double element_extent(const Mesh& m, int e, int axis) {
+  const int n1 = m.n1d();
+  const std::size_t off = static_cast<std::size_t>(e) * m.npe;
+  double clo[3] = {0, 0, 0}, chi[3] = {0, 0, 0};
+  int count = 0;
+  auto visit = [&](int i, int j, int k) {
+    int idx3[3] = {i, j, k};
+    double* c = (idx3[axis] == 0) ? clo : chi;
+    std::size_t idx = off;
+    if (m.dim == 2)
+      idx += static_cast<std::size_t>(j) * n1 + i;
+    else
+      idx += (static_cast<std::size_t>(k) * n1 + j) * n1 + i;
+    c[0] += m.x[idx];
+    c[1] += m.y[idx];
+    if (m.dim == 3) c[2] += m.z[idx];
+    if (idx3[axis] == 0) ++count;
+  };
+  const int kmax = m.dim == 3 ? n1 : 1;
+  for (int k = 0; k < kmax; ++k)
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i) {
+        int idx3[3] = {i, j, k};
+        if (idx3[axis] == 0 || idx3[axis] == m.order) visit(i, j, k);
+      }
+  double d2 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    const double d = (chi[c] - clo[c]) / count;
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+}  // namespace
+
+SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
+    : psys_(&psys), opt_(opt) {
+  const Mesh& m = psys.vspace().mesh();
+  dim_ = m.dim;
+  ng1_ = psys.ng1();
+  if (opt_.local == SchwarzOptions::Local::Fdm) TSEM_REQUIRE(opt_.overlap == 1);
+  TSEM_REQUIRE(opt_.overlap >= 0 && opt_.overlap < ng1_);
+  m1_ = ng1_ + 2 * opt_.overlap;
+  nle_ = 1;
+  for (int d = 0; d < dim_; ++d) nle_ *= m1_;
+  if (opt_.overlap > 0)
+    ghosts_ = std::make_unique<GhostExchange>(psys, opt_.overlap);
+  build_local_grids();
+  if (opt_.use_coarse) build_coarse();
+  rloc_.resize(nle_);
+  zloc_.resize(nle_);
+  lwork_.resize(3 * nle_);
+  if (ghosts_) {
+    ghost_.resize(static_cast<std::size_t>(opt_.overlap) * ghosts_->nslots());
+    vout_.resize(ghost_.size());
+  }
+}
+
+void SchwarzPrecond::build_local_grids() {
+  const Mesh& m = psys_->vspace().mesh();
+  const auto& g = gauss_nodes(ng1_);
+  const int ov = opt_.overlap;
+  local_flops_ = 0.0;
+  for (int e = 0; e < m.nelem; ++e) {
+    std::array<std::vector<double>, 3> pts;
+    for (int d = 0; d < dim_; ++d) {
+      const double len = element_extent(m, e, d);
+      auto offv = [&](int i) { return len * (g[i] + 1.0) * 0.5; };
+      auto& p = pts[d];
+      p.clear();
+      p.push_back(-offv(ov));  // Dirichlet ring (low)
+      for (int l = ov - 1; l >= 0; --l) p.push_back(-offv(l));
+      for (int i = 0; i < ng1_; ++i) p.push_back(offv(i));
+      for (int l = 0; l < ov; ++l) p.push_back(len + offv(l));
+      p.push_back(len + offv(ov));  // Dirichlet ring (high)
+    }
+    if (opt_.local == SchwarzOptions::Local::Fdm) {
+      fdm_.emplace_back(pts, dim_);
+      local_flops_ += fdm_.back().solve_flops();
+    } else {
+      std::vector<double> a =
+          (dim_ == 2) ? p1_laplacian_2d(pts[0], pts[1])
+                      : p1_laplacian_3d(pts[0], pts[1], pts[2]);
+      const int n = static_cast<int>(nle_);
+      TSEM_REQUIRE(cholesky_factor(a.data(), n));
+      fem_.push_back(std::move(a));
+      local_flops_ += 2.0 * static_cast<double>(nle_) * nle_;
+    }
+  }
+}
+
+void SchwarzPrecond::build_coarse() {
+  const Mesh& m = psys_->vspace().mesh();
+  CsrMatrix a0 = pin_dof(q1_vertex_laplacian(m), 0);
+  std::vector<double> vx, vy, vz;
+  vertex_coords(m, vx, vy, vz);
+  int nlev = opt_.coarse_nlevels;
+  if (nlev < 0) {
+    nlev = 0;
+    while ((m.nvert >> (nlev + 1)) >= 32 && nlev < 12) ++nlev;
+  }
+  coarse_ = std::make_unique<XxtCoarse>(a0, vx, vy, vz, nlev);
+  cb_.resize(m.nvert);
+  cx_.resize(m.nvert);
+
+  // Bilinear corner weights at the Gauss points (reference element).
+  const auto& g = gauss_nodes(ng1_);
+  const int ncorner = 1 << dim_;
+  const int npe = psys_->npe();
+  r0w_.assign(static_cast<std::size_t>(ncorner) * npe, 0.0);
+  for (int c = 0; c < ncorner; ++c) {
+    for (int q = 0; q < npe; ++q) {
+      double w = 1.0;
+      int rem = q;
+      for (int d = 0; d < dim_; ++d) {
+        const int qi = rem % ng1_;
+        rem /= ng1_;
+        const double gd = g[qi];
+        w *= ((c >> d) & 1) ? 0.5 * (1.0 + gd) : 0.5 * (1.0 - gd);
+      }
+      r0w_[static_cast<std::size_t>(c) * npe + q] = w;
+    }
+  }
+}
+
+void SchwarzPrecond::apply(const double* r, double* z) const {
+  const Mesh& m = psys_->vspace().mesh();
+  const int npe = psys_->npe();
+  const int ov = opt_.overlap;
+  const std::size_t nloc = psys_->nloc();
+  std::fill(z, z + nloc, 0.0);
+
+  if (ghosts_) ghosts_->exchange(r, ghost_.data());
+  const std::size_t nslots = ghosts_ ? ghosts_->nslots() : 0;
+  const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
+
+  for (int e = 0; e < m.nelem; ++e) {
+    const std::size_t poff = static_cast<std::size_t>(e) * npe;
+    std::fill(rloc_.begin(), rloc_.end(), 0.0);
+    // Own dofs.
+    if (dim_ == 2) {
+      for (int j = 0; j < ng1_; ++j)
+        for (int i = 0; i < ng1_; ++i)
+          rloc_[(j + ov) * m1_ + (i + ov)] = r[poff + j * ng1_ + i];
+    } else {
+      for (int k = 0; k < ng1_; ++k)
+        for (int j = 0; j < ng1_; ++j)
+          for (int i = 0; i < ng1_; ++i)
+            rloc_[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)] =
+                r[poff + (k * ng1_ + j) * ng1_ + i];
+    }
+    // Ghost strips.
+    if (ghosts_) {
+      for (int f = 0; f < 2 * dim_; ++f) {
+        const int axis = f / 2, side = f % 2;
+        for (int l = 0; l < ov; ++l) {
+          for (int t = 0; t < nt; ++t) {
+            const std::size_t slot =
+                (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt + t;
+            const double gv = ghost_[static_cast<std::size_t>(l) * nslots +
+                                     slot];
+            int idx[3] = {0, 0, 0};
+            idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
+            if (dim_ == 2) {
+              idx[1 - axis] = ov + t;
+              rloc_[idx[1] * m1_ + idx[0]] = gv;
+            } else {
+              int taxes[2], ti = 0;
+              for (int d = 0; d < 3; ++d)
+                if (d != axis) taxes[ti++] = d;
+              idx[taxes[0]] = ov + t % ng1_;
+              idx[taxes[1]] = ov + t / ng1_;
+              rloc_[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]] = gv;
+            }
+          }
+        }
+      }
+    }
+    // Local solve.
+    if (opt_.local == SchwarzOptions::Local::Fdm) {
+      fdm_[e].solve(rloc_.data(), zloc_.data(), lwork_.data());
+    } else {
+      std::copy(rloc_.begin(), rloc_.end(), zloc_.begin());
+      cholesky_solve(fem_[e].data(), static_cast<int>(nle_), zloc_.data());
+    }
+    // Scatter own part.
+    if (dim_ == 2) {
+      for (int j = 0; j < ng1_; ++j)
+        for (int i = 0; i < ng1_; ++i)
+          z[poff + j * ng1_ + i] += zloc_[(j + ov) * m1_ + (i + ov)];
+    } else {
+      for (int k = 0; k < ng1_; ++k)
+        for (int j = 0; j < ng1_; ++j)
+          for (int i = 0; i < ng1_; ++i)
+            z[poff + (k * ng1_ + j) * ng1_ + i] +=
+                zloc_[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)];
+    }
+    // Ghost parts routed back to the neighbors.
+    if (ghosts_) {
+      for (int f = 0; f < 2 * dim_; ++f) {
+        const int axis = f / 2, side = f % 2;
+        for (int l = 0; l < ov; ++l) {
+          for (int t = 0; t < nt; ++t) {
+            const std::size_t slot =
+                (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt + t;
+            int idx[3] = {0, 0, 0};
+            idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
+            double v;
+            if (dim_ == 2) {
+              idx[1 - axis] = ov + t;
+              v = zloc_[idx[1] * m1_ + idx[0]];
+            } else {
+              int taxes[2], ti = 0;
+              for (int d = 0; d < 3; ++d)
+                if (d != axis) taxes[ti++] = d;
+              idx[taxes[0]] = ov + t % ng1_;
+              idx[taxes[1]] = ov + t / ng1_;
+              v = zloc_[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
+            }
+            vout_[static_cast<std::size_t>(l) * nslots + slot] = v;
+          }
+        }
+      }
+    }
+  }
+  if (ghosts_) ghosts_->scatter_add(vout_.data(), z);
+
+  // Coarse-grid contribution.
+  if (coarse_) {
+    std::fill(cb_.begin(), cb_.end(), 0.0);
+    const int ncorner = 1 << dim_;
+    for (int e = 0; e < m.nelem; ++e) {
+      const std::size_t poff = static_cast<std::size_t>(e) * npe;
+      const std::int64_t* v =
+          &m.vert_id[static_cast<std::size_t>(e) * ncorner];
+      for (int c = 0; c < ncorner; ++c) {
+        const double* w = r0w_.data() + static_cast<std::size_t>(c) * npe;
+        double s = 0.0;
+        for (int q = 0; q < npe; ++q) s += w[q] * r[poff + q];
+        cb_[v[c]] += s;
+      }
+    }
+    cb_[0] = 0.0;  // pinned vertex
+    coarse_->solve(cb_.data(), cx_.data());
+    for (int e = 0; e < m.nelem; ++e) {
+      const std::size_t poff = static_cast<std::size_t>(e) * npe;
+      const std::int64_t* v =
+          &m.vert_id[static_cast<std::size_t>(e) * ncorner];
+      for (int c = 0; c < ncorner; ++c) {
+        const double* w = r0w_.data() + static_cast<std::size_t>(c) * npe;
+        const double xc = cx_[v[c]];
+        for (int q = 0; q < npe; ++q) z[poff + q] += w[q] * xc;
+      }
+    }
+  }
+}
+
+}  // namespace tsem

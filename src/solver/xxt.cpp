@@ -1,0 +1,271 @@
+#include "solver/xxt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace tsem {
+namespace {
+
+void bisect(const CsrMatrix& a, const std::vector<double>* coords[3],
+            std::vector<std::int32_t>& dofs, int level, int nlevels,
+            int leaf_base, std::vector<std::int32_t>& order,
+            std::vector<std::int32_t>& leaf_of) {
+  if (level == nlevels || dofs.size() <= 1) {
+    // Leaf: interior dofs, eliminated first (appended before ancestors'
+    // separators by construction of the recursion).
+    for (auto d : dofs) {
+      leaf_of[d] = leaf_base;
+      order.push_back(d);
+    }
+    return;
+  }
+  // Split along the widest coordinate direction at the median.
+  double lo[3] = {1e300, 1e300, 1e300}, hi[3] = {-1e300, -1e300, -1e300};
+  for (auto d : dofs)
+    for (int c = 0; c < 3; ++c) {
+      const double v = (*coords[c])[d];
+      lo[c] = std::min(lo[c], v);
+      hi[c] = std::max(hi[c], v);
+    }
+  int axis = 0;
+  for (int c = 1; c < 3; ++c)
+    if (hi[c] - lo[c] > hi[axis] - lo[axis]) axis = c;
+  std::vector<std::int32_t> sorted = dofs;
+  std::sort(sorted.begin(), sorted.end(), [&](std::int32_t p, std::int32_t q) {
+    return (*coords[axis])[p] < (*coords[axis])[q];
+  });
+  const std::size_t half = sorted.size() / 2;
+  // side[d]: 0 = left, 1 = right (only meaningful for dofs in this call).
+  std::vector<std::int32_t> left(sorted.begin(), sorted.begin() + half);
+  std::vector<std::int32_t> right(sorted.begin() + half, sorted.end());
+  std::vector<char> in_left(a.n(), 0), in_here(a.n(), 0);
+  for (auto d : left) in_left[d] = 1;
+  for (auto d : dofs) in_here[d] = 1;
+  // Separator: left-side dofs adjacent to the right side.
+  std::vector<std::int32_t> sep;
+  std::vector<std::int32_t> left2;
+  const auto& rp = a.row_ptr();
+  const auto& cols = a.col();
+  for (auto d : left) {
+    bool boundary = false;
+    for (std::int32_t k = rp[d]; k < rp[d + 1]; ++k) {
+      const auto c = cols[k];
+      if (in_here[c] && !in_left[c]) {
+        boundary = true;
+        break;
+      }
+    }
+    (boundary ? sep : left2).push_back(d);
+  }
+  bisect(a, coords, left2, level + 1, nlevels, leaf_base * 2, order, leaf_of);
+  bisect(a, coords, right, level + 1, nlevels, leaf_base * 2 + 1, order,
+         leaf_of);
+  // Separator dofs eliminated after both subtrees; distribute their
+  // ownership round-robin across the subtree's leaves so the per-rank
+  // work statistics stay balanced (as the production code's distribution
+  // of separator columns does).
+  const int first_leaf = leaf_base << (nlevels - level);
+  const int nleaves = 1 << (nlevels - level);
+  int rr = 0;
+  for (auto d : sep) {
+    leaf_of[d] = first_leaf + (rr++ % nleaves);
+    order.push_back(d);
+  }
+}
+
+}  // namespace
+
+NestedDissection nested_dissection(const CsrMatrix& a,
+                                   const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   const std::vector<double>& z,
+                                   int nlevels) {
+  TSEM_REQUIRE(nlevels >= 0);
+  const int n = a.n();
+  TSEM_REQUIRE(static_cast<int>(x.size()) == n);
+  TSEM_REQUIRE(static_cast<int>(y.size()) == n);
+  std::vector<double> zz;
+  const std::vector<double>* coords[3] = {&x, &y, &z};
+  if (static_cast<int>(z.size()) != n) {
+    zz.assign(n, 0.0);
+    coords[2] = &zz;
+  }
+  NestedDissection nd;
+  nd.nlevels = nlevels;
+  nd.leaf_of.assign(n, 0);
+  nd.perm.reserve(n);
+  std::vector<std::int32_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  bisect(a, coords, all, 0, nlevels, 0, nd.perm, nd.leaf_of);
+  TSEM_REQUIRE(static_cast<int>(nd.perm.size()) == n);
+  return nd;
+}
+
+XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
+    : n_(a.n()), nd_(nd) {
+  col_ptr_.assign(1, 0);
+  row_.clear();
+  val_.clear();
+
+  // rowlist[r]: columns (in elimination order) with a nonzero in row r.
+  std::vector<std::vector<std::int32_t>> rowlist(n_);
+  std::vector<double> dense_aj(n_, 0.0);   // scatter of A e_j
+  std::vector<double> acc(n_, 0.0);        // accumulator for x_k
+  std::vector<char> touched(n_, 0);
+  std::vector<std::int32_t> touch_list;
+  std::vector<std::int32_t> cand;
+  std::vector<char> cand_mark(n_, 0);
+  std::vector<std::pair<std::int32_t, double>> aj;
+
+  const auto& rp = a.row_ptr();
+  const auto& cols = a.col();
+  const auto& vals = a.val();
+
+  for (int k = 0; k < n_; ++k) {
+    const std::int32_t j = nd_.perm[k];
+    a.column(j, aj);  // symmetric: row j
+    for (const auto& [r, v] : aj) dense_aj[r] = v;
+
+    // Candidate previous columns: those with support meeting supp(A e_j).
+    cand.clear();
+    for (const auto& [r, v] : aj) {
+      for (auto i : rowlist[r]) {
+        if (!cand_mark[i]) {
+          cand_mark[i] = 1;
+          cand.push_back(i);
+        }
+      }
+    }
+
+    // x_k = e_j - sum_i (x_i . A e_j) x_i
+    touch_list.clear();
+    acc[j] = 1.0;
+    touched[j] = 1;
+    touch_list.push_back(j);
+    for (auto i : cand) {
+      cand_mark[i] = 0;
+      double coef = 0.0;
+      for (std::int32_t p = col_ptr_[i]; p < col_ptr_[i + 1]; ++p)
+        coef += val_[p] * dense_aj[row_[p]];
+      if (coef == 0.0) continue;
+      for (std::int32_t p = col_ptr_[i]; p < col_ptr_[i + 1]; ++p) {
+        const auto r = row_[p];
+        if (!touched[r]) {
+          touched[r] = 1;
+          touch_list.push_back(r);
+          acc[r] = 0.0;
+        }
+        acc[r] -= coef * val_[p];
+      }
+    }
+    for (const auto& [r, v] : aj) dense_aj[r] = 0.0;
+
+    // Normalize: x_k /= sqrt(x_k^T A x_k).
+    double norm2 = 0.0;
+    for (auto r : touch_list) {
+      if (acc[r] == 0.0) continue;
+      double ar = 0.0;
+      for (std::int32_t p = rp[r]; p < rp[r + 1]; ++p) {
+        const auto c = cols[p];
+        if (touched[c]) ar += vals[p] * acc[c];
+      }
+      norm2 += acc[r] * ar;
+    }
+    TSEM_REQUIRE(norm2 > 0.0);
+    const double inv = 1.0 / std::sqrt(norm2);
+
+    std::sort(touch_list.begin(), touch_list.end());
+    for (auto r : touch_list) {
+      touched[r] = 0;
+      const double v = acc[r] * inv;
+      acc[r] = 0.0;
+      if (v == 0.0) continue;
+      row_.push_back(r);
+      val_.push_back(v);
+      rowlist[r].push_back(k);
+    }
+    col_ptr_.push_back(static_cast<std::int32_t>(row_.size()));
+  }
+  nnz_ = static_cast<std::int64_t>(row_.size());
+
+  // ---- measured communication statistics ----
+  const int nl = nd_.nlevels;
+  level_msg_.assign(nl, 0);
+  total_msg_ = 0;
+  if (nl > 0) {
+    // Heap-indexed tree: root = 1, leaves = 2^nl .. 2^(nl+1)-1.
+    // For each column, the set of leaves its support touches defines the
+    // edges its partial sums travel during fan-in: all edges on the paths
+    // from touched leaves up to the LCA.
+    std::vector<std::int64_t> edge_msg(static_cast<std::size_t>(2) << nl, 0);
+    std::vector<std::int64_t> leaf_nnz(static_cast<std::size_t>(1) << nl, 0);
+    std::vector<std::int32_t> leaves;
+    for (int k = 0; k < n_; ++k) {
+      leaves.clear();
+      for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p) {
+        const int lf = nd_.leaf_of[row_[p]];
+        leaves.push_back(lf);
+        leaf_nnz[lf] += 1;
+      }
+      std::sort(leaves.begin(), leaves.end());
+      leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+      if (leaves.size() < 2) continue;
+      // LCA of all touched leaves (heap ids).
+      auto heap = [nl](int leaf) { return (1 << nl) + leaf; };
+      int lca = heap(leaves[0]);
+      for (std::size_t t = 1; t < leaves.size(); ++t) {
+        int u = heap(leaves[t]), v = lca;
+        while (u != v) {
+          if (u > v)
+            u >>= 1;
+          else
+            v >>= 1;
+        }
+        lca = u;
+      }
+      // Each edge on the union of leaf->LCA paths carries ONE combined
+      // partial sum per column (parents merge their children's partials),
+      // so count each edge once.
+      std::vector<std::int32_t> edges;
+      for (int lf : leaves)
+        for (int u = heap(lf); u > lca; u >>= 1)
+          edges.push_back(u);
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+      for (auto u : edges) edge_msg[u] += 1;
+    }
+    for (std::size_t u = 2; u < edge_msg.size(); ++u) {
+      if (edge_msg[u] == 0) continue;
+      // Level of the merge this edge feeds: parent depth.
+      int depth = 0;
+      for (std::size_t v = u >> 1; v > 1; v >>= 1) ++depth;
+      level_msg_[depth] = std::max(level_msg_[depth], edge_msg[u]);
+      total_msg_ += edge_msg[u];
+    }
+    for (auto v : leaf_nnz) max_leaf_nnz_ = std::max(max_leaf_nnz_, v);
+  } else {
+    max_leaf_nnz_ = nnz_;
+  }
+}
+
+void XxtSolver::solve(const double* b, double* out) const {
+  std::vector<double> z(n_);
+  for (int k = 0; k < n_; ++k) {
+    double s = 0.0;
+    for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p)
+      s += val_[p] * b[row_[p]];
+    z[k] = s;
+  }
+  std::fill(out, out + n_, 0.0);
+  for (int k = 0; k < n_; ++k) {
+    const double zk = z[k];
+    if (zk == 0.0) continue;
+    for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p)
+      out[row_[p]] += val_[p] * zk;
+  }
+}
+
+}  // namespace tsem

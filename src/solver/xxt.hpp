@@ -1,0 +1,79 @@
+// XX^T parallel coarse-grid solver (paper §5; Tufo & Fischer [24]).
+//
+// The coarse problem x0 = A0^{-1} b0 is the classic scalability
+// bottleneck: A0^{-1} is full, the data is distributed, and there is O(1)
+// work per processor.  The XX^T method factors A0^{-1} = X X^T where
+// X = (x_1 ... x_n) is a sparse A0-conjugate basis (x_i^T A0 x_j =
+// delta_ij) computed with a nested-dissection elimination order, so the
+// solve is a pair of fully concurrent sparse mat-vecs whose communication
+// is bounded by the separator structure: 3 n^{2/3} log2 P words in 3D
+// (3 n^{1/2} log2 P in 2D), versus O(n) or n log2 P for the redundant-LU
+// and row-distributed-inverse alternatives (Fig 6).
+//
+// The factorization and solve below are numerically real; the per-level
+// message counts are measured from the actual column supports and drive
+// the simulated-machine timing in bench_fig6_coarse.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/csr.hpp"
+
+namespace tsem {
+
+/// Nested dissection from recursive coordinate bisection.
+struct NestedDissection {
+  int nlevels = 0;                 ///< L: 2^L leaf subdomains
+  std::vector<std::int32_t> perm;  ///< elimination order: perm[k] = dof
+  std::vector<std::int32_t> leaf_of;  ///< dof -> leaf id in [0, 2^L)
+};
+
+/// Bisect dofs geometrically into 2^nlevels leaves; separators are chosen
+/// as the boundary vertices of one side (adjacency from the matrix graph)
+/// and ordered after their subtrees (interiors first, root separator
+/// last).
+NestedDissection nested_dissection(const CsrMatrix& a,
+                                   const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   const std::vector<double>& z, int nlevels);
+
+class XxtSolver {
+ public:
+  /// a must be SPD (pin a dof first for singular Neumann operators).
+  XxtSolver(const CsrMatrix& a, const NestedDissection& nd);
+
+  /// out = A^{-1} b (exact up to roundoff: the basis spans R^n).
+  void solve(const double* b, double* out) const;
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+  [[nodiscard]] int nlevels() const { return nd_.nlevels; }
+
+  /// Measured fan-in message words per tree level (level 0 = the merge at
+  /// the root), maximized over the nodes of that level.  The fan-out pass
+  /// mirrors it, so a P = 2^L processor solve sends
+  /// 2 * sum_l max_msg[l] words on the critical path.
+  [[nodiscard]] const std::vector<std::int64_t>& level_msg_words() const {
+    return level_msg_;
+  }
+  /// Max over leaves of the number of nonzeros in the columns owned by a
+  /// leaf (local mat-vec work per solve = 4 * this, two mat-vecs).
+  [[nodiscard]] std::int64_t max_leaf_nnz() const { return max_leaf_nnz_; }
+  /// Total communication volume (words, fan-in only) per solve.
+  [[nodiscard]] std::int64_t total_msg_words() const { return total_msg_; }
+
+ private:
+  int n_ = 0;
+  std::int64_t nnz_ = 0;
+  NestedDissection nd_;
+  // Sparse columns of X in elimination order.
+  std::vector<std::int32_t> col_ptr_;
+  std::vector<std::int32_t> row_;
+  std::vector<double> val_;
+  std::vector<std::int64_t> level_msg_;
+  std::int64_t max_leaf_nnz_ = 0;
+  std::int64_t total_msg_ = 0;
+};
+
+}  // namespace tsem

@@ -1,0 +1,369 @@
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+double dot(const double* x, const double* y, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(const double* x, std::size_t n) {
+  return std::sqrt(dot(x, x, n));
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+bool cholesky_factor(double* a, int n) {
+  for (int j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (int l = 0; l < j; ++l) d -= a[j * n + l] * a[j * n + l];
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (int l = 0; l < j; ++l) s -= a[i * n + l] * a[j * n + l];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(const double* l, int n, double* b) {
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int j = 0; j < i; ++j) s -= l[i * n + j] * b[j];
+    b[i] = s / l[i * n + i];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int j = i + 1; j < n; ++j) s -= l[j * n + i] * b[j];
+    b[i] = s / l[i * n + i];
+  }
+}
+
+bool lu_factor(double* a, int n, int* piv) {
+  for (int j = 0; j < n; ++j) {
+    int p = j;
+    double pmax = std::fabs(a[j * n + j]);
+    for (int i = j + 1; i < n; ++i) {
+      const double v = std::fabs(a[i * n + j]);
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax == 0.0) return false;
+    piv[j] = p;
+    if (p != j) {
+      for (int c = 0; c < n; ++c) std::swap(a[j * n + c], a[p * n + c]);
+    }
+    const double inv = 1.0 / a[j * n + j];
+    for (int i = j + 1; i < n; ++i) {
+      const double m = a[i * n + j] * inv;
+      a[i * n + j] = m;
+      for (int c = j + 1; c < n; ++c) a[i * n + c] -= m * a[j * n + c];
+    }
+  }
+  return true;
+}
+
+void lu_solve(const double* lu, const int* piv, int n, double* b) {
+  // The factorization swaps whole rows (LAPACK convention), so all row
+  // interchanges must be applied to b before the triangular solves.
+  for (int j = 0; j < n; ++j)
+    if (piv[j] != j) std::swap(b[j], b[piv[j]]);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) b[i] -= lu[i * n + j] * b[j];
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int j = i + 1; j < n; ++j) s -= lu[i * n + j] * b[j];
+    b[i] = s / lu[i * n + i];
+  }
+}
+
+bool invert(double* a, int n) {
+  std::vector<double> lu(a, a + static_cast<std::size_t>(n) * n);
+  std::vector<int> piv(n);
+  if (!lu_factor(lu.data(), n, piv.data())) return false;
+  std::vector<double> col(n);
+  for (int j = 0; j < n; ++j) {
+    std::fill(col.begin(), col.end(), 0.0);
+    col[j] = 1.0;
+    lu_solve(lu.data(), piv.data(), n, col.data());
+    for (int i = 0; i < n; ++i) a[i * n + j] = col[i];
+  }
+  return true;
+}
+
+bool BandedCholesky::factor(std::vector<double> band, int n, int kd) {
+  TSEM_REQUIRE(static_cast<int>(band.size()) >= n * (kd + 1));
+  n_ = n;
+  kd_ = kd;
+  l_ = std::move(band);
+  const int w = kd + 1;
+  for (int j = 0; j < n; ++j) {
+    double d = l_[j * w + 0];
+    const int l0 = std::max(0, j - kd);
+    for (int l = l0; l < j; ++l) {
+      const double v = l_[j * w + (j - l)];
+      d -= v * v;
+    }
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    l_[j * w + 0] = ljj;
+    const int imax = std::min(n - 1, j + kd);
+    for (int i = j + 1; i <= imax; ++i) {
+      double s = l_[i * w + (i - j)];
+      const int lo = std::max({0, i - kd, j - kd});
+      for (int l = lo; l < j; ++l)
+        s -= l_[i * w + (i - l)] * l_[j * w + (j - l)];
+      l_[i * w + (i - j)] = s / ljj;
+    }
+  }
+  return true;
+}
+
+void BandedCholesky::solve(double* b) const {
+  const int w = kd_ + 1;
+  for (int i = 0; i < n_; ++i) {
+    double s = b[i];
+    const int j0 = std::max(0, i - kd_);
+    for (int j = j0; j < i; ++j) s -= l_[i * w + (i - j)] * b[j];
+    b[i] = s / l_[i * w + 0];
+  }
+  for (int i = n_ - 1; i >= 0; --i) {
+    double s = b[i];
+    const int jmax = std::min(n_ - 1, i + kd_);
+    for (int j = i + 1; j <= jmax; ++j) s -= l_[j * w + (j - i)] * b[j];
+    b[i] = s / l_[i * w + 0];
+  }
+}
+
+bool zlu_factor(Complex* a, int n, int* piv) {
+  for (int j = 0; j < n; ++j) {
+    int p = j;
+    double pmax = std::abs(a[j * n + j]);
+    for (int i = j + 1; i < n; ++i) {
+      const double v = std::abs(a[i * n + j]);
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax == 0.0) return false;
+    piv[j] = p;
+    if (p != j) {
+      for (int c = 0; c < n; ++c) std::swap(a[j * n + c], a[p * n + c]);
+    }
+    const Complex inv = 1.0 / a[j * n + j];
+    for (int i = j + 1; i < n; ++i) {
+      const Complex m = a[i * n + j] * inv;
+      a[i * n + j] = m;
+      for (int c = j + 1; c < n; ++c) a[i * n + c] -= m * a[j * n + c];
+    }
+  }
+  return true;
+}
+
+void zlu_solve(const Complex* lu, const int* piv, int n, Complex* b) {
+  for (int j = 0; j < n; ++j)
+    if (piv[j] != j) std::swap(b[j], b[piv[j]]);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) b[i] -= lu[i * n + j] * b[j];
+  for (int i = n - 1; i >= 0; --i) {
+    Complex s = b[i];
+    for (int j = i + 1; j < n; ++j) s -= lu[i * n + j] * b[j];
+    b[i] = s / lu[i * n + i];
+  }
+}
+
+namespace {
+
+// One cyclic Jacobi sweep; returns the off-diagonal Frobenius norm before
+// the sweep.
+double jacobi_sweep(std::vector<double>& a, std::vector<double>& v, int n) {
+  double off = 0.0;
+  for (int p = 0; p < n - 1; ++p)
+    for (int q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+  off = std::sqrt(2.0 * off);
+  for (int p = 0; p < n - 1; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      const double apq = a[p * n + q];
+      if (apq == 0.0) continue;
+      const double tau = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+      const double t = (tau >= 0.0)
+                           ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                           : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+      const double c = 1.0 / std::sqrt(1.0 + t * t);
+      const double s = t * c;
+      for (int r = 0; r < n; ++r) {
+        const double arp = a[r * n + p];
+        const double arq = a[r * n + q];
+        a[r * n + p] = c * arp - s * arq;
+        a[r * n + q] = s * arp + c * arq;
+      }
+      for (int cidx = 0; cidx < n; ++cidx) {
+        const double apc = a[p * n + cidx];
+        const double aqc = a[q * n + cidx];
+        a[p * n + cidx] = c * apc - s * aqc;
+        a[q * n + cidx] = s * apc + c * aqc;
+      }
+      for (int r = 0; r < n; ++r) {
+        const double vrp = v[r * n + p];
+        const double vrq = v[r * n + q];
+        v[r * n + p] = c * vrp - s * vrq;
+        v[r * n + q] = s * vrp + c * vrq;
+      }
+    }
+  }
+  return off;
+}
+
+}  // namespace
+
+void sym_eig(const double* a, int n, std::vector<double>& eigvals,
+             std::vector<double>& eigvecs) {
+  std::vector<double> w(a, a + static_cast<std::size_t>(n) * n);
+  eigvecs.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) eigvecs[i * n + i] = 1.0;
+
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) scale = std::max(scale, std::fabs(w[i * n + i]));
+  scale = std::max(scale, 1e-300);
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    if (jacobi_sweep(w, eigvecs, n) < 1e-15 * scale * n) break;
+  }
+
+  eigvals.resize(n);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    eigvals[i] = w[i * n + i];
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int i, int j) {
+    return w[i * n + i] < w[j * n + j];
+  });
+  std::vector<double> vals(n);
+  std::vector<double> vecs(static_cast<std::size_t>(n) * n);
+  for (int c = 0; c < n; ++c) {
+    vals[c] = eigvals[order[c]];
+    for (int r = 0; r < n; ++r) vecs[r * n + c] = eigvecs[r * n + order[c]];
+  }
+  eigvals = std::move(vals);
+  eigvecs = std::move(vecs);
+}
+
+void generalized_sym_eig(const double* a, const double* b, int n,
+                         std::vector<double>& eigvals,
+                         std::vector<double>& eigvecs) {
+  // B = L L^T, C = L^{-1} A L^{-T}; standard problem for C, then
+  // z = L^{-T} y gives B-orthonormal generalized eigenvectors.
+  std::vector<double> l(b, b + static_cast<std::size_t>(n) * n);
+  TSEM_REQUIRE(cholesky_factor(l.data(), n));
+
+  std::vector<double> c(a, a + static_cast<std::size_t>(n) * n);
+  // C <- L^{-1} C: forward-substitute each column.
+  for (int col = 0; col < n; ++col) {
+    for (int i = 0; i < n; ++i) {
+      double s = c[i * n + col];
+      for (int j = 0; j < i; ++j) s -= l[i * n + j] * c[j * n + col];
+      c[i * n + col] = s / l[i * n + i];
+    }
+  }
+  // C <- C L^{-T}: forward-substitute each row (since (C L^{-T})^T =
+  // L^{-1} C^T uses the same lower factor).
+  for (int row = 0; row < n; ++row) {
+    for (int i = 0; i < n; ++i) {
+      double s = c[row * n + i];
+      for (int j = 0; j < i; ++j) s -= l[i * n + j] * c[row * n + j];
+      c[row * n + i] = s / l[i * n + i];
+    }
+  }
+
+  sym_eig(c.data(), n, eigvals, eigvecs);
+
+  // z_col = L^{-T} y_col (back substitution per column).
+  for (int col = 0; col < n; ++col) {
+    for (int i = n - 1; i >= 0; --i) {
+      double s = eigvecs[i * n + col];
+      for (int j = i + 1; j < n; ++j) s -= l[j * n + i] * eigvecs[j * n + col];
+      eigvecs[i * n + col] = s / l[i * n + i];
+    }
+  }
+}
+
+bool tridiag_eig(std::vector<double>& d, std::vector<double>& e,
+                 std::vector<double>& z, int n) {
+  // EISPACK tql2: implicit QL with Wilkinson shifts.
+  if (n == 1) return true;
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-16 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 50) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (int i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < n; ++k) {
+            f = z[k * n + i + 1];
+            z[k * n + i + 1] = s * z[k * n + i] + c * f;
+            z[k * n + i] = c * z[k * n + i] - s * f;
+          }
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  // Sort ascending, permuting columns of z.
+  for (int i = 0; i < n - 1; ++i) {
+    int kmin = i;
+    for (int j = i + 1; j < n; ++j)
+      if (d[j] < d[kmin]) kmin = j;
+    if (kmin != i) {
+      std::swap(d[kmin], d[i]);
+      for (int r = 0; r < n; ++r) std::swap(z[r * n + kmin], z[r * n + i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace tsem

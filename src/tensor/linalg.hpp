@@ -1,0 +1,90 @@
+// Dense linear algebra kernels used by the preconditioner setup paths.
+//
+// Everything here operates on small-to-moderate dense matrices (local
+// Schwarz blocks, 1D eigenproblems for the fast diagonalization method,
+// coarse-grid factorizations, the Orr-Sommerfeld reference solver).  All
+// matrices are row-major.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tsem {
+
+// ---- level-1 helpers -----------------------------------------------------
+
+double dot(const double* x, const double* y, std::size_t n);
+double norm2(const double* x, std::size_t n);
+/// y += alpha * x
+void axpy(double alpha, const double* x, double* y, std::size_t n);
+
+// ---- dense SPD / general factorizations ----------------------------------
+
+/// In-place Cholesky A = L L^T (lower triangle of a is overwritten by L;
+/// the strict upper triangle is ignored).  Returns false if A is not
+/// numerically positive definite.
+bool cholesky_factor(double* a, int n);
+
+/// Solve L L^T x = b in place given the factor from cholesky_factor.
+void cholesky_solve(const double* l, int n, double* b);
+
+/// In-place LU with partial pivoting; piv must have length n.
+/// Returns false on singularity.
+bool lu_factor(double* a, int n, int* piv);
+void lu_solve(const double* lu, const int* piv, int n, double* b);
+
+/// Invert a dense matrix in place (via LU).  Returns false on singularity.
+bool invert(double* a, int n);
+
+// ---- banded SPD (coarse-grid redundant solve baseline) --------------------
+
+/// Symmetric banded matrix with kd sub-diagonals stored row-major as
+/// band[i*(kd+1) + (i-j)] = A(i,j) for 0 <= i-j <= kd.
+class BandedCholesky {
+ public:
+  /// Factors the band in place.  Returns false if not SPD.
+  bool factor(std::vector<double> band, int n, int kd);
+  void solve(double* b) const;
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int bandwidth() const { return kd_; }
+  /// Flops for one solve (forward + back substitution), for cost models.
+  [[nodiscard]] double solve_flops() const {
+    return 4.0 * static_cast<double>(n_) * (kd_ + 1);
+  }
+
+ private:
+  std::vector<double> l_;
+  int n_ = 0;
+  int kd_ = 0;
+};
+
+// ---- complex LU (Orr-Sommerfeld inverse iteration) -------------------------
+
+using Complex = std::complex<double>;
+bool zlu_factor(Complex* a, int n, int* piv);
+void zlu_solve(const Complex* lu, const int* piv, int n, Complex* b);
+
+// ---- symmetric eigenproblems ----------------------------------------------
+
+/// Cyclic Jacobi eigensolver for a dense symmetric matrix.
+/// On return eigvals[i] ascending and eigvecs row-major with *columns* as
+/// eigenvectors (eigvecs[r*n + i] = component r of eigenvector i).
+void sym_eig(const double* a, int n, std::vector<double>& eigvals,
+             std::vector<double>& eigvecs);
+
+/// Generalized problem A z = lambda B z with B SPD, via Cholesky reduction.
+/// Eigenvectors are B-orthonormal: Z^T B Z = I.
+void generalized_sym_eig(const double* a, const double* b, int n,
+                         std::vector<double>& eigvals,
+                         std::vector<double>& eigvecs);
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix (diagonal d,
+/// off-diagonal e with e[0] unused), EISPACK tql2 style.  On return d holds
+/// ascending eigenvalues and z (n x n row-major, columns = vectors) is
+/// overwritten by Q such that T = Q diag(d) Q^T.  z must be initialized to
+/// the identity (or to a basis to be rotated, as in Lanczos).
+bool tridiag_eig(std::vector<double>& d, std::vector<double>& e,
+                 std::vector<double>& z, int n);
+
+}  // namespace tsem

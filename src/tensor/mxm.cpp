@@ -1,0 +1,149 @@
+#include "tensor/mxm.hpp"
+
+namespace tsem {
+namespace {
+
+// Hand-unrolled kernels in the style of the paper's f2/f3 routines: the
+// contraction (n2) loop trip count is a compile-time constant so the
+// compiler fully unrolls it and keeps the dot-product accumulator in
+// registers.
+template <int K2>
+void f2_impl(const double* a, int m, const double* b, double* c, int n) {
+  // n3 (columns of C) controls the outer loop.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
+      double s = 0.0;
+      for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
+      c[i * n + j] = s;
+    }
+  }
+}
+
+template <int K2>
+void f3_impl(const double* a, int m, const double* b, double* c, int n) {
+  // n1 (rows of C) controls the outer loop.
+  for (int i = 0; i < m; ++i) {
+    const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
+      ci[j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+void mxm_generic(const double* a, int m, const double* b, int k, double* c,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) ci[j] = 0.0;
+    const double* ai = a + static_cast<std::ptrdiff_t>(i) * k;
+    for (int l = 0; l < k; ++l) {
+      const double ail = ai[l];
+      const double* bl = b + static_cast<std::ptrdiff_t>(l) * n;
+      for (int j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+void mxm_blocked(const double* a, int m, const double* b, int k, double* c,
+                 int n) {
+  constexpr int kBlock = 32;
+  for (int i = 0; i < m; ++i) {
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) ci[j] = 0.0;
+  }
+  for (int l0 = 0; l0 < k; l0 += kBlock) {
+    const int l1 = l0 + kBlock < k ? l0 + kBlock : k;
+    for (int i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::ptrdiff_t>(i) * k;
+      double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+      for (int l = l0; l < l1; ++l) {
+        const double ail = ai[l];
+        const double* bl = b + static_cast<std::ptrdiff_t>(l) * n;
+        for (int j = 0; j < n; ++j) ci[j] += ail * bl[j];
+      }
+    }
+  }
+}
+
+#define TSEM_MXM_DISPATCH(IMPL)                                      \
+  switch (k) {                                                       \
+    case 1:  IMPL<1>(a, m, b, c, n);  return;                        \
+    case 2:  IMPL<2>(a, m, b, c, n);  return;                        \
+    case 3:  IMPL<3>(a, m, b, c, n);  return;                        \
+    case 4:  IMPL<4>(a, m, b, c, n);  return;                        \
+    case 5:  IMPL<5>(a, m, b, c, n);  return;                        \
+    case 6:  IMPL<6>(a, m, b, c, n);  return;                        \
+    case 7:  IMPL<7>(a, m, b, c, n);  return;                        \
+    case 8:  IMPL<8>(a, m, b, c, n);  return;                        \
+    case 9:  IMPL<9>(a, m, b, c, n);  return;                        \
+    case 10: IMPL<10>(a, m, b, c, n); return;                        \
+    case 11: IMPL<11>(a, m, b, c, n); return;                        \
+    case 12: IMPL<12>(a, m, b, c, n); return;                        \
+    case 13: IMPL<13>(a, m, b, c, n); return;                        \
+    case 14: IMPL<14>(a, m, b, c, n); return;                        \
+    case 15: IMPL<15>(a, m, b, c, n); return;                        \
+    case 16: IMPL<16>(a, m, b, c, n); return;                        \
+    case 17: IMPL<17>(a, m, b, c, n); return;                        \
+    case 18: IMPL<18>(a, m, b, c, n); return;                        \
+    case 19: IMPL<19>(a, m, b, c, n); return;                        \
+    case 20: IMPL<20>(a, m, b, c, n); return;                        \
+    case 21: IMPL<21>(a, m, b, c, n); return;                        \
+    case 22: IMPL<22>(a, m, b, c, n); return;                        \
+    case 23: IMPL<23>(a, m, b, c, n); return;                        \
+    case 24: IMPL<24>(a, m, b, c, n); return;                        \
+    default: break;                                                  \
+  }                                                                  \
+  mxm_generic(a, m, b, k, c, n)
+
+void mxm_f2(const double* a, int m, const double* b, int k, double* c,
+            int n) {
+  TSEM_MXM_DISPATCH(f2_impl);
+}
+
+void mxm_f3(const double* a, int m, const double* b, int k, double* c,
+            int n) {
+  TSEM_MXM_DISPATCH(f3_impl);
+}
+
+#undef TSEM_MXM_DISPATCH
+
+void mxm_bt(const double* a, int m, const double* b, int k, double* c,
+            int n) {
+  // C[i][j] = sum_l A[i][l] * B[j][l], B stored (n x k).
+  for (int i = 0; i < m; ++i) {
+    const double* ai = a + static_cast<std::ptrdiff_t>(i) * k;
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b + static_cast<std::ptrdiff_t>(j) * k;
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
+      ci[j] = s;
+    }
+  }
+}
+
+void mxm_at(const double* a, int m, const double* b, int k, double* c,
+            int n) {
+  // C[i][j] = sum_l A[l][i] * B[l][j], A stored (k x m).
+  for (int i = 0; i < m; ++i) {
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) ci[j] = 0.0;
+  }
+  for (int l = 0; l < k; ++l) {
+    const double* al = a + static_cast<std::ptrdiff_t>(l) * m;
+    const double* bl = b + static_cast<std::ptrdiff_t>(l) * n;
+    for (int i = 0; i < m; ++i) {
+      const double ali = al[i];
+      double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+      for (int j = 0; j < n; ++j) ci[j] += ali * bl[j];
+    }
+  }
+}
+
+}  // namespace tsem

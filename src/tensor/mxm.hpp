@@ -1,0 +1,58 @@
+// Small dense matrix-matrix product kernels.
+//
+// The spectral element method casts every operator application as a
+// sequence of small matrix-matrix products (paper eq. 3); >90% of the
+// flops in a simulation pass through these kernels (paper §6), so a
+// family of variants is provided and benchmarked in bench_table3_mxm:
+//
+//   mxm_generic  — portable i-k-j triple loop (accumulates into C rows);
+//                  stand-in for the stock vendor BLAS ("lkm").
+//   mxm_blocked  — register/cache blocked variant ("csm" stand-in).
+//   mxm_f2       — inner (k = n2) dimension fully unrolled, n3 outer
+//                  (the paper's hand-unrolled "f2").
+//   mxm_f3       — inner dimension fully unrolled, n1 outer ("f3").
+//   mxm_fixed<M,K,N> — all extents compile-time (the "ghm" specialized
+//                  library stand-in for n2 <= 20).
+//
+// All matrices are dense row-major. C is overwritten:
+//   C (m x n) = A (m x k) * B (k x n).
+#pragma once
+
+#include <cstddef>
+
+namespace tsem {
+
+void mxm_generic(const double* a, int m, const double* b, int k, double* c,
+                 int n);
+void mxm_blocked(const double* a, int m, const double* b, int k, double* c,
+                 int n);
+void mxm_f2(const double* a, int m, const double* b, int k, double* c, int n);
+void mxm_f3(const double* a, int m, const double* b, int k, double* c, int n);
+
+/// Default product used throughout the library.
+inline void mxm(const double* a, int m, const double* b, int k, double* c,
+                int n) {
+  mxm_f2(a, m, b, k, c, n);
+}
+
+/// C (m x n) = A (m x k) * B^T where B is stored (n x k) row-major.
+void mxm_bt(const double* a, int m, const double* b, int k, double* c, int n);
+
+/// C (m x n) = A^T * B where A is stored (k x m) row-major.
+void mxm_at(const double* a, int m, const double* b, int k, double* c, int n);
+
+/// Fully compile-time-sized product, M x K times K x N.
+template <int M, int K, int N>
+inline void mxm_fixed(const double* a, const double* b, double* c) {
+  for (int i = 0; i < M; ++i) {
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * N;
+    for (int j = 0; j < N; ++j) ci[j] = 0.0;
+    for (int l = 0; l < K; ++l) {
+      const double ail = a[i * K + l];
+      const double* bl = b + static_cast<std::ptrdiff_t>(l) * N;
+      for (int j = 0; j < N; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+}  // namespace tsem

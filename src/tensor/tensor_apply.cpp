@@ -1,0 +1,59 @@
+#include "tensor/tensor_apply.hpp"
+
+#include "tensor/mxm.hpp"
+
+namespace tsem {
+
+// With x fastest, element data viewed row-major is a (slow x fast) matrix:
+// applying a factor to the fastest index is a product with the transposed
+// factor on the right; applying to the slowest index is a product on the
+// left; the middle (3D y) index is handled slab by slab.
+
+void tensor2_apply(const double* ax, int mx, int nx, const double* ay, int my,
+                   int ny, const double* u, double* out, double* work) {
+  mxm_bt(u, ny, ax, nx, work, mx);  // (ny x mx) = (ny x nx)(nx x mx)
+  mxm(ay, my, work, ny, out, mx);   // (my x mx)
+}
+
+void tensor3_apply(const double* ax, int mx, int nx, const double* ay, int my,
+                   int ny, const double* az, int mz, int nz, const double* u,
+                   double* out, double* work) {
+  double* t1 = work;                 // nz*ny*mx
+  double* t2 = work + static_cast<std::ptrdiff_t>(nz) * ny * mx;  // nz*my*mx
+  mxm_bt(u, nz * ny, ax, nx, t1, mx);
+  for (int k = 0; k < nz; ++k) {
+    mxm(ay, my, t1 + static_cast<std::ptrdiff_t>(k) * ny * mx, ny,
+        t2 + static_cast<std::ptrdiff_t>(k) * my * mx, mx);
+  }
+  mxm(az, mz, t2, nz, out, my * mx);
+}
+
+void tensor2_apply_x(const double* ax, int n, int ny, const double* u,
+                     double* out) {
+  mxm_bt(u, ny, ax, n, out, n);
+}
+
+void tensor2_apply_y(const double* ay, int n, int nx, const double* u,
+                     double* out) {
+  mxm(ay, n, u, n, out, nx);
+}
+
+void tensor3_apply_x(const double* ax, int n, int ny, int nz, const double* u,
+                     double* out) {
+  mxm_bt(u, nz * ny, ax, n, out, n);
+}
+
+void tensor3_apply_y(const double* ay, int n, int nx, int nz, const double* u,
+                     double* out) {
+  for (int k = 0; k < nz; ++k) {
+    mxm(ay, n, u + static_cast<std::ptrdiff_t>(k) * nx * n, n,
+        out + static_cast<std::ptrdiff_t>(k) * nx * n, nx);
+  }
+}
+
+void tensor3_apply_z(const double* az, int n, int nx, int ny, const double* u,
+                     double* out) {
+  mxm(az, n, u, n, out, nx * ny);
+}
+
+}  // namespace tsem

@@ -1,0 +1,59 @@
+// Tensor-product operator application (paper eq. 3).
+//
+// Element-local data u is stored lexicographically with the x index
+// fastest: in 2D u[i + nx*j], in 3D u[i + nx*(j + ny*k)].  Applying a
+// separable operator (Az (x) Ay (x) Ax) then reduces to a short sequence
+// of dense matrix-matrix products — this is the mechanism that gives the
+// spectral element method its O(K N^{d+1}) work bound with a mat-mat,
+// not mat-vec, inner kernel.
+//
+// The A* factors may be rectangular (m* x n*), which is how interpolation
+// between the velocity (GLL, order N) and pressure (Gauss, order N-2)
+// meshes is expressed.
+#pragma once
+
+#include <vector>
+
+namespace tsem {
+
+/// out = (Ay (x) Ax) u.
+/// Ax is (mx x nx), Ay is (my x ny); u has nx*ny entries, out mx*my.
+/// work must hold at least ny*mx doubles; out may not alias u or work.
+void tensor2_apply(const double* ax, int mx, int nx, const double* ay, int my,
+                   int ny, const double* u, double* out, double* work);
+
+/// out = (Az (x) Ay (x) Ax) u.
+/// work must hold at least nz*ny*mx + nz*my*mx doubles.
+void tensor3_apply(const double* ax, int mx, int nx, const double* ay, int my,
+                   int ny, const double* az, int mz, int nz, const double* u,
+                   double* out, double* work);
+
+/// out = (I (x) Ax) u  in 2D — apply a square operator along x only.
+void tensor2_apply_x(const double* ax, int n, int ny, const double* u,
+                     double* out);
+/// out = (Ay (x) I) u  in 2D.
+void tensor2_apply_y(const double* ay, int n, int nx, const double* u,
+                     double* out);
+
+/// 3D single-direction applications with a square (n x n) factor.
+void tensor3_apply_x(const double* ax, int n, int ny, int nz, const double* u,
+                     double* out);
+void tensor3_apply_y(const double* ay, int n, int nx, int nz, const double* u,
+                     double* out);
+void tensor3_apply_z(const double* az, int n, int nx, int ny, const double* u,
+                     double* out);
+
+/// Convenience wrapper that owns its workspace (setup paths and tests;
+/// hot loops should pass an explicit workspace).
+class TensorWork {
+ public:
+  double* get(std::size_t n) {
+    if (buf_.size() < n) buf_.resize(n);
+    return buf_.data();
+  }
+
+ private:
+  std::vector<double> buf_;
+};
+
+}  // namespace tsem

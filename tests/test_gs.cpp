@@ -1,0 +1,153 @@
+// Tests for the gather-scatter utility and its communication profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gs/gather_scatter.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+
+namespace {
+
+using tsem::GatherScatter;
+using tsem::GsOp;
+
+TEST(GatherScatter, AddReducesGroups) {
+  // ids: {0, 1, 1, 2, 0, 3}: groups {0,4} and {1,2}.
+  std::vector<std::int64_t> ids = {0, 1, 1, 2, 0, 3};
+  GatherScatter gs(ids);
+  EXPECT_EQ(gs.ngroups(), 2u);
+  EXPECT_EQ(gs.nglobal(), 4);
+  std::vector<double> u = {1, 2, 3, 4, 5, 6};
+  gs.op(u.data(), GsOp::Add);
+  EXPECT_DOUBLE_EQ(u[0], 6.0);
+  EXPECT_DOUBLE_EQ(u[4], 6.0);
+  EXPECT_DOUBLE_EQ(u[1], 5.0);
+  EXPECT_DOUBLE_EQ(u[2], 5.0);
+  EXPECT_DOUBLE_EQ(u[3], 4.0);
+  EXPECT_DOUBLE_EQ(u[5], 6.0);
+}
+
+TEST(GatherScatter, MinMaxMulOps) {
+  std::vector<std::int64_t> ids = {7, 7, 7};
+  GatherScatter gs(ids);
+  std::vector<double> u = {2, -3, 5};
+  auto v = u;
+  gs.op(v.data(), GsOp::Min);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  v = u;
+  gs.op(v.data(), GsOp::Max);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+  v = u;
+  gs.op(v.data(), GsOp::Mul);
+  EXPECT_DOUBLE_EQ(v[1], -30.0);
+}
+
+TEST(GatherScatter, VectorMode) {
+  std::vector<std::int64_t> ids = {0, 1, 0};
+  GatherScatter gs(ids);
+  // 2 dofs per node, AoS.
+  std::vector<double> u = {1, 10, 2, 20, 3, 30};
+  gs.op_vec(u.data(), 2, GsOp::Add);
+  EXPECT_DOUBLE_EQ(u[0], 4.0);
+  EXPECT_DOUBLE_EQ(u[1], 40.0);
+  EXPECT_DOUBLE_EQ(u[4], 4.0);
+  EXPECT_DOUBLE_EQ(u[5], 40.0);
+  EXPECT_DOUBLE_EQ(u[2], 2.0);
+}
+
+TEST(GatherScatter, AddIsIdempotentAfterAveraging) {
+  // dssum of an already-summed-and-averaged field is stable.
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 3),
+                                tsem::linspace(0, 1, 3));
+  const auto m = build_mesh(spec, 5);
+  GatherScatter gs(m.node_id);
+  std::vector<double> u(m.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    u[i] = std::sin(3 * m.x[i]) + m.y[i];
+  auto v = u;  // already C0 (same value on all copies)
+  gs.op(v.data(), GsOp::Add);
+  const auto mult = gs.multiplicity();
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(v[i], u[i] * mult[i], 1e-12);
+}
+
+TEST(GatherScatter, MultiplicityMatchesMeshTopology) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  const auto m = build_mesh(spec, 3);
+  GatherScatter gs(m.node_id);
+  const auto mult = gs.multiplicity();
+  // The center vertex of a 2x2 element box has multiplicity 4; interior
+  // element nodes 1; shared edges 2.
+  double maxmult = 0;
+  for (double v : mult) maxmult = std::max(maxmult, v);
+  EXPECT_DOUBLE_EQ(maxmult, 4.0);
+  // Sum of 1/mult = number of global nodes.
+  double s = 0;
+  for (double v : mult) s += 1.0 / v;
+  EXPECT_NEAR(s, static_cast<double>(m.nglob), 1e-9);
+}
+
+TEST(GatherScatter, LocalGlobalRoundTrip) {
+  std::vector<std::int64_t> ids = {5, 3, 5, 9};
+  GatherScatter gs(ids);
+  EXPECT_EQ(gs.nglobal(), 3);
+  std::vector<double> u = {1, 2, 3, 4};
+  std::vector<double> ug(3);
+  gs.local_to_global(u.data(), ug.data());
+  // dense order follows sorted ids: 3 -> 0, 5 -> 1, 9 -> 2.
+  EXPECT_DOUBLE_EQ(ug[0], 2.0);
+  EXPECT_DOUBLE_EQ(ug[1], 4.0);
+  EXPECT_DOUBLE_EQ(ug[2], 4.0);
+  std::vector<double> v(4);
+  gs.global_to_local(ug.data(), v.data());
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 4.0);
+  EXPECT_DOUBLE_EQ(v[3], 4.0);
+}
+
+TEST(CommProfile, TwoRankStrip) {
+  // 4 elements in a row, order N: ranks {0,0,1,1}: interface = one GLL
+  // line shared between elements 1 and 2.
+  const int n = 4;
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 4, 4),
+                                tsem::linspace(0, 1, 1));
+  const auto m = build_mesh(spec, n);
+  const std::vector<int> owner = {0, 0, 1, 1};
+  const auto prof = tsem::gs_comm_profile(m.node_id, m.npe, owner, 2);
+  EXPECT_EQ(prof.nranks, 2);
+  EXPECT_EQ(prof.neighbors[0], 1);
+  EXPECT_EQ(prof.neighbors[1], 1);
+  // N+1 nodes on the shared line, each sent once in each direction.
+  EXPECT_EQ(prof.send_words[0], n + 1);
+  EXPECT_EQ(prof.send_words[1], n + 1);
+}
+
+TEST(CommProfile, FourRankQuadrants) {
+  const int n = 3, k = 4;
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k));
+  const auto m = build_mesh(spec, n);
+  std::vector<int> owner(m.nelem);
+  for (int e = 0; e < m.nelem; ++e) {
+    const int i = e % k, j = e / k;
+    owner[e] = (i >= k / 2) + 2 * (j >= k / 2);
+  }
+  const auto prof = tsem::gs_comm_profile(m.node_id, m.npe, owner, 4);
+  // Every rank touches the center crosspoint, so all ranks are mutual
+  // neighbors.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(prof.neighbors[r], 3);
+  // Interface per rank: half the domain side twice = 2*(k/2*n+1)-ish
+  // words to the two adjacent ranks plus 3 copies of the center point.
+  // Exact count: nodes on the two half-interfaces excluding the center:
+  // each sent to 1 other rank; center sent to 3.
+  const int half_line = (k / 2) * n + 1;  // nodes on a half-interface line
+  const std::int64_t expect = 2 * (half_line - 1) + 3;
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(prof.send_words[r], expect);
+}
+
+}  // namespace

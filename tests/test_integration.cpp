@@ -1,0 +1,315 @@
+// Cross-module property sweeps: spectral convergence across dimension,
+// order, and mesh deformation; operator identities; solver invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "core/helmholtz.hpp"
+#include "core/pressure.hpp"
+#include "core/space.hpp"
+#include "fem/fem.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "partition/rsb.hpp"
+#include "poly/filter.hpp"
+#include "solver/cg.hpp"
+#include "solver/coarse.hpp"
+#include "solver/schwarz.hpp"
+#include "solver/xxt.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::Space;
+
+// ---- Helmholtz solve exactness across (order, h2, deformation) -------------
+
+struct HelmholtzCase {
+  int order;
+  double h2;
+  bool deformed;
+};
+
+class HelmholtzSweep : public ::testing::TestWithParam<HelmholtzCase> {};
+
+TEST_P(HelmholtzSweep, RecoversManufacturedSolution) {
+  const auto [order, h2, deformed] = GetParam();
+  tsem::MeshSpec2D spec;
+  if (deformed) {
+    // Smoothly deformed 2x2 box (polynomial maps, conforming).
+    for (int ej = 0; ej < 2; ++ej)
+      for (int ei = 0; ei < 2; ++ei) {
+        const double x0 = ei * 0.5, y0 = ej * 0.5;
+        spec.elems.push_back([x0, y0](double r, double s) {
+          const double x = x0 + 0.25 * (r + 1.0);
+          const double y = y0 + 0.25 * (s + 1.0);
+          // shear + bend, vanishing on the outer boundary
+          return std::array<double, 2>{
+              x + 0.05 * x * (1 - x) * y * (1 - y),
+              y + 0.07 * x * (1 - x) * y * (1 - y)};
+        });
+      }
+    spec.x_lo = spec.y_lo = 0.0;
+    spec.x_hi = spec.y_hi = 1.0;
+    spec.classify = [](double x, double y, double) {
+      const double tol = 1e-9;
+      if (std::fabs(x) < tol) return tsem::kFaceXLo;
+      if (std::fabs(x - 1) < tol) return tsem::kFaceXHi;
+      if (std::fabs(y) < tol) return tsem::kFaceYLo;
+      return tsem::kFaceYHi;
+    };
+  } else {
+    spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2), tsem::linspace(0, 1, 2));
+  }
+  Space s(build_mesh(spec, order));
+  const auto& m = s.mesh();
+  auto mask = s.make_mask(0xF);
+  tsem::HelmholtzOp a(s, 1.0, h2, mask);
+
+  // b = A u* for a masked C0 field u*; recover u*.
+  std::vector<double> ustar(s.nlocal()), b(s.nlocal()), u(s.nlocal(), 0.0);
+  for (std::size_t i = 0; i < ustar.size(); ++i)
+    ustar[i] = std::sin(2.1 * m.x[i]) * std::cos(1.3 * m.y[i]);
+  s.daverage(ustar.data());
+  for (std::size_t i = 0; i < ustar.size(); ++i) ustar[i] *= mask[i];
+  a.apply(ustar.data(), b.data());
+
+  tsem::CgOptions opt;
+  opt.tol = 1e-12;
+  opt.max_iter = 6000;
+  auto res = tsem::pcg(
+      s.nlocal(), [&](const double* x, double* y) { a.apply(x, y); },
+      tsem::jacobi_precond(a.diagonal()),
+      [&](const double* x, const double* y) { return s.glsum_dot(x, y); },
+      b.data(), u.data(), opt);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(u[i], ustar[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HelmholtzSweep,
+    ::testing::Values(HelmholtzCase{4, 0.0, false},
+                      HelmholtzCase{4, 10.0, false},
+                      HelmholtzCase{7, 0.0, true},
+                      HelmholtzCase{7, 100.0, true},
+                      HelmholtzCase{10, 1.0, true},
+                      HelmholtzCase{5, 1e4, false}));
+
+// ---- Poisson spectral convergence in 3D -------------------------------------
+
+TEST(PoissonConvergence3D, Spectral) {
+  auto err_at = [](int order) {
+    auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, 2),
+                                  tsem::linspace(0, 1, 2),
+                                  tsem::linspace(0, 1, 1));
+    Space s(build_mesh(spec, order));
+    const auto& m = s.mesh();
+    auto mask = s.make_mask(0x3F);
+    tsem::HelmholtzOp a(s, 1.0, 0.0, mask);
+    std::vector<double> uex(s.nlocal()), b(s.nlocal()), u(s.nlocal(), 0.0);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      uex[i] = std::sin(M_PI * m.x[i]) * std::sin(M_PI * m.y[i]) *
+               std::sin(M_PI * m.z[i]);
+      b[i] = 3.0 * M_PI * M_PI * uex[i] * m.bm[i];
+    }
+    s.dssum(b.data());
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] *= mask[i];
+    tsem::CgOptions opt;
+    opt.tol = 1e-12;
+    opt.max_iter = 4000;
+    tsem::pcg(
+        s.nlocal(), [&](const double* x, double* y) { a.apply(x, y); },
+        tsem::jacobi_precond(a.diagonal()),
+        [&](const double* x, const double* y) { return s.glsum_dot(x, y); },
+        b.data(), u.data(), opt);
+    double e = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i)
+      e = std::max(e, std::fabs(u[i] - uex[i]));
+    return e;
+  };
+  const double e4 = err_at(4), e8 = err_at(8);
+  EXPECT_LT(e8, 1e-3 * e4);
+  EXPECT_LT(e8, 1e-7);
+}
+
+// ---- E operator invariants across orders ------------------------------------
+
+class EOperator : public ::testing::TestWithParam<int> {};
+
+TEST_P(EOperator, SymmetricPsdAndSolvable) {
+  const int order = GetParam();
+  auto spec = tsem::annulus_spec(0.7, 1.9, 2, 6, 1.3);
+  Space s(build_mesh(spec, order));
+  tsem::PressureSystem p(s, s.make_mask(0x3));
+  const std::size_t n = p.nloc();
+  std::mt19937 rng(order);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(n), b(n), ea(n), eb(n);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  p.apply_E(a.data(), ea.data());
+  p.apply_E(b.data(), eb.data());
+  double ab = 0, ba = 0, aa = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ab += b[i] * ea[i];
+    ba += a[i] * eb[i];
+    aa += a[i] * ea[i];
+  }
+  EXPECT_NEAR(ab, ba, 1e-8 * (1 + std::fabs(ab)));
+  EXPECT_GT(aa, -1e-10);
+
+  // Schwarz-preconditioned solve of a manufactured system.
+  tsem::SchwarzPrecond prec(p, {});
+  std::vector<double> pstar(n), g(n), sol(n, 0.0);
+  for (auto& v : pstar) v = dist(rng);
+  p.remove_mean_plain(pstar.data());
+  p.apply_E(pstar.data(), g.data());
+  tsem::CgOptions opt;
+  opt.tol = 1e-8;
+  opt.relative = true;
+  opt.max_iter = 2000;
+  auto res = tsem::pcg(
+      n,
+      [&](const double* x, double* y) {
+        p.apply_E(x, y);
+        p.remove_mean_plain(y);
+      },
+      [&](const double* r, double* z) {
+        prec.apply(r, z);
+        p.remove_mean_plain(z);
+      },
+      [n](const double* x, const double* y) {
+        double s2 = 0;
+        for (std::size_t i = 0; i < n; ++i) s2 += x[i] * y[i];
+        return s2;
+      },
+      g.data(), sol.data(), opt);
+  // On coarse curved meshes at low order E has near-null pressure modes
+  // (weak inf-sup), so sol may differ from pstar along them while being
+  // an equally valid pressure: assert instead that the residual is tiny
+  // and that the velocity-impacting part D^T (sol - pstar) vanishes.
+  EXPECT_LT(res.final_residual, 1e-5 * res.initial_residual + 1e-12);
+  const auto mask = s.make_mask(0x3);
+  std::vector<double> diff(n), wx(s.nlocal()), wy(s.nlocal());
+  for (std::size_t i = 0; i < n; ++i) diff[i] = sol[i] - pstar[i];
+  double* w[2] = {wx.data(), wy.data()};
+  p.gradient_t(diff.data(), w);
+  for (int c = 0; c < 2; ++c) {
+    s.gs().op(w[c]);
+    for (std::size_t i = 0; i < s.nlocal(); ++i)
+      EXPECT_NEAR(mask[i] * w[c][i] * s.bm_inv()[i], 0.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, EOperator, ::testing::Values(5, 7, 9));
+
+// ---- XXT on the unstructured vertex Laplacian -------------------------------
+
+class XxtVertex : public ::testing::TestWithParam<int> {};
+
+TEST_P(XxtVertex, ExactOnPinnedNeumannOperator) {
+  const int levels = GetParam();
+  auto spec = tsem::annulus_spec(0.6, 2.0, 3, 12, 1.4);
+  const auto m = build_mesh(spec, 4);
+  const auto a0 = tsem::pin_dof(tsem::q1_vertex_laplacian(m), 0);
+  std::vector<double> vx, vy, vz;
+  tsem::vertex_coords(m, vx, vy, vz);
+  tsem::XxtCoarse xxt(a0, vx, vy, vz, levels);
+  tsem::RedundantLuCoarse lu(a0);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> b(a0.n()), s1(a0.n()), s2(a0.n());
+  for (auto& v : b) v = dist(rng);
+  b[0] = 0.0;
+  xxt.solve(b.data(), s1.data());
+  lu.solve(b.data(), s2.data());
+  for (int i = 0; i < a0.n(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, XxtVertex, ::testing::Values(0, 2, 4, 6));
+
+// ---- filter damping is monotone in alpha ------------------------------------
+
+class FilterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterSweep, TopModeDampedByExactlyAlpha) {
+  const double alpha = GetParam();
+  const int order = 8, n = order + 1;
+  const auto f = tsem::filter_matrix(order, alpha);
+  const auto f1 = tsem::filter_matrix(order, 1.0);
+  // F_alpha = (1-alpha) I + alpha Pi, linear in alpha by construction;
+  // verify the actual matrix satisfies the affine identity.
+  for (int i = 0; i < n * n; ++i) {
+    const double eye = (i % (n + 1) == 0) ? 1.0 : 0.0;
+    EXPECT_NEAR(f[i], (1.0 - alpha) * eye + alpha * f1[i], 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, FilterSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5, 0.8));
+
+// ---- gather-scatter communication conservation across partitioners ----------
+
+class GsProfileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GsProfileSweep, PairwiseVolumeIsSymmetricAndConserved) {
+  const int nparts = GetParam();
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 8),
+                                tsem::linspace(0, 1, 8));
+  const auto m = build_mesh(spec, 4);
+  const auto part = tsem::block_partition(m.nelem, nparts);
+  const auto prof = tsem::gs_comm_profile(m.node_id, m.npe, part, nparts);
+  // Every word sent is received: with the symmetric pairwise exchange the
+  // total sent must be even and each rank's neighbor count positive when
+  // it shares an interface.
+  std::int64_t total = 0;
+  for (int r = 0; r < nparts; ++r) {
+    total += prof.send_words[r];
+    if (prof.send_words[r] > 0) {
+      EXPECT_GT(prof.neighbors[r], 0);
+    }
+  }
+  EXPECT_EQ(total % 2, 0);
+  EXPECT_GT(total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, GsProfileSweep, ::testing::Values(2, 4, 8, 16));
+
+// ---- mass conservation under dssum -------------------------------------------
+
+TEST(Conservation, DssumPreservesWeightedIntegral) {
+  auto spec = tsem::annulus_spec(0.8, 1.7, 2, 8, 1.1);
+  Space s(build_mesh(spec, 6));
+  const auto& m = s.mesh();
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> f(s.nlocal());
+  for (auto& v : f) v = dist(rng);
+  // integrate(B_L f) == glsum-style sum of assembled (B f): both count
+  // each global node's quadrature contribution once.
+  const double direct = s.integrate(f.data());
+  std::vector<double> bf(s.nlocal());
+  for (std::size_t i = 0; i < bf.size(); ++i) bf[i] = m.bm[i] * f[i];
+  s.dssum(bf.data());
+  double assembled = 0.0;
+  const auto& mult = s.mult();
+  for (std::size_t i = 0; i < bf.size(); ++i) assembled += bf[i] / mult[i];
+  // Not equal in general for discontinuous f; make f C0 first.
+  std::vector<double> fc = f;
+  s.daverage(fc.data());
+  const double direct_c = s.integrate(fc.data());
+  std::vector<double> bfc(s.nlocal());
+  for (std::size_t i = 0; i < bfc.size(); ++i) bfc[i] = m.bm[i] * fc[i];
+  s.dssum(bfc.data());
+  double assembled_c = 0.0;
+  for (std::size_t i = 0; i < bfc.size(); ++i) assembled_c += bfc[i] / mult[i];
+  EXPECT_NEAR(assembled_c, direct_c, 1e-10 * (1.0 + std::fabs(direct_c)));
+  (void)direct;
+  (void)assembled;
+}
+
+}  // namespace

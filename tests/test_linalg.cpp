@@ -1,0 +1,230 @@
+// Unit tests for the dense/banded/complex factorizations and eigensolvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "tensor/linalg.hpp"
+
+namespace {
+
+std::vector<double> random_spd(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> g(static_cast<std::size_t>(n) * n);
+  for (auto& v : g) v = dist(rng);
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) a[i * n + j] += g[k * n + i] * g[k * n + j];
+      if (i == j) a[i * n + j] += n;  // well conditioned
+    }
+  return a;
+}
+
+TEST(Blas1, DotNormAxpy) {
+  std::vector<double> x = {1.0, 2.0, -3.0};
+  std::vector<double> y = {4.0, -1.0, 2.0};
+  EXPECT_NEAR(tsem::dot(x.data(), y.data(), 3), 1 * 4 - 2 - 6, 1e-15);
+  EXPECT_NEAR(tsem::norm2(x.data(), 3), std::sqrt(14.0), 1e-15);
+  tsem::axpy(2.0, x.data(), y.data(), 3);
+  EXPECT_NEAR(y[0], 6.0, 1e-15);
+  EXPECT_NEAR(y[2], -4.0, 1e-15);
+}
+
+TEST(Cholesky, RoundTrip) {
+  const int n = 12;
+  auto a = random_spd(n, 7);
+  const auto a0 = a;
+  ASSERT_TRUE(tsem::cholesky_factor(a.data(), n));
+  std::vector<double> x(n), b(n, 0.0);
+  for (int i = 0; i < n; ++i) x[i] = std::sin(i + 1.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b[i] += a0[i * n + j] * x[j];
+  tsem::cholesky_solve(a.data(), n, b.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_FALSE(tsem::cholesky_factor(a.data(), 2));
+}
+
+TEST(Lu, RoundTripWithPivoting) {
+  const int n = 10;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = dist(rng);
+  a[0] = 0.0;  // force a pivot swap
+  const auto a0 = a;
+  std::vector<int> piv(n);
+  ASSERT_TRUE(tsem::lu_factor(a.data(), n, piv.data()));
+  std::vector<double> x(n), b(n, 0.0);
+  for (int i = 0; i < n; ++i) x[i] = std::cos(0.7 * i);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b[i] += a0[i * n + j] * x[j];
+  tsem::lu_solve(a.data(), piv.data(), n, b.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-10);
+}
+
+TEST(Lu, DetectsSingular) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 4.0};
+  std::vector<int> piv(2);
+  EXPECT_FALSE(tsem::lu_factor(a.data(), 2, piv.data()));
+}
+
+TEST(Invert, MatchesIdentity) {
+  const int n = 8;
+  auto a = random_spd(n, 11);
+  const auto a0 = a;
+  ASSERT_TRUE(tsem::invert(a.data(), n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) s += a0[i * n + k] * a[k * n + j];
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(BandedCholesky, MatchesDenseSolve) {
+  // 1D Laplacian (tridiagonal, kd = 1) plus identity.
+  const int n = 50, kd = 1;
+  std::vector<double> band(static_cast<std::size_t>(n) * (kd + 1), 0.0);
+  for (int i = 0; i < n; ++i) {
+    band[i * 2 + 0] = 3.0;                 // diagonal
+    if (i > 0) band[i * 2 + 1] = -1.0;     // sub-diagonal A(i, i-1)
+  }
+  tsem::BandedCholesky chol;
+  ASSERT_TRUE(chol.factor(band, n, kd));
+  std::vector<double> x(n), b(n, 0.0);
+  for (int i = 0; i < n; ++i) x[i] = std::sin(0.2 * i);
+  for (int i = 0; i < n; ++i) {
+    b[i] += 3.0 * x[i];
+    if (i > 0) b[i] -= x[i - 1];
+    if (i < n - 1) b[i] -= x[i + 1];
+  }
+  chol.solve(b.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-11);
+}
+
+TEST(BandedCholesky, WideBandRoundTrip) {
+  const int n = 40, kd = 7;
+  // SPD banded matrix: diagonally dominant with decaying off-diagonals.
+  std::vector<double> band(static_cast<std::size_t>(n) * (kd + 1), 0.0);
+  for (int i = 0; i < n; ++i) {
+    band[i * (kd + 1)] = 2.0 * kd + 1.0;
+    for (int d = 1; d <= kd && i - d >= 0; ++d)
+      band[i * (kd + 1) + d] = -1.0 / d;
+  }
+  tsem::BandedCholesky chol;
+  ASSERT_TRUE(chol.factor(band, n, kd));
+  std::vector<double> x(n), b(n, 0.0);
+  for (int i = 0; i < n; ++i) x[i] = 1.0 + 0.1 * i;
+  // b = A x using the band.
+  for (int i = 0; i < n; ++i) {
+    b[i] += (2.0 * kd + 1.0) * x[i];
+    for (int d = 1; d <= kd; ++d) {
+      if (i - d >= 0) b[i] += (-1.0 / d) * x[i - d];
+      if (i + d < n) b[i] += (-1.0 / d) * x[i + d];
+    }
+  }
+  chol.solve(b.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-9);
+}
+
+TEST(ComplexLu, RoundTrip) {
+  using C = tsem::Complex;
+  const int n = 6;
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<C> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = C(dist(rng), dist(rng));
+  const auto a0 = a;
+  std::vector<int> piv(n);
+  ASSERT_TRUE(tsem::zlu_factor(a.data(), n, piv.data()));
+  std::vector<C> x(n), b(n, C(0, 0));
+  for (int i = 0; i < n; ++i) x[i] = C(std::sin(i + 1.0), std::cos(i * 0.5));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b[i] += a0[i * n + j] * x[j];
+  tsem::zlu_solve(a.data(), piv.data(), n, b.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(b[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(SymEig, DiagonalizesSpdMatrix) {
+  const int n = 9;
+  const auto a = random_spd(n, 13);
+  std::vector<double> vals, vecs;
+  tsem::sym_eig(a.data(), n, vals, vecs);
+  for (int i = 1; i < n; ++i) EXPECT_LE(vals[i - 1], vals[i]);
+  // A v_i = lambda_i v_i and V orthonormal.
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (int k = 0; k < n; ++k) av += a[r * n + k] * vecs[k * n + c];
+      EXPECT_NEAR(av, vals[c] * vecs[r * n + c], 1e-9);
+    }
+  }
+  for (int c1 = 0; c1 < n; ++c1)
+    for (int c2 = 0; c2 < n; ++c2) {
+      double d = 0.0;
+      for (int r = 0; r < n; ++r) d += vecs[r * n + c1] * vecs[r * n + c2];
+      EXPECT_NEAR(d, c1 == c2 ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(GeneralizedSymEig, SolvesPencilWithBOrthonormalVectors) {
+  const int n = 7;
+  const auto a = random_spd(n, 17);
+  const auto b = random_spd(n, 19);
+  std::vector<double> vals, z;
+  tsem::generalized_sym_eig(a.data(), b.data(), n, vals, z);
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) {
+      double az = 0.0, bz = 0.0;
+      for (int k = 0; k < n; ++k) {
+        az += a[r * n + k] * z[k * n + c];
+        bz += b[r * n + k] * z[k * n + c];
+      }
+      EXPECT_NEAR(az, vals[c] * bz, 1e-8);
+    }
+  }
+  // Z^T B Z = I.
+  for (int c1 = 0; c1 < n; ++c1)
+    for (int c2 = 0; c2 < n; ++c2) {
+      double s = 0.0;
+      for (int r = 0; r < n; ++r)
+        for (int k = 0; k < n; ++k)
+          s += z[r * n + c1] * b[r * n + k] * z[k * n + c2];
+      EXPECT_NEAR(s, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(TridiagEig, MatchesAnalyticLaplacianSpectrum) {
+  // Tridiagonal (-1, 2, -1) has eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const int n = 16;
+  std::vector<double> d(n, 2.0), e(n, -1.0), z(static_cast<std::size_t>(n) * n,
+                                               0.0);
+  for (int i = 0; i < n; ++i) z[i * n + i] = 1.0;
+  // tridiag_eig expects e[i] as the coupling between i-1 and i with e[0]
+  // unused.
+  e[0] = 0.0;
+  ASSERT_TRUE(tsem::tridiag_eig(d, e, z, n));
+  for (int k = 0; k < n; ++k) {
+    const double exact = 2.0 - 2.0 * std::cos((k + 1) * M_PI / (n + 1));
+    EXPECT_NEAR(d[k], exact, 1e-11);
+  }
+  // Eigenvector residual check for the smallest eigenpair.
+  for (int r = 0; r < n; ++r) {
+    double tv = 2.0 * z[r * n + 0];
+    if (r > 0) tv -= z[(r - 1) * n + 0];
+    if (r < n - 1) tv -= z[(r + 1) * n + 0];
+    EXPECT_NEAR(tv, d[0] * z[r * n + 0], 1e-10);
+  }
+}
+
+}  // namespace

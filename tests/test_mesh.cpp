@@ -1,0 +1,176 @@
+// Tests for mesh building: numbering, metrics, boundary tagging,
+// refinement, periodicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+
+TEST(MeshBuild, Box2DCounts) {
+  const int kx = 3, ky = 2, n = 4;
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 3, kx),
+                                tsem::linspace(0, 2, ky));
+  const auto m = build_mesh(spec, n);
+  EXPECT_EQ(m.nelem, kx * ky);
+  EXPECT_EQ(m.npe, (n + 1) * (n + 1));
+  // C0 global nodes of a conforming kx x ky box: (kx*n+1)*(ky*n+1).
+  EXPECT_EQ(m.nglob, (kx * n + 1) * (ky * n + 1));
+  EXPECT_EQ(m.nvert, (kx + 1) * (ky + 1));
+}
+
+TEST(MeshBuild, Box3DCounts) {
+  const int k = 2, n = 3;
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k));
+  const auto m = build_mesh(spec, n);
+  EXPECT_EQ(m.nelem, k * k * k);
+  const int npts = k * n + 1;
+  EXPECT_EQ(m.nglob, npts * npts * npts);
+  EXPECT_EQ(m.nvert, (k + 1) * (k + 1) * (k + 1));
+}
+
+TEST(MeshBuild, PeriodicBoxMergesFaces) {
+  const int k = 4, n = 5;
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k));
+  spec.periodic_x = spec.periodic_y = true;
+  const auto m = build_mesh(spec, n);
+  EXPECT_EQ(m.nglob, (k * n) * (k * n));  // fully periodic torus
+  // No boundary nodes at all.
+  for (auto b : m.bdry_bits) EXPECT_EQ(b, 0u);
+}
+
+TEST(MeshBuild, Periodic3DTorus) {
+  const int k = 2, n = 3;
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k));
+  spec.periodic_x = spec.periodic_y = spec.periodic_z = true;
+  const auto m = build_mesh(spec, n);
+  EXPECT_EQ(m.nglob, (k * n) * (k * n) * (k * n));
+  for (auto b : m.bdry_bits) EXPECT_EQ(b, 0u);
+  EXPECT_EQ(m.nvert, k * k * k);
+}
+
+TEST(MeshBuild, MassSumsToAreaAffine) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2, 3),
+                                tsem::linspace(-1, 1, 2));
+  const auto m = build_mesh(spec, 6);
+  double area = 0.0;
+  for (double v : m.bm) area += v;
+  EXPECT_NEAR(area, 4.0, 1e-12);
+}
+
+TEST(MeshBuild, MassSumsToAreaAnnulus) {
+  const double r0 = 0.5, r1 = 2.0;
+  auto spec = tsem::annulus_spec(r0, r1, 3, 12, 1.5);
+  const auto m = build_mesh(spec, 8);
+  double area = 0.0;
+  for (double v : m.bm) area += v;
+  EXPECT_NEAR(area, M_PI * (r1 * r1 - r0 * r0), 1e-6);
+}
+
+TEST(MeshBuild, AnnulusIsConformingAndTagged) {
+  auto spec = tsem::annulus_spec(1.0, 3.0, 2, 8, 1.0);
+  const auto m = build_mesh(spec, 5);
+  // Closed annulus: every radial line of elements shares faces with both
+  // azimuthal neighbors; global node count = (kr*N+1) * (kt*N).
+  EXPECT_EQ(m.nglob, (2 * 5 + 1) * (8 * 5));
+  // Inner (tag 0) and outer (tag 1) boundary nodes both exist.
+  bool has_inner = false, has_outer = false;
+  for (std::size_t i = 0; i < m.bdry_bits.size(); ++i) {
+    if (m.bdry_bits[i] & 1u) {
+      has_inner = true;
+      EXPECT_NEAR(std::hypot(m.x[i], m.y[i]), 1.0, 1e-10);
+    }
+    if (m.bdry_bits[i] & 2u) {
+      has_outer = true;
+      EXPECT_NEAR(std::hypot(m.x[i], m.y[i]), 3.0, 1e-10);
+    }
+  }
+  EXPECT_TRUE(has_inner);
+  EXPECT_TRUE(has_outer);
+}
+
+TEST(MeshBuild, QuadRefineQuadruplesElements) {
+  auto spec = tsem::annulus_spec(1.0, 2.0, 2, 6, 1.2);
+  auto fine = tsem::quad_refine(spec);
+  EXPECT_EQ(fine.elems.size(), spec.elems.size() * 4);
+  const auto mc = build_mesh(spec, 4);
+  const auto mf = build_mesh(fine, 4);
+  // Curved geometry preserved: both converge to the exact annulus area,
+  // and the refined mesh is closer (quadrature of the curved Jacobian).
+  const double exact = M_PI * (4.0 - 1.0);
+  double a0 = 0.0, a1 = 0.0;
+  for (double v : mc.bm) a0 += v;
+  for (double v : mf.bm) a1 += v;
+  EXPECT_NEAR(a0, exact, 1e-4);
+  EXPECT_NEAR(a1, exact, 1e-6);
+  EXPECT_LT(std::fabs(a1 - exact), std::fabs(a0 - exact));
+}
+
+TEST(MeshBuild, OctRefine3D) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, 1),
+                                tsem::linspace(0, 1, 1),
+                                tsem::linspace(0, 1, 1));
+  auto fine = tsem::oct_refine(spec);
+  EXPECT_EQ(fine.elems.size(), 8u);
+  const auto m = build_mesh(fine, 3);
+  double vol = 0.0;
+  for (double v : m.bm) vol += v;
+  EXPECT_NEAR(vol, 1.0, 1e-12);
+}
+
+TEST(MeshBuild, MetricsIdentityOnUnitReferenceElement) {
+  auto spec = tsem::box_spec_2d({-1.0, 1.0}, {-1.0, 1.0});
+  const auto m = build_mesh(spec, 7);
+  for (std::size_t i = 0; i < m.nlocal(); ++i) {
+    EXPECT_NEAR(m.jac[i], 1.0, 1e-12);
+    EXPECT_NEAR(m.metric(0, 0)[i], 1.0, 1e-12);
+    EXPECT_NEAR(m.metric(0, 1)[i], 0.0, 1e-12);
+    EXPECT_NEAR(m.metric(1, 1)[i], 1.0, 1e-12);
+  }
+}
+
+TEST(MeshBuild, BoundaryTagsOnBoxSides) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  const auto m = build_mesh(spec, 4);
+  for (std::size_t i = 0; i < m.nlocal(); ++i) {
+    const bool xlo = std::fabs(m.x[i]) < 1e-12;
+    const bool xhi = std::fabs(m.x[i] - 1.0) < 1e-12;
+    const bool ylo = std::fabs(m.y[i]) < 1e-12;
+    const bool yhi = std::fabs(m.y[i] - 1.0) < 1e-12;
+    EXPECT_EQ((m.bdry_bits[i] >> tsem::kFaceXLo) & 1u, xlo ? 1u : 0u);
+    EXPECT_EQ((m.bdry_bits[i] >> tsem::kFaceXHi) & 1u, xhi ? 1u : 0u);
+    EXPECT_EQ((m.bdry_bits[i] >> tsem::kFaceYLo) & 1u, ylo ? 1u : 0u);
+    EXPECT_EQ((m.bdry_bits[i] >> tsem::kFaceYHi) & 1u, yhi ? 1u : 0u);
+  }
+}
+
+TEST(MeshBuild, BumpChannelVolumeReduced) {
+  auto flat = tsem::box_spec_3d(tsem::linspace(0, 4, 4),
+                                tsem::linspace(0, 2, 2),
+                                tsem::linspace(0, 1, 2));
+  auto bump = tsem::bump_channel_spec(tsem::linspace(0, 4, 4),
+                                      tsem::linspace(0, 2, 2),
+                                      tsem::linspace(0, 1, 2), 1.0, 1.0, 0.5,
+                                      0.2);
+  const auto mf = build_mesh(flat, 4);
+  const auto mb = build_mesh(bump, 4);
+  double vf = 0.0, vb = 0.0;
+  for (double v : mf.bm) vf += v;
+  for (double v : mb.bm) vb += v;
+  EXPECT_LT(vb, vf);
+  EXPECT_GT(vb, 0.9 * vf);
+  EXPECT_EQ(mb.nglob, mf.nglob);  // same topology
+}
+
+}  // namespace

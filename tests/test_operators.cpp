@@ -1,0 +1,284 @@
+// Integration tests: Space, Helmholtz/stiffness operators, gradient,
+// filter, and spectrally convergent Poisson solves with Jacobi PCG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/helmholtz.hpp"
+#include "core/operators.hpp"
+#include "core/space.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "poly/filter.hpp"
+#include "solver/cg.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::Space;
+using tsem::TensorWork;
+
+Space make_box_space_2d(int k, int order) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, k),
+                                tsem::linspace(0, 1, k));
+  return Space(build_mesh(spec, order));
+}
+
+TEST(Space, VolumeAndIntegration) {
+  auto s = make_box_space_2d(3, 6);
+  EXPECT_NEAR(s.volume(), 1.0, 1e-12);
+  std::vector<double> u(s.nlocal());
+  const auto& m = s.mesh();
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = m.x[i] * m.y[i];
+  EXPECT_NEAR(s.integrate(u.data()), 0.25, 1e-12);
+}
+
+TEST(Space, MaskZeroOnTaggedBoundary) {
+  auto s = make_box_space_2d(2, 5);
+  const auto mask = s.make_mask(1u << tsem::kFaceXLo);
+  const auto& m = s.mesh();
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (std::fabs(m.x[i]) < 1e-12)
+      EXPECT_EQ(mask[i], 0.0);
+    else
+      EXPECT_EQ(mask[i], 1.0);
+  }
+}
+
+TEST(Stiffness, MatchesDirichletEnergy) {
+  // u^T A u == integral |grad u|^2 for polynomial u (exact quadrature on
+  // affine elements up to the basis degree).
+  auto s = make_box_space_2d(2, 8);
+  const auto& m = s.mesh();
+  std::vector<double> u(s.nlocal()), au(s.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    u[i] = m.x[i] * m.x[i] + 2.0 * m.x[i] * m.y[i];
+  TensorWork work;
+  tsem::apply_stiffness_local(m, u.data(), au.data(), work);
+  double energy = 0.0;  // local bilinear form: sum u_L . (A_L u_L)
+  for (std::size_t i = 0; i < u.size(); ++i) energy += u[i] * au[i];
+  // grad u = (2x + 2y, 2x); integral over [0,1]^2 of (2x+2y)^2 + 4x^2
+  // = integral 4x^2+8xy+4y^2+4x^2 = 8/3 + 2 + 4/3 = 6.
+  EXPECT_NEAR(energy, 6.0, 1e-10);
+}
+
+TEST(Stiffness, AnnihilatesConstants) {
+  auto spec = tsem::annulus_spec(0.7, 2.0, 2, 8, 1.3);
+  Space s(build_mesh(spec, 6));
+  std::vector<double> u(s.nlocal(), 1.0), au(s.nlocal());
+  TensorWork work;
+  tsem::apply_stiffness_local(s.mesh(), u.data(), au.data(), work);
+  s.dssum(au.data());
+  for (double v : au) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Stiffness, GlobalOperatorIsSymmetric) {
+  auto spec = tsem::annulus_spec(0.8, 1.9, 2, 6, 1.2);
+  Space s(build_mesh(spec, 5));
+  auto mask = s.make_mask(0x3);
+  tsem::HelmholtzOp H(s, 1.0, 0.7, mask);
+  // Symmetry in the 1/mult-weighted dot: v.(Hu) == u.(Hv) for C0 fields.
+  const auto& m = s.mesh();
+  std::vector<double> u(s.nlocal()), v(s.nlocal()), hu(s.nlocal()),
+      hv(s.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = std::sin(m.x[i]) * m.y[i];
+    v[i] = std::cos(m.y[i]) + m.x[i] * m.x[i];
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] *= mask[i];
+    v[i] *= mask[i];
+  }
+  H.apply(u.data(), hu.data());
+  H.apply(v.data(), hv.data());
+  EXPECT_NEAR(s.glsum_dot(v.data(), hu.data()),
+              s.glsum_dot(u.data(), hv.data()), 1e-9);
+}
+
+TEST(StiffnessDiagonal, MatchesOperatorColumns) {
+  // diag(A)_i = e_i . A e_i on the local (unassembled) operator.
+  auto spec = tsem::annulus_spec(0.9, 1.8, 1, 6, 1.0);
+  const auto m = build_mesh(spec, 4);
+  const auto diag = tsem::stiffness_diagonal_local(m);
+  TensorWork work;
+  std::vector<double> e(m.nlocal(), 0.0), ae(m.nlocal());
+  // Check a scattering of entries in the first element.
+  for (int n : {0, 3, 7, 12, 24}) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[n] = 1.0;
+    tsem::apply_stiffness_local(m, e.data(), ae.data(), work);
+    EXPECT_NEAR(ae[n], diag[n], 1e-10 * (1.0 + std::fabs(diag[n])));
+  }
+}
+
+TEST(StiffnessDiagonal3D, MatchesOperatorColumns) {
+  auto spec = tsem::bump_channel_spec(tsem::linspace(0, 2, 2),
+                                      tsem::linspace(0, 2, 2),
+                                      tsem::linspace(0, 1, 1), 1.0, 1.0, 0.6,
+                                      0.15);
+  const auto m = build_mesh(spec, 4);
+  const auto diag = tsem::stiffness_diagonal_local(m);
+  TensorWork work;
+  std::vector<double> e(m.nlocal(), 0.0), ae(m.nlocal());
+  for (int n : {0, 11, 37, 62, 99}) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[n] = 1.0;
+    tsem::apply_stiffness_local(m, e.data(), ae.data(), work);
+    EXPECT_NEAR(ae[n], diag[n], 1e-10 * (1.0 + std::fabs(diag[n])));
+  }
+}
+
+TEST(Gradient, ExactForPolynomials) {
+  // Skewed bilinear elements: the mapping is polynomial, so a polynomial
+  // field in (x, y) is exactly representable and its gradient exact.
+  tsem::MeshSpec2D spec;
+  spec.elems.push_back([](double r, double s) {
+    return std::array<double, 2>{r + 0.1 * s + 0.05 * r * s, s - 0.2 * r};
+  });
+  spec.elems.push_back([](double r, double s) {
+    return std::array<double, 2>{2.15 + r + 0.1 * s + 0.05 * (r + 2) * s,
+                                 s - 0.2 * (r + 2)};
+  });
+  const auto m = build_mesh(spec, 7);
+  std::vector<double> u(m.nlocal()), gx(m.nlocal()), gy(m.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    u[i] = m.x[i] * m.x[i] * m.y[i] - 3.0 * m.y[i];
+  double* grad[2] = {gx.data(), gy.data()};
+  TensorWork work;
+  tsem::gradient_local(m, u.data(), grad, work);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(gx[i], 2.0 * m.x[i] * m.y[i], 1e-10);
+    EXPECT_NEAR(gy[i], m.x[i] * m.x[i] - 3.0, 1e-10);
+  }
+}
+
+TEST(Gradient, SpectrallyAccurateOnCurvedMesh) {
+  // On the trig-mapped annulus exactness is impossible; verify spectral
+  // decay of the gradient error with N instead.
+  auto err_at = [](int order) {
+    auto spec = tsem::annulus_spec(1.0, 2.5, 2, 10, 1.1);
+    const auto m = build_mesh(spec, order);
+    std::vector<double> u(m.nlocal()), gx(m.nlocal()), gy(m.nlocal());
+    for (std::size_t i = 0; i < u.size(); ++i)
+      u[i] = m.x[i] * m.x[i] * m.y[i] - 3.0 * m.y[i];
+    double* grad[2] = {gx.data(), gy.data()};
+    TensorWork work;
+    tsem::gradient_local(m, u.data(), grad, work);
+    double e = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i)
+      e = std::max(e, std::fabs(gy[i] - (m.x[i] * m.x[i] - 3.0)));
+    return e;
+  };
+  const double e5 = err_at(5), e9 = err_at(9), e13 = err_at(13);
+  EXPECT_LT(e9, e5 * 1e-2);
+  EXPECT_LT(e13, 1e-9);
+}
+
+TEST(Convection, MatchesAnalyticDirectional) {
+  auto s = make_box_space_2d(3, 7);
+  const auto& m = s.mesh();
+  std::vector<double> vx(s.nlocal()), vy(s.nlocal()), u(s.nlocal()),
+      c(s.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    vx[i] = 1.0 + m.y[i];
+    vy[i] = m.x[i];
+    u[i] = m.x[i] * m.y[i];
+  }
+  const double* vel[2] = {vx.data(), vy.data()};
+  TensorWork work;
+  tsem::convect_local(m, vel, u.data(), c.data(), work);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double exact = (1.0 + m.y[i]) * m.y[i] + m.x[i] * m.x[i];
+    EXPECT_NEAR(c[i], exact, 1e-9);
+  }
+}
+
+TEST(FilterLocal, PreservesLowOrderField) {
+  auto s = make_box_space_2d(2, 8);
+  const auto& m = s.mesh();
+  std::vector<double> u(s.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    u[i] = 1.0 + m.x[i] + m.y[i] * m.y[i];
+  auto v = u;
+  const auto f = tsem::filter_matrix(m.order, 0.5);
+  TensorWork work;
+  tsem::apply_filter_local(m, f, v.data(), work);
+  for (std::size_t i = 0; i < u.size(); ++i) EXPECT_NEAR(v[i], u[i], 1e-9);
+}
+
+// ---- spectral convergence of the Poisson solve -----------------------------
+
+double poisson_error(int order) {
+  auto s = make_box_space_2d(2, order);
+  const auto& m = s.mesh();
+  auto mask = s.make_mask(0xF);  // Dirichlet on all four sides
+  tsem::HelmholtzOp A(s, 1.0, 0.0, mask);
+
+  // Exact: u = sin(pi x) sin(pi y), f = 2 pi^2 u.
+  std::vector<double> uex(s.nlocal()), b(s.nlocal()), u(s.nlocal(), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    uex[i] = std::sin(M_PI * m.x[i]) * std::sin(M_PI * m.y[i]);
+    b[i] = 2.0 * M_PI * M_PI * uex[i] * m.bm[i];
+  }
+  s.dssum(b.data());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] *= mask[i];
+
+  auto apply = [&](const double* x, double* y) { A.apply(x, y); };
+  auto dot = [&](const double* x, const double* y) {
+    return s.glsum_dot(x, y);
+  };
+  tsem::CgOptions opt;
+  opt.tol = 1e-12;
+  opt.max_iter = 5000;
+  auto res = tsem::pcg(s.nlocal(), apply, tsem::jacobi_precond(A.diagonal()),
+                       dot, b.data(), u.data(), opt);
+  EXPECT_TRUE(res.converged);
+  double err = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i)
+    err = std::max(err, std::fabs(u[i] - uex[i]));
+  return err;
+}
+
+TEST(PoissonSolve, SpectralConvergence2D) {
+  const double e4 = poisson_error(4);
+  const double e8 = poisson_error(8);
+  const double e12 = poisson_error(12);
+  EXPECT_LT(e8, e4 * 1e-2);
+  EXPECT_LT(e12, 1e-9);
+}
+
+TEST(PoissonSolve, DeformedMesh3D) {
+  auto spec = tsem::bump_channel_spec(
+      tsem::linspace(0, 2, 2), tsem::linspace(0, 2, 2),
+      tsem::linspace(0, 1, 1), 1.0, 1.0, 0.7, 0.2);
+  Space s(build_mesh(spec, 6));
+  const auto& m = s.mesh();
+  auto mask = s.make_mask(0x3F);
+  tsem::HelmholtzOp A(s, 1.0, 2.0, mask);
+
+  // Manufactured solution vanishing on all box faces is unavailable on
+  // the deformed bottom; instead verify residual consistency: build b
+  // from a random-ish C0 masked field u* and recover it.
+  std::vector<double> ustar(s.nlocal()), b(s.nlocal()), u(s.nlocal(), 0.0);
+  for (std::size_t i = 0; i < ustar.size(); ++i)
+    ustar[i] = std::sin(m.x[i] + 0.5 * m.y[i]) * (1.0 + 0.3 * m.z[i]);
+  s.daverage(ustar.data());
+  for (std::size_t i = 0; i < ustar.size(); ++i) ustar[i] *= mask[i];
+  A.apply(ustar.data(), b.data());
+
+  auto apply = [&](const double* x, double* y) { A.apply(x, y); };
+  auto dot = [&](const double* x, const double* y) {
+    return s.glsum_dot(x, y);
+  };
+  tsem::CgOptions opt;
+  opt.tol = 1e-11;
+  opt.max_iter = 4000;
+  auto res = tsem::pcg(s.nlocal(), apply, tsem::jacobi_precond(A.diagonal()),
+                       dot, b.data(), u.data(), opt);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(u[i], ustar[i], 1e-7);
+}
+
+}  // namespace

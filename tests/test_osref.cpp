@@ -1,0 +1,62 @@
+// Orr-Sommerfeld reference solver validation against the classical
+// Orszag (1971) eigenvalue and internal consistency checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "osref/orr_sommerfeld.hpp"
+
+namespace {
+
+using tsem::solve_orr_sommerfeld;
+
+TEST(OrrSommerfeld, MatchesOrszagEigenvalueRe10000) {
+  // Orszag (JFM 1971): Re = 10000, alpha = 1:
+  // c = 0.23752649 + 0.00373967i.
+  const auto res =
+      solve_orr_sommerfeld(1e4, 1.0, 128, {0.23, 0.004});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.c.real(), 0.23752649, 1e-6);
+  EXPECT_NEAR(res.c.imag(), 0.00373967, 1e-6);
+}
+
+TEST(OrrSommerfeld, Re7500ModeIsUnstableAndResolutionConverged) {
+  const auto a = solve_orr_sommerfeld(7500.0, 1.0, 96, {0.24, 0.003});
+  const auto b = solve_orr_sommerfeld(7500.0, 1.0, 144, {0.24, 0.003});
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_GT(a.growth_rate(), 0.0);  // Re = 7500 > Re_crit = 5772
+  EXPECT_NEAR(a.c.real(), b.c.real(), 1e-9);
+  EXPECT_NEAR(a.c.imag(), b.c.imag(), 1e-9);
+}
+
+TEST(OrrSommerfeld, SubcriticalModeIsStable) {
+  const auto res = solve_orr_sommerfeld(4000.0, 1.0, 96, {0.26, 0.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(res.growth_rate(), 0.0);  // Re < Re_crit
+}
+
+TEST(OrrSommerfeld, EigenfunctionSatisfiesBoundaryConditions) {
+  const auto res = solve_orr_sommerfeld(7500.0, 1.0, 96, {0.24, 0.003});
+  ASSERT_TRUE(res.converged);
+  const int n = static_cast<int>(res.y.size()) - 1;
+  EXPECT_LT(std::abs(res.v[0]), 1e-10);
+  EXPECT_LT(std::abs(res.v[n]), 1e-10);
+  // u ~ v' also vanishes at walls (clamped).
+  EXPECT_LT(std::abs(res.u[0]), 1e-7);
+  EXPECT_LT(std::abs(res.u[n]), 1e-7);
+}
+
+TEST(OrrSommerfeld, ChebyshevEvalInterpolates) {
+  const auto res = solve_orr_sommerfeld(7500.0, 1.0, 96, {0.24, 0.003});
+  // Exact at grid points; smooth in between.
+  for (int j : {5, 20, 48}) {
+    const auto v = tsem::chebyshev_eval(res.y, res.v, res.y[j]);
+    EXPECT_LT(std::abs(v - res.v[j]), 1e-12);
+  }
+  const auto mid = tsem::chebyshev_eval(res.y, res.v, 0.1234);
+  EXPECT_LT(std::abs(mid), 1.0);  // normalized eigenfunction magnitude
+}
+
+}  // namespace

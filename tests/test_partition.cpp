@@ -1,0 +1,122 @@
+// Tests for recursive spectral bisection and the partitioning baselines,
+// including the communication-quality property the paper uses RSB for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gs/gather_scatter.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "partition/rsb.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+
+TEST(ElementGraph, BoxAdjacency) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 3, 3),
+                                tsem::linspace(0, 2, 2));
+  const auto m = build_mesh(spec, 3);
+  const auto adj = tsem::element_graph(m);
+  ASSERT_EQ(adj.size(), 6u);
+  // Corner element (0,0) has 2 neighbors; middle-edge elements 3.
+  EXPECT_EQ(adj[0].size(), 2u);
+  EXPECT_EQ(adj[1].size(), 3u);
+}
+
+TEST(Fiedler, SeparatesABarbell) {
+  // Two cliques joined by one edge: the Fiedler vector must have opposite
+  // signs on the two cliques.
+  std::vector<std::vector<int>> adj(8);
+  auto connect = [&](int a, int b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) connect(i, j);
+  for (int i = 4; i < 8; ++i)
+    for (int j = i + 1; j < 8; ++j) connect(i, j);
+  connect(3, 4);
+  const auto f = tsem::fiedler_vector(adj);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 4; j < 8; ++j) EXPECT_LT(f[i] * f[j], 0.0);
+}
+
+int count_cut_edges(const std::vector<std::vector<int>>& adj,
+                    const std::vector<int>& part) {
+  int cut = 0;
+  for (std::size_t e = 0; e < adj.size(); ++e)
+    for (int nbr : adj[e])
+      if (part[e] != part[nbr]) ++cut;
+  return cut / 2;
+}
+
+TEST(Rsb, BalancedAndBetterThanNaive) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 8, 8),
+                                tsem::linspace(0, 8, 8));
+  const auto m = build_mesh(spec, 3);
+  const auto adj = tsem::element_graph(m);
+  const int nparts = 4;
+  const auto rsb = tsem::recursive_spectral_bisection(m, nparts);
+  const auto naive = tsem::block_partition(m.nelem, nparts);
+
+  // Perfect balance (power-of-two splits of 64 elements).
+  std::vector<int> count(nparts, 0);
+  for (int e = 0; e < m.nelem; ++e) {
+    ASSERT_GE(rsb[e], 0);
+    ASSERT_LT(rsb[e], nparts);
+    ++count[rsb[e]];
+  }
+  for (int p = 0; p < nparts; ++p) EXPECT_EQ(count[p], m.nelem / nparts);
+
+  EXPECT_LE(count_cut_edges(adj, rsb), count_cut_edges(adj, naive));
+}
+
+TEST(Rsb, ReducesGsCommunicationVsScattered) {
+  // Note: on a theta-major-ordered annulus the contiguous block partition
+  // is already wedge-shaped and near-optimal, so the meaningful baseline
+  // is a scattered (round-robin) assignment — the situation RSB exists to
+  // avoid (paper §6: "contiguous groups of elements are distributed").
+  auto spec = tsem::annulus_spec(0.5, 2.0, 4, 16, 1.3);
+  const auto m = build_mesh(spec, 5);
+  const int nparts = 8;
+  const auto rsb = tsem::recursive_spectral_bisection(m, nparts);
+  std::vector<int> scattered(m.nelem);
+  for (int e = 0; e < m.nelem; ++e) scattered[e] = e % nparts;
+  const auto prof_rsb = tsem::gs_comm_profile(m.node_id, m.npe, rsb, nparts);
+  const auto prof_sc =
+      tsem::gs_comm_profile(m.node_id, m.npe, scattered, nparts);
+  std::int64_t w_rsb = 0, w_sc = 0;
+  for (auto v : prof_rsb.send_words) w_rsb += v;
+  for (auto v : prof_sc.send_words) w_sc += v;
+  EXPECT_LT(w_rsb, w_sc / 2);
+  // And RSB should be comparable to the geometric partitioner.
+  const auto rcb = tsem::recursive_coordinate_bisection(m, nparts);
+  const auto prof_rcb = tsem::gs_comm_profile(m.node_id, m.npe, rcb, nparts);
+  std::int64_t w_rcb = 0;
+  for (auto v : prof_rcb.send_words) w_rcb += v;
+  EXPECT_LE(w_rsb, 2 * w_rcb);
+}
+
+TEST(Rcb, GeometricPartitionIsBalanced) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 4, 4),
+                                tsem::linspace(0, 4, 4),
+                                tsem::linspace(0, 2, 2));
+  const auto m = build_mesh(spec, 2);
+  const int nparts = 8;
+  const auto rcb = tsem::recursive_coordinate_bisection(m, nparts);
+  std::vector<int> count(nparts, 0);
+  for (int e = 0; e < m.nelem; ++e) ++count[rcb[e]];
+  for (int p = 0; p < nparts; ++p) EXPECT_EQ(count[p], m.nelem / nparts);
+}
+
+TEST(BlockPartition, CoversAllRanks) {
+  const auto part = tsem::block_partition(10, 4);
+  std::set<int> used(part.begin(), part.end());
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_EQ(part.front(), 0);
+  EXPECT_EQ(part.back(), 3);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Unit tests for quadrature rules, interpolation/differentiation matrices,
+// the 1D basis, and the Fischer-Mullen filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "poly/basis1d.hpp"
+#include "poly/filter.hpp"
+#include "poly/lagrange.hpp"
+#include "poly/legendre.hpp"
+#include "poly/quadrature.hpp"
+
+namespace {
+
+double integrate(const tsem::Quadrature& q, double (*f)(double)) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < q.z.size(); ++i) s += q.w[i] * f(q.z[i]);
+  return s;
+}
+
+TEST(Legendre, KnownValues) {
+  // P_2(x) = (3x^2 - 1)/2, P_3(x) = (5x^3 - 3x)/2.
+  const double x = 0.3;
+  EXPECT_NEAR(tsem::legendre(2, x).p, 0.5 * (3 * x * x - 1), 1e-15);
+  EXPECT_NEAR(tsem::legendre(3, x).p, 0.5 * (5 * x * x * x - 3 * x), 1e-15);
+  EXPECT_NEAR(tsem::legendre(3, x).dp, 0.5 * (15 * x * x - 3), 1e-14);
+  // Endpoint derivative P_n'(1) = n(n+1)/2.
+  EXPECT_NEAR(tsem::legendre(6, 1.0).dp, 21.0, 1e-12);
+}
+
+class QuadratureExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureExactness, GaussLobattoExactThrough2Nminus3) {
+  const int npts = GetParam();
+  const auto q = tsem::gauss_lobatto(npts);
+  const int maxdeg = 2 * npts - 3;
+  for (int deg = 0; deg <= maxdeg; ++deg) {
+    double s = 0.0;
+    for (int i = 0; i < npts; ++i) s += q.w[i] * std::pow(q.z[i], deg);
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "npts=" << npts << " deg=" << deg;
+  }
+}
+
+TEST_P(QuadratureExactness, GaussExactThrough2Nminus1) {
+  const int npts = GetParam();
+  const auto q = tsem::gauss(npts);
+  const int maxdeg = 2 * npts - 1;
+  for (int deg = 0; deg <= maxdeg; ++deg) {
+    double s = 0.0;
+    for (int i = 0; i < npts; ++i) s += q.w[i] * std::pow(q.z[i], deg);
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "npts=" << npts << " deg=" << deg;
+  }
+}
+
+TEST_P(QuadratureExactness, NodesAscendingSymmetricWeightsPositive) {
+  const int npts = GetParam();
+  for (const auto& q : {tsem::gauss_lobatto(npts), tsem::gauss(npts)}) {
+    for (int i = 1; i < npts; ++i) EXPECT_LT(q.z[i - 1], q.z[i]);
+    double wsum = 0.0;
+    for (int i = 0; i < npts; ++i) {
+      EXPECT_GT(q.w[i], 0.0);
+      EXPECT_NEAR(q.z[i], -q.z[npts - 1 - i], 1e-13);
+      wsum += q.w[i];
+    }
+    EXPECT_NEAR(wsum, 2.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QuadratureExactness,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 17, 24));
+
+TEST(GaussLobatto, MatchesTabulatedN4) {
+  // GLL points for N=4: 0, +-sqrt(3/7), +-1; weights 32/45, 49/90, 1/10.
+  const auto q = tsem::gauss_lobatto(5);
+  EXPECT_NEAR(q.z[1], -std::sqrt(3.0 / 7.0), 1e-14);
+  EXPECT_NEAR(q.z[2], 0.0, 1e-14);
+  EXPECT_NEAR(q.w[0], 0.1, 1e-14);
+  EXPECT_NEAR(q.w[1], 49.0 / 90.0, 1e-14);
+  EXPECT_NEAR(q.w[2], 32.0 / 45.0, 1e-14);
+}
+
+TEST(Quadrature, SmoothIntegrandConverges) {
+  const auto f = [](double x) { return std::exp(x); };
+  const double exact = std::exp(1.0) - std::exp(-1.0);
+  EXPECT_NEAR(integrate(tsem::gauss_lobatto(10), f), exact, 1e-13);
+  EXPECT_NEAR(integrate(tsem::gauss(8), f), exact, 1e-13);
+}
+
+TEST(Lagrange, InterpolationReproducesPolynomials) {
+  const auto from = tsem::gauss_lobatto(8).z;
+  std::vector<double> to = {-0.9, -0.33, 0.0, 0.41, 0.77, 1.0};
+  const auto j = tsem::interpolation_matrix(from, to);
+  // Degree-7 polynomial is reproduced exactly.
+  for (int deg = 0; deg <= 7; ++deg) {
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < from.size(); ++c)
+        s += j[i * from.size() + c] * std::pow(from[c], deg);
+      EXPECT_NEAR(s, std::pow(to[i], deg), 1e-11);
+    }
+  }
+}
+
+TEST(Lagrange, InterpolationRowsSumToOne) {
+  const auto from = tsem::gauss_lobatto(6).z;
+  const std::vector<double> to = {-1.0, -0.5, 0.123, 0.9};
+  const auto j = tsem::interpolation_matrix(from, to);
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < from.size(); ++c) s += j[i * from.size() + c];
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Lagrange, DerivativeMatrixExactForPolynomials) {
+  const auto x = tsem::gauss_lobatto(9).z;
+  const auto d = tsem::derivative_matrix(x);
+  const int n = static_cast<int>(x.size());
+  for (int deg = 0; deg <= 8; ++deg) {
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int c = 0; c < n; ++c) s += d[i * n + c] * std::pow(x[c], deg);
+      const double exact = deg == 0 ? 0.0 : deg * std::pow(x[i], deg - 1);
+      EXPECT_NEAR(s, exact, 1e-10);
+    }
+  }
+}
+
+TEST(Basis1D, StiffnessMatchesQuadratureAndIsSymmetric) {
+  const auto& b = tsem::Basis1D::get(7);
+  const int n = b.npts();
+  // A-hat must be symmetric PSD with nullspace = constants.
+  std::vector<double> ones(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(b.ahat[i * n + j], b.ahat[j * n + i], 1e-12);
+      row += b.ahat[i * n + j] * ones[j];
+    }
+    EXPECT_NEAR(row, 0.0, 1e-10);
+  }
+  // Energy of u = x on [-1,1]: integral of (u')^2 = 2.
+  double e = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) e += b.z[i] * b.ahat[i * n + j] * b.z[j];
+  EXPECT_NEAR(e, 2.0, 1e-12);
+}
+
+TEST(Basis1D, CachedInstanceIsStable) {
+  const auto* first = &tsem::Basis1D::get(11);
+  const auto* second = &tsem::Basis1D::get(11);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Filter, AlphaZeroIsIdentity) {
+  const auto f = tsem::filter_matrix(8, 0.0);
+  const int n = 9;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      EXPECT_NEAR(f[i * n + j], i == j ? 1.0 : 0.0, 1e-14);
+}
+
+TEST(Filter, PreservesPolynomialsUpToNminus1) {
+  const int order = 9;
+  const auto f = tsem::filter_matrix(order, 0.7);
+  const auto& z = tsem::Basis1D::get(order).z;
+  const int n = order + 1;
+  for (int deg = 0; deg < order; ++deg) {
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < n; ++j) s += f[i * n + j] * std::pow(z[j], deg);
+      EXPECT_NEAR(s, std::pow(z[i], deg), 1e-10) << "deg=" << deg;
+    }
+  }
+}
+
+TEST(Filter, FullStrengthAnnihilatesTopMode) {
+  // With alpha=1 the result is exactly the degree-(N-1) interpolant:
+  // applying the filter twice equals applying it once (projection).
+  const int order = 7, n = order + 1;
+  const auto f = tsem::filter_matrix(order, 1.0);
+  std::vector<double> f2(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        f2[i * n + j] += f[i * n + k] * f[k * n + j];
+  for (int i = 0; i < n * n; ++i) EXPECT_NEAR(f2[i], f[i], 1e-11);
+}
+
+TEST(Filter, PartialStrengthDampsTopModeByAlpha) {
+  // The N-th Legendre mode is an eigenvector of Pi with eigenvalue 0, so
+  // F_alpha scales it by exactly (1 - alpha).
+  const int order = 6, n = order + 1;
+  const double alpha = 0.3;
+  const auto f = tsem::filter_matrix(order, alpha);
+  const auto& z = tsem::Basis1D::get(order).z;
+  std::vector<double> u(n), fu(n, 0.0);
+  for (int i = 0; i < n; ++i) u[i] = tsem::legendre(order, z[i]).p;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) fu[i] += f[i * n + j] * u[j];
+  // Compare against (1-alpha) * u + alpha * (interpolant of P_N through
+  // N-1 grid).  P_N interpolated down and up is NOT zero pointwise, but
+  // the difference F u - u must equal alpha * (Pi u - u); verify via the
+  // alpha=1 matrix.
+  const auto f1 = tsem::filter_matrix(order, 1.0);
+  for (int i = 0; i < n; ++i) {
+    double piu = 0.0;
+    for (int j = 0; j < n; ++j) piu += f1[i * n + j] * u[j];
+    EXPECT_NEAR(fu[i], (1.0 - alpha) * u[i] + alpha * piu, 1e-12);
+  }
+}
+
+}  // namespace

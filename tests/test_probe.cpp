@@ -1,0 +1,93 @@
+// Tests for spectral point probing (element location + evaluation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/probe.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::FieldProbe;
+
+TEST(Probe, ExactOnAffineBox) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2, 3),
+                                tsem::linspace(0, 1, 2));
+  const auto m = build_mesh(spec, 6);
+  FieldProbe probe(m);
+  std::vector<double> f(m.nlocal());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = 3.0 * m.x[i] * m.x[i] - m.y[i] + 0.5 * m.x[i] * m.y[i];
+  for (double x : {0.05, 0.7, 1.33, 1.999}) {
+    for (double y : {0.01, 0.44, 0.93}) {
+      double v = 0.0;
+      ASSERT_TRUE(probe.sample(f.data(), x, y, 0.0, &v));
+      EXPECT_NEAR(v, 3 * x * x - y + 0.5 * x * y, 1e-11);
+    }
+  }
+}
+
+TEST(Probe, SpectrallyAccurateOnCurvedAnnulus) {
+  auto spec = tsem::annulus_spec(0.8, 1.9, 2, 10, 1.2);
+  const auto m = build_mesh(spec, 10);
+  FieldProbe probe(m);
+  std::vector<double> f(m.nlocal());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(2.0 * m.x[i]) * std::cos(m.y[i]);
+  for (double th : {0.13, 1.7, 3.9, 5.5}) {
+    for (double r : {0.85, 1.2, 1.85}) {
+      const double x = r * std::cos(th), y = r * std::sin(th);
+      double v = 0.0;
+      ASSERT_TRUE(probe.sample(f.data(), x, y, 0.0, &v))
+          << "r=" << r << " th=" << th;
+      EXPECT_NEAR(v, std::sin(2 * x) * std::cos(y), 1e-7);
+    }
+  }
+}
+
+TEST(Probe, Works3DOnDeformedMesh) {
+  auto spec = tsem::bump_channel_spec(tsem::linspace(0, 2, 2),
+                                      tsem::linspace(0, 2, 2),
+                                      tsem::linspace(0, 1, 1), 1.0, 1.0, 0.6,
+                                      0.15);
+  const auto m = build_mesh(spec, 6);
+  FieldProbe probe(m);
+  std::vector<double> f(m.nlocal());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = m.x[i] + 2.0 * m.y[i] * m.z[i];
+  double v = 0.0;
+  ASSERT_TRUE(probe.sample(f.data(), 0.5, 1.5, 0.7, &v));
+  EXPECT_NEAR(v, 0.5 + 2.0 * 1.5 * 0.7, 1e-9);
+  // A point above the bump apex, inside the deformed element.
+  ASSERT_TRUE(probe.sample(f.data(), 1.0, 1.0, 0.5, &v));
+  EXPECT_NEAR(v, 1.0 + 2.0 * 1.0 * 0.5, 1e-8);
+}
+
+TEST(Probe, RejectsOutsidePoints) {
+  auto spec = tsem::annulus_spec(1.0, 2.0, 2, 8, 1.0);
+  const auto m = build_mesh(spec, 5);
+  FieldProbe probe(m);
+  std::vector<double> f(m.nlocal(), 1.0);
+  double v;
+  EXPECT_FALSE(probe.sample(f.data(), 0.0, 0.0, 0.0, &v));  // in the hole
+  EXPECT_FALSE(probe.sample(f.data(), 5.0, 0.0, 0.0, &v));  // outside
+}
+
+TEST(Probe, GridNodesRoundTrip) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  const auto m = build_mesh(spec, 4);
+  FieldProbe probe(m);
+  std::vector<double> f(m.nlocal());
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = std::exp(m.x[i] - m.y[i]);
+  // Sampling exactly at nodes returns the nodal value.
+  for (std::size_t i : {0ul, 7ul, 13ul, 24ul}) {
+    double v;
+    ASSERT_TRUE(probe.sample(f.data(), m.x[i], m.y[i], 0.0, &v));
+    EXPECT_NEAR(v, f[i], 1e-11);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for the successive-RHS projection accelerator (Fischer '98).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "solver/cg.hpp"
+#include "solver/projection.hpp"
+
+namespace {
+
+// SPD test operator: tridiagonal (-1, 3, -1).
+constexpr int kN = 64;
+void apply_op(const double* x, double* y) {
+  for (int i = 0; i < kN; ++i) {
+    double s = 3.0 * x[i];
+    if (i > 0) s -= x[i - 1];
+    if (i < kN - 1) s -= x[i + 1];
+    y[i] = s;
+  }
+}
+
+double plain_dot(const double* a, const double* b) {
+  double s = 0.0;
+  for (int i = 0; i < kN; ++i) s += a[i] * b[i];
+  return s;
+}
+
+std::vector<double> slow_rhs(double t) {
+  // Slowly varying RHS family, as in time stepping.
+  std::vector<double> g(kN);
+  for (int i = 0; i < kN; ++i)
+    g[i] = std::sin(0.3 * i + t) + 0.5 * std::cos(0.11 * i - 2.0 * t);
+  return g;
+}
+
+TEST(Projection, ExactRhsReuseNeedsNoIterations) {
+  tsem::SolutionProjection proj(kN, 5);
+  auto apply = [](const double* x, double* y) { apply_op(x, y); };
+
+  // Solve once, feed the solution into the basis, then re-pose the SAME
+  // system: the projected guess must already satisfy it.
+  const auto g = slow_rhs(0.0);
+  std::vector<double> p0(kN, 0.0), r(kN), x(kN, 0.0);
+  proj.project(g.data(), p0.data(), r.data());
+  tsem::CgOptions opt;
+  opt.tol = 1e-13;
+  x = p0;
+  tsem::pcg(static_cast<std::size_t>(kN), apply,
+            tsem::identity_precond(kN), plain_dot, g.data(), x.data(), opt);
+  proj.update(x.data(), p0.data(), apply);
+
+  const double res0 = proj.project(g.data(), p0.data(), r.data());
+  EXPECT_LT(res0, 1e-10);
+  for (int i = 0; i < kN; ++i) EXPECT_NEAR(p0[i], x[i], 1e-9);
+}
+
+TEST(Projection, ReducesResidualAcrossSlowSequence) {
+  tsem::SolutionProjection proj(kN, 10);
+  auto apply = [](const double* x, double* y) { apply_op(x, y); };
+  tsem::CgOptions opt;
+  opt.tol = 1e-12;
+
+  double first_res0 = 0.0, last_res0 = 0.0;
+  for (int step = 0; step < 12; ++step) {
+    const auto g = slow_rhs(0.05 * step);
+    std::vector<double> p0(kN), r(kN), x(kN);
+    const double res0 = proj.project(g.data(), p0.data(), r.data());
+    if (step == 0) first_res0 = res0;
+    last_res0 = res0;
+    x = p0;
+    tsem::pcg(static_cast<std::size_t>(kN), apply,
+              tsem::identity_precond(kN), plain_dot, g.data(), x.data(),
+              opt);
+    proj.update(x.data(), p0.data(), apply);
+  }
+  // After the basis warms up, the pre-iteration residual drops by orders
+  // of magnitude (paper Fig 4: ~2.5 decades).
+  EXPECT_LT(last_res0, 1e-2 * first_res0);
+}
+
+TEST(Projection, BasisStaysEOrthonormal) {
+  tsem::SolutionProjection proj(kN, 6);
+  auto apply = [](const double* x, double* y) { apply_op(x, y); };
+  tsem::CgOptions opt;
+  opt.tol = 1e-13;
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  for (int step = 0; step < 6; ++step) {
+    std::vector<double> g(kN);
+    for (auto& v : g) v = dist(rng);
+    std::vector<double> p0(kN), r(kN), x(kN);
+    proj.project(g.data(), p0.data(), r.data());
+    x = p0;
+    tsem::pcg(static_cast<std::size_t>(kN), apply,
+              tsem::identity_precond(kN), plain_dot, g.data(), x.data(),
+              opt);
+    proj.update(x.data(), p0.data(), apply);
+  }
+  EXPECT_EQ(proj.size(), 6);
+  // Orthonormality is verified indirectly: projecting any of the stored
+  // directions' images must reproduce them exactly.  Use a random probe:
+  // ||g - E P g|| <= ||g|| and projecting twice is idempotent.
+  std::vector<double> g(kN), p0(kN), r(kN), p1(kN), r1(kN);
+  for (auto& v : g) v = dist(rng);
+  proj.project(g.data(), p0.data(), r.data());
+  // Pose the reduced residual again: its projection must vanish.
+  const double res2 = proj.project(r.data(), p1.data(), r1.data());
+  double nrm = 0.0;
+  for (int i = 0; i < kN; ++i) nrm += p1[i] * p1[i];
+  EXPECT_LT(std::sqrt(nrm), 1e-8);
+  (void)res2;
+}
+
+TEST(Projection, WindowRestartKeepsWorking) {
+  tsem::SolutionProjection proj(kN, 3);
+  auto apply = [](const double* x, double* y) { apply_op(x, y); };
+  tsem::CgOptions opt;
+  opt.tol = 1e-12;
+  for (int step = 0; step < 9; ++step) {
+    const auto g = slow_rhs(0.02 * step);
+    std::vector<double> p0(kN), r(kN), x(kN);
+    proj.project(g.data(), p0.data(), r.data());
+    x = p0;
+    tsem::pcg(static_cast<std::size_t>(kN), apply,
+              tsem::identity_precond(kN), plain_dot, g.data(), x.data(),
+              opt);
+    proj.update(x.data(), p0.data(), apply);
+    EXPECT_LE(proj.size(), 3);
+  }
+  // Still beneficial right after restarts.
+  const auto g = slow_rhs(0.02 * 9);
+  std::vector<double> p0(kN), r(kN);
+  const double res0 = proj.project(g.data(), p0.data(), r.data());
+  double gn = 0.0;
+  for (int i = 0; i < kN; ++i) gn += g[i] * g[i];
+  EXPECT_LT(res0, std::sqrt(gn));
+}
+
+}  // namespace

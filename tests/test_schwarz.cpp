@@ -1,0 +1,246 @@
+// Tests for the additive overlapping Schwarz preconditioner on the
+// consistent Poisson operator E.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/pressure.hpp"
+#include "core/space.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "solver/cg.hpp"
+#include "solver/overlap.hpp"
+#include "solver/schwarz.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::PressureSystem;
+using tsem::SchwarzOptions;
+using tsem::SchwarzPrecond;
+using tsem::Space;
+
+std::vector<double> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(GhostExchange, MirrorsNeighborValues2D) {
+  // Two elements side by side: ghosts across the shared face must be the
+  // neighbor's first-layer values; ghosts at physical boundaries are 0.
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2, 2),
+                                tsem::linspace(0, 1, 1));
+  Space s(build_mesh(spec, 5));  // ng1 = 4
+  PressureSystem p(s, s.make_mask(0xF));
+  tsem::GhostExchange gx(p, 2);
+  const std::size_t n = p.nloc();
+  std::vector<double> pv(n);
+  for (std::size_t i = 0; i < n; ++i) pv[i] = static_cast<double>(i);
+  std::vector<double> ghost(2 * gx.nslots());
+  gx.exchange(pv.data(), ghost.data());
+
+  const int ng = p.ng1();
+  // Element 0, face x-hi (f=1), layer l, tangential t corresponds to
+  // element 1's dof at (i=l, j=t).
+  for (int l = 0; l < 2; ++l) {
+    for (int t = 0; t < ng; ++t) {
+      const std::size_t slot = (0 * 4 + 1) * static_cast<std::size_t>(ng) + t;
+      const double got = ghost[l * gx.nslots() + slot];
+      const double expect = pv[static_cast<std::size_t>(ng) * ng +  // elem 1
+                               t * ng + l];
+      EXPECT_DOUBLE_EQ(got, expect);
+    }
+  }
+  // Element 0, face x-lo: physical boundary -> zero ghosts.
+  for (int l = 0; l < 2; ++l)
+    for (int t = 0; t < ng; ++t) {
+      const std::size_t slot = (0 * 4 + 0) * static_cast<std::size_t>(ng) + t;
+      EXPECT_DOUBLE_EQ(ghost[l * gx.nslots() + slot], 0.0);
+    }
+}
+
+TEST(GhostExchange, ScatterAddIsTransposeOfExchange) {
+  // <exchange(p), v> == <p, scatter_add(v)> — the exchange pair is
+  // adjoint, which additive Schwarz symmetry relies on.
+  auto spec = tsem::annulus_spec(0.9, 2.1, 2, 6, 1.2);
+  Space s(build_mesh(spec, 6));
+  PressureSystem p(s, s.make_mask(0x3));
+  tsem::GhostExchange gx(p, 1);
+  const std::size_t n = p.nloc();
+  const auto pv = random_vec(n, 3);
+  const auto vv = random_vec(gx.nslots(), 5);
+  std::vector<double> ghost(gx.nslots());
+  gx.exchange(pv.data(), ghost.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < gx.nslots(); ++i) lhs += ghost[i] * vv[i];
+  std::vector<double> back(n, 0.0);
+  gx.scatter_add(vv.data(), back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rhs += back[i] * pv[i];
+  EXPECT_NEAR(lhs, rhs, 1e-11 * (1.0 + std::fabs(lhs)));
+}
+
+TEST(Schwarz, PreconditionerIsSymmetric) {
+  auto spec = tsem::annulus_spec(0.8, 2.0, 2, 8, 1.2);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  SchwarzOptions opt;
+  SchwarzPrecond prec(p, opt);
+  const std::size_t n = p.nloc();
+  const auto a = random_vec(n, 7);
+  const auto b = random_vec(n, 9);
+  std::vector<double> ma(n), mb(n);
+  prec.apply(a.data(), ma.data());
+  prec.apply(b.data(), mb.data());
+  double ab = 0.0, ba = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ab += b[i] * ma[i];
+    ba += a[i] * mb[i];
+  }
+  EXPECT_NEAR(ab, ba, 1e-9 * (1.0 + std::fabs(ab)));
+}
+
+int solve_iterations(PressureSystem& p, const SchwarzOptions* opt,
+                     double tol = 1e-5) {
+  const std::size_t n = p.nloc();
+  auto pstar = random_vec(n, 41);
+  p.remove_mean(pstar.data());
+  std::vector<double> g(n), sol(n, 0.0);
+  p.apply_E(pstar.data(), g.data());
+
+  std::unique_ptr<SchwarzPrecond> prec;
+  if (opt) prec = std::make_unique<SchwarzPrecond>(p, *opt);
+  auto apply = [&](const double* x, double* y) { p.apply_E(x, y); };
+  auto pdot = [n](const double* x, const double* y) {
+    double s2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s2 += x[i] * y[i];
+    return s2;
+  };
+  auto precond = [&](const double* r, double* z) {
+    if (prec) {
+      prec->apply(r, z);
+      p.remove_mean(z);
+    } else {
+      std::copy(r, r + n, z);
+    }
+  };
+  tsem::CgOptions copt;
+  copt.tol = tol;
+  copt.max_iter = 4000;
+  auto res = tsem::pcg(n, apply, precond, pdot, g.data(), sol.data(), copt);
+  EXPECT_TRUE(res.converged);
+  return res.iterations;
+}
+
+TEST(Schwarz, AcceleratesPressureSolve) {
+  auto spec = tsem::annulus_spec(0.6, 2.4, 3, 10, 1.4);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  const int plain = solve_iterations(p, nullptr);
+  SchwarzOptions opt;  // FDM + coarse
+  const int schwarz = solve_iterations(p, &opt);
+  EXPECT_LT(schwarz, plain / 2);
+}
+
+TEST(Schwarz, CoarseGridMatters) {
+  auto spec = tsem::annulus_spec(0.6, 2.4, 3, 10, 1.4);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  SchwarzOptions with;
+  SchwarzOptions without;
+  without.use_coarse = false;
+  const int iw = solve_iterations(p, &with);
+  const int iwo = solve_iterations(p, &without);
+  EXPECT_LT(iw, iwo);
+}
+
+TEST(Schwarz, FemOverlapOrdering) {
+  auto spec = tsem::annulus_spec(0.7, 2.2, 2, 8, 1.3);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  SchwarzOptions fem0, fem1, fem3;
+  fem0.local = fem1.local = fem3.local = SchwarzOptions::Local::FemP1;
+  fem0.overlap = 0;
+  fem1.overlap = 1;
+  fem3.overlap = 3;
+  const int i0 = solve_iterations(p, &fem0);
+  const int i1 = solve_iterations(p, &fem1);
+  const int i3 = solve_iterations(p, &fem3);
+  // Overlap helps (paper Table 2): N_o = 1 beats N_o = 0; N_o = 3 is at
+  // least comparable to N_o = 1.
+  EXPECT_LT(i1, i0);
+  EXPECT_LE(i3, i1 + 2);
+}
+
+TEST(GhostExchange, MirrorsNeighborValues3D) {
+  // Two elements stacked in z; check the ghost across the shared z-face.
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, 1),
+                                tsem::linspace(0, 1, 1),
+                                tsem::linspace(0, 2, 2));
+  Space s(build_mesh(spec, 5));  // ng1 = 4
+  PressureSystem p(s, s.make_mask(0x3F));
+  tsem::GhostExchange gx(p, 1);
+  const std::size_t n = p.nloc();
+  std::vector<double> pv(n);
+  for (std::size_t i = 0; i < n; ++i) pv[i] = static_cast<double>(i) + 1.0;
+  std::vector<double> ghost(gx.nslots());
+  gx.exchange(pv.data(), ghost.data());
+
+  const int ng = p.ng1();
+  const int nt = ng * ng;
+  // Element 0, face z-hi (f = 5), tangential t = (i, j): neighbor dof is
+  // element 1's node (i, j, k=0).
+  for (int t = 0; t < nt; ++t) {
+    const std::size_t slot = (0 * 6 + 5) * static_cast<std::size_t>(nt) + t;
+    const int i = t % ng, j = t / ng;
+    const double expect =
+        pv[static_cast<std::size_t>(ng) * ng * ng +  // element 1
+           (0 * ng + j) * ng + i];
+    EXPECT_DOUBLE_EQ(ghost[slot], expect);
+  }
+  // Element 0, face z-lo: physical boundary, zero ghosts.
+  for (int t = 0; t < nt; ++t) {
+    const std::size_t slot = (0 * 6 + 4) * static_cast<std::size_t>(nt) + t;
+    EXPECT_DOUBLE_EQ(ghost[slot], 0.0);
+  }
+}
+
+TEST(GhostExchange, AdjointIn3D) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 2, 2),
+                                tsem::linspace(0, 1, 1),
+                                tsem::linspace(0, 2, 2));
+  Space s(build_mesh(spec, 4));
+  PressureSystem p(s, s.make_mask(0x3F));
+  tsem::GhostExchange gx(p, 1);
+  const std::size_t n = p.nloc();
+  const auto pv = random_vec(n, 21);
+  const auto vv = random_vec(gx.nslots(), 23);
+  std::vector<double> ghost(gx.nslots());
+  gx.exchange(pv.data(), ghost.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < gx.nslots(); ++i) lhs += ghost[i] * vv[i];
+  std::vector<double> back(n, 0.0);
+  gx.scatter_add(vv.data(), back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rhs += back[i] * pv[i];
+  EXPECT_NEAR(lhs, rhs, 1e-11 * (1.0 + std::fabs(lhs)));
+}
+
+TEST(Schwarz, Works3D) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  Space s(build_mesh(spec, 5));
+  PressureSystem p(s, s.make_mask(0x3F));
+  const int plain = solve_iterations(p, nullptr, 1e-6);
+  SchwarzOptions opt;
+  const int schwarz = solve_iterations(p, &opt, 1e-6);
+  EXPECT_LT(schwarz, plain);
+}
+
+}  // namespace

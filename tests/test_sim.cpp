@@ -1,0 +1,72 @@
+// Tests for the simulated-machine cost model.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace {
+
+using tsem::MachineParams;
+
+TEST(Machine, BasicCosts) {
+  MachineParams m;
+  m.alpha = 1e-5;
+  m.beta = 1e-8;
+  m.flop_rate = 1e8;
+  EXPECT_DOUBLE_EQ(m.msg_time(100), 1e-5 + 100 * 1e-8);
+  EXPECT_DOUBLE_EQ(m.compute_time(1e8), 1.0);
+}
+
+TEST(Machine, AllgatherScalesLogarithmicallyInLatency) {
+  MachineParams m;
+  m.alpha = 1e-5;
+  m.beta = 0.0;  // isolate latency
+  const double t4 = tsem::allgather_time(m, 4, 1000);
+  const double t16 = tsem::allgather_time(m, 16, 1000);
+  EXPECT_DOUBLE_EQ(t4, 2e-5);
+  EXPECT_DOUBLE_EQ(t16, 4e-5);
+  EXPECT_DOUBLE_EQ(tsem::allgather_time(m, 1, 1000), 0.0);
+}
+
+TEST(Machine, AllgatherCostsNLog2PWords) {
+  // The paper bills the gather-everything alternatives at n log2 P words
+  // (see sim/machine.cpp); verify that model.
+  // Includes the x4 mesh-bisection contention factor (see machine.cpp).
+  MachineParams m;
+  m.alpha = 0.0;
+  m.beta = 1e-9;
+  EXPECT_NEAR(tsem::allgather_time(m, 2, 1000), 4 * 1000 * 1e-9, 1e-15);
+  EXPECT_NEAR(tsem::allgather_time(m, 1024, 1000), 40 * 1000 * 1e-9, 1e-15);
+}
+
+TEST(Machine, TreeFanCountsBothDirections) {
+  MachineParams m;
+  m.alpha = 1e-6;
+  m.beta = 1e-9;
+  const std::int64_t words[3] = {100, 50, 25};
+  const double t = tsem::tree_fan_time(m, words, 3);
+  EXPECT_NEAR(t, 2.0 * (3e-6 + 175 * 1e-9), 1e-15);
+}
+
+TEST(Machine, LatencyBoundMatchesPaperCurve) {
+  MachineParams m;
+  m.alpha = 50e-6;
+  EXPECT_NEAR(tsem::latency_bound(m, 1024), 50e-6 * 2 * 10, 1e-12);
+  // The paper's Fig 6 curve reads ~1 ms at P = 2048.
+  EXPECT_NEAR(tsem::latency_bound(tsem::MachineParams::asci_red(false, false),
+                                  2048),
+              1.1e-3, 2e-4);
+}
+
+TEST(Machine, AsciRedTiersOrdering) {
+  const auto ss = MachineParams::asci_red(false, false);
+  const auto sp = MachineParams::asci_red(false, true);
+  const auto ds = MachineParams::asci_red(true, false);
+  const auto dp = MachineParams::asci_red(true, true);
+  EXPECT_LT(ss.flop_rate, sp.flop_rate);
+  EXPECT_LT(ss.flop_rate, ds.flop_rate);
+  EXPECT_LT(ds.flop_rate, dp.flop_rate);
+  // Dual-processor efficiency < 2x (shared memory bus, paper: 82%).
+  EXPECT_LT(dp.flop_rate, 2.0 * sp.flop_rate);
+}
+
+}  // namespace

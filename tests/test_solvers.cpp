@@ -1,0 +1,286 @@
+// Tests for FDM local solves, the XXT coarse solver and its baselines,
+// and the CG driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "fem/fem.hpp"
+#include "solver/cg.hpp"
+#include "solver/coarse.hpp"
+#include "solver/fdm.hpp"
+#include "solver/xxt.hpp"
+#include "tensor/linalg.hpp"
+
+namespace {
+
+std::vector<double> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(Fdm, MatchesDenseSolve2D) {
+  // Nonuniform grids in each direction.
+  std::array<std::vector<double>, 3> pts;
+  pts[0] = {-0.3, 0.0, 0.4, 0.9, 1.5, 1.9, 2.2};  // 5 interior
+  pts[1] = {-0.2, 0.1, 0.5, 1.1, 1.4};            // 3 interior
+  tsem::FdmLocal fdm(pts, 2);
+  const int mx = 5, my = 3, n = mx * my;
+  ASSERT_EQ(fdm.extent(0), mx);
+  ASSERT_EQ(fdm.extent(1), my);
+
+  // Dense operator: B_y (x) A_x + A_y (x) B_x.
+  std::vector<double> ax, bx, ay, by;
+  tsem::fem1d_operators(pts[0], ax, bx);
+  tsem::fem1d_operators(pts[1], ay, by);
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j1 = 0; j1 < my; ++j1)
+    for (int i1 = 0; i1 < mx; ++i1)
+      for (int j2 = 0; j2 < my; ++j2)
+        for (int i2 = 0; i2 < mx; ++i2) {
+          double v = 0.0;
+          if (j1 == j2) v += by[j1] * ax[i1 * mx + i2];
+          if (i1 == i2) v += ay[j1 * my + j2] * bx[i1];
+          a[(j1 * mx + i1) * n + (j2 * mx + i2)] = v;
+        }
+
+  const auto r = random_vec(n, 3);
+  std::vector<double> z(n), work(3 * n);
+  fdm.solve(r.data(), z.data(), work.data());
+
+  auto dense = a;
+  ASSERT_TRUE(tsem::cholesky_factor(dense.data(), n));
+  auto zref = r;
+  tsem::cholesky_solve(dense.data(), n, zref.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(z[i], zref[i], 1e-10);
+}
+
+TEST(Fdm, MatchesDenseSolve3D) {
+  std::array<std::vector<double>, 3> pts;
+  pts[0] = {0.0, 0.3, 0.7, 1.0, 1.2};
+  pts[1] = {0.0, 0.2, 0.9, 1.3};
+  pts[2] = {-0.1, 0.4, 0.8, 1.1};
+  tsem::FdmLocal fdm(pts, 3);
+  const int mx = 3, my = 2, mz = 2, n = mx * my * mz;
+
+  std::vector<double> a1[3], b1[3];
+  for (int d = 0; d < 3; ++d) tsem::fem1d_operators(pts[d], a1[d], b1[d]);
+  const int m[3] = {mx, my, mz};
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  auto idx = [&](int i, int j, int k) { return (k * my + j) * mx + i; };
+  for (int k1 = 0; k1 < mz; ++k1)
+    for (int j1 = 0; j1 < my; ++j1)
+      for (int i1 = 0; i1 < mx; ++i1)
+        for (int k2 = 0; k2 < mz; ++k2)
+          for (int j2 = 0; j2 < my; ++j2)
+            for (int i2 = 0; i2 < mx; ++i2) {
+              double v = 0.0;
+              if (j1 == j2 && k1 == k2) v += b1[2][k1] * b1[1][j1] * a1[0][i1 * m[0] + i2];
+              if (i1 == i2 && k1 == k2) v += b1[2][k1] * a1[1][j1 * m[1] + j2] * b1[0][i1];
+              if (i1 == i2 && j1 == j2) v += a1[2][k1 * m[2] + k2] * b1[1][j1] * b1[0][i1];
+              a[idx(i1, j1, k1) * n + idx(i2, j2, k2)] = v;
+            }
+
+  const auto r = random_vec(n, 7);
+  std::vector<double> z(n), work(3 * n);
+  fdm.solve(r.data(), z.data(), work.data());
+  auto dense = a;
+  ASSERT_TRUE(tsem::cholesky_factor(dense.data(), n));
+  auto zref = r;
+  tsem::cholesky_solve(dense.data(), n, zref.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(z[i], zref[i], 1e-10);
+}
+
+class XxtLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(XxtLevels, ExactSolveOnPoisson5) {
+  const int nlevels = GetParam();
+  const int nx = 9;
+  const auto a = tsem::poisson5(nx, nx);
+  const int n = a.n();
+  std::vector<double> x(n), y(n), z;
+  for (int j = 0; j < nx; ++j)
+    for (int i = 0; i < nx; ++i) {
+      x[j * nx + i] = i;
+      y[j * nx + i] = j;
+    }
+  const auto nd = tsem::nested_dissection(a, x, y, z, nlevels);
+  tsem::XxtSolver solver(a, nd);
+  const auto b = random_vec(n, 13);
+  std::vector<double> sol(n), check(n);
+  solver.solve(b.data(), sol.data());
+  a.matvec(sol.data(), check.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, XxtLevels, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Xxt, SparsityAndCommBounds) {
+  const int nx = 31;  // n = 961
+  const auto a = tsem::poisson5(nx, nx);
+  const int n = a.n();
+  std::vector<double> x(n), y(n), z;
+  for (int j = 0; j < nx; ++j)
+    for (int i = 0; i < nx; ++i) {
+      x[j * nx + i] = i;
+      y[j * nx + i] = j;
+    }
+  const auto nd = tsem::nested_dissection(a, x, y, z, 4);  // 16 subdomains
+  tsem::XxtSolver solver(a, nd);
+  // X must be genuinely sparse: far below the dense n^2/2.
+  EXPECT_LT(solver.nnz(), static_cast<std::int64_t>(n) * n / 4);
+  // Exactness at this size too.
+  const auto b = random_vec(n, 17);
+  std::vector<double> sol(n), check(n);
+  solver.solve(b.data(), sol.data());
+  a.matvec(sol.data(), check.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-8);
+}
+
+TEST(Xxt, CommVolumeScalesLikeSqrtN) {
+  // Paper claim (2D): per-solve communication ~ c sqrt(n) log2 P, i.e.
+  // sublinear in n.  Quadrupling n should roughly double the critical
+  // path volume, not quadruple it.
+  auto critical_words = [](int nx, int nlevels) {
+    const auto a = tsem::poisson5(nx, nx);
+    const int n = a.n();
+    std::vector<double> x(n), y(n), z;
+    for (int j = 0; j < nx; ++j)
+      for (int i = 0; i < nx; ++i) {
+        x[j * nx + i] = i;
+        y[j * nx + i] = j;
+      }
+    const auto nd = tsem::nested_dissection(a, x, y, z, nlevels);
+    tsem::XxtSolver solver(a, nd);
+    std::int64_t c = 0;
+    for (auto v : solver.level_msg_words()) c += v;
+    return c;
+  };
+  const auto c15 = critical_words(15, 4);
+  const auto c31 = critical_words(31, 4);  // ~4.3x the dofs
+  EXPECT_LT(static_cast<double>(c31),
+            2.0 * std::sqrt(31.0 * 31 / (15.0 * 15)) *
+                static_cast<double>(c15));
+}
+
+TEST(CoarseBackends, AllAgree) {
+  const int nx = 12;
+  const auto a = tsem::poisson5(nx, nx);
+  const int n = a.n();
+  std::vector<double> x(n), y(n), z;
+  for (int j = 0; j < nx; ++j)
+    for (int i = 0; i < nx; ++i) {
+      x[j * nx + i] = i;
+      y[j * nx + i] = j;
+    }
+  tsem::XxtCoarse xxt(a, x, y, z, 3);
+  tsem::RedundantLuCoarse lu(a);
+  tsem::DistributedInvCoarse inv(a);
+  const auto b = random_vec(n, 21);
+  std::vector<double> s1(n), s2(n), s3(n);
+  xxt.solve(b.data(), s1.data());
+  lu.solve(b.data(), s2.data());
+  inv.solve(b.data(), s3.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(s1[i], s2[i], 1e-8);
+    EXPECT_NEAR(s1[i], s3[i], 1e-8);
+  }
+}
+
+TEST(PinDof, RegularizesSingularNeumann) {
+  // 1D Neumann Laplacian (singular): pin dof 0, then solve consistency.
+  const int n = 10;
+  std::vector<tsem::Triplet> trip;
+  for (int i = 0; i < n; ++i) {
+    double d = 0.0;
+    if (i > 0) {
+      trip.push_back({i, i - 1, -1.0});
+      d += 1.0;
+    }
+    if (i < n - 1) {
+      trip.push_back({i, i + 1, -1.0});
+      d += 1.0;
+    }
+    trip.push_back({i, i, d});
+  }
+  tsem::CsrMatrix a(n, std::move(trip));
+  const auto ap = tsem::pin_dof(a, 0);
+  tsem::RedundantLuCoarse solver(ap);
+  // b consistent (zero mean), b[0] forced to 0 as the precond does.
+  std::vector<double> b(n, 1.0);
+  b[n - 1] = -static_cast<double>(n - 1);
+  b[0] = 0.0;
+  std::vector<double> sol(n);
+  solver.solve(b.data(), sol.data());
+  // Residual on non-pinned rows of the ORIGINAL operator.
+  std::vector<double> r(n);
+  a.matvec(sol.data(), r.data());
+  for (int i = 1; i < n - 1; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+}
+
+TEST(Cg, SolvesSpdSystemAndRecordsHistory) {
+  const int n = 40;
+  // SPD tridiagonal system.
+  auto apply = [n](const double* x, double* y) {
+    for (int i = 0; i < n; ++i) {
+      double s = 3.0 * x[i];
+      if (i > 0) s -= x[i - 1];
+      if (i < n - 1) s -= x[i + 1];
+      y[i] = s;
+    }
+  };
+  auto dot = [n](const double* x, const double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  };
+  const auto b = random_vec(n, 25);
+  std::vector<double> x(n, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-12;
+  opt.record_history = true;
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.history.size(), 2u);
+  EXPECT_LT(res.final_residual, 1e-12);
+  std::vector<double> check(n);
+  apply(x.data(), check.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
+}
+
+TEST(Cg, JacobiReducesIterationsOnScaledSystem) {
+  const int n = 60;
+  std::vector<double> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = 1.0 + 99.0 * i / (n - 1);
+  auto apply = [&](const double* x, double* y) {
+    for (int i = 0; i < n; ++i) {
+      double s = diag[i] * x[i];
+      if (i > 0) s -= 0.3 * x[i - 1];
+      if (i < n - 1) s -= 0.3 * x[i + 1];
+      y[i] = s;
+    }
+  };
+  auto dot = [n](const double* x, const double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  };
+  const auto b = random_vec(n, 27);
+  tsem::CgOptions opt;
+  opt.tol = 1e-10;
+  std::vector<double> x1(n, 0.0), x2(n, 0.0);
+  auto r1 = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                      x1.data(), opt);
+  auto r2 = tsem::pcg(n, apply, tsem::jacobi_precond(diag), dot, b.data(),
+                      x2.data(), opt);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LT(r2.iterations, r1.iterations);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Unit tests for the mxm kernel family and tensor-product application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "tensor/mxm.hpp"
+#include "tensor/tensor_apply.hpp"
+
+namespace {
+
+using tsem::mxm_at;
+using tsem::mxm_blocked;
+using tsem::mxm_bt;
+using tsem::mxm_f2;
+using tsem::mxm_f3;
+using tsem::mxm_generic;
+
+std::vector<double> random_matrix(int rows, int cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = dist(rng);
+  return m;
+}
+
+std::vector<double> reference_mxm(const std::vector<double>& a, int m,
+                                  const std::vector<double>& b, int k, int n) {
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (int i = 0; i < m; ++i)
+    for (int l = 0; l < k; ++l)
+      for (int j = 0; j < n; ++j)
+        c[i * n + j] += a[i * k + l] * b[l * n + j];
+  return c;
+}
+
+struct MxmShape {
+  int m, k, n;
+};
+
+class MxmKernels : public ::testing::TestWithParam<MxmShape> {};
+
+TEST_P(MxmKernels, AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  const auto a = random_matrix(m, k, 17);
+  const auto b = random_matrix(k, n, 31);
+  const auto ref = reference_mxm(a, m, b, k, n);
+
+  using Kernel = void (*)(const double*, int, const double*, int, double*,
+                          int);
+  const Kernel kernels[] = {mxm_generic, mxm_blocked, mxm_f2, mxm_f3};
+  for (Kernel kern : kernels) {
+    std::vector<double> c(static_cast<std::size_t>(m) * n, -999.0);
+    kern(a.data(), m, b.data(), k, c.data(), n);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(c[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MxmKernels,
+    ::testing::Values(MxmShape{1, 1, 1}, MxmShape{2, 14, 2},
+                      MxmShape{14, 2, 14}, MxmShape{16, 14, 16},
+                      MxmShape{16, 14, 196}, MxmShape{256, 14, 16},
+                      MxmShape{14, 16, 14}, MxmShape{16, 16, 256},
+                      MxmShape{196, 16, 14}, MxmShape{7, 33, 5},
+                      MxmShape{40, 40, 40}));
+
+TEST(Mxm, TransposedVariants) {
+  const int m = 6, k = 9, n = 7;
+  const auto a = random_matrix(m, k, 3);
+  const auto b = random_matrix(k, n, 5);
+  const auto ref = reference_mxm(a, m, b, k, n);
+
+  // mxm_bt: pass B^T stored (n x k).
+  std::vector<double> bt(static_cast<std::size_t>(n) * k);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) bt[j * k + i] = b[i * n + j];
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  mxm_bt(a.data(), m, bt.data(), k, c.data(), n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-13);
+
+  // mxm_at: pass A^T stored (k x m).
+  std::vector<double> at(static_cast<std::size_t>(k) * m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) at[j * m + i] = a[i * k + j];
+  mxm_at(at.data(), m, b.data(), k, c.data(), n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-13);
+}
+
+TEST(Mxm, FixedSizeKernel) {
+  const auto a = random_matrix(8, 5, 11);
+  const auto b = random_matrix(5, 12, 13);
+  const auto ref = reference_mxm(a, 8, b, 5, 12);
+  std::vector<double> c(8 * 12);
+  tsem::mxm_fixed<8, 5, 12>(a.data(), b.data(), c.data());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-13);
+}
+
+// Kronecker-product reference for tensor_apply checks.
+std::vector<double> kron(const std::vector<double>& a, int ma, int na,
+                         const std::vector<double>& b, int mb, int nb) {
+  std::vector<double> k(static_cast<std::size_t>(ma * mb) * (na * nb));
+  for (int ia = 0; ia < ma; ++ia)
+    for (int ja = 0; ja < na; ++ja)
+      for (int ib = 0; ib < mb; ++ib)
+        for (int jb = 0; jb < nb; ++jb)
+          k[(ia * mb + ib) * (na * nb) + (ja * nb + jb)] =
+              a[ia * na + ja] * b[ib * nb + jb];
+  return k;
+}
+
+TEST(TensorApply, TwoDMatchesKronecker) {
+  const int mx = 4, nx = 5, my = 3, ny = 6;
+  const auto ax = random_matrix(mx, nx, 1);
+  const auto ay = random_matrix(my, ny, 2);
+  const auto u = random_matrix(ny, nx, 3);  // u[i + nx*j]
+
+  // Reference: (Ay kron Ax) acting on u ordered with x fastest.
+  const auto op = kron(ay, my, ny, ax, mx, nx);
+  std::vector<double> ref(static_cast<std::size_t>(mx) * my, 0.0);
+  for (int r = 0; r < mx * my; ++r)
+    for (int c = 0; c < nx * ny; ++c) ref[r] += op[r * (nx * ny) + c] * u[c];
+
+  std::vector<double> out(static_cast<std::size_t>(mx) * my);
+  std::vector<double> work(static_cast<std::size_t>(ny) * mx);
+  tsem::tensor2_apply(ax.data(), mx, nx, ay.data(), my, ny, u.data(),
+                      out.data(), work.data());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(out[i], ref[i], 1e-12);
+}
+
+TEST(TensorApply, ThreeDMatchesKronecker) {
+  const int mx = 3, nx = 4, my = 2, ny = 3, mz = 4, nz = 2;
+  const auto ax = random_matrix(mx, nx, 4);
+  const auto ay = random_matrix(my, ny, 5);
+  const auto az = random_matrix(mz, nz, 6);
+  const auto u = random_matrix(nz * ny, nx, 7);
+
+  const auto zy = kron(az, mz, nz, ay, my, ny);
+  const auto op = kron(zy, mz * my, nz * ny, ax, mx, nx);
+  const int nin = nx * ny * nz, nout = mx * my * mz;
+  std::vector<double> ref(nout, 0.0);
+  for (int r = 0; r < nout; ++r)
+    for (int c = 0; c < nin; ++c) ref[r] += op[r * nin + c] * u[c];
+
+  std::vector<double> out(nout);
+  std::vector<double> work(static_cast<std::size_t>(nz) * ny * mx +
+                           static_cast<std::size_t>(nz) * my * mx);
+  tsem::tensor3_apply(ax.data(), mx, nx, ay.data(), my, ny, az.data(), mz, nz,
+                      u.data(), out.data(), work.data());
+  for (int i = 0; i < nout; ++i) EXPECT_NEAR(out[i], ref[i], 1e-12);
+}
+
+TEST(TensorApply, SingleDirectionConsistent3D) {
+  const int n = 5;
+  const auto a = random_matrix(n, n, 8);
+  const auto u = random_matrix(n * n, n, 9);
+  std::vector<double> eye(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) eye[i * n + i] = 1.0;
+
+  std::vector<double> full(u.size()), partial(u.size());
+  std::vector<double> work(2 * u.size());
+
+  tsem::tensor3_apply(a.data(), n, n, eye.data(), n, n, eye.data(), n, n,
+                      u.data(), full.data(), work.data());
+  tsem::tensor3_apply_x(a.data(), n, n, n, u.data(), partial.data());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(full[i], partial[i], 1e-12);
+
+  tsem::tensor3_apply(eye.data(), n, n, a.data(), n, n, eye.data(), n, n,
+                      u.data(), full.data(), work.data());
+  tsem::tensor3_apply_y(a.data(), n, n, n, u.data(), partial.data());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(full[i], partial[i], 1e-12);
+
+  tsem::tensor3_apply(eye.data(), n, n, eye.data(), n, n, a.data(), n, n,
+                      u.data(), full.data(), work.data());
+  tsem::tensor3_apply_z(a.data(), n, n, n, u.data(), partial.data());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(full[i], partial[i], 1e-12);
+}
+
+}  // namespace
