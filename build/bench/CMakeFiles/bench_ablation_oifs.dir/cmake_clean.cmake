@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oifs.dir/bench_ablation_oifs.cpp.o"
+  "CMakeFiles/bench_ablation_oifs.dir/bench_ablation_oifs.cpp.o.d"
+  "bench_ablation_oifs"
+  "bench_ablation_oifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_coarse.dir/bench_fig6_coarse.cpp.o"
+  "CMakeFiles/bench_fig6_coarse.dir/bench_fig6_coarse.cpp.o.d"
+  "bench_fig6_coarse"
+  "bench_fig6_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

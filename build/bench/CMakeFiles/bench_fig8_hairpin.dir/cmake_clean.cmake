@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hairpin.dir/bench_fig8_hairpin.cpp.o"
+  "CMakeFiles/bench_fig8_hairpin.dir/bench_fig8_hairpin.cpp.o.d"
+  "bench_fig8_hairpin"
+  "bench_fig8_hairpin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hairpin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_orr_sommerfeld.dir/bench_table1_orr_sommerfeld.cpp.o"
+  "CMakeFiles/bench_table1_orr_sommerfeld.dir/bench_table1_orr_sommerfeld.cpp.o.d"
+  "bench_table1_orr_sommerfeld"
+  "bench_table1_orr_sommerfeld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_orr_sommerfeld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_schwarz.dir/bench_table2_schwarz.cpp.o"
+  "CMakeFiles/bench_table2_schwarz.dir/bench_table2_schwarz.cpp.o.d"
+  "bench_table2_schwarz"
+  "bench_table2_schwarz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mxm.dir/bench_table3_mxm.cpp.o"
+  "CMakeFiles/bench_table3_mxm.dir/bench_table3_mxm.cpp.o.d"
+  "bench_table3_mxm"
+  "bench_table3_mxm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mxm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

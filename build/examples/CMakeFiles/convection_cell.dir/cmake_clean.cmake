@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convection_cell.dir/convection_cell.cpp.o"
+  "CMakeFiles/convection_cell.dir/convection_cell.cpp.o.d"
+  "convection_cell"
+  "convection_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convection_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

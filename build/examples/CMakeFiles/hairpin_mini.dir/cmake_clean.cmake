@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hairpin_mini.dir/hairpin_mini.cpp.o"
+  "CMakeFiles/hairpin_mini.dir/hairpin_mini.cpp.o.d"
+  "hairpin_mini"
+  "hairpin_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hairpin_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

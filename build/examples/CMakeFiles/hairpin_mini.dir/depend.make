@@ -1,0 +1,2 @@
+# Empty dependencies file for hairpin_mini.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shear_layer.dir/shear_layer.cpp.o"
+  "CMakeFiles/shear_layer.dir/shear_layer.cpp.o.d"
+  "shear_layer"
+  "shear_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shear_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

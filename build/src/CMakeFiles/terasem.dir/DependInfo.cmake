@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csr.cpp" "src/CMakeFiles/terasem.dir/common/csr.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/common/csr.cpp.o.d"
+  "/root/repo/src/core/dealias.cpp" "src/CMakeFiles/terasem.dir/core/dealias.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/dealias.cpp.o.d"
+  "/root/repo/src/core/helmholtz.cpp" "src/CMakeFiles/terasem.dir/core/helmholtz.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/helmholtz.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/CMakeFiles/terasem.dir/core/operators.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/operators.cpp.o.d"
+  "/root/repo/src/core/pressure.cpp" "src/CMakeFiles/terasem.dir/core/pressure.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/pressure.cpp.o.d"
+  "/root/repo/src/core/probe.cpp" "src/CMakeFiles/terasem.dir/core/probe.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/probe.cpp.o.d"
+  "/root/repo/src/core/space.cpp" "src/CMakeFiles/terasem.dir/core/space.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/core/space.cpp.o.d"
+  "/root/repo/src/fem/fem.cpp" "src/CMakeFiles/terasem.dir/fem/fem.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/fem/fem.cpp.o.d"
+  "/root/repo/src/gs/gather_scatter.cpp" "src/CMakeFiles/terasem.dir/gs/gather_scatter.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/gs/gather_scatter.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/CMakeFiles/terasem.dir/io/vtk.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/io/vtk.cpp.o.d"
+  "/root/repo/src/mesh/build.cpp" "src/CMakeFiles/terasem.dir/mesh/build.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/mesh/build.cpp.o.d"
+  "/root/repo/src/mesh/spec.cpp" "src/CMakeFiles/terasem.dir/mesh/spec.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/mesh/spec.cpp.o.d"
+  "/root/repo/src/ns/navier_stokes.cpp" "src/CMakeFiles/terasem.dir/ns/navier_stokes.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/ns/navier_stokes.cpp.o.d"
+  "/root/repo/src/osref/orr_sommerfeld.cpp" "src/CMakeFiles/terasem.dir/osref/orr_sommerfeld.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/osref/orr_sommerfeld.cpp.o.d"
+  "/root/repo/src/partition/rsb.cpp" "src/CMakeFiles/terasem.dir/partition/rsb.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/partition/rsb.cpp.o.d"
+  "/root/repo/src/poly/basis1d.cpp" "src/CMakeFiles/terasem.dir/poly/basis1d.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/poly/basis1d.cpp.o.d"
+  "/root/repo/src/poly/filter.cpp" "src/CMakeFiles/terasem.dir/poly/filter.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/poly/filter.cpp.o.d"
+  "/root/repo/src/poly/lagrange.cpp" "src/CMakeFiles/terasem.dir/poly/lagrange.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/poly/lagrange.cpp.o.d"
+  "/root/repo/src/poly/legendre.cpp" "src/CMakeFiles/terasem.dir/poly/legendre.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/poly/legendre.cpp.o.d"
+  "/root/repo/src/poly/quadrature.cpp" "src/CMakeFiles/terasem.dir/poly/quadrature.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/poly/quadrature.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/terasem.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/solver/coarse.cpp" "src/CMakeFiles/terasem.dir/solver/coarse.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/coarse.cpp.o.d"
+  "/root/repo/src/solver/fdm.cpp" "src/CMakeFiles/terasem.dir/solver/fdm.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/fdm.cpp.o.d"
+  "/root/repo/src/solver/overlap.cpp" "src/CMakeFiles/terasem.dir/solver/overlap.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/overlap.cpp.o.d"
+  "/root/repo/src/solver/projection.cpp" "src/CMakeFiles/terasem.dir/solver/projection.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/projection.cpp.o.d"
+  "/root/repo/src/solver/schwarz.cpp" "src/CMakeFiles/terasem.dir/solver/schwarz.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/schwarz.cpp.o.d"
+  "/root/repo/src/solver/xxt.cpp" "src/CMakeFiles/terasem.dir/solver/xxt.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/solver/xxt.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/CMakeFiles/terasem.dir/tensor/linalg.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/tensor/linalg.cpp.o.d"
+  "/root/repo/src/tensor/mxm.cpp" "src/CMakeFiles/terasem.dir/tensor/mxm.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/tensor/mxm.cpp.o.d"
+  "/root/repo/src/tensor/tensor_apply.cpp" "src/CMakeFiles/terasem.dir/tensor/tensor_apply.cpp.o" "gcc" "src/CMakeFiles/terasem.dir/tensor/tensor_apply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/terasem.dir/poly/legendre.cpp.o: \
+ /root/repo/src/poly/legendre.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/poly/legendre.hpp

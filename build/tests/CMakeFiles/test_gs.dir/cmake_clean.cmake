@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gs.dir/test_gs.cpp.o"
+  "CMakeFiles/test_gs.dir/test_gs.cpp.o.d"
+  "test_gs"
+  "test_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

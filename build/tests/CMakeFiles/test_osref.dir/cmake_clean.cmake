@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osref.dir/test_osref.cpp.o"
+  "CMakeFiles/test_osref.dir/test_osref.cpp.o.d"
+  "test_osref"
+  "test_osref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

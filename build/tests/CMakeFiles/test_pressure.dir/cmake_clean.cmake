@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pressure.dir/test_pressure.cpp.o"
+  "CMakeFiles/test_pressure.dir/test_pressure.cpp.o.d"
+  "test_pressure"
+  "test_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

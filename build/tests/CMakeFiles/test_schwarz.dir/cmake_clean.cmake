@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schwarz.dir/test_schwarz.cpp.o"
+  "CMakeFiles/test_schwarz.dir/test_schwarz.cpp.o.d"
+  "test_schwarz"
+  "test_schwarz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
