@@ -1,0 +1,126 @@
+// resilient_restart: the solver resilience layer end to end.
+//
+// A 2D Taylor-Green vortex is integrated while a deterministic
+// FaultInjector poisons the pressure solve of one chosen step, forcing
+// NavierStokes::step through its escalation ladder (zero guesses ->
+// preconditioner fallback -> halved dt).  Mid-run the state is
+// checkpointed; a second solver restores it and continues bit-identically.
+// Finally the checkpoint file is deliberately corrupted to show the loader
+// rejecting it with a diagnosable error instead of restarting from
+// garbage.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "ns/navier_stokes.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace {
+
+tsem::Space periodic_box(int k, int order) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2 * M_PI, k),
+                                tsem::linspace(0, 2 * M_PI, k));
+  spec.periodic_x = spec.periodic_y = true;
+  return tsem::Space(tsem::build_mesh(spec, order));
+}
+
+void init_taylor_green(tsem::NavierStokes& ns, const tsem::Space& s) {
+  const auto& m = s.mesh();
+  for (std::size_t i = 0; i < s.nlocal(); ++i) {
+    ns.u(0)[i] = std::sin(m.x[i]) * std::cos(m.y[i]);
+    ns.u(1)[i] = -std::cos(m.x[i]) * std::sin(m.y[i]);
+  }
+}
+
+void print_stats(const tsem::StepStats& st) {
+  std::printf("  step %2d  t=%.4f  dt=%.5f  p_it=%3d  div=%8.2e", st.step,
+              st.time, st.dt, st.pressure_iters, st.divergence);
+  if (st.recovered)
+    std::printf("  RECOVERED (attempts=%d, halvings=%d%s%s)", st.attempts,
+                st.dt_halvings, st.projection_flushed ? ", proj-flush" : "",
+                st.precond_fallback ? ", diag-precond" : "");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const char* ckpt = "resilient_restart.ckpt";
+  tsem::Space space = periodic_box(4, 7);
+
+  tsem::NsOptions opt;
+  opt.dt = 0.01;
+  opt.viscosity = 0.05;
+  opt.torder = 2;
+  opt.proj_len = 8;
+  opt.resilience.max_dt_halvings = 2;
+
+  tsem::NavierStokes ns(space, 0u, opt);
+  init_taylor_green(ns, space);
+
+  // Poison the pressure rhs of step 4, attempts 1-3: the ladder has to
+  // climb to a halved-dt retry before the step goes through.
+  ns.set_fault_hook([](tsem::FaultSite site, int step, int attempt,
+                       int /*component*/, double* data, std::size_t n) {
+    if (site == tsem::FaultSite::PressureRhs && step == 4 && attempt <= 3) {
+      tsem::FaultInjector fi(1234u + static_cast<std::uint64_t>(attempt));
+      fi.poison_nan(data, n, 2);
+      std::printf("  [fault] NaN injected into pressure rhs, attempt %d\n",
+                  attempt);
+    }
+  });
+
+  std::printf("phase 1: integrate through an injected pressure fault\n");
+  for (int i = 0; i < 6; ++i) print_stats(ns.step());
+
+  std::string err;
+  if (!tsem::save_checkpoint(ns, ckpt, &err)) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("phase 2: checkpoint written after step %d\n",
+              ns.export_state().step);
+
+  // Continue the original run.
+  ns.set_fault_hook(nullptr);
+  std::printf("phase 3: original run continues\n");
+  tsem::StepStats last_a{};
+  for (int i = 0; i < 3; ++i) {
+    last_a = ns.step();
+    print_stats(last_a);
+  }
+
+  // Restore into a fresh solver and continue the same three steps.
+  tsem::NavierStokes restored(space, 0u, opt);
+  if (!tsem::restore_checkpoint(restored, ckpt, &err)) {
+    std::fprintf(stderr, "restore failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("phase 4: restored run continues from the checkpoint\n");
+  tsem::StepStats last_b{};
+  for (int i = 0; i < 3; ++i) {
+    last_b = restored.step();
+    print_stats(last_b);
+  }
+  const bool identical =
+      last_a.time == last_b.time && last_a.divergence == last_b.divergence &&
+      0 == std::memcmp(ns.u(0).data(), restored.u(0).data(),
+                       ns.u(0).size() * sizeof(double));
+  std::printf("  restored continuation bit-identical: %s\n",
+              identical ? "yes" : "NO");
+
+  // Corrupt the checkpoint and show the loader refusing it.
+  tsem::FaultInjector fi(99);
+  fi.corrupt_file(ckpt, 4, 20);
+  tsem::NsState state;
+  if (!tsem::load_checkpoint(ckpt, &state, &err))
+    std::printf("phase 5: corrupted checkpoint rejected: %s\n", err.c_str());
+  else
+    std::printf("phase 5: ERROR — corrupted checkpoint was accepted\n");
+
+  std::remove(ckpt);
+  return identical ? 0 : 1;
+}

@@ -25,4 +25,46 @@ void HelmholtzOp::apply(const double* u, double* w) const {
   for (std::size_t i = 0; i < mask_.size(); ++i) w[i] *= mask_[i];
 }
 
+CgResult helmholtz_solve(const HelmholtzOp& h,
+                         const std::vector<double>& bcvals,
+                         const std::vector<double>& rhs_weak,
+                         std::vector<double>& out,
+                         const HelmholtzSolveOptions& opt, TensorWork& work) {
+  const Space& space = h.space();
+  const Mesh& m = space.mesh();
+  const std::vector<double>& mask = h.mask();
+  const std::size_t nl = space.nlocal();
+  TSEM_REQUIRE(bcvals.size() == nl && rhs_weak.size() == nl &&
+               out.size() == nl);
+
+  // Lift: ub carries the Dirichlet values, zero elsewhere.
+  std::vector<double> ub(nl), b(rhs_weak), t(nl);
+  for (std::size_t i = 0; i < nl; ++i) ub[i] = (1.0 - mask[i]) * bcvals[i];
+  space.gs().op(b.data());
+  apply_helmholtz_local(m, h.h1(), h.h2(), ub.data(), t.data(), work);
+  space.gs().op(t.data());
+  for (std::size_t i = 0; i < nl; ++i) b[i] = (b[i] - t[i]) * mask[i];
+
+  // Initial guess: previous solution minus the lift (or zero).
+  std::vector<double> x(nl, 0.0);
+  if (!opt.zero_guess)
+    for (std::size_t i = 0; i < nl; ++i) x[i] = (out[i] - ub[i]) * mask[i];
+
+  auto apply = [&](const double* xx, double* yy) { h.apply(xx, yy); };
+  auto dot = [&](const double* a2, const double* b2) {
+    return space.glsum_dot(a2, b2);
+  };
+  CgOptions copt;
+  copt.tol = opt.tol;
+  copt.relative = true;
+  copt.max_iter = opt.max_iter;
+  auto res = pcg(nl, apply, jacobi_precond(h.diagonal()), dot, b.data(),
+                 x.data(), copt);
+  // On a hard failure x is garbage; keep the caller's field intact so the
+  // recovery ladder can retry from a consistent state.
+  if (!is_hard_failure(res.status))
+    for (std::size_t i = 0; i < nl; ++i) out[i] = x[i] + ub[i];
+  return res;
+}
+
 }  // namespace tsem

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/space.hpp"
+#include "solver/cg.hpp"
 #include "tensor/tensor_apply.hpp"
 
 namespace tsem {
@@ -37,5 +38,26 @@ class HelmholtzOp {
   std::vector<double> diag_;
   mutable TensorWork work_;
 };
+
+struct HelmholtzSolveOptions {
+  double tol = 1e-9;  ///< relative to the initial residual
+  int max_iter = 4000;
+  /// Start CG from zero instead of the previous solution in `out` — the
+  /// resilience layer's first escalation when a warm start went bad.
+  bool zero_guess = false;
+};
+
+/// Dirichlet-lifted Jacobi-PCG solve of H u = rhs_weak on the operator's
+/// masked C0 space.  `bcvals` carries the Dirichlet values (read where the
+/// operator's mask is 0); `rhs_weak` is the unassembled weak-form rhs;
+/// `out` holds the previous solution on entry (warm start unless
+/// zero_guess) and the solution on return.  The returned CgResult carries
+/// the SolveStatus the time stepper's recovery policy keys on; on a
+/// NonFinite/Breakdown exit `out` is left untouched.
+CgResult helmholtz_solve(const HelmholtzOp& h,
+                         const std::vector<double>& bcvals,
+                         const std::vector<double>& rhs_weak,
+                         std::vector<double>& out,
+                         const HelmholtzSolveOptions& opt, TensorWork& work);
 
 }  // namespace tsem

@@ -1,5 +1,6 @@
 #include "core/pressure.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -231,4 +232,70 @@ void PressureSystem::remove_mean(double* p) const {
   for (std::size_t i = 0; i < n; ++i) p[i] -= mean;
 }
 
+PressureSolveResult solve_pressure(
+    const PressureSystem& psys,
+    const std::function<void(const double*, double*)>& precond,
+    SolutionProjection* proj, const double* g, double* dp,
+    const PressureSolveOptions& opt) {
+  const std::size_t np = psys.nloc();
+  PressureSolveResult out;
+
+  std::vector<double> rhs(g, g + np);
+  if (opt.mean_free) psys.remove_mean_plain(rhs.data());
+
+  auto applyE = [&](const double* x, double* y) {
+    psys.apply_E(x, y);
+    // Keep the Krylov space on the mean-free quotient (E preserves it
+    // exactly in exact arithmetic; this suppresses roundoff drift of the
+    // singular mode).
+    if (opt.mean_free) psys.remove_mean_plain(y);
+    ++out.apply_count;
+  };
+  auto pdot = [np](const double* a, const double* b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < np; ++i) s += a[i] * b[i];
+    return s;
+  };
+  auto prec = [&](const double* r, double* z) {
+    if (precond) {
+      precond(r, z);
+      ++out.precond_count;
+      if (opt.mean_free) psys.remove_mean_plain(z);
+    } else {
+      std::copy(r, r + np, z);
+    }
+  };
+
+  std::fill(dp, dp + np, 0.0);
+  std::vector<double> p0(np, 0.0);
+  const bool use_proj = proj != nullptr && !opt.zero_guess;
+  if (use_proj) {
+    std::vector<double> r(np);
+    out.res0 = proj->project(rhs.data(), p0.data(), r.data());
+    std::copy(p0.begin(), p0.end(), dp);
+  }
+
+  // Tolerance relative to the FULL rhs norm (not the projection-reduced
+  // residual), so projection genuinely reduces the iteration count.
+  double gnorm = 0.0;
+  for (std::size_t i = 0; i < np; ++i) gnorm += rhs[i] * rhs[i];
+  gnorm = std::sqrt(gnorm);
+  CgOptions copt;
+  copt.tol = opt.tol * (gnorm > 0.0 ? gnorm : 1.0);
+  copt.max_iter = opt.max_iter;
+  out.cg = pcg(np, applyE, prec, pdot, rhs.data(), dp, copt);
+  if (!use_proj) out.res0 = out.cg.initial_residual;
+
+  if (is_hard_failure(out.cg.status)) {
+    // dp is garbage; zero it so the caller's state stays consistent, and
+    // leave the projection basis untouched.
+    std::fill(dp, dp + np, 0.0);
+    return out;
+  }
+  if (proj) proj->update(dp, p0.data(), applyE);
+  if (opt.mean_free) psys.remove_mean_plain(dp);
+  return out;
+}
+
 }  // namespace tsem
+

@@ -13,9 +13,12 @@
 // the rational metric combinations are formed.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/space.hpp"
+#include "solver/cg.hpp"
+#include "solver/projection.hpp"
 #include "tensor/tensor_apply.hpp"
 
 namespace tsem {
@@ -86,5 +89,36 @@ class PressureSystem {
   std::vector<double> ig_, dg_, igt_, dgt_;
   mutable TensorWork work_;
 };
+
+struct PressureSolveOptions {
+  double tol = 1e-6;  ///< relative to the FULL rhs norm (see NsOptions)
+  int max_iter = 4000;
+  /// Project the rhs and iterates onto the mean-free quotient (enclosed /
+  /// fully periodic flows where E has the constant nullspace).
+  bool mean_free = true;
+  /// Skip the projection initial guess and start CG from zero — the
+  /// resilience layer's first escalation when the warm path went bad.
+  bool zero_guess = false;
+};
+
+struct PressureSolveResult {
+  CgResult cg;
+  double res0 = 0.0;     ///< residual before iteration (after projection)
+  int apply_count = 0;   ///< E applications (flops accounting upstream)
+  int precond_count = 0; ///< preconditioner applications
+};
+
+/// Projected, preconditioned CG solve of E dp = g.  `precond` computes
+/// z = M^{-1} r (pass nullptr for identity); `proj` is the
+/// successive-RHS projection accelerator (nullptr disables; the basis is
+/// only updated when the solve did not hard-fail, so a poisoned attempt
+/// cannot pollute it).  dp holds the correction on return; on a
+/// NonFinite/Breakdown exit it is left zeroed.  The returned SolveStatus
+/// feeds the time stepper's recovery policy.
+PressureSolveResult solve_pressure(
+    const PressureSystem& psys,
+    const std::function<void(const double*, double*)>& precond,
+    SolutionProjection* proj, const double* g, double* dp,
+    const PressureSolveOptions& opt);
 
 }  // namespace tsem

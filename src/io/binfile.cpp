@@ -1,0 +1,141 @@
+#include "io/binfile.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace tsem {
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& t = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+BinFileWriter::BinFileWriter(const char magic[8], std::uint32_t version)
+    : version_(version) {
+  std::memcpy(magic_, magic, 8);
+}
+
+void BinFileWriter::add_section(std::uint32_t id,
+                                std::vector<std::uint8_t> payload) {
+  sections_.emplace_back(id, std::move(payload));
+}
+
+bool BinFileWriter::write(const std::string& path, std::string* err) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return fail(err, "cannot open " + path + " for writing");
+
+  auto put = [&f](const void* p, std::size_t n) {
+    f.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  const auto nsec = static_cast<std::uint32_t>(sections_.size());
+  put(magic_, 8);
+  put(&version_, sizeof version_);
+  put(&nsec, sizeof nsec);
+  std::uint32_t hcrc = crc32(magic_, 8);
+  hcrc = crc32(&version_, sizeof version_, hcrc);
+  hcrc = crc32(&nsec, sizeof nsec, hcrc);
+  put(&hcrc, sizeof hcrc);
+
+  for (const auto& [id, payload] : sections_) {
+    const auto nbytes = static_cast<std::uint64_t>(payload.size());
+    const std::uint32_t pcrc = crc32(payload.data(), payload.size());
+    put(&id, sizeof id);
+    put(&nbytes, sizeof nbytes);
+    put(&pcrc, sizeof pcrc);
+    put(payload.data(), payload.size());
+  }
+  f.close();
+  if (!f) {
+    std::remove(path.c_str());  // no plausible-looking partial files
+    return fail(err, "write to " + path + " failed");
+  }
+  return true;
+}
+
+bool read_bin_file(const std::string& path, const char magic[8],
+                   std::uint32_t expected_version,
+                   std::map<std::uint32_t, std::vector<std::uint8_t>>* out,
+                   std::string* err) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return fail(err, "cannot open " + path);
+
+  auto get = [&f](void* p, std::size_t n) {
+    f.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    return f.good();
+  };
+
+  char m[8];
+  std::uint32_t version = 0, nsec = 0, hcrc = 0;
+  if (!get(m, 8) || !get(&version, sizeof version) ||
+      !get(&nsec, sizeof nsec) || !get(&hcrc, sizeof hcrc))
+    return fail(err, path + ": truncated header");
+  if (std::memcmp(m, magic, 8) != 0)
+    return fail(err, path + ": bad magic (not a " +
+                         std::string(magic, magic + 8) + " file)");
+  std::uint32_t want = crc32(m, 8);
+  want = crc32(&version, sizeof version, want);
+  want = crc32(&nsec, sizeof nsec, want);
+  if (want != hcrc) return fail(err, path + ": header checksum mismatch");
+  if (version != expected_version)
+    return fail(err, path + ": version " + std::to_string(version) +
+                         " != expected " + std::to_string(expected_version));
+
+  out->clear();
+  for (std::uint32_t s = 0; s < nsec; ++s) {
+    std::uint32_t id = 0, pcrc = 0;
+    std::uint64_t nbytes = 0;
+    if (!get(&id, sizeof id) || !get(&nbytes, sizeof nbytes) ||
+        !get(&pcrc, sizeof pcrc))
+      return fail(err, path + ": truncated section header (section " +
+                           std::to_string(s) + ")");
+    // Guard absurd lengths before allocating (a flipped bit in nbytes
+    // must not turn into a bad_alloc).
+    f.seekg(0, std::ios::cur);
+    const auto here = f.tellg();
+    f.seekg(0, std::ios::end);
+    const auto end = f.tellg();
+    f.seekg(here);
+    if (here < 0 || end < 0 ||
+        nbytes > static_cast<std::uint64_t>(end - here))
+      return fail(err, path + ": section " + std::to_string(id) +
+                           " length exceeds file size (truncated or corrupt)");
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(nbytes));
+    if (nbytes > 0 && !get(payload.data(), payload.size()))
+      return fail(err, path + ": truncated payload (section " +
+                           std::to_string(id) + ")");
+    if (crc32(payload.data(), payload.size()) != pcrc)
+      return fail(err, path + ": checksum mismatch in section " +
+                           std::to_string(id));
+    if (!out->emplace(id, std::move(payload)).second)
+      return fail(err, path + ": duplicate section " + std::to_string(id));
+  }
+  return true;
+}
+
+}  // namespace tsem

@@ -1,0 +1,104 @@
+// Versioned, checksummed binary section container.
+//
+// The checkpoint/restart path (src/resilience/checkpoint.*) must detect a
+// truncated or bit-flipped file and reject it with a diagnosable error —
+// never crash, never silently restart from garbage.  This container gives
+// it that property generically:
+//
+//   file   := magic[8] version:u32 nsections:u32 header_crc:u32 section*
+//   section:= id:u32 nbytes:u64 payload_crc:u32 payload[nbytes]
+//
+// All integers are little-endian native (the format is a single-machine
+// restart artifact, not an interchange format).  header_crc covers magic,
+// version and nsections; each payload carries its own CRC-32, so
+// corruption is localized to a named section in the error message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tsem {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/// Append-only little serializer for section payloads.
+class ByteWriter {
+ public:
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  void put_vec(const std::vector<double>& v) {
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a section payload.  All getters return
+/// false on overrun instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+
+  template <class T>
+  bool get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > buf_->size()) return false;
+    std::memcpy(v, buf_->data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool get_vec(std::vector<double>* v) {
+    std::uint64_t n = 0;
+    if (!get(&n)) return false;
+    if (pos_ + n * sizeof(double) > buf_->size()) return false;
+    v->resize(static_cast<std::size_t>(n));
+    std::memcpy(v->data(), buf_->data() + pos_, n * sizeof(double));
+    pos_ += static_cast<std::size_t>(n) * sizeof(double);
+    return true;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_->size(); }
+
+ private:
+  const std::vector<std::uint8_t>* buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Write a section container.  Sections are written in insertion order.
+class BinFileWriter {
+ public:
+  BinFileWriter(const char magic[8], std::uint32_t version);
+  void add_section(std::uint32_t id, std::vector<std::uint8_t> payload);
+  /// Returns false with *err set on any I/O failure (partial files are
+  /// removed so a crash mid-write cannot leave a plausible-looking stub).
+  bool write(const std::string& path, std::string* err = nullptr) const;
+
+ private:
+  char magic_[8];
+  std::uint32_t version_;
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> sections_;
+};
+
+/// Read and fully validate a section container: magic, version, header
+/// CRC, section framing and every payload CRC.  Returns false with a
+/// specific *err message on the first defect found.
+bool read_bin_file(const std::string& path, const char magic[8],
+                   std::uint32_t expected_version,
+                   std::map<std::uint32_t, std::vector<std::uint8_t>>* out,
+                   std::string* err = nullptr);
+
+}  // namespace tsem

@@ -7,9 +7,17 @@
 #include "core/operators.hpp"
 #include "poly/basis1d.hpp"
 #include "poly/filter.hpp"
-#include "solver/cg.hpp"
 
 namespace tsem {
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
 
 struct NavierStokes::ScalarData {
   double diffusivity = 0.0;
@@ -18,7 +26,20 @@ struct NavierStokes::ScalarData {
   std::vector<double> thbc;
   std::array<std::vector<double>, 3> hist;
   std::unique_ptr<HelmholtzOp> hop;
-  double hop_beta0 = -1.0;
+  double hop_h2 = -1.0;
+};
+
+/// Rollback image for one step attempt: everything attempt_step mutates
+/// before the accept point.  ubc_/bc_frozen_ are excluded on purpose — the
+/// freeze is computed from the entering fields, so a retry reproduces it
+/// bit-exactly.
+struct NavierStokes::Snapshot {
+  std::array<std::vector<double>, 3> u;
+  std::array<std::array<std::vector<double>, 3>, 3> uh, ch;
+  std::vector<double> p;
+  std::vector<std::vector<double>> th;
+  std::vector<std::array<std::vector<double>, 3>> th_hist;
+  std::vector<std::vector<double>> proj_q, proj_w;
 };
 
 NavierStokes::NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
@@ -97,7 +118,7 @@ void NavierStokes::compute_bdf_coeffs(int order, double* beta0,
   }
 }
 
-double NavierStokes::current_cfl() const {
+double NavierStokes::cfl_rate() const {
   const Mesh& m = space_->mesh();
   const auto& b = Basis1D::get(m.order);
   const int n1 = m.n1d();
@@ -109,7 +130,7 @@ double NavierStokes::current_cfl() const {
     if (i < n1 - 1) g = std::min(g, b.z[i + 1] - b.z[i]);
     gap[i] = g;
   }
-  double cfl = 0.0;
+  double rate = 0.0;
   const std::size_t nl = nl_;
   for (int e = 0; e < m.nelem; ++e) {
     const std::size_t off = static_cast<std::size_t>(e) * m.npe;
@@ -128,11 +149,13 @@ double NavierStokes::current_cfl() const {
                                          c) * nl + off + n];
         s += std::fabs(ur) / gap[idx[d]];
       }
-      cfl = std::max(cfl, s);
+      rate = std::max(rate, s);
     }
   }
-  return cfl * opt_.dt;
+  return rate;
 }
+
+double NavierStokes::current_cfl() const { return cfl_rate() * opt_.dt; }
 
 double NavierStokes::divergence_norm() const {
   std::vector<double> dp(psys_->nloc());
@@ -160,15 +183,15 @@ double NavierStokes::kinetic_energy(
 }
 
 void NavierStokes::oifs_advect(
-    int q, int order, int substeps,
+    double dt, int q, int order, int substeps,
     const std::vector<std::vector<double>*>& fields,
     const std::vector<const double*>& field_masks) {
   const Mesh& m = space_->mesh();
   const auto& bmi = space_->bm_inv();
   const int nsub = substeps * q;
-  const double h = (q * opt_.dt) / nsub;
+  const double h = (q * dt) / nsub;
   const double t_n1 = 0.0;   // time of u^{n-1} relative to itself
-  const double t_n2 = -opt_.dt;
+  const double t_n2 = -dt;
 
   // Advecting velocity at relative time s (s = 0 at t^{n-1}, the newest
   // known level; the integration runs from -(q-1)*dt ... wait, the field
@@ -177,7 +200,6 @@ void NavierStokes::oifs_advect(
   std::array<std::vector<double>, 3> vbuf;
   for (int c = 0; c < dim_; ++c) vbuf[c].resize(nl_);
   auto velocity_at = [&](double s) {
-    const double dt = opt_.dt;
     for (int c = 0; c < dim_; ++c) {
       if (order >= 3 && nsteps_ >= 2) {
         // Quadratic Lagrange through (0, -dt, -2dt): needed so the
@@ -224,7 +246,7 @@ void NavierStokes::oifs_advect(
     for (std::size_t i = 0; i < nl_; ++i) k[i] *= bmi[i] * fmask[i];
   };
 
-  double s = -(q - 1) * opt_.dt;  // start time relative to t^{n-1}
+  double s = -(q - 1) * dt;  // start time relative to t^{n-1}
   for (int step = 0; step < nsub; ++step) {
     // RK4 stages at s, s+h/2, s+h.
     velocity_at(s);
@@ -254,41 +276,6 @@ void NavierStokes::oifs_advect(
   }
 }
 
-int NavierStokes::helmholtz_solve(const HelmholtzOp& h,
-                                  const std::vector<double>& mask,
-                                  const std::vector<double>& bcvals,
-                                  const std::vector<double>& rhs_weak,
-                                  std::vector<double>& out) {
-  const Mesh& m = space_->mesh();
-  // Lift: ub carries the Dirichlet values, zero elsewhere.
-  std::vector<double> ub(nl_), b(rhs_weak), t(nl_);
-  for (std::size_t i = 0; i < nl_; ++i)
-    ub[i] = (1.0 - mask[i]) * bcvals[i];
-  space_->gs().op(b.data());
-  apply_helmholtz_local(m, h.h1(), h.h2(), ub.data(), t.data(), work_);
-  space_->gs().op(t.data());
-  for (std::size_t i = 0; i < nl_; ++i) b[i] = (b[i] - t[i]) * mask[i];
-
-  // Initial guess: previous solution minus the lift.
-  std::vector<double> x(nl_);
-  for (std::size_t i = 0; i < nl_; ++i) x[i] = (out[i] - ub[i]) * mask[i];
-
-  auto apply = [&](const double* xx, double* yy) { h.apply(xx, yy); };
-  auto dot = [&](const double* a2, const double* b2) {
-    return space_->glsum_dot(a2, b2);
-  };
-  CgOptions copt;
-  copt.tol = opt_.helm_tol;
-  copt.relative = true;
-  copt.max_iter = opt_.max_iter;
-  auto res = pcg(nl_, apply, jacobi_precond(h.diagonal()), dot, b.data(),
-                 x.data(), copt);
-  for (std::size_t i = 0; i < nl_; ++i) out[i] = x[i] + ub[i];
-  flops_total_ +=
-      res.iterations * (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
-  return res.iterations;
-}
-
 void NavierStokes::apply_velocity_filter() {
   if (fmat_.empty()) return;
   const Mesh& m = space_->mesh();
@@ -309,13 +296,47 @@ void NavierStokes::apply_velocity_filter() {
                   m.nelem;
 }
 
-StepStats NavierStokes::step() {
+bool NavierStokes::solve_failed(SolveStatus s) const {
+  return is_hard_failure(s) ||
+         (opt_.resilience.maxiter_is_failure && s == SolveStatus::MaxIter);
+}
+
+void NavierStokes::save_snapshot(Snapshot& s) const {
+  s.u = u_;
+  s.uh = uh_;
+  s.ch = ch_;
+  s.p = p_;
+  s.th.resize(scalars_.size());
+  s.th_hist.resize(scalars_.size());
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    s.th[sc] = scalars_[sc]->th;
+    s.th_hist[sc] = scalars_[sc]->hist;
+  }
+  if (proj_) {
+    s.proj_q = proj_->basis_q();
+    s.proj_w = proj_->basis_w();
+  }
+}
+
+void NavierStokes::restore_snapshot(const Snapshot& s) {
+  u_ = s.u;
+  uh_ = s.uh;
+  ch_ = s.ch;
+  p_ = s.p;
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    scalars_[sc]->th = s.th[sc];
+    scalars_[sc]->hist = s.th_hist[sc];
+  }
+  if (proj_) proj_->restore_basis(s.proj_q, s.proj_w);
+}
+
+bool NavierStokes::attempt_step(double dt, int order,
+                                const AttemptPolicy& pol, int attempt,
+                                StepStats& stats) {
   const Mesh& m = space_->mesh();
-  StepStats stats;
-  const int order = std::min(opt_.torder, nsteps_ + 1);
+  const int this_step = nsteps_ + 1;
   double beta0, cq[3];
   compute_bdf_coeffs(order, &beta0, cq);
-  const double dt = opt_.dt;
 
   if (!bc_frozen_) {
     for (int c = 0; c < dim_; ++c) {
@@ -329,7 +350,7 @@ StepStats NavierStokes::step() {
     bc_frozen_ = true;
   }
 
-  stats.cfl = current_cfl();
+  stats.cfl = cfl_rate() * dt;
   const int base_sub =
       opt_.oifs_substeps > 0
           ? opt_.oifs_substeps
@@ -364,7 +385,7 @@ StepStats NavierStokes::step() {
         fptr[f] = &adv[f];
         fmask[f] = scalars_[sc]->mask.data();
       }
-      oifs_advect(q, order, base_sub, fptr, fmask);
+      oifs_advect(dt, q, order, base_sub, fptr, fmask);
       const double coef = cq[q - 1] / dt;
       for (int f = 0; f < nf; ++f)
         for (std::size_t i = 0; i < nl_; ++i) rhs[f][i] += coef * adv[f][i];
@@ -427,11 +448,15 @@ StepStats NavierStokes::step() {
   }
 
   // ---- Helmholtz solves for u* ----
-  if (!hop_ || hop_beta0_ != beta0) {
-    hop_ = std::make_unique<HelmholtzOp>(*space_, opt_.viscosity, beta0 / dt,
-                                         mask_);
-    hop_beta0_ = beta0;
+  const double h2 = beta0 / dt;
+  if (!hop_ || hop_h2_ != h2) {
+    hop_ = std::make_unique<HelmholtzOp>(*space_, opt_.viscosity, h2, mask_);
+    hop_h2_ = h2;
   }
+  HelmholtzSolveOptions hopt;
+  hopt.tol = opt_.helm_tol;
+  hopt.max_iter = opt_.max_iter;
+  hopt.zero_guess = pol.zero_guess;
   // Weak rhs: B * rhs + D^T p (lagged pressure gradient).
   {
     std::array<std::vector<double>, 3> gp;
@@ -446,23 +471,40 @@ StepStats NavierStokes::step() {
       std::vector<double> weak(nl_);
       for (std::size_t i = 0; i < nl_; ++i)
         weak[i] = m.bm[i] * rhs[c][i] + gp[c][i];
-      stats.helmholtz_iters[c] =
-          helmholtz_solve(*hop_, mask_, ubc_[c], weak, u_[c]);
+      if (fault_hook_)
+        fault_hook_(FaultSite::HelmholtzRhs, this_step, attempt, c,
+                    weak.data(), nl_);
+      auto res = helmholtz_solve(*hop_, ubc_[c], weak, u_[c], hopt, work_);
+      stats.helmholtz_iters[c] = res.iterations;
+      stats.helmholtz_status[c] = res.status;
+      flops_total_ += res.iterations *
+                      (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
+      if (solve_failed(res.status)) return false;
     }
   }
 
   // ---- scalar (species) transport ----
+  stats.scalar_status = SolveStatus::Converged;
   for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
     auto& sd = *scalars_[sc];
-    if (!sd.hop || sd.hop_beta0 != beta0) {
-      sd.hop = std::make_unique<HelmholtzOp>(*space_, sd.diffusivity,
-                                             beta0 / dt, sd.mask);
-      sd.hop_beta0 = beta0;
+    if (!sd.hop || sd.hop_h2 != h2) {
+      sd.hop = std::make_unique<HelmholtzOp>(*space_, sd.diffusivity, h2,
+                                             sd.mask);
+      sd.hop_h2 = h2;
     }
     std::vector<double> weak(nl_);
     for (std::size_t i = 0; i < nl_; ++i)
       weak[i] = m.bm[i] * rhs[dim_ + sc][i];
-    helmholtz_solve(*sd.hop, sd.mask, sd.thbc, weak, sd.th);
+    auto res = helmholtz_solve(*sd.hop, sd.thbc, weak, sd.th, hopt, work_);
+    flops_total_ += res.iterations *
+                    (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
+    if (solve_failed(res.status)) {
+      stats.scalar_status = res.status;
+      return false;
+    }
+    if (res.status != SolveStatus::Converged &&
+        stats.scalar_status == SolveStatus::Converged)
+      stats.scalar_status = res.status;
   }
 
   // ---- pressure correction ----
@@ -474,51 +516,39 @@ StepStats NavierStokes::step() {
     psys_->divergence(uu, g.data());
     const double scale = -beta0 / dt;
     for (auto& v : g) v *= scale;
-    if (opt_.pressure_mean_free) psys_->remove_mean_plain(g.data());
+    if (fault_hook_)
+      fault_hook_(FaultSite::PressureRhs, this_step, attempt, 0, g.data(),
+                  np);
 
-    auto applyE = [&](const double* x, double* y) {
-      psys_->apply_E(x, y);
-      // Keep the Krylov space on the mean-free quotient (E preserves it
-      // exactly in exact arithmetic; this suppresses roundoff drift of
-      // the singular mode).
-      if (opt_.pressure_mean_free) psys_->remove_mean_plain(y);
-      flops_total_ += e_apply_flops(*psys_);
-    };
-    auto pdot = [np](const double* a2, const double* b2) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < np; ++i) s += a2[i] * b2[i];
-      return s;
-    };
-    auto precond = [&](const double* r, double* z) {
-      if (schwarz_) {
-        schwarz_->apply(r, z);
-        flops_total_ += schwarz_->local_flops_per_apply();
-        if (opt_.pressure_mean_free) psys_->remove_mean_plain(z);
-      } else {
-        std::copy(r, r + np, z);
-      }
-    };
-
-    std::vector<double> p0(np, 0.0);
-    if (proj_) {
-      std::vector<double> r(np);
-      stats.pressure_res0 = proj_->project(g.data(), p0.data(), r.data());
-      dp = p0;
-      flops_total_ += 4.0 * proj_->size() * static_cast<double>(np);
+    PressureSolveOptions popt;
+    popt.tol = opt_.pres_tol;
+    popt.max_iter = opt_.max_iter;
+    popt.mean_free = opt_.pressure_mean_free;
+    popt.zero_guess = pol.zero_guess;
+    std::function<void(const double*, double*)> precond;
+    const bool with_schwarz = schwarz_ && pol.use_schwarz;
+    if (with_schwarz) {
+      precond = [this](const double* r, double* z) { schwarz_->apply(r, z); };
+    } else if (schwarz_) {
+      // Rung-2 fallback: diagonal (pressure-mass) scaling — spectrally
+      // crude but SPD and structurally immune to a corrupted subdomain
+      // or coarse solve.
+      precond = [this](const double* r, double* z) {
+        const auto& d = psys_->pbm();
+        for (std::size_t i = 0; i < d.size(); ++i) z[i] = r[i] / d[i];
+      };
     }
-    // Tolerance relative to the FULL rhs norm (not the projection-reduced
-    // residual), so projection genuinely reduces the iteration count.
-    double gnorm = 0.0;
-    for (std::size_t i = 0; i < np; ++i) gnorm += g[i] * g[i];
-    gnorm = std::sqrt(gnorm);
-    CgOptions copt;
-    copt.tol = opt_.pres_tol * (gnorm > 0.0 ? gnorm : 1.0);
-    copt.max_iter = opt_.max_iter;
-    auto res = pcg(np, applyE, precond, pdot, g.data(), dp.data(), copt);
-    stats.pressure_iters = res.iterations;
-    if (!proj_) stats.pressure_res0 = res.initial_residual;
-    if (proj_) proj_->update(dp.data(), p0.data(), applyE);
-    if (opt_.pressure_mean_free) psys_->remove_mean_plain(dp.data());
+    auto res = solve_pressure(*psys_, precond, proj_.get(), g.data(),
+                              dp.data(), popt);
+    stats.pressure_iters = res.cg.iterations;
+    stats.pressure_status = res.cg.status;
+    stats.pressure_res0 = res.res0;
+    flops_total_ += res.apply_count * e_apply_flops(*psys_);
+    if (with_schwarz)
+      flops_total_ += res.precond_count * schwarz_->local_flops_per_apply();
+    if (proj_ && !pol.zero_guess)
+      flops_total_ += 4.0 * proj_->size() * static_cast<double>(np);
+    if (solve_failed(res.cg.status)) return false;
 
     // Velocity correction and pressure update.
     std::array<std::vector<double>, 3> gd;
@@ -540,8 +570,22 @@ StepStats NavierStokes::step() {
     if (opt_.pressure_mean_free) psys_->remove_mean(p_.data());
   }
 
-  // ---- filter, history rotation, stats ----
+  // ---- filter, final validation, history rotation, stats ----
   apply_velocity_filter();
+
+  if (opt_.resilience.enabled) {
+    // A solve can "converge" on finite residuals while a masked node or
+    // the forcing carried NaN into the field — the last line of defense
+    // before the step is committed.
+    bool finite = all_finite(p_);
+    for (int c = 0; finite && c < dim_; ++c) finite = all_finite(u_[c]);
+    for (std::size_t sc = 0; finite && sc < scalars_.size(); ++sc)
+      finite = all_finite(scalars_[sc]->th);
+    if (!finite) {
+      stats.nonfinite_field = true;
+      return false;
+    }
+  }
 
   for (int c = 0; c < dim_; ++c) {
     uh_[1][c].swap(uh_[0][c]);
@@ -565,7 +609,168 @@ StepStats NavierStokes::step() {
   stats.time = time_;
   stats.divergence = divergence_norm();
   stats.flops = flops_total_;
+  return true;
+}
+
+StepStats NavierStokes::step() {
+  const ResilienceOptions& rz = opt_.resilience;
+  StepStats stats;
+  double dt = opt_.dt;
+  int halvings = 0;
+
+  Snapshot snap;
+  if (rz.enabled) save_snapshot(snap);
+
+  // CFL watchdog: reject a hopeless step before spending solver work.
+  if (rz.enabled && rz.cfl_limit > 0.0) {
+    const double rate = cfl_rate();
+    while (rate * dt > rz.cfl_limit && halvings < rz.max_dt_halvings) {
+      dt *= 0.5;
+      ++halvings;
+      stats.cfl_rejected = true;
+    }
+  }
+
+  // Escalation ladder (resilience/recovery.hpp): climb the rungs at the
+  // current dt, then reject and halve.  Deterministic by construction.
+  AttemptPolicy pol;
+  int attempt = 0;
+  bool accepted = false;
+  for (;;) {
+    ++attempt;
+    const int order =
+        (halvings > 0) ? 1 : std::min(opt_.torder, ramp_ + 1);
+    if (attempt_step(dt, order, pol, attempt, stats)) {
+      accepted = true;
+      break;
+    }
+    if (!rz.enabled) break;  // statuses recorded; legacy no-retry behavior
+    restore_snapshot(snap);
+    if (!pol.zero_guess) {
+      // Rung 1: a poisoned warm start (previous solution / projection
+      // basis) is the most common contaminant.
+      pol.zero_guess = true;
+      if (proj_) proj_->clear();
+      stats.projection_flushed = true;
+    } else if (pol.use_schwarz && schwarz_) {
+      // Rung 2: preconditioner fallback.
+      pol.use_schwarz = false;
+      stats.precond_fallback = true;
+    } else if (halvings < rz.max_dt_halvings) {
+      // Rung 3: reject the step; the BDF/OIFS ramp restarts at the
+      // reduced dt (order 1) because the history spacing no longer
+      // matches.  Zero guesses stay; the Schwarz rung re-arms.
+      ++halvings;
+      dt *= 0.5;
+      pol.use_schwarz = true;
+    } else {
+      break;  // ladder exhausted; state is rolled back
+    }
+  }
+
+  stats.attempts = attempt;
+  stats.dt_halvings = halvings;
+  stats.dt = dt;
+  stats.recovered = accepted && (attempt > 1 || stats.cfl_rejected);
+  stats.failed = !accepted;
+  if (accepted)
+    ramp_ = (halvings > 0) ? 0 : ramp_ + 1;
   return stats;
+}
+
+NsState NavierStokes::export_state() const {
+  NsState s;
+  s.dim = dim_;
+  s.nscalars = static_cast<std::int32_t>(scalars_.size());
+  s.nlocal = nl_;
+  s.npressure = psys_->nloc();
+  s.step = nsteps_;
+  s.order_ramp = ramp_;
+  s.bc_frozen = bc_frozen_ ? 1 : 0;
+  s.time = time_;
+  s.dt = opt_.dt;
+  s.flops_total = flops_total_;
+  s.u = u_;
+  s.ubc = ubc_;
+  s.uh = uh_;
+  s.ch = ch_;
+  s.p = p_;
+  s.scalars.resize(scalars_.size());
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    s.scalars[sc].th = scalars_[sc]->th;
+    s.scalars[sc].thbc = scalars_[sc]->thbc;
+    s.scalars[sc].hist = scalars_[sc]->hist;
+  }
+  if (proj_) {
+    s.proj_q = proj_->basis_q();
+    s.proj_w = proj_->basis_w();
+  }
+  return s;
+}
+
+bool NavierStokes::import_state(const NsState& s, std::string* err) {
+  auto fail = [err](const std::string& what) {
+    if (err) *err = what;
+    return false;
+  };
+  if (s.dim != dim_) return fail("state dim mismatch");
+  if (s.nlocal != nl_) return fail("state velocity dof count mismatch");
+  if (s.npressure != psys_->nloc())
+    return fail("state pressure dof count mismatch");
+  if (s.nscalars != nscalars()) return fail("state scalar count mismatch");
+  if (!(s.dt > 0.0) || !std::isfinite(s.dt))
+    return fail("state dt not positive finite");
+  if (s.step < 0 || s.order_ramp < 0) return fail("state step index negative");
+  for (int c = 0; c < dim_; ++c)
+    if (s.u[c].size() != nl_ || s.ubc[c].size() != nl_)
+      return fail("state velocity field size mismatch");
+  for (const auto& lvl : s.uh)
+    for (int c = 0; c < dim_; ++c)
+      if (lvl[c].size() != nl_) return fail("state history size mismatch");
+  for (const auto& lvl : s.ch)
+    for (int c = 0; c < dim_; ++c)
+      if (lvl[c].size() != nl_)
+        return fail("state convection history size mismatch");
+  if (s.p.size() != psys_->nloc()) return fail("state pressure size mismatch");
+  for (const auto& sc : s.scalars) {
+    if (sc.th.size() != nl_ || sc.thbc.size() != nl_)
+      return fail("state scalar field size mismatch");
+    for (const auto& h : sc.hist)
+      if (h.size() != nl_) return fail("state scalar history size mismatch");
+  }
+  if (s.proj_q.size() != s.proj_w.size())
+    return fail("state projection basis q/w size mismatch");
+  for (std::size_t i = 0; i < s.proj_q.size(); ++i)
+    if (s.proj_q[i].size() != psys_->nloc() ||
+        s.proj_w[i].size() != psys_->nloc())
+      return fail("state projection vector size mismatch");
+
+  u_ = s.u;
+  ubc_ = s.ubc;
+  uh_ = s.uh;
+  ch_ = s.ch;
+  p_ = s.p;
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+    scalars_[sc]->th = s.scalars[sc].th;
+    scalars_[sc]->thbc = s.scalars[sc].thbc;
+    scalars_[sc]->hist = s.scalars[sc].hist;
+  }
+  if (proj_) proj_->restore_basis(s.proj_q, s.proj_w);
+  nsteps_ = s.step;
+  ramp_ = s.order_ramp;
+  bc_frozen_ = s.bc_frozen != 0;
+  time_ = s.time;
+  opt_.dt = s.dt;
+  flops_total_ = s.flops_total;
+  // Cached operators depend on beta0/dt; invalidate so the next step
+  // rebuilds them deterministically.
+  hop_.reset();
+  hop_h2_ = -1.0;
+  for (auto& sc : scalars_) {
+    sc->hop.reset();
+    sc->hop_h2 = -1.0;
+  }
+  return true;
 }
 
 }  // namespace tsem

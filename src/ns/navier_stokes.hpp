@@ -15,6 +15,15 @@
 //
 // An optional advected-diffused scalar (temperature) with its own
 // boundary conditions supports the Boussinesq convection applications.
+//
+// Every solve reports a SolveStatus, and step() wraps the whole update in
+// the resilience layer's deterministic escalation ladder (see
+// resilience/recovery.hpp): a hard-failed solve rolls the state back and
+// retries with zero guesses and a flushed projection basis, then with a
+// diagonal preconditioner fallback, then at halved dt with the BDF/OIFS
+// ramp restarted — all recorded in StepStats.  Full solver state can be
+// exported/imported bit-exactly for checkpoint/restart
+// (resilience/checkpoint.hpp).
 #pragma once
 
 #include <array>
@@ -27,6 +36,8 @@
 #include "core/helmholtz.hpp"
 #include "core/pressure.hpp"
 #include "core/space.hpp"
+#include "resilience/recovery.hpp"
+#include "solver/cg.hpp"
 #include "solver/projection.hpp"
 #include "solver/schwarz.hpp"
 
@@ -56,6 +67,8 @@ struct NsOptions {
   SchwarzOptions schwarz;
   /// Remove the pressure nullspace (enclosed / fully periodic flows).
   bool pressure_mean_free = true;
+  /// Failure recovery policy (see resilience/recovery.hpp).
+  ResilienceOptions resilience;
 };
 
 struct StepStats {
@@ -67,6 +80,51 @@ struct StepStats {
   double divergence = 0.0;     ///< ||D u^n||_2 after correction
   double cfl = 0.0;
   double flops = 0.0;  ///< modeled flops spent this step
+
+  // --- resilience record (escalation ladder, resilience/recovery.hpp) ---
+  double dt = 0.0;  ///< dt actually used (== NsOptions::dt unless rejected)
+  SolveStatus pressure_status = SolveStatus::Converged;
+  std::array<SolveStatus, 3> helmholtz_status{
+      SolveStatus::Converged, SolveStatus::Converged, SolveStatus::Converged};
+  SolveStatus scalar_status = SolveStatus::Converged;  ///< worst over scalars
+  int attempts = 1;       ///< total attempts including the accepted one
+  int dt_halvings = 0;    ///< rejections taken (watchdog + solver-driven)
+  bool cfl_rejected = false;       ///< watchdog halved dt preemptively
+  bool projection_flushed = false; ///< rung 1 taken (zero guess + flush)
+  bool precond_fallback = false;   ///< rung 2 taken (Schwarz -> diagonal)
+  bool nonfinite_field = false;    ///< post-step field scan found NaN/Inf
+  bool recovered = false;  ///< accepted after at least one failed attempt
+  bool failed = false;     ///< ladder exhausted; state rolled back
+};
+
+/// Where a registered fault hook is invoked (deterministic test seam for
+/// the resilience layer; see resilience/fault_injector.hpp).
+enum class FaultSite {
+  HelmholtzRhs,  ///< weak rhs of velocity component `component`
+  PressureRhs,   ///< pressure Poisson rhs g
+};
+
+/// Bit-exact exportable solver state (resilience/checkpoint.hpp).
+struct NsState {
+  std::int32_t dim = 0;
+  std::int32_t nscalars = 0;
+  std::uint64_t nlocal = 0;
+  std::uint64_t npressure = 0;
+  std::int32_t step = 0;
+  std::int32_t order_ramp = 0;
+  std::int32_t bc_frozen = 0;
+  double time = 0.0;
+  double dt = 0.0;
+  double flops_total = 0.0;
+  std::array<std::vector<double>, 3> u, ubc;
+  std::array<std::array<std::vector<double>, 3>, 3> uh, ch;
+  std::vector<double> p;
+  struct Scalar {
+    std::vector<double> th, thbc;
+    std::array<std::vector<double>, 3> hist;
+  };
+  std::vector<Scalar> scalars;
+  std::vector<std::vector<double>> proj_q, proj_w;
 };
 
 class NavierStokes {
@@ -108,8 +166,28 @@ class NavierStokes {
   std::vector<double>& scalar(int which = 0);
   [[nodiscard]] const std::vector<double>& scalar(int which = 0) const;
 
-  /// Advance one time step.
+  /// Advance one time step through the resilience ladder.
   StepStats step();
+
+  /// Deterministic fault-injection seam: invoked on each solve rhs right
+  /// before the solve, every attempt.  `step` is the 1-based index of the
+  /// step being computed, `attempt` the 1-based ladder attempt,
+  /// `component` the velocity component (HelmholtzRhs only).  Used by the
+  /// resilience tests; pass nullptr to clear.
+  using FaultHook = std::function<void(FaultSite site, int step, int attempt,
+                                       int component, double* data,
+                                       std::size_t n)>;
+  void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
+
+  /// Snapshot the complete time-stepping state (fields, histories,
+  /// pressure, scalars, projection basis, clock) for checkpointing.
+  [[nodiscard]] NsState export_state() const;
+  /// Restore a previously exported state.  The target must be built on
+  /// the same discretization (dim/sizes/scalar count); on mismatch
+  /// returns false with *err describing the offending field and leaves
+  /// the object untouched.  NsOptions::dt is overwritten by the state's
+  /// dt so the restored run continues on the same clock.
+  bool import_state(const NsState& s, std::string* err = nullptr);
 
   /// max_q |u . grad| based convective CFL of the current field.
   [[nodiscard]] double current_cfl() const;
@@ -125,19 +203,31 @@ class NavierStokes {
 
  private:
   struct ScalarData;
+  struct Snapshot;
+  /// Per-attempt solve policy chosen by the escalation ladder.
+  struct AttemptPolicy {
+    bool zero_guess = false;   ///< rung 1: cold-start every solve
+    bool use_schwarz = true;   ///< rung 2 clears this: diagonal fallback
+  };
 
   void compute_bdf_coeffs(int order, double* beta0, double* c) const;
+  /// max |u . grad| rate of the current field; CFL = rate * dt.
+  [[nodiscard]] double cfl_rate() const;
   /// Advect `fields` (in place) from t^{n-q} to t^n by RK4 sub-stepping
   /// of the pure convection problem, with the advecting velocity
   /// interpolated/extrapolated from the known history.
-  void oifs_advect(int q, int order, int substeps,
+  void oifs_advect(double dt, int q, int order, int substeps,
                    const std::vector<std::vector<double>*>& fields,
                    const std::vector<const double*>& field_masks);
-  int helmholtz_solve(const HelmholtzOp& h, const std::vector<double>& mask,
-                      const std::vector<double>& bcvals,
-                      const std::vector<double>& rhs_weak,
-                      std::vector<double>& out);
+  /// One full step attempt at the given dt/order under the given policy.
+  /// Returns false (without advancing the clock) on a hard solve failure
+  /// or a non-finite post-step field; statuses are recorded in stats.
+  bool attempt_step(double dt, int order, const AttemptPolicy& pol,
+                    int attempt, StepStats& stats);
+  [[nodiscard]] bool solve_failed(SolveStatus s) const;
   void apply_velocity_filter();
+  void save_snapshot(Snapshot& s) const;
+  void restore_snapshot(const Snapshot& s);
 
   const Space* space_;
   NsOptions opt_;
@@ -145,6 +235,10 @@ class NavierStokes {
   std::size_t nl_;
   double time_ = 0.0;
   int nsteps_ = 0;
+  /// Consecutive accepted steps at the nominal dt since the last dt
+  /// rejection (drives the BDF startup ramp; a rejected step restarts it
+  /// because the history spacing is no longer uniform).
+  int ramp_ = 0;
 
   std::vector<double> mask_;
   std::array<std::vector<double>, 3> u_;
@@ -161,10 +255,11 @@ class NavierStokes {
   std::unique_ptr<SchwarzPrecond> schwarz_;
   std::unique_ptr<SolutionProjection> proj_;
   std::unique_ptr<HelmholtzOp> hop_;
-  double hop_beta0_ = -1.0;
+  double hop_h2_ = -1.0;  ///< cache key: h2 = beta0/dt of the cached hop_
 
   std::vector<std::unique_ptr<ScalarData>> scalars_;
   Forcing forcing_;
+  FaultHook fault_hook_;
   std::vector<double> fmat_;  // cached 1D filter matrix
   mutable TensorWork work_;
   double flops_total_ = 0.0;

@@ -1,0 +1,175 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdint>
+
+#include "io/binfile.hpp"
+
+namespace tsem {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'E', 'M', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+// Section ids.  Scalars and projection vectors live in per-index sections
+// so a corrupted payload is pinpointed in the error message.
+enum : std::uint32_t {
+  kSecMeta = 1,
+  kSecVelocity = 2,    // u, ubc, uh, ch (all components/levels)
+  kSecPressure = 3,
+  kSecProjection = 4,  // interleaved q/w pairs
+  kSecScalarBase = 16, // + scalar index
+};
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+}  // namespace
+
+bool save_checkpoint(const NavierStokes& ns, const std::string& path,
+                     std::string* err) {
+  const NsState s = ns.export_state();
+  BinFileWriter w(kMagic, kVersion);
+
+  {
+    ByteWriter b;
+    b.put(s.dim);
+    b.put(s.nscalars);
+    b.put(s.nlocal);
+    b.put(s.npressure);
+    b.put(s.step);
+    b.put(s.order_ramp);
+    b.put(s.bc_frozen);
+    b.put<std::int32_t>(0);  // pad for alignment-stable layout
+    b.put(s.time);
+    b.put(s.dt);
+    b.put(s.flops_total);
+    w.add_section(kSecMeta, b.take());
+  }
+  {
+    ByteWriter b;
+    for (int c = 0; c < 3; ++c) b.put_vec(s.u[c]);
+    for (int c = 0; c < 3; ++c) b.put_vec(s.ubc[c]);
+    for (const auto& lvl : s.uh)
+      for (int c = 0; c < 3; ++c) b.put_vec(lvl[c]);
+    for (const auto& lvl : s.ch)
+      for (int c = 0; c < 3; ++c) b.put_vec(lvl[c]);
+    w.add_section(kSecVelocity, b.take());
+  }
+  {
+    ByteWriter b;
+    b.put_vec(s.p);
+    w.add_section(kSecPressure, b.take());
+  }
+  {
+    ByteWriter b;
+    b.put<std::uint64_t>(s.proj_q.size());
+    for (std::size_t i = 0; i < s.proj_q.size(); ++i) {
+      b.put_vec(s.proj_q[i]);
+      b.put_vec(s.proj_w[i]);
+    }
+    w.add_section(kSecProjection, b.take());
+  }
+  for (std::size_t sc = 0; sc < s.scalars.size(); ++sc) {
+    ByteWriter b;
+    b.put_vec(s.scalars[sc].th);
+    b.put_vec(s.scalars[sc].thbc);
+    for (const auto& h : s.scalars[sc].hist) b.put_vec(h);
+    w.add_section(kSecScalarBase + static_cast<std::uint32_t>(sc), b.take());
+  }
+  return w.write(path, err);
+}
+
+bool load_checkpoint(const std::string& path, NsState* state,
+                     std::string* err) {
+  std::map<std::uint32_t, std::vector<std::uint8_t>> sec;
+  if (!read_bin_file(path, kMagic, kVersion, &sec, err)) return false;
+
+  auto need = [&](std::uint32_t id) -> const std::vector<std::uint8_t>* {
+    auto it = sec.find(id);
+    return it == sec.end() ? nullptr : &it->second;
+  };
+
+  NsState s;
+  {
+    const auto* p = need(kSecMeta);
+    if (!p) return fail(err, path + ": missing metadata section");
+    ByteReader b(*p);
+    std::int32_t pad = 0;
+    if (!b.get(&s.dim) || !b.get(&s.nscalars) || !b.get(&s.nlocal) ||
+        !b.get(&s.npressure) || !b.get(&s.step) || !b.get(&s.order_ramp) ||
+        !b.get(&s.bc_frozen) || !b.get(&pad) || !b.get(&s.time) ||
+        !b.get(&s.dt) || !b.get(&s.flops_total) || !b.exhausted())
+      return fail(err, path + ": malformed metadata section");
+    if (s.dim < 2 || s.dim > 3 || s.nscalars < 0)
+      return fail(err, path + ": implausible metadata (dim/nscalars)");
+  }
+  {
+    const auto* p = need(kSecVelocity);
+    if (!p) return fail(err, path + ": missing velocity section");
+    ByteReader b(*p);
+    bool ok = true;
+    for (int c = 0; c < 3; ++c) ok = ok && b.get_vec(&s.u[c]);
+    for (int c = 0; c < 3; ++c) ok = ok && b.get_vec(&s.ubc[c]);
+    for (auto& lvl : s.uh)
+      for (int c = 0; c < 3; ++c) ok = ok && b.get_vec(&lvl[c]);
+    for (auto& lvl : s.ch)
+      for (int c = 0; c < 3; ++c) ok = ok && b.get_vec(&lvl[c]);
+    if (!ok || !b.exhausted())
+      return fail(err, path + ": malformed velocity section");
+  }
+  {
+    const auto* p = need(kSecPressure);
+    if (!p) return fail(err, path + ": missing pressure section");
+    ByteReader b(*p);
+    if (!b.get_vec(&s.p) || !b.exhausted())
+      return fail(err, path + ": malformed pressure section");
+  }
+  {
+    const auto* p = need(kSecProjection);
+    if (!p) return fail(err, path + ": missing projection section");
+    ByteReader b(*p);
+    std::uint64_t nvec = 0;
+    if (!b.get(&nvec))
+      return fail(err, path + ": malformed projection section");
+    // Framing guard: each vector needs at least its length prefix.
+    if (nvec > p->size())
+      return fail(err, path + ": implausible projection basis size");
+    s.proj_q.resize(static_cast<std::size_t>(nvec));
+    s.proj_w.resize(static_cast<std::size_t>(nvec));
+    for (std::uint64_t i = 0; i < nvec; ++i)
+      if (!b.get_vec(&s.proj_q[i]) || !b.get_vec(&s.proj_w[i]))
+        return fail(err, path + ": malformed projection section");
+    if (!b.exhausted())
+      return fail(err, path + ": trailing bytes in projection section");
+  }
+  s.scalars.resize(static_cast<std::size_t>(s.nscalars));
+  for (std::int32_t sc = 0; sc < s.nscalars; ++sc) {
+    const auto* p = need(kSecScalarBase + static_cast<std::uint32_t>(sc));
+    if (!p)
+      return fail(err, path + ": missing scalar section " +
+                           std::to_string(sc));
+    ByteReader b(*p);
+    auto& sd = s.scalars[static_cast<std::size_t>(sc)];
+    bool ok = b.get_vec(&sd.th) && b.get_vec(&sd.thbc);
+    for (auto& h : sd.hist) ok = ok && b.get_vec(&h);
+    if (!ok || !b.exhausted())
+      return fail(err,
+                  path + ": malformed scalar section " + std::to_string(sc));
+  }
+  *state = std::move(s);
+  return true;
+}
+
+bool restore_checkpoint(NavierStokes& ns, const std::string& path,
+                        std::string* err) {
+  NsState s;
+  if (!load_checkpoint(path, &s, err)) return false;
+  std::string ierr;
+  if (!ns.import_state(s, &ierr))
+    return fail(err, path + ": " + ierr);
+  return true;
+}
+
+}  // namespace tsem

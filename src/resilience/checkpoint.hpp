@@ -1,0 +1,38 @@
+// Checkpoint/restart for the Navier-Stokes integrator.
+//
+// A checkpoint is a binfile section container (io/binfile.hpp, magic
+// "TSEMCKPT", version 1) holding the complete NsState: metadata, velocity
+// and history fields, pressure, scalars, and the successive-RHS projection
+// basis.  Restoring into a solver built on the same discretization
+// reproduces the continued run bit-for-bit — StepStats of the restored run
+// match the uninterrupted one exactly (tests/test_resilience.cpp).
+//
+// Loading validates everything before touching the solver: magic, version,
+// header CRC, per-section CRC and framing (binfile), then field sizes
+// against the target solver (NavierStokes::import_state).  A truncated or
+// bit-flipped file is rejected with a specific error message; the solver
+// is never left half-restored.
+#pragma once
+
+#include <string>
+
+#include "ns/navier_stokes.hpp"
+
+namespace tsem {
+
+/// Serialize the solver's full time-stepping state to `path`.
+/// Returns false with *err on I/O failure (no partial file remains).
+bool save_checkpoint(const NavierStokes& ns, const std::string& path,
+                     std::string* err = nullptr);
+
+/// Deserialize `path` into `state` with full integrity validation.
+/// On any defect returns false with *err; `state` contents are undefined.
+bool load_checkpoint(const std::string& path, NsState* state,
+                     std::string* err = nullptr);
+
+/// Convenience: load + import into a live solver.  The solver is left
+/// untouched on any failure.
+bool restore_checkpoint(NavierStokes& ns, const std::string& path,
+                        std::string* err = nullptr);
+
+}  // namespace tsem

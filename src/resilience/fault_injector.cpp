@@ -1,0 +1,81 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <set>
+
+namespace tsem {
+namespace {
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> FaultInjector::pick(std::size_t lo, std::size_t hi,
+                                             std::size_t count) {
+  std::set<std::size_t> chosen;
+  const std::size_t span = hi - lo;
+  count = std::min(count, span);
+  std::uniform_int_distribution<std::size_t> dist(0, span - 1);
+  while (chosen.size() < count) chosen.insert(lo + dist(rng_));
+  return {chosen.begin(), chosen.end()};
+}
+
+std::vector<std::size_t> FaultInjector::poison_nan(double* v, std::size_t n,
+                                                   std::size_t count) {
+  if (n == 0 || count == 0) return {};
+  auto idx = pick(0, n, count);
+  for (std::size_t i : idx) v[i] = std::numeric_limits<double>::quiet_NaN();
+  return idx;
+}
+
+void FaultInjector::perturb(double* v, std::size_t n, double magnitude,
+                            std::size_t count) {
+  if (n == 0 || count == 0) return;
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (std::size_t i : pick(0, n, count)) v[i] *= 1.0 + magnitude * u(rng_);
+}
+
+bool FaultInjector::corrupt_file(const std::string& path, std::size_t count,
+                                 std::size_t skip_prefix, std::string* err) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return fail(err, "cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  if (size <= skip_prefix)
+    return fail(err, path + " too small to corrupt past prefix");
+  for (std::size_t off : pick(skip_prefix, size, count)) {
+    f.seekg(static_cast<std::streamoff>(off));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0xff);
+    f.seekp(static_cast<std::streamoff>(off));
+    f.write(&c, 1);
+  }
+  f.flush();
+  if (!f) return fail(err, "write to " + path + " failed");
+  return true;
+}
+
+bool FaultInjector::truncate_file(const std::string& path,
+                                  double keep_fraction, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(err, "cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(bytes.size()) * std::clamp(keep_fraction, 0.0, 1.0));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return fail(err, "cannot rewrite " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(keep));
+  out.close();
+  if (!out) return fail(err, "truncating " + path + " failed");
+  return true;
+}
+
+}  // namespace tsem

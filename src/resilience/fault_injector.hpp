@@ -1,0 +1,56 @@
+// Seeded, deterministic fault injection for resilience testing.
+//
+// Every recovery path in the resilience layer (escalation ladder,
+// checkpoint rejection) is exercised by tests that *inject* the faults
+// they claim to survive, rather than trusting the paths on faith.  All
+// fault positions are drawn from a private mt19937_64 stream, so a given
+// seed reproduces the exact same corruption — a failing test is always
+// replayable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace tsem {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Poison `count` distinct entries of v[0..n) with quiet NaN; returns
+  /// the poisoned indices (sorted).
+  std::vector<std::size_t> poison_nan(double* v, std::size_t n,
+                                      std::size_t count = 1);
+
+  /// Multiply `count` distinct entries of v[0..n) by (1 + magnitude * u),
+  /// u uniform in [-1, 1] — models a residual perturbed by e.g. a silent
+  /// data corruption that stays finite.
+  void perturb(double* v, std::size_t n, double magnitude,
+               std::size_t count = 1);
+
+  /// XOR-flip `count` bytes of the file at deterministic offsets in
+  /// [skip_prefix, file size).  Returns false (with *err set) if the file
+  /// cannot be read/written or is not larger than skip_prefix.
+  bool corrupt_file(const std::string& path, std::size_t count = 1,
+                    std::size_t skip_prefix = 0, std::string* err = nullptr);
+
+  /// Truncate the file to floor(keep_fraction * size) bytes — models a
+  /// checkpoint cut short by a crash mid-write.
+  bool truncate_file(const std::string& path, double keep_fraction,
+                     std::string* err = nullptr);
+
+  /// Raw draw from the stream (for tests composing their own faults).
+  std::uint64_t draw() { return rng_(); }
+
+ private:
+  /// `count` distinct indices in [lo, hi), sorted.
+  std::vector<std::size_t> pick(std::size_t lo, std::size_t hi,
+                                std::size_t count);
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace tsem

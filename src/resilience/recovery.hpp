@@ -1,0 +1,44 @@
+// Recovery policy knobs for the time-stepping resilience layer.
+//
+// The paper's production runs (§6: the 10^8-gridpoint hairpin and the
+// Rayleigh-Bénard campaigns) survive multi-day horizons only because a
+// failed solve is never allowed to propagate.  NavierStokes::step applies
+// a deterministic escalation ladder when a pressure or Helmholtz solve
+// hard-fails (SolveStatus::NonFinite / Breakdown, see solver/cg.hpp):
+//
+//   rung 0  the normal warm-started, Schwarz-preconditioned step;
+//   rung 1  roll back, retry with zero initial guesses and a flushed
+//           pressure-projection basis (a poisoned warm start is the most
+//           common contaminant);
+//   rung 2  roll back, additionally swap the Schwarz preconditioner for
+//           diagonal (pressure-mass) scaling — slower but structurally
+//           immune to a corrupted subdomain/coarse solve;
+//   rung 3+ reject the step: roll back, halve dt, restart the BDF/OIFS
+//           ramp at first order (the history spacing no longer matches),
+//           and climb rungs 1-2 again at the reduced dt; at most
+//           max_dt_halvings rejections per step.
+//
+// A CFL watchdog can trigger the rung-3 rejection preemptively before any
+// solver money is spent on a step that is already hopeless.  Every action
+// taken is recorded in StepStats so long-horizon drivers can log and react.
+#pragma once
+
+namespace tsem {
+
+struct ResilienceOptions {
+  /// Master switch.  Off = the pre-resilience behavior: statuses are still
+  /// recorded in StepStats but nothing is retried or rolled back.
+  bool enabled = true;
+  /// Bound on dt rejections within one step() call (rung 3+).
+  int max_dt_halvings = 3;
+  /// Reject a step preemptively (halve dt) when the convective CFL of the
+  /// entering field exceeds this.  0 disables the watchdog.  OIFS absorbs
+  /// CFL up to ~5 by sub-stepping, so a useful production setting is
+  /// somewhat above that; EXTk wants ~0.5.
+  double cfl_limit = 0.0;
+  /// Escalate on SolveStatus::MaxIter too (default: only NonFinite and
+  /// Breakdown are hard failures; MaxIter/Stalled keep the best iterate).
+  bool maxiter_is_failure = false;
+};
+
+}  // namespace tsem

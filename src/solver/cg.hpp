@@ -3,6 +3,12 @@
 // Generic over the operator, preconditioner and inner product so the same
 // driver serves the Jacobi-preconditioned Helmholtz solves, the
 // Schwarz-preconditioned pressure solves, and the unit tests.
+//
+// Every exit is classified by SolveStatus so callers can distinguish a
+// solve that reached its tolerance from one that stalled at the attainable
+// floor, lost positive definiteness, went non-finite, or merely ran out of
+// iterations — the raw material of the resilience layer's recovery policy
+// (src/resilience/).
 #pragma once
 
 #include <cmath>
@@ -11,6 +17,34 @@
 #include <vector>
 
 namespace tsem {
+
+/// Disposition of an iterative solve.
+enum class SolveStatus {
+  Converged,  ///< residual reached the requested tolerance
+  Stalled,    ///< no progress over stall_window iterations (roundoff floor)
+  Breakdown,  ///< p'Ap <= 0 with finite arithmetic: operator not SPD
+  NonFinite,  ///< NaN/Inf detected in a residual norm or curvature term
+  MaxIter,    ///< iteration budget exhausted before the tolerance
+};
+
+/// Stable short name (logging / StepStats reporting).
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::Stalled: return "stalled";
+    case SolveStatus::Breakdown: return "breakdown";
+    case SolveStatus::NonFinite: return "non-finite";
+    case SolveStatus::MaxIter: return "max-iter";
+  }
+  return "unknown";
+}
+
+/// True for outcomes the recovery ladder treats as hard failures: the
+/// iterate can no longer be trusted at all (as opposed to Stalled/MaxIter,
+/// where x is the best attainable approximation).
+inline bool is_hard_failure(SolveStatus s) {
+  return s == SolveStatus::Breakdown || s == SolveStatus::NonFinite;
+}
 
 struct CgOptions {
   int max_iter = 2000;
@@ -27,7 +61,8 @@ struct CgResult {
   int iterations = 0;
   double final_residual = 0.0;
   double initial_residual = 0.0;
-  bool converged = false;
+  bool converged = false;  ///< == (status == SolveStatus::Converged)
+  SolveStatus status = SolveStatus::MaxIter;
   std::vector<double> history;  ///< residual norm per iteration if recorded
 };
 
@@ -46,11 +81,18 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
   CgResult res;
   double rnorm = std::sqrt(dot(r.data(), r.data()));
   res.initial_residual = rnorm;
+  if (!std::isfinite(rnorm)) {
+    // Poisoned rhs or initial guess: bail before touching x.
+    res.status = SolveStatus::NonFinite;
+    res.final_residual = rnorm;
+    return res;
+  }
   const double target = opt.relative ? opt.tol * (rnorm > 0 ? rnorm : 1.0)
                                      : opt.tol;
   if (opt.record_history) res.history.push_back(rnorm);
   if (rnorm <= target) {
     res.converged = true;
+    res.status = SolveStatus::Converged;
     res.final_residual = rnorm;
     return res;
   }
@@ -61,10 +103,18 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
 
   double best = rnorm;
   int best_it = 0;
+  res.status = SolveStatus::MaxIter;
   for (int it = 1; it <= opt.max_iter; ++it) {
     apply(p.data(), ap.data());
     const double pap = dot(p.data(), ap.data());
-    if (!(pap > 0.0)) break;  // loss of positive definiteness (or NaN)
+    if (!(pap > 0.0)) {
+      // Loss of positive definiteness — or a NaN that poisons every
+      // comparison.  The two demand different responses upstream
+      // (indefinite operator vs corrupted data), so classify them apart.
+      res.status = std::isfinite(pap) ? SolveStatus::Breakdown
+                                      : SolveStatus::NonFinite;
+      break;
+    }
     const double alpha = rz / pap;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * p[i];
@@ -73,14 +123,20 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
     rnorm = std::sqrt(dot(r.data(), r.data()));
     res.iterations = it;
     if (opt.record_history) res.history.push_back(rnorm);
+    if (!std::isfinite(rnorm)) {
+      res.status = SolveStatus::NonFinite;
+      break;
+    }
     if (rnorm <= target) {
       res.converged = true;
+      res.status = SolveStatus::Converged;
       break;
     }
     if (rnorm < 0.999 * best) {
       best = rnorm;
       best_it = it;
     } else if (it - best_it >= opt.stall_window) {
+      res.status = SolveStatus::Stalled;
       break;  // stagnated at the attainable floor
     }
     precond(r.data(), z.data());
@@ -100,10 +156,12 @@ inline auto identity_precond(std::size_t n) {
   };
 }
 
-/// Diagonal (Jacobi) preconditioner from a diagonal vector.
-inline auto jacobi_precond(const std::vector<double>& diag) {
-  return [&diag](const double* r, double* z) {
-    for (std::size_t i = 0; i < diag.size(); ++i) z[i] = r[i] / diag[i];
+/// Diagonal (Jacobi) preconditioner from a diagonal vector.  The diagonal
+/// is captured by value: the returned callable owns its copy and stays
+/// valid after the argument goes out of scope (temporaries included).
+inline auto jacobi_precond(std::vector<double> diag) {
+  return [d = std::move(diag)](const double* r, double* z) {
+    for (std::size_t i = 0; i < d.size(); ++i) z[i] = r[i] / d[i];
   };
 }
 

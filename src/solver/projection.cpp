@@ -44,6 +44,19 @@ void SolutionProjection::push(std::vector<double> q, std::vector<double> w) {
   w_.push_back(std::move(w));
 }
 
+void SolutionProjection::restore_basis(std::vector<std::vector<double>> q,
+                                       std::vector<std::vector<double>> w) {
+  TSEM_REQUIRE(q.size() == w.size());
+  if (static_cast<int>(q.size()) > lmax_) {
+    q.resize(lmax_);
+    w.resize(lmax_);
+  }
+  for (std::size_t i = 0; i < q.size(); ++i)
+    TSEM_REQUIRE(q[i].size() == n_ && w[i].size() == n_);
+  q_ = std::move(q);
+  w_ = std::move(w);
+}
+
 void SolutionProjection::update(const double* p, const double* p0,
                                 const Apply& apply) {
   std::vector<double> delta(n_);

@@ -37,6 +37,20 @@ class SolutionProjection {
     w_.clear();
   }
 
+  /// Read access to the stored basis and its images (checkpointing and
+  /// snapshot rollback in the resilience layer).
+  [[nodiscard]] const std::vector<std::vector<double>>& basis_q() const {
+    return q_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& basis_w() const {
+    return w_;
+  }
+  /// Replace the basis with a previously exported one (restart / rollback).
+  /// q and w must be parallel arrays of length-n vectors; entries beyond
+  /// the window capacity are dropped.
+  void restore_basis(std::vector<std::vector<double>> q,
+                     std::vector<std::vector<double>> w);
+
  private:
   void push(std::vector<double> q, std::vector<double> w);
 

@@ -142,6 +142,17 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
   const int npe = psys_->npe();
   const int ov = opt_.overlap;
   const std::size_t nloc = psys_->nloc();
+
+  // Cheap non-finite guard (see nonfinite_applies()): pass a poisoned
+  // residual through untouched instead of spending the local/coarse
+  // solves on it.
+  for (std::size_t i = 0; i < nloc; ++i) {
+    if (!std::isfinite(r[i])) {
+      ++nonfinite_applies_;
+      std::copy(r, r + nloc, z);
+      return;
+    }
+  }
   std::fill(z, z + nloc, 0.0);
 
   if (ghosts_) ghosts_->exchange(r, ghost_.data());

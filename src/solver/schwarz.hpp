@@ -50,6 +50,16 @@ class SchwarzPrecond {
   [[nodiscard]] double local_flops_per_apply() const { return local_flops_; }
   [[nodiscard]] const CoarseSolver* coarse() const { return coarse_.get(); }
 
+  /// Number of apply() calls that received a non-finite residual.  Such a
+  /// residual would only smear NaN through every overlapped subdomain and
+  /// the coarse solve, so the local solves are skipped and r is passed
+  /// through unchanged — the CG driver's non-finite guard then classifies
+  /// the solve as SolveStatus::NonFinite and the resilience layer takes
+  /// over.  The counter lets StepStats attribute the fault to the
+  /// preconditioner input rather than the operator.
+  [[nodiscard]] long nonfinite_applies() const { return nonfinite_applies_; }
+  void reset_fault_counters() const { nonfinite_applies_ = 0; }
+
  private:
   void build_local_grids();
   void build_coarse();
@@ -70,6 +80,7 @@ class SchwarzPrecond {
   mutable std::vector<double> cb_, cx_;
 
   mutable std::vector<double> ghost_, vout_, rloc_, zloc_, lwork_;
+  mutable long nonfinite_applies_ = 0;
 };
 
 }  // namespace tsem

@@ -1,0 +1,506 @@
+// Resilience layer tests: SolveStatus classification in pcg, deterministic
+// fault injection, checkpoint/restart integrity, and the NavierStokes
+// recovery ladder end-to-end (poisoned solve -> escalation -> halved-dt
+// retry -> completed run).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "ns/navier_stokes.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "solver/cg.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::CgOptions;
+using tsem::FaultInjector;
+using tsem::FaultSite;
+using tsem::NavierStokes;
+using tsem::NsOptions;
+using tsem::NsState;
+using tsem::SolveStatus;
+using tsem::Space;
+using tsem::StepStats;
+
+// ---------------------------------------------------------------------------
+// pcg exit classification
+// ---------------------------------------------------------------------------
+
+double plain_dot(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+TEST(SolveStatus, DiagonalSystemConverges) {
+  const std::size_t n = 32;
+  std::vector<double> d(n), b(n, 1.0), x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 + static_cast<double>(i);
+  auto apply = [&](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) ap[i] = d[i] * p[i];
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  CgOptions opt;
+  opt.tol = 1e-12;
+  opt.relative = true;
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), opt);
+  EXPECT_EQ(res.status, SolveStatus::Converged);
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(tsem::is_hard_failure(res.status));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0 / d[i], 1e-10);
+}
+
+TEST(SolveStatus, UnattainableAbsoluteToleranceStalls) {
+  // 1D Dirichlet Laplacian: the recursive CG residual stagnates at the
+  // roundoff floor (unlike a diagonal system, where it can hit exact 0).
+  const std::size_t n = 100;
+  std::vector<double> b(n), x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = std::sin(0.37 * static_cast<double>(i) + 1.0);
+  auto apply = [n](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = 2.0 * p[i];
+      if (i > 0) v -= p[i - 1];
+      if (i < n - 1) v -= p[i + 1];
+      ap[i] = v;
+    }
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  CgOptions opt;
+  opt.tol = 1e-300;  // far below the roundoff floor
+  opt.relative = false;
+  opt.max_iter = 100000;
+  opt.stall_window = 20;
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), opt);
+  EXPECT_EQ(res.status, SolveStatus::Stalled);
+  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(tsem::is_hard_failure(res.status));
+  // The iterate is still the best attainable solution, not garbage.
+  std::vector<double> ax(n);
+  apply(x.data(), ax.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  // The stall guard fired long before the iteration budget.
+  EXPECT_LT(res.iterations, 1000);
+}
+
+TEST(SolveStatus, IndefiniteOperatorIsBreakdownNotNan) {
+  const std::size_t n = 8;
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  auto apply = [n](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) ap[i] = -p[i];  // negative definite
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), CgOptions{});
+  EXPECT_EQ(res.status, SolveStatus::Breakdown);
+  EXPECT_TRUE(tsem::is_hard_failure(res.status));
+  // The pre-escalation silent-`break` bug returned MaxIter semantics with
+  // converged=false; the x untouched contract still holds.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], 0.0);
+}
+
+TEST(SolveStatus, NanRhsIsNonFiniteBeforeTouchingX) {
+  const std::size_t n = 8;
+  std::vector<double> b(n, 1.0), x(n, 3.0);
+  b[4] = std::numeric_limits<double>::quiet_NaN();
+  auto apply = [n](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) ap[i] = p[i];
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), CgOptions{});
+  EXPECT_EQ(res.status, SolveStatus::NonFinite);
+  EXPECT_EQ(res.iterations, 0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], 3.0);  // untouched
+}
+
+TEST(SolveStatus, NanOperatorIsNonFinite) {
+  const std::size_t n = 8;
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  auto apply = [n](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i)
+      ap[i] = std::numeric_limits<double>::quiet_NaN() * p[i];
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), CgOptions{});
+  EXPECT_EQ(res.status, SolveStatus::NonFinite);
+}
+
+TEST(SolveStatus, IterationBudgetExhaustedIsMaxIter) {
+  const std::size_t n = 50;
+  std::vector<double> d(n), b(n, 1.0), x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 + static_cast<double>(i);
+  auto apply = [&](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) ap[i] = d[i] * p[i];
+  };
+  auto dot = [n](const double* a, const double* c) {
+    return plain_dot(a, c, n);
+  };
+  CgOptions opt;
+  opt.tol = 1e-14;
+  opt.relative = true;
+  opt.max_iter = 3;
+  auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot, b.data(),
+                       x.data(), opt);
+  EXPECT_EQ(res.status, SolveStatus::MaxIter);
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_FALSE(tsem::is_hard_failure(res.status));
+}
+
+TEST(SolveStatus, JacobiPrecondOwnsItsDiagonal) {
+  // Regression: jacobi_precond used to capture a const& that dangled when
+  // called with a temporary (e.g. jacobi_precond(h.diagonal() + ...)).
+  auto prec = tsem::jacobi_precond(std::vector<double>{2.0, 4.0, 8.0});
+  // The temporary vector is gone; the callable must still own the values.
+  const double r[3] = {2.0, 4.0, 8.0};
+  double z[3] = {0.0, 0.0, 0.0};
+  prec(r, z);
+  EXPECT_EQ(z[0], 1.0);
+  EXPECT_EQ(z[1], 1.0);
+  EXPECT_EQ(z[2], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameFaults) {
+  std::vector<double> a(100, 1.0), b(100, 1.0);
+  FaultInjector f1(42), f2(42);
+  auto i1 = f1.poison_nan(a.data(), a.size(), 5);
+  auto i2 = f2.poison_nan(b.data(), b.size(), 5);
+  EXPECT_EQ(i1, i2);
+  ASSERT_EQ(i1.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::isnan(a[i]), std::isnan(b[i]));
+  }
+  // And the streams keep agreeing after the first draw.
+  EXPECT_EQ(f1.draw(), f2.draw());
+}
+
+TEST(FaultInjector, DifferentSeedDifferentFaults) {
+  std::vector<double> a(1000, 1.0), b(1000, 1.0);
+  FaultInjector f1(1), f2(2);
+  auto i1 = f1.poison_nan(a.data(), a.size(), 8);
+  auto i2 = f2.poison_nan(b.data(), b.size(), 8);
+  EXPECT_NE(i1, i2);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart
+// ---------------------------------------------------------------------------
+
+Space periodic_box(int k, int order) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 2 * M_PI, k),
+                                tsem::linspace(0, 2 * M_PI, k));
+  spec.periodic_x = spec.periodic_y = true;
+  return Space(build_mesh(spec, order));
+}
+
+NsOptions small_opts() {
+  NsOptions opt;
+  opt.dt = 0.01;
+  opt.viscosity = 0.05;
+  opt.torder = 2;
+  opt.proj_len = 4;
+  return opt;
+}
+
+void set_taylor_green(NavierStokes& ns, const Space& s) {
+  const auto& m = s.mesh();
+  for (std::size_t i = 0; i < s.nlocal(); ++i) {
+    ns.u(0)[i] = std::sin(m.x[i]) * std::cos(m.y[i]);
+    ns.u(1)[i] = -std::cos(m.x[i]) * std::sin(m.y[i]);
+  }
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Checkpoint, RoundTripPreservesStateBitExactly) {
+  TempFile ck("ckpt_roundtrip.bin");
+  Space s = periodic_box(4, 6);
+  NavierStokes ns(s, 0u, small_opts());
+  set_taylor_green(ns, s);
+  for (int i = 0; i < 4; ++i) ns.step();
+
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(ns, ck.path, &err)) << err;
+  NsState st;
+  ASSERT_TRUE(tsem::load_checkpoint(ck.path, &st, &err)) << err;
+
+  const NsState ref = ns.export_state();
+  EXPECT_EQ(st.step, ref.step);
+  EXPECT_EQ(st.time, ref.time);
+  EXPECT_EQ(st.dt, ref.dt);
+  EXPECT_EQ(st.order_ramp, ref.order_ramp);
+  EXPECT_EQ(st.flops_total, ref.flops_total);
+  ASSERT_EQ(st.u[0].size(), ref.u[0].size());
+  EXPECT_EQ(0, std::memcmp(st.u[0].data(), ref.u[0].data(),
+                           ref.u[0].size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(st.p.data(), ref.p.data(),
+                           ref.p.size() * sizeof(double)));
+  ASSERT_EQ(st.proj_q.size(), ref.proj_q.size());
+}
+
+TEST(Checkpoint, RestoredRunContinuesBitIdentically) {
+  TempFile ck("ckpt_continue.bin");
+  Space s = periodic_box(4, 6);
+
+  // Run A: integrate, checkpoint mid-run, continue.
+  NavierStokes a(s, 0u, small_opts());
+  set_taylor_green(a, s);
+  for (int i = 0; i < 5; ++i) a.step();
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(a, ck.path, &err)) << err;
+  std::vector<StepStats> cont_a;
+  for (int i = 0; i < 3; ++i) cont_a.push_back(a.step());
+
+  // Run B: fresh solver restored from the checkpoint.
+  NavierStokes b(s, 0u, small_opts());
+  ASSERT_TRUE(tsem::restore_checkpoint(b, ck.path, &err)) << err;
+  std::vector<StepStats> cont_b;
+  for (int i = 0; i < 3; ++i) cont_b.push_back(b.step());
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cont_a[i].step, cont_b[i].step);
+    EXPECT_EQ(cont_a[i].time, cont_b[i].time);
+    EXPECT_EQ(cont_a[i].pressure_iters, cont_b[i].pressure_iters);
+    EXPECT_EQ(cont_a[i].helmholtz_iters, cont_b[i].helmholtz_iters);
+    EXPECT_EQ(cont_a[i].divergence, cont_b[i].divergence);
+    EXPECT_EQ(cont_a[i].cfl, cont_b[i].cfl);
+    EXPECT_EQ(cont_a[i].flops, cont_b[i].flops);
+  }
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_EQ(a.u(c).size(), b.u(c).size());
+    EXPECT_EQ(0, std::memcmp(a.u(c).data(), b.u(c).data(),
+                             a.u(c).size() * sizeof(double)))
+        << "velocity component " << c << " diverged after restart";
+  }
+}
+
+TEST(Checkpoint, CorruptedPayloadIsRejected) {
+  TempFile ck("ckpt_corrupt.bin");
+  Space s = periodic_box(3, 5);
+  NavierStokes ns(s, 0u, small_opts());
+  set_taylor_green(ns, s);
+  ns.step();
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(ns, ck.path, &err)) << err;
+
+  // Flip bytes past the 20-byte header: payload CRC must catch it.
+  FaultInjector fi(7);
+  ASSERT_TRUE(fi.corrupt_file(ck.path, 3, 20, &err)) << err;
+  NsState st;
+  err.clear();
+  EXPECT_FALSE(tsem::load_checkpoint(ck.path, &st, &err));
+  EXPECT_FALSE(err.empty());
+
+  // And restore_checkpoint must leave the solver untouched.
+  NavierStokes fresh(s, 0u, small_opts());
+  const std::vector<double> before = fresh.u(0);
+  err.clear();
+  EXPECT_FALSE(tsem::restore_checkpoint(fresh, ck.path, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(before, fresh.u(0));
+}
+
+TEST(Checkpoint, CorruptedHeaderIsRejected) {
+  TempFile ck("ckpt_badhdr.bin");
+  Space s = periodic_box(3, 5);
+  NavierStokes ns(s, 0u, small_opts());
+  ns.step();
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(ns, ck.path, &err)) << err;
+  FaultInjector fi(11);
+  ASSERT_TRUE(fi.corrupt_file(ck.path, 2, 0, &err)) << err;
+  // Corruption limited to the first bytes would still be caught by the
+  // header CRC / magic check even before any payload is read.
+  std::fstream f(ck.path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(0);
+  f.write(&c, 1);
+  f.close();
+  NsState st;
+  err.clear();
+  EXPECT_FALSE(tsem::load_checkpoint(ck.path, &st, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  TempFile ck("ckpt_trunc.bin");
+  Space s = periodic_box(3, 5);
+  NavierStokes ns(s, 0u, small_opts());
+  ns.step();
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(ns, ck.path, &err)) << err;
+  FaultInjector fi(13);
+  ASSERT_TRUE(fi.truncate_file(ck.path, 0.6, &err)) << err;
+  NsState st;
+  err.clear();
+  EXPECT_FALSE(tsem::load_checkpoint(ck.path, &st, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Checkpoint, MismatchedDiscretizationIsRejected) {
+  TempFile ck("ckpt_mismatch.bin");
+  Space s = periodic_box(4, 6);
+  NavierStokes ns(s, 0u, small_opts());
+  ns.step();
+  std::string err;
+  ASSERT_TRUE(tsem::save_checkpoint(ns, ck.path, &err)) << err;
+
+  Space other = periodic_box(3, 5);  // different dof counts
+  NavierStokes target(other, 0u, small_opts());
+  err.clear();
+  EXPECT_FALSE(tsem::restore_checkpoint(target, ck.path, &err));
+  EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery ladder end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, PoisonedPressureSolveEscalatesToHalvedDt) {
+  Space s = periodic_box(4, 6);
+  NsOptions opt = small_opts();
+  opt.resilience.max_dt_halvings = 2;
+  NavierStokes ns(s, 0u, opt);
+  set_taylor_green(ns, s);
+
+  // Poison the pressure rhs of step 5 on attempts 1-3 so the ladder must
+  // climb all the way to a halved-dt retry (attempt 4) to get through.
+  int hook_hits = 0;
+  ns.set_fault_hook([&](FaultSite site, int step, int attempt,
+                        int /*component*/, double* data, std::size_t n) {
+    if (site == FaultSite::PressureRhs && step == 5 && attempt <= 3) {
+      FaultInjector fi(100 + static_cast<std::uint64_t>(attempt));
+      fi.poison_nan(data, n, 2);
+      ++hook_hits;
+    }
+  });
+
+  std::vector<StepStats> stats;
+  for (int i = 0; i < 8; ++i) stats.push_back(ns.step());
+
+  EXPECT_EQ(hook_hits, 3);
+  const StepStats& f = stats[4];  // step 5
+  EXPECT_FALSE(f.failed);
+  EXPECT_TRUE(f.recovered);
+  EXPECT_EQ(f.attempts, 4);
+  EXPECT_EQ(f.dt_halvings, 1);
+  EXPECT_TRUE(f.projection_flushed);
+  EXPECT_TRUE(f.precond_fallback);
+  EXPECT_EQ(f.dt, opt.dt * 0.5);
+  EXPECT_EQ(f.pressure_status, SolveStatus::Converged);
+
+  // Clean steps before and after: single attempt at the nominal dt.
+  EXPECT_EQ(stats[3].attempts, 1);
+  EXPECT_EQ(stats[3].dt, opt.dt);
+  EXPECT_EQ(stats[5].attempts, 1);
+  EXPECT_EQ(stats[5].dt, opt.dt);
+  EXPECT_FALSE(stats[5].failed);
+
+  // The run stayed finite and physical through the fault.
+  for (double v : ns.u(0)) ASSERT_TRUE(std::isfinite(v));
+  for (double v : ns.pressure()) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_LT(stats.back().divergence, 1e-4);
+}
+
+TEST(Recovery, PoisonedHelmholtzRhsRecoversWithoutDtChange) {
+  Space s = periodic_box(4, 6);
+  NavierStokes ns(s, 0u, small_opts());
+  set_taylor_green(ns, s);
+
+  ns.set_fault_hook([&](FaultSite site, int step, int attempt, int component,
+                        double* data, std::size_t n) {
+    if (site == FaultSite::HelmholtzRhs && step == 3 && attempt == 1 &&
+        component == 0) {
+      FaultInjector fi(5);
+      fi.poison_nan(data, n, 1);
+    }
+  });
+
+  std::vector<StepStats> stats;
+  for (int i = 0; i < 4; ++i) stats.push_back(ns.step());
+
+  const StepStats& f = stats[2];
+  EXPECT_FALSE(f.failed);
+  EXPECT_TRUE(f.recovered);
+  EXPECT_EQ(f.attempts, 2);  // rung 1 (zero guess) already clears it
+  EXPECT_EQ(f.dt_halvings, 0);
+  EXPECT_TRUE(f.projection_flushed);
+  EXPECT_FALSE(f.precond_fallback);
+  for (double v : ns.u(0)) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Recovery, DisabledResilienceRecordsFailureWithoutRetry) {
+  Space s = periodic_box(4, 6);
+  NsOptions opt = small_opts();
+  opt.resilience.enabled = false;
+  NavierStokes ns(s, 0u, opt);
+  set_taylor_green(ns, s);
+
+  ns.set_fault_hook([&](FaultSite site, int step, int /*attempt*/,
+                        int /*component*/, double* data, std::size_t n) {
+    if (site == FaultSite::PressureRhs && step == 2) {
+      FaultInjector fi(3);
+      fi.poison_nan(data, n, 1);
+    }
+  });
+
+  ns.step();
+  StepStats f = ns.step();
+  EXPECT_TRUE(f.failed);
+  EXPECT_FALSE(f.recovered);
+  EXPECT_EQ(f.attempts, 1);
+  EXPECT_EQ(f.pressure_status, SolveStatus::NonFinite);
+}
+
+TEST(Recovery, CflWatchdogRejectsPreemptively) {
+  Space s = periodic_box(4, 6);
+  NsOptions opt = small_opts();
+  opt.resilience.cfl_limit = 1e-6;  // any nonzero flow trips it
+  opt.resilience.max_dt_halvings = 2;
+  NavierStokes ns(s, 0u, opt);
+  set_taylor_green(ns, s);
+
+  StepStats f = ns.step();
+  EXPECT_TRUE(f.cfl_rejected);
+  EXPECT_EQ(f.dt_halvings, 2);  // capped by max_dt_halvings
+  EXPECT_EQ(f.dt, opt.dt * 0.25);
+  EXPECT_FALSE(f.failed);
+  EXPECT_TRUE(f.recovered);
+}
+
+}  // namespace
