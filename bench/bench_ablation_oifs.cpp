@@ -27,6 +27,7 @@
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -83,6 +84,9 @@ Result run(tsem::NsOptions::Convection conv, double dt, double tfinal) {
 
 int main() {
   const double tfinal = 0.6;
+  tsem::obs::BenchReport report("ablation_oifs");
+  report.meta()["ablation"] = "OIFS vs EXT2 convection; projection window";
+  report.meta()["t_final"] = tfinal;
   std::printf("# Ablation 1: convection treatment vs timestep "
               "(shear layer rho=30 Re=1e4, K=64, N=8, alpha=0.3, "
               "T=%.1f)\n", tfinal);
@@ -91,6 +95,19 @@ int main() {
   for (double dt : {0.002, 0.004, 0.008, 0.016, 0.032}) {
     const auto o = run(tsem::NsOptions::Convection::Oifs, dt, tfinal);
     const auto e = run(tsem::NsOptions::Convection::Ext, dt, tfinal);
+    for (const auto* pr : {&o, &e}) {
+      char cname[48];
+      std::snprintf(cname, sizeof(cname), "%s/dt%g", pr == &o ? "oifs" : "ext2",
+                    dt);
+      tsem::obs::Json& c = report.add_case(cname);
+      c["convection"] = pr == &o ? "oifs" : "ext2";
+      c["dt"] = dt;
+      c["stable"] = pr->stable;
+      c["cfl"] = pr->cfl;
+      c["kinetic_energy"] = pr->ke;
+      c["steps"] = pr->steps;
+      c["wall_seconds"] = pr->seconds;
+    }
     auto fmt = [](const Result& r) {
       if (r.stable)
         std::printf("| %-9s %6.2f %9.5f %8.2f ", "stable", r.cfl, r.ke,
@@ -132,9 +149,16 @@ int main() {
     }
     int total = 0;
     const int nsteps = static_cast<int>(tfinal / opt.dt + 0.5) / 2;
+    tsem::Timer timer;
     for (int n = 0; n < nsteps; ++n) total += ns.step().pressure_iters;
     std::printf("%6d %12d\n", l, total);
     std::fflush(stdout);
+    tsem::obs::Json& c = report.add_case("proj/L" + std::to_string(l));
+    c["proj_len"] = l;
+    c["steps"] = nsteps;
+    c["total_pressure_iters"] = total;
+    c["wall_seconds"] = timer.seconds();
   }
+  report.write();
   return 0;
 }

@@ -31,6 +31,7 @@
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -147,9 +148,28 @@ int main(int argc, char** argv) {
   std::printf("%4s %6s %8s %4s %3s %6s | %8s %10s %12s %12s %10s\n", "case",
               "rho", "Re", "K1d", "N", "alpha", "stable", "KE", "enstrophy",
               "palinstr.", "max|w|");
+  tsem::obs::BenchReport report("fig3_shear_layer");
+  report.meta()["figure"] = "Fig 3";
+  report.meta()["dt"] = 0.002;
+  report.meta()["t_final"] = tfinal;
+  report.meta()["quick"] = quick;
   tsem::Timer timer;
   for (const auto& c : cases) {
+    tsem::Timer case_timer;
     const auto mres = run_case(c, tfinal, !quick);
+    tsem::obs::Json& jc = report.add_case(c.tag);
+    jc["rho"] = c.rho;
+    jc["Re"] = c.re;
+    jc["k1d"] = c.k1d;
+    jc["order"] = c.order;
+    jc["filter_alpha"] = c.alpha;
+    jc["stable"] = mres.stable;
+    jc["t_end"] = mres.t_end;
+    jc["kinetic_energy"] = mres.ke;
+    jc["enstrophy"] = mres.enstrophy;
+    jc["palinstrophy"] = mres.palinstrophy;
+    jc["max_vorticity"] = mres.max_w;
+    jc["wall_seconds"] = case_timer.seconds();
     if (mres.stable)
       std::printf("%4s %6.0f %8.0f %4d %3d %6.2f | %8s %10.5f %12.2f %12.4g "
                   "%10.2f\n",
@@ -162,6 +182,9 @@ int main(int argc, char** argv) {
                   mres.t_end);
     std::fflush(stdout);
   }
-  std::printf("# wall time: %.1fs\n", timer.seconds());
+  const double wall = timer.seconds();
+  std::printf("# wall time: %.1fs\n", wall);
+  report.meta()["wall_seconds"] = wall;
+  report.write();
   return 0;
 }

@@ -14,9 +14,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -69,8 +71,17 @@ int main(int argc, char** argv) {
   std::printf("# Fig 4 reproduction: pressure projection, L = 26 vs L = 0\n");
   std::printf("# Rayleigh-Benard substitute (see DESIGN.md), K = 128, N = 7, "
               "%d steps\n", nsteps);
+  tsem::obs::BenchReport report("fig4_projection");
+  report.meta()["figure"] = "Fig 4";
+  report.meta()["steps"] = nsteps;
+  report.meta()["K"] = 128;
+  report.meta()["N"] = 7;
+  tsem::Timer t26;
   const auto with = run(26, nsteps);
+  const double wall26 = t26.seconds();
+  tsem::Timer t0;
   const auto without = run(0, nsteps);
+  const double wall0 = t0.seconds();
 
   std::printf("%6s %10s %12s %10s %12s\n", "step", "it(L=26)", "res0(L=26)",
               "it(L=0)", "res0(L=0)");
@@ -98,5 +109,26 @@ int main(int argc, char** argv) {
               "L=0: %.3e  (%.1f orders; paper reports ~2.5)\n",
               avg_res(with.res0), avg_res(without.res0),
               std::log10(avg_res(without.res0) / avg_res(with.res0)));
+
+  auto record_series = [&](const char* tag, const Series& s, int L,
+                           double wall) {
+    tsem::obs::Json& c = report.add_case(tag);
+    c["proj_len"] = L;
+    c["wall_seconds"] = wall;
+    c["settled_avg_iters"] = avg(s.iters);
+    c["settled_avg_res0"] = avg_res(s.res0);
+    tsem::obs::Json it = tsem::obs::Json::array();
+    tsem::obs::Json r0 = tsem::obs::Json::array();
+    for (int n = 0; n < nsteps; ++n) {
+      it.push_back(s.iters[n]);
+      r0.push_back(s.res0[n]);
+    }
+    c["iters"] = std::move(it);
+    c["res0"] = std::move(r0);
+  };
+  record_series("L26", with, 26, wall26);
+  record_series("L0", without, 0, wall0);
+  report.meta()["iter_reduction"] = i0 / i26;
+  report.write();
   return 0;
 }

@@ -25,6 +25,7 @@
 
 #include "common/timer.hpp"
 #include "fem/fem.hpp"
+#include "obs/bench_report.hpp"
 #include "sim/machine.hpp"
 #include "solver/coarse.hpp"
 #include "solver/xxt.hpp"
@@ -32,6 +33,8 @@
 namespace {
 
 using tsem::MachineParams;
+
+tsem::obs::BenchReport g_report("fig6_coarse");
 
 int log2i(int p) {
   int l = 0;
@@ -102,6 +105,18 @@ void run_size(int nx, const MachineParams& mach, bool verify_inverse) {
     const double t_lat = tsem::latency_bound(mach, p);
     std::printf("%6d %12.3e %12.3e %12.3e %12.3e\n", p, t_xxt, t_lu, t_inv,
                 t_lat);
+    tsem::obs::Json& c =
+        g_report.add_case("n" + std::to_string(n) + "/P" + std::to_string(p));
+    c["n"] = n;
+    c["nodes"] = p;
+    c["sim_seconds_xxt"] = t_xxt;
+    c["sim_seconds_redundant_lu"] = t_lu;
+    c["sim_seconds_distrib_ainv"] = t_inv;
+    c["sim_seconds_latency_bound"] = t_lat;
+    c["xxt_nnz"] = xxt.nnz();
+    c["xxt_msg_words"] = xxt.total_msg_words();
+    c["xxt_max_leaf_nnz"] = xxt.max_leaf_nnz();
+    c["xxt_err_vs_lu"] = err;
   }
   std::printf("\n");
 }
@@ -113,9 +128,14 @@ int main() {
   std::printf("# Fig 6 reproduction: coarse-grid solvers on simulated "
               "ASCI-Red (alpha=%.0fus, %g MB/s, %g MF/s)\n",
               mach.alpha * 1e6, 8.0 / mach.beta / 1e6, mach.flop_rate / 1e6);
+  g_report.meta()["figure"] = "Fig 6";
+  g_report.meta()["machine"] = mach.name;
   tsem::Timer t;
   run_size(63, mach, true);
   run_size(127, mach, false);
-  std::printf("# total bench wall time: %.1fs\n", t.seconds());
+  const double wall = t.seconds();
+  std::printf("# total bench wall time: %.1fs\n", wall);
+  g_report.meta()["wall_seconds"] = wall;
+  g_report.write();
   return 0;
 }

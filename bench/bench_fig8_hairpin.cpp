@@ -26,6 +26,7 @@
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 
 int main(int argc, char** argv) {
   const int nsteps = argc > 1 ? std::atoi(argv[1]) : 26;
@@ -59,15 +60,30 @@ int main(int argc, char** argv) {
               "bump flow, K=%d N=%d, Re=1600\n", m.nelem, order);
   std::printf("%5s %10s %8s %8s %12s\n", "step", "wall(s)", "p-its",
               "Hx-its", "res0");
+  tsem::obs::BenchReport report("fig8_hairpin");
+  report.meta()["figure"] = "Fig 8";
+  report.meta()["steps"] = nsteps;
+  report.meta()["order"] = order;
+  report.meta()["nelem"] = m.nelem;
+  report.meta()["machine"] = "ASCI-Red-333 dual perf (LogP model, part 2)";
+
   std::vector<int> pits, hits;
   for (int n = 1; n <= nsteps; ++n) {
     tsem::Timer t;
     const auto st = ns.step();
     pits.push_back(st.pressure_iters);
     hits.push_back(st.helmholtz_iters[0]);
-    std::printf("%5d %10.3f %8d %8d %12.3e\n", n, t.seconds(),
+    const double wall = t.seconds();
+    std::printf("%5d %10.3f %8d %8d %12.3e\n", n, wall,
                 st.pressure_iters, st.helmholtz_iters[0], st.pressure_res0);
     std::fflush(stdout);
+    tsem::obs::Json& c = report.add_case("real/step" + std::to_string(n));
+    c["step"] = n;
+    c["wall_seconds"] = wall;
+    c["pressure_iters"] = st.pressure_iters;
+    c["helmholtz_iters_x"] = st.helmholtz_iters[0];
+    c["pressure_res0"] = st.pressure_res0;
+    c["flops"] = st.flops;
   }
 
   // ---- part 2: paper-scale model ----
@@ -96,6 +112,15 @@ int main(int argc, char** argv) {
     std::printf("%5d %12.2f %8.0f | %10.2f %10.2f %10.2f %10.2f\n", n + 1,
                 t.total, c.pressure_iters, t.compute, t.gs, t.allreduce,
                 t.coarse);
+    tsem::obs::Json& jc =
+        report.add_case("model/step" + std::to_string(n + 1));
+    jc["step"] = n + 1;
+    jc["sim_seconds"] = t.total;
+    jc["sim_seconds_compute"] = t.compute;
+    jc["sim_seconds_gs"] = t.gs;
+    jc["sim_seconds_allreduce"] = t.allreduce;
+    jc["sim_seconds_coarse"] = t.coarse;
+    jc["pressure_iters"] = c.pressure_iters;
   }
   std::printf("#\n# modeled avg time/step over last 5 steps vs paper's "
               "17.5 s at 319 GF:\n");
@@ -121,5 +146,8 @@ int main(int argc, char** argv) {
   }
   std::printf("# with distributed A^{-1} instead: %.1f%% (paper: 15%%)\n",
               100.0 * coarse_ainv / total_ainv);
+  report.meta()["coarse_share_pct"] = 100.0 * total_coarse / total;
+  report.meta()["coarse_share_ainv_pct"] = 100.0 * coarse_ainv / total_ainv;
+  report.write();
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 #include "osref/orr_sommerfeld.hpp"
 
 namespace {
@@ -139,9 +140,29 @@ int main(int argc, char** argv) {
               os.c.real(), os.c.imag(), wref);
   if (quick) std::printf("# (--quick: shorter horizon, N <= 11)\n");
 
+  tsem::obs::BenchReport report("table1_orr_sommerfeld");
+  report.meta()["table"] = "Table 1";
+  report.meta()["Re"] = kRe;
+  report.meta()["quick"] = quick;
+  report.meta()["growth_rate_ref"] = wref;
+
   tsem::Timer timer;
   auto rel_err = [&](double w) {
     return std::isnan(w) ? std::nan("") : std::fabs(w - wref) / std::fabs(wref);
+  };
+  // One report case per run; a blow-up serializes as error null.
+  auto run_case = [&](const std::string& name, const RunConfig& cfg) {
+    tsem::Timer t;
+    const double err = rel_err(measure_growth(cfg, os));
+    tsem::obs::Json& c = report.add_case(name);
+    c["order"] = cfg.order;
+    c["dt"] = cfg.dt;
+    c["torder"] = cfg.torder;
+    c["filter_alpha"] = cfg.filter_alpha;
+    c["rel_error"] = err;
+    c["blew_up"] = std::isnan(err);
+    c["wall_seconds"] = t.seconds();
+    return err;
   };
   auto show = [&](double e) {
     if (std::isnan(e))
@@ -164,9 +185,11 @@ int main(int argc, char** argv) {
         cfg.t_final = 5.0;
       }
       cfg.filter_alpha = 0.0;
-      const double e0 = rel_err(measure_growth(cfg, os));
+      const double e0 =
+          run_case("spatial/N" + std::to_string(n) + "/a0.0", cfg);
       cfg.filter_alpha = 0.2;
-      const double e2 = rel_err(measure_growth(cfg, os));
+      const double e2 =
+          run_case("spatial/N" + std::to_string(n) + "/a0.2", cfg);
       std::printf("N=%4d |", n);
       show(e0);
       show(e2);
@@ -197,7 +220,10 @@ int main(int argc, char** argv) {
         for (double fa : {0.0, 0.2}) {
           cfg.torder = torder;
           cfg.filter_alpha = fa;
-          show(rel_err(measure_growth(cfg, os)));
+          char cname[64];
+          std::snprintf(cname, sizeof(cname), "temporal/dt%g/o%d/a%g", dt,
+                        torder, fa);
+          show(run_case(cname, cfg));
         }
         if (torder == 2) std::printf(" |");
       }
@@ -205,6 +231,9 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  std::printf("# wall time: %.1fs\n", timer.seconds());
+  const double wall = timer.seconds();
+  std::printf("# wall time: %.1fs\n", wall);
+  report.meta()["wall_seconds"] = wall;
+  report.write();
   return 0;
 }

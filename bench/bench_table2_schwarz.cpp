@@ -24,6 +24,7 @@
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
+#include "obs/bench_report.hpp"
 #include "solver/cg.hpp"
 #include "solver/schwarz.hpp"
 
@@ -36,6 +37,18 @@ struct CaseResult {
   double cpu = 0.0;
   double setup = 0.0;
 };
+
+tsem::obs::BenchReport g_report("table2_schwarz");
+
+void record_case(int nelem, const char* label, const CaseResult& r) {
+  tsem::obs::Json& c =
+      g_report.add_case(std::to_string(nelem) + "/" + label);
+  c["nelem"] = nelem;
+  c["config"] = label;
+  c["iterations"] = r.iters;
+  c["wall_seconds"] = r.cpu;
+  c["setup_seconds"] = r.setup;
+}
 
 CaseResult run_case(const tsem::PressureSystem& psys,
                     const std::vector<double>& g,
@@ -107,6 +120,12 @@ void run_mesh(const tsem::MeshSpec2D& spec, int order) {
   const auto r3 = run_case(psys, g, fem3);
   const auto rnc = run_case(psys, g, nocoarse);
 
+  record_case(m.nelem, "fdm", r_fdm);
+  record_case(m.nelem, "fem_no0", r0);
+  record_case(m.nelem, "fem_no1", r1);
+  record_case(m.nelem, "fem_no3", r3);
+  record_case(m.nelem, "a0_off", rnc);
+
   std::printf(
       "%6d | %5d %7.2f | %5d %7.2f | %5d %7.2f | %5d %7.2f | %5d %7.2f\n",
       m.nelem, r_fdm.iters, r_fdm.cpu, r0.iters, r0.cpu, r1.iters, r1.cpu,
@@ -124,11 +143,16 @@ int main() {
   std::printf("%6s | %5s %7s | %5s %7s | %5s %7s | %5s %7s | %5s %7s\n", "",
               "iter", "cpu", "iter", "cpu", "iter", "cpu", "iter", "cpu",
               "iter", "cpu");
+  g_report.meta()["table"] = "Table 2";
+  g_report.meta()["order"] = 7;
+  g_report.meta()["tol"] = 1e-5;
+  g_report.meta()["mesh"] = "graded annulus (cylinder substitute)";
   auto spec = tsem::annulus_spec(0.5, 10.0, 3, 31, 2.5);
   run_mesh(spec, 7);
   spec = tsem::quad_refine(spec);
   run_mesh(spec, 7);
   spec = tsem::quad_refine(spec);
   run_mesh(spec, 7);
+  g_report.write();
   return 0;
 }

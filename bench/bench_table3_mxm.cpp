@@ -17,6 +17,8 @@
 #include <random>
 #include <vector>
 
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/mxm.hpp"
 
 namespace {
@@ -95,6 +97,29 @@ void run_kernel(benchmark::State& state, const Shape& s, KernelFn kern) {
       flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// Console output stays the stock google-benchmark table; this reporter
+// additionally captures each run for the BENCH_table3_mxm.json report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(tsem::obs::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      tsem::obs::Json& c = report_->add_case(run.benchmark_name());
+      c["iterations"] = static_cast<std::int64_t>(run.iterations);
+      c["wall_seconds"] = run.GetAdjustedRealTime() * 1e-9;  // per iteration
+      auto it = run.counters.find("MFLOPS");
+      if (it != run.counters.end()) c["mflops"] = it->second.value;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  tsem::obs::BenchReport* report_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,7 +141,13 @@ int main(int argc, char** argv) {
           name, [s, fn = k.fn](benchmark::State& st) { run_kernel(st, s, fn); });
     }
   }
+  tsem::obs::BenchReport report("table3_mxm");
+  report.meta()["table"] = "Table 3";
+  report.meta()["kernels"] = "lkm csm ghm f3 f2";
+  report.meta()["obs_enabled"] = tsem::obs::enabled();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write();
   return 0;
 }

@@ -16,8 +16,15 @@
 #include <vector>
 
 #include "bench/hairpin_model.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
+  tsem::obs::BenchReport report("table4_scaling");
+  report.meta()["table"] = "Table 4";
+  report.meta()["machine"] = "ASCI-Red-333 (LogP model)";
+  report.meta()["steps"] = 26;
+  report.meta()["K"] = 8168;
+  report.meta()["N"] = 15;
   tsem::hairpin::ProblemScale scale;
   // 26-step iteration profile: impulsive-start transient decaying into
   // the settled 30-50 range (Fig 8's right panel).
@@ -41,14 +48,31 @@ int main() {
       for (const bool dual : {false, true}) {
         const auto mach = tsem::MachineParams::asci_red(dual, perf);
         double total = 0.0, flops = 0.0;
+        double t_gs = 0.0, t_allreduce = 0.0, t_coarse = 0.0;
         for (double pits : pressure_profile) {
           tsem::hairpin::StepCounts c;
           c.pressure_iters = pits;
           const auto t = tsem::hairpin::time_per_step(scale, c, mach, p);
           total += t.total;
+          t_gs += t.gs;
+          t_allreduce += t.allreduce;
+          t_coarse += t.coarse;
           flops += tsem::hairpin::flops_per_step(scale, c);
         }
         std::printf(" %10.0f %8.0f |", total, flops / total / 1e9);
+        char cname[64];
+        std::snprintf(cname, sizeof(cname), "P%d/%s/%s", p,
+                      dual ? "dual" : "single", perf ? "perf" : "std");
+        tsem::obs::Json& jc = report.add_case(cname);
+        jc["nodes"] = p;
+        jc["dual"] = dual;
+        jc["perf_mxm"] = perf;
+        jc["sim_seconds"] = total;
+        jc["sim_seconds_gs"] = t_gs;
+        jc["sim_seconds_allreduce"] = t_allreduce;
+        jc["sim_seconds_coarse"] = t_coarse;
+        jc["flops"] = flops;
+        jc["gflops_sustained"] = flops / total / 1e9;
       }
     }
     std::printf("\n");
@@ -76,5 +100,6 @@ int main() {
     std::printf("#   dual-processor gain at P=2048 (perf.): %.2fx "
                 "(paper: 1.64x = 82%% efficiency)\n", ts / td);
   }
+  report.write();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "core/operators.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsem {
 
@@ -30,6 +31,7 @@ CgResult helmholtz_solve(const HelmholtzOp& h,
                          const std::vector<double>& rhs_weak,
                          std::vector<double>& out,
                          const HelmholtzSolveOptions& opt, TensorWork& work) {
+  const obs::ScopedTimer timer("helmholtz/solve");
   const Space& space = h.space();
   const Mesh& m = space.mesh();
   const std::vector<double>& mask = h.mask();

@@ -62,7 +62,6 @@ void apply_stiffness_local(const Mesh& m, const double* u, double* w,
   const std::size_t nl = m.nlocal();
   const int npe = m.npe;
   if (m.dim == 2) {
-    double* buf = work.get(3 * static_cast<std::size_t>(npe));
 #ifdef _OPENMP
 #pragma omp parallel
 #endif
@@ -71,7 +70,6 @@ void apply_stiffness_local(const Mesh& m, const double* u, double* w,
       double* ur = priv.data();
       double* us = ur + npe;
       double* t = us + npe;
-      (void)buf;
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -227,6 +225,12 @@ void apply_filter_local(const Mesh& m, const std::vector<double>& f,
   const int n1 = m.n1d();
   const int npe = m.npe;
   TSEM_REQUIRE(static_cast<int>(f.size()) == n1 * n1);
+  // One fetch serves both branches: the 3D path needs
+  // nz*ny*mx + nz*my*mx = 2*npe of scratch plus npe for the result, the
+  // 2D path npe + npe.  Hoisted out of the element loop — work.get keeps
+  // the same pointer across equal-size calls, so fetching per element
+  // only added a size check per iteration (and the 2D branch previously
+  // fetched a buffer it never used).
   double* buf = work.get(3 * static_cast<std::size_t>(npe));
   for (int e = 0; e < m.nelem; ++e) {
     const std::size_t off = static_cast<std::size_t>(e) * npe;
@@ -235,12 +239,10 @@ void apply_filter_local(const Mesh& m, const std::vector<double>& f,
                     buf);
       for (int n = 0; n < npe; ++n) u[off + n] = buf[npe + n];
     } else {
-      // work needs nz*ny*mx + nz*my*mx = 2*npe, plus npe for the result.
-      double* big = work.get(3 * static_cast<std::size_t>(npe));
       tensor3_apply(f.data(), n1, n1, f.data(), n1, n1, f.data(), n1, n1,
-                    u + off, big + 2 * static_cast<std::size_t>(npe), big);
+                    u + off, buf + 2 * static_cast<std::size_t>(npe), buf);
       for (int n = 0; n < npe; ++n)
-        u[off + n] = big[2 * static_cast<std::size_t>(npe) + n];
+        u[off + n] = buf[2 * static_cast<std::size_t>(npe) + n];
     }
   }
 }

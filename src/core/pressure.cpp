@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "poly/basis1d.hpp"
 #include "tensor/mxm.hpp"
 
@@ -237,6 +238,7 @@ PressureSolveResult solve_pressure(
     const std::function<void(const double*, double*)>& precond,
     SolutionProjection* proj, const double* g, double* dp,
     const PressureSolveOptions& opt) {
+  const obs::ScopedTimer timer("pressure/solve");
   const std::size_t np = psys.nloc();
   PressureSolveResult out;
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <numeric>
-#include <set>
+#include <utility>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsem {
 
@@ -60,34 +60,46 @@ inline double reduce_apply(GsOp o, double a, double b) {
 
 }  // namespace
 
-void GatherScatter::op(double* u, GsOp o) const {
+// Shared reduce-and-broadcast kernel for op (m == 1) and op_vec (AoS
+// stride m).  One walk over each group covers a chunk of up to
+// kGsChunk components, so the gather index list is traversed
+// ceil(m / kGsChunk) times instead of m times, and the scalar and
+// vector paths share one OpenMP guard.
+void GatherScatter::run_groups(double* u, int m, GsOp o) const {
+  constexpr int kGsChunk = 16;
   const std::size_t ng = ngroups();
+  const std::size_t sm = static_cast<std::size_t>(m);
+  for (int c0 = 0; c0 < m; c0 += kGsChunk) {
+    const int nc = std::min(kGsChunk, m - c0);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (ng > 4096)
 #endif
-  for (std::size_t g = 0; g < ng; ++g) {
-    const std::int32_t b = group_offset_[g];
-    const std::int32_t e = group_offset_[g + 1];
-    double acc = reduce_init(o);
-    for (std::int32_t k = b; k < e; ++k)
-      acc = reduce_apply(o, acc, u[gather_ix_[k]]);
-    for (std::int32_t k = b; k < e; ++k) u[gather_ix_[k]] = acc;
+    for (std::size_t g = 0; g < ng; ++g) {
+      const std::int32_t b = group_offset_[g];
+      const std::int32_t e = group_offset_[g + 1];
+      double acc[kGsChunk];
+      for (int c = 0; c < nc; ++c) acc[c] = reduce_init(o);
+      for (std::int32_t k = b; k < e; ++k) {
+        const double* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
+        for (int c = 0; c < nc; ++c) acc[c] = reduce_apply(o, acc[c], row[c]);
+      }
+      for (std::int32_t k = b; k < e; ++k) {
+        double* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
+        for (int c = 0; c < nc; ++c) row[c] = acc[c];
+      }
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    obs::count("gs/ops");
+    obs::count("gs/words",
+               static_cast<std::int64_t>(gather_ix_.size()) * m);
   }
 }
 
+void GatherScatter::op(double* u, GsOp o) const { run_groups(u, 1, o); }
+
 void GatherScatter::op_vec(double* u, int m, GsOp o) const {
-  const std::size_t ng = ngroups();
-  for (std::size_t g = 0; g < ng; ++g) {
-    const std::int32_t b = group_offset_[g];
-    const std::int32_t e = group_offset_[g + 1];
-    for (int c = 0; c < m; ++c) {
-      double acc = reduce_init(o);
-      for (std::int32_t k = b; k < e; ++k)
-        acc = reduce_apply(o, acc, u[static_cast<std::size_t>(gather_ix_[k]) * m + c]);
-      for (std::int32_t k = b; k < e; ++k)
-        u[static_cast<std::size_t>(gather_ix_[k]) * m + c] = acc;
-    }
-  }
+  run_groups(u, m, o);
 }
 
 std::vector<double> GatherScatter::multiplicity() const {
@@ -129,31 +141,45 @@ CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
   const std::size_t nelem = ids.size() / npe;
   TSEM_REQUIRE(elem_rank.size() == nelem);
 
-  // For every global id, the set of ranks that own a copy.
-  std::map<std::int64_t, std::set<int>> ranks_of;
+  // Flat (id, rank) pairs, sorted and deduplicated, replace the old
+  // map<id, set<rank>>: one allocation and an O(n log n) sort instead of
+  // a node allocation per distinct (id, rank) — the profile is built on
+  // Table-4-sized meshes where that map dominated setup time.
+  std::vector<std::pair<std::int64_t, int>> pairs;
+  pairs.reserve(ids.size());
   for (std::size_t e = 0; e < nelem; ++e) {
     const int r = elem_rank[e];
     TSEM_REQUIRE(r >= 0 && r < nranks);
-    for (int n = 0; n < npe; ++n) ranks_of[ids[e * npe + n]].insert(r);
+    for (int n = 0; n < npe; ++n) pairs.emplace_back(ids[e * npe + n], r);
   }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
 
   CommProfile prof;
   prof.nranks = nranks;
   prof.send_words.assign(nranks, 0);
-  std::vector<std::set<int>> nbr(nranks);
-  for (const auto& [id, rs] : ranks_of) {
-    if (rs.size() < 2) continue;
-    // Pairwise exchange: each sharing rank sends this id's value to every
-    // other sharing rank (the stand-alone gs utility's pairwise mode).
-    for (int r : rs) {
-      prof.send_words[r] += static_cast<std::int64_t>(rs.size()) - 1;
-      for (int q : rs)
-        if (q != r) nbr[r].insert(q);
+  // Sweep runs of equal id.  A run of k >= 2 distinct ranks means a
+  // pairwise exchange: each sharing rank sends this id's value to every
+  // other sharing rank (the stand-alone gs utility's pairwise mode).
+  std::vector<std::pair<int, int>> nbr_pairs;
+  for (std::size_t i = 0; i < pairs.size();) {
+    std::size_t j = i;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+    const std::int64_t k = static_cast<std::int64_t>(j - i);
+    if (k >= 2) {
+      for (std::size_t a = i; a < j; ++a) {
+        prof.send_words[pairs[a].second] += k - 1;
+        for (std::size_t b = i; b < j; ++b)
+          if (b != a) nbr_pairs.emplace_back(pairs[a].second, pairs[b].second);
+      }
     }
+    i = j;
   }
-  prof.neighbors.resize(nranks);
-  for (int r = 0; r < nranks; ++r)
-    prof.neighbors[r] = static_cast<int>(nbr[r].size());
+  std::sort(nbr_pairs.begin(), nbr_pairs.end());
+  nbr_pairs.erase(std::unique(nbr_pairs.begin(), nbr_pairs.end()),
+                  nbr_pairs.end());
+  prof.neighbors.assign(nranks, 0);
+  for (const auto& pr : nbr_pairs) ++prof.neighbors[pr.first];
   return prof;
 }
 

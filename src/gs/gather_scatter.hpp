@@ -63,6 +63,10 @@ class GatherScatter {
   }
 
  private:
+  /// Shared kernel behind op/op_vec: reduce-and-broadcast with AoS
+  /// stride m, chunked so each group is walked once per <=16 components.
+  void run_groups(double* u, int m, GsOp o) const;
+
   std::size_t nlocal_ = 0;
   std::int64_t nglobal_ = 0;
   std::vector<std::int64_t> dense_id_;   // local -> dense global

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "core/flops.hpp"
 #include "core/operators.hpp"
+#include "obs/metrics.hpp"
 #include "poly/basis1d.hpp"
 #include "poly/filter.hpp"
 
@@ -15,6 +16,52 @@ bool all_finite(const std::vector<double>& v) {
   for (double x : v)
     if (!std::isfinite(x)) return false;
   return true;
+}
+
+// Structured per-step trace record: the full StepStats, recovery-ladder
+// rungs included, as one event in the MetricsRegistry ring buffer.
+void emit_step_event(const StepStats& s) {
+  if constexpr (!obs::kEnabled) {
+    (void)s;
+    return;
+  }
+  obs::Json e = obs::Json::object();
+  e["event"] = "ns/step";
+  e["step"] = s.step;
+  e["time"] = s.time;
+  e["dt"] = s.dt;
+  e["pressure_iters"] = s.pressure_iters;
+  obs::Json hi = obs::Json::array();
+  obs::Json hs = obs::Json::array();
+  for (int c = 0; c < 3; ++c) {
+    hi.push_back(s.helmholtz_iters[c]);
+    hs.push_back(to_string(s.helmholtz_status[c]));
+  }
+  e["helmholtz_iters"] = std::move(hi);
+  e["helmholtz_status"] = std::move(hs);
+  e["pressure_res0"] = s.pressure_res0;
+  e["divergence"] = s.divergence;
+  e["cfl"] = s.cfl;
+  e["flops"] = s.flops;
+  e["pressure_status"] = to_string(s.pressure_status);
+  e["scalar_status"] = to_string(s.scalar_status);
+  e["attempts"] = s.attempts;
+  e["dt_halvings"] = s.dt_halvings;
+  e["cfl_rejected"] = s.cfl_rejected;
+  e["projection_flushed"] = s.projection_flushed;
+  e["precond_fallback"] = s.precond_fallback;
+  e["nonfinite_field"] = s.nonfinite_field;
+  e["recovered"] = s.recovered;
+  e["failed"] = s.failed;
+  obs::emit_event(std::move(e));
+
+  obs::count("ns/steps");
+  obs::record("ns/pressure_iters", s.pressure_iters);
+  obs::record("ns/divergence", s.divergence);
+  obs::record("ns/cfl", s.cfl);
+  if (s.attempts > 1) obs::count("ns/retries", s.attempts - 1);
+  if (s.recovered) obs::count("ns/recovered_steps");
+  if (s.failed) obs::count("ns/failed_steps");
 }
 
 }  // namespace
@@ -613,6 +660,7 @@ bool NavierStokes::attempt_step(double dt, int order,
 }
 
 StepStats NavierStokes::step() {
+  const obs::ScopedTimer timer("ns/step");
   const ResilienceOptions& rz = opt_.resilience;
   StepStats stats;
   double dt = opt_.dt;
@@ -675,6 +723,7 @@ StepStats NavierStokes::step() {
   stats.failed = !accepted;
   if (accepted)
     ramp_ = (halvings > 0) ? 0 : ramp_ + 1;
+  emit_step_event(stats);
   return stats;
 }
 

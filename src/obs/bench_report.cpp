@@ -1,0 +1,51 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace tsem::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+Json& BenchReport::add_case(std::string_view case_name) {
+  Json c = Json::object();
+  c["name"] = std::string(case_name);
+  return cases_.push_back(std::move(c));
+}
+
+Json BenchReport::to_json() const {
+  Json j = Json::object();
+  j["schema"] = "terasem-bench-1";
+  j["name"] = name_;
+  j["meta"] = meta_;
+  j["cases"] = cases_;
+  j["metrics"] = MetricsRegistry::instance().snapshot();
+  return j;
+}
+
+std::string BenchReport::output_path() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("TSEM_BENCH_DIR"); env && *env) dir = env;
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+std::string BenchReport::write() const {
+  const std::string path = output_path();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return {};
+  }
+  out << to_json().dump(2) << '\n';
+  if (!out) {
+    std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+    return {};
+  }
+  return path;
+}
+
+}  // namespace tsem::obs

@@ -1,0 +1,61 @@
+// Uniform machine-readable bench output: every bench_* harness builds one
+// BenchReport and writes BENCH_<name>.json next to the binary (or into
+// $TSEM_BENCH_DIR when set), so perf runs are diffable across PRs.
+//
+// Schema "terasem-bench-1":
+//   {
+//     "schema": "terasem-bench-1",
+//     "name": "<bench name>",
+//     "meta": { ... free-form run configuration ... },
+//     "cases": [ { "name": ..., "wall_seconds": ..., "sim_seconds": ...,
+//                  "flops": ..., "mflops": ..., "iterations": ..., ... } ],
+//     "metrics": { "counters": {...}, "stats": {...}, "events": [...],
+//                  "events_dropped": n }
+//   }
+// Per-case keys beyond "name" are bench-specific; wall_seconds always
+// means measured wall clock, sim_seconds always means a sim::Machine
+// model prediction (the two are never mixed in one key).  "metrics" is
+// the MetricsRegistry snapshot at write() time.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace tsem::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Free-form run configuration (sizes, flags, machine model name, ...).
+  Json& meta() { return meta_; }
+
+  /// Append one case object; fill in its fields through the returned
+  /// reference.  "name" is pre-set.
+  Json& add_case(std::string_view case_name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t case_count() const { return cases_.size(); }
+
+  /// Assemble the full document, including the current MetricsRegistry
+  /// snapshot under "metrics".
+  [[nodiscard]] Json to_json() const;
+
+  /// Where write() will put the file: $TSEM_BENCH_DIR/BENCH_<name>.json
+  /// when the env var is set, else ./BENCH_<name>.json.
+  [[nodiscard]] std::string output_path() const;
+
+  /// Write the report (pretty-printed).  Returns the path written, or an
+  /// empty string on I/O failure (reported to stderr; benches should not
+  /// die over a report).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  Json meta_ = Json::object();
+  Json cases_ = Json::array();
+};
+
+}  // namespace tsem::obs

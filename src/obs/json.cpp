@@ -1,0 +1,368 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsem::obs {
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  for (auto& [k, v] : members_)
+    if (k == key) return v;
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json& Json::push_back(Json v) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; see json.hpp
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+  // Keep a Double a double through a parse cycle: "3" would re-parse as
+  // an Int, so force a decimal point onto bare integral output.
+  if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos)
+    out += ".0";
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Int: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::Double:
+      write_double(out, dbl_);
+      break;
+    case Type::String:
+      write_escaped(out, str_);
+      break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += indent > 0 ? "," : ",";
+        newline_indent(out, indent, depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ",";
+        newline_indent(out, indent, depth + 1);
+        write_escaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+// ---- parser -----------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty())
+      err = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool expect(char c) {
+    if (at_end() || text[pos] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_literal(std::string_view lit, Json value, Json* out) {
+    if (text.substr(pos, lit.size()) != lit) return fail("bad literal");
+    pos += lit.size();
+    *out = std::move(value);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    std::string s;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) return fail("bad escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are not produced by
+            // our writer and are rejected here).
+            if (code >= 0xD800 && code <= 0xDFFF)
+              return fail("surrogate \\u escape unsupported");
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        s += c;
+      }
+    }
+    *out = std::move(s);
+    return true;
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (!at_end() && text[pos] == '-') ++pos;
+    while (!at_end() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    bool is_double = false;
+    if (!at_end() && text[pos] == '.') {
+      is_double = true;
+      ++pos;
+      while (!at_end() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (!at_end() && (text[pos] == 'e' || text[pos] == 'E')) {
+      is_double = true;
+      ++pos;
+      if (!at_end() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (!at_end() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-'))
+      return fail("bad number");
+    const std::string tok(text.substr(start, pos - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        *out = static_cast<std::int64_t>(v);
+        return true;
+      }
+      // Integer overflow: fall through to double.
+    }
+    *out = std::strtod(tok.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > 200) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': return parse_literal("null", Json(), out);
+      case 't': return parse_literal("true", Json(true), out);
+      case 'f': return parse_literal("false", Json(false), out);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = std::move(s);
+        return true;
+      }
+      case '[': {
+        ++pos;
+        *out = Json::array();
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          Json item;
+          if (!parse_value(&item, depth + 1)) return false;
+          out->push_back(std::move(item));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        *out = Json::object();
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (!expect(':')) return false;
+          Json value;
+          if (!parse_value(&value, depth + 1)) return false;
+          (*out)[key] = std::move(value);
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default:
+        return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+bool Json::parse(std::string_view text, Json* out, std::string* err) {
+  Parser p;
+  p.text = text;
+  Json result;
+  if (!p.parse_value(&result, 0)) {
+    if (err) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (err) *err = "trailing characters at offset " + std::to_string(p.pos);
+    return false;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::Null: return true;
+    case Json::Type::Bool: return a.bool_ == b.bool_;
+    case Json::Type::Int: return a.int_ == b.int_;
+    case Json::Type::Double: return a.dbl_ == b.dbl_;
+    case Json::Type::String: return a.str_ == b.str_;
+    case Json::Type::Array: return a.items_ == b.items_;
+    case Json::Type::Object: return a.members_ == b.members_;
+  }
+  return false;
+}
+
+}  // namespace tsem::obs

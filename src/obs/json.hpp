@@ -1,0 +1,107 @@
+// Minimal dependency-free JSON document model for the observability layer.
+//
+// Covers exactly what the BENCH_*.json reports and the metrics snapshots
+// need: the seven JSON value kinds, insertion-ordered objects (so reports
+// diff cleanly across runs), a writer, and a strict parser used by the
+// round-trip tests.  Integers are kept apart from doubles so counter
+// values survive a dump/parse cycle exactly; non-finite doubles serialize
+// as null (JSON has no NaN/Inf) and the schema documents that convention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tsem::obs {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}             // NOLINT(google-explicit-constructor)
+  Json(int v) : type_(Type::Int), int_(v) {}                // NOLINT
+  Json(std::int64_t v) : type_(Type::Int), int_(v) {}       // NOLINT
+  Json(std::size_t v)                                       // NOLINT
+      : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::Double), dbl_(v) {}          // NOLINT
+  Json(const char* s) : type_(Type::String), str_(s) {}     // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return type_ == Type::Double ? static_cast<std::int64_t>(dbl_) : int_;
+  }
+  [[nodiscard]] double as_double() const {
+    return type_ == Type::Int ? static_cast<double>(int_) : dbl_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  /// Object access: inserts a null member on first use (object-typed
+  /// values only; a fresh Null value is promoted to an object).
+  Json& operator[](std::string_view key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Array append (a fresh Null value is promoted to an array).
+  Json& push_back(Json v);
+
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::Array ? items_.size()
+                                : (type_ == Type::Object ? members_.size() : 0);
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+
+  /// Serialize.  indent = 0 emits a compact single line; indent > 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict recursive-descent parse of a complete JSON document.  Returns
+  /// false (with *err set when provided) on any syntax error or trailing
+  /// garbage.
+  static bool parse(std::string_view text, Json* out,
+                    std::string* err = nullptr);
+
+  /// Structural equality (Int and Double compare as distinct types).
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                             // Array
+  std::vector<std::pair<std::string, Json>> members_;   // Object (ordered)
+};
+
+}  // namespace tsem::obs

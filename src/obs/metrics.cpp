@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace tsem::obs {
+
+void Histogram::record(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Json Histogram::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  j["count"] = count_;
+  j["sum"] = sum_;
+  j["min"] = min_;
+  j["max"] = max_;
+  j["mean"] = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  return j;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::emit(Json event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+void MetricsRegistry::set_max_events(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_events_ = n;
+  while (events_.size() > max_events_) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+}
+
+std::size_t MetricsRegistry::max_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_events_;
+}
+
+std::int64_t MetricsRegistry::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_dropped_;
+}
+
+Json MetricsRegistry::snapshot() const {
+  // Copy name lists under the lock, then read each metric through its own
+  // synchronization (counter loads / histogram locks) so snapshot never
+  // holds the registry mutex while formatting.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  Json events = Json::array();
+  std::int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+    for (const auto& e : events_) events.push_back(e);
+    dropped = events_dropped_;
+  }
+  Json j = Json::object();
+  Json& jc = (j["counters"] = Json::object());
+  for (const auto& [name, c] : counters) jc[name] = c->value();
+  Json& jh = (j["stats"] = Json::object());
+  for (const auto& [name, h] : histograms) jh[name] = h->to_json();
+  j["events"] = std::move(events);
+  j["events_dropped"] = dropped;
+  return j;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  events_.clear();
+  events_dropped_ = 0;
+}
+
+void record_solve(std::string_view which, int iterations,
+                  double initial_residual, double final_residual,
+                  const char* status) {
+  if constexpr (!kEnabled) {
+    (void)which;
+    (void)iterations;
+    (void)initial_residual;
+    (void)final_residual;
+    (void)status;
+    return;
+  }
+  const std::string base(which);
+  auto& reg = MetricsRegistry::instance();
+  reg.counter(base + "/solves").increment();
+  reg.counter(base + "/iterations").add(iterations);
+  reg.histogram(base + "/iterations").record(iterations);
+  reg.histogram(base + "/residual/initial").record(initial_residual);
+  reg.histogram(base + "/residual/final").record(final_residual);
+  reg.counter(base + "/status/" + status).increment();
+}
+
+namespace {
+
+// Thread-local nesting stack for ScopedTimer labels, e.g.
+// "time/schwarz/apply" from ScopedTimer("apply") inside
+// ScopedTimer("schwarz").
+thread_local std::vector<std::string> g_phase_stack;  // NOLINT
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* label) {
+  if constexpr (!kEnabled) {
+    (void)label;
+    return;
+  }
+  if (g_phase_stack.empty())
+    g_phase_stack.emplace_back(label);
+  else
+    g_phase_stack.push_back(g_phase_stack.back() + "/" + label);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if constexpr (!kEnabled) return;
+  if (!stopped_) stop();
+}
+
+void ScopedTimer::stop() {
+  if constexpr (!kEnabled) return;
+  if (stopped_) return;
+  stopped_ = true;
+  const double s = seconds();
+  MetricsRegistry::instance()
+      .histogram("time/" + g_phase_stack.back())
+      .record(s);
+  g_phase_stack.pop_back();
+}
+
+double ScopedTimer::seconds() const {
+  if constexpr (!kEnabled) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace tsem::obs

@@ -1,0 +1,162 @@
+// Process-wide metrics registry: named counters, value histograms
+// (summary statistics), RAII phase timers, and a bounded structured-event
+// trace.  This is the observability spine the paper's quantitative
+// evaluation needs — per-solve iteration counts, per-phase times, and
+// communication volumes, all exportable as JSON for the BENCH_*.json
+// reports (obs/bench_report.hpp).
+//
+// Naming scheme: `phase/subphase` slash-separated labels, lowercase
+// (e.g. "pcg/iterations", "schwarz/apply/local", "xxt/solve").  Wall-clock
+// phase timings live under "time/<phase path>" and are seconds; anything
+// derived from the simulated machine (sim/machine.hpp) is *never* written
+// into the registry — simulated times appear only in bench report cases,
+// tagged `sim_seconds` (see DESIGN.md "Observability").
+//
+// Threading: counters are relaxed atomics; histograms and the event trace
+// take a short mutex.  Instrumentation sites sit outside the OpenMP
+// element loops (per solve / per apply / per step), so contention is nil.
+//
+// Compile-out: configuring with -DTSEM_OBS=OFF defines TSEM_OBS_DISABLED,
+// which turns every record/emit below into a no-op the optimizer deletes
+// (the registry API itself stays so code always compiles).  enabled()
+// reports which build this is.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace tsem::obs {
+
+#ifdef TSEM_OBS_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// True when the instrumentation layer is compiled in (TSEM_OBS=ON).
+constexpr bool enabled() { return kEnabled; }
+
+/// Monotonically increasing named count (events, iterations, words).
+class Counter {
+ public:
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Streaming summary histogram: count / sum / min / max / mean.
+class Histogram {
+ public:
+  void record(double x);
+  [[nodiscard]] std::int64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  void reset();
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create; returned references stay valid for the process
+  /// lifetime (node-based storage).
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Append a structured event (a Json object) to the bounded trace.
+  /// When the trace is full the OLDEST event is dropped (the recent past
+  /// is what post-mortems want) and events_dropped grows.
+  void emit(Json event);
+  void set_max_events(std::size_t n);
+  [[nodiscard]] std::size_t max_events() const;
+  [[nodiscard]] std::int64_t events_dropped() const;
+
+  /// Full dump: {"counters": {...}, "histograms": {...},
+  /// "events": [...], "events_dropped": n}.
+  [[nodiscard]] Json snapshot() const;
+
+  /// Zero every counter/histogram and clear the trace (tests, and bench
+  /// harnesses that want per-phase registry deltas).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::deque<Json> events_;
+  std::size_t max_events_ = 4096;
+  std::int64_t events_dropped_ = 0;
+};
+
+// ---- convenience free functions (no-ops when compiled out) ------------
+
+inline void count(std::string_view name, std::int64_t d = 1) {
+  if constexpr (kEnabled) MetricsRegistry::instance().counter(name).add(d);
+}
+
+inline void record(std::string_view name, double value) {
+  if constexpr (kEnabled)
+    MetricsRegistry::instance().histogram(name).record(value);
+}
+
+inline void emit_event(Json event) {
+  if constexpr (kEnabled)
+    MetricsRegistry::instance().emit(std::move(event));
+}
+
+/// One iterative-solve record: bumps `<which>/solves`,
+/// `<which>/iterations` (counter + histogram), `<which>/status/<status>`,
+/// and the residual histograms.
+void record_solve(std::string_view which, int iterations,
+                  double initial_residual, double final_residual,
+                  const char* status);
+
+/// RAII wall-clock phase timer.  Labels nest through a thread-local phase
+/// stack: a ScopedTimer("apply") inside a ScopedTimer("schwarz") records
+/// seconds into the histogram "time/schwarz/apply".
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* label);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record now instead of at destruction (for back-to-back phases in one
+  /// scope).  Timers must stop in LIFO order relative to any nested ones.
+  void stop();
+
+  /// Seconds elapsed so far (0 when compiled out).
+  [[nodiscard]] double seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  bool stopped_ = false;
+};
+
+}  // namespace tsem::obs

@@ -16,6 +16,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tsem {
 
 /// Disposition of an iterative solve.
@@ -81,19 +83,23 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
   CgResult res;
   double rnorm = std::sqrt(dot(r.data(), r.data()));
   res.initial_residual = rnorm;
+  // Invariant on EVERY exit path: with record_history on,
+  // history.size() == iterations + 1 (entry 0 is the initial residual).
+  if (opt.record_history) res.history.push_back(rnorm);
   if (!std::isfinite(rnorm)) {
     // Poisoned rhs or initial guess: bail before touching x.
     res.status = SolveStatus::NonFinite;
     res.final_residual = rnorm;
+    obs::record_solve("pcg", 0, rnorm, rnorm, to_string(res.status));
     return res;
   }
   const double target = opt.relative ? opt.tol * (rnorm > 0 ? rnorm : 1.0)
                                      : opt.tol;
-  if (opt.record_history) res.history.push_back(rnorm);
   if (rnorm <= target) {
     res.converged = true;
     res.status = SolveStatus::Converged;
     res.final_residual = rnorm;
+    obs::record_solve("pcg", 0, rnorm, rnorm, to_string(res.status));
     return res;
   }
 
@@ -102,6 +108,7 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
   double rz = dot(r.data(), z.data());
 
   double best = rnorm;
+  double last_finite = rnorm;
   int best_it = 0;
   res.status = SolveStatus::MaxIter;
   for (int it = 1; it <= opt.max_iter; ++it) {
@@ -127,6 +134,7 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
       res.status = SolveStatus::NonFinite;
       break;
     }
+    last_finite = rnorm;
     if (rnorm <= target) {
       res.converged = true;
       res.status = SolveStatus::Converged;
@@ -145,7 +153,13 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
-  res.final_residual = rnorm;
+  // A NonFinite exit leaves rnorm = NaN; report the last finite residual
+  // instead of a value no caller can act on.  (On a Breakdown exit rnorm
+  // is still the previous iteration's finite norm — x was not updated —
+  // so this is the identity there.)
+  res.final_residual = std::isfinite(rnorm) ? rnorm : last_finite;
+  obs::record_solve("pcg", res.iterations, res.initial_residual,
+                    res.final_residual, to_string(res.status));
   return res;
 }
 

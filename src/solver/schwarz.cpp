@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "fem/fem.hpp"
+#include "obs/metrics.hpp"
 #include "poly/basis1d.hpp"
 #include "tensor/linalg.hpp"
 
@@ -138,6 +139,7 @@ void SchwarzPrecond::build_coarse() {
 }
 
 void SchwarzPrecond::apply(const double* r, double* z) const {
+  const obs::ScopedTimer timer_apply("schwarz/apply");
   const Mesh& m = psys_->vspace().mesh();
   const int npe = psys_->npe();
   const int ov = opt_.overlap;
@@ -150,15 +152,21 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
     if (!std::isfinite(r[i])) {
       ++nonfinite_applies_;
       std::copy(r, r + nloc, z);
+      obs::count("schwarz/nonfinite_applies");
       return;
     }
   }
   std::fill(z, z + nloc, 0.0);
 
+  obs::count("schwarz/applies");
   if (ghosts_) ghosts_->exchange(r, ghost_.data());
   const std::size_t nslots = ghosts_ ? ghosts_->nslots() : 0;
   const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
 
+  // Local overlapping-subdomain solves (nested label:
+  // time/schwarz/apply/local).
+  obs::ScopedTimer timer_local("local");
+  obs::count("schwarz/local_solves", m.nelem);
   for (int e = 0; e < m.nelem; ++e) {
     const std::size_t poff = static_cast<std::size_t>(e) * npe;
     std::fill(rloc_.begin(), rloc_.end(), 0.0);
@@ -249,9 +257,11 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
     }
   }
   if (ghosts_) ghosts_->scatter_add(vout_.data(), z);
+  timer_local.stop();
 
   // Coarse-grid contribution.
   if (coarse_) {
+    const obs::ScopedTimer timer_coarse("coarse");
     std::fill(cb_.begin(), cb_.end(), 0.0);
     const int ncorner = 1 << dim_;
     for (int e = 0; e < m.nelem; ++e) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsem {
 namespace {
@@ -106,6 +107,7 @@ NestedDissection nested_dissection(const CsrMatrix& a,
 
 XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
     : n_(a.n()), nd_(nd) {
+  const obs::ScopedTimer timer("xxt/factor");
   col_ptr_.assign(1, 0);
   row_.clear();
   val_.clear();
@@ -252,6 +254,15 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
 }
 
 void XxtSolver::solve(const double* b, double* out) const {
+  const obs::ScopedTimer timer("xxt/solve");
+  if constexpr (obs::kEnabled) {
+    obs::count("xxt/solves");
+    // Per-solve communication volume a message-passing execution would
+    // need: fan-in plus the mirroring fan-out (measured from the real
+    // column supports in the ctor).
+    obs::count("xxt/msg_words", 2 * total_msg_);
+    obs::count("xxt/flops", 4 * nnz_);
+  }
   std::vector<double> z(n_);
   for (int k = 0; k < n_; ++k) {
     double s = 0.0;

@@ -253,6 +253,174 @@ TEST(Cg, SolvesSpdSystemAndRecordsHistory) {
   for (int i = 0; i < n; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
 }
 
+// --- SolveStatus exit-path suite -------------------------------------
+//
+// One test per terminal status.  Shared invariant, asserted on EVERY
+// path: with record_history on, history.size() == iterations + 1 (entry
+// zero is the initial residual; each completed iteration appends one).
+
+namespace status_suite {
+
+constexpr int kN = 40;
+
+void tridiag(const double* x, double* y) {
+  for (int i = 0; i < kN; ++i) {
+    double s = 3.0 * x[i];
+    if (i > 0) s -= x[i - 1];
+    if (i < kN - 1) s -= x[i + 1];
+    y[i] = s;
+  }
+}
+
+double dotn(const double* x, const double* y) {
+  double s = 0.0;
+  for (int i = 0; i < kN; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void check_invariant(const tsem::CgResult& res) {
+  ASSERT_EQ(res.history.size(), static_cast<std::size_t>(res.iterations) + 1);
+  if (std::isfinite(res.initial_residual))
+    EXPECT_DOUBLE_EQ(res.history.front(), res.initial_residual);
+  else  // poisoned rhs: both must be the same NaN entry (NaN != NaN)
+    EXPECT_TRUE(std::isnan(res.history.front()));
+}
+
+}  // namespace status_suite
+
+TEST(CgStatus, Converged) {
+  using namespace status_suite;
+  const auto b = random_vec(kN, 31);
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-10;
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, tridiag, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::Converged);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.iterations, 0);
+  check_invariant(res);
+  EXPECT_DOUBLE_EQ(res.history.back(), res.final_residual);
+  EXPECT_LE(res.final_residual, 1e-10);
+}
+
+TEST(CgStatus, MaxIter) {
+  using namespace status_suite;
+  const auto b = random_vec(kN, 33);
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-30;  // unattainable
+  opt.max_iter = 5;
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, tridiag, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::MaxIter);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 5);
+  check_invariant(res);
+  EXPECT_TRUE(std::isfinite(res.final_residual));
+}
+
+TEST(CgStatus, StalledWhenResidualStopsImproving) {
+  using namespace status_suite;
+  // A condition number of ~1e12 sends unpreconditioned CG through a long
+  // residual plateau (the classic hump before superlinear convergence
+  // kicks in); a modest stall window gives up inside it.  The graded
+  // off-diagonal coupling keeps the matrix SPD.
+  std::vector<double> d(kN);
+  for (int i = 0; i < kN; ++i) d[i] = std::pow(10.0, 12.0 * i / (kN - 1));
+  auto apply = [&d](const double* x, double* y) {
+    for (int i = 0; i < kN; ++i) {
+      double s = d[i] * x[i];
+      if (i > 0) s += 0.1 * std::sqrt(d[i] * d[i - 1]) * x[i - 1];
+      if (i < kN - 1) s += 0.1 * std::sqrt(d[i] * d[i + 1]) * x[i + 1];
+      y[i] = s;
+    }
+  };
+  const auto b = random_vec(kN, 35);
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-30;  // out of reach within the stall window
+  opt.relative = false;
+  opt.max_iter = 10000;
+  opt.stall_window = 25;
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, apply, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::Stalled);
+  EXPECT_FALSE(res.converged);
+  EXPECT_GT(res.iterations, 0);
+  check_invariant(res);
+  EXPECT_TRUE(std::isfinite(res.final_residual));
+  EXPECT_DOUBLE_EQ(res.history.back(), res.final_residual);
+  // A stall is a soft failure: the recovery ladder keeps the iterate.
+  EXPECT_FALSE(tsem::is_hard_failure(res.status));
+}
+
+TEST(CgStatus, BreakdownOnIndefiniteOperator) {
+  using namespace status_suite;
+  auto negate = [](const double* x, double* y) {
+    for (int i = 0; i < kN; ++i) y[i] = -x[i];  // negative definite: pAp < 0
+  };
+  const auto b = random_vec(kN, 37);
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, negate, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::Breakdown);
+  EXPECT_EQ(res.iterations, 0);
+  check_invariant(res);
+  // x was never updated, so the reported residual is the (finite) initial.
+  EXPECT_TRUE(std::isfinite(res.final_residual));
+  EXPECT_DOUBLE_EQ(res.final_residual, res.initial_residual);
+  EXPECT_TRUE(tsem::is_hard_failure(res.status));
+}
+
+TEST(CgStatus, NonFinitePoisonedRhs) {
+  using namespace status_suite;
+  auto b = random_vec(kN, 39);
+  b[7] = std::nan("");
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, tridiag, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::NonFinite);
+  EXPECT_EQ(res.iterations, 0);
+  check_invariant(res);
+  // x must be untouched by the poisoned solve.
+  for (int i = 0; i < kN; ++i) EXPECT_DOUBLE_EQ(x[i], 0.0);
+}
+
+TEST(CgStatus, NonFiniteMidSolveReportsLastFiniteResidual) {
+  using namespace status_suite;
+  // Operator turns sour on the 4th apply (one for the initial residual,
+  // two healthy iterations, then a NaN that poisons p.A.p before the
+  // third iteration can complete).
+  int calls = 0;
+  auto flaky = [&calls](const double* x, double* y) {
+    tridiag(x, y);
+    if (++calls >= 4) y[0] = std::nan("");
+  };
+  const auto b = random_vec(kN, 41);
+  std::vector<double> x(kN, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-30;  // keep iterating until the fault fires
+  opt.record_history = true;
+  const auto res = tsem::pcg(kN, flaky, tsem::identity_precond(kN), dotn,
+                             b.data(), x.data(), opt);
+  EXPECT_EQ(res.status, tsem::SolveStatus::NonFinite);
+  EXPECT_EQ(res.iterations, 2);
+  check_invariant(res);
+  // The stale-residual bug fix: final_residual is the last FINITE norm,
+  // not NaN and not the initial residual.
+  EXPECT_TRUE(std::isfinite(res.final_residual));
+  EXPECT_DOUBLE_EQ(res.final_residual, res.history.back());
+  EXPECT_LT(res.final_residual, res.initial_residual);
+}
+
 TEST(Cg, JacobiReducesIterationsOnScaledSystem) {
   const int n = 60;
   std::vector<double> diag(n);
