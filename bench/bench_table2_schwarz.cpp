@@ -18,6 +18,10 @@
 #include <memory>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/timer.hpp"
 #include "core/pressure.hpp"
 #include "core/space.hpp"
@@ -147,6 +151,13 @@ int main() {
   g_report.meta()["order"] = 7;
   g_report.meta()["tol"] = 1e-5;
   g_report.meta()["mesh"] = "graded annulus (cylinder substitute)";
+  // Active OMP thread budget: the Schwarz local-solve loop is threaded,
+  // so timings are only comparable across runs at the same setting.
+#ifdef _OPENMP
+  g_report.meta()["omp_max_threads"] = omp_get_max_threads();
+#else
+  g_report.meta()["omp_max_threads"] = 1;
+#endif
   auto spec = tsem::annulus_spec(0.5, 10.0, 3, 31, 2.5);
   run_mesh(spec, 7);
   spec = tsem::quad_refine(spec);

@@ -17,6 +17,10 @@
 #include <random>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/mxm.hpp"
@@ -145,6 +149,13 @@ int main(int argc, char** argv) {
   report.meta()["table"] = "Table 3";
   report.meta()["kernels"] = "lkm csm ghm f3 f2";
   report.meta()["obs_enabled"] = tsem::obs::enabled();
+  // The mxm kernels themselves are serial, but recording the thread
+  // budget keeps reports self-describing alongside the threaded benches.
+#ifdef _OPENMP
+  report.meta()["omp_max_threads"] = omp_get_max_threads();
+#else
+  report.meta()["omp_max_threads"] = 1;
+#endif
   benchmark::Initialize(&argc, argv);
   CapturingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);

@@ -107,13 +107,15 @@ void DealiasedConvection::apply(const double* const* vel, const double* u,
                                 double* out, TensorWork& work) const {
   const Mesh& m = *mesh_;
   const std::size_t total = jw_.size();
-  double* buf = work.get((2 * dim_ + 3) * nfe_ + 3 * nfe_);
-  double* urf = buf;                       // dim fine derivative fields
-  double* vf = urf + dim_ * nfe_;          // dim fine velocity fields
-  double* sf = vf + dim_ * nfe_;           // product accumulator
-  double* scratch = sf + nfe_;             // tensor workspace (2 nfe_ +)
-
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
   for (int e = 0; e < m.nelem; ++e) {
+    double* buf = work.get((2 * dim_ + 3) * nfe_ + 3 * nfe_);
+    double* urf = buf;               // dim fine derivative fields
+    double* vf = urf + dim_ * nfe_;  // dim fine velocity fields
+    double* sf = vf + dim_ * nfe_;   // product accumulator
+    double* scratch = sf + nfe_;     // tensor workspace (2 nfe_ +)
     const std::size_t off = static_cast<std::size_t>(e) * m.npe;
     const std::size_t foff = static_cast<std::size_t>(e) * nfe_;
     // du/dr_j and velocity components on the fine grid.

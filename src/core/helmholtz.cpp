@@ -30,7 +30,8 @@ CgResult helmholtz_solve(const HelmholtzOp& h,
                          const std::vector<double>& bcvals,
                          const std::vector<double>& rhs_weak,
                          std::vector<double>& out,
-                         const HelmholtzSolveOptions& opt, TensorWork& work) {
+                         const HelmholtzSolveOptions& opt, TensorWork& work,
+                         HelmholtzSolveScratch* scratch) {
   const obs::ScopedTimer timer("helmholtz/solve");
   const Space& space = h.space();
   const Mesh& m = space.mesh();
@@ -39,29 +40,50 @@ CgResult helmholtz_solve(const HelmholtzOp& h,
   TSEM_REQUIRE(bcvals.size() == nl && rhs_weak.size() == nl &&
                out.size() == nl);
 
+  HelmholtzSolveScratch local;
+  HelmholtzSolveScratch& scr = scratch ? *scratch : local;
+  if (scr.ub.size() < nl) {
+    scr.ub.resize(nl);
+    scr.b.resize(nl);
+    scr.t.resize(nl);
+    scr.x.resize(nl);
+  }
+  double* const ub = scr.ub.data();
+  double* const b = scr.b.data();
+  double* const t = scr.t.data();
+  double* const x = scr.x.data();
+
   // Lift: ub carries the Dirichlet values, zero elsewhere.
-  std::vector<double> ub(nl), b(rhs_weak), t(nl);
-  for (std::size_t i = 0; i < nl; ++i) ub[i] = (1.0 - mask[i]) * bcvals[i];
-  space.gs().op(b.data());
-  apply_helmholtz_local(m, h.h1(), h.h2(), ub.data(), t.data(), work);
-  space.gs().op(t.data());
+  for (std::size_t i = 0; i < nl; ++i) {
+    ub[i] = (1.0 - mask[i]) * bcvals[i];
+    b[i] = rhs_weak[i];
+  }
+  space.gs().op(b);
+  apply_helmholtz_local(m, h.h1(), h.h2(), ub, t, work);
+  space.gs().op(t);
   for (std::size_t i = 0; i < nl; ++i) b[i] = (b[i] - t[i]) * mask[i];
 
   // Initial guess: previous solution minus the lift (or zero).
-  std::vector<double> x(nl, 0.0);
-  if (!opt.zero_guess)
+  if (opt.zero_guess)
+    for (std::size_t i = 0; i < nl; ++i) x[i] = 0.0;
+  else
     for (std::size_t i = 0; i < nl; ++i) x[i] = (out[i] - ub[i]) * mask[i];
 
   auto apply = [&](const double* xx, double* yy) { h.apply(xx, yy); };
   auto dot = [&](const double* a2, const double* b2) {
     return space.glsum_dot(a2, b2);
   };
+  // Reference the operator's diagonal in place: jacobi_precond would copy
+  // the field-length vector on every call.
+  const std::vector<double>& dg = h.diagonal();
+  auto prec = [&dg](const double* r, double* z) {
+    for (std::size_t i = 0; i < dg.size(); ++i) z[i] = r[i] / dg[i];
+  };
   CgOptions copt;
   copt.tol = opt.tol;
   copt.relative = true;
   copt.max_iter = opt.max_iter;
-  auto res = pcg(nl, apply, jacobi_precond(h.diagonal()), dot, b.data(),
-                 x.data(), copt);
+  auto res = pcg(nl, apply, prec, dot, b, x, copt, &scr.cg);
   // On a hard failure x is garbage; keep the caller's field intact so the
   // recovery ladder can retry from a consistent state.
   if (!is_hard_failure(res.status))

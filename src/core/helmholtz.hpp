@@ -47,17 +47,30 @@ struct HelmholtzSolveOptions {
   bool zero_guess = false;
 };
 
+/// Persistent buffers for helmholtz_solve: the Dirichlet lift, assembled
+/// rhs, operator scratch, CG iterate and the Krylov vectors.  Callers
+/// that solve every time step hold one so steady-state solves never touch
+/// the allocator.  Kept OUTSIDE the TensorWork arena on purpose: the
+/// solve passes that arena down into apply_helmholtz_local, which would
+/// clobber any slab the solve itself had claimed (see workspace.hpp).
+struct HelmholtzSolveScratch {
+  std::vector<double> ub, b, t, x;
+  CgScratch cg;
+};
+
 /// Dirichlet-lifted Jacobi-PCG solve of H u = rhs_weak on the operator's
 /// masked C0 space.  `bcvals` carries the Dirichlet values (read where the
 /// operator's mask is 0); `rhs_weak` is the unassembled weak-form rhs;
 /// `out` holds the previous solution on entry (warm start unless
 /// zero_guess) and the solution on return.  The returned CgResult carries
 /// the SolveStatus the time stepper's recovery policy keys on; on a
-/// NonFinite/Breakdown exit `out` is left untouched.
+/// NonFinite/Breakdown exit `out` is left untouched.  Pass a persistent
+/// `scratch` to make repeated solves allocation-free.
 CgResult helmholtz_solve(const HelmholtzOp& h,
                          const std::vector<double>& bcvals,
                          const std::vector<double>& rhs_weak,
                          std::vector<double>& out,
-                         const HelmholtzSolveOptions& opt, TensorWork& work);
+                         const HelmholtzSolveOptions& opt, TensorWork& work,
+                         HelmholtzSolveScratch* scratch = nullptr);
 
 }  // namespace tsem

@@ -61,45 +61,31 @@ void apply_stiffness_local(const Mesh& m, const double* u, double* w,
   const auto& b = Basis1D::get(m.order);
   const std::size_t nl = m.nlocal();
   const int npe = m.npe;
+  // Each element writes only its own [off, off + npe) block and reads
+  // per-thread arena scratch, so the static schedule is deterministic and
+  // bitwise thread-count independent.
   if (m.dim == 2) {
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel for schedule(static)
 #endif
-    {
-      std::vector<double> priv(3 * static_cast<std::size_t>(npe));
-      double* ur = priv.data();
-      double* us = ur + npe;
-      double* t = us + npe;
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (int e = 0; e < m.nelem; ++e) {
-        const std::size_t off = static_cast<std::size_t>(e) * npe;
-        stiffness_elem_2d(b, m.g.data(), nl, off, npe, u + off, w + off, ur,
-                          us, t);
-      }
+    for (int e = 0; e < m.nelem; ++e) {
+      double* priv = work.get(3 * static_cast<std::size_t>(npe));
+      const std::size_t off = static_cast<std::size_t>(e) * npe;
+      stiffness_elem_2d(b, m.g.data(), nl, off, npe, u + off, w + off, priv,
+                        priv + npe, priv + 2 * static_cast<std::size_t>(npe));
     }
   } else {
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel for schedule(static)
 #endif
-    {
-      std::vector<double> priv(4 * static_cast<std::size_t>(npe));
-      double* ur = priv.data();
-      double* us = ur + npe;
-      double* ut = us + npe;
-      double* t = ut + npe;
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (int e = 0; e < m.nelem; ++e) {
-        const std::size_t off = static_cast<std::size_t>(e) * npe;
-        stiffness_elem_3d(b, m.g.data(), nl, off, npe, u + off, w + off, ur,
-                          us, ut, t);
-      }
+    for (int e = 0; e < m.nelem; ++e) {
+      double* priv = work.get(4 * static_cast<std::size_t>(npe));
+      const std::size_t off = static_cast<std::size_t>(e) * npe;
+      stiffness_elem_3d(b, m.g.data(), nl, off, npe, u + off, w + off, priv,
+                        priv + npe, priv + 2 * static_cast<std::size_t>(npe),
+                        priv + 3 * static_cast<std::size_t>(npe));
     }
   }
-  (void)work;
 }
 
 void apply_helmholtz_local(const Mesh& m, double h1, double h2,
@@ -122,6 +108,9 @@ std::vector<double> stiffness_diagonal_local(const Mesh& m) {
     for (int a = 0; a < n1; ++a) d2[q * n1 + a] = b.d[q * n1 + a] * b.d[q * n1 + a];
 
   if (m.dim == 2) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
     for (int e = 0; e < m.nelem; ++e) {
       const std::size_t off = static_cast<std::size_t>(e) * m.npe;
       const double* grr = m.g.data() + 0 * nl + off;
@@ -139,6 +128,9 @@ std::vector<double> stiffness_diagonal_local(const Mesh& m) {
         }
     }
   } else {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
     for (int e = 0; e < m.nelem; ++e) {
       const std::size_t off = static_cast<std::size_t>(e) * m.npe;
       const double* g0 = m.g.data() + 0 * nl + off;
@@ -171,13 +163,15 @@ void gradient_local(const Mesh& m, const double* u, double* const* grad,
                     TensorWork& work) {
   const auto& b = Basis1D::get(m.order);
   const int n1 = b.npts();
-  const std::size_t nl = m.nlocal();
   const int npe = m.npe;
-  double* buf = work.get(3 * static_cast<std::size_t>(npe));
-  double* ur = buf;
-  double* us = buf + npe;
-  double* ut = buf + 2 * static_cast<std::size_t>(npe);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
   for (int e = 0; e < m.nelem; ++e) {
+    double* buf = work.get(3 * static_cast<std::size_t>(npe));
+    double* ur = buf;
+    double* us = buf + npe;
+    double* ut = buf + 2 * static_cast<std::size_t>(npe);
     const std::size_t off = static_cast<std::size_t>(e) * npe;
     if (m.dim == 2) {
       tensor2_apply_x(b.d.data(), n1, n1, u + off, ur);
@@ -204,19 +198,63 @@ void gradient_local(const Mesh& m, const double* u, double* const* grad,
       }
     }
   }
-  (void)nl;
 }
 
 void convect_local(const Mesh& m, const double* const* vel, const double* u,
                    double* conv, TensorWork& work) {
-  const std::size_t nl = m.nlocal();
-  std::vector<double> gx(nl), gy(nl), gz(m.dim == 3 ? nl : 0);
-  double* grad[3] = {gx.data(), gy.data(), gz.data()};
-  gradient_local(m, u, grad, work);
-  for (std::size_t i = 0; i < nl; ++i) {
-    double s = vel[0][i] * gx[i] + vel[1][i] * gy[i];
-    if (m.dim == 3) s += vel[2][i] * gz[i];
-    conv[i] = s;
+  // Fused gradient + dot product: the reference derivatives stay in the
+  // element-sized thread slab and the chain rule feeds the velocity dot
+  // product directly, instead of materializing dim nlocal-length gradient
+  // fields (3 full-field round trips through memory per call).
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = b.npts();
+  const int npe = m.npe;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int e = 0; e < m.nelem; ++e) {
+    double* buf = work.get(3 * static_cast<std::size_t>(npe));
+    double* ur = buf;
+    double* us = buf + npe;
+    double* ut = buf + 2 * static_cast<std::size_t>(npe);
+    const std::size_t off = static_cast<std::size_t>(e) * npe;
+    if (m.dim == 2) {
+      tensor2_apply_x(b.d.data(), n1, n1, u + off, ur);
+      tensor2_apply_y(b.d.data(), n1, n1, u + off, us);
+      const double* rx = m.metric(0, 0) + off;
+      const double* ry = m.metric(0, 1) + off;
+      const double* sx = m.metric(1, 0) + off;
+      const double* sy = m.metric(1, 1) + off;
+      const double* v0 = vel[0] + off;
+      const double* v1 = vel[1] + off;
+      for (int n = 0; n < npe; ++n) {
+        const double gx = rx[n] * ur[n] + sx[n] * us[n];
+        const double gy = ry[n] * ur[n] + sy[n] * us[n];
+        conv[off + n] = v0[n] * gx + v1[n] * gy;
+      }
+    } else {
+      tensor3_apply_x(b.d.data(), n1, n1, n1, u + off, ur);
+      tensor3_apply_y(b.d.data(), n1, n1, n1, u + off, us);
+      tensor3_apply_z(b.d.data(), n1, n1, n1, u + off, ut);
+      const double* v0 = vel[0] + off;
+      const double* v1 = vel[1] + off;
+      const double* v2 = vel[2] + off;
+      const double* rx = m.metric(0, 0) + off;
+      const double* sx = m.metric(1, 0) + off;
+      const double* tx = m.metric(2, 0) + off;
+      const double* ry = m.metric(0, 1) + off;
+      const double* sy = m.metric(1, 1) + off;
+      const double* ty = m.metric(2, 1) + off;
+      const double* rz = m.metric(0, 2) + off;
+      const double* sz = m.metric(1, 2) + off;
+      const double* tz = m.metric(2, 2) + off;
+      for (int n = 0; n < npe; ++n) {
+        const double gx = rx[n] * ur[n] + sx[n] * us[n] + tx[n] * ut[n];
+        const double gy = ry[n] * ur[n] + sy[n] * us[n] + ty[n] * ut[n];
+        const double gz = rz[n] * ur[n] + sz[n] * us[n] + tz[n] * ut[n];
+        conv[off + n] = v0[n] * gx + v1[n] * gy + v2[n] * gz;
+      }
+    }
   }
 }
 
@@ -227,12 +265,14 @@ void apply_filter_local(const Mesh& m, const std::vector<double>& f,
   TSEM_REQUIRE(static_cast<int>(f.size()) == n1 * n1);
   // One fetch serves both branches: the 3D path needs
   // nz*ny*mx + nz*my*mx = 2*npe of scratch plus npe for the result, the
-  // 2D path npe + npe.  Hoisted out of the element loop — work.get keeps
-  // the same pointer across equal-size calls, so fetching per element
-  // only added a size check per iteration (and the 2D branch previously
-  // fetched a buffer it never used).
-  double* buf = work.get(3 * static_cast<std::size_t>(npe));
+  // 2D path npe + npe.  Fetched inside the loop because each thread needs
+  // its own slab; work.get keeps the pointer stable per thread, so the
+  // per-element cost is an index load and a size check.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
   for (int e = 0; e < m.nelem; ++e) {
+    double* buf = work.get(3 * static_cast<std::size_t>(npe));
     const std::size_t off = static_cast<std::size_t>(e) * npe;
     if (m.dim == 2) {
       tensor2_apply(f.data(), n1, n1, f.data(), n1, n1, u + off, buf + npe,

@@ -203,8 +203,10 @@ void PressureSystem::gradient_t(const double* p, double* const* w) const {
 void PressureSystem::apply_E(const double* p, double* ep) const {
   const Mesh& m = vspace_->mesh();
   const std::size_t nl = m.nlocal();
-  std::vector<double> t0(nl), t1(nl), t2(dim_ == 3 ? nl : 0);
-  double* t[3] = {t0.data(), t1.data(), t2.data()};
+  for (int c = 0; c < dim_; ++c)
+    if (et_[c].size() < nl) et_[c].resize(nl);
+  double* t[3] = {et_[0].data(), et_[1].data(),
+                  dim_ == 3 ? et_[2].data() : nullptr};
   gradient_t(p, t);
   const auto& bmi = vspace_->bm_inv();
   for (int c = 0; c < dim_; ++c) {
@@ -237,12 +239,20 @@ PressureSolveResult solve_pressure(
     const PressureSystem& psys,
     const std::function<void(const double*, double*)>& precond,
     SolutionProjection* proj, const double* g, double* dp,
-    const PressureSolveOptions& opt) {
+    const PressureSolveOptions& opt, PressureSolveScratch* scratch) {
   const obs::ScopedTimer timer("pressure/solve");
   const std::size_t np = psys.nloc();
   PressureSolveResult out;
 
-  std::vector<double> rhs(g, g + np);
+  PressureSolveScratch local;
+  PressureSolveScratch& scr = scratch ? *scratch : local;
+  if (scr.rhs.size() < np) {
+    scr.rhs.resize(np);
+    scr.p0.resize(np);
+    scr.r.resize(np);
+  }
+  std::vector<double>& rhs = scr.rhs;
+  std::copy(g, g + np, rhs.data());
   if (opt.mean_free) psys.remove_mean_plain(rhs.data());
 
   auto applyE = [&](const double* x, double* y) {
@@ -269,12 +279,12 @@ PressureSolveResult solve_pressure(
   };
 
   std::fill(dp, dp + np, 0.0);
-  std::vector<double> p0(np, 0.0);
+  std::vector<double>& p0 = scr.p0;
+  std::fill(p0.begin(), p0.end(), 0.0);
   const bool use_proj = proj != nullptr && !opt.zero_guess;
   if (use_proj) {
-    std::vector<double> r(np);
-    out.res0 = proj->project(rhs.data(), p0.data(), r.data());
-    std::copy(p0.begin(), p0.end(), dp);
+    out.res0 = proj->project(rhs.data(), p0.data(), scr.r.data());
+    std::copy(p0.data(), p0.data() + np, dp);
   }
 
   // Tolerance relative to the FULL rhs norm (not the projection-reduced
@@ -285,7 +295,7 @@ PressureSolveResult solve_pressure(
   CgOptions copt;
   copt.tol = opt.tol * (gnorm > 0.0 ? gnorm : 1.0);
   copt.max_iter = opt.max_iter;
-  out.cg = pcg(np, applyE, prec, pdot, rhs.data(), dp, copt);
+  out.cg = pcg(np, applyE, prec, pdot, rhs.data(), dp, copt, &scr.cg);
   if (!use_proj) out.res0 = out.cg.initial_residual;
 
   if (is_hard_failure(out.cg.status)) {

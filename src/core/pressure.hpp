@@ -88,6 +88,11 @@ class PressureSystem {
   // and their transposes.
   std::vector<double> ig_, dg_, igt_, dgt_;
   mutable TensorWork work_;
+  // apply_E velocity-length temporaries (D^T p before B^{-1} masking),
+  // sized lazily on first use so E applications never allocate in steady
+  // state.  Kept out of work_ because gradient_t/divergence draw element
+  // scratch from that arena while these fields are live.
+  mutable std::vector<double> et_[3];
 };
 
 struct PressureSolveOptions {
@@ -108,17 +113,27 @@ struct PressureSolveResult {
   int precond_count = 0; ///< preconditioner applications
 };
 
+/// Persistent buffers for solve_pressure: the working rhs, the projection
+/// guess and residual, and the CG Krylov vectors.  A caller solving every
+/// time step keeps one alive so steady-state pressure solves never touch
+/// the allocator.
+struct PressureSolveScratch {
+  std::vector<double> rhs, p0, r;
+  CgScratch cg;
+};
+
 /// Projected, preconditioned CG solve of E dp = g.  `precond` computes
 /// z = M^{-1} r (pass nullptr for identity); `proj` is the
 /// successive-RHS projection accelerator (nullptr disables; the basis is
 /// only updated when the solve did not hard-fail, so a poisoned attempt
 /// cannot pollute it).  dp holds the correction on return; on a
 /// NonFinite/Breakdown exit it is left zeroed.  The returned SolveStatus
-/// feeds the time stepper's recovery policy.
+/// feeds the time stepper's recovery policy.  Pass a persistent `scratch`
+/// to make repeated solves allocation-free.
 PressureSolveResult solve_pressure(
     const PressureSystem& psys,
     const std::function<void(const double*, double*)>& precond,
     SolutionProjection* proj, const double* g, double* dp,
-    const PressureSolveOptions& opt);
+    const PressureSolveOptions& opt, PressureSolveScratch* scratch = nullptr);
 
 }  // namespace tsem

@@ -86,7 +86,30 @@ struct NavierStokes::Snapshot {
   std::vector<double> p;
   std::vector<std::vector<double>> th;
   std::vector<std::array<std::vector<double>, 3>> th_hist;
+  // Projection basis image.  The outer arrays only ever grow (the live
+  // basis cycles 0 -> lmax -> restart); proj_size says how many leading
+  // entries are valid, so the save path is pure copy-assign into retained
+  // buffers — no allocator traffic as the basis shrinks and regrows.
   std::vector<std::vector<double>> proj_q, proj_w;
+  std::size_t proj_size = 0;
+};
+
+/// Everything a step attempt needs that is sized by the discretization:
+/// the entering-state copies, rhs accumulators, OIFS/RK4 stage buffers,
+/// weak-form and pressure temporaries, and the per-solver scratch
+/// (Helmholtz lift + CG, pressure projection + CG).  One instance lives
+/// for the integrator's lifetime; ensure_scratch sizes it once.
+struct NavierStokes::StepScratch {
+  std::array<std::vector<double>, 3> un1, gp, gd, f;
+  std::vector<std::vector<double>> thn1, rhs, adv;
+  std::vector<std::vector<double>*> fptr;
+  std::vector<const double*> fmask;
+  std::vector<double> weak, g, dp;
+  // oifs_advect: interpolated advecting velocity and RK4 stages.
+  std::array<std::vector<double>, 3> vbuf;
+  std::vector<std::vector<double>> k1, k2, k3, k4, wtmp;
+  HelmholtzSolveScratch helm;
+  PressureSolveScratch pres;
 };
 
 NavierStokes::NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
@@ -205,12 +228,12 @@ double NavierStokes::cfl_rate() const {
 double NavierStokes::current_cfl() const { return cfl_rate() * opt_.dt; }
 
 double NavierStokes::divergence_norm() const {
-  std::vector<double> dp(psys_->nloc());
+  if (divscr_.size() < psys_->nloc()) divscr_.resize(psys_->nloc());
   const double* uu[3] = {u_[0].data(), u_[1].data(),
                          dim_ == 3 ? u_[2].data() : nullptr};
-  psys_->divergence(uu, dp.data());
+  psys_->divergence(uu, divscr_.data());
   double s = 0.0;
-  for (double v : dp) s += v * v;
+  for (std::size_t i = 0; i < psys_->nloc(); ++i) s += divscr_[i] * divscr_[i];
   return std::sqrt(s);
 }
 
@@ -244,8 +267,7 @@ void NavierStokes::oifs_advect(
   // known level; the integration runs from -(q-1)*dt ... wait, the field
   // being advected starts at t^{n-q} = -(q-1)*dt relative to t^{n-1} and
   // ends at t^n = +dt.
-  std::array<std::vector<double>, 3> vbuf;
-  for (int c = 0; c < dim_; ++c) vbuf[c].resize(nl_);
+  std::array<std::vector<double>, 3>& vbuf = scr_->vbuf;
   auto velocity_at = [&](double s) {
     for (int c = 0; c < dim_; ++c) {
       if (order >= 3 && nsteps_ >= 2) {
@@ -269,14 +291,14 @@ void NavierStokes::oifs_advect(
   };
 
   const int nf = static_cast<int>(fields.size());
-  std::vector<std::vector<double>> k1(nf), k2(nf), k3(nf), k4(nf), wtmp(nf);
-  for (int f = 0; f < nf; ++f) {
-    k1[f].resize(nl_);
-    k2[f].resize(nl_);
-    k3[f].resize(nl_);
-    k4[f].resize(nl_);
-    wtmp[f].resize(nl_);
-  }
+  // RK4 stage buffers from the persistent scratch (sized by
+  // ensure_scratch before any attempt reaches this point).
+  std::vector<std::vector<double>>& k1 = scr_->k1;
+  std::vector<std::vector<double>>& k2 = scr_->k2;
+  std::vector<std::vector<double>>& k3 = scr_->k3;
+  std::vector<std::vector<double>>& k4 = scr_->k4;
+  std::vector<std::vector<double>>& wtmp = scr_->wtmp;
+  TSEM_ASSERT(static_cast<int>(k1.size()) >= nf);
 
   const double* vel[3] = {vbuf[0].data(), vbuf[1].data(),
                           dim_ == 3 ? vbuf[2].data() : nullptr};
@@ -343,6 +365,44 @@ void NavierStokes::apply_velocity_filter() {
                   m.nelem;
 }
 
+void NavierStokes::ensure_scratch() {
+  if (!scr_) scr_ = std::make_unique<StepScratch>();
+  StepScratch& s = *scr_;
+  const std::size_t nsc = scalars_.size();
+  const int nf = dim_ + static_cast<int>(nsc);
+  const std::size_t np = psys_->nloc();
+  for (int c = 0; c < dim_; ++c) {
+    s.un1[c].resize(nl_);
+    s.gp[c].resize(nl_);
+    s.gd[c].resize(nl_);
+    s.f[c].resize(nl_);
+    s.vbuf[c].resize(nl_);
+  }
+  s.thn1.resize(nsc);
+  for (auto& v : s.thn1) v.resize(nl_);
+  s.rhs.resize(nf);
+  s.adv.resize(nf);
+  s.k1.resize(nf);
+  s.k2.resize(nf);
+  s.k3.resize(nf);
+  s.k4.resize(nf);
+  s.wtmp.resize(nf);
+  for (int f = 0; f < nf; ++f) {
+    s.rhs[f].resize(nl_);
+    s.adv[f].resize(nl_);
+    s.k1[f].resize(nl_);
+    s.k2[f].resize(nl_);
+    s.k3[f].resize(nl_);
+    s.k4[f].resize(nl_);
+    s.wtmp[f].resize(nl_);
+  }
+  s.fptr.resize(nf);
+  s.fmask.resize(nf);
+  s.weak.resize(nl_);
+  s.g.resize(np);
+  s.dp.resize(np);
+}
+
 bool NavierStokes::solve_failed(SolveStatus s) const {
   return is_hard_failure(s) ||
          (opt_.resilience.maxiter_is_failure && s == SolveStatus::MaxIter);
@@ -360,8 +420,17 @@ void NavierStokes::save_snapshot(Snapshot& s) const {
     s.th_hist[sc] = scalars_[sc]->hist;
   }
   if (proj_) {
-    s.proj_q = proj_->basis_q();
-    s.proj_w = proj_->basis_w();
+    const auto& bq = proj_->basis_q();
+    const auto& bw = proj_->basis_w();
+    s.proj_size = bq.size();
+    if (s.proj_q.size() < bq.size()) {
+      s.proj_q.resize(bq.size());
+      s.proj_w.resize(bq.size());
+    }
+    for (std::size_t i = 0; i < bq.size(); ++i) {
+      s.proj_q[i] = bq[i];
+      s.proj_w[i] = bw[i];
+    }
   }
 }
 
@@ -374,7 +443,16 @@ void NavierStokes::restore_snapshot(const Snapshot& s) {
     scalars_[sc]->th = s.th[sc];
     scalars_[sc]->hist = s.th_hist[sc];
   }
-  if (proj_) proj_->restore_basis(s.proj_q, s.proj_w);
+  if (proj_) {
+    // Only the leading proj_size entries are live (the outer arrays are
+    // retained at high-water size); restore_basis wants exact-size
+    // parallel arrays.  This copies — fine, rollback is the rare path.
+    std::vector<std::vector<double>> q(s.proj_q.begin(),
+                                       s.proj_q.begin() + s.proj_size);
+    std::vector<std::vector<double>> w(s.proj_w.begin(),
+                                       s.proj_w.begin() + s.proj_size);
+    proj_->restore_basis(std::move(q), std::move(w));
+  }
 }
 
 bool NavierStokes::attempt_step(double dt, int order,
@@ -384,6 +462,8 @@ bool NavierStokes::attempt_step(double dt, int order,
   const int this_step = nsteps_ + 1;
   double beta0, cq[3];
   compute_bdf_coeffs(order, &beta0, cq);
+  ensure_scratch();
+  StepScratch& scr = *scr_;
 
   if (!bc_frozen_) {
     for (int c = 0; c < dim_; ++c) {
@@ -403,24 +483,27 @@ bool NavierStokes::attempt_step(double dt, int order,
           ? opt_.oifs_substeps
           : std::max(1, static_cast<int>(std::ceil(stats.cfl / 0.5)));
 
-  // Snapshot of the entering state (u^{n-1} etc.).
-  std::array<std::vector<double>, 3> un1;
-  std::vector<std::vector<double>> thn1(scalars_.size());
+  // Snapshot of the entering state (u^{n-1} etc.).  All field-length
+  // temporaries below are copy-assigns into the persistent StepScratch
+  // buffers, which reuse their capacity — the attempt allocates nothing
+  // once the scratch is at full size.
+  std::array<std::vector<double>, 3>& un1 = scr.un1;
+  std::vector<std::vector<double>>& thn1 = scr.thn1;
   for (int c = 0; c < dim_; ++c) un1[c] = u_[c];
   for (std::size_t sc = 0; sc < scalars_.size(); ++sc)
     thn1[sc] = scalars_[sc]->th;
 
   // ---- convective contribution -> weak rhs accumulators ----
   const int nf = dim_ + static_cast<int>(scalars_.size());
-  std::vector<std::vector<double>> rhs(nf);
-  for (auto& r : rhs) r.assign(nl_, 0.0);
+  std::vector<std::vector<double>>& rhs = scr.rhs;
+  for (int f = 0; f < nf; ++f) rhs[f].assign(nl_, 0.0);
 
   if (opt_.convection == NsOptions::Convection::Oifs) {
     for (int q = 1; q <= order; ++q) {
       // Fields at t^{n-q}: copies that get advected to t^n.
-      std::vector<std::vector<double>> adv(nf);
-      std::vector<std::vector<double>*> fptr(nf);
-      std::vector<const double*> fmask(nf);
+      std::vector<std::vector<double>>& adv = scr.adv;
+      std::vector<std::vector<double>*>& fptr = scr.fptr;
+      std::vector<const double*>& fmask = scr.fmask;
       for (int c = 0; c < dim_; ++c) {
         adv[c] = (q == 1) ? un1[c] : uh_[q - 2][c];
         fptr[c] = &adv[c];
@@ -483,15 +566,14 @@ bool NavierStokes::attempt_step(double dt, int order,
 
   // ---- forcing ----
   if (forcing_) {
-    std::vector<std::vector<double>> f(dim_);
     std::array<double*, 3> fp = {nullptr, nullptr, nullptr};
     for (int c = 0; c < dim_; ++c) {
-      f[c].assign(nl_, 0.0);
-      fp[c] = f[c].data();
+      scr.f[c].assign(nl_, 0.0);
+      fp[c] = scr.f[c].data();
     }
     forcing_(*this, time_ + dt, fp);
     for (int c = 0; c < dim_; ++c)
-      for (std::size_t i = 0; i < nl_; ++i) rhs[c][i] += f[c][i];
+      for (std::size_t i = 0; i < nl_; ++i) rhs[c][i] += scr.f[c][i];
   }
 
   // ---- Helmholtz solves for u* ----
@@ -506,7 +588,7 @@ bool NavierStokes::attempt_step(double dt, int order,
   hopt.zero_guess = pol.zero_guess;
   // Weak rhs: B * rhs + D^T p (lagged pressure gradient).
   {
-    std::array<std::vector<double>, 3> gp;
+    std::array<std::vector<double>, 3>& gp = scr.gp;
     double* gpp[3] = {nullptr, nullptr, nullptr};
     for (int c = 0; c < dim_; ++c) {
       gp[c].assign(nl_, 0.0);
@@ -515,13 +597,14 @@ bool NavierStokes::attempt_step(double dt, int order,
     psys_->gradient_t(p_.data(), gpp);
     flops_total_ += e_apply_flops(*psys_) / 2.0;
     for (int c = 0; c < dim_; ++c) {
-      std::vector<double> weak(nl_);
+      std::vector<double>& weak = scr.weak;
       for (std::size_t i = 0; i < nl_; ++i)
         weak[i] = m.bm[i] * rhs[c][i] + gp[c][i];
       if (fault_hook_)
         fault_hook_(FaultSite::HelmholtzRhs, this_step, attempt, c,
                     weak.data(), nl_);
-      auto res = helmholtz_solve(*hop_, ubc_[c], weak, u_[c], hopt, work_);
+      auto res = helmholtz_solve(*hop_, ubc_[c], weak, u_[c], hopt, work_,
+                                 &scr.helm);
       stats.helmholtz_iters[c] = res.iterations;
       stats.helmholtz_status[c] = res.status;
       flops_total_ += res.iterations *
@@ -539,10 +622,11 @@ bool NavierStokes::attempt_step(double dt, int order,
                                              sd.mask);
       sd.hop_h2 = h2;
     }
-    std::vector<double> weak(nl_);
+    std::vector<double>& weak = scr.weak;
     for (std::size_t i = 0; i < nl_; ++i)
       weak[i] = m.bm[i] * rhs[dim_ + sc][i];
-    auto res = helmholtz_solve(*sd.hop, sd.thbc, weak, sd.th, hopt, work_);
+    auto res = helmholtz_solve(*sd.hop, sd.thbc, weak, sd.th, hopt, work_,
+                               &scr.helm);
     flops_total_ += res.iterations *
                     (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
     if (solve_failed(res.status)) {
@@ -557,7 +641,9 @@ bool NavierStokes::attempt_step(double dt, int order,
   // ---- pressure correction ----
   {
     const std::size_t np = psys_->nloc();
-    std::vector<double> g(np), dp(np, 0.0);
+    std::vector<double>& g = scr.g;
+    std::vector<double>& dp = scr.dp;
+    std::fill(dp.begin(), dp.end(), 0.0);
     const double* uu[3] = {u_[0].data(), u_[1].data(),
                            dim_ == 3 ? u_[2].data() : nullptr};
     psys_->divergence(uu, g.data());
@@ -586,7 +672,7 @@ bool NavierStokes::attempt_step(double dt, int order,
       };
     }
     auto res = solve_pressure(*psys_, precond, proj_.get(), g.data(),
-                              dp.data(), popt);
+                              dp.data(), popt, &scr.pres);
     stats.pressure_iters = res.cg.iterations;
     stats.pressure_status = res.cg.status;
     stats.pressure_res0 = res.res0;
@@ -598,7 +684,7 @@ bool NavierStokes::attempt_step(double dt, int order,
     if (solve_failed(res.cg.status)) return false;
 
     // Velocity correction and pressure update.
-    std::array<std::vector<double>, 3> gd;
+    std::array<std::vector<double>, 3>& gd = scr.gd;
     double* gdp[3] = {nullptr, nullptr, nullptr};
     for (int c = 0; c < dim_; ++c) {
       gd[c].assign(nl_, 0.0);
@@ -666,8 +752,12 @@ StepStats NavierStokes::step() {
   double dt = opt_.dt;
   int halvings = 0;
 
-  Snapshot snap;
-  if (rz.enabled) save_snapshot(snap);
+  if (rz.enabled) {
+    // Persistent rollback image: the copy-assigns inside save_snapshot
+    // reuse the buffers captured on previous steps.
+    if (!snap_) snap_ = std::make_unique<Snapshot>();
+    save_snapshot(*snap_);
+  }
 
   // CFL watchdog: reject a hopeless step before spending solver work.
   if (rz.enabled && rz.cfl_limit > 0.0) {
@@ -693,7 +783,7 @@ StepStats NavierStokes::step() {
       break;
     }
     if (!rz.enabled) break;  // statuses recorded; legacy no-retry behavior
-    restore_snapshot(snap);
+    restore_snapshot(*snap_);
     if (!pol.zero_guess) {
       // Rung 1: a poisoned warm start (previous solution / projection
       // basis) is the most common contaminant.

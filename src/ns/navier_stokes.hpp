@@ -204,6 +204,7 @@ class NavierStokes {
  private:
   struct ScalarData;
   struct Snapshot;
+  struct StepScratch;
   /// Per-attempt solve policy chosen by the escalation ladder.
   struct AttemptPolicy {
     bool zero_guess = false;   ///< rung 1: cold-start every solve
@@ -228,6 +229,11 @@ class NavierStokes {
   void apply_velocity_filter();
   void save_snapshot(Snapshot& s) const;
   void restore_snapshot(const Snapshot& s);
+  /// Size the persistent step scratch (StepScratch, snapshot, solver
+  /// buffers) for the current field/scalar layout.  Called at the top of
+  /// every attempt; a no-op once everything is at full size, so steps are
+  /// allocation-free in steady state.
+  void ensure_scratch();
 
   const Space* space_;
   NsOptions opt_;
@@ -262,6 +268,12 @@ class NavierStokes {
   FaultHook fault_hook_;
   std::vector<double> fmat_;  // cached 1D filter matrix
   mutable TensorWork work_;
+  // Persistent per-step buffers (see ensure_scratch): field-length
+  // temporaries, solver Krylov spaces, and the resilience rollback image
+  // all live here so the steady-state step path never allocates.
+  std::unique_ptr<StepScratch> scr_;
+  std::unique_ptr<Snapshot> snap_;
+  mutable std::vector<double> divscr_;  // divergence_norm work
   double flops_total_ = 0.0;
 };
 

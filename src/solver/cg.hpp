@@ -68,20 +68,43 @@ struct CgResult {
   std::vector<double> history;  ///< residual norm per iteration if recorded
 };
 
+/// Reusable Krylov vectors for pcg.  A caller that solves the same-sized
+/// system every time step keeps one of these alive so the four
+/// field-length work vectors are allocated once, not per solve.
+struct CgScratch {
+  std::vector<double> r, z, p, ap;
+  void ensure(std::size_t n) {
+    if (r.size() < n) {
+      r.resize(n);
+      z.resize(n);
+      p.resize(n);
+      ap.resize(n);
+    }
+  }
+};
+
 /// Solve A x = b.  `apply(p, ap)` computes ap = A p; `precond(r, z)`
 /// computes z = M^{-1} r (may alias-copy for identity); `dot(u, v)` is the
 /// inner product in which A is self-adjoint.  x holds the initial guess on
-/// entry and the solution on return.
+/// entry and the solution on return.  Pass a persistent `scratch` to make
+/// repeated solves allocation-free (nullptr allocates locally).
 template <class Apply, class Precond, class Dot>
 CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
-             const double* b, double* x, const CgOptions& opt = {}) {
-  std::vector<double> r(n), z(n), p(n), ap(n);
+             const double* b, double* x, const CgOptions& opt = {},
+             CgScratch* scratch = nullptr) {
+  CgScratch local;
+  CgScratch& work = scratch ? *scratch : local;
+  work.ensure(n);
+  double* const r = work.r.data();
+  double* const z = work.z.data();
+  double* const p = work.p.data();
+  double* const ap = work.ap.data();
 
-  apply(x, ap.data());
+  apply(x, ap);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
 
   CgResult res;
-  double rnorm = std::sqrt(dot(r.data(), r.data()));
+  double rnorm = std::sqrt(dot(r, r));
   res.initial_residual = rnorm;
   // Invariant on EVERY exit path: with record_history on,
   // history.size() == iterations + 1 (entry 0 is the initial residual).
@@ -103,17 +126,17 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
     return res;
   }
 
-  precond(r.data(), z.data());
+  precond(r, z);
   for (std::size_t i = 0; i < n; ++i) p[i] = z[i];
-  double rz = dot(r.data(), z.data());
+  double rz = dot(r, z);
 
   double best = rnorm;
   double last_finite = rnorm;
   int best_it = 0;
   res.status = SolveStatus::MaxIter;
   for (int it = 1; it <= opt.max_iter; ++it) {
-    apply(p.data(), ap.data());
-    const double pap = dot(p.data(), ap.data());
+    apply(p, ap);
+    const double pap = dot(p, ap);
     if (!(pap > 0.0)) {
       // Loss of positive definiteness — or a NaN that poisons every
       // comparison.  The two demand different responses upstream
@@ -127,7 +150,7 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
       x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
     }
-    rnorm = std::sqrt(dot(r.data(), r.data()));
+    rnorm = std::sqrt(dot(r, r));
     res.iterations = it;
     if (opt.record_history) res.history.push_back(rnorm);
     if (!std::isfinite(rnorm)) {
@@ -147,8 +170,8 @@ CgResult pcg(std::size_t n, Apply&& apply, Precond&& precond, Dot&& dot,
       res.status = SolveStatus::Stalled;
       break;  // stagnated at the attainable floor
     }
-    precond(r.data(), z.data());
-    const double rz_new = dot(r.data(), z.data());
+    precond(r, z);
+    const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];

@@ -10,6 +10,27 @@ namespace tsem {
 SolutionProjection::SolutionProjection(std::size_t n, int lmax)
     : n_(n), lmax_(lmax) {
   TSEM_REQUIRE(lmax >= 1);
+  // Outer arrays never exceed these bounds, so reserving once keeps
+  // push_back / clear from ever reallocating the vector-of-vectors.
+  q_.reserve(lmax_);
+  w_.reserve(lmax_);
+  pool_.reserve(2 * static_cast<std::size_t>(lmax_));
+}
+
+void SolutionProjection::clear() {
+  for (auto& v : q_) pool_.push_back(std::move(v));
+  for (auto& v : w_) pool_.push_back(std::move(v));
+  q_.clear();
+  w_.clear();
+}
+
+std::vector<double> SolutionProjection::take() {
+  if (!pool_.empty()) {
+    std::vector<double> v = std::move(pool_.back());
+    pool_.pop_back();
+    return v;
+  }
+  return std::vector<double>(n_);
 }
 
 double SolutionProjection::project(const double* g, double* p0,
@@ -24,21 +45,24 @@ double SolutionProjection::project(const double* g, double* p0,
   return norm2(r, n_);
 }
 
-void SolutionProjection::push(std::vector<double> q, std::vector<double> w) {
-  // Two-pass Gram-Schmidt in the E inner product for numerical stability.
+void SolutionProjection::push_current() {
+  // Two-pass Gram-Schmidt in the E inner product for numerical stability,
+  // done in place on the delta_/image_ candidates.
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t i = 0; i < q_.size(); ++i) {
-      const double c = dot(w_[i].data(), q.data(), n_);
-      axpy(-c, q_[i].data(), q.data(), n_);
-      axpy(-c, w_[i].data(), w.data(), n_);
+      const double c = dot(w_[i].data(), delta_.data(), n_);
+      axpy(-c, q_[i].data(), delta_.data(), n_);
+      axpy(-c, w_[i].data(), image_.data(), n_);
     }
   }
-  const double nrm2 = dot(q.data(), w.data(), n_);
+  const double nrm2 = dot(delta_.data(), image_.data(), n_);
   if (!(nrm2 > 1e-28)) return;  // linearly dependent; drop
   const double inv = 1.0 / std::sqrt(nrm2);
+  std::vector<double> q = take();
+  std::vector<double> w = take();
   for (std::size_t k = 0; k < n_; ++k) {
-    q[k] *= inv;
-    w[k] *= inv;
+    q[k] = delta_[k] * inv;
+    w[k] = image_[k] * inv;
   }
   q_.push_back(std::move(q));
   w_.push_back(std::move(w));
@@ -53,23 +77,31 @@ void SolutionProjection::restore_basis(std::vector<std::vector<double>> q,
   }
   for (std::size_t i = 0; i < q.size(); ++i)
     TSEM_REQUIRE(q[i].size() == n_ && w[i].size() == n_);
+  clear();  // recycle the old basis buffers before adopting the new ones
   q_ = std::move(q);
   w_ = std::move(w);
+  // The move-assign discarded the ctor's reservation; restore it so the
+  // steady-state push_back path stays reallocation-free (rare path, the
+  // one-time cost here is fine).
+  q_.reserve(lmax_);
+  w_.reserve(lmax_);
 }
 
 void SolutionProjection::update(const double* p, const double* p0,
                                 const Apply& apply) {
-  std::vector<double> delta(n_);
-  for (std::size_t k = 0; k < n_; ++k) delta[k] = p[k] - p0[k];
-  std::vector<double> image(n_);
+  if (delta_.size() < n_) {
+    delta_.resize(n_);
+    image_.resize(n_);
+  }
+  for (std::size_t k = 0; k < n_; ++k) delta_[k] = p[k] - p0[k];
 
   if (static_cast<int>(q_.size()) >= lmax_) {
     // Window full: restart the basis from the current full solution.
     clear();
-    std::copy(p, p + n_, delta.data());
+    std::copy(p, p + n_, delta_.data());
   }
-  apply(delta.data(), image.data());
-  push(std::move(delta), std::move(image));
+  apply(delta_.data(), image_.data());
+  push_current();
 }
 
 }  // namespace tsem

@@ -32,10 +32,10 @@ class SolutionProjection {
 
   [[nodiscard]] int size() const { return static_cast<int>(q_.size()); }
   [[nodiscard]] int capacity() const { return lmax_; }
-  void clear() {
-    q_.clear();
-    w_.clear();
-  }
+  /// Drop the basis.  The freed buffers are recycled into an internal
+  /// pool, so the clear/regrow cycle at each window restart does not
+  /// return to the allocator in steady state.
+  void clear();
 
   /// Read access to the stored basis and its images (checkpointing and
   /// snapshot rollback in the resilience layer).
@@ -52,12 +52,19 @@ class SolutionProjection {
                      std::vector<std::vector<double>> w);
 
  private:
-  void push(std::vector<double> q, std::vector<double> w);
+  /// Orthonormalize the candidate held in delta_/image_ against the basis
+  /// and append it (via pooled buffers); drops it if linearly dependent.
+  void push_current();
+  /// Draw a length-n buffer from the recycle pool (allocates only when
+  /// the pool is dry — i.e. until the basis has been full once).
+  std::vector<double> take();
 
   std::size_t n_;
   int lmax_;
   std::vector<std::vector<double>> q_;  // E-orthonormal solutions
   std::vector<std::vector<double>> w_;  // images E q_i
+  std::vector<std::vector<double>> pool_;  // retired basis buffers
+  std::vector<double> delta_, image_;      // update() candidates
 };
 
 }  // namespace tsem

@@ -62,9 +62,6 @@ SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
     ghosts_ = std::make_unique<GhostExchange>(psys, opt_.overlap);
   build_local_grids();
   if (opt_.use_coarse) build_coarse();
-  rloc_.resize(nle_);
-  zloc_.resize(nle_);
-  lwork_.resize(3 * nle_);
   if (ghosts_) {
     ghost_.resize(static_cast<std::size_t>(opt_.overlap) * ghosts_->nslots());
     vout_.resize(ghost_.size());
@@ -164,22 +161,30 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
   const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
 
   // Local overlapping-subdomain solves (nested label:
-  // time/schwarz/apply/local).
+  // time/schwarz/apply/local).  Each element writes disjoint z / vout_
+  // slots and solves out of its thread's arena slab, so the loop runs
+  // under a deterministic static schedule.
   obs::ScopedTimer timer_local("local");
   obs::count("schwarz/local_solves", m.nelem);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
   for (int e = 0; e < m.nelem; ++e) {
+    double* rloc = lscratch_.get(5 * nle_);
+    double* zloc = rloc + nle_;
+    double* lwork = zloc + nle_;  // 3 * nle_ FDM workspace
     const std::size_t poff = static_cast<std::size_t>(e) * npe;
-    std::fill(rloc_.begin(), rloc_.end(), 0.0);
+    std::fill(rloc, rloc + nle_, 0.0);
     // Own dofs.
     if (dim_ == 2) {
       for (int j = 0; j < ng1_; ++j)
         for (int i = 0; i < ng1_; ++i)
-          rloc_[(j + ov) * m1_ + (i + ov)] = r[poff + j * ng1_ + i];
+          rloc[(j + ov) * m1_ + (i + ov)] = r[poff + j * ng1_ + i];
     } else {
       for (int k = 0; k < ng1_; ++k)
         for (int j = 0; j < ng1_; ++j)
           for (int i = 0; i < ng1_; ++i)
-            rloc_[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)] =
+            rloc[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)] =
                 r[poff + (k * ng1_ + j) * ng1_ + i];
     }
     // Ghost strips.
@@ -196,14 +201,14 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
             idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
             if (dim_ == 2) {
               idx[1 - axis] = ov + t;
-              rloc_[idx[1] * m1_ + idx[0]] = gv;
+              rloc[idx[1] * m1_ + idx[0]] = gv;
             } else {
               int taxes[2], ti = 0;
               for (int d = 0; d < 3; ++d)
                 if (d != axis) taxes[ti++] = d;
               idx[taxes[0]] = ov + t % ng1_;
               idx[taxes[1]] = ov + t / ng1_;
-              rloc_[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]] = gv;
+              rloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]] = gv;
             }
           }
         }
@@ -211,22 +216,22 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
     }
     // Local solve.
     if (opt_.local == SchwarzOptions::Local::Fdm) {
-      fdm_[e].solve(rloc_.data(), zloc_.data(), lwork_.data());
+      fdm_[e].solve(rloc, zloc, lwork);
     } else {
-      std::copy(rloc_.begin(), rloc_.end(), zloc_.begin());
-      cholesky_solve(fem_[e].data(), static_cast<int>(nle_), zloc_.data());
+      std::copy(rloc, rloc + nle_, zloc);
+      cholesky_solve(fem_[e].data(), static_cast<int>(nle_), zloc);
     }
     // Scatter own part.
     if (dim_ == 2) {
       for (int j = 0; j < ng1_; ++j)
         for (int i = 0; i < ng1_; ++i)
-          z[poff + j * ng1_ + i] += zloc_[(j + ov) * m1_ + (i + ov)];
+          z[poff + j * ng1_ + i] += zloc[(j + ov) * m1_ + (i + ov)];
     } else {
       for (int k = 0; k < ng1_; ++k)
         for (int j = 0; j < ng1_; ++j)
           for (int i = 0; i < ng1_; ++i)
             z[poff + (k * ng1_ + j) * ng1_ + i] +=
-                zloc_[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)];
+                zloc[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)];
     }
     // Ghost parts routed back to the neighbors.
     if (ghosts_) {
@@ -241,14 +246,14 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
             double v;
             if (dim_ == 2) {
               idx[1 - axis] = ov + t;
-              v = zloc_[idx[1] * m1_ + idx[0]];
+              v = zloc[idx[1] * m1_ + idx[0]];
             } else {
               int taxes[2], ti = 0;
               for (int d = 0; d < 3; ++d)
                 if (d != axis) taxes[ti++] = d;
               idx[taxes[0]] = ov + t % ng1_;
               idx[taxes[1]] = ov + t / ng1_;
-              v = zloc_[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
+              v = zloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
             }
             vout_[static_cast<std::size_t>(l) * nslots + slot] = v;
           }

@@ -79,7 +79,10 @@ class SchwarzPrecond {
   std::vector<double> r0w_;  // (2^dim x npe) bilinear weights at Gauss pts
   mutable std::vector<double> cb_, cx_;
 
-  mutable std::vector<double> ghost_, vout_, rloc_, zloc_, lwork_;
+  mutable std::vector<double> ghost_, vout_;
+  /// Per-thread rloc/zloc/FDM-work slabs (5 * nle_ doubles per thread)
+  /// for the OpenMP-parallel local-solve loop in apply().
+  mutable Workspace lscratch_;
   mutable long nonfinite_applies_ = 0;
 };
 

@@ -263,7 +263,8 @@ void XxtSolver::solve(const double* b, double* out) const {
     obs::count("xxt/msg_words", 2 * total_msg_);
     obs::count("xxt/flops", 4 * nnz_);
   }
-  std::vector<double> z(n_);
+  if (zscratch_.size() < static_cast<std::size_t>(n_)) zscratch_.resize(n_);
+  double* const z = zscratch_.data();
   for (int k = 0; k < n_; ++k) {
     double s = 0.0;
     for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p)

@@ -74,6 +74,9 @@ class XxtSolver {
   std::vector<std::int64_t> level_msg_;
   std::int64_t max_leaf_nnz_ = 0;
   std::int64_t total_msg_ = 0;
+  // Fan-in coefficients z = X^T b, sized once in the ctor so the per-step
+  // coarse solves inside the Schwarz preconditioner never allocate.
+  mutable std::vector<double> zscratch_;
 };
 
 }  // namespace tsem

@@ -1,5 +1,7 @@
 #include "tensor/mxm.hpp"
 
+#include <utility>
+
 namespace tsem {
 namespace {
 
@@ -8,30 +10,58 @@ namespace {
 // compiler fully unrolls it and keeps the dot-product accumulator in
 // registers.
 template <int K2>
-void f2_impl(const double* a, int m, const double* b, double* c, int n) {
-  // n3 (columns of C) controls the outer loop.
-  for (int j = 0; j < n; ++j) {
-    for (int i = 0; i < m; ++i) {
-      const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
-      double s = 0.0;
-      for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
-      c[i * n + j] = s;
+struct F2Impl {
+  static void run(const double* a, int m, const double* b, double* c,
+                  int n) {
+    // n3 (columns of C) controls the outer loop.
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
+        double s = 0.0;
+        for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
+        c[i * n + j] = s;
+      }
     }
   }
-}
+};
 
 template <int K2>
-void f3_impl(const double* a, int m, const double* b, double* c, int n) {
-  // n1 (rows of C) controls the outer loop.
-  for (int i = 0; i < m; ++i) {
-    const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
-    double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      double s = 0.0;
-      for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
-      ci[j] = s;
+struct F3Impl {
+  static void run(const double* a, int m, const double* b, double* c,
+                  int n) {
+    // n1 (rows of C) controls the outer loop.
+    for (int i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::ptrdiff_t>(i) * K2;
+      double* ci = c + static_cast<std::ptrdiff_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (int l = 0; l < K2; ++l) s += ai[l] * b[l * n + j];
+        ci[j] = s;
+      }
     }
   }
+};
+
+// Unrolled contraction extents 1..kMaxUnrollK, instantiated once for both
+// loop orders (this replaces a 24-case switch macro duplicated per
+// variant).  The short-circuiting fold runs the matching specialization
+// and reports whether one was found.
+constexpr int kMaxUnrollK = 24;
+
+template <template <int> class Impl, int... Ks>
+bool run_unrolled(std::integer_sequence<int, Ks...>, const double* a, int m,
+                  const double* b, int k, double* c, int n) {
+  return (((k == Ks + 1) ? (Impl<Ks + 1>::run(a, m, b, c, n), true)
+                         : false) ||
+          ...);
+}
+
+template <template <int> class Impl>
+void dispatch_by_k(const double* a, int m, const double* b, int k, double* c,
+                   int n) {
+  if (!run_unrolled<Impl>(std::make_integer_sequence<int, kMaxUnrollK>{}, a,
+                          m, b, k, c, n))
+    mxm_generic(a, m, b, k, c, n);
 }
 
 }  // namespace
@@ -71,47 +101,15 @@ void mxm_blocked(const double* a, int m, const double* b, int k, double* c,
   }
 }
 
-#define TSEM_MXM_DISPATCH(IMPL)                                      \
-  switch (k) {                                                       \
-    case 1:  IMPL<1>(a, m, b, c, n);  return;                        \
-    case 2:  IMPL<2>(a, m, b, c, n);  return;                        \
-    case 3:  IMPL<3>(a, m, b, c, n);  return;                        \
-    case 4:  IMPL<4>(a, m, b, c, n);  return;                        \
-    case 5:  IMPL<5>(a, m, b, c, n);  return;                        \
-    case 6:  IMPL<6>(a, m, b, c, n);  return;                        \
-    case 7:  IMPL<7>(a, m, b, c, n);  return;                        \
-    case 8:  IMPL<8>(a, m, b, c, n);  return;                        \
-    case 9:  IMPL<9>(a, m, b, c, n);  return;                        \
-    case 10: IMPL<10>(a, m, b, c, n); return;                        \
-    case 11: IMPL<11>(a, m, b, c, n); return;                        \
-    case 12: IMPL<12>(a, m, b, c, n); return;                        \
-    case 13: IMPL<13>(a, m, b, c, n); return;                        \
-    case 14: IMPL<14>(a, m, b, c, n); return;                        \
-    case 15: IMPL<15>(a, m, b, c, n); return;                        \
-    case 16: IMPL<16>(a, m, b, c, n); return;                        \
-    case 17: IMPL<17>(a, m, b, c, n); return;                        \
-    case 18: IMPL<18>(a, m, b, c, n); return;                        \
-    case 19: IMPL<19>(a, m, b, c, n); return;                        \
-    case 20: IMPL<20>(a, m, b, c, n); return;                        \
-    case 21: IMPL<21>(a, m, b, c, n); return;                        \
-    case 22: IMPL<22>(a, m, b, c, n); return;                        \
-    case 23: IMPL<23>(a, m, b, c, n); return;                        \
-    case 24: IMPL<24>(a, m, b, c, n); return;                        \
-    default: break;                                                  \
-  }                                                                  \
-  mxm_generic(a, m, b, k, c, n)
-
 void mxm_f2(const double* a, int m, const double* b, int k, double* c,
             int n) {
-  TSEM_MXM_DISPATCH(f2_impl);
+  dispatch_by_k<F2Impl>(a, m, b, k, c, n);
 }
 
 void mxm_f3(const double* a, int m, const double* b, int k, double* c,
             int n) {
-  TSEM_MXM_DISPATCH(f3_impl);
+  dispatch_by_k<F3Impl>(a, m, b, k, c, n);
 }
-
-#undef TSEM_MXM_DISPATCH
 
 void mxm_bt(const double* a, int m, const double* b, int k, double* c,
             int n) {

@@ -29,10 +29,19 @@ void mxm_blocked(const double* a, int m, const double* b, int k, double* c,
 void mxm_f2(const double* a, int m, const double* b, int k, double* c, int n);
 void mxm_f3(const double* a, int m, const double* b, int k, double* c, int n);
 
-/// Default product used throughout the library.
+/// Default product used throughout the library: the unrolled variant is
+/// picked by the shape of C.  Tall C (m > n) goes to f2, whose
+/// column-outer order loads each short B column once and amortizes it
+/// over the many A rows; wide or square C goes to f3, whose row-outer
+/// order streams contiguous C rows against a register-resident A row.
+/// Both compute every C entry with the identical dot-product loop, so the
+/// choice never changes the result.
 inline void mxm(const double* a, int m, const double* b, int k, double* c,
                 int n) {
-  mxm_f2(a, m, b, k, c, n);
+  if (m > n)
+    mxm_f2(a, m, b, k, c, n);
+  else
+    mxm_f3(a, m, b, k, c, n);
 }
 
 /// C (m x n) = A (m x k) * B^T where B is stored (n x k) row-major.

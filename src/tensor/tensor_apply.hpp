@@ -12,7 +12,7 @@
 // meshes is expressed.
 #pragma once
 
-#include <vector>
+#include "tensor/workspace.hpp"
 
 namespace tsem {
 
@@ -43,17 +43,10 @@ void tensor3_apply_y(const double* ay, int n, int nx, int nz, const double* u,
 void tensor3_apply_z(const double* az, int n, int nx, int ny, const double* u,
                      double* out);
 
-/// Convenience wrapper that owns its workspace (setup paths and tests;
-/// hot loops should pass an explicit workspace).
-class TensorWork {
- public:
-  double* get(std::size_t n) {
-    if (buf_.size() < n) buf_.resize(n);
-    return buf_.data();
-  }
-
- private:
-  std::vector<double> buf_;
-};
+/// Historical name for the kernel scratch arena.  Once a single-buffer
+/// wrapper; now the thread-safe per-thread Workspace so the same object
+/// can be handed to OpenMP-parallel element loops (see workspace.hpp for
+/// the ownership rules).
+using TensorWork = Workspace;
 
 }  // namespace tsem

@@ -1,0 +1,73 @@
+// Per-thread persistent scratch arena for the element-loop kernels.
+//
+// Every matrix-free operator needs a few element-sized scratch buffers.
+// With the element loops OpenMP-parallel (operators.cpp, dealias.cpp,
+// schwarz.cpp), a single shared buffer would race, and allocating inside
+// the loop would put malloc on the hot path.  Workspace gives each OpenMP
+// thread its own slab that persists across calls: the first get() on a
+// thread allocates, every later get() of an equal-or-smaller size returns
+// the same pointer with nothing but an index load and a size check.
+//
+// Ownership rules (also documented in DESIGN.md):
+//   * get(n) returns a slab private to the CALLING thread; two threads
+//     never share a slab, so element loops may call get() freely inside
+//     `#pragma omp parallel for`.
+//   * A thread's slab is a single region reused by every get() from that
+//     thread: a nested kernel that calls get() on the SAME Workspace
+//     clobbers its caller's scratch.  Operators that call other operators
+//     (helmholtz_solve -> apply_helmholtz_local) must keep their own
+//     buffers outside the arena they pass down.
+//   * get() must not be called from nested parallel regions (thread ids
+//     would collide between teams); terasem does not nest.
+//   * Slabs grow monotonically and are freed only by the destructor, so
+//     steady-state use performs no allocation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/check.hpp"
+
+namespace tsem {
+
+class Workspace {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  /// Slab of at least n doubles owned by the calling thread (uninitialized
+  /// beyond what the caller last wrote there).  Stable across calls with
+  /// non-increasing n.
+  double* get(std::size_t n) {
+    int tid = 0;
+#ifdef _OPENMP
+    tid = omp_get_thread_num();
+    TSEM_REQUIRE(tid < kMaxThreads);
+#endif
+    auto& slab = slabs_[tid];
+    // Lazy creation is race-free: index tid is touched only by the thread
+    // that owns it, and slabs live in separate heap blocks so neighboring
+    // entries do not share mutable cache lines after creation.
+    if (!slab) slab = std::make_unique<std::vector<double>>();
+    if (slab->size() < n) slab->resize(n);
+    return slab->data();
+  }
+
+  /// Number of thread slabs materialized so far (tests / diagnostics).
+  [[nodiscard]] int slabs_in_use() const {
+    int c = 0;
+    for (const auto& s : slabs_)
+      if (s) ++c;
+    return c;
+  }
+
+ private:
+  std::array<std::unique_ptr<std::vector<double>>, kMaxThreads> slabs_{};
+};
+
+}  // namespace tsem

@@ -67,6 +67,34 @@ INSTANTIATE_TEST_SUITE_P(
                       MxmShape{196, 16, 14}, MxmShape{7, 33, 5},
                       MxmShape{40, 40, 40}));
 
+// mxm() picks between the two unrolled loop orders by the shape of C
+// (tall -> f2, wide/square -> f3).  Both compute each entry with the
+// identical dot-product loop, so the dispatcher must agree BITWISE with
+// the variant it selects, across tall/wide/square shapes and contraction
+// extents on both sides of the unroll cutoff (24).
+TEST(Mxm, ShapeDispatchMatchesSelectedVariant) {
+  const MxmShape shapes[] = {{64, 8, 8},   {8, 8, 64},  {16, 16, 16},
+                             {100, 7, 3},  {3, 7, 100}, {5, 30, 5},
+                             {40, 30, 12}, {12, 30, 40}};
+  for (const auto& s : shapes) {
+    const auto a = random_matrix(s.m, s.k, 101);
+    const auto b = random_matrix(s.k, s.n, 103);
+    const std::size_t sz = static_cast<std::size_t>(s.m) * s.n;
+    std::vector<double> c_dispatch(sz, -1.0), c_variant(sz, -2.0);
+    tsem::mxm(a.data(), s.m, b.data(), s.k, c_dispatch.data(), s.n);
+    if (s.m > s.n)
+      mxm_f2(a.data(), s.m, b.data(), s.k, c_variant.data(), s.n);
+    else
+      mxm_f3(a.data(), s.m, b.data(), s.k, c_variant.data(), s.n);
+    for (std::size_t i = 0; i < sz; ++i)
+      ASSERT_EQ(c_dispatch[i], c_variant[i])
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " entry " << i;
+    const auto ref = reference_mxm(a, s.m, b, s.k, s.n);
+    for (std::size_t i = 0; i < sz; ++i)
+      ASSERT_NEAR(c_dispatch[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
+  }
+}
+
 TEST(Mxm, TransposedVariants) {
   const int m = 6, k = 9, n = 7;
   const auto a = random_matrix(m, k, 3);
