@@ -11,18 +11,33 @@
 //                      dense row-block product.
 //   latency*2logP    — the paper's lower-bound curve.
 //
-// Communication volumes for XXT are MEASURED from the factor's column
-// supports; only the clock (alpha, beta, flop rate) is modeled
-// (DESIGN.md hardware substitution).  Expected shape, as in the paper:
-// XXT keeps improving to P ~ 16 (n = 3969) / P ~ 256 (n = 16129) and then
-// tracks the latency curve, while both baselines flatten much earlier at
-// a far higher time.
+// Two tiers in the BENCH JSON (DESIGN.md measured vs modeled):
+//   "measured"     — P <= pmax (default 256): the XXT factorization is
+//                    actually computed at every P, its solve verified
+//                    against banded LU, and the per-level fan-in words
+//                    and per-rank nonzero loads taken from the factor's
+//                    real column supports.  Only the clock (alpha, beta,
+//                    flop rate) is modeled.
+//   "extrapolated" — P > pmax up to 2048: the XXT schedule follows the
+//                    analytic 2D separator bound (3 n^(1/2) words per
+//                    level; bench/hairpin_model.hpp).  The LU and A^{-1}
+//                    baselines are analytic at every P.
+//
+// Expected shape, as in the paper: XXT keeps improving to P ~ 16
+// (n = 3969) / P ~ 256 (n = 16129) and then tracks the latency curve,
+// while both baselines flatten much earlier at a far higher time.
+//
+// usage: bench_fig6_coarse [--pmax P] [--sizes nx1,nx2,...]
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "bench/hairpin_model.hpp"
 #include "common/timer.hpp"
 #include "fem/fem.hpp"
 #include "obs/bench_report.hpp"
@@ -42,7 +57,8 @@ int log2i(int p) {
   return l;
 }
 
-void run_size(int nx, const MachineParams& mach, bool verify_inverse) {
+void run_size(int nx, const MachineParams& mach, bool verify_inverse,
+              int pmax) {
   const int n = nx * nx;
   const auto a = tsem::poisson5(nx, nx);
   std::vector<double> x(n), y(n), z;
@@ -78,26 +94,36 @@ void run_size(int nx, const MachineParams& mach, bool verify_inverse) {
                 "timing modeled here (O(n^2) rows)\n", n);
   }
 
-  std::printf("#\n# n = %d coarse-grid solve time (s) on %s\n", n, mach.name);
+  std::printf("#\n# n = %d coarse-grid solve time (s) on %s "
+              "(measured to P=%d, extrapolated beyond)\n", n, mach.name,
+              pmax);
   std::printf("%6s %12s %12s %12s %12s\n", "P", "XXT", "redundantLU",
               "distribAinv", "latency2logP");
 
   const double lu_flops = lu.solve_flops();
   for (int p = 1; p <= 2048; p *= 2) {
-    // XXT at this processor count: 2^log2(P) leaf subdomains.
+    const bool measured = p <= pmax;
     const int lev = log2i(p);
-    const auto nd = tsem::nested_dissection(a, x, y, z, lev);
-    tsem::XxtSolver xxt(a, nd);
-    // Correctness at every P.
-    xxt.solve(b.data(), s2.data());
+    double t_xxt = 0.0;
     double err = 0.0;
-    for (int i = 0; i < n; ++i) err = std::max(err, std::fabs(s1[i] - s2[i]));
-    if (err > 1e-6) std::printf("# WARNING: xxt mismatch %g at P=%d\n", err, p);
-
-    const double t_xxt =
-        mach.compute_time(4.0 * static_cast<double>(xxt.max_leaf_nnz())) +
-        tsem::tree_fan_time(mach, xxt.level_msg_words().data(),
-                            xxt.nlevels());
+    std::unique_ptr<tsem::XxtSolver> xxt;
+    if (measured) {
+      // XXT at this processor count: 2^log2(P) leaf subdomains, really
+      // factored; correctness checked at every P.
+      const auto nd = tsem::nested_dissection(a, x, y, z, lev);
+      xxt = std::make_unique<tsem::XxtSolver>(a, nd);
+      xxt->solve(b.data(), s2.data());
+      for (int i = 0; i < n; ++i)
+        err = std::max(err, std::fabs(s1[i] - s2[i]));
+      if (err > 1e-6)
+        std::printf("# WARNING: xxt mismatch %g at P=%d\n", err, p);
+      t_xxt =
+          mach.compute_time(4.0 * static_cast<double>(xxt->max_leaf_nnz())) +
+          tsem::tree_fan_time(mach, xxt->level_msg_words().data(),
+                              xxt->nlevels());
+    } else {
+      t_xxt = tsem::hairpin::analytic_coarse_time(n, 2, mach, p);
+    }
     const double t_lu =
         tsem::allgather_time(mach, p, n) + mach.compute_time(lu_flops);
     const double t_inv = tsem::allgather_time(mach, p, n) +
@@ -107,32 +133,62 @@ void run_size(int nx, const MachineParams& mach, bool verify_inverse) {
                 t_lat);
     tsem::obs::Json& c =
         g_report.add_case("n" + std::to_string(n) + "/P" + std::to_string(p));
+    c["tier"] = measured ? "measured" : "extrapolated";
     c["n"] = n;
     c["nodes"] = p;
     c["sim_seconds_xxt"] = t_xxt;
     c["sim_seconds_redundant_lu"] = t_lu;
     c["sim_seconds_distrib_ainv"] = t_inv;
     c["sim_seconds_latency_bound"] = t_lat;
-    c["xxt_nnz"] = xxt.nnz();
-    c["xxt_msg_words"] = xxt.total_msg_words();
-    c["xxt_max_leaf_nnz"] = xxt.max_leaf_nnz();
-    c["xxt_err_vs_lu"] = err;
+    if (measured) {
+      c["xxt_nnz"] = xxt->nnz();
+      c["xxt_msg_words"] = xxt->total_msg_words();
+      c["xxt_max_leaf_nnz"] = xxt->max_leaf_nnz();
+      c["xxt_err_vs_lu"] = err;
+      tsem::obs::Json words = tsem::obs::Json::array();
+      for (auto w : xxt->level_msg_words()) words.push_back(w);
+      c["xxt_level_words"] = words;
+    }
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int pmax = 256;
+  std::vector<int> sizes = {63, 127};
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--pmax")) {
+      pmax = std::atoi(next("--pmax"));
+    } else if (!std::strcmp(argv[i], "--sizes")) {
+      sizes.clear();
+      for (char* tok = std::strtok(const_cast<char*>(next("--sizes")), ",");
+           tok; tok = std::strtok(nullptr, ","))
+        sizes.push_back(std::atoi(tok));
+    } else {
+      std::fprintf(stderr, "unknown arg %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+
   const auto mach = MachineParams::asci_red(false, false);
   std::printf("# Fig 6 reproduction: coarse-grid solvers on simulated "
               "ASCI-Red (alpha=%.0fus, %g MB/s, %g MF/s)\n",
               mach.alpha * 1e6, 8.0 / mach.beta / 1e6, mach.flop_rate / 1e6);
   g_report.meta()["figure"] = "Fig 6";
   g_report.meta()["machine"] = mach.name;
+  g_report.meta()["pmax_measured"] = pmax;
   tsem::Timer t;
-  run_size(63, mach, true);
-  run_size(127, mach, false);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    run_size(sizes[i], mach, i == 0, pmax);
   const double wall = t.seconds();
   std::printf("# total bench wall time: %.1fs\n", wall);
   g_report.meta()["wall_seconds"] = wall;

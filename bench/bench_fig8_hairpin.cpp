@@ -121,6 +121,10 @@ int main(int argc, char** argv) {
     jc["sim_seconds_allreduce"] = t.allreduce;
     jc["sim_seconds_coarse"] = t.coarse;
     jc["pressure_iters"] = c.pressure_iters;
+    // The canonical impulsive-start transient (shared with Table 4 via
+    // hairpin_model.hpp), overlaid for comparison against the measured
+    // series driving this tier.
+    jc["profile_pressure_iters"] = tsem::hairpin::transient_pressure_iters(n);
   }
   std::printf("#\n# modeled avg time/step over last 5 steps vs paper's "
               "17.5 s at 319 GF:\n");

@@ -12,11 +12,31 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "core/flops.hpp"
 #include "sim/machine.hpp"
 
 namespace tsem::hairpin {
+
+// ---- pressure-iteration transient -------------------------------------
+
+/// Impulsive-start pressure iteration count at time step `step` (0-based):
+/// Fig 8's right panel shows counts starting near ~250-300 and decaying to
+/// the settled 30-50 band over ~15 steps.  Single source of truth for the
+/// Fig 8 and Table 4 reproductions (they must not drift apart).
+inline double transient_pressure_iters(int step) {
+  return 40.0 + 260.0 * std::exp(-step / 4.0);
+}
+
+/// The first nsteps of the transient profile (Table 4 runs 26 steps).
+inline std::vector<double> pressure_iteration_profile(int nsteps) {
+  std::vector<double> prof;
+  prof.reserve(nsteps);
+  for (int n = 0; n < nsteps; ++n)
+    prof.push_back(transient_pressure_iters(n));
+  return prof;
+}
 
 struct ProblemScale {
   int nelem = 8168;
@@ -94,21 +114,31 @@ inline double gs_words(const ProblemScale& s, int nranks) {
   return 6.0 * std::pow(kper, 2.0 / 3.0) * s.n1() * s.n1();
 }
 
-/// XXT coarse solve time: measured-shape tree schedule with per-level
-/// messages ~ 3 n^(2/3) (the paper's 3D bound) and balanced local
-/// mat-vec work on the O(n^(4/3)) factor.
-inline double coarse_time(const ProblemScale& s, const MachineParams& m,
-                          int nranks) {
+/// Analytic XXT coarse solve time — the EXTRAPOLATION tier, used only
+/// where the machine is larger than the directly-partitionable range of
+/// the measured tier.  Tree schedule with the paper's separator bounds
+/// per level: 3 n^(1/2) words in 2D, 3 n^(2/3) in 3D; balanced local
+/// mat-vec work on the O(n^(3/2)) / O(n^(4/3)) factor.
+inline double analytic_coarse_time(double n, int dim, const MachineParams& m,
+                                   int nranks) {
   if (nranks <= 1) return 0.0;
   int levels = 0;
   while ((1 << levels) < nranks) ++levels;
-  const double msg = 3.0 * std::pow(static_cast<double>(s.coarse_n), 2.0 / 3.0);
+  const double sep_exp = dim == 2 ? 0.5 : 2.0 / 3.0;
+  const double nnz_exp = dim == 2 ? 1.5 : 4.0 / 3.0;
+  const double msg = 3.0 * std::pow(n, sep_exp);
   double t = 0.0;
-  for (int l = 0; l < levels; ++l) t += m.msg_time(static_cast<std::int64_t>(msg));
+  for (int l = 0; l < levels; ++l)
+    t += m.msg_time(static_cast<std::int64_t>(msg));
   t *= 2.0;  // fan-in + fan-out
-  const double nnz = std::pow(static_cast<double>(s.coarse_n), 4.0 / 3.0);
-  t += m.compute_time(4.0 * nnz / nranks);
+  t += m.compute_time(4.0 * std::pow(n, nnz_exp) / nranks);
   return t;
+}
+
+/// XXT coarse solve time of the hairpin coarse problem (3D bounds).
+inline double coarse_time(const ProblemScale& s, const MachineParams& m,
+                          int nranks) {
+  return analytic_coarse_time(static_cast<double>(s.coarse_n), 3, m, nranks);
 }
 
 /// Row-distributed A^{-1} coarse solve (the paper's §7 counterfactual:

@@ -134,6 +134,22 @@ int CommProfile::max_neighbors() const {
   return m;
 }
 
+std::int64_t CommProfile::total_words() const {
+  std::int64_t t = 0;
+  for (auto v : send_words) t += v;
+  return t;
+}
+
+std::int64_t CommProfile::pair_words(int from, int to) const {
+  const auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), std::make_pair(from, to),
+      [](const Edge& e, const std::pair<int, int>& k) {
+        return e.from < k.first || (e.from == k.first && e.to < k.second);
+      });
+  if (it == pairs.end() || it->from != from || it->to != to) return 0;
+  return it->words;
+}
+
 CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
                             const std::vector<int>& elem_rank, int nranks) {
   TSEM_REQUIRE(npe > 0);
@@ -161,6 +177,8 @@ CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
   // Sweep runs of equal id.  A run of k >= 2 distinct ranks means a
   // pairwise exchange: each sharing rank sends this id's value to every
   // other sharing rank (the stand-alone gs utility's pairwise mode).
+  // nbr_pairs keeps one entry per (id, ordered rank pair) so a sort +
+  // run-length pass below yields the pairwise exchange list.
   std::vector<std::pair<int, int>> nbr_pairs;
   for (std::size_t i = 0; i < pairs.size();) {
     std::size_t j = i;
@@ -176,10 +194,15 @@ CommProfile gs_comm_profile(const std::vector<std::int64_t>& ids, int npe,
     i = j;
   }
   std::sort(nbr_pairs.begin(), nbr_pairs.end());
-  nbr_pairs.erase(std::unique(nbr_pairs.begin(), nbr_pairs.end()),
-                  nbr_pairs.end());
   prof.neighbors.assign(nranks, 0);
-  for (const auto& pr : nbr_pairs) ++prof.neighbors[pr.first];
+  for (std::size_t i = 0; i < nbr_pairs.size();) {
+    std::size_t j = i;
+    while (j < nbr_pairs.size() && nbr_pairs[j] == nbr_pairs[i]) ++j;
+    prof.pairs.push_back({nbr_pairs[i].first, nbr_pairs[i].second,
+                          static_cast<std::int64_t>(j - i)});
+    ++prof.neighbors[nbr_pairs[i].first];
+    i = j;
+  }
   return prof;
 }
 

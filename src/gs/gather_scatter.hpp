@@ -82,8 +82,22 @@ struct CommProfile {
   /// For each rank: total words sent per gs_op (sum over neighbors of the
   /// number of shared interface nodes with that neighbor).
   std::vector<std::int64_t> send_words;
+  /// One pairwise exchange per ordered neighbor pair, sorted by
+  /// (from, to): `words` interface values sent from -> to per gs_op (each
+  /// shared id counted once per sharing-rank pair, so the list is
+  /// symmetric: pair_words(a, b) == pair_words(b, a)).
+  struct Edge {
+    int from = 0, to = 0;
+    std::int64_t words = 0;
+  };
+  std::vector<Edge> pairs;
   [[nodiscard]] std::int64_t max_send_words() const;
   [[nodiscard]] int max_neighbors() const;
+  /// Sum of send_words over all ranks (every exchanged word, both
+  /// directions of each pair).
+  [[nodiscard]] std::int64_t total_words() const;
+  /// Words sent from -> to per gs_op (0 when the ranks share no ids).
+  [[nodiscard]] std::int64_t pair_words(int from, int to) const;
 };
 
 /// Compute the exchange profile: ids per local node (element-major),

@@ -1,0 +1,111 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "fem/fem.hpp"
+#include "mesh/mesh.hpp"
+#include "partition/rsb.hpp"
+#include "solver/coarse.hpp"
+
+namespace tsem {
+namespace {
+
+int log2_exact(int v) {
+  TSEM_REQUIRE(v >= 1 && (v & (v - 1)) == 0);
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  return l;
+}
+
+}  // namespace
+
+double gs_op_time(const MachineParams& m, const CommProfile& p) {
+  double t = 0.0;
+  for (int r = 0; r < p.nranks; ++r)
+    t = std::max(t, static_cast<double>(p.neighbors[r]) * m.alpha +
+                        static_cast<double>(p.send_words[r]) * m.beta);
+  return t;
+}
+
+PhaseTimes cluster_step_time(const RankSchedule& s, const MachineParams& m,
+                             const StepShape& shape) {
+  TSEM_REQUIRE(s.nelem > 0);
+  PhaseTimes t;
+  t.compute = m.compute_time(shape.flops * s.max_rank_elems / s.nelem);
+  t.gs = shape.gs_ops * gs_op_time(m, s.gs) +
+         static_cast<double>(shape.schwarz_applies) * s.schwarz_gs_per_apply *
+             gs_op_time(m, s.schwarz);
+  t.allreduce = shape.allreduces * allreduce_time(m, s.nranks, 1);
+  if (shape.coarse_solves > 0 && !s.xxt_level_words.empty()) {
+    const double per_solve =
+        tree_fan_time(m, s.xxt_level_words.data(),
+                      static_cast<int>(s.xxt_level_words.size())) +
+        m.compute_time(4.0 * static_cast<double>(s.xxt_max_rank_nnz));
+    t.coarse = shape.coarse_solves * per_solve;
+  } else if (shape.coarse_solves > 0) {
+    // Single-rank machine: the coarse solve is pure local work.
+    t.coarse = shape.coarse_solves *
+               m.compute_time(4.0 * static_cast<double>(s.xxt_max_rank_nnz));
+  }
+  return t;
+}
+
+ClusterSim::ClusterSim(const Mesh& mesh, ClusterOptions opt)
+    : opt_(opt), nelem_(mesh.nelem), npe_(mesh.npe) {
+  levels_ = log2_exact(opt_.max_ranks);
+  TSEM_REQUIRE(opt_.max_ranks <= nelem_);
+  part_ = recursive_spectral_bisection(mesh, opt_.max_ranks);
+  node_id_ = mesh.node_id;
+
+  if (opt_.build_schwarz) {
+    const int ng1 = opt_.schwarz_ng1 > 0 ? opt_.schwarz_ng1 : mesh.order - 1;
+    TSEM_REQUIRE(ng1 >= 1 && opt_.schwarz_overlap >= 1);
+    ghosts_ = std::make_unique<GhostExchange>(mesh, ng1, opt_.schwarz_overlap);
+  }
+
+  if (opt_.build_coarse) {
+    // The real coarse operator and its real factorization: A0 is the Q1
+    // Laplacian on the spectral element vertex mesh, pinned at dof 0 (pure
+    // Neumann otherwise), dissected to one leaf subtree per max_ranks rank.
+    const CsrMatrix a0 = pin_dof(q1_vertex_laplacian(mesh), 0);
+    TSEM_REQUIRE((1 << levels_) <= a0.n());
+    std::vector<double> vx, vy, vz;
+    vertex_coords(mesh, vx, vy, vz);
+    const NestedDissection nd = nested_dissection(a0, vx, vy, vz, levels_);
+    xxt_ = std::make_unique<XxtSolver>(a0, nd);
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+RankSchedule ClusterSim::schedule(int nranks) const {
+  const int l = log2_exact(nranks);
+  TSEM_REQUIRE(l <= levels_);
+  const int shift = levels_ - l;
+
+  RankSchedule s;
+  s.nranks = nranks;
+  s.nelem = nelem_;
+  s.elem_rank.resize(nelem_);
+  std::vector<int> counts(nranks, 0);
+  for (int e = 0; e < nelem_; ++e) {
+    s.elem_rank[e] = part_[e] >> shift;
+    ++counts[s.elem_rank[e]];
+  }
+  s.max_rank_elems = *std::max_element(counts.begin(), counts.end());
+
+  s.gs = gs_comm_profile(node_id_, npe_, s.elem_rank, nranks);
+  if (ghosts_) {
+    s.schwarz = ghosts_->comm_profile(s.elem_rank, nranks);
+    s.schwarz_gs_per_apply = 2 * ghosts_->nlayers();
+  }
+  if (xxt_) {
+    s.xxt_level_words = xxt_->level_msg_words_at(l);
+    s.xxt_max_rank_nnz = xxt_->max_rank_nnz(l);
+    s.coarse_n = xxt_->n();
+  }
+  return s;
+}
+
+}  // namespace tsem

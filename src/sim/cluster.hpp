@@ -1,0 +1,148 @@
+// Simulated multi-rank cluster with *measured* communication schedules
+// (paper §6; DESIGN.md "measured vs modeled").
+//
+// ClusterSim decomposes a real mesh over P simulated ranks with the
+// production recursive spectral bisection, then derives, per rank count,
+// the exact exchange lists a message-passing execution would run:
+//   * gather-scatter pairwise exchanges of the C0 assembly (gs_comm_profile
+//     over the mesh's global node ids),
+//   * Schwarz ghost-layer exchange volumes (the preconditioner's anchor-id
+//     gather-scatter under the same partition),
+//   * the XXT coarse solve's per-level fan-in/fan-out message sizes,
+//     measured from the actual factored tree,
+//   * scalar allreduce counts per PCG iteration (cg.hpp's documented dot
+//     schedule).
+// cluster_step_time feeds those schedules to the MachineParams cost model
+// to produce a per-step time with a gs / allreduce / coarse / compute
+// breakdown.  One RSB call at max_ranks yields the entire partition
+// hierarchy: the top-down bit assignment of rsb.cpp means the partition
+// for 2^l ranks is the max_ranks partition shifted right by the level
+// difference, so every coarser machine reuses the same element placement
+// refined consistently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gs/gather_scatter.hpp"
+#include "sim/machine.hpp"
+#include "solver/overlap.hpp"
+#include "solver/xxt.hpp"
+
+namespace tsem {
+
+class Mesh;
+
+struct ClusterOptions {
+  /// Largest simulated machine (power of two, <= nelem); schedules are
+  /// available for every power-of-two P up to this.
+  int max_ranks = 256;
+  /// Schwarz ghost layers (the paper's production overlap is 1).
+  int schwarz_overlap = 1;
+  /// Gauss grid size for the Schwarz exchange (-1 = pressure grid, N-1).
+  int schwarz_ng1 = -1;
+  bool build_schwarz = true;
+  /// Build the Q1 vertex Laplacian A0 and its XXT factorization so
+  /// schedules carry the measured coarse-solve tree (required for the
+  /// coarse phase of cluster_step_time).
+  bool build_coarse = true;
+};
+
+/// Everything measured about one rank count: the exchange lists and tree
+/// schedule a P-rank execution of the real data structures would run.
+struct RankSchedule {
+  int nranks = 0;
+  int nelem = 0;
+  /// Elements on the fullest rank (compute is billed at this rank's load).
+  int max_rank_elems = 0;
+  /// elem -> rank under the RSB hierarchy at this P.
+  std::vector<int> elem_rank;
+  /// Pairwise exchange profile of one C0-assembly gs op (mesh node ids).
+  CommProfile gs;
+  /// Pairwise exchange profile of one Schwarz ghost-layer gs op (empty
+  /// when the engine was built without Schwarz).
+  CommProfile schwarz;
+  /// Anchor gs ops per Schwarz apply: exchange + scatter_add, one op per
+  /// ghost layer each (= 2 * overlap).
+  int schwarz_gs_per_apply = 0;
+  /// Measured XXT fan-in words per tree level at this P (empty without
+  /// the coarse solver); tree_fan_time bills fan-in + mirroring fan-out.
+  std::vector<std::int64_t> xxt_level_words;
+  /// Max over ranks of owned X nonzeros (local coarse mat-vec work per
+  /// solve = 4 * this).
+  std::int64_t xxt_max_rank_nnz = 0;
+  /// Coarse problem size (A0 dofs), 0 without the coarse solver.
+  int coarse_n = 0;
+};
+
+/// What one time step executes, counted by the caller from the real
+/// solver configuration (iteration counts, dot schedules, flop totals).
+struct StepShape {
+  /// Total flops per step over the whole mesh (billed at the fullest
+  /// rank's share: flops * max_rank_elems / nelem).
+  double flops = 0.0;
+  /// C0-assembly gs ops per step (operator applies in all solves).
+  int gs_ops = 0;
+  /// Scalar allreduces per step (PCG dots; see kPcgSetupDots /
+  /// kPcgDotsPerIteration in solver/cg.hpp).
+  int allreduces = 0;
+  /// Schwarz preconditioner applications per step.
+  int schwarz_applies = 0;
+  /// XXT coarse solves per step (= schwarz_applies with coarse on).
+  int coarse_solves = 0;
+};
+
+/// Per-phase simulated seconds for one step.
+struct PhaseTimes {
+  double compute = 0.0;
+  double gs = 0.0;
+  double allreduce = 0.0;
+  double coarse = 0.0;
+  [[nodiscard]] double total() const {
+    return compute + gs + allreduce + coarse;
+  }
+};
+
+/// Critical-path time of one gs op under a measured profile: the busiest
+/// rank posts one message per neighbor and its full interface volume.
+double gs_op_time(const MachineParams& m, const CommProfile& p);
+
+/// Bill a step shape against a measured schedule on machine m.
+PhaseTimes cluster_step_time(const RankSchedule& s, const MachineParams& m,
+                             const StepShape& shape);
+
+class ClusterSim {
+ public:
+  /// Partitions the mesh (one RSB call at opt.max_ranks), builds the
+  /// Schwarz ghost exchange and the real XXT factorization of the Q1
+  /// vertex Laplacian.  Copies what it needs; the mesh may be freed.
+  ClusterSim(const Mesh& mesh, ClusterOptions opt);
+  ~ClusterSim();
+
+  /// Measured schedule for a 2^l-rank machine, nranks <= max_ranks.
+  [[nodiscard]] RankSchedule schedule(int nranks) const;
+
+  [[nodiscard]] int max_ranks() const { return opt_.max_ranks; }
+  [[nodiscard]] int nelem() const { return nelem_; }
+  /// The max_ranks RSB partition the hierarchy is derived from.
+  [[nodiscard]] const std::vector<int>& partition() const { return part_; }
+  /// The real coarse factorization (nullptr without build_coarse).
+  [[nodiscard]] const XxtSolver* xxt() const { return xxt_.get(); }
+  /// The real ghost exchange (nullptr without build_schwarz).
+  [[nodiscard]] const GhostExchange* ghost_exchange() const {
+    return ghosts_.get();
+  }
+
+ private:
+  ClusterOptions opt_;
+  int nelem_ = 0;
+  int npe_ = 0;
+  int levels_ = 0;  // log2(max_ranks)
+  std::vector<int> part_;
+  std::vector<std::int64_t> node_id_;
+  std::unique_ptr<GhostExchange> ghosts_;
+  std::unique_ptr<XxtSolver> xxt_;
+};
+
+}  // namespace tsem

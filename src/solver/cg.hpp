@@ -48,6 +48,18 @@ inline bool is_hard_failure(SolveStatus s) {
   return s == SolveStatus::Breakdown || s == SolveStatus::NonFinite;
 }
 
+/// Allreduce schedule of pcg below, counted for the simulated-machine
+/// timing (each dot() is one scalar allreduce in a message-passing run).
+/// Setup performs kPcgSetupDots dots — the initial dot(r, r) and the
+/// dot(r, z) after the first precond.  Every full iteration performs
+/// kPcgDotsPerIteration — dot(p, ap), dot(r, r), dot(r, z) — except the
+/// terminating one, which exits after dot(r, r); a solve converging in
+/// `iters` iterations therefore performs exactly
+///     kPcgSetupDots + kPcgDotsPerIteration * iters - 1
+/// dots (asserted by a counting-dot test in tests/test_sim_cluster.cpp).
+inline constexpr int kPcgSetupDots = 2;
+inline constexpr int kPcgDotsPerIteration = 3;
+
 struct CgOptions {
   int max_iter = 2000;
   double tol = 1e-8;        ///< on the 2-norm of the (preconditioned) residual

@@ -11,11 +11,11 @@
 namespace tsem {
 
 GhostExchange::GhostExchange(const PressureSystem& psys, int nlayers)
-    : dim_(psys.vspace().mesh().dim),
-      ng1_(psys.ng1()),
-      nlayers_(nlayers) {
+    : GhostExchange(psys.vspace().mesh(), psys.ng1(), nlayers) {}
+
+GhostExchange::GhostExchange(const Mesh& m, int ng1, int nlayers)
+    : dim_(m.dim), ng1_(ng1), nlayers_(nlayers) {
   TSEM_REQUIRE(nlayers_ >= 1 && nlayers_ <= ng1_);
-  const Mesh& m = psys.vspace().mesh();
   const int n1 = m.n1d();
   nt_ = 1;
   for (int d = 1; d < dim_; ++d) nt_ *= ng1_;
@@ -86,6 +86,11 @@ GhostExchange::GhostExchange(const PressureSystem& psys, int nlayers)
   gs_ = GatherScatter(ids);
   buf_.resize(nslots_);
   own_.resize(nslots_);
+}
+
+CommProfile GhostExchange::comm_profile(const std::vector<int>& elem_rank,
+                                        int nranks) const {
+  return gs_comm_profile(gs_.dense_id(), 2 * dim_ * nt_, elem_rank, nranks);
 }
 
 std::size_t GhostExchange::donor_node(std::size_t slot, int layer) const {

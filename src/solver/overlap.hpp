@@ -25,6 +25,10 @@ namespace tsem {
 class GhostExchange {
  public:
   GhostExchange(const PressureSystem& psys, int nlayers);
+  /// Mesh-level form: the exchange pattern depends only on the mesh
+  /// geometry and the Gauss grid size, so simulated-machine profiling can
+  /// build it without assembling a PressureSystem.
+  GhostExchange(const Mesh& m, int ng1, int nlayers);
 
   [[nodiscard]] int nlayers() const { return nlayers_; }
   /// Slots per layer (= nelem * 2*dim * ng1^(dim-1)).
@@ -42,6 +46,15 @@ class GhostExchange {
 
   /// Local pressure dof index for (slot, layer) — the donor node.
   [[nodiscard]] std::size_t donor_node(std::size_t slot, int layer) const;
+
+  /// The underlying anchor-id gather-scatter (one op per layer per
+  /// exchange/scatter_add pass).
+  [[nodiscard]] const GatherScatter& gather_scatter() const { return gs_; }
+
+  /// Message-passing profile of one ghost-layer gs_op under an element
+  /// partition (slots are element-major, 2*dim*nt per element).
+  [[nodiscard]] CommProfile comm_profile(const std::vector<int>& elem_rank,
+                                         int nranks) const;
 
  private:
   int dim_, ng1_, nlayers_;

@@ -49,6 +49,12 @@ class SchwarzPrecond {
   /// machine model).
   [[nodiscard]] double local_flops_per_apply() const { return local_flops_; }
   [[nodiscard]] const CoarseSolver* coarse() const { return coarse_.get(); }
+  /// The overlap ghost exchange behind apply() (nullptr when overlap = 0);
+  /// each apply() runs one exchange() and one scatter_add(), i.e.
+  /// 2 * overlap gather-scatter ops over the anchor ids.
+  [[nodiscard]] const GhostExchange* ghost_exchange() const {
+    return ghosts_.get();
+  }
 
   /// Number of apply() calls that received a non-finite residual.  Such a
   /// residual would only smear NaN through every overlapped subdomain and

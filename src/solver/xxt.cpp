@@ -202,8 +202,10 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
     // For each column, the set of leaves its support touches defines the
     // edges its partial sums travel during fan-in: all edges on the paths
     // from touched leaves up to the LCA.
-    std::vector<std::int64_t> edge_msg(static_cast<std::size_t>(2) << nl, 0);
-    std::vector<std::int64_t> leaf_nnz(static_cast<std::size_t>(1) << nl, 0);
+    edge_msg_.assign(static_cast<std::size_t>(2) << nl, 0);
+    leaf_nnz_.assign(static_cast<std::size_t>(1) << nl, 0);
+    auto& edge_msg = edge_msg_;
+    auto& leaf_nnz = leaf_nnz_;
     std::vector<std::int32_t> leaves;
     for (int k = 0; k < n_; ++k) {
       leaves.clear();
@@ -249,8 +251,29 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
     }
     for (auto v : leaf_nnz) max_leaf_nnz_ = std::max(max_leaf_nnz_, v);
   } else {
+    leaf_nnz_.assign(1, nnz_);
     max_leaf_nnz_ = nnz_;
   }
+}
+
+std::vector<std::int64_t> XxtSolver::level_msg_words_at(int levels) const {
+  TSEM_REQUIRE(levels >= 0 && levels <= nd_.nlevels);
+  // A machine of 2^levels ranks maps rank r to the dissection subtree of
+  // leaves with high bits r; tree edges at parent depth >= levels connect
+  // nodes inside one rank and cost nothing, so the measured schedule is
+  // the leading `levels` entries of the full per-level maxima.
+  return {level_msg_.begin(), level_msg_.begin() + levels};
+}
+
+std::int64_t XxtSolver::max_rank_nnz(int levels) const {
+  TSEM_REQUIRE(levels >= 0 && levels <= nd_.nlevels);
+  const int shift = nd_.nlevels - levels;
+  std::vector<std::int64_t> rank_nnz(static_cast<std::size_t>(1) << levels, 0);
+  for (std::size_t lf = 0; lf < leaf_nnz_.size(); ++lf)
+    rank_nnz[lf >> shift] += leaf_nnz_[lf];
+  std::int64_t m = 0;
+  for (auto v : rank_nnz) m = std::max(m, v);
+  return m;
 }
 
 void XxtSolver::solve(const double* b, double* out) const {

@@ -63,6 +63,37 @@ class XxtSolver {
   /// Total communication volume (words, fan-in only) per solve.
   [[nodiscard]] std::int64_t total_msg_words() const { return total_msg_; }
 
+  // ---- measured-schedule exposures (sim::ClusterSim, fidelity tests) ----
+  /// Fan-in schedule for a machine of 2^levels ranks, levels <=
+  /// nlevels(): rank r owns the dissection subtree of 2^(nlevels-levels)
+  /// leaves whose ids share prefix r, so the edges deeper than `levels`
+  /// are rank-internal and only the leading `levels` entries of the full
+  /// per-level schedule are real messages.
+  [[nodiscard]] std::vector<std::int64_t> level_msg_words_at(int levels) const;
+  /// Measured nonzeros of the X columns owned by each dissection leaf
+  /// (separator columns are owned round-robin across their subtree).
+  [[nodiscard]] const std::vector<std::int64_t>& leaf_nnz() const {
+    return leaf_nnz_;
+  }
+  /// Max over the 2^levels ranks of the nonzeros owned by one rank
+  /// (its local mat-vec work per solve = 4 * this).
+  [[nodiscard]] std::int64_t max_rank_nnz(int levels) const;
+  /// Heap-indexed fan-in words per tree edge: entry u > 1 is the words
+  /// carried on the edge from node u to its parent u/2 (root = 1, leaves
+  /// = 2^nlevels .. 2^(nlevels+1)-1).  The raw data behind
+  /// level_msg_words(); exposed so tests can recompute the schedule from
+  /// the factor's nonzero structure independently.
+  [[nodiscard]] const std::vector<std::int64_t>& edge_msg_words() const {
+    return edge_msg_;
+  }
+  /// The elimination ordering and leaf ownership this factor was built on.
+  [[nodiscard]] const NestedDissection& dissection() const { return nd_; }
+  /// Sparse columns of X in elimination order (CSC structure).
+  [[nodiscard]] const std::vector<std::int32_t>& col_ptr() const {
+    return col_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& rows() const { return row_; }
+
  private:
   int n_ = 0;
   std::int64_t nnz_ = 0;
@@ -72,6 +103,8 @@ class XxtSolver {
   std::vector<std::int32_t> row_;
   std::vector<double> val_;
   std::vector<std::int64_t> level_msg_;
+  std::vector<std::int64_t> edge_msg_;  // heap-indexed, size 2*2^nlevels
+  std::vector<std::int64_t> leaf_nnz_;  // per dissection leaf
   std::int64_t max_leaf_nnz_ = 0;
   std::int64_t total_msg_ = 0;
   // Fan-in coefficients z = X^T b, sized once in the ctor so the per-step

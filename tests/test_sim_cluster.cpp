@@ -1,0 +1,369 @@
+// Tests for the measured-schedule simulated cluster engine
+// (sim/cluster.hpp) and the exposures it relies on: the pairwise
+// gather-scatter exchange lists, the XXT tree schedule, the Schwarz
+// ghost-exchange profile, and the pcg allreduce schedule.  The point of
+// this suite is that the quantities the scaling benches report are
+// *measured from the real data structures* — every schedule is recomputed
+// here by an independent method and compared.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "core/pressure.hpp"
+#include "core/space.hpp"
+#include "fem/fem.hpp"
+#include "gs/gather_scatter.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "partition/rsb.hpp"
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
+#include "solver/cg.hpp"
+#include "solver/coarse.hpp"
+#include "solver/schwarz.hpp"
+#include "solver/xxt.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::ClusterOptions;
+using tsem::ClusterSim;
+using tsem::CommProfile;
+using tsem::gs_comm_profile;
+using tsem::MachineParams;
+using tsem::Mesh;
+
+Mesh box3d(int kx, int ky, int kz, int order) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, kx, kx),
+                                tsem::linspace(0, ky, ky),
+                                tsem::linspace(0, kz, kz));
+  return build_mesh(spec, order);
+}
+
+// Independent accounting of one profile: the pairwise list must be
+// symmetric (a->b == b->a words: each shared id counted once per sharing
+// pair), and the per-rank aggregates must be exactly its marginals.
+void check_profile_consistency(const CommProfile& prof) {
+  std::vector<std::int64_t> send(prof.nranks, 0);
+  std::vector<int> nbrs(prof.nranks, 0);
+  for (const auto& e : prof.pairs) {
+    ASSERT_GE(e.from, 0);
+    ASSERT_LT(e.from, prof.nranks);
+    ASSERT_NE(e.from, e.to);
+    ASSERT_GT(e.words, 0);
+    EXPECT_EQ(e.words, prof.pair_words(e.to, e.from))
+        << "asymmetric exchange " << e.from << " <-> " << e.to;
+    send[e.from] += e.words;
+    ++nbrs[e.from];
+  }
+  for (int r = 0; r < prof.nranks; ++r) {
+    EXPECT_EQ(send[r], prof.send_words[r]);
+    EXPECT_EQ(nbrs[r], prof.neighbors[r]);
+  }
+}
+
+// Mesh constant: every global node shared by k elements contributes
+// k*(k-1) words when each element is its own rank — the finest
+// granularity any partition can reach.
+std::int64_t element_granularity_words(const Mesh& m) {
+  std::map<std::int64_t, int> mult;
+  for (auto id : m.node_id) ++mult[id];
+  std::int64_t total = 0;
+  for (const auto& [id, k] : mult)
+    total += static_cast<std::int64_t>(k) * (k - 1);
+  return total;
+}
+
+TEST(GsProfile, SymmetricPairwiseExchangeOnRsbAndRandomPartitions) {
+  const Mesh m = box3d(4, 4, 4, 3);
+  // RSB partitions at several machine sizes.
+  for (int p : {2, 4, 8, 16}) {
+    const auto part = tsem::recursive_spectral_bisection(m, p);
+    check_profile_consistency(gs_comm_profile(m.node_id, m.npe, part, p));
+  }
+  // A random (unstructured, non-power-of-two) partition.
+  std::mt19937 rng(2026);
+  std::vector<int> rnd(m.nelem);
+  for (auto& r : rnd) r = static_cast<int>(rng() % 5);
+  check_profile_consistency(gs_comm_profile(m.node_id, m.npe, rnd, 5));
+}
+
+TEST(GsProfile, TotalWordsInvariantAtElementGranularity) {
+  const Mesh m = box3d(4, 4, 4, 3);
+  const std::int64_t c = element_granularity_words(m);
+  ASSERT_GT(c, 0);
+  // With every element its own rank, the profile total equals the mesh
+  // constant sum_nodes k(k-1) regardless of element order: permuting the
+  // element->rank bijection cannot change it.
+  std::vector<int> ident(m.nelem), perm(m.nelem);
+  for (int e = 0; e < m.nelem; ++e) ident[e] = e;
+  std::mt19937 rng(7);
+  perm = ident;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  EXPECT_EQ(gs_comm_profile(m.node_id, m.npe, ident, m.nelem).total_words(),
+            c);
+  EXPECT_EQ(gs_comm_profile(m.node_id, m.npe, perm, m.nelem).total_words(),
+            c);
+  // Coarser machines merge sharing elements into one rank, which can only
+  // dedup exchanges: every partition's total is bounded by the constant,
+  // and refining along the RSB hierarchy is monotone nondecreasing.
+  std::int64_t prev = 0;
+  for (int p : {2, 4, 8, 16, 32}) {
+    const auto part = tsem::recursive_spectral_bisection(m, p);
+    const std::int64_t t =
+        gs_comm_profile(m.node_id, m.npe, part, p).total_words();
+    EXPECT_LE(t, c);
+    EXPECT_GE(t, prev) << "refining " << p / 2 << " -> " << p
+                       << " ranks lost exchange words";
+    prev = t;
+  }
+}
+
+TEST(ClusterSim, RsbHierarchyMatchesDirectPartitions) {
+  const Mesh m = box3d(4, 4, 4, 3);
+  ClusterOptions opt;
+  opt.max_ranks = 8;
+  opt.build_schwarz = false;
+  opt.build_coarse = false;
+  const ClusterSim sim(m, opt);
+  // The engine derives every coarser machine from ONE max_ranks RSB call
+  // by dropping low bits; that must agree with running RSB directly at
+  // each P (the top-down bit assignment makes the hierarchy nested).
+  for (int p : {1, 2, 4, 8}) {
+    const auto sched = sim.schedule(p);
+    EXPECT_EQ(sched.elem_rank, tsem::recursive_spectral_bisection(m, p));
+    // And the schedule's profile must equal a direct recomputation.
+    const auto ref = gs_comm_profile(m.node_id, m.npe, sched.elem_rank, p);
+    EXPECT_EQ(sched.gs.send_words, ref.send_words);
+    EXPECT_EQ(sched.gs.neighbors, ref.neighbors);
+    ASSERT_EQ(sched.gs.pairs.size(), ref.pairs.size());
+    for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
+      EXPECT_EQ(sched.gs.pairs[i].from, ref.pairs[i].from);
+      EXPECT_EQ(sched.gs.pairs[i].to, ref.pairs[i].to);
+      EXPECT_EQ(sched.gs.pairs[i].words, ref.pairs[i].words);
+    }
+  }
+}
+
+// ---- XXT schedule fidelity ---------------------------------------------
+
+// Reference recomputation of the per-edge fan-in words from the exposed
+// factor structure, by a different rule than the solver uses: tree edge
+// u -> parent(u) carries column k iff supp(X e_k) touches at least one
+// dissection leaf inside subtree(u) AND at least one outside (the
+// partial sum must cross the edge exactly when the column's support
+// straddles it).
+std::vector<std::int64_t> reference_edge_words(const tsem::XxtSolver& xxt) {
+  const int nl = xxt.nlevels();
+  const auto& cp = xxt.col_ptr();
+  const auto& rows = xxt.rows();
+  const auto& leaf_of = xxt.dissection().leaf_of;
+  const int nleaf = 1 << nl;
+  std::vector<std::int64_t> edge(static_cast<std::size_t>(2) << nl, 0);
+  auto is_ancestor = [&](int u, int leaf) {
+    int h = nleaf + leaf;
+    while (h > u) h >>= 1;
+    return h == u;
+  };
+  std::vector<char> touched(nleaf, 0);
+  for (int k = 0; k < xxt.n(); ++k) {
+    std::fill(touched.begin(), touched.end(), 0);
+    for (std::int32_t p = cp[k]; p < cp[k + 1]; ++p)
+      touched[leaf_of[rows[p]]] = 1;
+    for (int u = 2; u < 2 * nleaf; ++u) {
+      bool inside = false, outside = false;
+      for (int lf = 0; lf < nleaf; ++lf) {
+        if (!touched[lf]) continue;
+        (is_ancestor(u, lf) ? inside : outside) = true;
+      }
+      if (inside && outside) edge[u] += 1;
+    }
+  }
+  return edge;
+}
+
+TEST(XxtSchedule, EdgeAndLevelWordsMatchReferenceRecomputation) {
+  const auto a = tsem::poisson5(20, 20);  // n = 400
+  const int n = a.n();
+  std::vector<double> x(n), y(n), z;
+  for (int j = 0; j < 20; ++j)
+    for (int i = 0; i < 20; ++i) {
+      x[j * 20 + i] = i;
+      y[j * 20 + i] = j;
+    }
+  const auto nd = tsem::nested_dissection(a, x, y, z, 4);
+  const tsem::XxtSolver xxt(a, nd);
+
+  // Per-leaf nonzeros must sum to the factor's total nonzero count: the
+  // level schedule is an accounting of the real structure of X, nothing
+  // is dropped or double-counted.
+  std::int64_t leaf_sum = 0;
+  for (auto v : xxt.leaf_nnz()) leaf_sum += v;
+  EXPECT_EQ(leaf_sum, xxt.nnz());
+  EXPECT_EQ(xxt.max_rank_nnz(0), xxt.nnz());
+  EXPECT_EQ(xxt.max_rank_nnz(xxt.nlevels()), xxt.max_leaf_nnz());
+
+  const auto ref = reference_edge_words(xxt);
+  ASSERT_EQ(ref.size(), xxt.edge_msg_words().size());
+  for (std::size_t u = 2; u < ref.size(); ++u)
+    EXPECT_EQ(xxt.edge_msg_words()[u], ref[u]) << "edge " << u;
+
+  // Level maxima and totals derive from the same per-edge words.
+  std::vector<std::int64_t> level(xxt.nlevels(), 0);
+  std::int64_t total = 0;
+  for (std::size_t u = 2; u < ref.size(); ++u) {
+    if (ref[u] == 0) continue;
+    int depth = 0;
+    for (std::size_t v = u >> 1; v > 1; v >>= 1) ++depth;
+    level[depth] = std::max(level[depth], ref[u]);
+    total += ref[u];
+  }
+  EXPECT_EQ(xxt.level_msg_words(), level);
+  EXPECT_EQ(xxt.total_msg_words(), total);
+  for (int l = 0; l <= xxt.nlevels(); ++l) {
+    const auto at = xxt.level_msg_words_at(l);
+    ASSERT_EQ(static_cast<int>(at.size()), l);
+    for (int d = 0; d < l; ++d) EXPECT_EQ(at[d], level[d]);
+  }
+}
+
+TEST(XxtSchedule, TreeFanTimeMonotoneNondecreasingInP) {
+  // Fixed global coarse size, growing machine: each extra level adds the
+  // next tree edge to the critical path, so the measured fan time can
+  // only grow; the per-rank nonzero load can only shrink.
+  const Mesh m = box3d(4, 4, 2, 3);
+  ClusterOptions opt;
+  opt.max_ranks = 16;
+  opt.build_schwarz = false;
+  const ClusterSim sim(m, opt);
+  ASSERT_NE(sim.xxt(), nullptr);
+  const auto mach = MachineParams::asci_red(false, false);
+  double prev_t = -1.0;
+  std::int64_t prev_nnz = sim.xxt()->nnz() + 1;
+  for (int p = 1; p <= 16; p *= 2) {
+    const auto sched = sim.schedule(p);
+    const double t = tsem::tree_fan_time(
+        mach, sched.xxt_level_words.data(),
+        static_cast<int>(sched.xxt_level_words.size()));
+    EXPECT_GE(t, prev_t) << "tree fan time decreased at P=" << p;
+    EXPECT_LE(sched.xxt_max_rank_nnz, prev_nnz);
+    EXPECT_GT(sched.xxt_max_rank_nnz, 0);
+    prev_t = t;
+    prev_nnz = sched.xxt_max_rank_nnz;
+  }
+}
+
+// ---- pcg allreduce schedule --------------------------------------------
+
+TEST(PcgDotSchedule, CountMatchesDocumentedConstants) {
+  // 1D Laplacian, identity preconditioner: every dot() is one scalar
+  // allreduce in a message-passing run.  The count must equal the closed
+  // form documented next to kPcgSetupDots/kPcgDotsPerIteration, which the
+  // cluster engine bills from.
+  const std::size_t n = 50;
+  auto apply = [n](const double* p, double* ap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = 2.0 * p[i];
+      if (i > 0) v -= p[i - 1];
+      if (i + 1 < n) v -= p[i + 1];
+      ap[i] = v;
+    }
+  };
+  long ndots = 0;
+  auto dot = [n, &ndots](const double* u, const double* v) {
+    ++ndots;
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += u[i] * v[i];
+    return s;
+  };
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  tsem::CgOptions opt;
+  opt.tol = 1e-10;
+  const auto res = tsem::pcg(n, apply, tsem::identity_precond(n), dot,
+                             b.data(), x.data(), opt);
+  ASSERT_TRUE(res.converged);
+  ASSERT_GT(res.iterations, 5);
+  EXPECT_EQ(ndots, tsem::kPcgSetupDots +
+                       tsem::kPcgDotsPerIteration * res.iterations - 1);
+}
+
+// ---- cluster schedules vs the production solver stack ------------------
+
+TEST(ClusterSchedule, SchwarzProfileMatchesProductionPreconditioner) {
+  // The engine profiles a mesh-level GhostExchange; the production
+  // SchwarzPrecond builds its own from the PressureSystem.  Under the
+  // same partition they must produce identical pairwise exchange lists —
+  // the bench's Schwarz volumes are the preconditioner's real ones.
+  tsem::Space s(box3d(3, 3, 2, 5));
+  const Mesh& m = s.mesh();
+  tsem::PressureSystem psys(s, s.make_mask(0x3F));
+  tsem::SchwarzOptions sopt;
+  sopt.overlap = 1;
+  sopt.use_coarse = false;
+  const tsem::SchwarzPrecond prec(psys, sopt);
+  ASSERT_NE(prec.ghost_exchange(), nullptr);
+
+  ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.build_coarse = false;
+  const ClusterSim sim(m, copt);
+  ASSERT_NE(sim.ghost_exchange(), nullptr);
+
+  const auto sched = sim.schedule(4);
+  EXPECT_EQ(sched.schwarz_gs_per_apply, 2 * sopt.overlap);
+  const CommProfile ref =
+      prec.ghost_exchange()->comm_profile(sched.elem_rank, 4);
+  EXPECT_EQ(sched.schwarz.send_words, ref.send_words);
+  EXPECT_EQ(sched.schwarz.neighbors, ref.neighbors);
+  ASSERT_EQ(sched.schwarz.pairs.size(), ref.pairs.size());
+  for (std::size_t i = 0; i < ref.pairs.size(); ++i)
+    EXPECT_EQ(sched.schwarz.pairs[i].words, ref.pairs[i].words);
+  check_profile_consistency(sched.schwarz);
+}
+
+TEST(ClusterStepTime, GoldenPhaseBreakdown) {
+  tsem::RankSchedule s;
+  s.nranks = 4;
+  s.nelem = 8;
+  s.max_rank_elems = 2;
+  s.gs.nranks = 4;
+  s.gs.neighbors = {1, 2, 1, 0};
+  s.gs.send_words = {10, 20, 5, 0};
+  s.schwarz.nranks = 4;
+  s.schwarz.neighbors = {1, 1, 0, 0};
+  s.schwarz.send_words = {4, 4, 0, 0};
+  s.schwarz_gs_per_apply = 2;
+  s.xxt_level_words = {7, 3};
+  s.xxt_max_rank_nnz = 100;
+
+  MachineParams m;
+  m.alpha = 1e-3;
+  m.beta = 1e-6;
+  m.flop_rate = 1e6;
+
+  // The busiest gs rank is rank 1: 2 messages + 20 words.
+  EXPECT_NEAR(tsem::gs_op_time(m, s.gs), 2e-3 + 20e-6, 1e-15);
+
+  tsem::StepShape shape;
+  shape.flops = 1e6;
+  shape.gs_ops = 2;
+  shape.allreduces = 3;
+  shape.schwarz_applies = 5;
+  shape.coarse_solves = 4;
+  const tsem::PhaseTimes t = tsem::cluster_step_time(s, m, shape);
+  // compute: 1e6 flops * (2/8 elements) / 1e6 flop/s.
+  EXPECT_NEAR(t.compute, 0.25, 1e-15);
+  // gs: 2 ops * 2.02e-3 + 5 applies * 2 ops * 1.004e-3.
+  EXPECT_NEAR(t.gs, 2 * 2.02e-3 + 10 * 1.004e-3, 1e-12);
+  // allreduce: 3 * log2(4) * (alpha + beta).
+  EXPECT_NEAR(t.allreduce, 3 * 2 * (1e-3 + 1e-6), 1e-12);
+  // coarse: 4 * (2*((alpha+7*beta)+(alpha+3*beta)) + 4*100/1e6).
+  EXPECT_NEAR(t.coarse, 4 * (2 * (2e-3 + 10e-6) + 4e-4), 1e-12);
+  EXPECT_NEAR(t.total(), t.compute + t.gs + t.allreduce + t.coarse, 1e-15);
+}
+
+}  // namespace
