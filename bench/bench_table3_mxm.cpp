@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 #include <random>
 #include <vector>
 
@@ -23,6 +24,7 @@
 
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
+#include "tensor/kernels_simd.hpp"
 #include "tensor/mxm.hpp"
 
 namespace {
@@ -128,27 +130,55 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   struct Named {
-    const char* name;
+    std::string name;
     KernelFn fn;
   };
+  // Build the dispatch table up front so the "tuned" rows and the meta
+  // selection digest reflect the table every library call uses.
+  tsem::mxm_autotune_init();
+  std::string kernel_list = "lkm csm ghm f3 f2";
   for (const auto& s : kShapes) {
-    const Named kernels[] = {{"lkm", tsem::mxm_generic},
-                             {"csm", tsem::mxm_blocked},
-                             {"ghm", fixed_for(s)},
-                             {"f3", tsem::mxm_f3},
-                             {"f2", tsem::mxm_f2}};
+    std::vector<Named> kernels = {{"lkm", tsem::mxm_generic},
+                                  {"csm", tsem::mxm_blocked},
+                                  {"ghm", fixed_for(s)},
+                                  {"f3", tsem::mxm_f3},
+                                  {"f2", tsem::mxm_f2}};
+    // SIMD variants ride along whenever compiled in AND runnable here.
+    for (const auto& v : tsem::mxm_registry())
+      if (v.simd) kernels.push_back({v.name, v.fn});
+    // The autotuned dispatch entry the library actually calls through.
+    kernels.push_back({"tuned", +[](const double* a, int m, const double* b,
+                                    int k, double* c, int n) {
+                         tsem::mxm(a, m, b, k, c, n);
+                       }});
+    if (&s == kShapes) {  // extend the meta list once
+      for (std::size_t i = 5; i < kernels.size(); ++i)
+        kernel_list += " " + kernels[i].name;
+    }
     for (const auto& k : kernels) {
       char name[64];
       std::snprintf(name, sizeof(name), "mxm/%dx%dx%d/%s", s.n1, s.n2, s.n3,
-                    k.name);
+                    k.name.c_str());
       benchmark::RegisterBenchmark(
           name, [s, fn = k.fn](benchmark::State& st) { run_kernel(st, s, fn); });
     }
   }
   tsem::obs::BenchReport report("table3_mxm");
   report.meta()["table"] = "Table 3";
-  report.meta()["kernels"] = "lkm csm ghm f3 f2";
+  report.meta()["kernels"] = kernel_list;
   report.meta()["obs_enabled"] = tsem::obs::enabled();
+  // SIMD/autotuner provenance: which ISA the binary saw, whether the
+  // AVX2 family was compiled in, and which variant the tuner installed
+  // for each Table 3 calling configuration.
+  report.meta()["simd_compiled"] = tsem::simd_compiled();
+  report.meta()["simd_available"] = tsem::simd_available();
+  report.meta()["isa"] = tsem::simd_isa_name();
+  for (const auto& s : kShapes) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%dx%dx%d", s.n1, s.n2, s.n3);
+    report.meta()["selected"][label] =
+        tsem::mxm_selected_name(s.n1, s.n2, s.n3);
+  }
   // The mxm kernels themselves are serial, but recording the thread
   // budget keeps reports self-describing alongside the threaded benches.
 #ifdef _OPENMP

@@ -26,6 +26,16 @@ void HelmholtzOp::apply(const double* u, double* w) const {
   for (std::size_t i = 0; i < mask_.size(); ++i) w[i] *= mask_[i];
 }
 
+void HelmholtzOp::apply_multi(const double* const* u, double* const* w,
+                              int nf) const {
+  apply_helmholtz_local_multi(space_->mesh(), h1_, h2_, u, w, nf, work_);
+  for (int f = 0; f < nf; ++f) {
+    space_->gs().op(w[f]);
+    double* wf = w[f];
+    for (std::size_t i = 0; i < mask_.size(); ++i) wf[i] *= mask_[i];
+  }
+}
+
 CgResult helmholtz_solve(const HelmholtzOp& h,
                          const std::vector<double>& bcvals,
                          const std::vector<double>& rhs_weak,
@@ -89,6 +99,242 @@ CgResult helmholtz_solve(const HelmholtzOp& h,
   if (!is_hard_failure(res.status))
     for (std::size_t i = 0; i < nl; ++i) out[i] = x[i] + ub[i];
   return res;
+}
+
+int helmholtz_solve_multi(const HelmholtzOp& h,
+                          const std::vector<double>* const* bcvals,
+                          const std::vector<double>* const* rhs_weak,
+                          std::vector<double>* const* out, int nf,
+                          const HelmholtzSolveOptions& opt, TensorWork& work,
+                          HelmholtzSolveScratch* scratch, CgResult* results,
+                          bool maxiter_is_failure) {
+  const obs::ScopedTimer timer("helmholtz/solve");
+  const Space& space = h.space();
+  const Mesh& m = space.mesh();
+  const std::vector<double>& mask = h.mask();
+  const std::size_t nl = space.nlocal();
+  TSEM_REQUIRE(nf >= 1 && nf <= kMaxSolveFields);
+  for (int f = 0; f < nf; ++f)
+    TSEM_REQUIRE(bcvals[f]->size() == nl && rhs_weak[f]->size() == nl &&
+                 out[f]->size() == nl);
+
+  HelmholtzSolveScratch local;
+  HelmholtzSolveScratch& scr = scratch ? *scratch : local;
+  if (static_cast<int>(scr.mub.size()) < nf) {
+    scr.mub.resize(nf);
+    scr.mb.resize(nf);
+    scr.mt.resize(nf);
+    scr.mx.resize(nf);
+    scr.mcg.resize(nf);
+  }
+  for (int f = 0; f < nf; ++f) {
+    if (scr.mub[f].size() < nl) {
+      scr.mub[f].resize(nl);
+      scr.mb[f].resize(nl);
+      scr.mt[f].resize(nl);
+      scr.mx[f].resize(nl);
+    }
+    scr.mcg[f].ensure(nl);
+  }
+
+  // Setup, field by field where the work is field-local and fused where an
+  // element sweep is involved.  Every per-field statement matches
+  // helmholtz_solve line for line, so the iterates are bitwise identical
+  // to nf sequential solves.
+  const double* ubp[kMaxSolveFields];
+  double* tp[kMaxSolveFields];
+  for (int f = 0; f < nf; ++f) {
+    double* const ub = scr.mub[f].data();
+    double* const b = scr.mb[f].data();
+    const double* bc = bcvals[f]->data();
+    const double* rw = rhs_weak[f]->data();
+    for (std::size_t i = 0; i < nl; ++i) {
+      ub[i] = (1.0 - mask[i]) * bc[i];
+      b[i] = rw[i];
+    }
+    space.gs().op(b);
+    ubp[f] = ub;
+    tp[f] = scr.mt[f].data();
+  }
+  apply_helmholtz_local_multi(m, h.h1(), h.h2(), ubp, tp, nf, work);
+  for (int f = 0; f < nf; ++f) {
+    space.gs().op(tp[f]);
+    double* const b = scr.mb[f].data();
+    const double* t = tp[f];
+    const double* ub = ubp[f];
+    double* const x = scr.mx[f].data();
+    const double* o = out[f]->data();
+    for (std::size_t i = 0; i < nl; ++i) b[i] = (b[i] - t[i]) * mask[i];
+    if (opt.zero_guess)
+      for (std::size_t i = 0; i < nl; ++i) x[i] = 0.0;
+    else
+      for (std::size_t i = 0; i < nl; ++i) x[i] = (o[i] - ub[i]) * mask[i];
+  }
+
+  const std::vector<double>& dg = h.diagonal();
+  auto prec = [&dg, nl](const double* r, double* z) {
+    for (std::size_t i = 0; i < nl; ++i) z[i] = r[i] / dg[i];
+  };
+  auto dot = [&space](const double* a2, const double* b2) {
+    return space.glsum_dot(a2, b2);
+  };
+
+  // Per-field CG state, mirroring pcg() exactly (cg.hpp); a field whose
+  // recurrence exits simply drops out of the fused applies.
+  struct Field {
+    double* r;
+    double* z;
+    double* p;
+    double* ap;
+    double rnorm, target, rz, best, last_finite;
+    int best_it;
+    bool active;
+    bool entered;  // reached the iteration loop (not a setup exit)
+  } st[kMaxSolveFields];
+
+  {
+    const double* xin[kMaxSolveFields];
+    double* apout[kMaxSolveFields];
+    for (int f = 0; f < nf; ++f) {
+      st[f].r = scr.mcg[f].r.data();
+      st[f].z = scr.mcg[f].z.data();
+      st[f].p = scr.mcg[f].p.data();
+      st[f].ap = scr.mcg[f].ap.data();
+      xin[f] = scr.mx[f].data();
+      apout[f] = st[f].ap;
+    }
+    h.apply_multi(xin, apout, nf);
+  }
+
+  int nactive = 0;
+  for (int f = 0; f < nf; ++f) {
+    Field& s = st[f];
+    CgResult& res = results[f];
+    res = CgResult{};
+    const double* b = scr.mb[f].data();
+    for (std::size_t i = 0; i < nl; ++i) s.r[i] = b[i] - s.ap[i];
+    s.rnorm = std::sqrt(dot(s.r, s.r));
+    res.initial_residual = s.rnorm;
+    s.active = false;
+    s.entered = false;
+    if (!std::isfinite(s.rnorm)) {
+      res.status = SolveStatus::NonFinite;
+      res.final_residual = s.rnorm;
+      continue;
+    }
+    s.target = opt.tol * (s.rnorm > 0 ? s.rnorm : 1.0);
+    if (s.rnorm <= s.target) {
+      res.converged = true;
+      res.status = SolveStatus::Converged;
+      res.final_residual = s.rnorm;
+      continue;
+    }
+    prec(s.r, s.z);
+    for (std::size_t i = 0; i < nl; ++i) s.p[i] = s.z[i];
+    s.rz = dot(s.r, s.z);
+    s.best = s.rnorm;
+    s.last_finite = s.rnorm;
+    s.best_it = 0;
+    s.active = true;
+    s.entered = true;
+    res.status = SolveStatus::MaxIter;
+    ++nactive;
+  }
+
+  const CgOptions copt;  // stall_window default, as in helmholtz_solve
+  for (int it = 1; it <= opt.max_iter && nactive > 0; ++it) {
+    const double* pp[kMaxSolveFields];
+    double* app[kMaxSolveFields];
+    int idx[kMaxSolveFields];
+    int na = 0;
+    for (int f = 0; f < nf; ++f)
+      if (st[f].active) {
+        pp[na] = st[f].p;
+        app[na] = st[f].ap;
+        idx[na] = f;
+        ++na;
+      }
+    h.apply_multi(pp, app, na);
+    for (int a = 0; a < na; ++a) {
+      const int f = idx[a];
+      Field& s = st[f];
+      CgResult& res = results[f];
+      const double pap = dot(s.p, s.ap);
+      if (!(pap > 0.0)) {
+        res.status = std::isfinite(pap) ? SolveStatus::Breakdown
+                                        : SolveStatus::NonFinite;
+        s.active = false;
+        --nactive;
+        continue;
+      }
+      const double alpha = s.rz / pap;
+      double* const x = scr.mx[f].data();
+      for (std::size_t i = 0; i < nl; ++i) {
+        x[i] += alpha * s.p[i];
+        s.r[i] -= alpha * s.ap[i];
+      }
+      s.rnorm = std::sqrt(dot(s.r, s.r));
+      res.iterations = it;
+      if (!std::isfinite(s.rnorm)) {
+        res.status = SolveStatus::NonFinite;
+        s.active = false;
+        --nactive;
+        continue;
+      }
+      s.last_finite = s.rnorm;
+      if (s.rnorm <= s.target) {
+        res.converged = true;
+        res.status = SolveStatus::Converged;
+        s.active = false;
+        --nactive;
+        continue;
+      }
+      if (s.rnorm < 0.999 * s.best) {
+        s.best = s.rnorm;
+        s.best_it = it;
+      } else if (it - s.best_it >= copt.stall_window) {
+        res.status = SolveStatus::Stalled;
+        s.active = false;
+        --nactive;
+        continue;
+      }
+      prec(s.r, s.z);
+      const double rz_new = dot(s.r, s.z);
+      const double beta = rz_new / s.rz;
+      s.rz = rz_new;
+      for (std::size_t i = 0; i < nl; ++i) s.p[i] = s.z[i] + beta * s.p[i];
+    }
+  }
+  // pcg's epilogue for every field that entered the loop (break or
+  // MaxIter): report the last finite residual.  Setup exits already set
+  // final_residual themselves.
+  for (int f = 0; f < nf; ++f)
+    if (st[f].entered)
+      results[f].final_residual =
+          std::isfinite(st[f].rnorm) ? st[f].rnorm : st[f].last_finite;
+
+  // Commit + obs in FIELD ORDER, stopping after the first failed field —
+  // exactly the trace a sequential per-field loop with early exit leaves.
+  int first_fail = nf;
+  for (int f = 0; f < nf; ++f) {
+    CgResult& res = results[f];
+    obs::record_solve("pcg", res.iterations, res.initial_residual,
+                      res.final_residual, to_string(res.status));
+    if (!is_hard_failure(res.status)) {
+      double* o = out[f]->data();
+      const double* x = scr.mx[f].data();
+      const double* ub = scr.mub[f].data();
+      for (std::size_t i = 0; i < nl; ++i) o[i] = x[i] + ub[i];
+    }
+    const bool failed =
+        is_hard_failure(res.status) ||
+        (maxiter_is_failure && res.status == SolveStatus::MaxIter);
+    if (failed) {
+      first_fail = f;
+      break;
+    }
+  }
+  return first_fail;
 }
 
 }  // namespace tsem

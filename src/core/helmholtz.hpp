@@ -23,6 +23,12 @@ class HelmholtzOp {
   /// w = mask .* QQ^T (h1 A_L + h2 B_L) u for a C0, masked input u.
   void apply(const double* u, double* w) const;
 
+  /// Fused apply over nf independent fields (one element sweep streams the
+  /// derivative matrices and G factors across all fields; see
+  /// apply_helmholtz_local_multi).  w[f] is bitwise identical to nf
+  /// separate apply() calls.
+  void apply_multi(const double* const* u, double* const* w, int nf) const;
+
   /// Assembled, masked diagonal (1.0 at masked nodes) for Jacobi.
   [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
 
@@ -56,6 +62,11 @@ struct HelmholtzSolveOptions {
 struct HelmholtzSolveScratch {
   std::vector<double> ub, b, t, x;
   CgScratch cg;
+  // Per-field buffers for helmholtz_solve_multi (kept separate from the
+  // single-field members so mixing both entry points on one scratch is
+  // safe).
+  std::vector<std::vector<double>> mub, mb, mt, mx;
+  std::vector<CgScratch> mcg;
 };
 
 /// Dirichlet-lifted Jacobi-PCG solve of H u = rhs_weak on the operator's
@@ -72,5 +83,32 @@ CgResult helmholtz_solve(const HelmholtzOp& h,
                          std::vector<double>& out,
                          const HelmholtzSolveOptions& opt, TensorWork& work,
                          HelmholtzSolveScratch* scratch = nullptr);
+
+/// Field cap for helmholtz_solve_multi (stack-sized pointer arrays).
+inline constexpr int kMaxSolveFields = 8;
+
+/// Lockstep multi-field variant of helmholtz_solve: nf independent
+/// right-hand sides of the SAME operator are solved in one CG loop whose
+/// operator applies are fused (apply_multi), so the element data streams
+/// once per iteration for all fields instead of once per field.
+///
+/// Each field runs its own CG recurrence (its own alpha/beta/dots) and
+/// drops out of the fused apply the moment it exits, so per-field iterates,
+/// iteration counts and statuses are bitwise identical to nf sequential
+/// helmholtz_solve calls.  results[0..nf-1] receives each field's CgResult.
+///
+/// Commit semantics mirror a sequential loop that stops at the first
+/// failure (failed = hard failure, or MaxIter when maxiter_is_failure):
+/// out[f] is committed in field order up to and including the first failed
+/// field (hard-failed fields keep the caller's data, as in
+/// helmholtz_solve), and fields after it are left untouched.  Returns the
+/// index of the first failed field, or nf when every field succeeded.
+int helmholtz_solve_multi(const HelmholtzOp& h,
+                          const std::vector<double>* const* bcvals,
+                          const std::vector<double>* const* rhs_weak,
+                          std::vector<double>* const* out, int nf,
+                          const HelmholtzSolveOptions& opt, TensorWork& work,
+                          HelmholtzSolveScratch* scratch, CgResult* results,
+                          bool maxiter_is_failure = false);
 
 }  // namespace tsem

@@ -54,6 +54,89 @@ void stiffness_elem_3d(const Basis1D& b, const double* g, std::size_t nl,
   for (int n = 0; n < npe; ++n) w[n] += t[n];
 }
 
+// Fused stiffness element kernels: derivative applies per field with hot
+// D matrices, then ONE pointwise pass that loads each G factor once and
+// serves every field.  Per-field expressions match stiffness_elem_* so
+// results are bitwise identical to per-field calls.
+void stiffness_elem_2d_multi(const Basis1D& b, const double* g,
+                             std::size_t nl, std::size_t off, int npe,
+                             const double* const* u, double* const* w,
+                             int nfc, double* slab) {
+  const int n1 = b.npts();
+  double* ur = slab;                                      // nfc * npe
+  double* us = slab + static_cast<std::size_t>(nfc) * npe;  // nfc * npe
+  double* t = us + static_cast<std::size_t>(nfc) * npe;     // npe
+  for (int f = 0; f < nfc; ++f) {
+    tensor2_apply_x(b.d.data(), n1, n1, u[f] + off, ur + f * npe);
+    tensor2_apply_y(b.d.data(), n1, n1, u[f] + off, us + f * npe);
+  }
+  const double* grr = g + 0 * nl + off;
+  const double* grs = g + 1 * nl + off;
+  const double* gss = g + 2 * nl + off;
+  for (int n = 0; n < npe; ++n) {
+    const double vrr = grr[n], vrs = grs[n], vss = gss[n];
+    for (int f = 0; f < nfc; ++f) {
+      double* urf = ur + f * npe;
+      double* usf = us + f * npe;
+      const double wr = vrr * urf[n] + vrs * usf[n];
+      const double ws = vrs * urf[n] + vss * usf[n];
+      urf[n] = wr;
+      usf[n] = ws;
+    }
+  }
+  for (int f = 0; f < nfc; ++f) {
+    tensor2_apply_x(b.dt.data(), n1, n1, ur + f * npe, w[f] + off);
+    tensor2_apply_y(b.dt.data(), n1, n1, us + f * npe, t);
+    double* wf = w[f] + off;
+    for (int n = 0; n < npe; ++n) wf[n] += t[n];
+  }
+}
+
+void stiffness_elem_3d_multi(const Basis1D& b, const double* g,
+                             std::size_t nl, std::size_t off, int npe,
+                             const double* const* u, double* const* w,
+                             int nfc, double* slab) {
+  const int n1 = b.npts();
+  double* ur = slab;
+  double* us = slab + static_cast<std::size_t>(nfc) * npe;
+  double* ut = us + static_cast<std::size_t>(nfc) * npe;
+  double* t = ut + static_cast<std::size_t>(nfc) * npe;  // npe
+  for (int f = 0; f < nfc; ++f) {
+    tensor3_apply_x(b.d.data(), n1, n1, n1, u[f] + off, ur + f * npe);
+    tensor3_apply_y(b.d.data(), n1, n1, n1, u[f] + off, us + f * npe);
+    tensor3_apply_z(b.d.data(), n1, n1, n1, u[f] + off, ut + f * npe);
+  }
+  const double* grr = g + 0 * nl + off;
+  const double* grs = g + 1 * nl + off;
+  const double* grt = g + 2 * nl + off;
+  const double* gss = g + 3 * nl + off;
+  const double* gst = g + 4 * nl + off;
+  const double* gtt = g + 5 * nl + off;
+  for (int n = 0; n < npe; ++n) {
+    const double vrr = grr[n], vrs = grs[n], vrt = grt[n];
+    const double vss = gss[n], vst = gst[n], vtt = gtt[n];
+    for (int f = 0; f < nfc; ++f) {
+      double* urf = ur + f * npe;
+      double* usf = us + f * npe;
+      double* utf = ut + f * npe;
+      const double wr = vrr * urf[n] + vrs * usf[n] + vrt * utf[n];
+      const double ws = vrs * urf[n] + vss * usf[n] + vst * utf[n];
+      const double wt = vrt * urf[n] + vst * usf[n] + vtt * utf[n];
+      urf[n] = wr;
+      usf[n] = ws;
+      utf[n] = wt;
+    }
+  }
+  for (int f = 0; f < nfc; ++f) {
+    double* wf = w[f] + off;
+    tensor3_apply_x(b.dt.data(), n1, n1, n1, ur + f * npe, wf);
+    tensor3_apply_y(b.dt.data(), n1, n1, n1, us + f * npe, t);
+    for (int n = 0; n < npe; ++n) wf[n] += t[n];
+    tensor3_apply_z(b.dt.data(), n1, n1, n1, ut + f * npe, t);
+    for (int n = 0; n < npe; ++n) wf[n] += t[n];
+  }
+}
+
 }  // namespace
 
 void apply_stiffness_local(const Mesh& m, const double* u, double* w,
@@ -283,6 +366,210 @@ void apply_filter_local(const Mesh& m, const std::vector<double>& f,
                     u + off, buf + 2 * static_cast<std::size_t>(npe), buf);
       for (int n = 0; n < npe; ++n)
         u[off + n] = buf[2 * static_cast<std::size_t>(npe) + n];
+    }
+  }
+}
+
+void apply_stiffness_local_multi(const Mesh& m, const double* const* u,
+                                 double* const* w, int nf, TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const std::size_t nl = m.nlocal();
+  const int npe = m.npe;
+  const int dslabs = m.dim;  // derivative buffers per field
+  for (int f0 = 0; f0 < nf; f0 += kMaxFusedFields) {
+    const int nfc = std::min(nf - f0, kMaxFusedFields);
+    const double* const* uc = u + f0;
+    double* const* wc = w + f0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (int e = 0; e < m.nelem; ++e) {
+      double* slab = work.get(
+          (static_cast<std::size_t>(dslabs) * nfc + 1) * npe);
+      const std::size_t off = static_cast<std::size_t>(e) * npe;
+      if (m.dim == 2)
+        stiffness_elem_2d_multi(b, m.g.data(), nl, off, npe, uc, wc, nfc,
+                                slab);
+      else
+        stiffness_elem_3d_multi(b, m.g.data(), nl, off, npe, uc, wc, nfc,
+                                slab);
+    }
+  }
+}
+
+void apply_helmholtz_local_multi(const Mesh& m, double h1, double h2,
+                                 const double* const* u, double* const* w,
+                                 int nf, TensorWork& work) {
+  apply_stiffness_local_multi(m, u, w, nf, work);
+  const std::size_t nl = m.nlocal();
+  // One pass over the mass matrix serves every field.
+  for (std::size_t i = 0; i < nl; ++i) {
+    const double bmv = h2 * m.bm[i];
+    for (int f = 0; f < nf; ++f) w[f][i] = h1 * w[f][i] + bmv * u[f][i];
+  }
+}
+
+void gradient_local_multi(const Mesh& m, const double* const* u,
+                          double* const* grad, int nf, TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = b.npts();
+  const int npe = m.npe;
+  for (int f0 = 0; f0 < nf; f0 += kMaxFusedFields) {
+    const int nfc = std::min(nf - f0, kMaxFusedFields);
+    const double* const* uc = u + f0;
+    double* const* gc = grad + static_cast<std::size_t>(f0) * m.dim;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (int e = 0; e < m.nelem; ++e) {
+      double* slab =
+          work.get(3 * static_cast<std::size_t>(nfc) * npe);
+      double* ur = slab;
+      double* us = slab + static_cast<std::size_t>(nfc) * npe;
+      double* ut = us + static_cast<std::size_t>(nfc) * npe;
+      const std::size_t off = static_cast<std::size_t>(e) * npe;
+      if (m.dim == 2) {
+        for (int f = 0; f < nfc; ++f) {
+          tensor2_apply_x(b.d.data(), n1, n1, uc[f] + off, ur + f * npe);
+          tensor2_apply_y(b.d.data(), n1, n1, uc[f] + off, us + f * npe);
+        }
+        const double* rx = m.metric(0, 0) + off;
+        const double* ry = m.metric(0, 1) + off;
+        const double* sx = m.metric(1, 0) + off;
+        const double* sy = m.metric(1, 1) + off;
+        for (int n = 0; n < npe; ++n) {
+          const double vrx = rx[n], vry = ry[n], vsx = sx[n], vsy = sy[n];
+          for (int f = 0; f < nfc; ++f) {
+            const double urn = ur[f * npe + n], usn = us[f * npe + n];
+            gc[f * 2 + 0][off + n] = vrx * urn + vsx * usn;
+            gc[f * 2 + 1][off + n] = vry * urn + vsy * usn;
+          }
+        }
+      } else {
+        for (int f = 0; f < nfc; ++f) {
+          tensor3_apply_x(b.d.data(), n1, n1, n1, uc[f] + off, ur + f * npe);
+          tensor3_apply_y(b.d.data(), n1, n1, n1, uc[f] + off, us + f * npe);
+          tensor3_apply_z(b.d.data(), n1, n1, n1, uc[f] + off, ut + f * npe);
+        }
+        for (int c = 0; c < 3; ++c) {
+          const double* rc = m.metric(0, c) + off;
+          const double* sc = m.metric(1, c) + off;
+          const double* tc = m.metric(2, c) + off;
+          for (int n = 0; n < npe; ++n) {
+            const double vr = rc[n], vs = sc[n], vt = tc[n];
+            for (int f = 0; f < nfc; ++f)
+              gc[f * 3 + c][off + n] = vr * ur[f * npe + n] +
+                                       vs * us[f * npe + n] +
+                                       vt * ut[f * npe + n];
+          }
+        }
+      }
+    }
+  }
+}
+
+void convect_local_multi(const Mesh& m, const double* const* vel,
+                         const double* const* u, double* const* conv, int nf,
+                         TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const int n1 = b.npts();
+  const int npe = m.npe;
+  for (int f0 = 0; f0 < nf; f0 += kMaxFusedFields) {
+    const int nfc = std::min(nf - f0, kMaxFusedFields);
+    const double* const* uc = u + f0;
+    double* const* cc = conv + f0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (int e = 0; e < m.nelem; ++e) {
+      double* slab =
+          work.get(3 * static_cast<std::size_t>(nfc) * npe);
+      double* ur = slab;
+      double* us = slab + static_cast<std::size_t>(nfc) * npe;
+      double* ut = us + static_cast<std::size_t>(nfc) * npe;
+      const std::size_t off = static_cast<std::size_t>(e) * npe;
+      if (m.dim == 2) {
+        for (int f = 0; f < nfc; ++f) {
+          tensor2_apply_x(b.d.data(), n1, n1, uc[f] + off, ur + f * npe);
+          tensor2_apply_y(b.d.data(), n1, n1, uc[f] + off, us + f * npe);
+        }
+        const double* rx = m.metric(0, 0) + off;
+        const double* ry = m.metric(0, 1) + off;
+        const double* sx = m.metric(1, 0) + off;
+        const double* sy = m.metric(1, 1) + off;
+        const double* v0 = vel[0] + off;
+        const double* v1 = vel[1] + off;
+        for (int n = 0; n < npe; ++n) {
+          const double vrx = rx[n], vry = ry[n], vsx = sx[n], vsy = sy[n];
+          const double w0 = v0[n], w1 = v1[n];
+          for (int f = 0; f < nfc; ++f) {
+            const double urn = ur[f * npe + n], usn = us[f * npe + n];
+            const double gx = vrx * urn + vsx * usn;
+            const double gy = vry * urn + vsy * usn;
+            cc[f][off + n] = w0 * gx + w1 * gy;
+          }
+        }
+      } else {
+        for (int f = 0; f < nfc; ++f) {
+          tensor3_apply_x(b.d.data(), n1, n1, n1, uc[f] + off, ur + f * npe);
+          tensor3_apply_y(b.d.data(), n1, n1, n1, uc[f] + off, us + f * npe);
+          tensor3_apply_z(b.d.data(), n1, n1, n1, uc[f] + off, ut + f * npe);
+        }
+        const double* v0 = vel[0] + off;
+        const double* v1 = vel[1] + off;
+        const double* v2 = vel[2] + off;
+        const double* rx = m.metric(0, 0) + off;
+        const double* sx = m.metric(1, 0) + off;
+        const double* tx = m.metric(2, 0) + off;
+        const double* ry = m.metric(0, 1) + off;
+        const double* sy = m.metric(1, 1) + off;
+        const double* ty = m.metric(2, 1) + off;
+        const double* rz = m.metric(0, 2) + off;
+        const double* sz = m.metric(1, 2) + off;
+        const double* tz = m.metric(2, 2) + off;
+        for (int n = 0; n < npe; ++n) {
+          const double w0 = v0[n], w1 = v1[n], w2 = v2[n];
+          for (int f = 0; f < nfc; ++f) {
+            const double urn = ur[f * npe + n];
+            const double usn = us[f * npe + n];
+            const double utn = ut[f * npe + n];
+            const double gx = rx[n] * urn + sx[n] * usn + tx[n] * utn;
+            const double gy = ry[n] * urn + sy[n] * usn + ty[n] * utn;
+            const double gz = rz[n] * urn + sz[n] * usn + tz[n] * utn;
+            cc[f][off + n] = w0 * gx + w1 * gy + w2 * gz;
+          }
+        }
+      }
+    }
+  }
+}
+
+void apply_filter_local_multi(const Mesh& m, const std::vector<double>& f,
+                              double* const* u, int nf, TensorWork& work) {
+  const int n1 = m.n1d();
+  const int npe = m.npe;
+  TSEM_REQUIRE(static_cast<int>(f.size()) == n1 * n1);
+  // The filter matrix stays register/cache hot across the fields of one
+  // element; the scratch slab is reused serially per field, so it does not
+  // scale with nf.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int e = 0; e < m.nelem; ++e) {
+    double* buf = work.get(3 * static_cast<std::size_t>(npe));
+    const std::size_t off = static_cast<std::size_t>(e) * npe;
+    for (int ff = 0; ff < nf; ++ff) {
+      if (m.dim == 2) {
+        tensor2_apply(f.data(), n1, n1, f.data(), n1, n1, u[ff] + off,
+                      buf + npe, buf);
+        for (int n = 0; n < npe; ++n) u[ff][off + n] = buf[npe + n];
+      } else {
+        tensor3_apply(f.data(), n1, n1, f.data(), n1, n1, f.data(), n1, n1,
+                      u[ff] + off, buf + 2 * static_cast<std::size_t>(npe),
+                      buf);
+        for (int n = 0; n < npe; ++n)
+          u[ff][off + n] = buf[2 * static_cast<std::size_t>(npe) + n];
+      }
     }
   }
 }

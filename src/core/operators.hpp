@@ -41,6 +41,46 @@ void convect_local(const Mesh& m, const double* const* vel, const double* u,
 void apply_filter_local(const Mesh& m, const std::vector<double>& f,
                         double* u, TensorWork& work);
 
+// ---------------------------------------------------------------------------
+// Multi-field fused variants.
+//
+// The velocity step applies the same operator to several fields (three
+// velocity components, plus scalars); the single-field kernels re-stream
+// the derivative matrices, metric terms and G factors once per field.
+// The *_multi variants below sweep all nf fields inside ONE element loop:
+// the D matrices stay hot across fields and every metric/G factor is
+// loaded once per node, not once per node per field.  Fields are
+// processed in groups of kMaxFusedFields (arena sizing bound); each
+// field's arithmetic is expression-for-expression identical to the
+// single-field kernel, so per-field results are bitwise equal to nf
+// separate calls.
+
+inline constexpr int kMaxFusedFields = 8;
+
+/// w[f] = A_L u[f] for f = 0..nf-1.
+void apply_stiffness_local_multi(const Mesh& m, const double* const* u,
+                                 double* const* w, int nf, TensorWork& work);
+
+/// w[f] = h1 * A_L u[f] + h2 * B_L u[f].
+void apply_helmholtz_local_multi(const Mesh& m, double h1, double h2,
+                                 const double* const* u, double* const* w,
+                                 int nf, TensorWork& work);
+
+/// grad[f * dim + c] = d u[f] / dx_c  (nf scalar fields, dim components
+/// each; the metric terms stream once across all fields).
+void gradient_local_multi(const Mesh& m, const double* const* u,
+                          double* const* grad, int nf, TensorWork& work);
+
+/// conv[f] = (vel . grad) u[f] with ONE shared advecting velocity.
+void convect_local_multi(const Mesh& m, const double* const* vel,
+                         const double* const* u, double* const* conv, int nf,
+                         TensorWork& work);
+
+/// u[f] <- (F (x) F (x) F) u[f] for all fields (filter matrix hot across
+/// fields).
+void apply_filter_local_multi(const Mesh& m, const std::vector<double>& f,
+                              double* const* u, int nf, TensorWork& work);
+
 /// Flop count for one local stiffness application over the whole mesh
 /// (paper §3: 12 N^4 + 15 N^3 per element in 3D) — used by the
 /// performance model.

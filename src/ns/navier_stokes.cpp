@@ -105,6 +105,11 @@ struct NavierStokes::StepScratch {
   std::vector<std::vector<double>*> fptr;
   std::vector<const double*> fmask;
   std::vector<double> weak, g, dp;
+  // Per-component weak rhs for the fused velocity Helmholtz solve.
+  std::array<std::vector<double>, 3> weak3;
+  // Pointer tables for the fused multi-field operator calls.
+  std::vector<const double*> min;
+  std::vector<double*> mout;
   // oifs_advect: interpolated advecting velocity and RK4 stages.
   std::array<std::vector<double>, 3> vbuf;
   std::vector<std::vector<double>> k1, k2, k3, k4, wtmp;
@@ -302,44 +307,64 @@ void NavierStokes::oifs_advect(
 
   const double* vel[3] = {vbuf[0].data(), vbuf[1].data(),
                           dim_ == 3 ? vbuf[2].data() : nullptr};
-  auto rate = [&](const double* w, double* k, const double* fmask) {
+  // One fused rate evaluation for all advected fields: the collocation
+  // path streams the element data once across the fields
+  // (convect_local_multi); the dealiased path keeps per-field applies
+  // (its fine-grid interpolants are per-field anyway).  Per-field values
+  // are bitwise identical to the per-field rate() this replaces.
+  std::vector<const double*>& win = scr_->min;
+  std::vector<double*>& kout = scr_->mout;
+  auto rate_all = [&](std::vector<std::vector<double>>& k) {
+    for (int f = 0; f < nf; ++f) kout[f] = k[f].data();
     if (dealias_) {
       // Weak form directly from the fine-grid quadrature.
-      dealias_->apply(vel, w, k, work_);
-      for (std::size_t i = 0; i < nl_; ++i) k[i] = -k[i];
+      for (int f = 0; f < nf; ++f) {
+        dealias_->apply(vel, win[f], kout[f], work_);
+        double* kf = kout[f];
+        for (std::size_t i = 0; i < nl_; ++i) kf[i] = -kf[i];
+      }
     } else {
-      convect_local(m, vel, w, k, work_);
-      for (std::size_t i = 0; i < nl_; ++i) k[i] *= -m.bm[i];
+      convect_local_multi(m, vel, win.data(), kout.data(), nf, work_);
+      for (int f = 0; f < nf; ++f) {
+        double* kf = kout[f];
+        for (std::size_t i = 0; i < nl_; ++i) kf[i] *= -m.bm[i];
+      }
     }
-    space_->gs().op(k);
-    for (std::size_t i = 0; i < nl_; ++i) k[i] *= bmi[i] * fmask[i];
+    for (int f = 0; f < nf; ++f) {
+      double* kf = kout[f];
+      const double* fmask = field_masks[f];
+      space_->gs().op(kf);
+      for (std::size_t i = 0; i < nl_; ++i) kf[i] *= bmi[i] * fmask[i];
+    }
   };
 
   double s = -(q - 1) * dt;  // start time relative to t^{n-1}
   for (int step = 0; step < nsub; ++step) {
     // RK4 stages at s, s+h/2, s+h.
     velocity_at(s);
-    for (int f = 0; f < nf; ++f)
-      rate(fields[f]->data(), k1[f].data(), field_masks[f]);
+    for (int f = 0; f < nf; ++f) win[f] = fields[f]->data();
+    rate_all(k1);
     velocity_at(s + 0.5 * h);
     for (int f = 0; f < nf; ++f) {
       for (std::size_t i = 0; i < nl_; ++i)
         wtmp[f][i] = (*fields[f])[i] + 0.5 * h * k1[f][i];
-      rate(wtmp[f].data(), k2[f].data(), field_masks[f]);
+      win[f] = wtmp[f].data();
+    }
+    rate_all(k2);
+    for (int f = 0; f < nf; ++f)
       for (std::size_t i = 0; i < nl_; ++i)
         wtmp[f][i] = (*fields[f])[i] + 0.5 * h * k2[f][i];
-      rate(wtmp[f].data(), k3[f].data(), field_masks[f]);
-    }
+    rate_all(k3);
     velocity_at(s + h);
-    for (int f = 0; f < nf; ++f) {
+    for (int f = 0; f < nf; ++f)
       for (std::size_t i = 0; i < nl_; ++i)
         wtmp[f][i] = (*fields[f])[i] + h * k3[f][i];
-      rate(wtmp[f].data(), k4[f].data(), field_masks[f]);
+    rate_all(k4);
+    for (int f = 0; f < nf; ++f)
       for (std::size_t i = 0; i < nl_; ++i)
         (*fields[f])[i] += h / 6.0 *
                            (k1[f][i] + 2.0 * k2[f][i] + 2.0 * k3[f][i] +
                             k4[f][i]);
-    }
     s += h;
     flops_total_ += 4.0 * nf * (convection_flops(m) + 6.0 * nl_);
   }
@@ -348,14 +373,21 @@ void NavierStokes::oifs_advect(
 void NavierStokes::apply_velocity_filter() {
   if (fmat_.empty()) return;
   const Mesh& m = space_->mesh();
+  ensure_scratch();
+  // One fused sweep filters every component and scalar (the filter matrix
+  // stays hot across fields); the dssum/mask blend stays per field.
+  std::vector<double*>& fu = scr_->mout;
+  for (int c = 0; c < dim_; ++c) fu[c] = u_[c].data();
+  for (std::size_t sc = 0; sc < scalars_.size(); ++sc)
+    fu[dim_ + sc] = scalars_[sc]->th.data();
+  const int nfall = dim_ + static_cast<int>(scalars_.size());
+  apply_filter_local_multi(m, fmat_, fu.data(), nfall, work_);
   for (int c = 0; c < dim_; ++c) {
-    apply_filter_local(m, fmat_, u_[c].data(), work_);
     space_->daverage(u_[c].data());
     for (std::size_t i = 0; i < nl_; ++i)
       u_[c][i] = mask_[i] * u_[c][i] + (1.0 - mask_[i]) * ubc_[c][i];
   }
   for (auto& sc : scalars_) {
-    apply_filter_local(m, fmat_, sc->th.data(), work_);
     space_->daverage(sc->th.data());
     for (std::size_t i = 0; i < nl_; ++i)
       sc->th[i] =
@@ -398,6 +430,9 @@ void NavierStokes::ensure_scratch() {
   }
   s.fptr.resize(nf);
   s.fmask.resize(nf);
+  s.min.resize(nf);
+  s.mout.resize(nf);
+  for (int c = 0; c < dim_; ++c) s.weak3[c].resize(nl_);
   s.weak.resize(nl_);
   s.g.resize(np);
   s.dp.resize(np);
@@ -532,13 +567,19 @@ bool NavierStokes::attempt_step(double dt, int order,
       gam[2] = 1.0;
     }
     // Convection of the newest level into history slot 0 (rotated below).
+    // One fused sweep advects every component and scalar with the shared
+    // velocity (metrics and D matrices stream once per element).
     const double* vel[3] = {un1[0].data(), un1[1].data(),
                             dim_ == 3 ? un1[2].data() : nullptr};
-    for (int c = 0; c < dim_; ++c)
-      convect_local(m, vel, un1[c].data(), ch_[0][c].data(), work_);
-    for (std::size_t sc = 0; sc < scalars_.size(); ++sc)
-      convect_local(m, vel, thn1[sc].data(), scalars_[sc]->hist[2].data(),
-                    work_);
+    for (int c = 0; c < dim_; ++c) {
+      scr.min[c] = un1[c].data();
+      scr.mout[c] = ch_[0][c].data();
+    }
+    for (std::size_t sc = 0; sc < scalars_.size(); ++sc) {
+      scr.min[dim_ + sc] = thn1[sc].data();
+      scr.mout[dim_ + sc] = scalars_[sc]->hist[2].data();
+    }
+    convect_local_multi(m, vel, scr.min.data(), scr.mout.data(), nf, work_);
     flops_total_ += nf * convection_flops(m);
     for (int q = 1; q <= order; ++q) {
       const double coef = cq[q - 1] / dt;
@@ -596,21 +637,37 @@ bool NavierStokes::attempt_step(double dt, int order,
     }
     psys_->gradient_t(p_.data(), gpp);
     flops_total_ += e_apply_flops(*psys_) / 2.0;
+    // All components share hop_, so the three solves run in lockstep with
+    // fused operator applies (helmholtz_solve_multi); per-component
+    // iterates and statuses are bitwise identical to sequential solves.
+    const std::vector<double>* bcv[3];
+    const std::vector<double>* rw[3];
+    std::vector<double>* uo[3];
+    CgResult cres[3];
     for (int c = 0; c < dim_; ++c) {
-      std::vector<double>& weak = scr.weak;
+      std::vector<double>& weak = scr.weak3[c];
       for (std::size_t i = 0; i < nl_; ++i)
         weak[i] = m.bm[i] * rhs[c][i] + gp[c][i];
       if (fault_hook_)
         fault_hook_(FaultSite::HelmholtzRhs, this_step, attempt, c,
                     weak.data(), nl_);
-      auto res = helmholtz_solve(*hop_, ubc_[c], weak, u_[c], hopt, work_,
-                                 &scr.helm);
-      stats.helmholtz_iters[c] = res.iterations;
-      stats.helmholtz_status[c] = res.status;
-      flops_total_ += res.iterations *
-                      (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
-      if (solve_failed(res.status)) return false;
+      bcv[c] = &ubc_[c];
+      rw[c] = &weak;
+      uo[c] = &u_[c];
     }
+    const int nfail =
+        helmholtz_solve_multi(*hop_, bcv, rw, uo, dim_, hopt, work_,
+                              &scr.helm, cres,
+                              opt_.resilience.maxiter_is_failure);
+    // Stats/flops for the components a sequential early-exit loop would
+    // have reached: everything up to and including the first failure.
+    for (int c = 0; c < dim_ && c <= nfail; ++c) {
+      stats.helmholtz_iters[c] = cres[c].iterations;
+      stats.helmholtz_status[c] = cres[c].status;
+      flops_total_ += cres[c].iterations *
+                      (stiffness_flops(m) + 14.0 * static_cast<double>(nl_));
+    }
+    if (nfail < dim_) return false;
   }
 
   // ---- scalar (species) transport ----

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "fem/fem.hpp"
 #include "tensor/linalg.hpp"
+#include "tensor/mxm.hpp"
 #include "tensor/tensor_apply.hpp"
 
 namespace tsem {
@@ -55,6 +56,45 @@ void FdmLocal::solve(const double* r, double* z, double* work) const {
     for (std::size_t i = 0; i < n; ++i) t[i] *= inv_lambda_[i];
     tensor3_apply(s_[0].data(), m_[0], m_[0], s_[1].data(), m_[1], m_[1],
                   s_[2].data(), m_[2], m_[2], t, z, scratch);
+  }
+}
+
+void FdmLocal::solve_batch(const double* r, double* z, int nb,
+                           double* work) const {
+  const std::size_t n = size();
+  const std::size_t stride = n * static_cast<std::size_t>(nb);
+  double* t = work;            // diagonal-scaled intermediate, nb blocks
+  double* t1 = work + stride;  // stage scratch
+  double* t2 = t1 + stride;    // stage scratch (3D)
+  if (dim_ == 2) {
+    const int mx = m_[0], my = m_[1];
+    mxm_bt(r, nb * my, st_[0].data(), mx, t1, mx);
+    for (int e = 0; e < nb; ++e)
+      mxm(st_[1].data(), my, t1 + e * n, my, t + e * n, mx);
+    for (int e = 0; e < nb; ++e) {
+      double* te = t + e * n;
+      for (std::size_t i = 0; i < n; ++i) te[i] *= inv_lambda_[i];
+    }
+    mxm_bt(t, nb * my, s_[0].data(), mx, t1, mx);
+    for (int e = 0; e < nb; ++e)
+      mxm(s_[1].data(), my, t1 + e * n, my, z + e * n, mx);
+  } else {
+    const int mx = m_[0], my = m_[1], mz = m_[2];
+    const std::size_t slab = static_cast<std::size_t>(my) * mx;
+    mxm_bt(r, nb * mz * my, st_[0].data(), mx, t1, mx);
+    for (int s = 0; s < nb * mz; ++s)
+      mxm(st_[1].data(), my, t1 + s * slab, my, t2 + s * slab, mx);
+    for (int e = 0; e < nb; ++e)
+      mxm(st_[2].data(), mz, t2 + e * n, mz, t + e * n, my * mx);
+    for (int e = 0; e < nb; ++e) {
+      double* te = t + e * n;
+      for (std::size_t i = 0; i < n; ++i) te[i] *= inv_lambda_[i];
+    }
+    mxm_bt(t, nb * mz * my, s_[0].data(), mx, t1, mx);
+    for (int s = 0; s < nb * mz; ++s)
+      mxm(s_[1].data(), my, t1 + s * slab, my, t2 + s * slab, mx);
+    for (int e = 0; e < nb; ++e)
+      mxm(s_[2].data(), mz, t2 + e * n, mz, z + e * n, my * mx);
   }
 }
 

@@ -26,6 +26,16 @@ class FdmLocal {
   /// z = A~^{-1} r (z may alias r).  work must hold >= 3 * size() doubles.
   void solve(const double* r, double* z, double* work) const;
 
+  /// Batched solve over nb element-contiguous blocks: r and z hold nb
+  /// size()-sized blocks back to back, work >= 3 * nb * size() doubles
+  /// (z may alias r).  The first tensor stage contracts the whole batch
+  /// in ONE tall mxm_bt call (the per-element row blocks concatenate
+  /// because x is the fastest index); later stages sweep the batch
+  /// slab-by-slab with hot factor matrices.  Each block's result is
+  /// bitwise identical to a solve() on that block — every row of every
+  /// stage runs the same kernel on the same operands.
+  void solve_batch(const double* r, double* z, int nb, double* work) const;
+
   [[nodiscard]] int dim() const { return dim_; }
   [[nodiscard]] int extent(int d) const { return m_[d]; }
   [[nodiscard]] std::size_t size() const { return inv_lambda_.size(); }

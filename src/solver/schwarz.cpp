@@ -1,6 +1,7 @@
 #include "solver/schwarz.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "common/check.hpp"
 #include "fem/fem.hpp"
@@ -66,6 +67,9 @@ SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
     ghost_.resize(static_cast<std::size_t>(opt_.overlap) * ghosts_->nslots());
     vout_.resize(ghost_.size());
   }
+  // Batch staging buffers sized once here so apply() never allocates.
+  batch_r_.resize(static_cast<std::size_t>(m.nelem) * nle_);
+  batch_z_.resize(batch_r_.size());
 }
 
 void SchwarzPrecond::build_local_grids() {
@@ -73,8 +77,13 @@ void SchwarzPrecond::build_local_grids() {
   const auto& g = gauss_nodes(ng1_);
   const int ov = opt_.overlap;
   local_flops_ = 0.0;
+  fdm_of_.assign(m.nelem, 0);
+  // Bitwise 1D-grid signature -> fdm_ index (deduplicates the eigensolves
+  // on meshes with repeated element geometry).
+  std::map<std::vector<double>, int> fdm_index;
   for (int e = 0; e < m.nelem; ++e) {
     std::array<std::vector<double>, 3> pts;
+    std::vector<double> sig;
     for (int d = 0; d < dim_; ++d) {
       const double len = element_extent(m, e, d);
       auto offv = [&](int i) { return len * (g[i] + 1.0) * 0.5; };
@@ -85,10 +94,14 @@ void SchwarzPrecond::build_local_grids() {
       for (int i = 0; i < ng1_; ++i) p.push_back(offv(i));
       for (int l = 0; l < ov; ++l) p.push_back(len + offv(l));
       p.push_back(len + offv(ov));  // Dirichlet ring (high)
+      sig.insert(sig.end(), p.begin(), p.end());
     }
     if (opt_.local == SchwarzOptions::Local::Fdm) {
-      fdm_.emplace_back(pts, dim_);
-      local_flops_ += fdm_.back().solve_flops();
+      auto [it, fresh] =
+          fdm_index.emplace(std::move(sig), static_cast<int>(fdm_.size()));
+      if (fresh) fdm_.emplace_back(pts, dim_);
+      fdm_of_[e] = it->second;
+      local_flops_ += fdm_[it->second].solve_flops();
     } else {
       std::vector<double> a =
           (dim_ == 2) ? p1_laplacian_2d(pts[0], pts[1])
@@ -97,6 +110,33 @@ void SchwarzPrecond::build_local_grids() {
       TSEM_REQUIRE(cholesky_factor(a.data(), n));
       fem_.push_back(std::move(a));
       local_flops_ += 2.0 * static_cast<double>(nle_) * nle_;
+    }
+  }
+
+  // Slot permutation: elements grouped by factorization (first-appearance
+  // order), then cut into chunks of <= kBatch.  FemP1 groups elements in
+  // mesh order (pass 2 solves per slot either way).
+  slot_of_.assign(m.nelem, 0);
+  elem_of_slot_.assign(m.nelem, 0);
+  chunks_.clear();
+  std::vector<std::vector<int>> groups;
+  if (opt_.local == SchwarzOptions::Local::Fdm) {
+    groups.resize(fdm_.size());
+    for (int e = 0; e < m.nelem; ++e) groups[fdm_of_[e]].push_back(e);
+  } else {
+    groups.emplace_back(m.nelem);
+    for (int e = 0; e < m.nelem; ++e) groups[0][e] = e;
+  }
+  int slot = 0;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t i = 0; i < groups[gi].size(); ++i) {
+      const int e = groups[gi][i];
+      slot_of_[e] = slot;
+      elem_of_slot_[slot] = e;
+      if (i % kBatch == 0)
+        chunks_.push_back({static_cast<int>(gi), slot, 0});
+      ++chunks_.back().count;
+      ++slot;
     }
   }
 }
@@ -161,18 +201,20 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
   const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
 
   // Local overlapping-subdomain solves (nested label:
-  // time/schwarz/apply/local).  Each element writes disjoint z / vout_
-  // slots and solves out of its thread's arena slab, so the loop runs
-  // under a deterministic static schedule.
+  // time/schwarz/apply/local), in three passes over the batch staging
+  // buffers: gather residuals into per-element slots, sweep the slots
+  // chunk-by-chunk with batched FDM solves, scatter the solutions back.
+  // Every pass writes disjoint slots / z entries under a deterministic
+  // static schedule, so results are thread-count invariant; chunk slots
+  // are contiguous, so one solve_batch call covers a whole chunk.
   obs::ScopedTimer timer_local("local");
   obs::count("schwarz/local_solves", m.nelem);
+  obs::count("schwarz/batch_solves", static_cast<std::int64_t>(chunks_.size()));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (int e = 0; e < m.nelem; ++e) {
-    double* rloc = lscratch_.get(5 * nle_);
-    double* zloc = rloc + nle_;
-    double* lwork = zloc + nle_;  // 3 * nle_ FDM workspace
+    double* rloc = batch_r_.data() + static_cast<std::size_t>(slot_of_[e]) * nle_;
     const std::size_t poff = static_cast<std::size_t>(e) * npe;
     std::fill(rloc, rloc + nle_, 0.0);
     // Own dofs.
@@ -214,13 +256,39 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
         }
       }
     }
-    // Local solve.
+  }
+
+  // Batched local solves, one chunk per iteration.
+  const int nchunks = static_cast<int>(chunks_.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int ci = 0; ci < nchunks; ++ci) {
+    const Chunk& ch = chunks_[ci];
+    const std::size_t off = static_cast<std::size_t>(ch.slot0) * nle_;
     if (opt_.local == SchwarzOptions::Local::Fdm) {
-      fdm_[e].solve(rloc, zloc, lwork);
+      double* lwork = lscratch_.get(3 * static_cast<std::size_t>(ch.count) * nle_);
+      fdm_[ch.local].solve_batch(batch_r_.data() + off,
+                                 batch_z_.data() + off, ch.count, lwork);
     } else {
-      std::copy(rloc, rloc + nle_, zloc);
-      cholesky_solve(fem_[e].data(), static_cast<int>(nle_), zloc);
+      for (int s = 0; s < ch.count; ++s) {
+        const int e = elem_of_slot_[ch.slot0 + s];
+        double* zloc = batch_z_.data() + off + static_cast<std::size_t>(s) * nle_;
+        std::copy(batch_r_.data() + off + static_cast<std::size_t>(s) * nle_,
+                  batch_r_.data() + off + static_cast<std::size_t>(s + 1) * nle_,
+                  zloc);
+        cholesky_solve(fem_[e].data(), static_cast<int>(nle_), zloc);
+      }
     }
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int e = 0; e < m.nelem; ++e) {
+    const double* zloc =
+        batch_z_.data() + static_cast<std::size_t>(slot_of_[e]) * nle_;
+    const std::size_t poff = static_cast<std::size_t>(e) * npe;
     // Scatter own part.
     if (dim_ == 2) {
       for (int j = 0; j < ng1_; ++j)

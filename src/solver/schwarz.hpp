@@ -76,9 +76,29 @@ class SchwarzPrecond {
   std::size_t nle_;     // local extended dofs per element
   std::unique_ptr<GhostExchange> ghosts_;
 
-  std::vector<FdmLocal> fdm_;             // per element (Local::Fdm)
+  // Local solvers.  FdmLocal factorizations are deduplicated by the
+  // bitwise 1D grid signature (a uniform mesh collapses to ONE entry);
+  // fdm_of_[e] maps an element to its factorization.  FemP1 Cholesky
+  // factors stay per element.
+  std::vector<FdmLocal> fdm_;             // unique factorizations
+  std::vector<int> fdm_of_;               // element -> fdm_ index
   std::vector<std::vector<double>> fem_;  // per element Cholesky factors
   double local_flops_ = 0.0;
+
+  // Batched local-solve layout, fixed at setup so apply() is identical
+  // for every thread count: elements are permuted into slots grouped by
+  // factorization, then cut into chunks of <= kBatch contiguous slots.
+  // One FdmLocal::solve_batch call sweeps a chunk.
+  static constexpr int kBatch = 16;
+  struct Chunk {
+    int local;  // fdm_ index (Fdm) — FemP1 solves per slot
+    int slot0;  // first slot of the chunk
+    int count;
+  };
+  std::vector<int> slot_of_;       // element -> slot
+  std::vector<int> elem_of_slot_;  // slot -> element
+  std::vector<Chunk> chunks_;
+  mutable std::vector<double> batch_r_, batch_z_;  // nelem * nle_ each
 
   // Coarse data.
   std::unique_ptr<CoarseSolver> coarse_;
@@ -86,8 +106,8 @@ class SchwarzPrecond {
   mutable std::vector<double> cb_, cx_;
 
   mutable std::vector<double> ghost_, vout_;
-  /// Per-thread rloc/zloc/FDM-work slabs (5 * nle_ doubles per thread)
-  /// for the OpenMP-parallel local-solve loop in apply().
+  /// Per-thread FDM batch workspace (3 * kBatch * nle_ doubles per
+  /// thread) for the OpenMP-parallel chunk-solve loop in apply().
   mutable Workspace lscratch_;
   mutable long nonfinite_applies_ = 0;
 };

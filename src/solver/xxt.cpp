@@ -126,6 +126,17 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
   const auto& cols = a.col();
   const auto& vals = a.val();
 
+  // All scratch above is reused across the n_ column sweeps; reserving
+  // up front keeps the factor loop free of incremental regrowth (the
+  // touched set of a late column can span most of the matrix).
+  touch_list.reserve(n_);
+  cand.reserve(n_);
+  {
+    std::int32_t max_row = 0;
+    for (int r = 0; r < n_; ++r) max_row = std::max(max_row, rp[r + 1] - rp[r]);
+    aj.reserve(static_cast<std::size_t>(max_row));
+  }
+
   for (int k = 0; k < n_; ++k) {
     const std::int32_t j = nd_.perm[k];
     a.column(j, aj);  // symmetric: row j
@@ -207,6 +218,9 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
     auto& edge_msg = edge_msg_;
     auto& leaf_nnz = leaf_nnz_;
     std::vector<std::int32_t> leaves;
+    std::vector<std::int32_t> edges;
+    leaves.reserve(static_cast<std::size_t>(1) << nl);
+    edges.reserve(static_cast<std::size_t>(2) << nl);
     for (int k = 0; k < n_; ++k) {
       leaves.clear();
       for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p) {
@@ -233,7 +247,7 @@ XxtSolver::XxtSolver(const CsrMatrix& a, const NestedDissection& nd)
       // Each edge on the union of leaf->LCA paths carries ONE combined
       // partial sum per column (parents merge their children's partials),
       // so count each edge once.
-      std::vector<std::int32_t> edges;
+      edges.clear();
       for (int lf : leaves)
         for (int u = heap(lf); u > lca; u >>= 1)
           edges.push_back(u);

@@ -1,0 +1,49 @@
+// AVX2/FMA mxm kernel family (paper §6 modernized: the hand-unrolled f2/f3
+// idea carried to a register-blocked SIMD micro-kernel, as NekRS does for
+// its shape-specialized operator kernels).
+//
+// Compile gating: the kernels are built only when the TSEM_SIMD CMake
+// option is ON and the toolchain accepts -mavx2 -mfma (the build then
+// defines TSEM_SIMD_ENABLED and compiles this translation unit with those
+// flags).  Runtime gating: simd_available() additionally requires the
+// executing CPU to report AVX2 and FMA, so a TSEM_SIMD binary stays
+// correct on older hardware — the registry in mxm.cpp simply does not
+// register the family there.
+//
+// Numerics: each C entry is accumulated over the contraction index in the
+// same sequential order as the scalar kernels, but with fused
+// multiply-adds (single rounding per term) and, in mxm_bt_avx2, four-lane
+// partial sums.  Results therefore agree with the scalar reference to a
+// tight relative tolerance, not bitwise — see the tolerance policy in
+// DESIGN.md (Kernel registry & autotuner).
+#pragma once
+
+namespace tsem {
+
+/// True when the SIMD family is compiled in AND the executing CPU reports
+/// AVX2 + FMA.  Cached after the first call.
+bool simd_available();
+
+/// True when the family was compiled in (TSEM_SIMD=ON at configure time).
+bool simd_compiled();
+
+/// Human-readable ISA tag for bench metadata: "avx2+fma" when
+/// simd_available(), "none" otherwise.
+const char* simd_isa_name();
+
+// C (m x n) = A (m x k) * B (k x n), all dense row-major, C overwritten.
+// Register tiles: 4 rows x 8 cols and 8 rows x 4 cols of C respectively;
+// the autotuner picks between them (and the scalar variants) per shape.
+// Callable only when simd_available() — they TSEM_REQUIRE-fail otherwise.
+void mxm_avx2_b4x8(const double* a, int m, const double* b, int k, double* c,
+                   int n);
+void mxm_avx2_b8x4(const double* a, int m, const double* b, int k, double* c,
+                   int n);
+
+/// C (m x n) = A (m x k) * B^T with B stored (n x k) row-major — the
+/// SIMD twin of mxm_bt (both operands are contraction-contiguous, so this
+/// vectorizes the dot products with 4-lane FMA partial sums).
+void mxm_bt_avx2(const double* a, int m, const double* b, int k, double* c,
+                 int n);
+
+}  // namespace tsem

@@ -1,6 +1,17 @@
 #include "tensor/mxm.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "tensor/kernels_simd.hpp"
 
 namespace tsem {
 namespace {
@@ -111,8 +122,8 @@ void mxm_f3(const double* a, int m, const double* b, int k, double* c,
   dispatch_by_k<F3Impl>(a, m, b, k, c, n);
 }
 
-void mxm_bt(const double* a, int m, const double* b, int k, double* c,
-            int n) {
+void mxm_bt_scalar(const double* a, int m, const double* b, int k, double* c,
+                   int n) {
   // C[i][j] = sum_l A[i][l] * B[j][l], B stored (n x k).
   for (int i = 0; i < m; ++i) {
     const double* ai = a + static_cast<std::ptrdiff_t>(i) * k;
@@ -142,6 +153,323 @@ void mxm_at(const double* a, int m, const double* b, int k, double* c,
       for (int j = 0; j < n; ++j) ci[j] += ali * bl[j];
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel registry.
+
+const std::vector<MxmVariant>& mxm_registry() {
+  // Registration order is preference order: on a timing tie (within the
+  // autotuner margin) the earlier entry wins, so the deterministic scalar
+  // defaults sit first and the SIMD family must beat them outright.
+  static const std::vector<MxmVariant> reg = [] {
+    std::vector<MxmVariant> r = {{"f3", mxm_f3, false},
+                                 {"f2", mxm_f2, false},
+                                 {"blocked", mxm_blocked, false},
+                                 {"generic", mxm_generic, false}};
+    if (simd_available()) {
+      r.push_back({"avx2_b4x8", mxm_avx2_b4x8, true});
+      r.push_back({"avx2_b8x4", mxm_avx2_b8x4, true});
+    }
+    return r;
+  }();
+  return reg;
+}
+
+const std::vector<MxmVariant>& mxm_bt_registry() {
+  static const std::vector<MxmVariant> reg = [] {
+    std::vector<MxmVariant> r = {{"bt_scalar", mxm_bt_scalar, false}};
+    if (simd_available()) r.push_back({"bt_avx2", mxm_bt_avx2, true});
+    return r;
+  }();
+  return reg;
+}
+
+const MxmVariant* mxm_variant_by_name(const char* name) {
+  for (const auto& v : mxm_registry())
+    if (std::strcmp(v.name, name) == 0) return &v;
+  for (const auto& v : mxm_bt_registry())
+    if (std::strcmp(v.name, name) == 0) return &v;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Autotuner.
+//
+// The discretization only ever multiplies with m, k <= N1 = 16 (the
+// contraction index is a point count per direction); n is either another
+// point count (<= 16) or a collapsed plane/volume extent (up to N1^2 or
+// more).  The table therefore buckets shapes into (m, k) cells with a
+// short-n and a long-n class, each tuned once at a representative shape.
+// Anything outside the table (dealiasing grids can reach 24) takes a
+// fixed heuristic.  The table is built once per process and cached, so a
+// given shape always runs the same kernel (bitwise run-to-run and
+// thread-count invariance within the process).
+
+namespace {
+
+constexpr int kMaxTuned = 16;
+// Representative long-n for cell (m, k): the collapsed extent a
+// tensor3_apply final stage sees (n = my*mx), clamped into the class.
+int long_n_for(int m) { return m * m > kMaxTuned ? m * m : kMaxTuned + 1; }
+
+struct TuneTable {
+  MxmKernelFn small_fn[kMaxTuned + 1][kMaxTuned + 1] = {};
+  const char* small_nm[kMaxTuned + 1][kMaxTuned + 1] = {};
+  MxmKernelFn long_fn[kMaxTuned + 1][kMaxTuned + 1] = {};
+  const char* long_nm[kMaxTuned + 1][kMaxTuned + 1] = {};
+  MxmKernelFn bt_fn[kMaxTuned + 1] = {};
+  const char* bt_nm[kMaxTuned + 1] = {};
+  // Set when TSEM_MXM_KERNEL pins a variant; dispatch short-circuits.
+  MxmKernelFn forced_fn = nullptr;
+  const char* forced_nm = nullptr;
+  MxmKernelFn forced_bt_fn = nullptr;
+  const char* forced_bt_nm = nullptr;
+};
+
+// Time one variant on one shape: fixed rep count sized to a ~100 kflop
+// budget, best of three samples.  Operands are seeded once by the caller;
+// in-cache timing is the right condition here because the operator code
+// runs these kernels on hot element workspaces.
+double time_variant(MxmKernelFn fn, int m, int k, int n, const double* a,
+                    const double* b, double* c) {
+  const double flops = 2.0 * m * k * n;
+  int reps = static_cast<int>(1.0e5 / flops) + 1;
+  if (reps < 2) reps = 2;
+  if (reps > 64) reps = 64;
+  fn(a, m, b, k, c, n);  // warm instruction + data paths
+  double best = 1.0e300;
+  for (int s = 0; s < 3; ++s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn(a, m, b, k, c, n);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(t1 - t0).count() / reps;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+// Challenger must beat the incumbent by >3% to displace it, so noise on
+// near-equal variants resolves to the registration (preference) order.
+constexpr double kWinMargin = 0.97;
+
+const MxmVariant* pick(const std::vector<MxmVariant>& reg, int m, int k,
+                       int n, const double* a, const double* b, double* c) {
+  const MxmVariant* best = &reg.front();
+  double best_t = time_variant(best->fn, m, k, n, a, b, c);
+  for (std::size_t i = 1; i < reg.size(); ++i) {
+    const double t = time_variant(reg[i].fn, m, k, n, a, b, c);
+    if (t < best_t * kWinMargin) {
+      best = &reg[i];
+      best_t = t;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<TuneTable> build_table() {
+  auto t = std::make_unique<TuneTable>();
+
+  if (const char* env = std::getenv("TSEM_MXM_KERNEL");
+      env != nullptr && *env != '\0') {
+    if (const MxmVariant* v = mxm_variant_by_name(env)) {
+      // A name from the bt registry pins only mxm_bt; anything else pins
+      // only mxm.  The other dispatch keeps its tuned table.
+      bool is_bt = false;
+      for (const auto& b : mxm_bt_registry())
+        if (&b == v) is_bt = true;
+      if (is_bt) {
+        t->forced_bt_fn = v->fn;
+        t->forced_bt_nm = v->name;
+      } else {
+        t->forced_fn = v->fn;
+        t->forced_nm = v->name;
+      }
+    }
+  }
+
+  // Seeded operands, sized for the largest representative shapes
+  // (mxm: 16 x 16 by 16 x 256; bt: 256 x 16 by B (16 x 16)).
+  std::vector<double> a(256 * kMaxTuned), b(kMaxTuned * 256),
+      c(256 * kMaxTuned);
+  std::mt19937 rng(20260807);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& x : a) x = dist(rng);
+  for (auto& x : b) x = dist(rng);
+
+  if (t->forced_fn == nullptr) {
+    for (int m = 1; m <= kMaxTuned; ++m) {
+      for (int k = 1; k <= kMaxTuned; ++k) {
+        const MxmVariant* s =
+            pick(mxm_registry(), m, k, m, a.data(), b.data(), c.data());
+        t->small_fn[m][k] = s->fn;
+        t->small_nm[m][k] = s->name;
+        const int nl = long_n_for(m);
+        const MxmVariant* l =
+            pick(mxm_registry(), m, k, nl, a.data(), b.data(), c.data());
+        t->long_fn[m][k] = l->fn;
+        t->long_nm[m][k] = l->name;
+      }
+    }
+  } else {
+    for (int m = 1; m <= kMaxTuned; ++m)
+      for (int k = 1; k <= kMaxTuned; ++k) {
+        t->small_fn[m][k] = t->long_fn[m][k] = t->forced_fn;
+        t->small_nm[m][k] = t->long_nm[m][k] = t->forced_nm;
+      }
+  }
+
+  if (t->forced_bt_fn == nullptr) {
+    for (int k = 1; k <= kMaxTuned; ++k) {
+      // Representative bt shape: the tensor3_apply first stage, which
+      // contracts k points across a k^2-row plane block.
+      const int m = k * k > 4 ? k * k : 4;
+      const MxmVariant* v =
+          pick(mxm_bt_registry(), m, k, k, a.data(), b.data(), c.data());
+      t->bt_fn[k] = v->fn;
+      t->bt_nm[k] = v->name;
+    }
+  } else {
+    for (int k = 1; k <= kMaxTuned; ++k) {
+      t->bt_fn[k] = t->forced_bt_fn;
+      t->bt_nm[k] = t->forced_bt_nm;
+    }
+  }
+
+  obs::count("mxm/autotune/builds");
+  obs::Json ev;
+  ev["type"] = "mxm_autotune";
+  ev["isa"] = simd_isa_name();
+  ev["simd_compiled"] = simd_compiled();
+  ev["simd_available"] = simd_available();
+  if (t->forced_nm != nullptr) ev["forced"] = t->forced_nm;
+  if (t->forced_bt_nm != nullptr) ev["forced_bt"] = t->forced_bt_nm;
+  for (int d = 2; d <= kMaxTuned; d += 2) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "small/%dx%dx%d", d, d, d);
+    ev["selections"][key] = t->small_nm[d][d];
+    std::snprintf(key, sizeof(key), "long/%dx%dx%d", d, d, long_n_for(d));
+    ev["selections"][key] = t->long_nm[d][d];
+    std::snprintf(key, sizeof(key), "bt/k=%d", d);
+    ev["selections"][key] = t->bt_nm[d];
+  }
+  obs::emit_event(std::move(ev));
+
+  return t;
+}
+
+std::atomic<const TuneTable*> g_table{nullptr};
+std::mutex g_table_mu;
+
+// Replaced tables (reset_for_testing) are retired here instead of freed:
+// a racing reader may still hold the old pointer, and keeping them makes
+// the hook leak-sanitizer clean.
+std::vector<std::unique_ptr<TuneTable>>& retired_tables() {
+  static std::vector<std::unique_ptr<TuneTable>> v;
+  return v;
+}
+
+const TuneTable& tune_table() {
+  const TuneTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::lock_guard<std::mutex> lk(g_table_mu);
+  t = g_table.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    auto built = build_table();
+    t = built.get();
+    retired_tables().push_back(std::move(built));
+    g_table.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+// Fixed heuristic for shapes outside the tuned range (m or k > 16, e.g.
+// dealiasing grids): SIMD when runnable and the row is wide enough to
+// vectorize, else the historical f2/f3 shape rule.
+MxmKernelFn fallback_kernel(int m, int n) {
+  if (simd_available() && n >= 4) return mxm_avx2_b4x8;
+  return m > n ? mxm_f2 : mxm_f3;
+}
+
+const char* fallback_name(int m, int n) {
+  if (simd_available() && n >= 4) return "avx2_b4x8";
+  return m > n ? "f2" : "f3";
+}
+
+}  // namespace
+
+void mxm_autotune_init() { (void)tune_table(); }
+
+void detail::mxm_tuned(const double* a, int m, const double* b, int k,
+                       double* c, int n) {
+  const TuneTable& t = tune_table();
+  if (t.forced_fn != nullptr) {
+    t.forced_fn(a, m, b, k, c, n);
+    return;
+  }
+  if (m >= 1 && m <= kMaxTuned && k >= 1 && k <= kMaxTuned) {
+    (n <= kMaxTuned ? t.small_fn : t.long_fn)[m][k](a, m, b, k, c, n);
+    return;
+  }
+  fallback_kernel(m, n)(a, m, b, k, c, n);
+}
+
+void mxm_bt(const double* a, int m, const double* b, int k, double* c,
+            int n) {
+  const TuneTable& t = tune_table();
+  if (t.forced_bt_fn != nullptr) {
+    t.forced_bt_fn(a, m, b, k, c, n);
+    return;
+  }
+  if (k >= 1 && k <= kMaxTuned) {
+    t.bt_fn[k](a, m, b, k, c, n);
+    return;
+  }
+  if (simd_available()) {
+    mxm_bt_avx2(a, m, b, k, c, n);
+    return;
+  }
+  mxm_bt_scalar(a, m, b, k, c, n);
+}
+
+const char* mxm_selected_name(int m, int k, int n) {
+  const TuneTable& t = tune_table();
+  if (t.forced_nm != nullptr) return t.forced_nm;
+  if (m >= 1 && m <= kMaxTuned && k >= 1 && k <= kMaxTuned)
+    return (n <= kMaxTuned ? t.small_nm : t.long_nm)[m][k];
+  return fallback_name(m, n);
+}
+
+const char* mxm_bt_selected_name(int k) {
+  const TuneTable& t = tune_table();
+  if (t.forced_bt_nm != nullptr) return t.forced_bt_nm;
+  if (k >= 1 && k <= kMaxTuned) return t.bt_nm[k];
+  return simd_available() ? "bt_avx2" : "bt_scalar";
+}
+
+std::vector<std::pair<std::string, std::string>> mxm_autotune_selections() {
+  const TuneTable& t = tune_table();
+  std::vector<std::pair<std::string, std::string>> out;
+  char key[32];
+  for (int d = 2; d <= kMaxTuned; d += 2) {
+    std::snprintf(key, sizeof(key), "small/%dx%dx%d", d, d, d);
+    out.emplace_back(key, t.small_nm[d][d]);
+  }
+  for (int d = 2; d <= kMaxTuned; d += 2) {
+    std::snprintf(key, sizeof(key), "long/%dx%dx%d", d, d, long_n_for(d));
+    out.emplace_back(key, t.long_nm[d][d]);
+  }
+  for (int d = 2; d <= kMaxTuned; d += 2) {
+    std::snprintf(key, sizeof(key), "bt/k=%d", d);
+    out.emplace_back(key, t.bt_nm[d]);
+  }
+  return out;
+}
+
+void detail::mxm_autotune_reset_for_testing() {
+  std::lock_guard<std::mutex> lk(g_table_mu);
+  g_table.store(nullptr, std::memory_order_release);
 }
 
 }  // namespace tsem

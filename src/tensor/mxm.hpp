@@ -13,12 +13,29 @@
 //   mxm_f3       — inner dimension fully unrolled, n1 outer ("f3").
 //   mxm_fixed<M,K,N> — all extents compile-time (the "ghm" specialized
 //                  library stand-in for n2 <= 20).
+//   mxm_avx2_*   — AVX2/FMA register-tiled family (kernels_simd.hpp),
+//                  present when TSEM_SIMD is compiled in and the CPU
+//                  supports it.
+//
+// The variants are collected in a runtime registry (mxm_registry) and a
+// one-time autotuner (mxm_autotune_init) times every registered variant
+// on the shape classes the discretization uses (m, k <= 16, with short
+// and long n) and installs the winner per shape in a dispatch table.
+// mxm() and mxm_bt() route through that table.  Selection is cached for
+// the life of the process, so every call with a given shape runs the
+// same kernel — the PR-3 bitwise thread-count invariance is preserved.
+// Set TSEM_MXM_KERNEL=<variant name> to bypass tuning and pin one
+// variant (useful for cross-process reproducibility; scalar variants are
+// bitwise reorder-free, SIMD variants match to relative tolerance — see
+// DESIGN.md "Kernel registry & autotuner").
 //
 // All matrices are dense row-major. C is overwritten:
 //   C (m x n) = A (m x k) * B (k x n).
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace tsem {
 
@@ -29,26 +46,73 @@ void mxm_blocked(const double* a, int m, const double* b, int k, double* c,
 void mxm_f2(const double* a, int m, const double* b, int k, double* c, int n);
 void mxm_f3(const double* a, int m, const double* b, int k, double* c, int n);
 
-/// Default product used throughout the library: the unrolled variant is
-/// picked by the shape of C.  Tall C (m > n) goes to f2, whose
-/// column-outer order loads each short B column once and amortizes it
-/// over the many A rows; wide or square C goes to f3, whose row-outer
-/// order streams contiguous C rows against a register-resident A row.
-/// Both compute every C entry with the identical dot-product loop, so the
-/// choice never changes the result.
-inline void mxm(const double* a, int m, const double* b, int k, double* c,
-                int n) {
-  if (m > n)
-    mxm_f2(a, m, b, k, c, n);
-  else
-    mxm_f3(a, m, b, k, c, n);
-}
-
 /// C (m x n) = A (m x k) * B^T where B is stored (n x k) row-major.
+/// Routed through the autotuned dispatch table (see mxm_bt_scalar for the
+/// portable reference kernel).
 void mxm_bt(const double* a, int m, const double* b, int k, double* c, int n);
+
+/// Portable reference implementation of mxm_bt (sequential dot products).
+void mxm_bt_scalar(const double* a, int m, const double* b, int k, double* c,
+                   int n);
 
 /// C (m x n) = A^T * B where A is stored (k x m) row-major.
 void mxm_at(const double* a, int m, const double* b, int k, double* c, int n);
+
+// ---------------------------------------------------------------------------
+// Kernel registry + autotuner.
+
+using MxmKernelFn = void (*)(const double* a, int m, const double* b, int k,
+                             double* c, int n);
+
+struct MxmVariant {
+  const char* name;  // stable identifier ("f2", "avx2_b4x8", ...)
+  MxmKernelFn fn;
+  bool simd;  // true for the AVX2/FMA family (tolerance, not bitwise)
+};
+
+/// Registered C = A*B variants, in registration (preference) order.
+/// SIMD variants appear only when compiled in AND runnable on this CPU.
+const std::vector<MxmVariant>& mxm_registry();
+
+/// Registered C = A*B^T variants (same rules).
+const std::vector<MxmVariant>& mxm_bt_registry();
+
+/// Look up a registered variant (either registry) by name; nullptr if
+/// absent.
+const MxmVariant* mxm_variant_by_name(const char* name);
+
+/// Build the dispatch table now (idempotent, thread-safe; otherwise it is
+/// built lazily on the first mxm()/mxm_bt() call).  Timing uses seeded
+/// operands and fixed rep counts; within a process the table is built
+/// once and never changes.
+void mxm_autotune_init();
+
+/// Name of the variant mxm() dispatches to for this shape.
+const char* mxm_selected_name(int m, int k, int n);
+
+/// Name of the variant mxm_bt() dispatches to for this contraction size.
+const char* mxm_bt_selected_name(int k);
+
+/// Digest of the tuned table for bench/obs metadata: one (shape label,
+/// variant name) pair per tuned shape class, deterministic order.
+std::vector<std::pair<std::string, std::string>> mxm_autotune_selections();
+
+namespace detail {
+/// Table-dispatched product; the inline mxm() below forwards here.
+void mxm_tuned(const double* a, int m, const double* b, int k, double* c,
+               int n);
+/// Drop the cached dispatch table so the next use re-tunes (re-reading
+/// TSEM_MXM_KERNEL).  Testing hook only — not safe while other threads
+/// are inside mxm().
+void mxm_autotune_reset_for_testing();
+}  // namespace detail
+
+/// Default product used throughout the library: dispatches to the
+/// autotuner-selected variant for the shape (built on first use).
+inline void mxm(const double* a, int m, const double* b, int k, double* c,
+                int n) {
+  detail::mxm_tuned(a, m, b, k, c, n);
+}
 
 /// Fully compile-time-sized product, M x K times K x N.
 template <int M, int K, int N>

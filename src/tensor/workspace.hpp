@@ -8,6 +8,10 @@
 // thread allocates, every later get() of an equal-or-smaller size returns
 // the same pointer with nothing but an index load and a size check.
 //
+// Slabs are 64-byte aligned (kAlign) so the SIMD mxm kernels get aligned
+// vector loads/stores on slab-rooted operands and no element buffer
+// straddles a cache line pair.
+//
 // Ownership rules (also documented in DESIGN.md):
 //   * get(n) returns a slab private to the CALLING thread; two threads
 //     never share a slab, so element loops may call get() freely inside
@@ -25,8 +29,9 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
-#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -39,35 +44,59 @@ namespace tsem {
 class Workspace {
  public:
   static constexpr int kMaxThreads = 256;
+  static constexpr std::size_t kAlign = 64;  // bytes; one full cache line
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be a power of 2");
+  static_assert(kAlign % alignof(double) == 0,
+                "slab alignment must satisfy double alignment");
 
   /// Slab of at least n doubles owned by the calling thread (uninitialized
   /// beyond what the caller last wrote there).  Stable across calls with
-  /// non-increasing n.
+  /// non-increasing n; always kAlign-byte aligned.
   double* get(std::size_t n) {
     int tid = 0;
 #ifdef _OPENMP
     tid = omp_get_thread_num();
     TSEM_REQUIRE(tid < kMaxThreads);
 #endif
-    auto& slab = slabs_[tid];
-    // Lazy creation is race-free: index tid is touched only by the thread
-    // that owns it, and slabs live in separate heap blocks so neighboring
-    // entries do not share mutable cache lines after creation.
-    if (!slab) slab = std::make_unique<std::vector<double>>();
-    if (slab->size() < n) slab->resize(n);
-    return slab->data();
+    // Lazy growth is race-free: index tid is touched only by the thread
+    // that owns it, and slab blocks are separate heap allocations so
+    // neighboring entries do not share mutable cache lines after creation.
+    Slab& slab = slabs_[tid];
+    if (slab.cap < n) grow(slab, n);
+    return slab.data.get();
   }
 
   /// Number of thread slabs materialized so far (tests / diagnostics).
   [[nodiscard]] int slabs_in_use() const {
     int c = 0;
     for (const auto& s : slabs_)
-      if (s) ++c;
+      if (s.data) ++c;
     return c;
   }
 
  private:
-  std::array<std::unique_ptr<std::vector<double>>, kMaxThreads> slabs_{};
+  struct Freer {
+    void operator()(double* p) const { std::free(p); }
+  };
+  struct Slab {
+    std::size_t cap = 0;  // doubles
+    std::unique_ptr<double[], Freer> data;
+  };
+
+  static void grow(Slab& slab, std::size_t n) {
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // round the byte count up (std::free releases it, bypassing any
+    // replaced operator new — see tests/test_threading.cpp).
+    std::size_t bytes = n * sizeof(double);
+    bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+    auto* p = static_cast<double*>(std::aligned_alloc(kAlign, bytes));
+    TSEM_REQUIRE(p != nullptr);
+    if (slab.cap > 0) std::memcpy(p, slab.data.get(), slab.cap * sizeof(double));
+    slab.data.reset(p);
+    slab.cap = bytes / sizeof(double);
+  }
+
+  std::array<Slab, kMaxThreads> slabs_{};
 };
 
 }  // namespace tsem

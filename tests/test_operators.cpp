@@ -281,4 +281,152 @@ TEST(PoissonSolve, DeformedMesh3D) {
     EXPECT_NEAR(u[i], ustar[i], 1e-7);
 }
 
+// -------------------------------------------------------------------------
+// Multi-field fused operators: per-field results must be BITWISE equal to
+// the single-field kernels (same per-field expressions, shared streaming).
+// -------------------------------------------------------------------------
+
+std::vector<double> wave_field(const tsem::Mesh& m, int which) {
+  std::vector<double> u(m.nlocal());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double z = m.dim == 3 ? m.z[i] : 0.0;
+    u[i] = std::sin((1 + which) * m.x[i] + 0.3 * which) *
+               std::cos(m.y[i] - 0.2 * which) +
+           0.1 * which * z;
+  }
+  return u;
+}
+
+void check_multi_matches_single(const Space& s) {
+  const auto& m = s.mesh();
+  const std::size_t nl = s.nlocal();
+  // 9 fields exercises the kMaxFusedFields=8 chunking path.
+  const int nf = 9;
+  std::vector<std::vector<double>> u(nf);
+  for (int f = 0; f < nf; ++f) u[f] = wave_field(m, f);
+  std::vector<const double*> up(nf);
+  for (int f = 0; f < nf; ++f) up[f] = u[f].data();
+  const double* vel[3] = {u[0].data(), u[1].data(),
+                          m.dim == 3 ? u[2].data() : nullptr};
+  tsem::TensorWork w1, w2;
+
+  // Stiffness.
+  std::vector<std::vector<double>> ws(nf, std::vector<double>(nl)),
+      wm(nf, std::vector<double>(nl));
+  std::vector<double*> wp(nf);
+  for (int f = 0; f < nf; ++f) wp[f] = wm[f].data();
+  for (int f = 0; f < nf; ++f)
+    tsem::apply_stiffness_local(m, u[f].data(), ws[f].data(), w1);
+  tsem::apply_stiffness_local_multi(m, up.data(), wp.data(), nf, w2);
+  for (int f = 0; f < nf; ++f)
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(wm[f][i], ws[f][i]) << "stiffness field " << f;
+
+  // Helmholtz.
+  for (int f = 0; f < nf; ++f)
+    tsem::apply_helmholtz_local(m, 0.7, 1.3, u[f].data(), ws[f].data(), w1);
+  tsem::apply_helmholtz_local_multi(m, 0.7, 1.3, up.data(), wp.data(), nf,
+                                    w2);
+  for (int f = 0; f < nf; ++f)
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(wm[f][i], ws[f][i]) << "helmholtz field " << f;
+
+  // Gradient.
+  const int nc = 3;  // test a pointer-table stride of dim for 3 fields
+  std::vector<std::vector<double>> gs(nc * m.dim, std::vector<double>(nl)),
+      gm(nc * m.dim, std::vector<double>(nl));
+  for (int f = 0; f < nc; ++f) {
+    double* g[3];
+    for (int c = 0; c < m.dim; ++c) g[c] = gs[f * m.dim + c].data();
+    tsem::gradient_local(m, u[f].data(), g, w1);
+  }
+  std::vector<double*> gp(nc * m.dim);
+  for (std::size_t i = 0; i < gp.size(); ++i) gp[i] = gm[i].data();
+  tsem::gradient_local_multi(m, up.data(), gp.data(), nc, w2);
+  for (std::size_t f = 0; f < gp.size(); ++f)
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(gm[f][i], gs[f][i]) << "gradient slot " << f;
+
+  // Convection (shared advecting velocity).
+  for (int f = 0; f < nf; ++f)
+    tsem::convect_local(m, vel, u[f].data(), ws[f].data(), w1);
+  tsem::convect_local_multi(m, vel, up.data(), wp.data(), nf, w2);
+  for (int f = 0; f < nf; ++f)
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(wm[f][i], ws[f][i]) << "convect field " << f;
+
+  // Filter (in place).
+  const auto fmat = tsem::filter_matrix(m.order, 0.15);
+  std::vector<std::vector<double>> fs = u, fm = u;
+  std::vector<double*> fp(nf);
+  for (int f = 0; f < nf; ++f) fp[f] = fm[f].data();
+  for (int f = 0; f < nf; ++f)
+    tsem::apply_filter_local(m, fmat, fs[f].data(), w1);
+  tsem::apply_filter_local_multi(m, fmat, fp.data(), nf, w2);
+  for (int f = 0; f < nf; ++f)
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(fm[f][i], fs[f][i]) << "filter field " << f;
+}
+
+TEST(MultiField, FusedOperatorsMatchSingleFieldBitwise2D) {
+  check_multi_matches_single(make_box_space_2d(3, 7));
+}
+
+TEST(MultiField, FusedOperatorsMatchSingleFieldBitwise3D) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  check_multi_matches_single(Space(build_mesh(spec, 6)));
+}
+
+// The lockstep multi-rhs solver must reproduce sequential helmholtz_solve
+// exactly: same iterates (bitwise), same iteration counts and statuses.
+TEST(MultiField, LockstepHelmholtzSolveMatchesSequential) {
+  auto s = make_box_space_2d(3, 6);
+  const auto& m = s.mesh();
+  const std::size_t nl = s.nlocal();
+  auto mask = s.make_mask(0xF);
+  tsem::HelmholtzOp A(s, 0.01, 25.0, mask);
+
+  const int nf = 3;
+  std::vector<std::vector<double>> bc(nf, std::vector<double>(nl, 0.0));
+  std::vector<std::vector<double>> rhs(nf, std::vector<double>(nl));
+  for (int f = 0; f < nf; ++f) {
+    auto g = wave_field(m, f);
+    for (std::size_t i = 0; i < nl; ++i) rhs[f][i] = m.bm[i] * g[i];
+    // Inhomogeneous Dirichlet data for one field to cover the lift path.
+    if (f == 1)
+      for (std::size_t i = 0; i < nl; ++i) bc[f][i] = 0.25 * m.x[i];
+  }
+
+  tsem::HelmholtzSolveOptions opt;
+  opt.tol = 1e-10;
+  opt.zero_guess = true;
+  tsem::TensorWork work;
+
+  std::vector<std::vector<double>> useq(nf, std::vector<double>(nl, 0.0));
+  std::vector<tsem::CgResult> rseq(nf);
+  for (int f = 0; f < nf; ++f)
+    rseq[f] = tsem::helmholtz_solve(A, bc[f], rhs[f], useq[f], opt, work);
+
+  std::vector<std::vector<double>> umul(nf, std::vector<double>(nl, 0.0));
+  const std::vector<double>* bcp[3] = {&bc[0], &bc[1], &bc[2]};
+  const std::vector<double>* rp[3] = {&rhs[0], &rhs[1], &rhs[2]};
+  std::vector<double>* up[3] = {&umul[0], &umul[1], &umul[2]};
+  tsem::CgResult rmul[3];
+  const int nfail =
+      tsem::helmholtz_solve_multi(A, bcp, rp, up, nf, opt, work, nullptr,
+                                  rmul);
+  EXPECT_EQ(nfail, nf);
+  for (int f = 0; f < nf; ++f) {
+    EXPECT_EQ(rmul[f].iterations, rseq[f].iterations) << "field " << f;
+    EXPECT_EQ(rmul[f].status, rseq[f].status) << "field " << f;
+    EXPECT_EQ(rmul[f].converged, rseq[f].converged);
+    EXPECT_EQ(rmul[f].initial_residual, rseq[f].initial_residual);
+    EXPECT_EQ(rmul[f].final_residual, rseq[f].final_residual);
+    for (std::size_t i = 0; i < nl; ++i)
+      ASSERT_EQ(umul[f][i], useq[f][i]) << "field " << f << " entry " << i;
+  }
+}
+
 }  // namespace

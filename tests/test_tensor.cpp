@@ -1,7 +1,10 @@
 // Unit tests for the mxm kernel family and tensor-product application.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
@@ -67,11 +70,10 @@ INSTANTIATE_TEST_SUITE_P(
                       MxmShape{196, 16, 14}, MxmShape{7, 33, 5},
                       MxmShape{40, 40, 40}));
 
-// mxm() picks between the two unrolled loop orders by the shape of C
-// (tall -> f2, wide/square -> f3).  Both compute each entry with the
-// identical dot-product loop, so the dispatcher must agree BITWISE with
-// the variant it selects, across tall/wide/square shapes and contraction
-// extents on both sides of the unroll cutoff (24).
+// mxm() dispatches through the autotuned table.  Whatever variant the
+// tuner selected for a shape, the dispatcher must agree BITWISE with a
+// direct call to that variant — the guarantee behind thread-count and
+// run-to-run reproducibility (selection is fixed per process).
 TEST(Mxm, ShapeDispatchMatchesSelectedVariant) {
   const MxmShape shapes[] = {{64, 8, 8},   {8, 8, 64},  {16, 16, 16},
                              {100, 7, 3},  {3, 7, 100}, {5, 30, 5},
@@ -82,17 +84,123 @@ TEST(Mxm, ShapeDispatchMatchesSelectedVariant) {
     const std::size_t sz = static_cast<std::size_t>(s.m) * s.n;
     std::vector<double> c_dispatch(sz, -1.0), c_variant(sz, -2.0);
     tsem::mxm(a.data(), s.m, b.data(), s.k, c_dispatch.data(), s.n);
-    if (s.m > s.n)
-      mxm_f2(a.data(), s.m, b.data(), s.k, c_variant.data(), s.n);
-    else
-      mxm_f3(a.data(), s.m, b.data(), s.k, c_variant.data(), s.n);
+    const char* sel = tsem::mxm_selected_name(s.m, s.k, s.n);
+    const tsem::MxmVariant* v = tsem::mxm_variant_by_name(sel);
+    ASSERT_NE(v, nullptr) << "unknown selected variant " << sel;
+    v->fn(a.data(), s.m, b.data(), s.k, c_variant.data(), s.n);
     for (std::size_t i = 0; i < sz; ++i)
       ASSERT_EQ(c_dispatch[i], c_variant[i])
-          << "shape " << s.m << "x" << s.k << "x" << s.n << " entry " << i;
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " entry " << i
+          << " variant " << sel;
     const auto ref = reference_mxm(a, s.m, b, s.k, s.n);
     for (std::size_t i = 0; i < sz; ++i)
       ASSERT_NEAR(c_dispatch[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
   }
+}
+
+// Exhaustive correctness sweep: EVERY registered variant (scalar and
+// SIMD) against the naive reference over every shape the discretization
+// can produce, m, k, n in {2..16}.  SIMD variants reassociate the
+// contraction with FMA, so the bound is relative, not bitwise — this is
+// the documented accuracy contract for the whole kernel family.
+TEST(MxmRegistry, AllRegisteredVariantsSweepAllSmallShapes) {
+  const auto& reg = tsem::mxm_registry();
+  ASSERT_GE(reg.size(), 4u);  // the four scalar kernels at minimum
+  for (int m = 2; m <= 16; ++m)
+    for (int k = 2; k <= 16; ++k)
+      for (int n = 2; n <= 16; ++n) {
+        const auto a = random_matrix(m, k, 1000 + m);
+        const auto b =
+            random_matrix(k, n, 2000 + 16 * k + n);
+        const auto ref = reference_mxm(a, m, b, k, n);
+        std::vector<double> c(static_cast<std::size_t>(m) * n);
+        for (const auto& v : reg) {
+          std::fill(c.begin(), c.end(), -999.0);
+          v.fn(a.data(), m, b.data(), k, c.data(), n);
+          for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(c[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])))
+                << v.name << " " << m << "x" << k << "x" << n << " entry "
+                << i;
+        }
+      }
+}
+
+// Same sweep for the B-transposed registry feeding mxm_bt.
+TEST(MxmRegistry, AllBtVariantsSweepAllSmallShapes) {
+  const auto& reg = tsem::mxm_bt_registry();
+  ASSERT_GE(reg.size(), 1u);
+  for (int m = 2; m <= 16; ++m)
+    for (int k = 2; k <= 16; ++k)
+      for (int n = 2; n <= 16; ++n) {
+        const auto a = random_matrix(m, k, 3000 + m);
+        const auto b = random_matrix(k, n, 4000 + 16 * k + n);
+        const auto ref = reference_mxm(a, m, b, k, n);
+        std::vector<double> bt(static_cast<std::size_t>(n) * k);
+        for (int i = 0; i < k; ++i)
+          for (int j = 0; j < n; ++j) bt[j * k + i] = b[i * n + j];
+        std::vector<double> c(static_cast<std::size_t>(m) * n);
+        for (const auto& v : reg) {
+          std::fill(c.begin(), c.end(), -999.0);
+          v.fn(a.data(), m, bt.data(), k, c.data(), n);
+          for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(c[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])))
+                << v.name << " " << m << "x" << k << "x" << n << " entry "
+                << i;
+        }
+      }
+}
+
+// Determinism contract: the table is built ONCE per process and never
+// changes, so repeated init calls return the identical selection digest,
+// every selection names a registered variant, and mxm_selected_name is
+// consistent with the digest.  (Winners near a timing tie may differ
+// BETWEEN processes — TSEM_MXM_KERNEL pins them when cross-process
+// reproducibility matters; see DESIGN.md.)
+TEST(MxmRegistry, AutotunerSelectionsAreDeterministic) {
+  tsem::mxm_autotune_init();
+  const auto first = tsem::mxm_autotune_selections();
+  ASSERT_FALSE(first.empty());
+  for (const auto& [shape, name] : first)
+    EXPECT_NE(tsem::mxm_variant_by_name(name.c_str()), nullptr)
+        << shape << " selected unregistered variant " << name;
+  for (int round = 0; round < 3; ++round) {
+    tsem::mxm_autotune_init();  // idempotent: must NOT re-tune
+    const auto again = tsem::mxm_autotune_selections();
+    ASSERT_EQ(first.size(), again.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].first, again[i].first);
+      EXPECT_EQ(first[i].second, again[i].second)
+          << "selection for " << first[i].first << " changed on re-init";
+    }
+  }
+  // The dispatch-table lookups agree with the published digest for the
+  // square tuned shapes (digest labels are "small/dxdxd").
+  for (const auto& [shape, name] : first) {
+    if (shape.rfind("small/", 0) != 0) continue;
+    int d = 0;
+    ASSERT_EQ(std::sscanf(shape.c_str(), "small/%dx", &d), 1);
+    EXPECT_EQ(name, tsem::mxm_selected_name(d, d, d)) << shape;
+  }
+}
+
+// TSEM_MXM_KERNEL pins every mxm() shape to one named variant, bypassing
+// the timing pass entirely (cross-process reproducibility escape hatch).
+TEST(MxmRegistry, EnvForcedKernelPinsDispatch) {
+  ASSERT_EQ(setenv("TSEM_MXM_KERNEL", "generic", 1), 0);
+  tsem::detail::mxm_autotune_reset_for_testing();
+  tsem::mxm_autotune_init();
+  EXPECT_STREQ(tsem::mxm_selected_name(8, 8, 8), "generic");
+  EXPECT_STREQ(tsem::mxm_selected_name(12, 12, 144), "generic");
+  EXPECT_STREQ(tsem::mxm_selected_name(100, 7, 3), "generic");
+  const auto a = random_matrix(9, 9, 7);
+  const auto b = random_matrix(9, 9, 8);
+  std::vector<double> c_forced(81), c_direct(81);
+  tsem::mxm(a.data(), 9, b.data(), 9, c_forced.data(), 9);
+  mxm_generic(a.data(), 9, b.data(), 9, c_direct.data(), 9);
+  for (int i = 0; i < 81; ++i) ASSERT_EQ(c_forced[i], c_direct[i]);
+  unsetenv("TSEM_MXM_KERNEL");
+  tsem::detail::mxm_autotune_reset_for_testing();
+  tsem::mxm_autotune_init();  // leave the process on the tuned table
 }
 
 TEST(Mxm, TransposedVariants) {

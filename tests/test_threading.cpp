@@ -14,6 +14,7 @@
 // for field-length temporaries once the persistent scratch is warm.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -121,6 +122,22 @@ TEST(Workspace, GrowsMonotonicallyAndKeepsPointerOnReuse) {
   for (int i = 0; i < 64; ++i) p1[i] = i;
   (void)ws.get(64);
   EXPECT_EQ(p1[63], 63.0);  // non-growing get preserves contents
+}
+
+// Every slab the arena hands out is cache-line / AVX-512 aligned so the
+// SIMD mxm kernels can assume at least 64-byte alignment for their
+// staging buffers (workspace.hpp kAlign).
+TEST(Workspace, SlabsAre64ByteAligned) {
+  static_assert(tsem::Workspace::kAlign == 64);
+  tsem::Workspace ws;
+  // Odd sizes force re-allocations; alignment must hold through growth.
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    double* p = ws.get(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % tsem::Workspace::kAlign,
+              0u)
+        << "slab of " << n << " doubles misaligned";
+  }
 }
 
 TEST(Workspace, ThreadsReceiveDistinctSlabs) {
