@@ -1,0 +1,131 @@
+// Ensemble fleet bench: throughput and fault-recovery overhead of the
+// crash-isolated job engine (src/fleet/) on a Taylor-Green Reynolds
+// sweep.
+//
+// Runs the same expanded sweep twice under the supervisor: once clean,
+// once with a seeded plan of injected worker kills (plus optional
+// preemptive scheduling), and reports wall time, jobs/s, retries, and
+// the recovery overhead ratio.  Every completed faulted job is checked
+// bit-identical (state digest) against its clean twin — the bench fails
+// loudly if fault recovery ever changes an answer.
+//
+// Output: BENCH_ensemble.json (terasem-bench-1) from the faulted run,
+// one case per job; meta carries the fleet policy, the full event log,
+// and clean-vs-faulted wall seconds.
+//
+// Usage: bench_ensemble [--cases N] [--steps S] [--order P] [--mesh K]
+//                       [--concurrency C] [--kills F] [--quantum Q]
+//                       [--seed S]
+// Default: 8 cases, 12 steps, order 6, 2x2 mesh, concurrency 4,
+//          2 seeded kills, no preemption, seed 1999.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "fleet/spec.hpp"
+#include "fleet/supervisor.hpp"
+#include "io/binfile.hpp"
+#include "obs/json.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace {
+
+int arg_int(int argc, char** argv, const char* flag, int def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int cases = arg_int(argc, argv, "--cases", 8);
+  const int steps = arg_int(argc, argv, "--steps", 12);
+  const int order = arg_int(argc, argv, "--order", 6);
+  const int mesh_k = arg_int(argc, argv, "--mesh", 2);
+  const int concurrency = arg_int(argc, argv, "--concurrency", 4);
+  const int kills = arg_int(argc, argv, "--kills", 2);
+  const int quantum = arg_int(argc, argv, "--quantum", 0);
+  const int seed = arg_int(argc, argv, "--seed", 1999);
+
+  tsem::fleet::SweepSpec spec;
+  spec.name = "ensemble";
+  spec.base.mesh_k = mesh_k;
+  spec.base.order = order;
+  spec.base.dt = 0.01;
+  spec.base.steps = steps;
+  spec.base.checkpoint_every = steps >= 4 ? steps / 4 : 1;
+  for (int i = 0; i < cases; ++i)
+    spec.reynolds.push_back(10.0 + 5.0 * i);
+  spec.fleet.concurrency = concurrency;
+  spec.fleet.quantum_steps = quantum;
+  spec.fleet.workdir = "bench_ensemble_work";
+
+  // Pass 1: clean fleet (reference wall time and digests).
+  std::string err;
+  tsem::fleet::FleetReport clean;
+  if (!tsem::fleet::run_fleet(spec, &clean, &err)) {
+    std::fprintf(stderr, "clean fleet failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Pass 2: same sweep under a seeded kill plan.
+  tsem::FaultInjector inj(static_cast<std::uint32_t>(seed));
+  spec.faults = inj.plan_worker_kills(
+      cases, static_cast<std::size_t>(kills < cases ? kills : cases - 1),
+      steps);
+  spec.fleet.workdir = "bench_ensemble_work_faulted";
+  tsem::fleet::FleetReport faulted;
+  if (!tsem::fleet::run_fleet(spec, &faulted, &err)) {
+    std::fprintf(stderr, "faulted fleet failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Recovery must be invisible in the answers.
+  std::map<int, std::string> ref;
+  for (const auto& out : clean.jobs)
+    if (out.completed) ref[out.spec.index] = out.result.digest;
+  int mismatches = 0;
+  for (const auto& out : faulted.jobs) {
+    if (!out.completed) {
+      std::fprintf(stderr, "job %d not completed: %s\n", out.spec.index,
+                   out.failure.c_str());
+      ++mismatches;
+    } else if (ref.at(out.spec.index) != out.result.digest) {
+      std::fprintf(stderr, "job %d digest %s != clean %s\n", out.spec.index,
+                   out.result.digest.c_str(),
+                   ref.at(out.spec.index).c_str());
+      ++mismatches;
+    }
+  }
+
+  std::printf("ensemble: %d jobs (order %d, %d steps), concurrency %d\n",
+              cases, order, steps, concurrency);
+  std::printf("  clean:   %6.2f s  (%.2f jobs/s)\n", clean.wall_seconds,
+              cases / clean.wall_seconds);
+  std::printf(
+      "  faulted: %6.2f s  (%.2f jobs/s)  retries %d  preempts %d  "
+      "overhead %.2fx\n",
+      faulted.wall_seconds, cases / faulted.wall_seconds, faulted.retries,
+      faulted.preemptions, faulted.wall_seconds / clean.wall_seconds);
+  std::printf("  bit-identity: %s\n",
+              mismatches == 0 ? "all faulted jobs match clean digests"
+                              : "MISMATCH");
+
+  tsem::obs::Json doc = faulted.to_json("ensemble");
+  doc["meta"]["clean_wall_seconds"] = clean.wall_seconds;
+  doc["meta"]["fault_overhead"] = faulted.wall_seconds / clean.wall_seconds;
+  doc["meta"]["digest_mismatches"] = mismatches;
+  std::string dir = ".";
+  if (const char* env = std::getenv("TSEM_BENCH_DIR"); env && *env) dir = env;
+  const std::string path = dir + "/BENCH_ensemble.json";
+  const std::string text = doc.dump(2) + "\n";
+  if (!tsem::write_file_atomic(path, text.data(), text.size(), &err)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return mismatches == 0 ? 0 : 1;
+}

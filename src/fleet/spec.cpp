@@ -1,0 +1,245 @@
+#include "fleet/spec.hpp"
+
+#include <cstdio>
+
+namespace tsem::fleet {
+namespace {
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+bool get_int(const obs::Json& o, const char* key, int* out,
+             std::string* err) {
+  const obs::Json* v = o.find(key);
+  if (!v) return true;
+  if (!v->is_number())
+    return fail(err, std::string("spec: '") + key + "' must be a number");
+  *out = static_cast<int>(v->as_int());
+  return true;
+}
+
+bool get_double(const obs::Json& o, const char* key, double* out,
+                std::string* err) {
+  const obs::Json* v = o.find(key);
+  if (!v) return true;
+  if (!v->is_number())
+    return fail(err, std::string("spec: '") + key + "' must be a number");
+  *out = v->as_double();
+  return true;
+}
+
+bool get_int_axis(const obs::Json& o, const char* key,
+                  std::vector<int>* out, std::string* err) {
+  const obs::Json* v = o.find(key);
+  if (!v) return true;
+  if (!v->is_array())
+    return fail(err, std::string("spec: sweep axis '") + key +
+                         "' must be an array");
+  for (const auto& item : v->items()) {
+    if (!item.is_number())
+      return fail(err, std::string("spec: sweep axis '") + key +
+                           "' has a non-numeric entry");
+    out->push_back(static_cast<int>(item.as_int()));
+  }
+  return true;
+}
+
+bool get_double_axis(const obs::Json& o, const char* key,
+                     std::vector<double>* out, std::string* err) {
+  const obs::Json* v = o.find(key);
+  if (!v) return true;
+  if (!v->is_array())
+    return fail(err, std::string("spec: sweep axis '") + key +
+                         "' must be an array");
+  for (const auto& item : v->items()) {
+    if (!item.is_number())
+      return fail(err, std::string("spec: sweep axis '") + key +
+                           "' has a non-numeric entry");
+    out->push_back(item.as_double());
+  }
+  return true;
+}
+
+bool check_keys(const obs::Json& o, std::initializer_list<const char*> known,
+                const char* where, std::string* err) {
+  for (const auto& [key, value] : o.members()) {
+    bool ok = false;
+    for (const char* k : known)
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      return fail(err, std::string("spec: unknown key '") + key + "' in " +
+                           where);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
+  if (!doc.is_object()) return fail(err, "spec: document must be an object");
+  if (!check_keys(doc, {"name", "case", "sweep", "fleet", "faults"},
+                  "document", err))
+    return false;
+
+  SweepSpec s;
+  if (const obs::Json* v = doc.find("name")) {
+    if (!v->is_string()) return fail(err, "spec: 'name' must be a string");
+    s.name = v->as_string();
+  }
+
+  if (const obs::Json* c = doc.find("case")) {
+    if (!c->is_object()) return fail(err, "spec: 'case' must be an object");
+    if (!check_keys(*c,
+                    {"mesh_k", "order", "dt", "steps", "reynolds",
+                     "checkpoint_every"},
+                    "'case'", err))
+      return false;
+    if (!get_int(*c, "mesh_k", &s.base.mesh_k, err) ||
+        !get_int(*c, "order", &s.base.order, err) ||
+        !get_double(*c, "dt", &s.base.dt, err) ||
+        !get_int(*c, "steps", &s.base.steps, err) ||
+        !get_double(*c, "reynolds", &s.base.reynolds, err) ||
+        !get_int(*c, "checkpoint_every", &s.base.checkpoint_every, err))
+      return false;
+  }
+
+  if (const obs::Json* w = doc.find("sweep")) {
+    if (!w->is_object()) return fail(err, "spec: 'sweep' must be an object");
+    if (!check_keys(*w, {"reynolds", "mesh_k", "order", "dt", "steps"},
+                    "'sweep'", err))
+      return false;
+    if (!get_double_axis(*w, "reynolds", &s.reynolds, err) ||
+        !get_int_axis(*w, "mesh_k", &s.mesh_k, err) ||
+        !get_int_axis(*w, "order", &s.order, err) ||
+        !get_double_axis(*w, "dt", &s.dt, err) ||
+        !get_int_axis(*w, "steps", &s.steps, err))
+      return false;
+  }
+
+  if (const obs::Json* f = doc.find("fleet")) {
+    if (!f->is_object()) return fail(err, "spec: 'fleet' must be an object");
+    if (!check_keys(*f,
+                    {"concurrency", "watchdog_ms", "max_attempts",
+                     "backoff_base_ms", "quantum_steps", "poll_ms",
+                     "workdir"},
+                    "'fleet'", err))
+      return false;
+    if (!get_int(*f, "concurrency", &s.fleet.concurrency, err) ||
+        !get_int(*f, "watchdog_ms", &s.fleet.watchdog_ms, err) ||
+        !get_int(*f, "max_attempts", &s.fleet.max_attempts, err) ||
+        !get_int(*f, "backoff_base_ms", &s.fleet.backoff_base_ms, err) ||
+        !get_int(*f, "quantum_steps", &s.fleet.quantum_steps, err) ||
+        !get_int(*f, "poll_ms", &s.fleet.poll_ms, err))
+      return false;
+    if (const obs::Json* wd = f->find("workdir")) {
+      if (!wd->is_string())
+        return fail(err, "spec: 'fleet.workdir' must be a string");
+      s.fleet.workdir = wd->as_string();
+    }
+  }
+
+  if (const obs::Json* fl = doc.find("faults")) {
+    if (!fl->is_array()) return fail(err, "spec: 'faults' must be an array");
+    for (const auto& entry : fl->items()) {
+      if (!entry.is_object())
+        return fail(err, "spec: each 'faults' entry must be an object");
+      if (!check_keys(entry, {"job", "fault"}, "'faults' entry", err))
+        return false;
+      const obs::Json* job = entry.find("job");
+      const obs::Json* fault = entry.find("fault");
+      if (!job || !job->is_number() || !fault || !fault->is_string())
+        return fail(err,
+                    "spec: 'faults' entry needs numeric 'job' and string "
+                    "'fault'");
+      ProcessFault pf;
+      if (!parse_process_fault(fault->as_string(), &pf, err)) return false;
+      s.faults.emplace_back(static_cast<int>(job->as_int()), pf);
+    }
+  }
+
+  // Sanity floor: a malformed spec must surface here, not as a crashed
+  // worker that burns its retry budget on a nonsense discretization.
+  if (s.base.mesh_k < 1 || s.base.order < 2 || s.base.steps < 1 ||
+      !(s.base.dt > 0.0) || !(s.base.reynolds > 0.0))
+    return fail(err, "spec: implausible base case (mesh_k/order/dt/steps)");
+  for (int k : s.mesh_k)
+    if (k < 1) return fail(err, "spec: mesh_k axis value < 1");
+  for (int n : s.order)
+    if (n < 2) return fail(err, "spec: order axis value < 2");
+  for (double d : s.dt)
+    if (!(d > 0.0)) return fail(err, "spec: dt axis value <= 0");
+  for (int n : s.steps)
+    if (n < 1) return fail(err, "spec: steps axis value < 1");
+  for (double re : s.reynolds)
+    if (!(re > 0.0)) return fail(err, "spec: reynolds axis value <= 0");
+  if (s.fleet.concurrency < 1 || s.fleet.max_attempts < 1 ||
+      s.fleet.watchdog_ms < 1 || s.fleet.poll_ms < 1 ||
+      s.fleet.backoff_base_ms < 0 || s.fleet.quantum_steps < 0)
+    return fail(err, "spec: implausible fleet options");
+
+  *out = std::move(s);
+  return true;
+}
+
+bool parse_sweep_text(std::string_view text, SweepSpec* out,
+                      std::string* err) {
+  obs::Json doc;
+  obs::Json::ParseError perr;
+  if (!obs::Json::parse(text, &doc, &perr))
+    return fail(err, "spec: " + perr.to_string());
+  return parse_sweep(doc, out, err);
+}
+
+std::vector<JobSpec> expand_sweep(const SweepSpec& spec) {
+  // Absent axes collapse to the base value so the product below is
+  // always over five non-empty axes.
+  const std::vector<double> res =
+      spec.reynolds.empty() ? std::vector<double>{spec.base.reynolds}
+                            : spec.reynolds;
+  const std::vector<int> ks =
+      spec.mesh_k.empty() ? std::vector<int>{spec.base.mesh_k} : spec.mesh_k;
+  const std::vector<int> orders =
+      spec.order.empty() ? std::vector<int>{spec.base.order} : spec.order;
+  const std::vector<double> dts =
+      spec.dt.empty() ? std::vector<double>{spec.base.dt} : spec.dt;
+  const std::vector<int> steps =
+      spec.steps.empty() ? std::vector<int>{spec.base.steps} : spec.steps;
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(res.size() * ks.size() * orders.size() * dts.size() *
+               steps.size());
+  for (double re : res)
+    for (int k : ks)
+      for (int order : orders)
+        for (double dt : dts)
+          for (int nsteps : steps) {
+            JobSpec j = spec.base;
+            j.index = static_cast<int>(jobs.size());
+            j.reynolds = re;
+            j.mesh_k = k;
+            j.order = order;
+            j.dt = dt;
+            j.steps = nsteps;
+            j.name = spec.name + "/re" + fmt_g(re) + "_k" +
+                     std::to_string(k) + "_N" + std::to_string(order) +
+                     "_dt" + fmt_g(dt) + "_s" + std::to_string(nsteps);
+            jobs.push_back(std::move(j));
+          }
+  for (const auto& [index, fault] : spec.faults)
+    if (index >= 0 && index < static_cast<int>(jobs.size()))
+      jobs[static_cast<std::size_t>(index)].fault = fault;
+  return jobs;
+}
+
+}  // namespace tsem::fleet

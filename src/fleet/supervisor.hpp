@@ -1,0 +1,114 @@
+// Fault-tolerant ensemble fleet supervisor.
+//
+// Executes an expanded job queue (fleet/spec.hpp) in fork-based
+// crash-isolated worker processes under a bounded concurrency pool.  The
+// supervisor owns the robustness contract; workers own exactly one job
+// attempt each (fleet/worker.hpp).
+//
+// Per-job state machine:
+//
+//   Ready --launch--> Running --result ok--> Completed
+//     ^                  |
+//     |                  +-- exit!=0 / torn result / watchdog SIGKILL
+//     |                  |      attempts < cap: backoff, requeue (retry)
+//     |                  |      attempts = cap: --> Quarantined
+//     +---- preempt -----+   (SIGKILL after quantum_steps of durable
+//                             progress when others wait; no attempt
+//                             consumed — the job resumes from its last
+//                             good checkpoint, bit-identical to an
+//                             uninterrupted run)
+//
+// Robustness mechanisms:
+//   * Heartbeats: each worker writes "A/S/C" lines over a private pipe;
+//     the watchdog SIGKILLs any worker silent for watchdog_ms (a hung
+//     solve, a stuck NFS write, an injected Hang fault) and reschedules
+//     the job through the retry ladder.
+//   * Retry ladder: a failed attempt n waits backoff_base_ms * 2^(n-1)
+//     before relaunch; after max_attempts failures the job is
+//     quarantined with a captured failure report (exit detail + log
+//     tail) while the rest of the fleet completes.
+//   * Preemption: with quantum_steps > 0, a running job that has
+//     completed quantum_steps steps this attempt AND written a durable
+//     checkpoint is SIGKILLed in favor of waiting jobs (round-robin
+//     requeue at the back).  Durable-progress gating guarantees forward
+//     progress under any quantum/checkpoint-cadence combination.
+//   * Crash-safe state: checkpoints and results are written
+//     atomically (io/binfile.hpp write_file_atomic), so a SIGKILL at any
+//     instant leaves either the previous good file or the complete new
+//     one — the supervisor's hardened JSON reads reject anything less.
+//
+// Every incident is recorded as a FleetEvent in the report (and mirrored
+// into the obs event trace), and per-job worker counters are aggregated
+// into one terasem-bench-1 fleet report (BENCH_ensemble.json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/spec.hpp"
+#include "fleet/worker.hpp"
+#include "obs/json.hpp"
+
+namespace tsem::fleet {
+
+/// One supervisor incident, timestamped relative to fleet start.
+struct FleetEvent {
+  double t = 0.0;     ///< seconds since run_fleet entry
+  std::string type;   ///< launch|complete|crash|hang_kill|preempt|
+                      ///< retry|quarantine|torn_result
+  int job = -1;
+  int attempt = 0;    ///< crash-attempt number in flight
+  int step = 0;       ///< last step heard from the worker
+  std::string detail;
+};
+
+/// Terminal record of one job.
+struct JobOutcome {
+  JobSpec spec;
+  bool completed = false;
+  bool quarantined = false;
+  int attempts = 0;     ///< crash-attempts consumed (incl. the successful one)
+  int launches = 0;     ///< total forks (attempts + preemption relaunches)
+  int preemptions = 0;
+  int hang_kills = 0;
+  double wall_seconds = 0.0;  ///< summed worker occupancy across launches
+  JobResult result;           ///< valid when completed
+  std::string failure;        ///< quarantine report (exit detail + log tail)
+};
+
+/// Aggregated fleet run record.
+struct FleetReport {
+  std::string sweep_name;
+  FleetOptions options;
+  std::vector<JobOutcome> jobs;
+  std::vector<FleetEvent> events;
+  double wall_seconds = 0.0;
+  int completed = 0;
+  int quarantined = 0;
+  int retries = 0;      ///< failed attempts that were rescheduled
+  int preemptions = 0;
+  int hang_kills = 0;
+
+  /// Full terasem-bench-1 document: meta carries the fleet policy,
+  /// totals, the event log, and the summed per-worker obs counters; one
+  /// case per job.
+  [[nodiscard]] obs::Json to_json(const std::string& bench_name) const;
+  /// Write BENCH_<bench_name>.json via obs::BenchReport pathing
+  /// ($TSEM_BENCH_DIR honored); returns the path written, or "" on
+  /// failure.
+  std::string write_bench_json(const std::string& bench_name) const;
+};
+
+/// Run every job of the expanded sweep to a terminal state.  Returns
+/// false with *err only on supervisor-level failures (workdir creation,
+/// fork/pipe exhaustion); job failures are reported in the FleetReport,
+/// not as errors.  The workdir is created if needed and any stale
+/// per-job files from a previous run are removed first.
+///
+/// Fork-safety contract: run_fleet must be called from a process that
+/// has not yet entered an OpenMP parallel region (workers initialize
+/// OpenMP freshly in the child; the supervisor itself never runs solver
+/// code).
+bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err);
+
+}  // namespace tsem::fleet

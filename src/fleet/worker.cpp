@@ -1,0 +1,263 @@
+#include "fleet/worker.hpp"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/binfile.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "ns/navier_stokes.hpp"
+#include "obs/metrics.hpp"
+#include "resilience/checkpoint.hpp"
+
+namespace tsem::fleet {
+namespace {
+
+// Heartbeat lines are tiny (<< PIPE_BUF), so each write is atomic and the
+// supervisor never sees an interleaved or torn line.
+void beat(int fd, const char* tag, int a, int b = INT32_MIN) {
+  if (fd < 0) return;
+  if (b == INT32_MIN)
+    ::dprintf(fd, "%s %d\n", tag, a);
+  else
+    ::dprintf(fd, "%s %d %d\n", tag, a, b);
+}
+
+bool fault_fires(const ProcessFault& f, ProcessFault::Kind kind, int step,
+                 int attempt, bool at_or_past = false) {
+  if (f.kind != kind) return false;
+  if (f.attempt != 0 && f.attempt != attempt) return false;
+  return at_or_past ? step >= f.step : step == f.step;
+}
+
+Space make_space(const JobSpec& job) {
+  auto spec = box_spec_2d(linspace(0.0, 2.0 * M_PI, job.mesh_k),
+                          linspace(0.0, 2.0 * M_PI, job.mesh_k));
+  spec.periodic_x = spec.periodic_y = true;
+  return Space(build_mesh(spec, job.order));
+}
+
+void init_taylor_green(NavierStokes& ns, const Space& s) {
+  const auto& m = s.mesh();
+  for (std::size_t i = 0; i < s.nlocal(); ++i) {
+    ns.u(0)[i] = std::sin(m.x[i]) * std::cos(m.y[i]);
+    ns.u(1)[i] = -std::cos(m.x[i]) * std::sin(m.y[i]);
+  }
+}
+
+std::string digest_hex(std::uint32_t d) {
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "%08x", d);
+  return buf;
+}
+
+bool get_req_int(const obs::Json& o, const char* key, int* out) {
+  const obs::Json* v = o.find(key);
+  if (!v || !v->is_number()) return false;
+  *out = static_cast<int>(v->as_int());
+  return true;
+}
+
+bool get_req_double(const obs::Json& o, const char* key, double* out) {
+  const obs::Json* v = o.find(key);
+  if (!v || !v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+}  // namespace
+
+JobPaths job_paths(const std::string& workdir, int index) {
+  const std::string stem = workdir + "/job_" + std::to_string(index);
+  return JobPaths{stem + ".ckpt", stem + ".result.json", stem + ".log"};
+}
+
+void worker_main(const JobSpec& job, const std::string& workdir,
+                 int heartbeat_fd, int attempt) {
+  const JobPaths paths = job_paths(workdir, job.index);
+  // The log is the job's captured failure report: append across attempts
+  // so a quarantine shows the whole incident history, not just the last.
+  std::freopen(paths.log.c_str(), "a", stdout);
+  std::freopen(paths.log.c_str(), "a", stderr);
+  // The forked child inherits the parent's process-wide registry; reset
+  // so the result's counters are this attempt's own.
+  obs::MetricsRegistry::instance().reset();
+
+  // The fleet's recovery contract is BIT-identity: a retried or resumed
+  // attempt must reproduce exactly what an uninterrupted run computes.
+  // The one nondeterministic input across worker processes is the timed
+  // mxm autotuner, so pin it to the fixed shape heuristic (a user who
+  // prefers timed tuning can export TSEM_MXM_DETERMINISTIC=0).
+  ::setenv("TSEM_MXM_DETERMINISTIC", "1", /*overwrite=*/0);
+
+  ProcessFault fault = job.fault;
+  if (fault.kind == ProcessFault::Kind::None)
+    fault = process_fault_from_env();
+
+  std::printf("[worker] job %d '%s' attempt %d pid %d fault %s\n", job.index,
+              job.name.c_str(), attempt, static_cast<int>(::getpid()),
+              format_process_fault(fault).c_str());
+  std::fflush(stdout);
+
+  Space space = make_space(job);
+  NsOptions opt;
+  opt.dt = job.dt;
+  opt.viscosity = 1.0 / job.reynolds;
+  opt.torder = 2;
+  opt.proj_len = 8;
+  NavierStokes ns(space, 0u, opt);
+  init_taylor_green(ns, space);
+
+  int start_step = 0;
+  if (::access(paths.checkpoint.c_str(), F_OK) == 0) {
+    NsState st;
+    std::string rerr;
+    if (load_checkpoint(paths.checkpoint, &st, &rerr) &&
+        ns.import_state(st, &rerr)) {
+      start_step = st.step;
+      std::printf("[worker] resumed from checkpoint at step %d\n",
+                  start_step);
+    } else {
+      // Second line of defense: a checkpoint that slipped past the atomic
+      // write (e.g. bytes corrupted at rest) fails its CRC here and the
+      // job cold-starts — deterministic integration reproduces the same
+      // final state, only the saved work is lost.
+      std::printf("[worker] checkpoint rejected (%s); cold start\n",
+                  rerr.c_str());
+    }
+    std::fflush(stdout);
+  }
+  beat(heartbeat_fd, "A", attempt, start_step);
+
+  // Test pacing seam: the fleet tests stretch these tiny canonical jobs
+  // past the supervisor's poll tick so preemption/watchdog behavior is
+  // exercised deterministically instead of racing worker speed.
+  int step_sleep_us = 0;
+  if (const char* pace = std::getenv("TSEM_FLEET_STEP_SLEEP_US"))
+    step_sleep_us = std::atoi(pace);
+
+  int recovered_steps = 0;
+  for (int n = start_step + 1; n <= job.steps; ++n) {
+    if (fault_fires(fault, ProcessFault::Kind::KillWorker, n, attempt)) {
+      std::printf("[worker] injected kill before step %d\n", n);
+      std::fflush(stdout);
+      ::_exit(kExitInjectedKill);
+    }
+    if (fault_fires(fault, ProcessFault::Kind::Hang, n, attempt)) {
+      std::printf("[worker] injected hang before step %d\n", n);
+      std::fflush(stdout);
+      for (;;) ::sleep(1000);  // no heartbeats: watchdog food
+    }
+
+    const StepStats st = ns.step();
+    if (st.failed) {
+      std::printf("[worker] step %d failed: resilience ladder exhausted\n",
+                  n);
+      std::fflush(stdout);
+      ::_exit(kExitStepFailed);
+    }
+    if (st.recovered) ++recovered_steps;
+    beat(heartbeat_fd, "S", n);
+    if (step_sleep_us > 0) ::usleep(static_cast<useconds_t>(step_sleep_us));
+
+    if (job.checkpoint_every > 0 && n % job.checkpoint_every == 0) {
+      if (fault_fires(fault, ProcessFault::Kind::TornCheckpoint, n, attempt,
+                      /*at_or_past=*/true)) {
+        // Die mid-checkpoint-write: a partial temp file is all that ever
+        // exists, because the real writer only renames a complete,
+        // fsync'ed file into place.  The previous good checkpoint (and
+        // therefore resumability) survives this by construction.
+        std::printf("[worker] injected torn checkpoint write at step %d\n",
+                    n);
+        std::fflush(stdout);
+        std::FILE* f = std::fopen((paths.checkpoint + ".tmp").c_str(), "wb");
+        if (f) {
+          std::fputs("TSEMCKPT torn mid-write", f);
+          std::fclose(f);
+        }
+        ::_exit(kExitInjectedTorn);
+      }
+      std::string cerr_;
+      if (save_checkpoint(ns, paths.checkpoint, &cerr_)) {
+        beat(heartbeat_fd, "C", n);
+      } else {
+        // A failed checkpoint write is not fatal to the attempt; the job
+        // just has a longer replay window if it is later killed.
+        std::printf("[worker] checkpoint write failed: %s\n", cerr_.c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  obs::Json result = obs::Json::object();
+  result["schema"] = "terasem-fleet-job-1";
+  result["name"] = job.name;
+  result["index"] = job.index;
+  result["attempt"] = attempt;
+  result["steps_done"] = job.steps;
+  result["resumed_from_step"] = start_step;
+  result["final_time"] = ns.time();
+  result["digest"] = digest_hex(ns.state_digest());
+  result["kinetic_energy"] = ns.kinetic_energy();
+  result["divergence"] = ns.divergence_norm();
+  result["recovered_steps"] = recovered_steps;
+  const obs::Json snap = obs::MetricsRegistry::instance().snapshot();
+  if (const obs::Json* counters = snap.find("counters"))
+    result["counters"] = *counters;
+  else
+    result["counters"] = obs::Json::object();
+
+  const std::string text = result.dump(2);
+  std::string werr;
+  if (!write_file_atomic(paths.result, text.data(), text.size(), &werr)) {
+    std::printf("[worker] result write failed: %s\n", werr.c_str());
+    std::fflush(stdout);
+    ::_exit(kExitResultFailed);
+  }
+  ::_exit(kExitOk);
+}
+
+bool read_job_result(const std::string& path, JobResult* out,
+                     std::string* err) {
+  obs::Json doc;
+  obs::Json::ParseError perr;
+  if (!obs::Json::parse_file(path, &doc, &perr)) {
+    if (err) *err = perr.to_string();
+    return false;
+  }
+  auto fail = [&](const std::string& what) {
+    if (err) *err = path + ": " + what;
+    return false;
+  };
+  if (!doc.is_object()) return fail("result is not an object");
+  const obs::Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "terasem-fleet-job-1")
+    return fail("missing or wrong result schema");
+
+  JobResult r;
+  const obs::Json* name = doc.find("name");
+  const obs::Json* digest = doc.find("digest");
+  if (!name || !name->is_string() || !digest || !digest->is_string())
+    return fail("missing name/digest");
+  r.name = name->as_string();
+  r.digest = digest->as_string();
+  if (!get_req_int(doc, "index", &r.index) ||
+      !get_req_int(doc, "attempt", &r.attempt) ||
+      !get_req_int(doc, "steps_done", &r.steps_done) ||
+      !get_req_int(doc, "resumed_from_step", &r.resumed_from_step) ||
+      !get_req_int(doc, "recovered_steps", &r.recovered_steps) ||
+      !get_req_double(doc, "final_time", &r.final_time) ||
+      !get_req_double(doc, "kinetic_energy", &r.kinetic_energy) ||
+      !get_req_double(doc, "divergence", &r.divergence))
+    return fail("missing numeric result fields");
+  if (const obs::Json* counters = doc.find("counters"))
+    r.counters = *counters;
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace tsem::fleet

@@ -1,7 +1,11 @@
 #include "io/binfile.hpp"
 
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace tsem {
@@ -46,12 +50,37 @@ void BinFileWriter::add_section(std::uint32_t id,
   sections_.emplace_back(id, std::move(payload));
 }
 
-bool BinFileWriter::write(const std::string& path, std::string* err) const {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return fail(err, "cannot open " + path + " for writing");
+bool write_file_atomic(const std::string& path, const void* data,
+                       std::size_t n, std::string* err) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    return fail(err, "cannot open " + tmp + " for writing: " +
+                         std::strerror(errno));
+  bool ok = n == 0 || std::fwrite(data, 1, n, f) == n;
+  ok = ok && std::fflush(f) == 0;
+  // fsync before rename: the rename must not become durable before the
+  // bytes it points at (a crash between the two would resurrect a torn
+  // file — exactly what this function exists to rule out).
+  ok = ok && ::fsync(::fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return fail(err, "write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(err, "rename " + tmp + " -> " + path + " failed: " +
+                         std::strerror(errno));
+  }
+  return true;
+}
 
-  auto put = [&f](const void* p, std::size_t n) {
-    f.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+bool BinFileWriter::write(const std::string& path, std::string* err) const {
+  std::vector<std::uint8_t> bytes;
+  auto put = [&bytes](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
   };
   const auto nsec = static_cast<std::uint32_t>(sections_.size());
   put(magic_, 8);
@@ -70,12 +99,7 @@ bool BinFileWriter::write(const std::string& path, std::string* err) const {
     put(&pcrc, sizeof pcrc);
     put(payload.data(), payload.size());
   }
-  f.close();
-  if (!f) {
-    std::remove(path.c_str());  // no plausible-looking partial files
-    return fail(err, "write to " + path + " failed");
-  }
-  return true;
+  return write_file_atomic(path, bytes.data(), bytes.size(), err);
 }
 
 bool read_bin_file(const std::string& path, const char magic[8],

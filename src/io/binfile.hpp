@@ -28,6 +28,16 @@ namespace tsem {
 std::uint32_t crc32(const void* data, std::size_t n,
                     std::uint32_t seed = 0);
 
+/// Crash-safe whole-file write: the bytes land in `path + ".tmp"`, are
+/// fsync'ed, and are then atomically rename(2)d over `path`.  A process
+/// killed at ANY instant therefore leaves either the old file (or no
+/// file) or the complete new one at `path` — never a torn prefix that
+/// passes an existence check.  A stale ".tmp" from a previous crash is
+/// simply overwritten.  Returns false with *err on any failure (the temp
+/// file is removed; `path` is untouched).
+bool write_file_atomic(const std::string& path, const void* data,
+                       std::size_t n, std::string* err = nullptr);
+
 /// Append-only little serializer for section payloads.
 class ByteWriter {
  public:
@@ -83,8 +93,11 @@ class BinFileWriter {
  public:
   BinFileWriter(const char magic[8], std::uint32_t version);
   void add_section(std::uint32_t id, std::vector<std::uint8_t> payload);
-  /// Returns false with *err set on any I/O failure (partial files are
-  /// removed so a crash mid-write cannot leave a plausible-looking stub).
+  /// Atomic, crash-safe write via write_file_atomic: the container is
+  /// assembled in memory, written to `path + ".tmp"`, fsync'ed, and
+  /// renamed into place.  A writer killed mid-write can never leave a
+  /// torn file at `path`; the per-section CRCs remain the second line of
+  /// defense against bytes corrupted after the write.
   bool write(const std::string& path, std::string* err = nullptr) const;
 
  private:

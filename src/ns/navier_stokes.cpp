@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "core/flops.hpp"
+#include "io/binfile.hpp"
 #include "core/operators.hpp"
 #include "obs/metrics.hpp"
 #include "poly/basis1d.hpp"
@@ -902,6 +903,42 @@ NsState NavierStokes::export_state() const {
     s.proj_w = proj_->basis_w();
   }
   return s;
+}
+
+std::uint32_t NavierStokes::state_digest() const {
+  const NsState s = export_state();
+  std::uint32_t c = 0;
+  auto mix = [&c](const void* p, std::size_t n) { c = crc32(p, n, c); };
+  auto vec = [&mix](const std::vector<double>& v) {
+    const std::uint64_t n = v.size();
+    mix(&n, sizeof n);
+    mix(v.data(), v.size() * sizeof(double));
+  };
+  mix(&s.dim, sizeof s.dim);
+  mix(&s.nscalars, sizeof s.nscalars);
+  mix(&s.step, sizeof s.step);
+  mix(&s.order_ramp, sizeof s.order_ramp);
+  mix(&s.bc_frozen, sizeof s.bc_frozen);
+  mix(&s.time, sizeof s.time);
+  mix(&s.dt, sizeof s.dt);
+  mix(&s.flops_total, sizeof s.flops_total);
+  for (int co = 0; co < 3; ++co) vec(s.u[co]);
+  for (int co = 0; co < 3; ++co) vec(s.ubc[co]);
+  for (const auto& lvl : s.uh)
+    for (int co = 0; co < 3; ++co) vec(lvl[co]);
+  for (const auto& lvl : s.ch)
+    for (int co = 0; co < 3; ++co) vec(lvl[co]);
+  vec(s.p);
+  for (const auto& sc : s.scalars) {
+    vec(sc.th);
+    vec(sc.thbc);
+    for (const auto& h : sc.hist) vec(h);
+  }
+  for (std::size_t i = 0; i < s.proj_q.size(); ++i) {
+    vec(s.proj_q[i]);
+    vec(s.proj_w[i]);
+  }
+  return c;
 }
 
 bool NavierStokes::import_state(const NsState& s, std::string* err) {

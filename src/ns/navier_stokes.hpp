@@ -189,6 +189,13 @@ class NavierStokes {
   /// dt so the restored run continues on the same clock.
   bool import_state(const NsState& s, std::string* err = nullptr);
 
+  /// CRC-32 digest over the complete exportable state (fields, histories,
+  /// pressure, scalars, projection basis, clock).  Two solvers report the
+  /// same digest iff their continued runs are bit-identical — the fleet
+  /// layer (src/fleet/) uses this to prove a checkpoint-resumed job ended
+  /// in exactly the state of an uninterrupted run.
+  [[nodiscard]] std::uint32_t state_digest() const;
+
   /// max_q |u . grad| based convective CFL of the current field.
   [[nodiscard]] double current_cfl() const;
   /// ||D u||_2 of the current velocity.

@@ -147,9 +147,13 @@ struct Parser {
       ++pos;
   }
 
+  std::size_t err_pos = 0;
+
   bool fail(const std::string& what) {
-    if (err.empty())
-      err = what + " at offset " + std::to_string(pos);
+    if (err.empty()) {
+      err = what;
+      err_pos = pos;
+    }
     return false;
   }
 
@@ -334,21 +338,80 @@ struct Parser {
 
 }  // namespace
 
-bool Json::parse(std::string_view text, Json* out, std::string* err) {
+std::string Json::ParseError::to_string() const {
+  return message + " at line " + std::to_string(line) + ", column " +
+         std::to_string(column) + " (offset " + std::to_string(offset) + ")";
+}
+
+namespace {
+
+Json::ParseError locate_error(std::string_view text, std::size_t offset,
+                              std::string message) {
+  Json::ParseError e;
+  e.offset = offset;
+  e.message = std::move(message);
+  const std::size_t stop = std::min(offset, text.size());
+  for (std::size_t i = 0; i < stop; ++i) {
+    if (text[i] == '\n') {
+      ++e.line;
+      e.column = 1;
+    } else {
+      ++e.column;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+bool Json::parse(std::string_view text, Json* out, ParseError* err) {
   Parser p;
   p.text = text;
   Json result;
   if (!p.parse_value(&result, 0)) {
-    if (err) *err = p.err;
+    if (err) *err = locate_error(text, p.err_pos, p.err);
     return false;
   }
   p.skip_ws();
   if (!p.at_end()) {
-    if (err) *err = "trailing characters at offset " + std::to_string(p.pos);
+    if (err) *err = locate_error(text, p.pos, "trailing characters");
     return false;
   }
   *out = std::move(result);
   return true;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* err) {
+  ParseError e;
+  if (parse(text, out, &e)) return true;
+  if (err) *err = e.to_string();
+  return false;
+}
+
+bool Json::parse_file(const std::string& path, Json* out, ParseError* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (err) *err = ParseError{0, 1, 1, "cannot open " + path};
+    return false;
+  }
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    text.append(buf, got);
+  const bool read_failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_failed) {
+    if (err) *err = ParseError{0, 1, 1, "cannot read " + path};
+    return false;
+  }
+  ParseError e;
+  if (parse(text, out, &e)) return true;
+  if (err) {
+    e.message = path + ": " + e.message;
+    *err = e;
+  }
+  return false;
 }
 
 bool operator==(const Json& a, const Json& b) {

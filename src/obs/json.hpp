@@ -83,11 +83,32 @@ class Json {
   /// pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;
 
+  /// Structured syntax-error report.  The supervisor-facing parse entry
+  /// points never assert or invoke UB on malformed bytes: any truncated,
+  /// bit-flipped, or garbage input produces one of these instead (the
+  /// fleet supervisor routinely reads files a SIGKILLed worker left
+  /// half-written).
+  struct ParseError {
+    std::size_t offset = 0;  ///< byte offset of the defect
+    int line = 1;            ///< 1-based line of the defect
+    int column = 1;          ///< 1-based column of the defect
+    std::string message;     ///< what was expected / found
+    /// "message at line L, column C (offset O)".
+    [[nodiscard]] std::string to_string() const;
+  };
+
   /// Strict recursive-descent parse of a complete JSON document.  Returns
   /// false (with *err set when provided) on any syntax error or trailing
   /// garbage.
   static bool parse(std::string_view text, Json* out,
                     std::string* err = nullptr);
+  /// Same, with a structured error (position + message) instead of a
+  /// formatted string.
+  static bool parse(std::string_view text, Json* out, ParseError* err);
+  /// Read and parse a whole file.  A missing/unreadable file reports a
+  /// ParseError with offset 0 and a "cannot open/read" message.
+  static bool parse_file(const std::string& path, Json* out,
+                         ParseError* err = nullptr);
 
   /// Structural equality (Int and Double compare as distinct types).
   friend bool operator==(const Json& a, const Json& b);

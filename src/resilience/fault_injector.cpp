@@ -1,6 +1,7 @@
 #include "resilience/fault_injector.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <set>
@@ -13,7 +14,80 @@ bool fail(std::string* err, const std::string& what) {
   return false;
 }
 
+/// strtol-free digits-only parse; returns false on empty/non-digit input.
+bool parse_int(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1'000'000'000L) return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
 }  // namespace
+
+const char* to_string(ProcessFault::Kind k) {
+  switch (k) {
+    case ProcessFault::Kind::None: return "none";
+    case ProcessFault::Kind::KillWorker: return "kill";
+    case ProcessFault::Kind::Hang: return "hang";
+    case ProcessFault::Kind::TornCheckpoint: return "torn";
+  }
+  return "none";
+}
+
+bool parse_process_fault(std::string_view spec, ProcessFault* out,
+                         std::string* err) {
+  *out = ProcessFault{};
+  if (spec.empty() || spec == "none") return true;
+
+  const std::size_t at = spec.find('@');
+  if (at == std::string_view::npos)
+    return fail(err, "process fault '" + std::string(spec) +
+                         "': expected <kind>@<step>[#<attempt>]");
+  const std::string_view kind = spec.substr(0, at);
+  std::string_view rest = spec.substr(at + 1);
+
+  ProcessFault f;
+  if (kind == "kill") f.kind = ProcessFault::Kind::KillWorker;
+  else if (kind == "hang") f.kind = ProcessFault::Kind::Hang;
+  else if (kind == "torn") f.kind = ProcessFault::Kind::TornCheckpoint;
+  else
+    return fail(err, "process fault kind '" + std::string(kind) +
+                         "': expected kill, hang, or torn");
+
+  const std::size_t hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    if (!parse_int(rest.substr(hash + 1), &f.attempt))
+      return fail(err, "process fault '" + std::string(spec) +
+                           "': bad attempt number");
+    rest = rest.substr(0, hash);
+  }
+  if (!parse_int(rest, &f.step) || f.step < 1)
+    return fail(err, "process fault '" + std::string(spec) +
+                         "': bad step number");
+  *out = f;
+  return true;
+}
+
+std::string format_process_fault(const ProcessFault& f) {
+  if (f.kind == ProcessFault::Kind::None) return "none";
+  std::string s = std::string(to_string(f.kind)) + "@" +
+                  std::to_string(f.step);
+  if (f.attempt != 1) s += "#" + std::to_string(f.attempt);
+  return s;
+}
+
+ProcessFault process_fault_from_env() {
+  ProcessFault f;
+  const char* v = std::getenv(kProcessFaultEnvVar);
+  if (!v) return f;
+  if (!parse_process_fault(v, &f)) return ProcessFault{};
+  return f;
+}
 
 std::vector<std::size_t> FaultInjector::pick(std::size_t lo, std::size_t hi,
                                              std::size_t count) {
@@ -59,6 +133,20 @@ bool FaultInjector::corrupt_file(const std::string& path, std::size_t count,
   f.flush();
   if (!f) return fail(err, "write to " + path + " failed");
   return true;
+}
+
+std::vector<std::pair<int, ProcessFault>> FaultInjector::plan_worker_kills(
+    int njobs, std::size_t count, int max_step) {
+  std::vector<std::pair<int, ProcessFault>> plan;
+  if (njobs <= 0 || count == 0 || max_step < 1) return plan;
+  std::uniform_int_distribution<int> step_dist(1, max_step);
+  for (std::size_t job : pick(0, static_cast<std::size_t>(njobs), count)) {
+    ProcessFault f;
+    f.kind = ProcessFault::Kind::KillWorker;
+    f.step = step_dist(rng_);
+    plan.emplace_back(static_cast<int>(job), f);
+  }
+  return plan;
 }
 
 bool FaultInjector::truncate_file(const std::string& path,

@@ -12,9 +12,46 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tsem {
+
+/// Process-level fault directive for the fleet's crash-isolated workers
+/// (src/fleet/): what to do to the worker process, at which step, on
+/// which attempt.  The fleet supervisor passes these through the job
+/// spec; standalone workers can also pick one up from $TSEM_FLEET_FAULT
+/// (process_fault_from_env) so the whole retry ladder is drivable from
+/// the environment.
+struct ProcessFault {
+  enum class Kind {
+    None,
+    KillWorker,      ///< _exit() without warning before the step (crash)
+    Hang,            ///< stop heartbeating and sleep (watchdog food)
+    TornCheckpoint,  ///< die mid-checkpoint-write, leaving a torn temp file
+  };
+  Kind kind = Kind::None;
+  int step = 0;     ///< 1-based step before which the fault fires
+  int attempt = 1;  ///< attempt on which it fires; 0 = every attempt
+};
+
+[[nodiscard]] const char* to_string(ProcessFault::Kind k);
+
+/// Parse a compact fault spec: "<kind>@<step>[#<attempt>]" with kind in
+/// {kill, hang, torn}; "" and "none" parse to Kind::None.  Examples:
+/// "kill@5" (crash before step 5, attempt 1), "hang@3#2" (hang on the
+/// second attempt), "torn@4#0" (torn checkpoint write on every attempt).
+bool parse_process_fault(std::string_view spec, ProcessFault* out,
+                         std::string* err = nullptr);
+[[nodiscard]] std::string format_process_fault(const ProcessFault& f);
+
+/// Name of the activation env var read by process_fault_from_env.
+inline constexpr const char* kProcessFaultEnvVar = "TSEM_FLEET_FAULT";
+
+/// Read $TSEM_FLEET_FAULT; unset, empty, or malformed values yield
+/// Kind::None (a bad env var must never take a production worker down).
+[[nodiscard]] ProcessFault process_fault_from_env();
 
 class FaultInjector {
  public:
@@ -41,6 +78,14 @@ class FaultInjector {
   /// checkpoint cut short by a crash mid-write.
   bool truncate_file(const std::string& path, double keep_fraction,
                      std::string* err = nullptr);
+
+  /// Seeded plan of `count` worker-crash faults over distinct jobs in
+  /// [0, njobs): each entry is (job index, KillWorker fault with a step
+  /// drawn uniformly from [1, max_step]), sorted by job index.  The same
+  /// seed always produces the same plan, so a failing fleet drill is
+  /// replayable.
+  std::vector<std::pair<int, ProcessFault>> plan_worker_kills(
+      int njobs, std::size_t count, int max_step);
 
   /// Raw draw from the stream (for tests composing their own faults).
   std::uint64_t draw() { return rng_(); }

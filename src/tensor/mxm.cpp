@@ -254,6 +254,11 @@ double time_variant(MxmKernelFn fn, int m, int k, int n, const double* a,
 // near-equal variants resolves to the registration (preference) order.
 constexpr double kWinMargin = 0.97;
 
+// Fixed (non-timed) shape heuristic, defined below; also the deterministic
+// selection when TSEM_MXM_DETERMINISTIC is set.
+MxmKernelFn fallback_kernel(int m, int n);
+const char* fallback_name(int m, int n);
+
 const MxmVariant* pick(const std::vector<MxmVariant>& reg, int m, int k,
                        int n, const double* a, const double* b, double* c) {
   const MxmVariant* best = &reg.front();
@@ -270,6 +275,17 @@ const MxmVariant* pick(const std::vector<MxmVariant>& reg, int m, int k,
 
 std::unique_ptr<TuneTable> build_table() {
   auto t = std::make_unique<TuneTable>();
+
+  // Cross-process determinism switch: two processes of the same build can
+  // time-tune to different variants (and therefore different FP rounding),
+  // which breaks workloads that compare states bit-for-bit across
+  // processes — the ensemble fleet's crash/retry contract above all.  With
+  // TSEM_MXM_DETERMINISTIC set (non-empty, not "0"), any dispatch not
+  // explicitly pinned via TSEM_MXM_KERNEL uses the fixed shape heuristic
+  // instead of timed picks: same build + same machine -> same kernels.
+  const char* det_env = std::getenv("TSEM_MXM_DETERMINISTIC");
+  const bool deterministic =
+      det_env != nullptr && *det_env != '\0' && std::strcmp(det_env, "0") != 0;
 
   if (const char* env = std::getenv("TSEM_MXM_KERNEL");
       env != nullptr && *env != '\0') {
@@ -298,7 +314,16 @@ std::unique_ptr<TuneTable> build_table() {
   for (auto& x : a) x = dist(rng);
   for (auto& x : b) x = dist(rng);
 
-  if (t->forced_fn == nullptr) {
+  if (t->forced_fn == nullptr && deterministic) {
+    for (int m = 1; m <= kMaxTuned; ++m)
+      for (int k = 1; k <= kMaxTuned; ++k) {
+        t->small_fn[m][k] = fallback_kernel(m, m);
+        t->small_nm[m][k] = fallback_name(m, m);
+        const int nl = long_n_for(m);
+        t->long_fn[m][k] = fallback_kernel(m, nl);
+        t->long_nm[m][k] = fallback_name(m, nl);
+      }
+  } else if (t->forced_fn == nullptr) {
     for (int m = 1; m <= kMaxTuned; ++m) {
       for (int k = 1; k <= kMaxTuned; ++k) {
         const MxmVariant* s =
@@ -320,7 +345,15 @@ std::unique_ptr<TuneTable> build_table() {
       }
   }
 
-  if (t->forced_bt_fn == nullptr) {
+  if (t->forced_bt_fn == nullptr && deterministic) {
+    // Best registered bt variant for this machine; registry order is a
+    // compile-time property, so the choice is process-independent.
+    const MxmVariant& v = mxm_bt_registry().back();
+    for (int k = 1; k <= kMaxTuned; ++k) {
+      t->bt_fn[k] = v.fn;
+      t->bt_nm[k] = v.name;
+    }
+  } else if (t->forced_bt_fn == nullptr) {
     for (int k = 1; k <= kMaxTuned; ++k) {
       // Representative bt shape: the tensor3_apply first stage, which
       // contracts k points across a k^2-row plane block.
@@ -345,6 +378,7 @@ std::unique_ptr<TuneTable> build_table() {
   ev["simd_available"] = simd_available();
   if (t->forced_nm != nullptr) ev["forced"] = t->forced_nm;
   if (t->forced_bt_nm != nullptr) ev["forced_bt"] = t->forced_bt_nm;
+  if (deterministic) ev["deterministic"] = true;
   for (int d = 2; d <= kMaxTuned; d += 2) {
     char key[32];
     std::snprintf(key, sizeof(key), "small/%dx%dx%d", d, d, d);

@@ -85,6 +85,15 @@ const MxmVariant* mxm_variant_by_name(const char* name);
 /// built lazily on the first mxm()/mxm_bt() call).  Timing uses seeded
 /// operands and fixed rep counts; within a process the table is built
 /// once and never changes.
+///
+/// Environment knobs, read when the table is built:
+///   TSEM_MXM_KERNEL=<name>        pin one dispatch to a named variant.
+///   TSEM_MXM_DETERMINISTIC=1      skip timed selection entirely and use
+///     the fixed shape heuristic — same build + machine always picks the
+///     same kernels.  Timing noise can otherwise tune two processes of
+///     the same binary onto different variants with different FP
+///     rounding; fleet workers set this so crash-retried attempts stay
+///     bit-identical to their baselines (fleet/worker.hpp).
 void mxm_autotune_init();
 
 /// Name of the variant mxm() dispatches to for this shape.

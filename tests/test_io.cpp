@@ -2,17 +2,112 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "io/binfile.hpp"
 #include "io/vtk.hpp"
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
 
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---- Crash-safe atomic writes ---------------------------------------
+
+TEST(AtomicWrite, WritesAndReplacesWithoutLeavingTemp) {
+  const std::string path = "test_io_atomic.bin";
+  std::string err;
+  const std::string v1 = "first contents";
+  ASSERT_TRUE(tsem::write_file_atomic(path, v1.data(), v1.size(), &err))
+      << err;
+  EXPECT_EQ(slurp(path), v1);
+  // The temp file must not survive a successful write.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  const std::string v2 = "replacement, different length";
+  ASSERT_TRUE(tsem::write_file_atomic(path, v2.data(), v2.size(), &err));
+  EXPECT_EQ(slurp(path), v2);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, TornTempNeverClobbersTheRealFile) {
+  // Model a writer killed mid-write: the real file exists, and a partial
+  // ".tmp" is left behind.  The real file must be untouched, and the next
+  // atomic write must simply overwrite the stale temp.
+  const std::string path = "test_io_atomic_torn.bin";
+  std::string err;
+  const std::string good = "durable checkpoint bytes";
+  ASSERT_TRUE(tsem::write_file_atomic(path, good.data(), good.size(), &err));
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "TSEMCKPT torn mid-wr";  // prefix of a would-be new version
+  }
+  EXPECT_EQ(slurp(path), good);  // old version fully intact
+
+  const std::string next = "next full version";
+  ASSERT_TRUE(tsem::write_file_atomic(path, next.data(), next.size(), &err));
+  EXPECT_EQ(slurp(path), next);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, FailsCleanlyWhenDirectoryMissing) {
+  std::string err;
+  EXPECT_FALSE(tsem::write_file_atomic("no_such_dir_xyz/file.bin", "x", 1,
+                                       &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(BinFile, ContainerRoundTripsAndRejectsTornPrefixes) {
+  const char magic[8] = {'T', 'S', 'E', 'M', 'T', 'E', 'S', 'T'};
+  tsem::BinFileWriter w(magic, 3);
+  tsem::ByteWriter payload;
+  payload.put<std::uint64_t>(0xdeadbeefcafe1234ull);
+  payload.put_vec({1.0, 2.5, -3.0});
+  w.add_section(7, payload.take());
+  const std::string path = "test_io_container.bin";
+  std::string err;
+  ASSERT_TRUE(w.write(path, &err)) << err;
+
+  std::map<std::uint32_t, std::vector<std::uint8_t>> sections;
+  ASSERT_TRUE(tsem::read_bin_file(path, magic, 3, &sections, &err)) << err;
+  ASSERT_EQ(sections.count(7u), 1u);
+  tsem::ByteReader rd(sections[7]);
+  std::uint64_t tag = 0;
+  std::vector<double> vec;
+  ASSERT_TRUE(rd.get(&tag));
+  EXPECT_EQ(tag, 0xdeadbeefcafe1234ull);
+  ASSERT_TRUE(rd.get_vec(&vec));
+  EXPECT_EQ(vec, (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_TRUE(rd.exhausted());
+
+  // Every truncation of the container must be rejected with a message —
+  // this is the validation a torn non-atomic write would have relied on.
+  const std::string whole = slurp(path);
+  for (std::size_t len = 0; len < whole.size(); len += 3) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(whole.data(), static_cast<std::streamsize>(len));
+    f.close();
+    err.clear();
+    EXPECT_FALSE(tsem::read_bin_file(path, magic, 3, &sections, &err))
+        << "truncation to " << len << " bytes accepted";
+    EXPECT_FALSE(err.empty());
+  }
+  std::remove(path.c_str());
+}
 
 TEST(Vtk, WritesParsableUnstructuredGrid2D) {
   auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2),

@@ -114,6 +114,90 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(Json, EveryTruncatedPrefixFailsCleanly) {
+  // A fleet worker killed mid-write can leave an arbitrary prefix of a
+  // result document; every such prefix must parse to a structured error,
+  // never a silently-accepted partial value.
+  Json doc = Json::object();
+  doc["schema"] = "terasem-fleet-job-1";
+  doc["digest"] = "00c0ffee";
+  doc["values"] = Json::array();
+  doc["values"].push_back(1);
+  doc["values"].push_back(-2.5e3);
+  doc["values"].push_back(true);
+  doc["values"].push_back(Json());  // null
+  Json nested = Json::object();
+  nested["deep"] = "x\"esc\\ape\n";
+  doc["nested"] = std::move(nested);
+  for (int indent : {0, 2}) {
+    const std::string text = doc.dump(indent);
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      Json out;
+      Json::ParseError err;
+      EXPECT_FALSE(Json::parse(std::string_view(text).substr(0, len), &out,
+                               &err))
+          << "prefix of length " << len << " parsed";
+      EXPECT_FALSE(err.message.empty());
+    }
+    Json out;
+    ASSERT_TRUE(Json::parse(text, &out, static_cast<std::string*>(nullptr)));
+    EXPECT_TRUE(out == doc);
+  }
+}
+
+TEST(Json, ParseErrorCarriesPosition) {
+  Json out;
+  Json::ParseError err;
+  ASSERT_FALSE(Json::parse("{\n  \"a\": oops\n}", &out, &err));
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 8);
+  EXPECT_EQ(err.offset, 9u);
+  EXPECT_FALSE(err.message.empty());
+  const std::string s = err.to_string();
+  EXPECT_NE(s.find("line 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("column 8"), std::string::npos) << s;
+}
+
+TEST(Json, GarbageBytesNeverCrashTheParser) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text(static_cast<std::size_t>(len(rng)), '\0');
+    for (char& c : text) c = static_cast<char>(byte(rng));
+    Json out;
+    Json::ParseError err;
+    (void)Json::parse(text, &out, &err);  // must return, not crash
+  }
+}
+
+TEST(Json, ParseFileRoundTripAndFailureModes) {
+  const std::string path = "test_obs_parse_file.json";
+  Json doc = Json::object();
+  doc["k"] = 42;
+  {
+    std::ofstream f(path);
+    f << doc.dump(2);
+  }
+  Json back;
+  Json::ParseError err;
+  ASSERT_TRUE(Json::parse_file(path, &back, &err)) << err.to_string();
+  EXPECT_TRUE(back == doc);
+
+  // Truncated on disk: structured failure naming the file.
+  {
+    std::ofstream f(path);
+    f << doc.dump(2).substr(0, 5);
+  }
+  EXPECT_FALSE(Json::parse_file(path, &back, &err));
+  EXPECT_FALSE(err.message.empty());
+  std::remove(path.c_str());
+
+  // Missing file: failure, not a crash.
+  EXPECT_FALSE(Json::parse_file(path, &back, &err));
+  EXPECT_NE(err.message.find(path), std::string::npos) << err.message;
+}
+
 TEST(Json, ParseHandlesEscapesAndNumbers) {
   Json out;
   ASSERT_TRUE(Json::parse(R"(["aAb", -1.5e3, 0.25, 10])", &out));
