@@ -22,12 +22,18 @@
 //                    analytic 2D separator bound (3 n^(1/2) words per
 //                    level; bench/hairpin_model.hpp).  The LU and A^{-1}
 //                    baselines are analytic at every P.
+//   "executed"     — P = 2..pexec REAL forked rank processes (mp/): the
+//                    same per-P factor's fan-in/fan-out tree walk runs
+//                    over shared-memory channels, its result checked
+//                    BITWISE against the single-process reference walk
+//                    and within tolerance of banded LU, with the
+//                    measured coarse-phase wall time in the JSON.
 //
 // Expected shape, as in the paper: XXT keeps improving to P ~ 16
 // (n = 3969) / P ~ 256 (n = 16129) and then tracks the latency curve,
 // while both baselines flatten much earlier at a far higher time.
 //
-// usage: bench_fig6_coarse [--pmax P] [--sizes nx1,nx2,...]
+// usage: bench_fig6_coarse [--pmax P] [--pexec P] [--sizes nx1,nx2,...]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +46,8 @@
 #include "bench/hairpin_model.hpp"
 #include "common/timer.hpp"
 #include "fem/fem.hpp"
+#include "mp/dist_xxt.hpp"
+#include "mp/runtime.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/machine.hpp"
 #include "solver/coarse.hpp"
@@ -57,8 +65,71 @@ int log2i(int p) {
   return l;
 }
 
+// Executed-tier XXT at P real forked ranks: run the distributed tree
+// walk `reps` times over shm channels, verify it bitwise against the
+// single-process reference walk and against the banded-LU solution, and
+// record the measured coarse-phase wall time.
+void run_executed_xxt(const tsem::XxtSolver& xxt, int n, int p,
+                      const std::vector<double>& b,
+                      const std::vector<double>& lu_ref,
+                      tsem::obs::Json& c) {
+  using tsem::mp::Phase;
+  tsem::mp::DistXxtPlan plan = tsem::mp::build_dist_xxt(xxt, p);
+  std::vector<double> ref(static_cast<std::size_t>(n));
+  tsem::mp::dist_xxt_reference(plan, b.data(), ref.data());
+
+  tsem::mp::MpOptions mopt;
+  mopt.nranks = p;
+  tsem::mp::MpSession session(mopt);
+  plan.attach_channels(session);
+  double* b_sh = session.shared_doubles(static_cast<std::size_t>(n));
+  double* out_sh = session.shared_doubles(static_cast<std::size_t>(n));
+  std::memcpy(b_sh, b.data(), b.size() * sizeof(double));
+
+  const int reps = 5;
+  std::string err;
+  const bool ok = session.run(
+      [&](tsem::mp::MpRank& ctx) {
+        tsem::mp::XxtScratch scratch;
+        for (int it = 0; it < reps; ++it) {
+          tsem::Timer t;
+          if (!tsem::mp::dist_xxt_solve(plan, ctx.rank(), ctx, b_sh, out_sh,
+                                        scratch))
+            return 1;
+          ctx.phase_add(Phase::Coarse, t.seconds());
+          if (!ctx.barrier()) return 1;  // keep reps in lockstep
+        }
+        return 0;
+      },
+      &err);
+  if (!ok) std::printf("# WARNING: executed xxt P=%d failed: %s\n", p,
+                       err.c_str());
+  const bool bitwise =
+      ok && std::memcmp(ref.data(), out_sh,
+                        static_cast<std::size_t>(n) * sizeof(double)) == 0;
+  double lu_err = 0.0;
+  if (ok)
+    for (int i = 0; i < n; ++i)
+      lu_err = std::max(lu_err, std::fabs(lu_ref[static_cast<std::size_t>(i)] -
+                                          out_sh[i]));
+  const double sec = session.phase_max_seconds(Phase::Coarse) / reps;
+  std::printf("# executed P=%d: coarse solve %.3es/solve, bitwise=%d, "
+              "max |exec - bandedLU| = %.2e\n", p, sec, bitwise ? 1 : 0,
+              lu_err);
+  c["tier"] = "executed";
+  c["n"] = n;
+  c["nodes"] = p;
+  c["reps"] = reps;
+  c["exec_seconds_coarse"] = sec;
+  c["bitwise_vs_reference"] = bitwise;
+  c["xxt_err_vs_lu"] = lu_err;
+  tsem::obs::Json words = tsem::obs::Json::array();
+  for (auto w : plan.level_max_words) words.push_back(w);
+  c["xxt_level_words_executed"] = words;
+}
+
 void run_size(int nx, const MachineParams& mach, bool verify_inverse,
-              int pmax) {
+              int pmax, int pexec) {
   const int n = nx * nx;
   const auto a = tsem::poisson5(nx, nx);
   std::vector<double> x(n), y(n), z;
@@ -149,6 +220,11 @@ void run_size(int nx, const MachineParams& mach, bool verify_inverse,
       for (auto w : xxt->level_msg_words()) words.push_back(w);
       c["xxt_level_words"] = words;
     }
+    if (measured && p >= 2 && p <= pexec) {
+      tsem::obs::Json& ec = g_report.add_case(
+          "n" + std::to_string(n) + "/P" + std::to_string(p) + "/executed");
+      run_executed_xxt(*xxt, n, p, b, s1, ec);
+    }
   }
   std::printf("\n");
 }
@@ -157,6 +233,7 @@ void run_size(int nx, const MachineParams& mach, bool verify_inverse,
 
 int main(int argc, char** argv) {
   int pmax = 256;
+  int pexec = 4;
   std::vector<int> sizes = {63, 127};
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -168,6 +245,8 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--pmax")) {
       pmax = std::atoi(next("--pmax"));
+    } else if (!std::strcmp(argv[i], "--pexec")) {
+      pexec = std::atoi(next("--pexec"));
     } else if (!std::strcmp(argv[i], "--sizes")) {
       sizes.clear();
       for (char* tok = std::strtok(const_cast<char*>(next("--sizes")), ",");
@@ -186,9 +265,11 @@ int main(int argc, char** argv) {
   g_report.meta()["figure"] = "Fig 6";
   g_report.meta()["machine"] = mach.name;
   g_report.meta()["pmax_measured"] = pmax;
+  if (pexec > pmax) pexec = pmax;
+  g_report.meta()["pexec"] = pexec;
   tsem::Timer t;
   for (std::size_t i = 0; i < sizes.size(); ++i)
-    run_size(sizes[i], mach, i == 0, pmax);
+    run_size(sizes[i], mach, i == 0, pmax, pexec);
   const double wall = t.seconds();
   std::printf("# total bench wall time: %.1fs\n", wall);
   g_report.meta()["wall_seconds"] = wall;

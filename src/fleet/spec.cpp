@@ -1,5 +1,7 @@
 #include "fleet/spec.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 namespace tsem::fleet {
@@ -86,6 +88,19 @@ bool check_keys(const obs::Json& o, std::initializer_list<const char*> known,
 
 }  // namespace
 
+int retry_backoff_ms(const FleetOptions& opt, int attempt) {
+  if (opt.backoff_base_ms <= 0) return 0;
+  const int cap = std::max(opt.backoff_max_ms, 0);
+  // Clamp the exponent before shifting: 2^30 ms is already ~12 days, so
+  // any real cap has long since saturated, and the shift itself stays
+  // defined for attempt counts like a max_attempts = 40 ladder (where
+  // the old `base * (1 << (attempt - 1))` was UB).
+  const int shift = std::min(std::max(attempt - 1, 0), 30);
+  const std::int64_t raw = static_cast<std::int64_t>(opt.backoff_base_ms)
+                           << shift;
+  return static_cast<int>(std::min<std::int64_t>(raw, cap));
+}
+
 bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
   if (!doc.is_object()) return fail(err, "spec: document must be an object");
   if (!check_keys(doc, {"name", "case", "sweep", "fleet", "faults"},
@@ -131,14 +146,15 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
     if (!f->is_object()) return fail(err, "spec: 'fleet' must be an object");
     if (!check_keys(*f,
                     {"concurrency", "watchdog_ms", "max_attempts",
-                     "backoff_base_ms", "quantum_steps", "poll_ms",
-                     "workdir"},
+                     "backoff_base_ms", "backoff_max_ms", "quantum_steps",
+                     "poll_ms", "workdir"},
                     "'fleet'", err))
       return false;
     if (!get_int(*f, "concurrency", &s.fleet.concurrency, err) ||
         !get_int(*f, "watchdog_ms", &s.fleet.watchdog_ms, err) ||
         !get_int(*f, "max_attempts", &s.fleet.max_attempts, err) ||
         !get_int(*f, "backoff_base_ms", &s.fleet.backoff_base_ms, err) ||
+        !get_int(*f, "backoff_max_ms", &s.fleet.backoff_max_ms, err) ||
         !get_int(*f, "quantum_steps", &s.fleet.quantum_steps, err) ||
         !get_int(*f, "poll_ms", &s.fleet.poll_ms, err))
       return false;
@@ -185,7 +201,8 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
     if (!(re > 0.0)) return fail(err, "spec: reynolds axis value <= 0");
   if (s.fleet.concurrency < 1 || s.fleet.max_attempts < 1 ||
       s.fleet.watchdog_ms < 1 || s.fleet.poll_ms < 1 ||
-      s.fleet.backoff_base_ms < 0 || s.fleet.quantum_steps < 0)
+      s.fleet.backoff_base_ms < 0 || s.fleet.backoff_max_ms < 0 ||
+      s.fleet.quantum_steps < 0)
     return fail(err, "spec: implausible fleet options");
 
   *out = std::move(s);

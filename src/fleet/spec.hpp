@@ -59,6 +59,7 @@ struct FleetOptions {
   int watchdog_ms = 4000;    ///< heartbeat silence before SIGKILL
   int max_attempts = 3;      ///< crash/hang attempts before quarantine
   int backoff_base_ms = 10;  ///< retry n delays base * 2^(n-1) ms
+  int backoff_max_ms = 30000;  ///< ceiling on any single retry delay
   /// Preempt a running job once it has completed this many steps in the
   /// current attempt AND written a checkpoint (durable progress), when
   /// other jobs are waiting.  0 disables preemption.
@@ -81,6 +82,14 @@ struct SweepSpec {
   // Spec-driven fault plan: (expanded job index, fault).
   std::vector<std::pair<int, ProcessFault>> faults;
 };
+
+/// Retry delay for the n-th attempt (attempt >= 1 is the attempt that
+/// just failed): backoff_base_ms * 2^(attempt-1), with the shift clamped
+/// and the product saturated at backoff_max_ms.  Well-defined for ANY
+/// attempt — the naive `base * (1 << (attempt - 1))` is UB past
+/// attempt 31 and overflows int long before a max_attempts = 40 ladder
+/// finishes.
+int retry_backoff_ms(const FleetOptions& opt, int attempt);
 
 /// Parse a sweep document (already-parsed JSON).  Unknown keys are
 /// rejected — a typo'd axis name must not silently run the wrong sweep.

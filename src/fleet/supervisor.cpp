@@ -15,6 +15,7 @@
 #include <deque>
 #include <map>
 
+#include "fleet/proc.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 
@@ -76,6 +77,8 @@ std::string exit_detail(int status) {
       case kExitSetupFailed: return "exit 65 (setup failed)";
       case kExitStepFailed: return "exit 66 (resilience ladder exhausted)";
       case kExitResultFailed: return "exit 67 (result write failed)";
+      case kExitOrphaned:
+        return "exit 68 (orphaned: supervisor heartbeat pipe closed)";
       case kExitInjectedKill: return "exit 70 (injected kill)";
       case kExitInjectedTorn: return "exit 71 (injected torn checkpoint)";
       default: return "exit " + std::to_string(code);
@@ -157,7 +160,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
     for (Slot& s : slots) {
       ::kill(s.pid, SIGKILL);
       int status = 0;
-      ::waitpid(s.pid, &status, 0);
+      xwaitpid(s.pid, &status, 0);
       ::close(s.fd);
     }
     slots.clear();
@@ -204,10 +207,12 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
   };
 
   // Pull buffered heartbeat bytes; any data at all proves liveness.
+  // xread retries EINTR: a stray signal here used to truncate the drain,
+  // which the watchdog could then misread as heartbeat silence.
   auto drain = [&](Slot& s) {
     char buf[512];
     for (;;) {
-      const ssize_t n = ::read(s.fd, buf, sizeof buf);
+      const ssize_t n = xread(s.fd, buf, sizeof buf);
       if (n <= 0) break;
       s.last_beat = Clock::now();
       s.buf.append(buf, static_cast<std::size_t>(n));
@@ -245,7 +250,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
       terminal++;
       record("quarantine", j, attempt, step, detail);
     } else {
-      const int backoff_ms = opt.backoff_base_ms * (1 << (attempt - 1));
+      const int backoff_ms = retry_backoff_ms(opt, attempt);
       rt[j].state = JobState::Ready;
       rt[j].eligible_at =
           Clock::now() + std::chrono::milliseconds(backoff_ms);
@@ -317,7 +322,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
       std::vector<pollfd> fds(slots.size());
       for (std::size_t i = 0; i < slots.size(); ++i)
         fds[i] = pollfd{slots[i].fd, POLLIN, 0};
-      ::poll(fds.data(), fds.size(), opt.poll_ms);
+      xpoll(fds.data(), fds.size(), opt.poll_ms);
       for (std::size_t i = 0; i < slots.size(); ++i)
         if (fds[i].revents != 0) drain(slots[i]);
     } else {
@@ -327,7 +332,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
     // Reap phase: exited workers (normal or crashed).
     for (std::size_t i = 0; i < slots.size();) {
       int status = 0;
-      const pid_t got = ::waitpid(slots[i].pid, &status, WNOHANG);
+      const pid_t got = xwaitpid(slots[i].pid, &status, WNOHANG);
       if (got == slots[i].pid) {
         finish_exited(slots[i], status);
         slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
@@ -343,7 +348,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
           static_cast<double>(opt.watchdog_ms)) {
         ::kill(s.pid, SIGKILL);
         int status = 0;
-        ::waitpid(s.pid, &status, 0);
+        xwaitpid(s.pid, &status, 0);
         drain(s);
         ::close(s.fd);
         JobOutcome& out = report->jobs[s.job];
@@ -380,7 +385,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
           if (s.steps_this_run < opt.quantum_steps || !s.durable) continue;
           ::kill(s.pid, SIGKILL);
           int status = 0;
-          ::waitpid(s.pid, &status, 0);
+          xwaitpid(s.pid, &status, 0);
           drain(s);
           ::close(s.fd);
           JobOutcome& out = report->jobs[s.job];
@@ -415,6 +420,7 @@ void build_bench_report(const FleetReport& r, obs::BenchReport* rep) {
   meta["watchdog_ms"] = r.options.watchdog_ms;
   meta["max_attempts"] = r.options.max_attempts;
   meta["backoff_base_ms"] = r.options.backoff_base_ms;
+  meta["backoff_max_ms"] = r.options.backoff_max_ms;
   meta["quantum_steps"] = r.options.quantum_steps;
   meta["wall_seconds"] = r.wall_seconds;
   meta["completed"] = r.completed;

@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "fleet/proc.hpp"
 #include "io/binfile.hpp"
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
@@ -17,13 +19,31 @@ namespace tsem::fleet {
 namespace {
 
 // Heartbeat lines are tiny (<< PIPE_BUF), so each write is atomic and the
-// supervisor never sees an interleaved or torn line.
-void beat(int fd, const char* tag, int a, int b = INT32_MIN) {
-  if (fd < 0) return;
+// supervisor never sees an interleaved or torn line.  Returns false when
+// the supervisor end of the pipe is gone (EPIPE): with SIGPIPE ignored
+// the worker survives the write and can classify itself as orphaned
+// instead of dying silently from the signal.
+bool beat(int fd, const char* tag, int a, int b = INT32_MIN) {
+  if (fd < 0) return true;
+  errno = 0;
+  int rc;
   if (b == INT32_MIN)
-    ::dprintf(fd, "%s %d\n", tag, a);
+    rc = ::dprintf(fd, "%s %d\n", tag, a);
   else
-    ::dprintf(fd, "%s %d %d\n", tag, a, b);
+    rc = ::dprintf(fd, "%s %d %d\n", tag, a, b);
+  return !(rc < 0 && errno == EPIPE);
+}
+
+// The supervisor closed its read end (it exited or crashed mid-run).
+// Continuing would burn CPU producing results nobody will collect, so
+// exit with the dedicated orphan code — distinct from a crash so a
+// post-mortem of the workdir logs shows "supervisor died", not "worker
+// bug".
+[[noreturn]] void orphan_exit(int step) {
+  std::printf("[worker] heartbeat pipe closed (supervisor gone) at step %d; "
+              "exiting as orphan\n", step);
+  std::fflush(stdout);
+  ::_exit(kExitOrphaned);
 }
 
 bool fault_fires(const ProcessFault& f, ProcessFault::Kind kind, int step,
@@ -77,6 +97,11 @@ JobPaths job_paths(const std::string& workdir, int index) {
 
 void worker_main(const JobSpec& job, const std::string& workdir,
                  int heartbeat_fd, int attempt) {
+  // Without this, a supervisor death turns every worker's next dprintf
+  // into a fatal SIGPIPE — the workers die silently with no log line and
+  // the failure reads as a worker crash.  Ignore the signal so the write
+  // fails visibly with EPIPE instead.
+  ignore_sigpipe();
   const JobPaths paths = job_paths(workdir, job.index);
   // The log is the job's captured failure report: append across attempts
   // so a quarantine shows the whole incident history, not just the last.
@@ -130,7 +155,7 @@ void worker_main(const JobSpec& job, const std::string& workdir,
     }
     std::fflush(stdout);
   }
-  beat(heartbeat_fd, "A", attempt, start_step);
+  if (!beat(heartbeat_fd, "A", attempt, start_step)) orphan_exit(start_step);
 
   // Test pacing seam: the fleet tests stretch these tiny canonical jobs
   // past the supervisor's poll tick so preemption/watchdog behavior is
@@ -160,7 +185,7 @@ void worker_main(const JobSpec& job, const std::string& workdir,
       ::_exit(kExitStepFailed);
     }
     if (st.recovered) ++recovered_steps;
-    beat(heartbeat_fd, "S", n);
+    if (!beat(heartbeat_fd, "S", n)) orphan_exit(n);
     if (step_sleep_us > 0) ::usleep(static_cast<useconds_t>(step_sleep_us));
 
     if (job.checkpoint_every > 0 && n % job.checkpoint_every == 0) {
@@ -182,7 +207,7 @@ void worker_main(const JobSpec& job, const std::string& workdir,
       }
       std::string cerr_;
       if (save_checkpoint(ns, paths.checkpoint, &cerr_)) {
-        beat(heartbeat_fd, "C", n);
+        if (!beat(heartbeat_fd, "C", n)) orphan_exit(n);
       } else {
         // A failed checkpoint write is not fatal to the attempt; the job
         // just has a longer replay window if it is later killed.

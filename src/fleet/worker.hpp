@@ -51,6 +51,7 @@ enum WorkerExit : int {
   kExitSetupFailed = 65,    ///< mesh/solver construction threw
   kExitStepFailed = 66,     ///< resilience ladder exhausted inside a step
   kExitResultFailed = 67,   ///< could not write the result file
+  kExitOrphaned = 68,       ///< heartbeat pipe EPIPE: supervisor died
   kExitInjectedKill = 70,   ///< ProcessFault::KillWorker fired
   kExitInjectedTorn = 71,   ///< ProcessFault::TornCheckpoint fired
 };

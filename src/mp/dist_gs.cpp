@@ -1,0 +1,332 @@
+#include "mp/dist_gs.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace tsem::mp {
+namespace {
+
+// Same reduction algebra as GatherScatter::run_groups — the bitwise
+// contract needs identical init values and apply expressions, not just
+// mathematically equal ones.
+inline double reduce_init(GsOp o) {
+  switch (o) {
+    case GsOp::Add: return 0.0;
+    case GsOp::Mul: return 1.0;
+    case GsOp::Min: return std::numeric_limits<double>::infinity();
+    case GsOp::Max: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+inline double reduce_apply(GsOp o, double a, double b) {
+  switch (o) {
+    case GsOp::Add: return a + b;
+    case GsOp::Mul: return a * b;
+    case GsOp::Min: return a < b ? a : b;
+    case GsOp::Max: return a > b ? a : b;
+  }
+  return a;
+}
+
+int nbr_ordinal(const std::vector<int>& nbrs, int rank) {
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), rank);
+  TSEM_REQUIRE(it != nbrs.end() && *it == rank);
+  return static_cast<int>(it - nbrs.begin());
+}
+
+}  // namespace
+
+std::int64_t DistGsPlan::send_words(int r) const {
+  std::int64_t w = 0;
+  for (const auto& six : ranks[static_cast<std::size_t>(r)].send_ix)
+    w += static_cast<std::int64_t>(six.size());
+  return w;
+}
+
+std::int64_t DistGsPlan::max_pair_words() const {
+  std::int64_t m = 0;
+  for (const DistGsRank& rk : ranks)
+    for (const auto& six : rk.send_ix)
+      m = std::max(m, static_cast<std::int64_t>(six.size()));
+  return m;
+}
+
+DistGsPlan build_dist_gs(const std::vector<std::int64_t>& ids, int npe,
+                         const std::vector<int>& elem_rank, int nranks) {
+  TSEM_REQUIRE(npe > 0);
+  TSEM_REQUIRE(ids.size() % static_cast<std::size_t>(npe) == 0);
+  const std::size_t nelem = ids.size() / static_cast<std::size_t>(npe);
+  TSEM_REQUIRE(elem_rank.size() == nelem);
+
+  DistGsPlan plan;
+  plan.nranks = nranks;
+  plan.npe = npe;
+  plan.nglobal = ids.size();
+  plan.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) plan.ranks[r].rank = r;
+
+  // Element ownership: rank-local element order preserves the global
+  // ascending order, so the rank-local field layout is a subsequence of
+  // the global element-major layout (what makes the canonical sweep
+  // order below identical in both views).
+  std::vector<std::int32_t> local_elem(nelem);
+  for (std::size_t e = 0; e < nelem; ++e) {
+    const int r = elem_rank[e];
+    TSEM_REQUIRE(r >= 0 && r < nranks);
+    local_elem[e] =
+        static_cast<std::int32_t>(plan.ranks[r].elems.size());
+    plan.ranks[r].elems.push_back(static_cast<std::int32_t>(e));
+  }
+  for (DistGsRank& rk : plan.ranks)
+    rk.nlocal = rk.elems.size() * static_cast<std::size_t>(npe);
+
+  const auto rank_of = [&](std::size_t g) {
+    return elem_rank[g / static_cast<std::size_t>(npe)];
+  };
+  const auto local_ix = [&](std::size_t g) {
+    return static_cast<std::int32_t>(
+        static_cast<std::size_t>(local_elem[g / npe]) *
+            static_cast<std::size_t>(npe) +
+        g % static_cast<std::size_t>(npe));
+  };
+
+  // Canonical sweep order: ascending (id, global local index).  This is
+  // the exact member order GatherScatter uses inside each group.
+  std::vector<std::int32_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return ids[a] < ids[b] || (ids[a] == ids[b] && a < b);
+            });
+
+  // Pass 1: find shared groups; interior groups land directly, boundary
+  // groups are remembered (with their participant rank sets) for pass 2
+  // once neighbor ordinals exist.
+  struct BndGroup {
+    std::size_t begin, end;  ///< range in `order`
+  };
+  std::vector<BndGroup> bnd_groups;
+  std::vector<std::pair<int, int>> nbr_pairs;  ///< (rank, neighbor rank)
+  std::vector<int> parts;                      ///< scratch participant set
+  for (DistGsRank& rk : plan.ranks) rk.int_off.push_back(0);
+  std::size_t i = 0;
+  const std::size_t n = ids.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && ids[order[j]] == ids[order[i]]) ++j;
+    if (j - i >= 2) {
+      parts.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        const int r = rank_of(static_cast<std::size_t>(order[k]));
+        if (std::find(parts.begin(), parts.end(), r) == parts.end())
+          parts.push_back(r);
+      }
+      if (parts.size() == 1) {
+        DistGsRank& rk = plan.ranks[static_cast<std::size_t>(parts[0])];
+        for (std::size_t k = i; k < j; ++k)
+          rk.int_ix.push_back(
+              local_ix(static_cast<std::size_t>(order[k])));
+        rk.int_off.push_back(static_cast<std::int32_t>(rk.int_ix.size()));
+      } else {
+        bnd_groups.push_back(BndGroup{i, j});
+        for (int a : parts)
+          for (int b : parts)
+            if (a != b) nbr_pairs.emplace_back(a, b);
+      }
+    }
+    i = j;
+  }
+
+  std::sort(nbr_pairs.begin(), nbr_pairs.end());
+  nbr_pairs.erase(std::unique(nbr_pairs.begin(), nbr_pairs.end()),
+                  nbr_pairs.end());
+  for (const auto& [a, b] : nbr_pairs)
+    plan.ranks[static_cast<std::size_t>(a)].nbrs.push_back(b);
+  for (DistGsRank& rk : plan.ranks) {
+    rk.send_ix.resize(rk.nbrs.size());
+    rk.bnd_off.push_back(0);
+  }
+
+  // Pass 2: boundary groups in sweep order.  Each participant sends its
+  // raw copies (ascending) to every other participant, and records the
+  // group's merge recipe: own copies by local index, remote copies by
+  // neighbor ordinal (consumed via a cursor, in this same global order —
+  // which matches the sender's append order by construction).
+  for (const BndGroup& bg : bnd_groups) {
+    parts.clear();
+    for (std::size_t k = bg.begin; k < bg.end; ++k) {
+      const int r = rank_of(static_cast<std::size_t>(order[k]));
+      if (std::find(parts.begin(), parts.end(), r) == parts.end())
+        parts.push_back(r);
+    }
+    for (std::size_t k = bg.begin; k < bg.end; ++k) {
+      const std::size_t g = static_cast<std::size_t>(order[k]);
+      const int owner = rank_of(g);
+      const std::int32_t lix = local_ix(g);
+      DistGsRank& own_rk = plan.ranks[static_cast<std::size_t>(owner)];
+      for (int p : parts) {
+        if (p == owner) continue;
+        own_rk.send_ix[static_cast<std::size_t>(
+                           nbr_ordinal(own_rk.nbrs, p))]
+            .push_back(lix);
+      }
+    }
+    for (int p : parts) {
+      DistGsRank& rk = plan.ranks[static_cast<std::size_t>(p)];
+      for (std::size_t k = bg.begin; k < bg.end; ++k) {
+        const std::size_t g = static_cast<std::size_t>(order[k]);
+        const int owner = rank_of(g);
+        if (owner == p)
+          rk.bnd_entry.push_back(~local_ix(g));
+        else
+          rk.bnd_entry.push_back(nbr_ordinal(rk.nbrs, owner));
+      }
+      rk.bnd_off.push_back(static_cast<std::int32_t>(rk.bnd_entry.size()));
+    }
+  }
+
+  // Receive sizes mirror the peer's send sizes.
+  for (DistGsRank& rk : plan.ranks) {
+    rk.recv_words.resize(rk.nbrs.size());
+    rk.recv_off.assign(rk.nbrs.size() + 1, 0);
+    for (std::size_t q = 0; q < rk.nbrs.size(); ++q) {
+      const DistGsRank& peer =
+          plan.ranks[static_cast<std::size_t>(rk.nbrs[q])];
+      rk.recv_words[q] = static_cast<std::int64_t>(
+          peer.send_ix[static_cast<std::size_t>(
+                           nbr_ordinal(peer.nbrs, rk.rank))]
+              .size());
+      rk.recv_off[q + 1] = rk.recv_off[q] + rk.recv_words[q];
+    }
+  }
+  return plan;
+}
+
+bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                   double* u, GsOp op, GsScratch& scratch) {
+  for (std::size_t q = 0; q < r.nbrs.size(); ++q) {
+    const auto& six = r.send_ix[q];
+    scratch.send.resize(six.size());
+    for (std::size_t k = 0; k < six.size(); ++k)
+      scratch.send[k] = u[six[k]];
+    if (!ctx.send(ch.to[q], scratch.send.data(), six.size())) return false;
+  }
+  // Interior groups overlap against neighbor completion.
+  const std::size_t ng = r.int_off.size() - 1;
+  for (std::size_t g = 0; g < ng; ++g) {
+    const std::int32_t b = r.int_off[g];
+    const std::int32_t e = r.int_off[g + 1];
+    double acc = reduce_init(op);
+    for (std::int32_t k = b; k < e; ++k)
+      acc = reduce_apply(op, acc, u[r.int_ix[k]]);
+    for (std::int32_t k = b; k < e; ++k) u[r.int_ix[k]] = acc;
+  }
+  return true;
+}
+
+bool dist_gs_finish(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                    double* u, GsOp op, GsScratch& scratch) {
+  const std::size_t total =
+      static_cast<std::size_t>(r.recv_off[r.nbrs.size()]);
+  scratch.recv.resize(total);
+  for (std::size_t q = 0; q < r.nbrs.size(); ++q)
+    if (!ctx.recv(ch.from[q], scratch.recv.data() + r.recv_off[q],
+                  static_cast<std::size_t>(r.recv_words[q])))
+      return false;
+  scratch.cursor.assign(r.nbrs.size(), 0);
+  const std::size_t ng = r.bnd_off.size() - 1;
+  for (std::size_t g = 0; g < ng; ++g) {
+    const std::int32_t b = r.bnd_off[g];
+    const std::int32_t e = r.bnd_off[g + 1];
+    double acc = reduce_init(op);
+    for (std::int32_t k = b; k < e; ++k) {
+      const std::int32_t ent = r.bnd_entry[k];
+      if (ent < 0)
+        acc = reduce_apply(op, acc, u[~ent]);
+      else
+        acc = reduce_apply(
+            op, acc,
+            scratch.recv[static_cast<std::size_t>(r.recv_off[ent]) +
+                         static_cast<std::size_t>(scratch.cursor[ent]++)]);
+    }
+    for (std::int32_t k = b; k < e; ++k) {
+      const std::int32_t ent = r.bnd_entry[k];
+      if (ent < 0) u[~ent] = acc;
+    }
+  }
+  return true;
+}
+
+bool dist_gs_op(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                double* u, GsOp op, GsScratch& scratch) {
+  return dist_gs_begin(r, ctx, ch, u, op, scratch) &&
+         dist_gs_finish(r, ctx, ch, u, op, scratch);
+}
+
+void dist_gs_reference(const DistGsPlan& plan, double* u_global, GsOp op) {
+  // Pack every rank's sends first (values BEFORE any reduction), exactly
+  // as the concurrent ranks do.
+  std::vector<std::vector<std::vector<double>>> sent(
+      static_cast<std::size_t>(plan.nranks));
+  for (int r = 0; r < plan.nranks; ++r) {
+    const DistGsRank& rk = plan.ranks[static_cast<std::size_t>(r)];
+    sent[r].resize(rk.nbrs.size());
+    for (std::size_t q = 0; q < rk.nbrs.size(); ++q) {
+      sent[r][q].reserve(rk.send_ix[q].size());
+      for (std::int32_t lix : rk.send_ix[q])
+        sent[r][q].push_back(
+            u_global[plan.global_index(r, static_cast<std::size_t>(lix))]);
+    }
+  }
+  for (int r = 0; r < plan.nranks; ++r) {
+    const DistGsRank& rk = plan.ranks[static_cast<std::size_t>(r)];
+    // Interior groups.
+    for (std::size_t g = 0; g + 1 < rk.int_off.size(); ++g) {
+      double acc = reduce_init(op);
+      for (std::int32_t k = rk.int_off[g]; k < rk.int_off[g + 1]; ++k)
+        acc = reduce_apply(
+            op, acc,
+            u_global[plan.global_index(
+                r, static_cast<std::size_t>(rk.int_ix[k]))]);
+      for (std::int32_t k = rk.int_off[g]; k < rk.int_off[g + 1]; ++k)
+        u_global[plan.global_index(
+            r, static_cast<std::size_t>(rk.int_ix[k]))] = acc;
+    }
+    // Boundary groups, consuming each neighbor's packed copies in order.
+    std::vector<std::int64_t> cursor(rk.nbrs.size(), 0);
+    for (std::size_t g = 0; g + 1 < rk.bnd_off.size(); ++g) {
+      double acc = reduce_init(op);
+      for (std::int32_t k = rk.bnd_off[g]; k < rk.bnd_off[g + 1]; ++k) {
+        const std::int32_t ent = rk.bnd_entry[k];
+        if (ent < 0)
+          acc = reduce_apply(
+              op, acc,
+              u_global[plan.global_index(r,
+                                         static_cast<std::size_t>(~ent))]);
+        else {
+          const int peer_ord =
+              nbr_ordinal(plan.ranks[static_cast<std::size_t>(rk.nbrs[ent])]
+                              .nbrs,
+                          r);
+          acc = reduce_apply(
+              op, acc,
+              sent[static_cast<std::size_t>(rk.nbrs[ent])]
+                  [static_cast<std::size_t>(peer_ord)]
+                  [static_cast<std::size_t>(cursor[ent]++)]);
+        }
+      }
+      for (std::int32_t k = rk.bnd_off[g]; k < rk.bnd_off[g + 1]; ++k) {
+        const std::int32_t ent = rk.bnd_entry[k];
+        if (ent < 0)
+          u_global[plan.global_index(r, static_cast<std::size_t>(~ent))] =
+              acc;
+      }
+    }
+  }
+}
+
+}  // namespace tsem::mp

@@ -1,0 +1,118 @@
+// Distributed gather-scatter: the executed-tier counterpart of
+// GatherScatter::op, moving real bytes between rank address spaces over
+// mp shm channels.
+//
+// Bitwise contract.  The production kernel reduces each shared-id group
+// over its members in ascending (id, local index) order.  The plan below
+// preserves exactly that association across ranks: every sharing rank
+// sends its RAW local copies (not partial sums) to every other sharing
+// rank, appended in the canonical ascending (id, local index) sweep
+// order, and every rank merges each boundary group's copies — its own
+// and the received ones — in that same canonical order via per-neighbor
+// read cursors.  Floating-point reduction order is therefore identical
+// to the single-process kernel, so the executed result is BITWISE equal
+// to GatherScatter::op on the assembled field, for every GsOp.
+//
+// Overlap protocol.  dist_gs_begin packs and publishes all neighbor
+// sends, then reduces the rank-interior groups (no remote copies) while
+// neighbors are still working; dist_gs_finish consumes the neighbor
+// messages and merges the boundary groups.  Callers that have interior
+// compute to hide call begin, compute, then finish.
+//
+// Relation to ClusterSim's CommProfile: the neighbor pairs are the same
+// (a rank pair exchanges iff it shares an id), but the executed payload
+// carries one word per local COPY of each shared id, where the profile
+// counts one word per id per pair — the raw-copy refinement is what buys
+// the bitwise guarantee.  Both counts are exposed for the bench JSON.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gs/gather_scatter.hpp"
+#include "mp/runtime.hpp"
+
+namespace tsem::mp {
+
+/// One rank's executable share of a distributed gather-scatter.
+struct DistGsRank {
+  int rank = 0;
+  /// Global element ids owned by this rank, ascending — the rank-local
+  /// field layout is the subsequence of the global element-major layout
+  /// restricted to these elements (npe values per element).
+  std::vector<std::int32_t> elems;
+  std::size_t nlocal = 0;
+  /// Neighbor ranks (ascending) this rank exchanges with.
+  std::vector<int> nbrs;
+  /// Per neighbor: local indices sent, in canonical sweep order.
+  std::vector<std::vector<std::int32_t>> send_ix;
+  /// Per neighbor: words received per op (== that neighbor's send size).
+  std::vector<std::int64_t> recv_words;
+  /// Prefix offsets of each neighbor's segment in the recv scratch.
+  std::vector<std::int64_t> recv_off;
+  /// Interior groups (every copy rank-local): GatherScatter layout.
+  std::vector<std::int32_t> int_ix;
+  std::vector<std::int32_t> int_off;
+  /// Boundary groups: entries in canonical (ascending global local
+  /// index) order.  entry < 0 encodes own local index ~entry; entry >= 0
+  /// is a neighbor ordinal whose next unread recv word is this copy.
+  std::vector<std::int32_t> bnd_entry;
+  std::vector<std::int32_t> bnd_off;
+};
+
+/// Partition-wide plan (built once in the parent; ranks read it through
+/// fork copy-on-write).
+struct DistGsPlan {
+  int nranks = 0;
+  int npe = 0;
+  std::size_t nglobal = 0;  ///< total local values across ranks
+  std::vector<DistGsRank> ranks;
+  /// Global local-index of rank r's local value l.
+  [[nodiscard]] std::size_t global_index(int r, std::size_t l) const {
+    const DistGsRank& rk = ranks[static_cast<std::size_t>(r)];
+    return static_cast<std::size_t>(
+               rk.elems[l / static_cast<std::size_t>(npe)]) *
+               static_cast<std::size_t>(npe) +
+           l % static_cast<std::size_t>(npe);
+  }
+  /// Total words rank r sends per op (raw copies).
+  [[nodiscard]] std::int64_t send_words(int r) const;
+  /// Largest single-neighbor message in the plan (channel sizing).
+  [[nodiscard]] std::int64_t max_pair_words() const;
+};
+
+DistGsPlan build_dist_gs(const std::vector<std::int64_t>& ids, int npe,
+                         const std::vector<int>& elem_rank, int nranks);
+
+/// Channels for one rank, parallel to DistGsRank::nbrs.
+struct GsChannels {
+  std::vector<ShmChannel*> to;    ///< this rank -> nbrs[i]
+  std::vector<ShmChannel*> from;  ///< nbrs[i] -> this rank
+};
+
+/// Reusable per-rank buffers (sized on first use).
+struct GsScratch {
+  std::vector<double> send;
+  std::vector<double> recv;
+  std::vector<std::int64_t> cursor;  ///< per-neighbor read cursor
+};
+
+/// Pack + publish all neighbor messages for u, then reduce the interior
+/// groups in place.  Returns false if the session aborted.
+bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                   double* u, GsOp op, GsScratch& scratch);
+/// Consume neighbor messages and merge the boundary groups in place.
+bool dist_gs_finish(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                    double* u, GsOp op, GsScratch& scratch);
+/// begin + finish (no compute overlapped).
+bool dist_gs_op(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                double* u, GsOp op, GsScratch& scratch);
+
+/// Single-process reference executor: runs the identical partitioned
+/// algorithm (same packing, same canonical merges) on the assembled
+/// element-major field, in place.  Bitwise equal to both the executed
+/// ranks and GatherScatter::op.
+void dist_gs_reference(const DistGsPlan& plan, double* u_global, GsOp op);
+
+}  // namespace tsem::mp

@@ -1,0 +1,111 @@
+#include "mp/dist_schwarz.hpp"
+
+#include "common/check.hpp"
+
+namespace tsem::mp {
+
+DistGhost::DistGhost(const GhostExchange& gx,
+                     const std::vector<int>& elem_rank, int nranks)
+    : dim_(gx.dim()),
+      ng1_(gx.ng1()),
+      nt_(gx.tang_slots()),
+      nlayers_(gx.nlayers()) {
+  npe_press_ = 1;
+  for (int d = 0; d < dim_; ++d) npe_press_ *= static_cast<std::size_t>(ng1_);
+  // The anchor-id gather-scatter is the whole exchange; its dense ids
+  // preserve the sharing structure, and slots are element-major with
+  // 2*dim*nt per element, so the generic dist-gs builder applies as-is.
+  plan_ = build_dist_gs(gx.gather_scatter().dense_id(), 2 * dim_ * nt_,
+                        elem_rank, nranks);
+}
+
+std::size_t DistGhost::donor_node(std::size_t slot, int layer) const {
+  // GhostExchange::donor_node with a rank-local element index — same
+  // index math, local e.
+  const int t = static_cast<int>(slot % static_cast<std::size_t>(nt_));
+  const int f = static_cast<int>((slot / static_cast<std::size_t>(nt_)) %
+                                 static_cast<std::size_t>(2 * dim_));
+  const std::size_t e =
+      slot / (static_cast<std::size_t>(nt_) * 2 * static_cast<std::size_t>(dim_));
+  const int axis = f / 2;
+  const int side = f % 2;
+  int idx[3] = {0, 0, 0};
+  idx[axis] = side == 0 ? layer : ng1_ - 1 - layer;
+  if (dim_ == 2) {
+    idx[1 - axis] = t;
+    return (e * ng1_ + idx[1]) * ng1_ + idx[0];
+  }
+  int taxes[2], ti = 0;
+  for (int d = 0; d < 3; ++d)
+    if (d != axis) taxes[ti++] = d;
+  idx[taxes[0]] = t % ng1_;
+  idx[taxes[1]] = t / ng1_;
+  return ((e * ng1_ + idx[2]) * ng1_ + idx[1]) * ng1_ + idx[0];
+}
+
+bool DistGhost::exchange_begin(int rank, MpRank& ctx, const GsChannels& ch,
+                               const double* p, Scratch& s) const {
+  const DistGsRank& rk = plan_.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t ns = rk.nlocal;
+  s.own.resize(static_cast<std::size_t>(nlayers_) * ns);
+  s.buf.resize(static_cast<std::size_t>(nlayers_) * ns);
+  for (int l = 0; l < nlayers_; ++l) {
+    double* own = s.own.data() + static_cast<std::size_t>(l) * ns;
+    double* buf = s.buf.data() + static_cast<std::size_t>(l) * ns;
+    for (std::size_t slot = 0; slot < ns; ++slot) {
+      own[slot] = p[donor_node(slot, l)];
+      buf[slot] = own[slot];
+    }
+    // All layers' messages go out before any boundary wait; the per-nbr
+    // channels are rings with >= nlayers slots, so nothing blocks here.
+    if (!dist_gs_begin(rk, ctx, ch, buf, GsOp::Add, s.gs)) return false;
+  }
+  return true;
+}
+
+bool DistGhost::exchange_finish(int rank, MpRank& ctx, const GsChannels& ch,
+                                const double* p, double* ghost,
+                                Scratch& s) const {
+  (void)p;
+  const DistGsRank& rk = plan_.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t ns = rk.nlocal;
+  for (int l = 0; l < nlayers_; ++l) {
+    double* own = s.own.data() + static_cast<std::size_t>(l) * ns;
+    double* buf = s.buf.data() + static_cast<std::size_t>(l) * ns;
+    if (!dist_gs_finish(rk, ctx, ch, buf, GsOp::Add, s.gs)) return false;
+    double* g = ghost + static_cast<std::size_t>(l) * ns;
+    for (std::size_t slot = 0; slot < ns; ++slot)
+      g[slot] = buf[slot] - own[slot];
+  }
+  return true;
+}
+
+bool DistGhost::exchange(int rank, MpRank& ctx, const GsChannels& ch,
+                         const double* p, double* ghost, Scratch& s) const {
+  return exchange_begin(rank, ctx, ch, p, s) &&
+         exchange_finish(rank, ctx, ch, p, ghost, s);
+}
+
+bool DistGhost::scatter_add(int rank, MpRank& ctx, const GsChannels& ch,
+                            const double* v, double* p, Scratch& s) const {
+  const DistGsRank& rk = plan_.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t ns = rk.nlocal;
+  s.own.resize(ns);
+  s.buf.resize(ns);
+  for (int l = 0; l < nlayers_; ++l) {
+    const double* g = v + static_cast<std::size_t>(l) * ns;
+    for (std::size_t slot = 0; slot < ns; ++slot) {
+      s.own[slot] = g[slot];
+      s.buf[slot] = g[slot];
+    }
+    // One full op per layer (send + drain) — the reverse path has no
+    // compute to hide, so no multi-layer in-flight window is needed.
+    if (!dist_gs_op(rk, ctx, ch, s.buf.data(), GsOp::Add, s.gs))
+      return false;
+    for (std::size_t slot = 0; slot < ns; ++slot)
+      p[donor_node(slot, l)] += s.buf[slot] - s.own[slot];
+  }
+  return true;
+}
+
+}  // namespace tsem::mp

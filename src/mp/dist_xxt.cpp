@@ -1,0 +1,284 @@
+#include "mp/dist_xxt.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tsem::mp {
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2i(int v) {
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  return l;
+}
+
+}  // namespace
+
+DistXxtPlan build_dist_xxt(const XxtSolver& xxt, int nranks) {
+  TSEM_REQUIRE(is_pow2(nranks));
+  const NestedDissection& nd = xxt.dissection();
+  const int levels = log2i(nranks);
+  TSEM_REQUIRE(levels <= nd.nlevels);
+  const int shift = nd.nlevels - levels;
+
+  DistXxtPlan plan;
+  plan.nranks = nranks;
+  plan.levels = levels;
+  plan.n = xxt.n();
+  plan.rank_of_dof.resize(static_cast<std::size_t>(plan.n));
+  for (int d = 0; d < plan.n; ++d)
+    plan.rank_of_dof[d] = nd.leaf_of[d] >> shift;
+  plan.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) plan.ranks[r].rank = r;
+
+  const auto& col_ptr = xxt.col_ptr();
+  const auto& rows = xxt.rows();
+  const auto& vals = xxt.values();
+
+  // Per-column touched-rank sets drive both the rank-local entry slices
+  // and the carry lists.  Carry list of the level-s edge from odd node m
+  // (ranks [m<<s, (m+1)<<s)): columns whose rank set spans more than one
+  // node at level s and touches node m — spanning implies "touches but
+  // is not contained", which is exactly the fan-in traffic.
+  std::vector<std::vector<std::vector<std::int32_t>>> edge_cols(
+      static_cast<std::size_t>(levels));
+  for (int s = 0; s < levels; ++s)
+    edge_cols[s].resize(static_cast<std::size_t>(nranks) >> s);
+
+  std::vector<int> rset, nodes;
+  for (int k = 0; k < plan.n; ++k) {
+    rset.clear();
+    for (std::int32_t p = col_ptr[k]; p < col_ptr[k + 1]; ++p) {
+      const int r = plan.rank_of_dof[rows[p]];
+      if (std::find(rset.begin(), rset.end(), r) == rset.end())
+        rset.push_back(r);
+    }
+    for (int r : rset) {
+      DistXxtRank& rk = plan.ranks[static_cast<std::size_t>(r)];
+      rk.cols.push_back(k);
+      if (rk.col_off.empty()) rk.col_off.push_back(0);
+      for (std::int32_t p = col_ptr[k]; p < col_ptr[k + 1]; ++p)
+        if (plan.rank_of_dof[rows[p]] == r) {
+          rk.ent_row.push_back(rows[p]);
+          rk.ent_val.push_back(vals[p]);
+        }
+      rk.col_off.push_back(static_cast<std::int32_t>(rk.ent_row.size()));
+    }
+    if (rset.size() < 2) continue;
+    for (int s = 0; s < levels; ++s) {
+      nodes.clear();
+      for (int r : rset) {
+        const int m = r >> s;
+        if (std::find(nodes.begin(), nodes.end(), m) == nodes.end())
+          nodes.push_back(m);
+      }
+      if (nodes.size() == 1) break;  // contained from here up: no traffic
+      for (int m : nodes)
+        if (m & 1)
+          edge_cols[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)]
+              .push_back(k);
+    }
+  }
+  for (DistXxtRank& rk : plan.ranks)
+    if (rk.col_off.empty()) rk.col_off.push_back(0);
+
+  for (int d = 0; d < plan.n; ++d)
+    plan.ranks[static_cast<std::size_t>(plan.rank_of_dof[d])]
+        .owned.push_back(d);
+
+  // Fan-in steps: rank r receives at level s while its node index r>>s
+  // is even, and sends (then idles) at the level where it turns odd.
+  for (int r = 0; r < nranks; ++r) {
+    DistXxtRank& rk = plan.ranks[static_cast<std::size_t>(r)];
+    for (int s = 0; s < levels; ++s) {
+      if (r % (1 << s) != 0) break;  // no longer a rep at this level
+      const int m = r >> s;
+      XxtFanStep step;
+      step.level = s;
+      if (m & 1) {
+        step.send = true;
+        step.peer = (m - 1) << s;
+        step.cols = edge_cols[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(m)];
+        rk.steps.push_back(std::move(step));
+        break;
+      }
+      step.send = false;
+      step.peer = (m + 1) << s;
+      step.cols = edge_cols[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(m + 1)];
+      rk.steps.push_back(std::move(step));
+    }
+  }
+
+  plan.level_max_words.assign(static_cast<std::size_t>(levels), 0);
+  for (int s = 0; s < levels; ++s)
+    for (const auto& cols : edge_cols[static_cast<std::size_t>(s)])
+      plan.level_max_words[static_cast<std::size_t>(s)] =
+          std::max(plan.level_max_words[static_cast<std::size_t>(s)],
+                   static_cast<std::int64_t>(cols.size()));
+  return plan;
+}
+
+void DistXxtPlan::attach_channels(MpSession& session) {
+  // One channel per direction per tree edge; the sender-side step and
+  // the receiver-side step of the same edge must share them.  Edges are
+  // identified by (level, odd-rep rank); the odd rep allocates, the even
+  // rep looks its channels up by peer match.
+  for (DistXxtRank& rk : ranks)
+    for (XxtFanStep& st : rk.steps)
+      if (st.send) {
+        st.up = session.channel(st.cols.size());
+        st.down = session.channel(st.cols.size());
+      }
+  for (DistXxtRank& rk : ranks)
+    for (XxtFanStep& st : rk.steps)
+      if (!st.send) {
+        DistXxtRank& peer = ranks[static_cast<std::size_t>(st.peer)];
+        for (XxtFanStep& pst : peer.steps)
+          if (pst.send && pst.level == st.level && pst.peer == rk.rank) {
+            st.up = pst.up;
+            st.down = pst.down;
+          }
+        TSEM_REQUIRE(st.up != nullptr && st.down != nullptr);
+      }
+}
+
+bool dist_xxt_solve(const DistXxtPlan& plan, int r, MpRank& ctx,
+                    const double* b, double* out, XxtScratch& scratch) {
+  const DistXxtRank& rk = plan.ranks[static_cast<std::size_t>(r)];
+  const std::size_t n = static_cast<std::size_t>(plan.n);
+  scratch.z.assign(n, 0.0);
+  scratch.touched.assign(n, 0);
+  double* const z = scratch.z.data();
+  unsigned char* const touched = scratch.touched.data();
+
+  // Rank-local partials over owned rows (ascending CSC subsequence).
+  for (std::size_t c = 0; c < rk.cols.size(); ++c) {
+    double s = 0.0;
+    for (std::int32_t p = rk.col_off[c]; p < rk.col_off[c + 1]; ++p)
+      s += rk.ent_val[p] * b[rk.ent_row[p]];
+    z[rk.cols[c]] = s;
+    touched[rk.cols[c]] = 1;
+  }
+
+  // Fan-in: combine up the tree with the fixed left+right association.
+  for (const XxtFanStep& st : rk.steps) {
+    if (st.send) {
+      scratch.msg.resize(st.cols.size());
+      for (std::size_t i = 0; i < st.cols.size(); ++i)
+        scratch.msg[i] = z[st.cols[i]];
+      if (!ctx.send(st.up, scratch.msg.data(), st.cols.size()))
+        return false;
+    } else {
+      scratch.msg.resize(st.cols.size());
+      if (!ctx.recv(st.up, scratch.msg.data(), st.cols.size()))
+        return false;
+      for (std::size_t i = 0; i < st.cols.size(); ++i) {
+        const std::int32_t k = st.cols[i];
+        if (touched[k]) {
+          z[k] += scratch.msg[i];
+        } else {
+          z[k] = scratch.msg[i];
+          touched[k] = 1;
+        }
+      }
+    }
+  }
+
+  // Fan-out: reverse walk, same lists, final values flowing down.
+  for (auto it = rk.steps.rbegin(); it != rk.steps.rend(); ++it) {
+    const XxtFanStep& st = *it;
+    if (st.send) {
+      scratch.msg.resize(st.cols.size());
+      if (!ctx.recv(st.down, scratch.msg.data(), st.cols.size()))
+        return false;
+      for (std::size_t i = 0; i < st.cols.size(); ++i)
+        z[st.cols[i]] = scratch.msg[i];
+    } else {
+      scratch.msg.resize(st.cols.size());
+      for (std::size_t i = 0; i < st.cols.size(); ++i)
+        scratch.msg[i] = z[st.cols[i]];
+      if (!ctx.send(st.down, scratch.msg.data(), st.cols.size()))
+        return false;
+    }
+  }
+
+  // Output: ascending-k accumulation over owned rows — the sequential
+  // solver's loop restricted to this rank's subsequence (same zk == 0
+  // skip, for the identical instruction stream).
+  for (std::int32_t d : rk.owned) out[d] = 0.0;
+  for (std::size_t c = 0; c < rk.cols.size(); ++c) {
+    const double zk = z[rk.cols[c]];
+    if (zk == 0.0) continue;
+    for (std::int32_t p = rk.col_off[c]; p < rk.col_off[c + 1]; ++p)
+      out[rk.ent_row[p]] += rk.ent_val[p] * zk;
+  }
+  return true;
+}
+
+void dist_xxt_reference(const DistXxtPlan& plan, const double* b,
+                        double* out) {
+  const std::size_t n = static_cast<std::size_t>(plan.n);
+  const std::size_t P = static_cast<std::size_t>(plan.nranks);
+  std::vector<std::vector<double>> z(P, std::vector<double>(n, 0.0));
+  std::vector<std::vector<unsigned char>> touched(
+      P, std::vector<unsigned char>(n, 0));
+
+  for (std::size_t r = 0; r < P; ++r) {
+    const DistXxtRank& rk = plan.ranks[r];
+    for (std::size_t c = 0; c < rk.cols.size(); ++c) {
+      double s = 0.0;
+      for (std::int32_t p = rk.col_off[c]; p < rk.col_off[c + 1]; ++p)
+        s += rk.ent_val[p] * b[rk.ent_row[p]];
+      z[r][rk.cols[c]] = s;
+      touched[r][rk.cols[c]] = 1;
+    }
+  }
+
+  // Fan-in by ascending level: sender (odd rep) -> receiver.
+  for (int s = 0; s < plan.levels; ++s) {
+    for (std::size_t r = 0; r < P; ++r) {
+      const DistXxtRank& rk = plan.ranks[r];
+      for (const XxtFanStep& st : rk.steps) {
+        if (st.level != s || !st.send) continue;
+        const std::size_t a = static_cast<std::size_t>(st.peer);
+        for (std::int32_t k : st.cols) {
+          if (touched[a][k]) {
+            z[a][k] += z[r][k];
+          } else {
+            z[a][k] = z[r][k];
+            touched[a][k] = 1;
+          }
+        }
+      }
+    }
+  }
+  // Fan-out by descending level: receiver's final values flow back.
+  for (int s = plan.levels - 1; s >= 0; --s) {
+    for (std::size_t r = 0; r < P; ++r) {
+      const DistXxtRank& rk = plan.ranks[r];
+      for (const XxtFanStep& st : rk.steps) {
+        if (st.level != s || !st.send) continue;
+        const std::size_t a = static_cast<std::size_t>(st.peer);
+        for (std::int32_t k : st.cols) z[r][k] = z[a][k];
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < P; ++r) {
+    const DistXxtRank& rk = plan.ranks[r];
+    for (std::int32_t d : rk.owned) out[d] = 0.0;
+    for (std::size_t c = 0; c < rk.cols.size(); ++c) {
+      const double zk = z[r][rk.cols[c]];
+      if (zk == 0.0) continue;
+      for (std::int32_t p = rk.col_off[c]; p < rk.col_off[c + 1]; ++p)
+        out[rk.ent_row[p]] += rk.ent_val[p] * zk;
+    }
+  }
+}
+
+}  // namespace tsem::mp

@@ -1,0 +1,97 @@
+// Distributed XXT coarse solve: the executed-tier fan-in/fan-out tree
+// walk of the paper's X X^T method over real rank processes.
+//
+// Distribution.  For P = 2^levels ranks (levels <= nd.nlevels), dof d is
+// owned by rank leaf_of[d] >> (nlevels - levels), matching ClusterSim's
+// rank granularity.  A column k of X "touches" the ranks owning its
+// nonzero rows.  Rank r computes the partial z_k = sum over its owned
+// rows (an ascending subsequence of the CSC entries, so the association
+// is deterministic), then the partials ride the binary fan-in tree:
+// level s merges sibling subtrees [m*2^s, (m+1)*2^s), the odd node's rep
+// sending the columns that touch its subtree but are not contained in it
+// (the "carry list").  The receiver combines acc += v for columns its
+// own subtree already touched and acc = v otherwise — the same fixed
+// left+right association the single-process reference executes, so z is
+// BITWISE equal between executed ranks and dist_xxt_reference.  Fan-out
+// mirrors fan-in with the same lists, delivering final z to every rank
+// that needs it; the output accumulation out[row] += val * z[k] runs
+// ascending k over rank-owned rows — an ascending subsequence of the
+// sequential XxtSolver::solve loop, so given equal z the executed out is
+// also bitwise equal to that subsequence evaluation.
+//
+// (z itself differs from the sequential solver only in summation
+// association, so executed-vs-XxtSolver::solve is compared with a
+// tolerance; executed-vs-reference is exact.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mp/runtime.hpp"
+#include "solver/xxt.hpp"
+
+namespace tsem::mp {
+
+/// One edge of the rank-level fan-in tree, from this rank's viewpoint.
+struct XxtFanStep {
+  int level = 0;  ///< rank-tree level s (0 = leaf-pair merges)
+  int peer = 0;
+  bool send = false;  ///< fan-in role (fan-out mirrors it)
+  std::vector<std::int32_t> cols;  ///< carry list, ascending
+  ShmChannel* up = nullptr;    ///< fan-in message (odd rep -> even rep)
+  ShmChannel* down = nullptr;  ///< fan-out message (reverse)
+};
+
+struct DistXxtRank {
+  int rank = 0;
+  /// Columns touching this rank (ascending elimination index), with the
+  /// rank-owned slice of each column's CSC entries.
+  std::vector<std::int32_t> cols;
+  std::vector<std::int32_t> col_off;
+  std::vector<std::int32_t> ent_row;  ///< global dof
+  std::vector<double> ent_val;
+  std::vector<std::int32_t> owned;  ///< owned dofs, ascending
+  /// Fan-in participation, ascending level; at most one send step (the
+  /// last).  Fan-out walks this in reverse with roles flipped.
+  std::vector<XxtFanStep> steps;
+};
+
+struct DistXxtPlan {
+  int nranks = 0;
+  int levels = 0;  ///< log2(nranks)
+  int n = 0;       ///< coarse problem size
+  std::vector<int> rank_of_dof;
+  std::vector<DistXxtRank> ranks;
+  /// Executed fan-in words per rank-tree level, max over edges; entry s
+  /// corresponds to XxtSolver::level_msg_words_at(levels)[levels-1-s]
+  /// (that vector is root-first) — the fidelity cross-check that the
+  /// executed schedule IS the measured one.
+  std::vector<std::int64_t> level_max_words;
+
+  /// Create the per-step shm channels (parent, pre-fork).
+  void attach_channels(MpSession& session);
+};
+
+/// nranks must be a power of two with log2(nranks) <= xxt.nlevels().
+DistXxtPlan build_dist_xxt(const XxtSolver& xxt, int nranks);
+
+/// Per-rank solve scratch (z accumulator + touched flags + pack buffer).
+struct XxtScratch {
+  std::vector<double> z;
+  std::vector<unsigned char> touched;
+  std::vector<double> msg;
+};
+
+/// Execute one solve on rank r: reads b (full-length; only owned rows
+/// are accessed), writes final values into out at owned rows only
+/// (zeroing them first) — ranks share one out array with disjoint rows.
+bool dist_xxt_solve(const DistXxtPlan& plan, int r, MpRank& ctx,
+                    const double* b, double* out, XxtScratch& scratch);
+
+/// Single-process reference: identical partials, merges, and output
+/// association, on plain buffers.  out must have length n.
+void dist_xxt_reference(const DistXxtPlan& plan, const double* b,
+                        double* out);
+
+}  // namespace tsem::mp

@@ -1,0 +1,144 @@
+// Rank-parallel execution runtime: fork-per-rank processes over the shm
+// arena, with the fleet engine's fork/heartbeat/reap machinery running
+// rank lifecycle.
+//
+// Execution model
+//   * The parent (the bench or test process) builds every shared object
+//     — channels, barriers, result buffers — in the ShmArena BEFORE
+//     launching.  MpSession::run() then forks P ranks; each child
+//     ignores SIGPIPE (fleet/proc.hpp), runs the user function with an
+//     MpRank view, and _exit()s with its return code.  Forked children
+//     inherit the arena pages at identical addresses, so plans built in
+//     parent memory (read-only to ranks, shared copy-on-write) and
+//     pointers into the arena both work verbatim.
+//   * The parent then runs the supervisor loop shape from src/fleet/:
+//     xpoll over per-rank heartbeat pipes, drain for liveness, WNOHANG
+//     reap, watchdog SIGKILL on silence.  On the first rank failure it
+//     raises the shared abort flag (unblocking every spin wait), reaps
+//     the rest, and reports the failure — a crashed rank converts to an
+//     error return, never a hang.
+//   * Ranks synchronize with a sense-reversing barrier and SPSC message
+//     channels (shm.hpp).  All spin waits beat the rank's heartbeat
+//     pipe, honor the abort flag, and convert a comm timeout into a
+//     clean nonzero exit, so a deadlocked protocol is also an error
+//     return, never a hang.
+//
+// OpenMP caveat: run() must be called before the process enters any
+// OpenMP parallel region in flight, and rank functions must stay serial
+// (forked children of an OpenMP process may not enter parallel regions).
+// The dist_* executors are all serial loops for exactly this reason.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/shm.hpp"
+
+namespace tsem::mp {
+
+/// Per-rank phase accounting, mirroring ClusterSim's simulated step
+/// breakdown so executed and simulated tiers are directly comparable.
+enum class Phase : int { Compute = 0, Gs = 1, Allreduce = 2, Coarse = 3 };
+inline constexpr int kNumPhases = 4;
+const char* phase_name(Phase p);
+
+struct MpOptions {
+  int nranks = 2;
+  int comm_timeout_ms = 120000;  ///< spin-wait bound inside ranks
+  int watchdog_ms = 120000;      ///< parent-side heartbeat silence bound
+  int poll_ms = 20;              ///< parent event-loop tick
+};
+
+class MpRank;
+
+/// One parent-side rank-parallel session: build shared state, run one
+/// fleet of ranks, read back results.  Single-shot by design — the
+/// barrier/channel epochs assume a fresh launch.
+class MpSession {
+ public:
+  explicit MpSession(MpOptions opt);
+
+  ShmArena& arena() { return arena_; }
+  int nranks() const { return opt_.nranks; }
+
+  /// Shared zeroed buffer visible to parent and all ranks.
+  double* shared_doubles(std::size_t n) { return arena_.alloc_n<double>(n); }
+
+  /// SPSC channel; direction is by convention of the caller's plan.
+  ShmChannel* channel(std::size_t cap_words, std::size_t nslots = 1) {
+    return make_channel(arena_, cap_words, nslots);
+  }
+
+  /// Fork nranks processes, run `fn(rank)` in each, supervise to
+  /// completion.  Returns true iff every rank exited 0; otherwise *err
+  /// describes the first failure.  fn's return value is the rank's exit
+  /// code.  Callable once.
+  bool run(const std::function<int(MpRank&)>& fn, std::string* err);
+
+  /// Max over ranks of seconds attributed to `p` during the last run —
+  /// the critical-path executed time for that phase.
+  double phase_max_seconds(Phase p) const;
+  /// Seconds rank r spent in phase p during the last run.
+  double phase_seconds(int rank, Phase p) const;
+
+ private:
+  friend class MpRank;
+  struct Control {
+    std::atomic<int> abort;
+    ShmBarrier barrier;
+  };
+  MpOptions opt_;
+  ShmArena arena_;
+  Control* ctl_ = nullptr;
+  double* allreduce_slots_ = nullptr;  ///< 2 * nranks (parity-alternated)
+  double* phase_sec_ = nullptr;        ///< nranks * kNumPhases
+  bool ran_ = false;
+};
+
+/// A rank's private view of the session (lives in the child process).
+/// All blocking calls return false when the session aborted or the comm
+/// timeout expired; the rank function should then return nonzero.
+class MpRank {
+ public:
+  int rank() const { return rank_; }
+  int nranks() const { return nranks_; }
+
+  bool barrier();
+  /// Publish n doubles into ch (blocks while the ring is full).
+  bool send(ShmChannel* ch, const double* data, std::size_t n);
+  /// Consume the next message from ch; fails if its length is not n.
+  bool recv(ShmChannel* ch, double* data, std::size_t n);
+  /// Deterministic sum: every rank deposits, one barrier, every rank
+  /// reduces the slots in ascending rank order — bitwise identical on
+  /// every rank and across runs.
+  bool allreduce_sum(double x, double* out);
+
+  void phase_add(Phase p, double seconds);
+  /// True while no rank has failed; spin-free snapshot of the abort flag.
+  bool ok() const;
+  /// Raise the session abort flag (unblocks all peers' waits).
+  void fail();
+
+ private:
+  friend class MpSession;
+  template <class Pred>
+  bool spin_until(Pred&& ready);
+  void maybe_beat();
+
+  MpSession::Control* ctl_ = nullptr;
+  double* allreduce_slots_ = nullptr;
+  double* phase_sec_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  int comm_timeout_ms_ = 0;
+  int hb_fd_ = -1;
+  int barrier_sense_ = 0;
+  std::uint64_t allreduce_calls_ = 0;
+  std::int64_t last_beat_ns_ = 0;
+};
+
+}  // namespace tsem::mp

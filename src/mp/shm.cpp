@@ -1,0 +1,69 @@
+#include "mp/shm.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace tsem::mp {
+
+ShmArena::ShmArena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  TSEM_REQUIRE(chunk_bytes_ >= 4096);
+}
+
+ShmArena::~ShmArena() {
+  for (const Chunk& c : chunks_) ::munmap(c.base, c.size);
+}
+
+void* ShmArena::alloc(std::size_t bytes) {
+  TSEM_REQUIRE(!sealed_);
+  const std::size_t need = (bytes + 63u) & ~std::size_t{63};
+  if (chunks_.empty() || chunks_.back().used + need > chunks_.back().size) {
+    const std::size_t size = need > chunk_bytes_ ? need : chunk_bytes_;
+    void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    TSEM_REQUIRE(p != MAP_FAILED);
+    chunks_.push_back(Chunk{static_cast<unsigned char*>(p), size, 0});
+    mapped_ += size;
+  }
+  Chunk& c = chunks_.back();
+  void* out = c.base + c.used;
+  c.used += need;
+  return out;  // anonymous mappings are zero-filled by the kernel
+}
+
+std::size_t ShmChannel::slot_stride() const {
+  return (sizeof(std::uint64_t) + cap_words * sizeof(double) + 63u) &
+         ~std::size_t{63};
+}
+
+std::uint64_t* ShmChannel::slot_len(std::uint64_t m) {
+  return reinterpret_cast<std::uint64_t*>(raw() +
+                                          (m % nslots) * slot_stride());
+}
+
+double* ShmChannel::slot_data(std::uint64_t m) {
+  return reinterpret_cast<double*>(raw() + (m % nslots) * slot_stride() +
+                                   sizeof(std::uint64_t));
+}
+
+ShmChannel* make_channel(ShmArena& arena, std::size_t cap_words,
+                         std::size_t nslots) {
+  TSEM_REQUIRE(nslots >= 1);
+  // Header and slots in one allocation so the whole channel is a single
+  // pointer valid in every rank.
+  ShmChannel proto{};
+  proto.cap_words = cap_words;
+  const std::size_t stride = proto.slot_stride();
+  void* mem = arena.alloc(sizeof(ShmChannel) + nslots * stride);
+  auto* ch = new (mem) ShmChannel{};
+  ch->seq.store(0, std::memory_order_relaxed);
+  ch->ack.store(0, std::memory_order_relaxed);
+  ch->nslots = nslots;
+  ch->cap_words = cap_words;
+  return ch;
+}
+
+}  // namespace tsem::mp

@@ -1,0 +1,105 @@
+// Process-shared memory primitives for the mp rank-parallel backend.
+//
+// Everything here is dependency-free POSIX: the arena is anonymous
+// MAP_SHARED memory created BEFORE fork, so every rank inherits the same
+// physical pages at the same virtual addresses.  That address stability
+// is load-bearing — plain pointers into the arena (channel structs,
+// shared buffers) stay valid verbatim in every rank, no offset
+// translation needed.  Synchronization is lock-free std::atomic on
+// arena cachelines; std::atomic<int>/<uint64_t> are address-free on
+// every platform we target (always_lock_free is static_asserted), which
+// is what makes them process-shared without pshared mutex machinery.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsem::mp {
+
+/// Bump allocator over anonymous MAP_SHARED mappings.  alloc() is
+/// parent-only and pre-fork only: chunks mapped after fork would not be
+/// shared with already-forked ranks, so the session seals the arena when
+/// it launches ranks.  Grows by whole chunks, so callers never need to
+/// pre-compute a total size.
+class ShmArena {
+ public:
+  explicit ShmArena(std::size_t chunk_bytes = 1u << 22);
+  ~ShmArena();
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  /// Zero-initialized, cacheline-aligned shared bytes.
+  void* alloc(std::size_t bytes);
+  template <class T>
+  T* alloc_n(std::size_t n) {
+    static_assert(alignof(T) <= 64, "arena alignment is 64 bytes");
+    return static_cast<T*>(alloc(n * sizeof(T)));
+  }
+
+  /// No further alloc() calls are legal (ranks have been forked).
+  void seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+  std::size_t bytes_mapped() const { return mapped_; }
+
+ private:
+  struct Chunk {
+    unsigned char* base;
+    std::size_t size;
+    std::size_t used;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_bytes_;
+  std::size_t mapped_ = 0;
+  bool sealed_ = false;
+};
+
+/// Sense-reversing barrier living in the arena.  The counter and sense
+/// are shared; each rank keeps its *local* sense in private memory
+/// (MpRank), which is what makes the classic algorithm reusable
+/// back-to-back without a second rendezvous.
+struct ShmBarrier {
+  std::atomic<int> arrived;
+  std::atomic<int> sense;
+  int nranks;
+  void init(int p) {
+    arrived.store(0, std::memory_order_relaxed);
+    sense.store(0, std::memory_order_relaxed);
+    nranks = p;
+  }
+};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "process-shared barrier needs address-free atomics");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "process-shared channels need address-free atomics");
+
+/// Single-producer single-consumer message ring in the arena.  seq
+/// counts published messages, ack counts consumed ones; the payload of
+/// message m lives in slot m % nslots.  A send blocks (spins) while the
+/// ring is full (seq - ack == nslots), a recv while it is empty
+/// (seq == ack).  The release-store of seq after the payload write and
+/// the acquire-load before the payload read are the only fences needed.
+///
+/// nslots > 1 exists for the Schwarz multi-layer exchange, where a rank
+/// publishes several messages to a neighbor before either side drains —
+/// with a single slot two ranks blocked on their second send to each
+/// other would deadlock.
+struct ShmChannel {
+  std::atomic<std::uint64_t> seq;
+  std::atomic<std::uint64_t> ack;
+  std::uint64_t nslots;
+  std::uint64_t cap_words;  ///< per-slot payload capacity (doubles)
+
+  /// Slot layout: [len:uint64][cap_words doubles], 64-byte strided.
+  std::uint64_t* slot_len(std::uint64_t m);
+  double* slot_data(std::uint64_t m);
+  unsigned char* raw() { return reinterpret_cast<unsigned char*>(this + 1); }
+  std::size_t slot_stride() const;
+};
+
+/// Allocate a channel (header + slots) from the arena.
+ShmChannel* make_channel(ShmArena& arena, std::size_t cap_words,
+                         std::size_t nslots = 1);
+
+}  // namespace tsem::mp

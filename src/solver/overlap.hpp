@@ -33,6 +33,13 @@ class GhostExchange {
   [[nodiscard]] int nlayers() const { return nlayers_; }
   /// Slots per layer (= nelem * 2*dim * ng1^(dim-1)).
   [[nodiscard]] std::size_t nslots() const { return nslots_; }
+  // Geometry of the slot layout, exposed so a rank-local executor
+  // (mp/dist_schwarz.hpp) can replicate donor_node() with local element
+  // indices.
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int ng1() const { return ng1_; }
+  /// Tangential slots per face (ng1^(dim-1)).
+  [[nodiscard]] int tang_slots() const { return nt_; }
 
   /// Fill ghost[l*nslots + slot] with the neighbor's layer-l value
   /// adjacent to each face (0 beyond physical boundaries), reading from

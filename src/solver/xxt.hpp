@@ -93,6 +93,10 @@ class XxtSolver {
     return col_ptr_;
   }
   [[nodiscard]] const std::vector<std::int32_t>& rows() const { return row_; }
+  /// Column values parallel to rows(); with col_ptr()/rows() this is the
+  /// full CSC factor, which the mp executed tier partitions across real
+  /// ranks (mp/dist_xxt.hpp).
+  [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
  private:
   int n_ = 0;

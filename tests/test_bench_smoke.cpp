@@ -72,9 +72,26 @@ double field(const Json& c, const std::string& key) {
 }
 
 TEST(BenchSmoke, Fig6TiersAndMeasuredScheduleFidelity) {
-  const Json doc =
-      run_bench(TSEM_FIG6_BIN, "--pmax 8 --sizes 63", "fig6_coarse");
+  const Json doc = run_bench(TSEM_FIG6_BIN, "--pmax 8 --sizes 63 --pexec 2",
+                             "fig6_coarse");
   check_schema(doc, "fig6_coarse");
+
+  // ---- executed tier: real forked ranks, bitwise-checked tree walk ----
+  ASSERT_NE(doc.find("meta")->find("pexec"), nullptr);
+  EXPECT_EQ(doc.find("meta")->find("pexec")->as_int(), 2);
+  {
+    const Json* c = find_case(doc, "n3969/P2/executed");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("tier")->as_string(), "executed");
+    ASSERT_NE(c->find("bitwise_vs_reference"), nullptr);
+    EXPECT_TRUE(c->find("bitwise_vs_reference")->as_bool());
+    EXPECT_GT(field(*c, "exec_seconds_coarse"), 0.0);
+    EXPECT_LT(field(*c, "xxt_err_vs_lu"), 1e-6);
+    const Json* words = c->find("xxt_level_words_executed");
+    ASSERT_NE(words, nullptr);
+    ASSERT_EQ(static_cast<int>(words->size()), 1);  // log2(P) levels
+    EXPECT_GT(words->items()[0].as_int(), 0);
+  }
 
   // Both tiers present, split exactly at pmax.
   for (int p = 1; p <= 2048; p *= 2) {
@@ -119,9 +136,32 @@ TEST(BenchSmoke, Fig6TiersAndMeasuredScheduleFidelity) {
 }
 
 TEST(BenchSmoke, Table4MeasuredTierMatchesClusterSimAndPaperShape) {
-  const std::string args = "--order 3 --refine 1 --pmax 16 --steps 6";
+  const std::string args =
+      "--order 3 --refine 1 --pmax 16 --pexec 2 --steps 6";
   const Json doc = run_bench(TSEM_TABLE4_BIN, args, "table4_scaling");
   check_schema(doc, "table4_scaling");
+
+  // ---- executed tier: real ranks reproduce every kernel bitwise ----
+  {
+    EXPECT_EQ(doc.find("meta")->find("pexec")->as_int(), 2);
+    const Json* c = find_case(doc, "executed/P2");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("tier")->as_string(), "executed");
+    for (const char* key : {"bitwise_gs", "bitwise_schwarz", "bitwise_coarse",
+                            "bitwise_allreduce"}) {
+      ASSERT_NE(c->find(key), nullptr) << key;
+      EXPECT_TRUE(c->find(key)->as_bool()) << key;
+    }
+    for (const char* key :
+         {"exec_seconds_compute", "exec_seconds_gs", "exec_seconds_allreduce",
+          "exec_seconds_coarse"})
+      EXPECT_GT(field(*c, key), 0.0) << key;
+    // Raw-copy executed payloads dominate the profile's dedup'd counts
+    // (the refinement that buys the bitwise guarantee, dist_gs.hpp).
+    EXPECT_GE(c->find("gs_max_send_words_executed")->as_int(),
+              c->find("gs_max_send_words_profile")->as_int());
+    EXPECT_GT(c->find("schwarz_max_send_words_executed")->as_int(), 0);
+  }
 
   // ---- measured tier present with the full schedule provenance ----
   const Json* meta = doc.find("meta");

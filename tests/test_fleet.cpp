@@ -7,12 +7,21 @@
 // the parent free of OpenMP parallel regions before fork().
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "fleet/proc.hpp"
 #include "fleet/spec.hpp"
 #include "fleet/supervisor.hpp"
 #include "fleet/worker.hpp"
@@ -505,6 +514,168 @@ TEST(Fleet, EndToEndFaultDrill) {
     EXPECT_EQ(out.result.steps_done, out.spec.steps);
     EXPECT_EQ(out.result.digest, base.at(out.spec.index)) << out.spec.name;
   }
+}
+
+// ---- Retry backoff (bounded, UB-free) -------------------------------
+
+TEST(FleetBackoff, BackoffClampsShiftAndSaturatesAtCap) {
+  tsem::fleet::FleetOptions opt;
+  opt.backoff_base_ms = 10;
+  opt.backoff_max_ms = 30000;
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 1), 10);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 2), 20);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 5), 160);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 12), 20480);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 13), 30000);  // saturated
+  // The old expression shifted by attempt-1 directly: UB at attempt 32
+  // and beyond.  The clamped form must stay exact and capped forever.
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 31), 30000);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 32), 30000);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 40), 30000);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 1000000), 30000);
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 0), 10);   // defensive clamp
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, -3), 10);
+
+  opt.backoff_max_ms = 0;  // cap of zero means "no delay ever"
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 4), 0);
+  opt.backoff_base_ms = 0;  // disabled backoff stays disabled
+  opt.backoff_max_ms = 30000;
+  EXPECT_EQ(tsem::fleet::retry_backoff_ms(opt, 7), 0);
+}
+
+TEST(Fleet, FortyAttemptLadderStaysBoundedAndQuarantines) {
+  SweepSpec s = base_sweep("ladder", "fleet_t_ladder");
+  s.base.steps = 2;
+  s.fleet.max_attempts = 40;  // would be 2^39 ms at attempt 40 unclamped
+  s.fleet.backoff_base_ms = 1;
+  s.fleet.backoff_max_ms = 4;
+  std::string err;
+  ProcessFault f;
+  ASSERT_TRUE(tsem::parse_process_fault("kill@1#0", &f, &err)) << err;
+  s.faults.emplace_back(0, f);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const FleetReport r = must_run(s);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_TRUE(r.jobs[0].quarantined);
+  EXPECT_EQ(r.jobs[0].attempts, 40);
+  EXPECT_EQ(r.retries, 39);
+  EXPECT_EQ(count_events(r, "retry"), 39);
+  // Every scheduled delay obeys the cap: 1, 2, 4, then 4ms forever.
+  int capped = 0;
+  for (const FleetEvent& e : r.events) {
+    if (e.type != "retry") continue;
+    const auto pos = e.detail.find("backoff ");
+    ASSERT_NE(pos, std::string::npos) << e.detail;
+    const int ms = std::atoi(e.detail.c_str() + pos + 8);
+    EXPECT_GE(ms, 1);
+    EXPECT_LE(ms, 4);
+    capped += ms == 4;
+  }
+  EXPECT_EQ(capped, 37);
+  // 39 retries at <= 4ms backoff each: the whole ladder is sub-minute by
+  // a wide margin (an unclamped shift would wedge it for days).
+  EXPECT_LT(wall, 60.0);
+  const Json doc = r.to_json("ladder");
+  EXPECT_EQ(doc.find("meta")->find("backoff_max_ms")->as_int(), 4);
+}
+
+// ---- Supervisor-death drill (SIGPIPE orphan exit) --------------------
+
+TEST(FleetWorker, OrphanedWorkerExitsCleanlyWhenSupervisorPipeCloses) {
+  const std::string workdir = "fleet_t_orphan";
+  ::mkdir(workdir.c_str(), 0777);
+  JobSpec job;
+  job.name = "orphan";
+  job.index = 0;
+  job.steps = 400;  // far more steps than the pipe will stay open for
+  job.checkpoint_every = 0;
+  ScopedEnv pace("TSEM_FLEET_STEP_SLEEP_US", "2000");
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(fds[0]);
+    tsem::fleet::worker_main(job, workdir, fds[1], 1);  // never returns
+  }
+  ::close(fds[1]);
+  // Play supervisor long enough to hear the worker alive, then die: the
+  // read end closes and the next heartbeat write raises EPIPE (SIGPIPE
+  // is ignored in worker_main), which the worker maps to a clean
+  // kExitOrphaned exit instead of dying silently mid-step.
+  char c;
+  ASSERT_GT(tsem::fleet::xread(fds[0], &c, 1), 0);
+  ::close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(tsem::fleet::xwaitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << tsem::fleet::wait_status_str(status);
+  EXPECT_EQ(WEXITSTATUS(status), tsem::fleet::kExitOrphaned)
+      << tsem::fleet::wait_status_str(status);
+}
+
+// ---- EINTR hardening -------------------------------------------------
+
+namespace eintr {
+void on_alarm(int) {}  // exists only to interrupt syscalls
+
+// Deliver SIGALRM every 2ms with SA_RESTART OFF, so every long syscall
+// in scope keeps returning EINTR.
+struct ScopedStorm {
+  struct sigaction old_sa {};
+  itimerval old_it {};
+  ScopedStorm() {
+    struct sigaction sa {};
+    sa.sa_handler = on_alarm;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: the whole point
+    sigaction(SIGALRM, &sa, &old_sa);
+    itimerval it{};
+    it.it_interval.tv_usec = 2000;
+    it.it_value.tv_usec = 2000;
+    setitimer(ITIMER_REAL, &it, &old_it);
+  }
+  ~ScopedStorm() {
+    setitimer(ITIMER_REAL, &old_it, nullptr);
+    sigaction(SIGALRM, &old_sa, nullptr);
+  }
+};
+}  // namespace eintr
+
+TEST(FleetProc, XpollHonorsTimeoutUnderEintrStorm) {
+  eintr::ScopedStorm storm;
+  const auto t0 = std::chrono::steady_clock::now();
+  // No fds: a plain ::poll would return EINTR after ~2ms; xpoll must
+  // re-arm with the remaining window and sleep out the full timeout.
+  const int rc = tsem::fleet::xpoll(nullptr, 0, 150);
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(rc, 0);
+  EXPECT_GE(ms, 120.0);
+}
+
+TEST(Fleet, SupervisorLoopSurvivesEintrStorm) {
+  // The supervisor's poll / drain / waitpid path runs entirely under the
+  // interrupt storm; with bare syscalls this run flakes with spurious
+  // failures (EINTR from poll) or misread heartbeats (truncated drains).
+  eintr::ScopedStorm storm;
+  SweepSpec s = base_sweep("eintr", "fleet_t_eintr");
+  s.reynolds = {10.0, 20.0};
+  ScopedEnv pace("TSEM_FLEET_STEP_SLEEP_US", "1000");
+  const FleetReport r = must_run(s);
+  EXPECT_EQ(r.completed, 2);
+  EXPECT_EQ(r.quarantined, 0);
+  for (const auto& out : r.jobs)
+    EXPECT_TRUE(out.completed) << out.spec.name << ": " << out.failure;
 }
 
 }  // namespace

@@ -1,0 +1,506 @@
+// Tests for the rank-parallel execution backend (src/mp/): the fork +
+// shared-memory runtime and the three distributed communication patterns
+// of the executed tier.  The load-bearing claims are BITWISE: the
+// executed gather-scatter, Schwarz ghost exchange, and XXT tree walk
+// must reproduce the single-process kernels exactly, on real forked
+// ranks moving real bytes through the shm channels.
+//
+// Fork-safety note: rank functions are serial (no OpenMP) by design —
+// see the caveat in mp/runtime.hpp.  Production kernels used as
+// references run in the parent only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "fem/fem.hpp"
+#include "gs/gather_scatter.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "mp/dist_gs.hpp"
+#include "mp/dist_schwarz.hpp"
+#include "mp/dist_xxt.hpp"
+#include "mp/runtime.hpp"
+#include "mp/shm.hpp"
+#include "sim/cluster.hpp"
+#include "solver/overlap.hpp"
+#include "solver/xxt.hpp"
+
+namespace {
+
+using tsem::GatherScatter;
+using tsem::GsOp;
+using tsem::Mesh;
+using tsem::mp::DistGhost;
+using tsem::mp::DistGsPlan;
+using tsem::mp::DistXxtPlan;
+using tsem::mp::GsChannels;
+using tsem::mp::GsScratch;
+using tsem::mp::MpOptions;
+using tsem::mp::MpRank;
+using tsem::mp::MpSession;
+using tsem::mp::Phase;
+
+Mesh box3d(int kx, int ky, int kz, int order) {
+  auto spec = tsem::box_spec_3d(tsem::linspace(0, kx, kx),
+                                tsem::linspace(0, ky, ky),
+                                tsem::linspace(0, kz, kz));
+  return build_mesh(spec, order);
+}
+
+// Channels for every neighbor pair of a dist-gs plan, both directions,
+// allocated in the session arena (parent, pre-fork).
+std::vector<GsChannels> make_gs_channels(MpSession& s, const DistGsPlan& plan,
+                                         std::size_t nslots) {
+  std::map<std::pair<int, int>, tsem::mp::ShmChannel*> by_pair;
+  for (int r = 0; r < plan.nranks; ++r) {
+    const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < rk.nbrs.size(); ++i)
+      by_pair[{r, rk.nbrs[i]}] = s.channel(rk.send_ix[i].size(), nslots);
+  }
+  std::vector<GsChannels> out(static_cast<std::size_t>(plan.nranks));
+  for (int r = 0; r < plan.nranks; ++r) {
+    const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+    for (int q : rk.nbrs) {
+      out[static_cast<std::size_t>(r)].to.push_back(by_pair.at({r, q}));
+      out[static_cast<std::size_t>(r)].from.push_back(by_pair.at({q, r}));
+    }
+  }
+  return out;
+}
+
+std::vector<double> random_field(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> u(n);
+  for (auto& v : u) v = dist(rng);
+  return u;
+}
+
+// Shared-id layout with heavy multiplicity for the pure-gs tests:
+// element-major ids that alias across elements like a 1D C0 chain.
+std::vector<std::int64_t> chain_ids(int nelem, int npe) {
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(nelem) * npe);
+  for (int e = 0; e < nelem; ++e)
+    for (int j = 0; j < npe; ++j)
+      ids[static_cast<std::size_t>(e) * npe + j] = e * (npe - 1) + j;
+  return ids;
+}
+
+// ---- runtime: barrier / allreduce / failure propagation --------------
+
+TEST(MpRuntime, AllreduceIsDeterministicAcrossRanksAndRuns) {
+  const int P = 4, reps = 40;
+  MpOptions opt;
+  opt.nranks = P;
+  MpSession session(opt);
+  double* results = session.shared_doubles(static_cast<std::size_t>(P) * reps);
+  // Inputs flow through shm so parent and ranks sum the SAME doubles —
+  // recomputing an expression on both sides would let FP contraction
+  // differences masquerade as runtime bugs.
+  double* inputs = session.shared_doubles(static_cast<std::size_t>(P) * reps);
+  const auto vals = random_field(static_cast<std::size_t>(P) * reps, 3);
+  std::memcpy(inputs, vals.data(), vals.size() * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        for (int i = 0; i < reps; ++i) {
+          const double mine =
+              inputs[static_cast<std::size_t>(ctx.rank()) * reps + i];
+          double sum = 0.0;
+          if (!ctx.allreduce_sum(mine, &sum)) return 1;
+          results[static_cast<std::size_t>(ctx.rank()) * reps + i] = sum;
+        }
+        return ctx.barrier() ? 0 : 1;
+      },
+      &err);
+  ASSERT_TRUE(ok) << err;
+
+  for (int i = 0; i < reps; ++i) {
+    // The contract is ascending-rank summation, bitwise on every rank.
+    double expect = 0.0;
+    for (int r = 0; r < P; ++r)
+      expect += vals[static_cast<std::size_t>(r) * reps + i];
+    for (int r = 0; r < P; ++r)
+      ASSERT_EQ(results[static_cast<std::size_t>(r) * reps + i], expect)
+          << "rank " << r << " rep " << i;
+  }
+}
+
+TEST(MpRuntime, RankFailureConvertsBlockedPeersToErrorNotHang) {
+  MpOptions opt;
+  opt.nranks = 2;
+  opt.comm_timeout_ms = 10000;  // abort flag should unblock far sooner
+  MpSession session(opt);
+  auto* ch = session.channel(4);
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        if (ctx.rank() == 1) return 7;  // fail without ever sending
+        double buf[4];
+        return ctx.recv(ch, buf, 4) ? 0 : 2;  // must unblock via abort
+      },
+      &err);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("rank 1"), std::string::npos) << err;
+}
+
+TEST(MpRuntime, ChannelRingCarriesBackToBackMessages) {
+  MpOptions opt;
+  opt.nranks = 2;
+  MpSession session(opt);
+  const int msgs = 8, words = 3;
+  auto* ch = session.channel(words, /*nslots=*/2);  // ring smaller than msgs
+  double* got = session.shared_doubles(static_cast<std::size_t>(msgs) * words);
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        if (ctx.rank() == 0) {
+          double buf[words];
+          for (int m = 0; m < msgs; ++m) {
+            for (int w = 0; w < words; ++w) buf[w] = 100.0 * m + w;
+            if (!ctx.send(ch, buf, words)) return 1;
+          }
+          return 0;
+        }
+        for (int m = 0; m < msgs; ++m)
+          if (!ctx.recv(ch, got + static_cast<std::size_t>(m) * words, words))
+            return 1;
+        return 0;
+      },
+      &err);
+  ASSERT_TRUE(ok) << err;
+  for (int m = 0; m < msgs; ++m)
+    for (int w = 0; w < words; ++w)
+      EXPECT_EQ(got[static_cast<std::size_t>(m) * words + w], 100.0 * m + w);
+}
+
+TEST(MpRuntime, PhaseTimersAggregatePerRank) {
+  MpOptions opt;
+  opt.nranks = 2;
+  MpSession session(opt);
+  std::string err;
+  ASSERT_TRUE(session.run(
+      [&](MpRank& ctx) {
+        ctx.phase_add(Phase::Gs, 0.25 * (ctx.rank() + 1));
+        ctx.phase_add(Phase::Gs, 0.25 * (ctx.rank() + 1));
+        ctx.phase_add(Phase::Coarse, 1.0);
+        return 0;
+      },
+      &err))
+      << err;
+  EXPECT_DOUBLE_EQ(session.phase_seconds(0, Phase::Gs), 0.5);
+  EXPECT_DOUBLE_EQ(session.phase_seconds(1, Phase::Gs), 1.0);
+  EXPECT_DOUBLE_EQ(session.phase_max_seconds(Phase::Gs), 1.0);
+  EXPECT_DOUBLE_EQ(session.phase_max_seconds(Phase::Coarse), 1.0);
+  EXPECT_DOUBLE_EQ(session.phase_max_seconds(Phase::Compute), 0.0);
+}
+
+// ---- distributed gather-scatter --------------------------------------
+
+TEST(DistGs, ReferenceExecutorBitwiseMatchesProductionAllOps) {
+  const int nelem = 24, npe = 5, nranks = 4;
+  const auto ids = chain_ids(nelem, npe);
+  std::vector<int> elem_rank(nelem);
+  for (int e = 0; e < nelem; ++e) elem_rank[e] = e % nranks;  // scattered
+  const DistGsPlan plan = tsem::mp::build_dist_gs(ids, npe, elem_rank, nranks);
+  ASSERT_EQ(plan.nglobal, ids.size());
+
+  const GatherScatter gs(ids);
+  for (GsOp op : {GsOp::Add, GsOp::Mul, GsOp::Min, GsOp::Max}) {
+    const auto u0 = random_field(ids.size(), 42);
+    std::vector<double> a = u0, b = u0;
+    gs.op(a.data(), op);
+    tsem::mp::dist_gs_reference(plan, b.data(), op);
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << "op " << static_cast<int>(op);
+  }
+}
+
+TEST(DistGs, PlanNeighborsMatchCommProfileAndWordsDominate) {
+  const Mesh m = box3d(4, 2, 2, 3);
+  const int npe = static_cast<int>(m.node_id.size()) / m.nelem;
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 8;
+  copt.build_schwarz = false;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  for (int p : {2, 4, 8}) {
+    const auto sched = sim.schedule(p);
+    const DistGsPlan plan =
+        tsem::mp::build_dist_gs(m.node_id, npe, sched.elem_rank, p);
+    for (int r = 0; r < p; ++r) {
+      const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+      int nbrs = 0;
+      for (int q = 0; q < p; ++q) {
+        const std::int64_t prof = sched.gs.pair_words(r, q);
+        const auto it = std::find(rk.nbrs.begin(), rk.nbrs.end(), q);
+        if (prof > 0) {
+          // Same pair structure; raw copies carry at least the profile's
+          // one-word-per-shared-id volume (dist_gs.hpp, bitwise contract).
+          ASSERT_NE(it, rk.nbrs.end()) << "P" << p << " pair " << r << "," << q;
+          const std::size_t i =
+              static_cast<std::size_t>(it - rk.nbrs.begin());
+          EXPECT_GE(static_cast<std::int64_t>(rk.send_ix[i].size()), prof);
+          ++nbrs;
+        } else {
+          EXPECT_EQ(it, rk.nbrs.end());
+        }
+      }
+      EXPECT_EQ(nbrs, static_cast<int>(rk.nbrs.size()));
+    }
+  }
+}
+
+TEST(DistGs, ExecutedRanksBitwiseMatchProductionOnRsbPartition) {
+  const Mesh m = box3d(4, 2, 2, 3);
+  const int npe = static_cast<int>(m.node_id.size()) / m.nelem;
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.build_schwarz = false;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+
+  for (int p : {2, 4}) {
+    const auto sched = sim.schedule(p);
+    const DistGsPlan plan =
+        tsem::mp::build_dist_gs(m.node_id, npe, sched.elem_rank, p);
+
+    for (GsOp op : {GsOp::Add, GsOp::Max}) {
+      MpOptions opt;
+      opt.nranks = p;
+      MpSession session(opt);
+      const auto channels = make_gs_channels(session, plan, 1);
+      double* u_shared = session.shared_doubles(plan.nglobal);
+      double* out_shared = session.shared_doubles(plan.nglobal);
+      const auto u0 = random_field(plan.nglobal, 7 + p);
+      std::memcpy(u_shared, u0.data(), plan.nglobal * sizeof(double));
+
+      std::string err;
+      const bool ok = session.run(
+          [&](MpRank& ctx) {
+            const auto& rk =
+                plan.ranks[static_cast<std::size_t>(ctx.rank())];
+            std::vector<double> u(rk.nlocal);
+            for (std::size_t l = 0; l < rk.nlocal; ++l)
+              u[l] = u_shared[plan.global_index(ctx.rank(), l)];
+            GsScratch scratch;
+            // begin/finish split: the interior reduce happens while
+            // neighbor messages are nominally in flight.
+            if (!tsem::mp::dist_gs_begin(
+                    rk, ctx, channels[static_cast<std::size_t>(ctx.rank())],
+                    u.data(), op, scratch))
+              return 1;
+            if (!tsem::mp::dist_gs_finish(
+                    rk, ctx, channels[static_cast<std::size_t>(ctx.rank())],
+                    u.data(), op, scratch))
+              return 1;
+            for (std::size_t l = 0; l < rk.nlocal; ++l)
+              out_shared[plan.global_index(ctx.rank(), l)] = u[l];
+            return 0;
+          },
+          &err);
+      ASSERT_TRUE(ok) << "P" << p << ": " << err;
+
+      std::vector<double> ref = u0;
+      GatherScatter(m.node_id).op(ref.data(), op);
+      ASSERT_EQ(0, std::memcmp(ref.data(), out_shared,
+                               plan.nglobal * sizeof(double)))
+          << "P" << p << " op " << static_cast<int>(op);
+    }
+  }
+}
+
+// ---- distributed Schwarz ghost exchange ------------------------------
+
+TEST(DistSchwarz, ExecutedExchangeAndScatterAddBitwiseMatchProduction) {
+  const Mesh m = box3d(4, 2, 2, 4);
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.schwarz_overlap = 2;  // multi-layer: exercises the channel rings
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  const tsem::GhostExchange& gx = *sim.ghost_exchange();
+  const auto sched = sim.schedule(4);
+
+  const DistGhost ghost(gx, sched.elem_rank, 4);
+  const std::size_t npe_press = ghost.npress_per_elem();
+  const std::size_t spe =
+      static_cast<std::size_t>(2 * gx.dim()) * gx.tang_slots();
+  const std::size_t np_glob = static_cast<std::size_t>(m.nelem) * npe_press;
+  const std::size_t ng_glob =
+      static_cast<std::size_t>(gx.nlayers()) * gx.nslots();
+
+  MpOptions opt;
+  opt.nranks = 4;
+  MpSession session(opt);
+  const auto channels =
+      make_gs_channels(session, ghost.plan(),
+                       static_cast<std::size_t>(gx.nlayers()));
+  double* p_shared = session.shared_doubles(np_glob);
+  double* ghost_shared = session.shared_doubles(ng_glob);
+  double* v_shared = session.shared_doubles(ng_glob);
+  double* pacc_shared = session.shared_doubles(np_glob);
+
+  const auto p0 = random_field(np_glob, 11);
+  const auto v0 = random_field(ng_glob, 13);
+  std::memcpy(p_shared, p0.data(), np_glob * sizeof(double));
+  std::memcpy(v_shared, v0.data(), ng_glob * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        const int r = ctx.rank();
+        const auto& rk = ghost.plan().ranks[static_cast<std::size_t>(r)];
+        const std::size_t ns = rk.nlocal;
+        std::vector<double> p_loc(rk.elems.size() * npe_press);
+        std::vector<double> g_loc(static_cast<std::size_t>(gx.nlayers()) * ns);
+        std::vector<double> v_loc(g_loc.size());
+        for (std::size_t e = 0; e < rk.elems.size(); ++e) {
+          std::memcpy(p_loc.data() + e * npe_press,
+                      p_shared + static_cast<std::size_t>(rk.elems[e]) *
+                                     npe_press,
+                      npe_press * sizeof(double));
+          for (int l = 0; l < gx.nlayers(); ++l)
+            std::memcpy(
+                v_loc.data() + static_cast<std::size_t>(l) * ns + e * spe,
+                v_shared + static_cast<std::size_t>(l) * gx.nslots() +
+                    static_cast<std::size_t>(rk.elems[e]) * spe,
+                spe * sizeof(double));
+        }
+        DistGhost::Scratch scratch;
+        const GsChannels& ch = channels[static_cast<std::size_t>(r)];
+        // Overlapped form: all layers in flight, then a barrier standing
+        // in for interior compute, then completion.
+        if (!ghost.exchange_begin(r, ctx, ch, p_loc.data(), scratch)) return 1;
+        if (!ctx.barrier()) return 1;
+        if (!ghost.exchange_finish(r, ctx, ch, p_loc.data(), g_loc.data(),
+                                   scratch))
+          return 1;
+        for (std::size_t e = 0; e < rk.elems.size(); ++e)
+          for (int l = 0; l < gx.nlayers(); ++l)
+            std::memcpy(
+                ghost_shared + static_cast<std::size_t>(l) * gx.nslots() +
+                    static_cast<std::size_t>(rk.elems[e]) * spe,
+                g_loc.data() + static_cast<std::size_t>(l) * ns + e * spe,
+                spe * sizeof(double));
+
+        if (!ghost.scatter_add(r, ctx, ch, v_loc.data(), p_loc.data(),
+                               scratch))
+          return 2;
+        for (std::size_t e = 0; e < rk.elems.size(); ++e)
+          std::memcpy(pacc_shared +
+                          static_cast<std::size_t>(rk.elems[e]) * npe_press,
+                      p_loc.data() + e * npe_press,
+                      npe_press * sizeof(double));
+        return 0;
+      },
+      &err);
+  ASSERT_TRUE(ok) << err;
+
+  std::vector<double> ghost_ref(ng_glob);
+  gx.exchange(p0.data(), ghost_ref.data());
+  ASSERT_EQ(0, std::memcmp(ghost_ref.data(), ghost_shared,
+                           ng_glob * sizeof(double)));
+
+  std::vector<double> p_ref = p0;
+  gx.scatter_add(v0.data(), p_ref.data());
+  ASSERT_EQ(0,
+            std::memcmp(p_ref.data(), pacc_shared, np_glob * sizeof(double)));
+}
+
+// ---- distributed XXT -------------------------------------------------
+
+TEST(DistXxt, ExecutedTreeWalkBitwiseMatchesReferenceAndSolvesA) {
+  const int nx = 20, n = nx * nx, P = 4;
+  const auto a = tsem::poisson5(nx, nx);
+  std::vector<double> x(n), y(n), z;
+  for (int j = 0; j < nx; ++j)
+    for (int i = 0; i < nx; ++i) {
+      x[j * nx + i] = i;
+      y[j * nx + i] = j;
+    }
+  const auto nd = tsem::nested_dissection(a, x, y, z, 4);
+  const tsem::XxtSolver xxt(a, nd);
+
+  DistXxtPlan plan = tsem::mp::build_dist_xxt(xxt, P);
+  ASSERT_EQ(plan.levels, 2);
+
+  // Schedule fidelity: the executed per-level fan-in words are exactly
+  // the odd-edge carries of the measured tree (edge_msg_words heap), and
+  // never exceed the billed per-level maxima (which also cover the
+  // even-child edges a colocated parent absorbs for free).
+  const auto& edges = xxt.edge_msg_words();
+  const auto billed = xxt.level_msg_words_at(plan.levels);
+  ASSERT_EQ(static_cast<int>(plan.level_max_words.size()), plan.levels);
+  for (int s = 0; s < plan.levels; ++s) {
+    std::int64_t odd_max = 0;
+    const int base = 1 << (plan.levels - s);
+    for (int m = 1; m < base; m += 2)
+      odd_max = std::max(odd_max, edges[static_cast<std::size_t>(base + m)]);
+    EXPECT_EQ(plan.level_max_words[static_cast<std::size_t>(s)], odd_max)
+        << "level " << s;
+    EXPECT_LE(plan.level_max_words[static_cast<std::size_t>(s)],
+              billed[static_cast<std::size_t>(plan.levels - 1 - s)]);
+  }
+
+  // Every dof owned by exactly one rank.
+  {
+    std::vector<int> owner(static_cast<std::size_t>(n), -1);
+    for (const auto& rk : plan.ranks)
+      for (auto d : rk.owned) {
+        ASSERT_EQ(owner[static_cast<std::size_t>(d)], -1);
+        owner[static_cast<std::size_t>(d)] = rk.rank;
+      }
+    for (int d = 0; d < n; ++d)
+      ASSERT_EQ(owner[static_cast<std::size_t>(d)], plan.rank_of_dof[d]);
+  }
+
+  const auto b = random_field(static_cast<std::size_t>(n), 23);
+  std::vector<double> ref(static_cast<std::size_t>(n));
+  tsem::mp::dist_xxt_reference(plan, b.data(), ref.data());
+
+  MpOptions opt;
+  opt.nranks = P;
+  MpSession session(opt);
+  plan.attach_channels(session);
+  double* b_shared = session.shared_doubles(static_cast<std::size_t>(n));
+  double* out_shared = session.shared_doubles(static_cast<std::size_t>(n));
+  std::memcpy(b_shared, b.data(), b.size() * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        tsem::mp::XxtScratch scratch;
+        return tsem::mp::dist_xxt_solve(plan, ctx.rank(), ctx, b_shared,
+                                        out_shared, scratch)
+                   ? 0
+                   : 1;
+      },
+      &err);
+  ASSERT_TRUE(ok) << err;
+
+  // Executed == single-process reference, bitwise.
+  ASSERT_EQ(0, std::memcmp(ref.data(), out_shared,
+                           static_cast<std::size_t>(n) * sizeof(double)));
+
+  // And it actually solves A0 x = b (association differs from the
+  // sequential solver, so this one is a tolerance check).
+  std::vector<double> seq(static_cast<std::size_t>(n));
+  xxt.solve(b.data(), seq.data());
+  double maxerr = 0.0;
+  for (int i = 0; i < n; ++i)
+    maxerr = std::max(maxerr, std::fabs(seq[static_cast<std::size_t>(i)] -
+                                        out_shared[i]));
+  EXPECT_LT(maxerr, 1e-8);
+}
+
+}  // namespace
