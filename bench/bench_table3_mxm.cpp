@@ -24,6 +24,8 @@
 
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
+#include "tensor/kernels_avx512.hpp"
+#include "tensor/kernels_fixed.hpp"
 #include "tensor/kernels_simd.hpp"
 #include "tensor/mxm.hpp"
 
@@ -163,6 +165,29 @@ int main(int argc, char** argv) {
           name, [s, fn = k.fn](benchmark::State& st) { run_kernel(st, s, fn); });
     }
   }
+  // Fixed-order tier rows (ISSUE acceptance): the registry "fixed"
+  // variant against the stock generic kernel and the autotuned dispatch
+  // on the cube shapes of orders N = 8..16 (the tensor middle stages),
+  // single-threaded like every other row here.  SIMD variants ride along
+  // as above so avx512-vs-fixed is directly readable off one report.
+  for (int d = 8; d <= 16; ++d) {
+    const Shape s{d, d, d};
+    std::vector<Named> kernels = {{"fixed", tsem::mxm_fixed_dispatch},
+                                  {"lkm", tsem::mxm_generic}};
+    for (const auto& v : tsem::mxm_registry())
+      if (v.simd) kernels.push_back({v.name, v.fn});
+    kernels.push_back({"tuned", +[](const double* a, int m, const double* b,
+                                    int k, double* c, int n) {
+                         tsem::mxm(a, m, b, k, c, n);
+                       }});
+    for (const auto& k : kernels) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "mxm_order/%dx%dx%d/%s", d, d, d,
+                    k.name.c_str());
+      benchmark::RegisterBenchmark(
+          name, [s, fn = k.fn](benchmark::State& st) { run_kernel(st, s, fn); });
+    }
+  }
   tsem::obs::BenchReport report("table3_mxm");
   report.meta()["table"] = "Table 3";
   report.meta()["kernels"] = kernel_list;
@@ -173,6 +198,12 @@ int main(int argc, char** argv) {
   report.meta()["simd_compiled"] = tsem::simd_compiled();
   report.meta()["simd_available"] = tsem::simd_available();
   report.meta()["isa"] = tsem::simd_isa_name();
+  // What the machine running the bench actually supports, independent of
+  // what this binary was compiled with — reports from different hosts
+  // stay comparable.
+  report.meta()["isa_runtime"] = tsem::mxm_isa_runtime_name();
+  report.meta()["avx512_compiled"] = tsem::avx512_compiled();
+  report.meta()["avx512_available"] = tsem::avx512_available();
   for (const auto& s : kShapes) {
     char label[32];
     std::snprintf(label, sizeof(label), "%dx%dx%d", s.n1, s.n2, s.n3);

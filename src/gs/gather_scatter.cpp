@@ -38,17 +38,19 @@ GatherScatter::GatherScatter(const std::int64_t* ids, std::size_t n) {
 
 namespace {
 
-inline double reduce_init(GsOp o) {
+template <typename T>
+inline T reduce_init(GsOp o) {
   switch (o) {
-    case GsOp::Add: return 0.0;
-    case GsOp::Mul: return 1.0;
-    case GsOp::Min: return std::numeric_limits<double>::infinity();
-    case GsOp::Max: return -std::numeric_limits<double>::infinity();
+    case GsOp::Add: return T(0);
+    case GsOp::Mul: return T(1);
+    case GsOp::Min: return std::numeric_limits<T>::infinity();
+    case GsOp::Max: return -std::numeric_limits<T>::infinity();
   }
-  return 0.0;
+  return T(0);
 }
 
-inline double reduce_apply(GsOp o, double a, double b) {
+template <typename T>
+inline T reduce_apply(GsOp o, T a, T b) {
   switch (o) {
     case GsOp::Add: return a + b;
     case GsOp::Mul: return a * b;
@@ -65,7 +67,8 @@ inline double reduce_apply(GsOp o, double a, double b) {
 // kGsChunk components, so the gather index list is traversed
 // ceil(m / kGsChunk) times instead of m times, and the scalar and
 // vector paths share one OpenMP guard.
-void GatherScatter::run_groups(double* u, int m, GsOp o) const {
+template <typename T>
+void GatherScatter::run_groups(T* u, int m, GsOp o) const {
   constexpr int kGsChunk = 16;
   const std::size_t ng = ngroups();
   const std::size_t sm = static_cast<std::size_t>(m);
@@ -77,14 +80,14 @@ void GatherScatter::run_groups(double* u, int m, GsOp o) const {
     for (std::size_t g = 0; g < ng; ++g) {
       const std::int32_t b = group_offset_[g];
       const std::int32_t e = group_offset_[g + 1];
-      double acc[kGsChunk];
-      for (int c = 0; c < nc; ++c) acc[c] = reduce_init(o);
+      T acc[kGsChunk];
+      for (int c = 0; c < nc; ++c) acc[c] = reduce_init<T>(o);
       for (std::int32_t k = b; k < e; ++k) {
-        const double* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
-        for (int c = 0; c < nc; ++c) acc[c] = reduce_apply(o, acc[c], row[c]);
+        const T* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
+        for (int c = 0; c < nc; ++c) acc[c] = reduce_apply<T>(o, acc[c], row[c]);
       }
       for (std::int32_t k = b; k < e; ++k) {
-        double* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
+        T* row = u + static_cast<std::size_t>(gather_ix_[k]) * sm + c0;
         for (int c = 0; c < nc; ++c) row[c] = acc[c];
       }
     }
@@ -96,7 +99,12 @@ void GatherScatter::run_groups(double* u, int m, GsOp o) const {
   }
 }
 
+template void GatherScatter::run_groups<double>(double*, int, GsOp) const;
+template void GatherScatter::run_groups<float>(float*, int, GsOp) const;
+
 void GatherScatter::op(double* u, GsOp o) const { run_groups(u, 1, o); }
+
+void GatherScatter::op_f32(float* u, GsOp o) const { run_groups(u, 1, o); }
 
 void GatherScatter::op_vec(double* u, int m, GsOp o) const {
   run_groups(u, m, o);

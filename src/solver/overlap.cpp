@@ -86,6 +86,8 @@ GhostExchange::GhostExchange(const Mesh& m, int ng1, int nlayers)
   gs_ = GatherScatter(ids);
   buf_.resize(nslots_);
   own_.resize(nslots_);
+  buf32_.resize(nslots_);
+  own32_.resize(nslots_);
 }
 
 CommProfile GhostExchange::comm_profile(const std::vector<int>& elem_rank,
@@ -135,6 +137,34 @@ void GhostExchange::scatter_add(const double* v, double* p) const {
     gs_.op(buf_.data());
     for (std::size_t s = 0; s < nslots_; ++s)
       p[donor_node(s, l)] += buf_[s] - own_[s];
+  }
+}
+
+void GhostExchange::exchange(const double* p, float* ghost) const {
+  for (int l = 0; l < nlayers_; ++l) {
+    for (std::size_t s = 0; s < nslots_; ++s) {
+      own32_[s] = static_cast<float>(p[donor_node(s, l)]);
+      buf32_[s] = own32_[s];
+    }
+    gs_.op_f32(buf32_.data());
+    float* g = ghost + static_cast<std::size_t>(l) * nslots_;
+    for (std::size_t s = 0; s < nslots_; ++s) g[s] = buf32_[s] - own32_[s];
+  }
+}
+
+void GhostExchange::scatter_add(const float* v, double* p) const {
+  for (int l = 0; l < nlayers_; ++l) {
+    const float* g = v + static_cast<std::size_t>(l) * nslots_;
+    for (std::size_t s = 0; s < nslots_; ++s) {
+      own32_[s] = g[s];
+      buf32_[s] = g[s];
+    }
+    gs_.op_f32(buf32_.data());
+    // FP64 accumulate on restore: the float contributions are promoted
+    // before touching the double field.
+    for (std::size_t s = 0; s < nslots_; ++s)
+      p[donor_node(s, l)] +=
+          static_cast<double>(buf32_[s]) - static_cast<double>(own32_[s]);
   }
 }
 

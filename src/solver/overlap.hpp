@@ -51,6 +51,15 @@ class GhostExchange {
   /// underlying dof and accumulate into p.
   void scatter_add(const double* v, double* p) const;
 
+  /// FP32 ghost path (DESIGN.md "Precision policy"): identical routing,
+  /// but staging buffers and the gather-scatter reduction run in float
+  /// (half the exchanged bytes).  The field p stays FP64 on both sides:
+  /// exchange reads double and demotes into the float staging; the
+  /// reverse scatter_add accumulates the float contributions back into
+  /// the double field.
+  void exchange(const double* p, float* ghost) const;
+  void scatter_add(const float* v, double* p) const;
+
   /// Local pressure dof index for (slot, layer) — the donor node.
   [[nodiscard]] std::size_t donor_node(std::size_t slot, int layer) const;
 
@@ -70,6 +79,9 @@ class GhostExchange {
   GatherScatter gs_;
   mutable std::vector<double> buf_;
   mutable std::vector<double> own_;
+  // Float twins of the staging buffers, for the FP32 overloads.
+  mutable std::vector<float> buf32_;
+  mutable std::vector<float> own32_;
 };
 
 }  // namespace tsem

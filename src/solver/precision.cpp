@@ -1,0 +1,22 @@
+#include "solver/precision.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tsem {
+
+PrecondPrecision precond_precision_parse(const char* v) {
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0)
+    return PrecondPrecision::Fp64;
+  return PrecondPrecision::Fp32;
+}
+
+PrecondPrecision precond_precision_from_env() {
+  return precond_precision_parse(std::getenv("TSEM_PRECOND_FP32"));
+}
+
+const char* precond_precision_name(PrecondPrecision p) {
+  return p == PrecondPrecision::Fp32 ? "fp32" : "fp64";
+}
+
+}  // namespace tsem

@@ -1,0 +1,34 @@
+// Preconditioner precision policy (DESIGN.md "Precision policy").
+//
+// The outer Krylov solve is always FP64; the policy only selects the
+// arithmetic inside the preconditioner application — the Schwarz/FDM
+// local solves, their ghost-exchange staging, and the Jacobi diagonal
+// scale.  A preconditioner is free to be any s.p.d.-ish approximation of
+// the operator inverse, so running it in FP32 changes the PCG iterate
+// path but not what the solve converges to; the contract that replaces
+// bitwise equality for this path is iteration count + achieved residual
+// (tests/convergence_contract.hpp).
+//
+// Default is Fp64.  Set TSEM_PRECOND_FP32 (non-empty, not "0") to enable
+// the FP32 path; code that builds a preconditioner reads the policy once
+// through its options struct, which defaults from the environment.
+#pragma once
+
+namespace tsem {
+
+enum class PrecondPrecision { Fp64, Fp32 };
+
+/// Policy encoded by an environment value: unset/empty/"0" -> Fp64,
+/// anything else -> Fp32.  Pure function of the argument (testable
+/// without setenv games).
+PrecondPrecision precond_precision_parse(const char* v);
+
+/// TSEM_PRECOND_FP32 read from the environment.  NOT cached: options
+/// structs capture the value at construction, and tests toggle the
+/// variable between solves.
+PrecondPrecision precond_precision_from_env();
+
+/// "fp64" / "fp32" — obs events and bench meta.
+const char* precond_precision_name(PrecondPrecision p);
+
+}  // namespace tsem

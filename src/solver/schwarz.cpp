@@ -70,6 +70,32 @@ SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
   // Batch staging buffers sized once here so apply() never allocates.
   batch_r_.resize(static_cast<std::size_t>(m.nelem) * nle_);
   batch_z_.resize(batch_r_.size());
+
+  // FP32 is honored for the FDM local only; the FemP1 baseline keeps its
+  // FP64 Cholesky factors.
+  precision_ = (opt_.precision == PrecondPrecision::Fp32 &&
+                opt_.local == SchwarzOptions::Local::Fdm)
+                   ? PrecondPrecision::Fp32
+                   : PrecondPrecision::Fp64;
+  if (precision_ == PrecondPrecision::Fp32) {
+    batch_r32_.resize(batch_r_.size());
+    batch_z32_.resize(batch_r_.size());
+    if (ghosts_) {
+      ghost32_.resize(ghost_.size());
+      vout32_.resize(ghost_.size());
+    }
+  }
+  // Event only for the non-default policy: default FP64 construction
+  // stays silent so event streams keyed on exact counts are unchanged.
+  if (precision_ == PrecondPrecision::Fp32) {
+    obs::count("schwarz/fp32_setups");
+    obs::Json ev;
+    ev["type"] = "schwarz_precision";
+    ev["precision"] = precond_precision_name(precision_);
+    ev["local"] = opt_.local == SchwarzOptions::Local::Fdm ? "fdm" : "fem_p1";
+    ev["overlap"] = opt_.overlap;
+    obs::emit_event(std::move(ev));
+  }
 }
 
 void SchwarzPrecond::build_local_grids() {
@@ -175,59 +201,36 @@ void SchwarzPrecond::build_coarse() {
   }
 }
 
-void SchwarzPrecond::apply(const double* r, double* z) const {
-  const obs::ScopedTimer timer_apply("schwarz/apply");
+// Gather pass of apply(): residuals (and ghost strips) into per-element
+// batch slots.  T = double (FP64 path) or float (FP32 path: the residual
+// is demoted here, once, on entry to the preconditioner).
+template <typename T>
+void SchwarzPrecond::gather_residual(const double* r, const T* ghost,
+                                     T* batch_r) const {
   const Mesh& m = psys_->vspace().mesh();
   const int npe = psys_->npe();
   const int ov = opt_.overlap;
-  const std::size_t nloc = psys_->nloc();
-
-  // Cheap non-finite guard (see nonfinite_applies()): pass a poisoned
-  // residual through untouched instead of spending the local/coarse
-  // solves on it.
-  for (std::size_t i = 0; i < nloc; ++i) {
-    if (!std::isfinite(r[i])) {
-      ++nonfinite_applies_;
-      std::copy(r, r + nloc, z);
-      obs::count("schwarz/nonfinite_applies");
-      return;
-    }
-  }
-  std::fill(z, z + nloc, 0.0);
-
-  obs::count("schwarz/applies");
-  if (ghosts_) ghosts_->exchange(r, ghost_.data());
   const std::size_t nslots = ghosts_ ? ghosts_->nslots() : 0;
   const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
-
-  // Local overlapping-subdomain solves (nested label:
-  // time/schwarz/apply/local), in three passes over the batch staging
-  // buffers: gather residuals into per-element slots, sweep the slots
-  // chunk-by-chunk with batched FDM solves, scatter the solutions back.
-  // Every pass writes disjoint slots / z entries under a deterministic
-  // static schedule, so results are thread-count invariant; chunk slots
-  // are contiguous, so one solve_batch call covers a whole chunk.
-  obs::ScopedTimer timer_local("local");
-  obs::count("schwarz/local_solves", m.nelem);
-  obs::count("schwarz/batch_solves", static_cast<std::int64_t>(chunks_.size()));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (int e = 0; e < m.nelem; ++e) {
-    double* rloc = batch_r_.data() + static_cast<std::size_t>(slot_of_[e]) * nle_;
+    T* rloc = batch_r + static_cast<std::size_t>(slot_of_[e]) * nle_;
     const std::size_t poff = static_cast<std::size_t>(e) * npe;
-    std::fill(rloc, rloc + nle_, 0.0);
+    std::fill(rloc, rloc + nle_, T(0));
     // Own dofs.
     if (dim_ == 2) {
       for (int j = 0; j < ng1_; ++j)
         for (int i = 0; i < ng1_; ++i)
-          rloc[(j + ov) * m1_ + (i + ov)] = r[poff + j * ng1_ + i];
+          rloc[(j + ov) * m1_ + (i + ov)] =
+              static_cast<T>(r[poff + j * ng1_ + i]);
     } else {
       for (int k = 0; k < ng1_; ++k)
         for (int j = 0; j < ng1_; ++j)
           for (int i = 0; i < ng1_; ++i)
             rloc[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)] =
-                r[poff + (k * ng1_ + j) * ng1_ + i];
+                static_cast<T>(r[poff + (k * ng1_ + j) * ng1_ + i]);
     }
     // Ghost strips.
     if (ghosts_) {
@@ -237,8 +240,7 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
           for (int t = 0; t < nt; ++t) {
             const std::size_t slot =
                 (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt + t;
-            const double gv = ghost_[static_cast<std::size_t>(l) * nslots +
-                                     slot];
+            const T gv = ghost[static_cast<std::size_t>(l) * nslots + slot];
             int idx[3] = {0, 0, 0};
             idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
             if (dim_ == 2) {
@@ -257,6 +259,110 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
       }
     }
   }
+}
+
+// Scatter pass of apply(): local solutions back onto the pressure dofs
+// (FP64 accumulate — the promotion to double happens before the += when
+// T = float) and into the ghost return staging.
+template <typename T>
+void SchwarzPrecond::scatter_solution(const T* batch_z, T* vout,
+                                      double* z) const {
+  const Mesh& m = psys_->vspace().mesh();
+  const int npe = psys_->npe();
+  const int ov = opt_.overlap;
+  const std::size_t nslots = ghosts_ ? ghosts_->nslots() : 0;
+  const int nt = dim_ == 2 ? ng1_ : ng1_ * ng1_;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int e = 0; e < m.nelem; ++e) {
+    const T* zloc = batch_z + static_cast<std::size_t>(slot_of_[e]) * nle_;
+    const std::size_t poff = static_cast<std::size_t>(e) * npe;
+    // Scatter own part.
+    if (dim_ == 2) {
+      for (int j = 0; j < ng1_; ++j)
+        for (int i = 0; i < ng1_; ++i)
+          z[poff + j * ng1_ + i] +=
+              static_cast<double>(zloc[(j + ov) * m1_ + (i + ov)]);
+    } else {
+      for (int k = 0; k < ng1_; ++k)
+        for (int j = 0; j < ng1_; ++j)
+          for (int i = 0; i < ng1_; ++i)
+            z[poff + (k * ng1_ + j) * ng1_ + i] += static_cast<double>(
+                zloc[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)]);
+    }
+    // Ghost parts routed back to the neighbors.
+    if (ghosts_) {
+      for (int f = 0; f < 2 * dim_; ++f) {
+        const int axis = f / 2, side = f % 2;
+        for (int l = 0; l < ov; ++l) {
+          for (int t = 0; t < nt; ++t) {
+            const std::size_t slot =
+                (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt + t;
+            int idx[3] = {0, 0, 0};
+            idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
+            T v;
+            if (dim_ == 2) {
+              idx[1 - axis] = ov + t;
+              v = zloc[idx[1] * m1_ + idx[0]];
+            } else {
+              int taxes[2], ti = 0;
+              for (int d = 0; d < 3; ++d)
+                if (d != axis) taxes[ti++] = d;
+              idx[taxes[0]] = ov + t % ng1_;
+              idx[taxes[1]] = ov + t / ng1_;
+              v = zloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
+            }
+            vout[static_cast<std::size_t>(l) * nslots + slot] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void SchwarzPrecond::apply(const double* r, double* z) const {
+  const obs::ScopedTimer timer_apply("schwarz/apply");
+  const Mesh& m = psys_->vspace().mesh();
+  const std::size_t nloc = psys_->nloc();
+  const bool fp32 = precision_ == PrecondPrecision::Fp32;
+
+  // Cheap non-finite guard (see nonfinite_applies()): pass a poisoned
+  // residual through untouched instead of spending the local/coarse
+  // solves on it.
+  for (std::size_t i = 0; i < nloc; ++i) {
+    if (!std::isfinite(r[i])) {
+      ++nonfinite_applies_;
+      std::copy(r, r + nloc, z);
+      obs::count("schwarz/nonfinite_applies");
+      return;
+    }
+  }
+  std::fill(z, z + nloc, 0.0);
+
+  obs::count("schwarz/applies");
+  if (fp32) obs::count("schwarz/fp32_applies");
+  if (ghosts_) {
+    if (fp32)
+      ghosts_->exchange(r, ghost32_.data());
+    else
+      ghosts_->exchange(r, ghost_.data());
+  }
+
+  // Local overlapping-subdomain solves (nested label:
+  // time/schwarz/apply/local), in three passes over the batch staging
+  // buffers: gather residuals into per-element slots, sweep the slots
+  // chunk-by-chunk with batched FDM solves, scatter the solutions back.
+  // Every pass writes disjoint slots / z entries under a deterministic
+  // static schedule, so results are thread-count invariant; chunk slots
+  // are contiguous, so one solve_batch call covers a whole chunk.
+  obs::ScopedTimer timer_local("local");
+  obs::count("schwarz/local_solves", m.nelem);
+  obs::count("schwarz/batch_solves", static_cast<std::int64_t>(chunks_.size()));
+  if (fp32)
+    gather_residual<float>(r, ghost32_.data(), batch_r32_.data());
+  else
+    gather_residual<double>(r, ghost_.data(), batch_r_.data());
 
   // Batched local solves, one chunk per iteration.
   const int nchunks = static_cast<int>(chunks_.size());
@@ -266,7 +372,17 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
   for (int ci = 0; ci < nchunks; ++ci) {
     const Chunk& ch = chunks_[ci];
     const std::size_t off = static_cast<std::size_t>(ch.slot0) * nle_;
-    if (opt_.local == SchwarzOptions::Local::Fdm) {
+    if (fp32) {
+      // The float slab rides in a dedicated double arena: 2 floats per
+      // double, used as float only, so the reinterpret is type-clean for
+      // the allocation's effective type.
+      const std::size_t nfl = 3 * static_cast<std::size_t>(ch.count) * nle_;
+      float* lwork =
+          reinterpret_cast<float*>(lscratch32_.get((nfl + 1) / 2));
+      fdm_[ch.local].solve_batch_f32(batch_r32_.data() + off,
+                                     batch_z32_.data() + off, ch.count,
+                                     lwork);
+    } else if (opt_.local == SchwarzOptions::Local::Fdm) {
       double* lwork = lscratch_.get(3 * static_cast<std::size_t>(ch.count) * nle_);
       fdm_[ch.local].solve_batch(batch_r_.data() + off,
                                  batch_z_.data() + off, ch.count, lwork);
@@ -282,59 +398,19 @@ void SchwarzPrecond::apply(const double* r, double* z) const {
     }
   }
 
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (int e = 0; e < m.nelem; ++e) {
-    const double* zloc =
-        batch_z_.data() + static_cast<std::size_t>(slot_of_[e]) * nle_;
-    const std::size_t poff = static_cast<std::size_t>(e) * npe;
-    // Scatter own part.
-    if (dim_ == 2) {
-      for (int j = 0; j < ng1_; ++j)
-        for (int i = 0; i < ng1_; ++i)
-          z[poff + j * ng1_ + i] += zloc[(j + ov) * m1_ + (i + ov)];
-    } else {
-      for (int k = 0; k < ng1_; ++k)
-        for (int j = 0; j < ng1_; ++j)
-          for (int i = 0; i < ng1_; ++i)
-            z[poff + (k * ng1_ + j) * ng1_ + i] +=
-                zloc[((k + ov) * m1_ + (j + ov)) * m1_ + (i + ov)];
-    }
-    // Ghost parts routed back to the neighbors.
-    if (ghosts_) {
-      for (int f = 0; f < 2 * dim_; ++f) {
-        const int axis = f / 2, side = f % 2;
-        for (int l = 0; l < ov; ++l) {
-          for (int t = 0; t < nt; ++t) {
-            const std::size_t slot =
-                (static_cast<std::size_t>(e) * 2 * dim_ + f) * nt + t;
-            int idx[3] = {0, 0, 0};
-            idx[axis] = (side == 0) ? (ov - 1 - l) : (ov + ng1_ + l);
-            double v;
-            if (dim_ == 2) {
-              idx[1 - axis] = ov + t;
-              v = zloc[idx[1] * m1_ + idx[0]];
-            } else {
-              int taxes[2], ti = 0;
-              for (int d = 0; d < 3; ++d)
-                if (d != axis) taxes[ti++] = d;
-              idx[taxes[0]] = ov + t % ng1_;
-              idx[taxes[1]] = ov + t / ng1_;
-              v = zloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
-            }
-            vout_[static_cast<std::size_t>(l) * nslots + slot] = v;
-          }
-        }
-      }
-    }
+  if (fp32) {
+    scatter_solution<float>(batch_z32_.data(), vout32_.data(), z);
+    if (ghosts_) ghosts_->scatter_add(vout32_.data(), z);
+  } else {
+    scatter_solution<double>(batch_z_.data(), vout_.data(), z);
+    if (ghosts_) ghosts_->scatter_add(vout_.data(), z);
   }
-  if (ghosts_) ghosts_->scatter_add(vout_.data(), z);
   timer_local.stop();
 
-  // Coarse-grid contribution.
+  // Coarse-grid contribution (always FP64, whatever the local precision).
   if (coarse_) {
     const obs::ScopedTimer timer_coarse("coarse");
+    const int npe = psys_->npe();
     std::fill(cb_.begin(), cb_.end(), 0.0);
     const int ncorner = 1 << dim_;
     for (int e = 0; e < m.nelem; ++e) {

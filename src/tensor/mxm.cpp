@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "tensor/kernels_avx512.hpp"
+#include "tensor/kernels_fixed.hpp"
 #include "tensor/kernels_simd.hpp"
 
 namespace tsem {
@@ -163,13 +165,23 @@ const std::vector<MxmVariant>& mxm_registry() {
   // autotuner margin) the earlier entry wins, so the deterministic scalar
   // defaults sit first and the SIMD family must beat them outright.
   static const std::vector<MxmVariant> reg = [] {
-    std::vector<MxmVariant> r = {{"f3", mxm_f3, false},
+    // "fixed" leads: at its covered shapes it is the restrict-qualified
+    // compile-time-extent tier and should win ties against the other
+    // portable variants.  Like every variant here it is deterministic
+    // for a given build+machine; cross-variant agreement is the family's
+    // relative tolerance, not bitwise.
+    std::vector<MxmVariant> r = {{"fixed", mxm_fixed_dispatch, false},
+                                 {"f3", mxm_f3, false},
                                  {"f2", mxm_f2, false},
                                  {"blocked", mxm_blocked, false},
                                  {"generic", mxm_generic, false}};
     if (simd_available()) {
       r.push_back({"avx2_b4x8", mxm_avx2_b4x8, true});
       r.push_back({"avx2_b8x4", mxm_avx2_b8x4, true});
+    }
+    if (avx512_available()) {
+      r.push_back({"avx512_b8x8", mxm_avx512_b8x8, true});
+      r.push_back({"avx512_b4x16", mxm_avx512_b4x16, true});
     }
     return r;
   }();
@@ -180,6 +192,9 @@ const std::vector<MxmVariant>& mxm_bt_registry() {
   static const std::vector<MxmVariant> reg = [] {
     std::vector<MxmVariant> r = {{"bt_scalar", mxm_bt_scalar, false}};
     if (simd_available()) r.push_back({"bt_avx2", mxm_bt_avx2, true});
+    // Appended last: deterministic mode takes mxm_bt_registry().back() as
+    // the machine's best bt variant, which AVX-512 is when runnable.
+    if (avx512_available()) r.push_back({"bt_avx512", mxm_bt_avx512, true});
     return r;
   }();
   return reg;
@@ -287,6 +302,7 @@ std::unique_ptr<TuneTable> build_table() {
   const bool deterministic =
       det_env != nullptr && *det_env != '\0' && std::strcmp(det_env, "0") != 0;
 
+  const char* bad_pin = nullptr;
   if (const char* env = std::getenv("TSEM_MXM_KERNEL");
       env != nullptr && *env != '\0') {
     if (const MxmVariant* v = mxm_variant_by_name(env)) {
@@ -301,6 +317,21 @@ std::unique_ptr<TuneTable> build_table() {
       } else {
         t->forced_fn = v->fn;
         t->forced_nm = v->name;
+      }
+    } else {
+      // The pin names no registered variant — either a typo or a SIMD
+      // family this host's CPU fails the runtime ISA gate for (ungated
+      // families never enter the registry).  Fall back to normal
+      // selection, but say so: a silently ignored pin defeats the
+      // reproducibility the knob exists for.
+      bad_pin = env;
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "tsem: TSEM_MXM_KERNEL=%s names no runnable kernel "
+                     "variant (unknown name or CPU fails its ISA gate); "
+                     "falling back to autotuned selection\n",
+                     env);
       }
     }
   }
@@ -370,12 +401,27 @@ std::unique_ptr<TuneTable> build_table() {
     }
   }
 
+  if (bad_pin != nullptr) {
+    obs::count("mxm/autotune/pin_fallbacks");
+    obs::Json pe;
+    pe["type"] = "mxm_kernel_pin_fallback";
+    pe["requested"] = bad_pin;
+    // Representative actual selections the fallback landed on (the full
+    // per-shape map follows in the mxm_autotune event).
+    pe["actual"] = t->small_nm[8][8];
+    pe["actual_bt"] = t->bt_nm[8];
+    obs::emit_event(std::move(pe));
+  }
+
   obs::count("mxm/autotune/builds");
   obs::Json ev;
   ev["type"] = "mxm_autotune";
   ev["isa"] = simd_isa_name();
+  ev["isa_runtime"] = mxm_isa_runtime_name();
   ev["simd_compiled"] = simd_compiled();
   ev["simd_available"] = simd_available();
+  ev["avx512_compiled"] = avx512_compiled();
+  ev["avx512_available"] = avx512_available();
   if (t->forced_nm != nullptr) ev["forced"] = t->forced_nm;
   if (t->forced_bt_nm != nullptr) ev["forced_bt"] = t->forced_bt_nm;
   if (deterministic) ev["deterministic"] = true;
@@ -432,6 +478,20 @@ const char* fallback_name(int m, int n) {
 }
 
 }  // namespace
+
+const char* mxm_isa_runtime_name() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const char* const name = [] {
+    if (__builtin_cpu_supports("avx512f")) return "avx512";
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return "avx2";
+    return "none";
+  }();
+  return name;
+#else
+  return "none";
+#endif
+}
 
 void mxm_autotune_init() { (void)tune_table(); }
 

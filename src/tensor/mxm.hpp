@@ -12,10 +12,16 @@
 //                  (the paper's hand-unrolled "f2").
 //   mxm_f3       — inner dimension fully unrolled, n1 outer ("f3").
 //   mxm_fixed<M,K,N> — all extents compile-time (the "ghm" specialized
-//                  library stand-in for n2 <= 20).
+//                  library stand-in for n2 <= 20); registered as the
+//                  "fixed" variant via mxm_fixed_dispatch
+//                  (kernels_fixed.hpp), which exact-matches the common
+//                  order-8..16 shapes against precompiled instantiations.
 //   mxm_avx2_*   — AVX2/FMA register-tiled family (kernels_simd.hpp),
 //                  present when TSEM_SIMD is compiled in and the CPU
 //                  supports it.
+//   mxm_avx512_* — AVX-512F family (kernels_avx512.hpp), present when
+//                  TSEM_SIMD_AVX512 is compiled in and the CPU reports
+//                  AVX512F.
 //
 // The variants are collected in a runtime registry (mxm_registry) and a
 // one-time autotuner (mxm_autotune_init) times every registered variant
@@ -106,6 +112,12 @@ const char* mxm_bt_selected_name(int k);
 /// variant name) pair per tuned shape class, deterministic order.
 std::vector<std::pair<std::string, std::string>> mxm_autotune_selections();
 
+/// Best vector ISA the executing CPU reports, detected at runtime and
+/// independent of compile flags: "avx512", "avx2", or "none".  Bench
+/// meta carries this beside the compile-time `isa` so artifacts from
+/// heterogeneous CI runners are distinguishable.
+const char* mxm_isa_runtime_name();
+
 namespace detail {
 /// Table-dispatched product; the inline mxm() below forwards here.
 void mxm_tuned(const double* a, int m, const double* b, int k, double* c,
@@ -123,17 +135,50 @@ inline void mxm(const double* a, int m, const double* b, int k, double* c,
   detail::mxm_tuned(a, m, b, k, c, n);
 }
 
-/// Fully compile-time-sized product, M x K times K x N.
+/// Fully compile-time-sized product, M x K times K x N.  The operands
+/// must not alias C (true of every call site in the library): without
+/// the restrict promise gcc refuses to vectorize these small
+/// constant-trip-count loops at all, which is the whole point of the
+/// fixed tier.
+///
+/// Short rows (N <= 16, the cube shapes) process eight C rows per block
+/// with the whole block accumulated in a local array the vectorizer
+/// keeps in registers — eight independent FMA chains hide the latency a
+/// single accumulator row is bound by.  Wide rows (the collapsed-plane
+/// N = d*d shapes) stream one row at a time; they are bandwidth-bound
+/// and extra chains only add register pressure.
 template <int M, int K, int N>
-inline void mxm_fixed(const double* a, const double* b, double* c) {
-  for (int i = 0; i < M; ++i) {
-    double* ci = c + static_cast<std::ptrdiff_t>(i) * N;
-    for (int j = 0; j < N; ++j) ci[j] = 0.0;
+inline void mxm_fixed(const double* __restrict a, const double* __restrict b,
+                      double* __restrict c) {
+  constexpr int RB = (N <= 16) ? (M < 8 ? M : 8) : 1;
+  int i = 0;
+  for (; i + RB <= M; i += RB) {
+    double acc[RB][N];
+    for (int r = 0; r < RB; ++r)
+      for (int j = 0; j < N; ++j) acc[r][j] = 0.0;
     for (int l = 0; l < K; ++l) {
-      const double ail = a[i * K + l];
       const double* bl = b + static_cast<std::ptrdiff_t>(l) * N;
-      for (int j = 0; j < N; ++j) ci[j] += ail * bl[j];
+      for (int r = 0; r < RB; ++r) {
+        const double ail = a[(i + r) * K + l];
+        for (int j = 0; j < N; ++j) acc[r][j] += ail * bl[j];
+      }
     }
+    for (int r = 0; r < RB; ++r) {
+      double* ci = c + static_cast<std::ptrdiff_t>(i + r) * N;
+      for (int j = 0; j < N; ++j) ci[j] = acc[r][j];
+    }
+  }
+  for (; i < M; ++i) {
+    double acc[N];
+    for (int j = 0; j < N; ++j) acc[j] = 0.0;
+    const double* ai = a + static_cast<std::ptrdiff_t>(i) * K;
+    for (int l = 0; l < K; ++l) {
+      const double ail = ai[l];
+      const double* bl = b + static_cast<std::ptrdiff_t>(l) * N;
+      for (int j = 0; j < N; ++j) acc[j] += ail * bl[j];
+    }
+    double* ci = c + static_cast<std::ptrdiff_t>(i) * N;
+    for (int j = 0; j < N; ++j) ci[j] = acc[j];
   }
 }
 

@@ -19,6 +19,7 @@
 #include "solver/coarse.hpp"
 #include "solver/schwarz.hpp"
 #include "solver/xxt.hpp"
+#include "tests/convergence_contract.hpp"
 
 namespace {
 
@@ -88,6 +89,38 @@ TEST_P(HelmholtzSweep, RecoversManufacturedSolution) {
   ASSERT_TRUE(res.converged);
   for (std::size_t i = 0; i < u.size(); ++i)
     EXPECT_NEAR(u[i], ustar[i], 1e-8);
+
+  // Same system preconditioned by the FP32 Jacobi diagonal: held to the
+  // relaxed convergence contract (tests/convergence_contract.hpp) instead
+  // of bitwise equality — iteration count within +2 of an FP64 baseline
+  // and the same solution to the outer tolerance scale.  The contract
+  // pair runs at a production-representative tolerance; the 1e-12 solve
+  // above sits at FP64 roundoff, where any preconditioner perturbation
+  // stretches the stagnating tail beyond the contract's scope.
+  tsem::CgOptions copt = opt;
+  copt.tol = 1e-10;
+  std::vector<double> u64(s.nlocal(), 0.0), u32(s.nlocal(), 0.0);
+  auto apply_a = [&](const double* x, double* y) { a.apply(x, y); };
+  auto dot = [&](const double* x, const double* y) {
+    return s.glsum_dot(x, y);
+  };
+  auto base = tsem::pcg(s.nlocal(), apply_a,
+                        tsem::jacobi_precond(a.diagonal()), dot, b.data(),
+                        u64.data(), copt);
+  const auto& idg32 = a.inv_diagonal_f32();
+  auto res32 = tsem::pcg(
+      s.nlocal(), apply_a,
+      [&](const double* r, double* z) {
+        for (std::size_t i = 0; i < idg32.size(); ++i)
+          z[i] = static_cast<double>(static_cast<float>(r[i]) * idg32[i]);
+      },
+      dot, b.data(), u32.data(), copt);
+  // +4: the Jacobi diagonal is a weaker preconditioner than Schwarz, so
+  // near the tolerance the FP32 demotion costs a couple more iterations
+  // than the pressure-solve contract's +2 (see tests/test_precision.cpp).
+  EXPECT_CONVERGENCE_CONTRACT(base, res32, 4, copt.tol);
+  tsem::testing::expect_solutions_close(u64.data(), u32.data(), s.nlocal(),
+                                        1e-7);
 }
 
 INSTANTIATE_TEST_SUITE_P(

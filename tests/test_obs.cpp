@@ -430,9 +430,16 @@ TEST(ObsIntegration, NavierStokesStepEmitsStructuredEvent) {
 
   const Json snap = reg.snapshot();
   const auto& events = snap.find("events")->items();
-  ASSERT_EQ(events.size(), 2u);
-  const Json& e = events[1];
-  EXPECT_EQ(e.find("event")->as_string(), "ns/step");
+  // Select the ns/step events rather than asserting the stream length:
+  // under TSEM_PRECOND_FP32 the Schwarz setup adds a schwarz_precision
+  // event, and this test is about the step event's shape either way.
+  std::vector<const Json*> steps;
+  for (const auto& ev : events)
+    if (const Json* name = ev.find("event");
+        name && name->as_string() == "ns/step")
+      steps.push_back(&ev);
+  ASSERT_EQ(steps.size(), 2u);
+  const Json& e = *steps[1];
   EXPECT_EQ(e.find("step")->as_int(), st2.step);
   EXPECT_EQ(e.find("pressure_iters")->as_int(), st2.pressure_iters);
   EXPECT_EQ(e.find("pressure_status")->as_string(),

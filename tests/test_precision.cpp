@@ -1,0 +1,297 @@
+// Mixed-precision preconditioner tests (DESIGN.md "Precision policy").
+//
+// The FP32 Schwarz/FDM and Jacobi paths deliberately break the repo's
+// bitwise contract, so these tests assert the replacement contract from
+// tests/convergence_contract.hpp instead: FP32 building blocks agree
+// with their FP64 twins to single-precision tolerance, the FP32
+// preconditioner stays symmetric, and outer FP64 solves preconditioned
+// in FP32 converge within a small iteration delta of the FP64 baseline.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "core/helmholtz.hpp"
+#include "core/pressure.hpp"
+#include "core/space.hpp"
+#include "mesh/build.hpp"
+#include "mesh/spec.hpp"
+#include "solver/fdm.hpp"
+#include "solver/overlap.hpp"
+#include "solver/precision.hpp"
+#include "solver/schwarz.hpp"
+#include "tests/convergence_contract.hpp"
+
+namespace {
+
+using tsem::build_mesh;
+using tsem::FdmLocal;
+using tsem::PrecondPrecision;
+using tsem::PressureSystem;
+using tsem::SchwarzOptions;
+using tsem::SchwarzPrecond;
+using tsem::Space;
+
+std::vector<double> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+double max_rel_diff(const double* a, const double* b, std::size_t n) {
+  double scale = 0.0, maxdiff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scale = std::max(scale, std::abs(a[i]));
+    maxdiff = std::max(maxdiff, std::abs(a[i] - b[i]));
+  }
+  return maxdiff / (scale > 0.0 ? scale : 1.0);
+}
+
+TEST(PrecisionPolicy, ParseRules) {
+  EXPECT_EQ(tsem::precond_precision_parse(nullptr), PrecondPrecision::Fp64);
+  EXPECT_EQ(tsem::precond_precision_parse(""), PrecondPrecision::Fp64);
+  EXPECT_EQ(tsem::precond_precision_parse("0"), PrecondPrecision::Fp64);
+  EXPECT_EQ(tsem::precond_precision_parse("1"), PrecondPrecision::Fp32);
+  EXPECT_EQ(tsem::precond_precision_parse("on"), PrecondPrecision::Fp32);
+  EXPECT_STREQ(tsem::precond_precision_name(PrecondPrecision::Fp64), "fp64");
+  EXPECT_STREQ(tsem::precond_precision_name(PrecondPrecision::Fp32), "fp32");
+}
+
+TEST(PrecisionPolicy, EnvControlsDefaultOptions) {
+  ASSERT_EQ(setenv("TSEM_PRECOND_FP32", "1", 1), 0);
+  EXPECT_EQ(SchwarzOptions{}.precision, PrecondPrecision::Fp32);
+  EXPECT_EQ(tsem::HelmholtzSolveOptions{}.precond_precision,
+            PrecondPrecision::Fp32);
+  ASSERT_EQ(setenv("TSEM_PRECOND_FP32", "0", 1), 0);
+  EXPECT_EQ(SchwarzOptions{}.precision, PrecondPrecision::Fp64);
+  unsetenv("TSEM_PRECOND_FP32");
+  EXPECT_EQ(SchwarzOptions{}.precision, PrecondPrecision::Fp64);
+}
+
+// The FP32 batched FDM solve mirrors solve_batch stage for stage; its
+// result must match to single-precision accuracy (the factor matrices and
+// every intermediate are floats, so ~1e-5 relative, not 1e-12).
+TEST(FdmLocalF32, BatchSolveMatchesFp64ToSinglePrecision) {
+  for (int dim : {2, 3}) {
+    std::array<std::vector<double>, 3> pts;
+    pts[0] = {0.0, 0.08, 0.3, 0.55, 0.78, 1.0};
+    pts[1] = {0.0, 0.1, 0.4, 0.62, 0.85, 1.1};
+    pts[2] = {0.0, 0.09, 0.33, 0.58, 0.8, 1.05};
+    FdmLocal fdm(pts, dim);
+    const std::size_t sz = fdm.size();
+    const int nb = 5;
+    const auto r = random_vec(nb * sz, 11 + dim);
+    std::vector<double> z64(nb * sz), work64(3 * nb * sz);
+    fdm.solve_batch(r.data(), z64.data(), nb, work64.data());
+
+    std::vector<float> r32(nb * sz), z32(nb * sz), work32(3 * nb * sz);
+    for (std::size_t i = 0; i < r.size(); ++i)
+      r32[i] = static_cast<float>(r[i]);
+    fdm.solve_batch_f32(r32.data(), z32.data(), nb, work32.data());
+
+    std::vector<double> z32p(nb * sz);
+    for (std::size_t i = 0; i < z32p.size(); ++i)
+      z32p[i] = static_cast<double>(z32[i]);
+    EXPECT_LT(max_rel_diff(z64.data(), z32p.data(), nb * sz), 1e-4)
+        << "dim " << dim;
+  }
+}
+
+// The float ghost-exchange overloads must reproduce the double path to
+// FP32 rounding: same slots filled, same adjoint structure.
+TEST(GhostExchangeF32, MatchesDoubleExchange) {
+  auto spec = tsem::annulus_spec(0.9, 2.1, 2, 6, 1.2);
+  Space s(build_mesh(spec, 6));
+  PressureSystem p(s, s.make_mask(0x3));
+  tsem::GhostExchange gx(p, 2);
+  const std::size_t n = p.nloc();
+  const std::size_t ns = gx.nslots();
+  const auto pv = random_vec(n, 13);
+
+  std::vector<double> ghost64(2 * ns);
+  gx.exchange(pv.data(), ghost64.data());
+  std::vector<float> ghost32(2 * ns);
+  gx.exchange(pv.data(), ghost32.data());
+  for (std::size_t i = 0; i < 2 * ns; ++i)
+    EXPECT_NEAR(static_cast<double>(ghost32[i]), ghost64[i],
+                1e-5 * (1.0 + std::abs(ghost64[i])))
+        << "slot " << i;
+}
+
+TEST(GhostExchangeF32, ScatterAddMatchesDoubleAndStaysAdjoint) {
+  auto spec = tsem::annulus_spec(0.9, 2.1, 2, 6, 1.2);
+  Space s(build_mesh(spec, 6));
+  PressureSystem p(s, s.make_mask(0x3));
+  tsem::GhostExchange gx(p, 1);
+  const std::size_t n = p.nloc();
+  const std::size_t ns = gx.nslots();
+  const auto vv = random_vec(ns, 17);
+  std::vector<float> vv32(ns);
+  for (std::size_t i = 0; i < ns; ++i) vv32[i] = static_cast<float>(vv[i]);
+
+  std::vector<double> back64(n, 0.0), back32(n, 0.0);
+  gx.scatter_add(vv.data(), back64.data());
+  gx.scatter_add(vv32.data(), back32.data());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back32[i], back64[i], 1e-5 * (1.0 + std::abs(back64[i])))
+        << "dof " << i;
+
+  // Adjointness <exchange_f32(p), v> == <p, scatter_add_f32(v)> up to
+  // FP32 rounding — the property Schwarz symmetry rests on.
+  const auto pv = random_vec(n, 19);
+  std::vector<float> ghost32(ns);
+  gx.exchange(pv.data(), ghost32.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < ns; ++i)
+    lhs += static_cast<double>(ghost32[i]) * vv[i];
+  std::vector<double> back(n, 0.0);
+  gx.scatter_add(vv32.data(), back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rhs += back[i] * pv[i];
+  EXPECT_NEAR(lhs, rhs, 1e-4 * (1.0 + std::abs(lhs)));
+}
+
+TEST(SchwarzFp32, EffectivePrecisionDowngradesForFemP1) {
+  auto spec = tsem::annulus_spec(0.8, 2.0, 2, 6, 1.2);
+  Space s(build_mesh(spec, 5));
+  PressureSystem p(s, s.make_mask(0x3));
+  SchwarzOptions opt;
+  opt.precision = PrecondPrecision::Fp32;
+  opt.local = SchwarzOptions::Local::FemP1;
+  SchwarzPrecond prec(p, opt);
+  EXPECT_EQ(prec.precision(), PrecondPrecision::Fp64);
+
+  SchwarzOptions fdm_opt;
+  fdm_opt.precision = PrecondPrecision::Fp32;
+  SchwarzPrecond fdm_prec(p, fdm_opt);
+  EXPECT_EQ(fdm_prec.precision(), PrecondPrecision::Fp32);
+}
+
+// FP32 Schwarz apply: close to the FP64 apply (single-precision relative
+// error) and still symmetric — both required for it to remain a valid
+// PCG preconditioner.
+TEST(SchwarzFp32, ApplyCloseToFp64AndSymmetric) {
+  auto spec = tsem::annulus_spec(0.8, 2.0, 2, 8, 1.2);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  const std::size_t n = p.nloc();
+
+  SchwarzOptions o64;
+  SchwarzPrecond m64(p, o64);
+  SchwarzOptions o32 = o64;
+  o32.precision = PrecondPrecision::Fp32;
+  SchwarzPrecond m32(p, o32);
+
+  const auto r = random_vec(n, 23);
+  std::vector<double> z64(n), z32(n);
+  m64.apply(r.data(), z64.data());
+  m32.apply(r.data(), z32.data());
+  EXPECT_LT(max_rel_diff(z64.data(), z32.data(), n), 1e-4);
+
+  const auto a = random_vec(n, 29);
+  const auto b = random_vec(n, 31);
+  std::vector<double> ma(n), mb(n);
+  m32.apply(a.data(), ma.data());
+  m32.apply(b.data(), mb.data());
+  double ab = 0.0, ba = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ab += b[i] * ma[i];
+    ba += a[i] * mb[i];
+  }
+  EXPECT_NEAR(ab, ba, 1e-6 * (1.0 + std::abs(ab)));
+}
+
+// The headline contract (ISSUE acceptance): an outer FP64 pressure PCG
+// preconditioned by the FP32 Schwarz/FDM converges within +2 iterations
+// of the FP64-preconditioned baseline and to the same tolerance.
+TEST(SchwarzFp32, PressureSolveIterationContract) {
+  auto spec = tsem::annulus_spec(0.8, 2.0, 2, 8, 1.2);
+  Space s(build_mesh(spec, 7));
+  PressureSystem p(s, s.make_mask(0x3));
+  const std::size_t n = p.nloc();
+
+  auto pstar = random_vec(n, 41);
+  p.remove_mean(pstar.data());
+  std::vector<double> g(n);
+  p.apply_E(pstar.data(), g.data());
+
+  tsem::PressureSolveOptions popt;
+  popt.tol = 1e-8;
+  popt.zero_guess = true;
+
+  auto run = [&](SchwarzPrecond& prec, std::vector<double>& dp) {
+    auto precond = [&](const double* r, double* z) {
+      prec.apply(r, z);
+      p.remove_mean(z);
+    };
+    return tsem::solve_pressure(p, precond, nullptr, g.data(), dp.data(),
+                                popt);
+  };
+
+  SchwarzOptions o64;
+  SchwarzPrecond m64(p, o64);
+  std::vector<double> dp64(n, 0.0);
+  const auto base = run(m64, dp64);
+
+  SchwarzOptions o32 = o64;
+  o32.precision = PrecondPrecision::Fp32;
+  SchwarzPrecond m32(p, o32);
+  std::vector<double> dp32(n, 0.0);
+  const auto got = run(m32, dp32);
+
+  EXPECT_CONVERGENCE_CONTRACT(base.cg, got.cg, 2, popt.tol);
+  // Both converged the same FP64 system to 1e-8; the iterates may differ
+  // but the answers agree to the outer tolerance scale.
+  tsem::testing::expect_solutions_close(dp64.data(), dp32.data(), n, 1e-5);
+}
+
+// Same contract for the FP32 Jacobi preconditioner in the Helmholtz
+// component solves.
+TEST(HelmholtzFp32, JacobiPrecondIterationContract) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 3),
+                                tsem::linspace(0, 1, 3));
+  Space s(build_mesh(spec, 6));
+  const auto& m = s.mesh();
+  const std::size_t nl = s.nlocal();
+  tsem::HelmholtzOp A(s, 0.01, 25.0, s.make_mask(0xF));
+
+  std::vector<double> bc(nl, 0.0), rhs(nl);
+  for (std::size_t i = 0; i < nl; ++i)
+    rhs[i] = m.bm[i] * std::sin(3.0 * m.x[i]) * std::cos(2.0 * m.y[i]);
+
+  tsem::HelmholtzSolveOptions opt;
+  opt.tol = 1e-10;
+  opt.zero_guess = true;
+  opt.precond_precision = PrecondPrecision::Fp64;
+  tsem::TensorWork work;
+
+  std::vector<double> u64(nl, 0.0), u32(nl, 0.0);
+  const auto base = tsem::helmholtz_solve(A, bc, rhs, u64, opt, work);
+
+  opt.precond_precision = PrecondPrecision::Fp32;
+  const auto got = tsem::helmholtz_solve(A, bc, rhs, u32, opt, work);
+
+  EXPECT_CONVERGENCE_CONTRACT(base, got, 2, opt.tol);
+  tsem::testing::expect_solutions_close(u64.data(), u32.data(), nl, 1e-6);
+}
+
+// The FP32 inverse diagonal the Jacobi path consumes must be the demoted
+// reciprocal of the assembled diagonal.
+TEST(HelmholtzFp32, InverseDiagonalIsDemotedReciprocal) {
+  auto spec = tsem::box_spec_2d(tsem::linspace(0, 1, 2),
+                                tsem::linspace(0, 1, 2));
+  Space s(build_mesh(spec, 5));
+  tsem::HelmholtzOp A(s, 1.0, 4.0, s.make_mask(0xF));
+  const auto& dg = A.diagonal();
+  const auto& idg = A.inv_diagonal_f32();
+  ASSERT_EQ(dg.size(), idg.size());
+  for (std::size_t i = 0; i < dg.size(); ++i)
+    ASSERT_EQ(idg[i], static_cast<float>(1.0 / dg[i])) << "dof " << i;
+}
+
+}  // namespace

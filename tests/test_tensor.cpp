@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "tensor/kernels_fixed.hpp"
 #include "tensor/mxm.hpp"
 #include "tensor/tensor_apply.hpp"
 
@@ -201,6 +204,119 @@ TEST(MxmRegistry, EnvForcedKernelPinsDispatch) {
   unsetenv("TSEM_MXM_KERNEL");
   tsem::detail::mxm_autotune_reset_for_testing();
   tsem::mxm_autotune_init();  // leave the process on the tuned table
+}
+
+// Fixed-(m,k,n) tier: covered shapes route to compile-time-extent
+// instantiations.  The loop form is the same ascending-l row update as
+// mxm_generic, but the restrict-qualified constant-extent loops vectorize
+// differently (that is the tier's entire purpose), so the guarantee is
+// the kernel family's relative accuracy contract, not bitwise.
+TEST(MxmFixed, CoveredShapesMatchGenericToFamilyBound) {
+  for (int d = 2; d <= 16; ++d) {
+    EXPECT_TRUE(tsem::mxm_fixed_covers(d, d, d));
+    EXPECT_TRUE(tsem::mxm_fixed_covers(d, d, d * d));
+    for (int n : {d, d * d}) {
+      const auto a = random_matrix(d, d, 500 + d);
+      const auto b = random_matrix(d, n, 600 + d);
+      const std::size_t sz = static_cast<std::size_t>(d) * n;
+      std::vector<double> c_fixed(sz, -1.0), c_gen(sz, -2.0);
+      tsem::mxm_fixed_dispatch(a.data(), d, b.data(), d, c_fixed.data(), n);
+      mxm_generic(a.data(), d, b.data(), d, c_gen.data(), n);
+      for (std::size_t i = 0; i < sz; ++i)
+        ASSERT_NEAR(c_fixed[i], c_gen[i],
+                    1e-12 * (1.0 + std::fabs(c_gen[i])))
+            << "shape " << d << "x" << d << "x" << n << " entry " << i;
+    }
+  }
+  EXPECT_FALSE(tsem::mxm_fixed_covers(17, 17, 17));  // above the tier
+  EXPECT_FALSE(tsem::mxm_fixed_covers(8, 9, 8));     // non-cube k
+  EXPECT_FALSE(tsem::mxm_fixed_covers(8, 8, 24));    // n != d, d^2
+}
+
+TEST(MxmFixed, FallbackShapesMatchGenericToFamilyBound) {
+  struct Shape { int m, k, n; };
+  // Outside coverage: tall, wide, non-square-k — exercise both f2 (m > n)
+  // and f3 (m <= n) fallback arms.  The fallback carries the registry's
+  // relative accuracy contract, not bitwise: the dot-product (f2/f3) and
+  // row-update (generic) loop forms contract into FMA differently at
+  // vector tails under -march=native.
+  const Shape shapes[] = {{17, 17, 17}, {40, 8, 5}, {5, 8, 40},
+                          {8, 9, 8},    {8, 8, 24}};
+  for (const auto& s : shapes) {
+    ASSERT_FALSE(tsem::mxm_fixed_covers(s.m, s.k, s.n));
+    const auto a = random_matrix(s.m, s.k, 700 + s.m);
+    const auto b = random_matrix(s.k, s.n, 800 + s.n);
+    const std::size_t sz = static_cast<std::size_t>(s.m) * s.n;
+    std::vector<double> c_fixed(sz, -1.0), c_gen(sz, -2.0);
+    tsem::mxm_fixed_dispatch(a.data(), s.m, b.data(), s.k, c_fixed.data(),
+                             s.n);
+    mxm_generic(a.data(), s.m, b.data(), s.k, c_gen.data(), s.n);
+    for (std::size_t i = 0; i < sz; ++i)
+      ASSERT_NEAR(c_fixed[i], c_gen[i],
+                  1e-12 * (1.0 + std::fabs(c_gen[i])))
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " entry " << i;
+  }
+}
+
+// The "fixed" variant is an ordinary registry member (so the sweep tests
+// above already cover it); the AVX-512 family must appear iff the runtime
+// reports the ISA, and mxm_isa_runtime_name must be consistent with it.
+TEST(MxmRegistry, Avx512FamilyPresenceMatchesRuntime) {
+  const bool runtime_avx512 =
+      std::string_view(tsem::mxm_isa_runtime_name()) == "avx512";
+  const bool registered =
+      tsem::mxm_variant_by_name("avx512_b8x8") != nullptr;
+  if (registered) {
+    EXPECT_TRUE(runtime_avx512)
+        << "avx512 kernels registered without runtime support";
+    EXPECT_NE(tsem::mxm_variant_by_name("avx512_b4x16"), nullptr);
+  }
+  // "fixed" is unconditional.
+  EXPECT_NE(tsem::mxm_variant_by_name("fixed"), nullptr);
+}
+
+// A TSEM_MXM_KERNEL value naming no registered variant must NOT silently
+// fall back: the table still autotunes (dispatch keeps working), and the
+// fallback is observable — a pin_fallbacks count plus an event naming the
+// requested and actual kernels.
+TEST(MxmRegistry, UnknownKernelPinWarnsAndFallsBackObservably) {
+  if (!tsem::obs::enabled()) GTEST_SKIP() << "obs compiled out";
+  auto& reg = tsem::obs::MetricsRegistry::instance();
+  reg.reset();
+  ASSERT_EQ(setenv("TSEM_MXM_KERNEL", "no_such_kernel", 1), 0);
+  tsem::detail::mxm_autotune_reset_for_testing();
+  tsem::mxm_autotune_init();
+
+  // Dispatch still works and selects a real variant.
+  const char* sel = tsem::mxm_selected_name(8, 8, 8);
+  ASSERT_NE(tsem::mxm_variant_by_name(sel), nullptr);
+  const auto a = random_matrix(8, 8, 901);
+  const auto b = random_matrix(8, 8, 902);
+  const auto ref = reference_mxm(a, 8, b, 8, 8);
+  std::vector<double> c(64);
+  tsem::mxm(a.data(), 8, b.data(), 8, c.data(), 8);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(c[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
+
+  EXPECT_GE(reg.counter("mxm/autotune/pin_fallbacks").value(), 1);
+  const tsem::obs::Json snap = reg.snapshot();
+  const auto& events = snap.find("events")->items();
+  bool found = false;
+  for (const auto& e : events) {
+    const auto* type = e.find("type");
+    if (!type || type->as_string() != "mxm_kernel_pin_fallback") continue;
+    found = true;
+    EXPECT_EQ(e.find("requested")->as_string(), "no_such_kernel");
+    EXPECT_NE(tsem::mxm_variant_by_name(
+                  e.find("actual")->as_string().c_str()),
+              nullptr);
+  }
+  EXPECT_TRUE(found) << "no mxm_kernel_pin_fallback event emitted";
+
+  unsetenv("TSEM_MXM_KERNEL");
+  tsem::detail::mxm_autotune_reset_for_testing();
+  tsem::mxm_autotune_init();
+  reg.reset();
 }
 
 TEST(Mxm, TransposedVariants) {
