@@ -47,15 +47,18 @@
 
 #include "bench/hairpin_model.hpp"
 #include "common/timer.hpp"
+#include "core/operators.hpp"
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "mp/dist_gs.hpp"
 #include "mp/dist_schwarz.hpp"
 #include "mp/dist_xxt.hpp"
+#include "mp/overlap.hpp"
 #include "mp/runtime.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/cluster.hpp"
 #include "solver/cg.hpp"
+#include "solver/schwarz.hpp"
 
 namespace {
 
@@ -148,26 +151,39 @@ std::vector<double> random_field(std::size_t n, unsigned seed) {
   return u;
 }
 
-/// One executed-tier machine size: P real rank processes run `reps`
-/// pseudo-steps of the hairpin communication skeleton — local compute
-/// stand-in, C0 gather-scatter, Schwarz ghost exchange (billed under the
-/// gs phase exactly as cluster_step_time does), pcg allreduce, XXT coarse
-/// solve — and every communicated result is checked BITWISE against the
-/// single-process kernels.
-void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
-                       const tsem::RankSchedule& sched, int p, int reps,
-                       tsem::obs::Json& jc) {
+/// Helmholtz coefficients of the executed tier's operator applies
+/// (arbitrary but fixed: the bitwise checks replay them exactly).
+constexpr double kH1 = 1.0;
+constexpr double kH2 = 0.5;
+
+/// One mode's outputs: critical-path phase seconds + every communicated
+/// result, read back for the parent-side bitwise cross-checks.
+struct ExecModeResult {
+  double compute = 0, gs = 0, allreduce = 0, coarse = 0;
+  int oversub = 1;
+  std::vector<double> gs_out, ghost_out, z_out, x_out, dot_out;
+};
+
+/// One executed-tier run: P real rank processes run `reps` pseudo-steps
+/// of the hairpin skeleton with REAL kernels — element-list Helmholtz
+/// applies feeding the C0 gather-scatter, Schwarz local FDM solves fed
+/// by the ghost exchange, pcg allreduce, XXT coarse solve.  Both timing
+/// modes run through THIS one driver: `overlapped` only moves the
+/// publish/finish calls relative to the interior-element compute (the
+/// mp/overlap.hpp schedules), so serialized and overlapped timings are
+/// measured from identical per-step schedules and their results are
+/// bitwise equal by construction.
+ExecModeResult run_exec_mode(
+    const tsem::Mesh& mesh, const tsem::GhostExchange& gx,
+    const tsem::mp::DistGsPlan& gs_plan, const tsem::mp::DistGhost& ghost,
+    const tsem::mp::DistXxtPlan& xplan0,
+    const tsem::SchwarzLocalSolver& slocal,
+    const std::vector<tsem::mp::OverlapSplit>& gs_splits,
+    const std::vector<tsem::mp::OverlapSplit>& sw_splits,
+    const std::vector<double>& u0, const std::vector<double>& p0,
+    const std::vector<double>& bvec, int p, int reps, bool overlapped) {
   using tsem::mp::Phase;
-  const tsem::GhostExchange& gx = *cluster.ghost_exchange();
-  const tsem::XxtSolver& xxt = *cluster.xxt();
-  const int npe = static_cast<int>(mesh.node_id.size()) / mesh.nelem;
-  const int n = xxt.n();
-
-  const tsem::mp::DistGsPlan gs_plan =
-      tsem::mp::build_dist_gs(mesh.node_id, npe, sched.elem_rank, p);
-  const tsem::mp::DistGhost ghost(gx, sched.elem_rank, p);
-  tsem::mp::DistXxtPlan xplan = tsem::mp::build_dist_xxt(xxt, p);
-
+  const int n = xplan0.n;
   const std::size_t npe_press = ghost.npress_per_elem();
   const std::size_t spe =
       static_cast<std::size_t>(2 * gx.dim()) * gx.tang_slots();
@@ -181,20 +197,18 @@ void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
   const auto gs_ch = make_gs_channels(session, gs_plan, 1);
   const auto sw_ch = make_gs_channels(
       session, ghost.plan(), static_cast<std::size_t>(gx.nlayers()));
+  tsem::mp::DistXxtPlan xplan = xplan0;  // channels are per session
   xplan.attach_channels(session);
 
   double* u_shared = session.shared_doubles(gs_plan.nglobal);
   double* gs_out = session.shared_doubles(gs_plan.nglobal);
   double* p_shared = session.shared_doubles(np_glob);
   double* ghost_out = session.shared_doubles(ng_glob);
+  double* z_out = session.shared_doubles(np_glob);
   double* b_shared = session.shared_doubles(static_cast<std::size_t>(n));
   double* x_out = session.shared_doubles(static_cast<std::size_t>(n));
   double* dot_out = session.shared_doubles(static_cast<std::size_t>(p));
-  double* sink = session.shared_doubles(static_cast<std::size_t>(p));
 
-  const auto u0 = random_field(gs_plan.nglobal, 101u + static_cast<unsigned>(p));
-  const auto p0 = random_field(np_glob, 211u + static_cast<unsigned>(p));
-  const auto bvec = random_field(static_cast<std::size_t>(n), 307u);
   std::memcpy(u_shared, u0.data(), gs_plan.nglobal * sizeof(double));
   std::memcpy(p_shared, p0.data(), np_glob * sizeof(double));
   std::memcpy(b_shared, bvec.data(), bvec.size() * sizeof(double));
@@ -205,30 +219,54 @@ void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
         const int r = ctx.rank();
         const auto& grk = gs_plan.ranks[static_cast<std::size_t>(r)];
         const auto& srk = ghost.plan().ranks[static_cast<std::size_t>(r)];
+        const auto& gsp = gs_splits[static_cast<std::size_t>(r)];
+        const auto& swp = sw_splits[static_cast<std::size_t>(r)];
         const std::size_t ns = srk.nlocal;
+        const std::size_t nloc_e = srk.elems.size();
         std::vector<double> u_loc(grk.nlocal);
-        std::vector<double> p_loc(srk.elems.size() * npe_press);
+        std::vector<double> w_loc(grk.nlocal);
+        std::vector<double> p_loc(nloc_e * npe_press);
+        std::vector<double> z_loc(nloc_e * npe_press);
         std::vector<double> g_loc(static_cast<std::size_t>(gx.nlayers()) * ns);
+        std::vector<double> v_loc(static_cast<std::size_t>(gx.nlayers()) * ns);
+        std::vector<double> lwork(slocal.work_doubles());
+        std::vector<std::int32_t> geo;
+        tsem::TensorWork twork;
         tsem::mp::GsScratch gs_scratch;
         tsem::mp::DistGhost::Scratch sw_scratch;
         tsem::mp::XxtScratch xxt_scratch;
         tsem::Timer t;
+        // Element-sweep callbacks for the overlap drivers: translate
+        // rank-local element lists to mesh (geometry) indices, then run
+        // the serial element-list kernels on the rank-local blocks.
+        const auto helm = [&](const std::int32_t* ls, std::size_t nn) {
+          if (nn == 0) return;
+          geo.resize(nn);
+          for (std::size_t i = 0; i < nn; ++i) geo[i] = grk.elems[ls[i]];
+          tsem::apply_helmholtz_local_elems(mesh, kH1, kH2, geo.data(), ls,
+                                            nn, u_loc.data(), w_loc.data(),
+                                            twork);
+        };
+        const auto sw_solve = [&](const std::int32_t* ls, std::size_t nn) {
+          if (nn == 0) return;
+          geo.resize(nn);
+          for (std::size_t i = 0; i < nn; ++i) geo[i] = srk.elems[ls[i]];
+          slocal.solve_elems(geo.data(), ls, nn, p_loc.data(), g_loc.data(),
+                             ns, z_loc.data(), v_loc.data(), lwork.data());
+        };
         for (int rep = 0; rep < reps; ++rep) {
-          // Compute stand-in: refresh the rank-local field slices (real
-          // memory traffic proportional to the rank's share) plus a
-          // serial flop sweep whose result feeds nothing verified.
+          // Refresh the rank-local input slices (real memory traffic
+          // proportional to the rank's share; inputs constant per rep so
+          // every rep reproduces the same bits).
           t.reset();
           for (std::size_t l = 0; l < grk.nlocal; ++l)
             u_loc[l] = u_shared[gs_plan.global_index(r, l)];
-          for (std::size_t e = 0; e < srk.elems.size(); ++e)
+          for (std::size_t e = 0; e < nloc_e; ++e)
             std::memcpy(p_loc.data() + e * npe_press,
                         p_shared + static_cast<std::size_t>(srk.elems[e]) *
                                        npe_press,
                         npe_press * sizeof(double));
-          double junk = 0.0;
-          for (std::size_t l = 0; l < grk.nlocal; ++l)
-            junk += u_loc[l] * u_loc[l];
-          sink[r] = junk;
+          std::fill(z_loc.begin(), z_loc.end(), 0.0);
           ctx.phase_add(Phase::Compute, t.seconds());
 
           // pcg dot: plain serial sum (no reassociation), replicated
@@ -241,18 +279,23 @@ void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
           dot_out[r] = total;
           ctx.phase_add(Phase::Allreduce, t.seconds());
 
-          // C0 gather-scatter + Schwarz ghost exchange: both bill under
-          // the gs phase, matching cluster_step_time's attribution.
-          t.reset();
-          if (!tsem::mp::dist_gs_op(grk, ctx,
-                                    gs_ch[static_cast<std::size_t>(r)],
-                                    u_loc.data(), tsem::GsOp::Add,
-                                    gs_scratch))
+          // Helmholtz apply + C0 gather-scatter, then Schwarz ghost
+          // exchange + local FDM solves — both exchanges bill under the
+          // gs phase (cluster_step_time's attribution), element sweeps
+          // under compute, whichever schedule interleaves them.
+          tsem::mp::OverlapTimes ot;
+          if (!tsem::mp::overlapped_gs_apply(
+                  grk, gsp, ctx, gs_ch[static_cast<std::size_t>(r)],
+                  w_loc.data(), tsem::GsOp::Add, gs_scratch, helm,
+                  overlapped, &ot))
             return 2;
-          if (!ghost.exchange(r, ctx, sw_ch[static_cast<std::size_t>(r)],
-                              p_loc.data(), g_loc.data(), sw_scratch))
+          if (!tsem::mp::overlapped_ghost_exchange(
+                  ghost, swp, r, ctx, sw_ch[static_cast<std::size_t>(r)],
+                  p_loc.data(), g_loc.data(), sw_scratch, sw_solve,
+                  overlapped, &ot))
             return 3;
-          ctx.phase_add(Phase::Gs, t.seconds());
+          ctx.phase_add(Phase::Compute, ot.compute);
+          ctx.phase_add(Phase::Gs, ot.exchange);
 
           // XXT coarse solve: full fan-in/fan-out tree walk.
           t.reset();
@@ -265,44 +308,130 @@ void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
           if (!ctx.barrier()) return 5;
         }
         for (std::size_t l = 0; l < grk.nlocal; ++l)
-          gs_out[gs_plan.global_index(r, l)] = u_loc[l];
-        for (std::size_t e = 0; e < srk.elems.size(); ++e)
+          gs_out[gs_plan.global_index(r, l)] = w_loc[l];
+        for (std::size_t e = 0; e < nloc_e; ++e) {
+          std::memcpy(z_out + static_cast<std::size_t>(srk.elems[e]) *
+                                  npe_press,
+                      z_loc.data() + e * npe_press,
+                      npe_press * sizeof(double));
           for (int l = 0; l < gx.nlayers(); ++l)
             std::memcpy(ghost_out + static_cast<std::size_t>(l) * gx.nslots() +
                             static_cast<std::size_t>(srk.elems[e]) * spe,
                         g_loc.data() + static_cast<std::size_t>(l) * ns +
                             e * spe,
                         spe * sizeof(double));
+        }
         return 0;
       },
       &err);
   if (!ok) {
-    std::fprintf(stderr, "executed tier P=%d failed: %s\n", p, err.c_str());
+    std::fprintf(stderr, "executed tier P=%d (%s) failed: %s\n", p,
+                 overlapped ? "overlapped" : "serialized", err.c_str());
     std::exit(1);
   }
 
+  ExecModeResult res;
+  res.compute = session.phase_max_seconds(Phase::Compute);
+  res.gs = session.phase_max_seconds(Phase::Gs);
+  res.allreduce = session.phase_max_seconds(Phase::Allreduce);
+  res.coarse = session.phase_max_seconds(Phase::Coarse);
+  res.oversub = session.oversubscription();
+  res.gs_out.assign(gs_out, gs_out + gs_plan.nglobal);
+  res.ghost_out.assign(ghost_out, ghost_out + ng_glob);
+  res.z_out.assign(z_out, z_out + np_glob);
+  res.x_out.assign(x_out, x_out + static_cast<std::size_t>(n));
+  res.dot_out.assign(dot_out, dot_out + static_cast<std::size_t>(p));
+  return res;
+}
+
+/// One executed-tier machine size: run the serialized and overlapped
+/// schedules back to back (one driver, two sessions over the same
+/// copy-on-write plans), check every result BITWISE against the
+/// single-process kernels AND against each other, and report both
+/// per-phase timings plus the overlap efficiency.
+void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
+                       const tsem::RankSchedule& sched, int p, int reps,
+                       tsem::obs::Json& jc) {
+  const tsem::GhostExchange& gx = *cluster.ghost_exchange();
+  const tsem::XxtSolver& xxt = *cluster.xxt();
+  const int npe = static_cast<int>(mesh.node_id.size()) / mesh.nelem;
+  const int n = xxt.n();
+
+  const tsem::mp::DistGsPlan gs_plan =
+      tsem::mp::build_dist_gs(mesh.node_id, npe, sched.elem_rank, p);
+  const tsem::mp::DistGhost ghost(gx, sched.elem_rank, p);
+  const tsem::mp::DistXxtPlan xplan = tsem::mp::build_dist_xxt(xxt, p);
+  const tsem::SchwarzLocalSolver slocal(mesh, gx.ng1(), gx.nlayers());
+
+  // Interior/boundary element classification, per rank, per plan (the
+  // operator gs and the anchor exchange have different sharing sets).
+  std::vector<tsem::mp::OverlapSplit> gs_splits, sw_splits;
+  for (int r = 0; r < p; ++r) {
+    gs_splits.push_back(tsem::mp::classify_elements(
+        gs_plan.ranks[static_cast<std::size_t>(r)], gs_plan.npe));
+    sw_splits.push_back(tsem::mp::classify_elements(
+        ghost.plan().ranks[static_cast<std::size_t>(r)], ghost.plan().npe));
+  }
+
+  const std::size_t npe_press = ghost.npress_per_elem();
+  const std::size_t np_glob = static_cast<std::size_t>(mesh.nelem) * npe_press;
+  const std::size_t ng_glob =
+      static_cast<std::size_t>(gx.nlayers()) * gx.nslots();
+
+  const auto u0 = random_field(gs_plan.nglobal, 101u + static_cast<unsigned>(p));
+  const auto p0 = random_field(np_glob, 211u + static_cast<unsigned>(p));
+  const auto bvec = random_field(static_cast<std::size_t>(n), 307u);
+
+  const ExecModeResult ser =
+      run_exec_mode(mesh, gx, gs_plan, ghost, xplan, slocal, gs_splits,
+                    sw_splits, u0, p0, bvec, p, reps, false);
+  const ExecModeResult ovl =
+      run_exec_mode(mesh, gx, gs_plan, ghost, xplan, slocal, gs_splits,
+                    sw_splits, u0, p0, bvec, p, reps, true);
+
   // ---- bitwise cross-checks against the single-process kernels ----
-  std::vector<double> gs_ref = u0;
+  // (run AFTER the forked sessions: apply_helmholtz_local is the OpenMP
+  // production kernel, bitwise thread-count invariant.)
+  const auto same = [](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+  };
+
+  std::vector<double> gs_ref(gs_plan.nglobal);
+  {
+    tsem::TensorWork twork;
+    tsem::apply_helmholtz_local(mesh, kH1, kH2, u0.data(), gs_ref.data(),
+                                twork);
+  }
   tsem::GatherScatter(mesh.node_id).op(gs_ref.data(), tsem::GsOp::Add);
-  const bool gs_bitwise = std::memcmp(gs_ref.data(), gs_out,
-                                      gs_plan.nglobal * sizeof(double)) == 0;
+  const bool gs_bitwise = same(gs_ref, ser.gs_out);
 
   std::vector<double> ghost_ref(ng_glob);
   gx.exchange(p0.data(), ghost_ref.data());
+  std::vector<double> z_ref(np_glob, 0.0);
+  {
+    std::vector<std::int32_t> all_elems(static_cast<std::size_t>(mesh.nelem));
+    for (int e = 0; e < mesh.nelem; ++e)
+      all_elems[static_cast<std::size_t>(e)] = e;
+    std::vector<double> vout_ref(ng_glob);
+    std::vector<double> lwork(slocal.work_doubles());
+    slocal.solve_elems(all_elems.data(), nullptr, all_elems.size(),
+                       p0.data(), ghost_ref.data(), gx.nslots(),
+                       z_ref.data(), vout_ref.data(), lwork.data());
+  }
   const bool sw_bitwise =
-      std::memcmp(ghost_ref.data(), ghost_out, ng_glob * sizeof(double)) == 0;
+      same(ghost_ref, ser.ghost_out) && same(z_ref, ser.z_out);
 
   std::vector<double> x_ref(static_cast<std::size_t>(n));
   tsem::mp::dist_xxt_reference(xplan, bvec.data(), x_ref.data());
-  const bool xxt_bitwise =
-      std::memcmp(x_ref.data(), x_out,
-                  static_cast<std::size_t>(n) * sizeof(double)) == 0;
+  const bool xxt_bitwise = same(x_ref, ser.x_out);
   std::vector<double> x_seq(static_cast<std::size_t>(n));
   xxt.solve(bvec.data(), x_seq.data());
   double xxt_err = 0.0;
   for (int i = 0; i < n; ++i)
     xxt_err = std::max(xxt_err, std::fabs(x_seq[static_cast<std::size_t>(i)] -
-                                          x_out[i]));
+                                          ser.x_out[static_cast<std::size_t>(i)]));
 
   // Ascending-rank replication of the allreduce (same doubles, same
   // serial association as the rank loop).
@@ -311,41 +440,61 @@ void run_executed_tier(const tsem::Mesh& mesh, const tsem::ClusterSim& cluster,
     double partial = 0.0;
     const auto& grk = gs_plan.ranks[static_cast<std::size_t>(r)];
     for (std::size_t l = 0; l < grk.nlocal; ++l)
-      partial += u_shared[gs_plan.global_index(r, l)];
+      partial += u0[gs_plan.global_index(r, l)];
     dot_ref += partial;
   }
   bool dot_bitwise = true;
-  for (int r = 0; r < p; ++r) dot_bitwise = dot_bitwise && dot_out[r] == dot_ref;
+  for (int r = 0; r < p; ++r)
+    dot_bitwise = dot_bitwise && ser.dot_out[static_cast<std::size_t>(r)] ==
+                                     dot_ref;
 
-  if (!gs_bitwise || !sw_bitwise || !xxt_bitwise || !dot_bitwise) {
+  // Overlapped vs serialized: the tentpole guarantee, every buffer.
+  const bool ovl_bitwise = same(ovl.gs_out, ser.gs_out) &&
+                           same(ovl.ghost_out, ser.ghost_out) &&
+                           same(ovl.z_out, ser.z_out) &&
+                           same(ovl.x_out, ser.x_out) &&
+                           same(ovl.dot_out, ser.dot_out);
+
+  if (!gs_bitwise || !sw_bitwise || !xxt_bitwise || !dot_bitwise ||
+      !ovl_bitwise) {
     std::fprintf(stderr,
                  "executed tier P=%d bitwise mismatch (gs=%d schwarz=%d "
-                 "xxt=%d dot=%d)\n",
-                 p, gs_bitwise, sw_bitwise, xxt_bitwise, dot_bitwise);
+                 "xxt=%d dot=%d overlap_vs_serialized=%d)\n",
+                 p, gs_bitwise, sw_bitwise, xxt_bitwise, dot_bitwise,
+                 ovl_bitwise);
     std::exit(1);
   }
 
-  const double tc = session.phase_max_seconds(Phase::Compute);
-  const double tg = session.phase_max_seconds(Phase::Gs);
-  const double ta = session.phase_max_seconds(Phase::Allreduce);
-  const double tx = session.phase_max_seconds(Phase::Coarse);
+  const double overlap_eff =
+      ser.gs > 0.0 ? 1.0 - ovl.gs / ser.gs : 0.0;
   std::printf("%6d | %10.4f %10.4f %10.4f %10.4f | gs=%s schwarz=%s xxt=%s "
               "(err %.1e)\n",
-              p, tc, tg, ta, tx, gs_bitwise ? "ok" : "FAIL",
-              sw_bitwise ? "ok" : "FAIL", xxt_bitwise ? "ok" : "FAIL",
-              xxt_err);
+              p, ser.compute, ser.gs, ser.allreduce, ser.coarse,
+              gs_bitwise ? "ok" : "FAIL", sw_bitwise ? "ok" : "FAIL",
+              xxt_bitwise ? "ok" : "FAIL", xxt_err);
+  std::printf("%6s | %10.4f %10.4f %10.4f %10.4f | overlapped: bitwise=%s "
+              "gs hidden %.0f%%\n",
+              "ovl", ovl.compute, ovl.gs, ovl.allreduce, ovl.coarse,
+              ovl_bitwise ? "ok" : "FAIL", 100.0 * overlap_eff);
 
   jc["tier"] = "executed";
   jc["nodes"] = p;
   jc["reps"] = reps;
-  jc["exec_seconds_compute"] = tc;
-  jc["exec_seconds_gs"] = tg;
-  jc["exec_seconds_allreduce"] = ta;
-  jc["exec_seconds_coarse"] = tx;
+  jc["oversubscription"] = ser.oversub;
+  jc["exec_seconds_compute"] = ser.compute;
+  jc["exec_seconds_gs"] = ser.gs;
+  jc["exec_seconds_allreduce"] = ser.allreduce;
+  jc["exec_seconds_coarse"] = ser.coarse;
+  jc["exec_seconds_compute_overlapped"] = ovl.compute;
+  jc["exec_seconds_gs_overlapped"] = ovl.gs;
+  jc["exec_seconds_allreduce_overlapped"] = ovl.allreduce;
+  jc["exec_seconds_coarse_overlapped"] = ovl.coarse;
+  jc["overlap_efficiency"] = overlap_eff;
   jc["bitwise_gs"] = gs_bitwise;
   jc["bitwise_schwarz"] = sw_bitwise;
   jc["bitwise_coarse"] = xxt_bitwise;
   jc["bitwise_allreduce"] = dot_bitwise;
+  jc["bitwise_overlap_vs_serialized"] = ovl_bitwise;
   jc["xxt_err_vs_sequential"] = xxt_err;
   // Executed vs billed message volumes (dist_gs.hpp explains why the
   // raw-copy executed payload dominates the profile's dedup'd count).

@@ -178,6 +178,63 @@ void apply_helmholtz_local(const Mesh& m, double h1, double h2,
   for (std::size_t i = 0; i < nl; ++i) w[i] = h1 * w[i] + h2 * m.bm[i] * u[i];
 }
 
+void apply_stiffness_local_elems(const Mesh& m, const std::int32_t* elems,
+                                 const std::int32_t* blk, std::size_t nelems,
+                                 const double* u, double* w,
+                                 TensorWork& work) {
+  const auto& b = Basis1D::get(m.order);
+  const std::size_t nl = m.nlocal();
+  const int npe = m.npe;
+  // Serial by contract (header): the fork-safe mp entry point.  The
+  // element kernels take the metric offset and the field pointers
+  // separately, which is what lets a packed rank-local field ride the
+  // global mesh geometry.
+  if (m.dim == 2) {
+    double* priv = work.get(3 * static_cast<std::size_t>(npe));
+    for (std::size_t i = 0; i < nelems; ++i) {
+      const std::size_t goff =
+          static_cast<std::size_t>(elems[i]) * static_cast<std::size_t>(npe);
+      const std::size_t foff =
+          static_cast<std::size_t>(blk ? blk[i] : elems[i]) *
+          static_cast<std::size_t>(npe);
+      stiffness_elem_2d(b, m.g.data(), nl, goff, npe, u + foff, w + foff,
+                        priv, priv + npe,
+                        priv + 2 * static_cast<std::size_t>(npe));
+    }
+  } else {
+    double* priv = work.get(4 * static_cast<std::size_t>(npe));
+    for (std::size_t i = 0; i < nelems; ++i) {
+      const std::size_t goff =
+          static_cast<std::size_t>(elems[i]) * static_cast<std::size_t>(npe);
+      const std::size_t foff =
+          static_cast<std::size_t>(blk ? blk[i] : elems[i]) *
+          static_cast<std::size_t>(npe);
+      stiffness_elem_3d(b, m.g.data(), nl, goff, npe, u + foff, w + foff,
+                        priv, priv + npe,
+                        priv + 2 * static_cast<std::size_t>(npe),
+                        priv + 3 * static_cast<std::size_t>(npe));
+    }
+  }
+}
+
+void apply_helmholtz_local_elems(const Mesh& m, double h1, double h2,
+                                 const std::int32_t* elems,
+                                 const std::int32_t* blk, std::size_t nelems,
+                                 const double* u, double* w,
+                                 TensorWork& work) {
+  apply_stiffness_local_elems(m, elems, blk, nelems, u, w, work);
+  const int npe = m.npe;
+  for (std::size_t i = 0; i < nelems; ++i) {
+    const double* bm = m.bm.data() + static_cast<std::size_t>(elems[i]) *
+                                         static_cast<std::size_t>(npe);
+    const std::size_t foff =
+        static_cast<std::size_t>(blk ? blk[i] : elems[i]) *
+        static_cast<std::size_t>(npe);
+    for (int n = 0; n < npe; ++n)
+      w[foff + n] = h1 * w[foff + n] + h2 * bm[n] * u[foff + n];
+  }
+}
+
 std::vector<double> stiffness_diagonal_local(const Mesh& m) {
   const auto& b = Basis1D::get(m.order);
   const int n1 = b.npts();

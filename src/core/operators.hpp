@@ -5,6 +5,8 @@
 // obtain the global SPD operators (see helmholtz.hpp, pressure.hpp).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mesh/mesh.hpp"
@@ -21,6 +23,37 @@ void apply_stiffness_local(const Mesh& m, const double* u, double* w,
 /// w = h1 * A_L u + h2 * B_L u (local Helmholtz).
 void apply_helmholtz_local(const Mesh& m, double h1, double h2,
                            const double* u, double* w, TensorWork& work);
+
+// ---------------------------------------------------------------------------
+// Element-list variants (DESIGN.md "Overlap protocol").
+//
+// Apply the same per-element kernels to an explicit list of elements:
+// elems[i] names the mesh element whose geometry (metric factors, mass)
+// is used, and blk[i] — when blk is non-null — gives the npe-sized block
+// of that element in u and w.  Pass blk = nullptr when u/w are full
+// element-major fields (blocks coincide with elems); pass rank-local
+// block indices when u/w are packed rank-local fields (the mp executed
+// tier's layout, a subsequence of the global element-major layout).
+//
+// The loops are SERIAL by design: these are the fork-safe entry points
+// the mp rank processes drive their interior/boundary element sweeps
+// through (mp/runtime.hpp's OpenMP caveat), and each element's
+// arithmetic is expression-identical to the full kernels above — so a
+// sweep over any disjoint element partition (e.g. interior then
+// boundary) reproduces the full loop's result bitwise.
+
+/// w blocks = A_L u blocks for the listed elements.
+void apply_stiffness_local_elems(const Mesh& m, const std::int32_t* elems,
+                                 const std::int32_t* blk, std::size_t nelems,
+                                 const double* u, double* w,
+                                 TensorWork& work);
+
+/// w blocks = h1 * A_L u + h2 * B_L u for the listed elements.
+void apply_helmholtz_local_elems(const Mesh& m, double h1, double h2,
+                                 const std::int32_t* elems,
+                                 const std::int32_t* blk, std::size_t nelems,
+                                 const double* u, double* w,
+                                 TensorWork& work);
 
 /// Diagonal of the local stiffness matrix (for Jacobi preconditioning).
 std::vector<double> stiffness_diagonal_local(const Mesh& m);

@@ -206,8 +206,8 @@ DistGsPlan build_dist_gs(const std::vector<std::int64_t>& ids, int npe,
   return plan;
 }
 
-bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
-                   double* u, GsOp op, GsScratch& scratch) {
+bool dist_gs_publish(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                     const double* u, GsScratch& scratch) {
   for (std::size_t q = 0; q < r.nbrs.size(); ++q) {
     const auto& six = r.send_ix[q];
     scratch.send.resize(six.size());
@@ -215,7 +215,10 @@ bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
       scratch.send[k] = u[six[k]];
     if (!ctx.send(ch.to[q], scratch.send.data(), six.size())) return false;
   }
-  // Interior groups overlap against neighbor completion.
+  return true;
+}
+
+void dist_gs_interior(const DistGsRank& r, double* u, GsOp op) {
   const std::size_t ng = r.int_off.size() - 1;
   for (std::size_t g = 0; g < ng; ++g) {
     const std::int32_t b = r.int_off[g];
@@ -225,6 +228,13 @@ bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
       acc = reduce_apply(op, acc, u[r.int_ix[k]]);
     for (std::int32_t k = b; k < e; ++k) u[r.int_ix[k]] = acc;
   }
+}
+
+bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                   double* u, GsOp op, GsScratch& scratch) {
+  if (!dist_gs_publish(r, ctx, ch, u, scratch)) return false;
+  // Interior groups overlap against neighbor completion.
+  dist_gs_interior(r, u, op);
   return true;
 }
 

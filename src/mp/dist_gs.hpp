@@ -98,8 +98,17 @@ struct GsScratch {
   std::vector<std::int64_t> cursor;  ///< per-neighbor read cursor
 };
 
-/// Pack + publish all neighbor messages for u, then reduce the interior
-/// groups in place.  Returns false if the session aborted.
+/// Pack + publish all neighbor messages for u (values BEFORE any
+/// reduction — the raw copies the bitwise contract requires).  Returns
+/// false if the session aborted.
+bool dist_gs_publish(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
+                     const double* u, GsScratch& scratch);
+/// Reduce the rank-interior groups (no remote copies) in place.  Pure
+/// local compute — legal anywhere between publish and finish.
+void dist_gs_interior(const DistGsRank& r, double* u, GsOp op);
+/// publish + interior: pack + publish all neighbor messages for u, then
+/// reduce the interior groups in place while neighbors are still
+/// working.  Returns false if the session aborted.
 bool dist_gs_begin(const DistGsRank& r, MpRank& ctx, const GsChannels& ch,
                    double* u, GsOp op, GsScratch& scratch);
 /// Consume neighbor messages and merge the boundary groups in place.

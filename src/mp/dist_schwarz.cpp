@@ -80,6 +80,36 @@ bool DistGhost::exchange_finish(int rank, MpRank& ctx, const GsChannels& ch,
   return true;
 }
 
+bool DistGhost::finish_boundary(int rank, MpRank& ctx, const GsChannels& ch,
+                                Scratch& s) const {
+  const DistGsRank& rk = plan_.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t ns = rk.nlocal;
+  for (int l = 0; l < nlayers_; ++l) {
+    double* buf = s.buf.data() + static_cast<std::size_t>(l) * ns;
+    if (!dist_gs_finish(rk, ctx, ch, buf, GsOp::Add, s.gs)) return false;
+  }
+  return true;
+}
+
+void DistGhost::extract_ghost(int rank, const std::int32_t* elems,
+                              std::size_t nelems, double* ghost,
+                              const Scratch& s) const {
+  const DistGsRank& rk = plan_.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t ns = rk.nlocal;
+  const std::size_t spe =
+      static_cast<std::size_t>(2 * dim_) * static_cast<std::size_t>(nt_);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    const std::size_t s0 = static_cast<std::size_t>(elems[i]) * spe;
+    for (int l = 0; l < nlayers_; ++l) {
+      const double* own = s.own.data() + static_cast<std::size_t>(l) * ns;
+      const double* buf = s.buf.data() + static_cast<std::size_t>(l) * ns;
+      double* g = ghost + static_cast<std::size_t>(l) * ns;
+      for (std::size_t slot = s0; slot < s0 + spe; ++slot)
+        g[slot] = buf[slot] - own[slot];
+    }
+  }
+}
+
 bool DistGhost::exchange(int rank, MpRank& ctx, const GsChannels& ch,
                          const double* p, double* ghost, Scratch& s) const {
   return exchange_begin(rank, ctx, ch, p, s) &&

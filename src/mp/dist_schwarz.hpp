@@ -58,6 +58,21 @@ class DistGhost {
   /// Complete boundary anchors and write ghost (nlayers * rank_nslots).
   bool exchange_finish(int rank, MpRank& ctx, const GsChannels& ch,
                        const double* p, double* ghost, Scratch& s) const;
+
+  /// Split-phase finish (mp/overlap.hpp): drain every layer's neighbor
+  /// messages and merge the boundary anchor groups into s.buf — the
+  /// blocking half of exchange_finish, with NO ghost extraction.
+  bool finish_boundary(int rank, MpRank& ctx, const GsChannels& ch,
+                       Scratch& s) const;
+  /// Extract ghost = buf - own for the listed rank-local elements' slots,
+  /// every layer.  Pure local arithmetic; interior elements' slots are
+  /// extractable right after exchange_begin (their anchor groups are
+  /// rank-local and already reduced), boundary elements' only after
+  /// finish_boundary.  Each slot's value is the same expression as
+  /// exchange_finish computes, so any disjoint element split reproduces
+  /// the full ghost volume bitwise.
+  void extract_ghost(int rank, const std::int32_t* elems, std::size_t nelems,
+                     double* ghost, const Scratch& s) const;
   /// begin + finish (no overlapped compute).
   bool exchange(int rank, MpRank& ctx, const GsChannels& ch,
                 const double* p, double* ghost, Scratch& s) const;

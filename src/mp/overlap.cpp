@@ -1,0 +1,108 @@
+#include "mp/overlap.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace tsem::mp {
+namespace {
+
+inline double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Scoped accumulator: adds the elapsed wall time to *slot (if any).
+class Timed {
+ public:
+  explicit Timed(double* slot) : slot_(slot), t0_(slot ? now_s() : 0.0) {}
+  ~Timed() {
+    if (slot_) *slot_ += now_s() - t0_;
+  }
+  Timed(const Timed&) = delete;
+  Timed& operator=(const Timed&) = delete;
+
+ private:
+  double* slot_;
+  double t0_;
+};
+
+}  // namespace
+
+OverlapSplit classify_elements(const DistGsRank& rk, int npe) {
+  TSEM_REQUIRE(npe > 0);
+  const std::size_t nelems = rk.elems.size();
+  TSEM_REQUIRE(rk.nlocal == nelems * static_cast<std::size_t>(npe));
+  std::vector<char> bnd(nelems, 0);
+  for (std::int32_t ent : rk.bnd_entry)
+    if (ent < 0) bnd[static_cast<std::size_t>(~ent) /
+                     static_cast<std::size_t>(npe)] = 1;
+  OverlapSplit split;
+  for (std::size_t e = 0; e < nelems; ++e)
+    (bnd[e] ? split.boundary : split.interior)
+        .push_back(static_cast<std::int32_t>(e));
+  return split;
+}
+
+bool overlapped_gs_apply(const DistGsRank& rk, const OverlapSplit& split,
+                         MpRank& ctx, const GsChannels& ch, double* u,
+                         GsOp op, GsScratch& scratch, const ElemFn& compute,
+                         bool overlap, OverlapTimes* times) {
+  double* tc = times ? &times->compute : nullptr;
+  double* tx = times ? &times->exchange : nullptr;
+  {
+    Timed t(tc);
+    compute(split.boundary.data(), split.boundary.size());
+    if (!overlap) compute(split.interior.data(), split.interior.size());
+  }
+  {
+    Timed t(tx);
+    if (!dist_gs_publish(rk, ctx, ch, u, scratch)) return false;
+  }
+  if (overlap) {
+    Timed t(tc);
+    compute(split.interior.data(), split.interior.size());
+  }
+  {
+    Timed t(tx);
+    dist_gs_interior(rk, u, op);
+    if (!dist_gs_finish(rk, ctx, ch, u, op, scratch)) return false;
+  }
+  return true;
+}
+
+bool overlapped_ghost_exchange(const DistGhost& ghost,
+                               const OverlapSplit& split, int rank,
+                               MpRank& ctx, const GsChannels& ch,
+                               const double* p, double* ghost_out,
+                               DistGhost::Scratch& s,
+                               const ElemFn& local_solve, bool overlap,
+                               OverlapTimes* times) {
+  double* tc = times ? &times->compute : nullptr;
+  double* tx = times ? &times->exchange : nullptr;
+  {
+    Timed t(tx);
+    if (!ghost.exchange_begin(rank, ctx, ch, p, s)) return false;
+    if (!overlap && !ghost.finish_boundary(rank, ctx, ch, s)) return false;
+  }
+  {
+    Timed t(tc);
+    ghost.extract_ghost(rank, split.interior.data(), split.interior.size(),
+                        ghost_out, s);
+    local_solve(split.interior.data(), split.interior.size());
+  }
+  if (overlap) {
+    Timed t(tx);
+    if (!ghost.finish_boundary(rank, ctx, ch, s)) return false;
+  }
+  {
+    Timed t(tc);
+    ghost.extract_ghost(rank, split.boundary.data(), split.boundary.size(),
+                        ghost_out, s);
+    local_solve(split.boundary.data(), split.boundary.size());
+  }
+  return true;
+}
+
+}  // namespace tsem::mp

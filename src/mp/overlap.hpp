@@ -1,0 +1,100 @@
+// Overlap engine for the executed tier (DESIGN.md "Overlap protocol"):
+// per-rank interior/boundary element classification derived from the
+// dist-gs plan's shared-dof sets, plus overlapped apply drivers that
+// publish, run interior-element compute while neighbor messages are in
+// flight, then finish and complete the boundary elements.
+//
+// Bitwise contract.  Per-element compute (core/operators.hpp element-list
+// kernels, solver/schwarz.hpp SchwarzLocalSolver) touches disjoint
+// element blocks, so sweeping boundary-then-interior produces the same
+// values as one full sweep; the dist-gs publish packs pre-reduction
+// copies and the canonical-order merges are untouched — ONLY the
+// placement of publish/finish relative to the compute calls differs
+// between the serialized and overlapped schedules.  Overlapped results
+// are therefore bitwise equal to back-to-back by construction, which the
+// bench and test_mp assert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mp/dist_gs.hpp"
+#include "mp/dist_schwarz.hpp"
+
+namespace tsem::mp {
+
+/// Rank-local element index lists (indices into DistGsRank::elems, i.e.
+/// block indices of the rank-local field), each ascending, disjoint, and
+/// jointly covering every local element.
+struct OverlapSplit {
+  std::vector<std::int32_t> interior;
+  std::vector<std::int32_t> boundary;
+  [[nodiscard]] std::size_t nelems() const {
+    return interior.size() + boundary.size();
+  }
+};
+
+/// Classify rank rk's elements under its dist-gs plan: an element is
+/// BOUNDARY iff it owns at least one dof copy in a cross-rank boundary
+/// group (a bnd_entry own entry — exactly the dofs whose final value
+/// waits on neighbor messages; send_ix indices are a subset of these).
+/// Rank-local shared groups (int_ix) do NOT make an element boundary:
+/// they are reduced in the begin phase.  npe is the plan's
+/// values-per-element (DistGsPlan::npe).
+OverlapSplit classify_elements(const DistGsRank& rk, int npe);
+
+/// Element-sweep callback: fn(elems, nelems) runs the per-element work
+/// for the listed rank-local element indices.
+using ElemFn = std::function<void(const std::int32_t*, std::size_t)>;
+
+/// Wall-clock split of one overlapped apply (seconds, accumulated).
+struct OverlapTimes {
+  double compute = 0.0;   ///< element sweeps (and ghost extraction)
+  double exchange = 0.0;  ///< publish / interior reduce / finish wait
+};
+
+/// One operator apply + gather-scatter with the compute sweep hidden
+/// behind the exchange.  compute(elems, n) must fill the listed
+/// elements' blocks of u; then u is gs-assembled in place.
+///
+/// Schedule (overlap = false, the serialized reference):
+///   compute(boundary); compute(interior); publish; interior-reduce;
+///   finish.
+/// Schedule (overlap = true):
+///   compute(boundary); publish; compute(interior); interior-reduce;
+///   finish.
+/// The interior reduce always runs after ALL compute (rank-local shared
+/// groups may span interior and boundary elements); both schedules issue
+/// the identical compute and merge operations, so results are bitwise
+/// equal.  Returns false if the session aborted.
+bool overlapped_gs_apply(const DistGsRank& rk, const OverlapSplit& split,
+                         MpRank& ctx, const GsChannels& ch, double* u,
+                         GsOp op, GsScratch& scratch, const ElemFn& compute,
+                         bool overlap, OverlapTimes* times);
+
+/// One Schwarz ghost exchange + local-solve sweep with the interior
+/// solves hidden behind the anchor exchange.  local_solve(elems, n) must
+/// consume ghost_out for exactly the listed elements' slots (all layers
+/// of those slots are final when it runs).  split must be the
+/// classification of ghost.plan() (anchor sharing), not of an operator
+/// plan.
+///
+/// Schedule (overlap = false): begin; finish; extract(interior);
+///   solve(interior); extract(boundary); solve(boundary).
+/// Schedule (overlap = true): begin; extract(interior); solve(interior);
+///   finish; extract(boundary); solve(boundary).
+/// Interior elements' anchor groups are rank-local and reduced in the
+/// begin phase, so their ghost slots are final before finish; every slot
+/// is extracted by the same expression either way.  Returns false if the
+/// session aborted.
+bool overlapped_ghost_exchange(const DistGhost& ghost,
+                               const OverlapSplit& split, int rank,
+                               MpRank& ctx, const GsChannels& ch,
+                               const double* p, double* ghost_out,
+                               DistGhost::Scratch& s,
+                               const ElemFn& local_solve, bool overlap,
+                               OverlapTimes* times);
+
+}  // namespace tsem::mp

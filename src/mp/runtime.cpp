@@ -6,13 +6,17 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <time.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <new>
+#include <utility>
 
 #include "common/check.hpp"
 #include "fleet/proc.hpp"
@@ -42,6 +46,24 @@ bool fail_err(std::string* err, const std::string& what) {
 constexpr int kRankExitAborted = 74;
 constexpr int kRankExitException = 75;
 
+void sleep_us(int us) {
+  timespec ts{};
+  ts.tv_sec = us / 1'000'000;
+  ts.tv_nsec = static_cast<long>(us % 1'000'000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
+/// TSEM_MP_SEND_DELAY="rank:us" — per-publish delay injected on one rank
+/// (slow-neighbor test seam).  Returns {-1, 0} when unset/malformed.
+std::pair<int, int> parse_send_delay() {
+  const char* env = std::getenv("TSEM_MP_SEND_DELAY");
+  if (!env) return {-1, 0};
+  int rank = -1, us = 0;
+  if (std::sscanf(env, "%d:%d", &rank, &us) != 2 || rank < 0 || us < 0)
+    return {-1, 0};
+  return {rank, us};
+}
+
 }  // namespace
 
 const char* phase_name(Phase p) {
@@ -56,6 +78,19 @@ const char* phase_name(Phase p) {
 
 MpSession::MpSession(MpOptions opt) : opt_(opt) {
   TSEM_REQUIRE(opt_.nranks >= 1);
+  // Oversubscription: with more ranks than cores every liveness bound
+  // must stretch by the scheduling slowdown factor, and spin waits must
+  // back off (a descheduled peer needs OUR timeslice to make progress).
+  const long ncores = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncores > 0 && opt_.nranks > ncores)
+    oversub_ = static_cast<int>(
+        (opt_.nranks + ncores - 1) / ncores);
+  if (opt_.auto_oversubscribe && oversub_ > 1) {
+    opt_.comm_timeout_ms *= oversub_;
+    opt_.watchdog_ms *= oversub_;
+  }
+  if (opt_.spin_sleep_us < 0)
+    opt_.spin_sleep_us = oversub_ > 1 ? 50 : 0;
   void* mem = arena_.alloc(sizeof(Control));
   ctl_ = new (mem) Control{};
   ctl_->abort.store(0, std::memory_order_relaxed);
@@ -87,6 +122,7 @@ bool MpSession::run(const std::function<int(MpRank&)>& fn,
   // heartbeat must get EPIPE, not SIGPIPE — same contract as fleet
   // workers, and children inherit the disposition.
   fleet::ignore_sigpipe();
+  const auto [delay_rank, delay_us] = parse_send_delay();
 
   struct RankProc {
     pid_t pid = -1;
@@ -138,6 +174,8 @@ bool MpSession::run(const std::function<int(MpRank&)>& fn,
       ctx.rank_ = r;
       ctx.nranks_ = opt_.nranks;
       ctx.comm_timeout_ms_ = opt_.comm_timeout_ms;
+      ctx.spin_sleep_us_ = opt_.spin_sleep_us;
+      ctx.send_delay_us_ = (r == delay_rank) ? delay_us : 0;
       ctx.hb_fd_ = p[1];
       ctx.maybe_beat();  // announce liveness before any user code
       int code = 0;
@@ -265,12 +303,18 @@ bool MpRank::spin_until(Pred&& ready) {
   const std::int64_t timeout =
       static_cast<std::int64_t>(comm_timeout_ms_) * 1'000'000;
   int iter = 0;
+  long probes = 0;
   for (;;) {
     if (ready()) return true;
     if (ctl_->abort.load(std::memory_order_acquire)) return false;
     // Single-core friendliness: the peer we are waiting on may need our
     // timeslice to make progress, so always yield between probes.
     ::sched_yield();
+    // Oversubscribed backpressure: a yield storm among waiting ranks
+    // starves the runnable ones, so after a burst of pure yields (fast
+    // path for an almost-ready peer) back off with short sleeps that
+    // hand the core over for a full scheduler tick's worth of work.
+    if (spin_sleep_us_ > 0 && ++probes > 256) sleep_us(spin_sleep_us_);
     if (++iter >= 64) {
       iter = 0;
       maybe_beat();
@@ -311,6 +355,7 @@ bool MpRank::barrier() {
 
 bool MpRank::send(ShmChannel* ch, const double* data, std::size_t n) {
   maybe_beat();
+  if (send_delay_us_ > 0) sleep_us(send_delay_us_);  // slow-neighbor seam
   TSEM_REQUIRE(n <= ch->cap_words);
   // Single producer: seq is ours to read relaxed.
   const std::uint64_t m = ch->seq.load(std::memory_order_relaxed);

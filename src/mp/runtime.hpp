@@ -51,6 +51,20 @@ struct MpOptions {
   int comm_timeout_ms = 120000;  ///< spin-wait bound inside ranks
   int watchdog_ms = 120000;      ///< parent-side heartbeat silence bound
   int poll_ms = 20;              ///< parent event-loop tick
+  /// Oversubscription support (nranks beyond the machine's cores — the
+  /// bench's P=8..16 executed cases on a 4-core runner).  When true and
+  /// nranks > online cores, the session stretches comm_timeout_ms and
+  /// watchdog_ms by ceil(nranks / cores) — descheduled ranks beat and
+  /// drain rings at 1/oversubscription speed, so the liveness bounds
+  /// must scale with the same factor or the watchdog false-kills — and
+  /// ranks back off their spin waits with short sleeps (see
+  /// spin_sleep_us) so waiting ranks donate timeslices instead of
+  /// yield-storming against the runnable ones.
+  bool auto_oversubscribe = true;
+  /// Spin-wait backoff: after a burst of sched_yield probes, sleep this
+  /// many microseconds between further probes.  -1 = auto (0 when
+  /// nranks <= cores, 50us when oversubscribed); 0 = pure yield.
+  int spin_sleep_us = -1;
 };
 
 class MpRank;
@@ -64,6 +78,11 @@ class MpSession {
 
   ShmArena& arena() { return arena_; }
   int nranks() const { return opt_.nranks; }
+  /// ceil(nranks / online cores), >= 1: the factor the liveness bounds
+  /// were stretched by (1 = not oversubscribed).
+  int oversubscription() const { return oversub_; }
+  /// The options after oversubscription stretching (what ranks run with).
+  const MpOptions& options() const { return opt_; }
 
   /// Shared zeroed buffer visible to parent and all ranks.
   double* shared_doubles(std::size_t n) { return arena_.alloc_n<double>(n); }
@@ -92,6 +111,7 @@ class MpSession {
     ShmBarrier barrier;
   };
   MpOptions opt_;
+  int oversub_ = 1;
   ShmArena arena_;
   Control* ctl_ = nullptr;
   double* allreduce_slots_ = nullptr;  ///< 2 * nranks (parity-alternated)
@@ -108,7 +128,11 @@ class MpRank {
   int nranks() const { return nranks_; }
 
   bool barrier();
-  /// Publish n doubles into ch (blocks while the ring is full).
+  /// Publish n doubles into ch (blocks while the ring is full).  The
+  /// TSEM_MP_SEND_DELAY="rank:us" environment variable (read at launch)
+  /// injects a us-microsecond sleep before every publish on that one
+  /// rank — the seeded slow-neighbor seam test_mp uses to prove the
+  /// overlap finish phase blocks for late messages.
   bool send(ShmChannel* ch, const double* data, std::size_t n);
   /// Consume the next message from ch; fails if its length is not n.
   bool recv(ShmChannel* ch, double* data, std::size_t n);
@@ -135,6 +159,8 @@ class MpRank {
   int rank_ = 0;
   int nranks_ = 0;
   int comm_timeout_ms_ = 0;
+  int spin_sleep_us_ = 0;  ///< spin-wait backoff (oversubscribed runs)
+  int send_delay_us_ = 0;  ///< TSEM_MP_SEND_DELAY test seam
   int hb_fd_ = -1;
   int barrier_sense_ = 0;
   std::uint64_t allreduce_calls_ = 0;

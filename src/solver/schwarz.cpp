@@ -1,5 +1,7 @@
 #include "solver/schwarz.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 
@@ -47,7 +49,153 @@ double element_extent(const Mesh& m, int e, int axis) {
   return std::sqrt(d2);
 }
 
+// Extended 1D subdomain grid of element e: a Dirichlet ring point, `ov`
+// ghost points, the ng1 Gauss points, `ov` ghost points, the high ring
+// point — positions scaled by the element extent per direction.  sig
+// (when non-null) accumulates the concatenated coordinates, the bitwise
+// dedup signature shared by every builder below.
+std::array<std::vector<double>, 3> schwarz_local_grid(
+    const Mesh& m, int e, int ng1, int ov, const std::vector<double>& g,
+    std::vector<double>* sig) {
+  std::array<std::vector<double>, 3> pts;
+  for (int d = 0; d < m.dim; ++d) {
+    const double len = element_extent(m, e, d);
+    auto offv = [&](int i) { return len * (g[i] + 1.0) * 0.5; };
+    auto& p = pts[d];
+    p.push_back(-offv(ov));  // Dirichlet ring (low)
+    for (int l = ov - 1; l >= 0; --l) p.push_back(-offv(l));
+    for (int i = 0; i < ng1; ++i) p.push_back(offv(i));
+    for (int l = 0; l < ov; ++l) p.push_back(len + offv(l));
+    p.push_back(len + offv(ov));  // Dirichlet ring (high)
+    if (sig) sig->insert(sig->end(), p.begin(), p.end());
+  }
+  return pts;
+}
+
 }  // namespace
+
+std::vector<FdmLocal> build_schwarz_fdm(const Mesh& m, int ng1, int overlap,
+                                        std::vector<int>* fdm_of) {
+  TSEM_REQUIRE(ng1 >= 1 && overlap >= 0 && overlap < ng1);
+  TSEM_REQUIRE(fdm_of != nullptr);
+  const auto& g = gauss_nodes(ng1);
+  std::vector<FdmLocal> fdm;
+  fdm_of->assign(m.nelem, 0);
+  std::map<std::vector<double>, int> fdm_index;
+  for (int e = 0; e < m.nelem; ++e) {
+    std::vector<double> sig;
+    const auto pts = schwarz_local_grid(m, e, ng1, overlap, g, &sig);
+    auto [it, fresh] =
+        fdm_index.emplace(std::move(sig), static_cast<int>(fdm.size()));
+    if (fresh) fdm.emplace_back(pts, m.dim);
+    (*fdm_of)[e] = it->second;
+  }
+  return fdm;
+}
+
+SchwarzLocalSolver::SchwarzLocalSolver(const Mesh& m, int ng1, int overlap)
+    : dim_(m.dim), ng1_(ng1), ov_(overlap) {
+  m1_ = ng1_ + 2 * ov_;
+  nt_ = dim_ == 2 ? ng1_ : ng1_ * ng1_;
+  npe_ = 1;
+  for (int d = 0; d < dim_; ++d) npe_ *= static_cast<std::size_t>(ng1_);
+  nle_ = 1;
+  for (int d = 0; d < dim_; ++d) nle_ *= static_cast<std::size_t>(m1_);
+  fdm_ = build_schwarz_fdm(m, ng1_, ov_, &fdm_of_);
+}
+
+void SchwarzLocalSolver::solve_elems(const std::int32_t* elems,
+                                     const std::int32_t* blk,
+                                     std::size_t nelems, const double* r,
+                                     const double* ghost, std::size_t nslots,
+                                     double* z, double* vout,
+                                     double* work) const {
+  double* rloc = work;
+  double* zloc = work + nle_;
+  double* lwork = work + 2 * nle_;  // 3 * nle_ for FdmLocal::solve
+  for (std::size_t i = 0; i < nelems; ++i) {
+    const int ge = elems[i];
+    const std::size_t be = static_cast<std::size_t>(blk ? blk[i] : elems[i]);
+    const std::size_t poff = be * npe_;
+    const std::size_t soff = be * static_cast<std::size_t>(2 * dim_) * nt_;
+    // Gather: own dofs into the interior, ghost strips on the faces, the
+    // Dirichlet ring stays zero — same fill as SchwarzPrecond's
+    // gather_residual, with `be` indexing the field arrays.
+    std::fill(rloc, rloc + nle_, 0.0);
+    if (dim_ == 2) {
+      for (int j = 0; j < ng1_; ++j)
+        for (int i1 = 0; i1 < ng1_; ++i1)
+          rloc[(j + ov_) * m1_ + (i1 + ov_)] = r[poff + j * ng1_ + i1];
+    } else {
+      for (int k = 0; k < ng1_; ++k)
+        for (int j = 0; j < ng1_; ++j)
+          for (int i1 = 0; i1 < ng1_; ++i1)
+            rloc[((k + ov_) * m1_ + (j + ov_)) * m1_ + (i1 + ov_)] =
+                r[poff + (k * ng1_ + j) * ng1_ + i1];
+    }
+    for (int f = 0; f < 2 * dim_; ++f) {
+      const int axis = f / 2, side = f % 2;
+      for (int l = 0; l < ov_; ++l) {
+        for (int t = 0; t < nt_; ++t) {
+          const std::size_t slot = soff + static_cast<std::size_t>(f) * nt_ + t;
+          const double gv = ghost[static_cast<std::size_t>(l) * nslots + slot];
+          int idx[3] = {0, 0, 0};
+          idx[axis] = (side == 0) ? (ov_ - 1 - l) : (ov_ + ng1_ + l);
+          if (dim_ == 2) {
+            idx[1 - axis] = ov_ + t;
+            rloc[idx[1] * m1_ + idx[0]] = gv;
+          } else {
+            int taxes[2], ti = 0;
+            for (int d = 0; d < 3; ++d)
+              if (d != axis) taxes[ti++] = d;
+            idx[taxes[0]] = ov_ + t % ng1_;
+            idx[taxes[1]] = ov_ + t / ng1_;
+            rloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]] = gv;
+          }
+        }
+      }
+    }
+
+    fdm_[static_cast<std::size_t>(fdm_of_[static_cast<std::size_t>(ge)])]
+        .solve(rloc, zloc, lwork);
+
+    // Scatter: own part accumulated into z, ghost returns into vout.
+    if (dim_ == 2) {
+      for (int j = 0; j < ng1_; ++j)
+        for (int i1 = 0; i1 < ng1_; ++i1)
+          z[poff + j * ng1_ + i1] += zloc[(j + ov_) * m1_ + (i1 + ov_)];
+    } else {
+      for (int k = 0; k < ng1_; ++k)
+        for (int j = 0; j < ng1_; ++j)
+          for (int i1 = 0; i1 < ng1_; ++i1)
+            z[poff + (k * ng1_ + j) * ng1_ + i1] +=
+                zloc[((k + ov_) * m1_ + (j + ov_)) * m1_ + (i1 + ov_)];
+    }
+    for (int f = 0; f < 2 * dim_; ++f) {
+      const int axis = f / 2, side = f % 2;
+      for (int l = 0; l < ov_; ++l) {
+        for (int t = 0; t < nt_; ++t) {
+          const std::size_t slot = soff + static_cast<std::size_t>(f) * nt_ + t;
+          int idx[3] = {0, 0, 0};
+          idx[axis] = (side == 0) ? (ov_ - 1 - l) : (ov_ + ng1_ + l);
+          double v;
+          if (dim_ == 2) {
+            idx[1 - axis] = ov_ + t;
+            v = zloc[idx[1] * m1_ + idx[0]];
+          } else {
+            int taxes[2], ti = 0;
+            for (int d = 0; d < 3; ++d)
+              if (d != axis) taxes[ti++] = d;
+            idx[taxes[0]] = ov_ + t % ng1_;
+            idx[taxes[1]] = ov_ + t / ng1_;
+            v = zloc[(idx[2] * m1_ + idx[1]) * m1_ + idx[0]];
+          }
+          vout[static_cast<std::size_t>(l) * nslots + slot] = v;
+        }
+      }
+    }
+  }
+}
 
 SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
     : psys_(&psys), opt_(opt) {
@@ -100,35 +248,17 @@ SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
 
 void SchwarzPrecond::build_local_grids() {
   const Mesh& m = psys_->vspace().mesh();
-  const auto& g = gauss_nodes(ng1_);
   const int ov = opt_.overlap;
   local_flops_ = 0.0;
-  fdm_of_.assign(m.nelem, 0);
-  // Bitwise 1D-grid signature -> fdm_ index (deduplicates the eigensolves
-  // on meshes with repeated element geometry).
-  std::map<std::vector<double>, int> fdm_index;
-  for (int e = 0; e < m.nelem; ++e) {
-    std::array<std::vector<double>, 3> pts;
-    std::vector<double> sig;
-    for (int d = 0; d < dim_; ++d) {
-      const double len = element_extent(m, e, d);
-      auto offv = [&](int i) { return len * (g[i] + 1.0) * 0.5; };
-      auto& p = pts[d];
-      p.clear();
-      p.push_back(-offv(ov));  // Dirichlet ring (low)
-      for (int l = ov - 1; l >= 0; --l) p.push_back(-offv(l));
-      for (int i = 0; i < ng1_; ++i) p.push_back(offv(i));
-      for (int l = 0; l < ov; ++l) p.push_back(len + offv(l));
-      p.push_back(len + offv(ov));  // Dirichlet ring (high)
-      sig.insert(sig.end(), p.begin(), p.end());
-    }
-    if (opt_.local == SchwarzOptions::Local::Fdm) {
-      auto [it, fresh] =
-          fdm_index.emplace(std::move(sig), static_cast<int>(fdm_.size()));
-      if (fresh) fdm_.emplace_back(pts, dim_);
-      fdm_of_[e] = it->second;
-      local_flops_ += fdm_[it->second].solve_flops();
-    } else {
+  if (opt_.local == SchwarzOptions::Local::Fdm) {
+    fdm_ = build_schwarz_fdm(m, ng1_, ov, &fdm_of_);
+    for (int e = 0; e < m.nelem; ++e)
+      local_flops_ += fdm_[fdm_of_[e]].solve_flops();
+  } else {
+    const auto& g = gauss_nodes(ng1_);
+    fdm_of_.assign(m.nelem, 0);
+    for (int e = 0; e < m.nelem; ++e) {
+      const auto pts = schwarz_local_grid(m, e, ng1_, ov, g, nullptr);
       std::vector<double> a =
           (dim_ == 2) ? p1_laplacian_2d(pts[0], pts[1])
                       : p1_laplacian_3d(pts[0], pts[1], pts[2]);

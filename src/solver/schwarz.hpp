@@ -15,6 +15,8 @@
 // points, and solved by any CoarseSolver backend (XXT by default).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -25,6 +27,56 @@
 #include "solver/precision.hpp"
 
 namespace tsem {
+
+/// The per-element extended-subdomain FDM factorizations of the Schwarz
+/// preconditioner, built standalone from the mesh (no PressureSystem
+/// needed): identical grids and eigensolves to SchwarzPrecond's Fdm path
+/// — SchwarzPrecond builds through this function — deduplicated by the
+/// bitwise 1D-grid signature.  fdm_of[e] maps each element to its entry.
+std::vector<FdmLocal> build_schwarz_fdm(const Mesh& m, int ng1, int overlap,
+                                        std::vector<int>* fdm_of);
+
+/// Element-local Schwarz FDM solves outside SchwarzPrecond: gather the
+/// residual and ghost strips into the extended subdomain grid, solve by
+/// fast diagonalization, scatter the own part into z and the ghost
+/// returns into vout — per element, over an explicit element list.
+///
+/// This is the mp executed tier's fork-safe entry point (DESIGN.md
+/// "Overlap protocol"): the sweep is SERIAL, and elems/blk follow the
+/// element-list kernel convention of core/operators.hpp — elems[i] names
+/// the mesh element (geometry), blk[i] its block in the field arrays
+/// (nullptr: full-mesh layout).  Per-element arithmetic matches
+/// SchwarzPrecond::apply's FP64 local pass expression for expression
+/// (FdmLocal::solve is bitwise equal to the batched form), so a sweep
+/// over all elements with the production ghost values reproduces the
+/// preconditioner's local component bitwise — asserted in test_schwarz.
+class SchwarzLocalSolver {
+ public:
+  SchwarzLocalSolver(const Mesh& m, int ng1, int overlap);
+
+  /// Extended local dofs per element ((ng1 + 2*overlap)^dim).
+  [[nodiscard]] std::size_t nle() const { return nle_; }
+  /// Scratch doubles solve_elems needs (5 * nle: rloc, zloc, FDM work).
+  [[nodiscard]] std::size_t work_doubles() const { return 5 * nle_; }
+  [[nodiscard]] int overlap() const { return ov_; }
+
+  /// Solve the listed elements.  r and z are pressure fields in blocks
+  /// of ng1^dim; ghost and vout are layer-major with `nslots` slots per
+  /// layer and 2*dim*ng1^(dim-1) slots per block (GhostExchange layout
+  /// when blk is null, the rank-local DistGhost layout otherwise).
+  /// z is accumulated (+=, disjoint blocks); the listed elements' vout
+  /// slots are overwritten.  work must hold >= work_doubles().
+  void solve_elems(const std::int32_t* elems, const std::int32_t* blk,
+                   std::size_t nelems, const double* r, const double* ghost,
+                   std::size_t nslots, double* z, double* vout,
+                   double* work) const;
+
+ private:
+  int dim_, ng1_, ov_, m1_, nt_;
+  std::size_t npe_, nle_;
+  std::vector<FdmLocal> fdm_;
+  std::vector<int> fdm_of_;
+};
 
 struct SchwarzOptions {
   enum class Local { Fdm, FemP1 };

@@ -156,6 +156,16 @@ TEST(BenchSmoke, Table4MeasuredTierMatchesClusterSimAndPaperShape) {
          {"exec_seconds_compute", "exec_seconds_gs", "exec_seconds_allreduce",
           "exec_seconds_coarse"})
       EXPECT_GT(field(*c, key), 0.0) << key;
+    // Overlapped mode: same kernels through the overlap drivers, bitwise
+    // equal to the serialized pass, with its own timing row.
+    ASSERT_NE(c->find("bitwise_overlap_vs_serialized"), nullptr);
+    EXPECT_TRUE(c->find("bitwise_overlap_vs_serialized")->as_bool());
+    for (const char* key :
+         {"exec_seconds_compute_overlapped", "exec_seconds_gs_overlapped"})
+      EXPECT_GT(field(*c, key), 0.0) << key;
+    ASSERT_NE(c->find("overlap_efficiency"), nullptr);
+    EXPECT_LE(field(*c, "overlap_efficiency"), 1.0);
+    EXPECT_GE(c->find("oversubscription")->as_int(), 1);
     // Raw-copy executed payloads dominate the profile's dedup'd counts
     // (the refinement that buys the bitwise guarantee, dist_gs.hpp).
     EXPECT_GE(c->find("gs_max_send_words_executed")->as_int(),

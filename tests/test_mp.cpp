@@ -9,15 +9,19 @@
 // see the caveat in mp/runtime.hpp.  Production kernels used as
 // references run in the parent only.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <numeric>
 #include <random>
 #include <utility>
 #include <vector>
 
+#include "core/operators.hpp"
 #include "fem/fem.hpp"
 #include "gs/gather_scatter.hpp"
 #include "mesh/build.hpp"
@@ -25,10 +29,12 @@
 #include "mp/dist_gs.hpp"
 #include "mp/dist_schwarz.hpp"
 #include "mp/dist_xxt.hpp"
+#include "mp/overlap.hpp"
 #include "mp/runtime.hpp"
 #include "mp/shm.hpp"
 #include "sim/cluster.hpp"
 #include "solver/overlap.hpp"
+#include "solver/schwarz.hpp"
 #include "solver/xxt.hpp"
 
 namespace {
@@ -44,6 +50,7 @@ using tsem::mp::GsScratch;
 using tsem::mp::MpOptions;
 using tsem::mp::MpRank;
 using tsem::mp::MpSession;
+using tsem::mp::OverlapSplit;
 using tsem::mp::Phase;
 
 Mesh box3d(int kx, int ky, int kz, int order) {
@@ -501,6 +508,492 @@ TEST(DistXxt, ExecutedTreeWalkBitwiseMatchesReferenceAndSolvesA) {
     maxerr = std::max(maxerr, std::fabs(seq[static_cast<std::size_t>(i)] -
                                         out_shared[i]));
   EXPECT_LT(maxerr, 1e-8);
+}
+
+// ---- overlap engine --------------------------------------------------
+
+// Expected classification computed independently of the plan: an element
+// is boundary iff one of its dof ids also appears on an element owned by
+// a different rank (cross-rank shared dof).
+std::vector<char> expected_boundary(const std::vector<std::int64_t>& ids,
+                                    int npe,
+                                    const std::vector<int>& elem_rank) {
+  const int nelem = static_cast<int>(elem_rank.size());
+  std::map<std::int64_t, std::pair<int, bool>> seen;  // id -> (rank, multi)
+  for (int e = 0; e < nelem; ++e)
+    for (int j = 0; j < npe; ++j) {
+      const std::int64_t id = ids[static_cast<std::size_t>(e) * npe + j];
+      auto [it, fresh] = seen.emplace(id, std::make_pair(elem_rank[e], false));
+      if (!fresh && it->second.first != elem_rank[e]) it->second.second = true;
+    }
+  std::vector<char> bnd(static_cast<std::size_t>(nelem), 0);
+  for (int e = 0; e < nelem; ++e)
+    for (int j = 0; j < npe; ++j)
+      if (seen[ids[static_cast<std::size_t>(e) * npe + j]].second) {
+        bnd[static_cast<std::size_t>(e)] = 1;
+        break;
+      }
+  return bnd;
+}
+
+TEST(Overlap, ClassifierCoversElementsOnceWithSharedDofBoundary) {
+  struct Case {
+    std::vector<std::int64_t> ids;
+    int npe;
+    std::vector<int> elem_rank;
+    int p;
+  };
+  std::vector<Case> cases;
+  {
+    // Random partition of the chain layout (scattered ranks).
+    Case c;
+    const int nelem = 30, p = 5;
+    c.npe = 4;
+    c.ids = chain_ids(nelem, c.npe);
+    c.p = p;
+    std::mt19937 rng(99);
+    for (int e = 0; e < nelem; ++e)
+      c.elem_rank.push_back(static_cast<int>(rng() % p));
+    cases.push_back(std::move(c));
+  }
+  const Mesh m = box3d(4, 2, 2, 3);
+  const int npe_m = static_cast<int>(m.node_id.size()) / m.nelem;
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.build_schwarz = false;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  for (int p : {2, 4}) {
+    Case c;
+    c.ids = m.node_id;
+    c.npe = npe_m;
+    c.elem_rank = sim.schedule(p).elem_rank;
+    c.p = p;
+    cases.push_back(std::move(c));
+  }
+
+  for (const Case& c : cases) {
+    const DistGsPlan plan =
+        tsem::mp::build_dist_gs(c.ids, c.npe, c.elem_rank, c.p);
+    const auto bnd = expected_boundary(c.ids, c.npe, c.elem_rank);
+    for (int r = 0; r < c.p; ++r) {
+      const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+      const OverlapSplit split = tsem::mp::classify_elements(rk, c.npe);
+      // Every local element exactly once, both lists ascending.
+      EXPECT_TRUE(std::is_sorted(split.interior.begin(), split.interior.end()));
+      EXPECT_TRUE(std::is_sorted(split.boundary.begin(), split.boundary.end()));
+      std::vector<std::int32_t> all = split.interior;
+      all.insert(all.end(), split.boundary.begin(), split.boundary.end());
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(all.size(), rk.elems.size());
+      for (std::size_t i = 0; i < all.size(); ++i)
+        ASSERT_EQ(all[i], static_cast<std::int32_t>(i));
+      // Boundary exactly the elements touching a cross-rank shared dof.
+      for (std::int32_t le : split.interior)
+        EXPECT_FALSE(bnd[static_cast<std::size_t>(rk.elems[le])])
+            << "P" << c.p << " rank " << r << " elem " << rk.elems[le];
+      for (std::int32_t le : split.boundary)
+        EXPECT_TRUE(bnd[static_cast<std::size_t>(rk.elems[le])])
+            << "P" << c.p << " rank " << r << " elem " << rk.elems[le];
+    }
+  }
+}
+
+TEST(Overlap, SplitElementSweepsReproduceFullKernelsBitwise) {
+  // The element-list kernels swept boundary-then-interior over every
+  // rank must reproduce the full OpenMP element loop bitwise — the
+  // disjoint-blocks half of the overlap bitwise argument.
+  const Mesh m = box3d(4, 2, 2, 3);
+  const int npe = static_cast<int>(m.node_id.size()) / m.nelem;
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.build_schwarz = false;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  const auto sched = sim.schedule(4);
+  const DistGsPlan plan =
+      tsem::mp::build_dist_gs(m.node_id, npe, sched.elem_rank, 4);
+
+  const auto u0 = random_field(m.node_id.size(), 31);
+  tsem::TensorWork work;
+  std::vector<double> w_full(m.node_id.size());
+  tsem::apply_helmholtz_local(m, 1.0, 0.5, u0.data(), w_full.data(), work);
+  std::vector<double> a_full(m.node_id.size());
+  tsem::apply_stiffness_local(m, u0.data(), a_full.data(), work);
+
+  std::vector<double> w_split(m.node_id.size(), -1.0);
+  std::vector<double> a_split(m.node_id.size(), -1.0);
+  for (int r = 0; r < 4; ++r) {
+    const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+    const OverlapSplit split = tsem::mp::classify_elements(rk, npe);
+    for (const auto* list : {&split.boundary, &split.interior}) {
+      std::vector<std::int32_t> geo(list->size());
+      for (std::size_t i = 0; i < list->size(); ++i)
+        geo[i] = rk.elems[(*list)[i]];
+      tsem::apply_helmholtz_local_elems(m, 1.0, 0.5, geo.data(), nullptr,
+                                        geo.size(), u0.data(),
+                                        w_split.data(), work);
+      tsem::apply_stiffness_local_elems(m, geo.data(), nullptr, geo.size(),
+                                        u0.data(), a_split.data(), work);
+    }
+  }
+  EXPECT_EQ(0, std::memcmp(w_full.data(), w_split.data(),
+                           w_full.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(a_full.data(), a_split.data(),
+                           a_full.size() * sizeof(double)));
+}
+
+// One forked overlapped-gs run: compute w = 1.5 u + elem_id per element
+// block through the overlap driver, return the assembled global field
+// (and optionally each rank's exchange seconds).
+std::vector<double> run_overlapped_gs(const std::vector<std::int64_t>& ids,
+                                      int npe,
+                                      const std::vector<int>& elem_rank,
+                                      int p, bool overlapped,
+                                      const std::vector<double>& u0,
+                                      std::vector<double>* exchange_s) {
+  const DistGsPlan plan = tsem::mp::build_dist_gs(ids, npe, elem_rank, p);
+  std::vector<OverlapSplit> splits;
+  for (int r = 0; r < p; ++r)
+    splits.push_back(
+        tsem::mp::classify_elements(plan.ranks[static_cast<std::size_t>(r)],
+                                    npe));
+  MpOptions opt;
+  opt.nranks = p;
+  MpSession session(opt);
+  const auto channels = make_gs_channels(session, plan, 1);
+  double* u_shared = session.shared_doubles(plan.nglobal);
+  double* out_shared = session.shared_doubles(plan.nglobal);
+  double* tx_shared = session.shared_doubles(static_cast<std::size_t>(p));
+  std::memcpy(u_shared, u0.data(), plan.nglobal * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        const int r = ctx.rank();
+        const auto& rk = plan.ranks[static_cast<std::size_t>(r)];
+        const auto& split = splits[static_cast<std::size_t>(r)];
+        std::vector<double> u(rk.nlocal), w(rk.nlocal);
+        for (std::size_t l = 0; l < rk.nlocal; ++l)
+          u[l] = u_shared[plan.global_index(r, l)];
+        const auto compute = [&](const std::int32_t* ls, std::size_t nn) {
+          for (std::size_t i = 0; i < nn; ++i) {
+            const std::size_t le = static_cast<std::size_t>(ls[i]);
+            const double ge = rk.elems[le];
+            for (int j = 0; j < npe; ++j)
+              w[le * static_cast<std::size_t>(npe) + j] =
+                  1.5 * u[le * static_cast<std::size_t>(npe) + j] + ge;
+          }
+        };
+        GsScratch scratch;
+        tsem::mp::OverlapTimes ot;
+        if (!tsem::mp::overlapped_gs_apply(
+                rk, split, ctx, channels[static_cast<std::size_t>(r)],
+                w.data(), GsOp::Add, scratch, compute, overlapped, &ot))
+          return 1;
+        tx_shared[r] = ot.exchange;
+        for (std::size_t l = 0; l < rk.nlocal; ++l)
+          out_shared[plan.global_index(r, l)] = w[l];
+        return 0;
+      },
+      &err);
+  EXPECT_TRUE(ok) << err;
+  if (exchange_s) exchange_s->assign(tx_shared, tx_shared + p);
+  return std::vector<double>(out_shared, out_shared + plan.nglobal);
+}
+
+TEST(Overlap, GsApplyOverlappedBitwiseEqualsSerializedAndProduction) {
+  struct Case {
+    std::vector<std::int64_t> ids;
+    int npe;
+    std::vector<int> elem_rank;
+    int p;
+  };
+  std::vector<Case> cases;
+  {
+    // Random partition over the chain layout at P=3.
+    Case c;
+    const int nelem = 30;
+    c.npe = 4;
+    c.p = 3;
+    c.ids = chain_ids(nelem, c.npe);
+    std::mt19937 rng(17);
+    for (int e = 0; e < nelem; ++e)
+      c.elem_rank.push_back(static_cast<int>(rng() % c.p));
+    cases.push_back(std::move(c));
+  }
+  const Mesh m = box3d(4, 2, 2, 3);
+  const int npe_m = static_cast<int>(m.node_id.size()) / m.nelem;
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.build_schwarz = false;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  for (int p : {2, 4}) {
+    Case c;
+    c.ids = m.node_id;
+    c.npe = npe_m;
+    c.elem_rank = sim.schedule(p).elem_rank;
+    c.p = p;
+    cases.push_back(std::move(c));
+  }
+
+  for (const Case& c : cases) {
+    const std::size_t n = c.ids.size();
+    const auto u0 = random_field(n, 53u + static_cast<unsigned>(c.p));
+    const auto ser = run_overlapped_gs(c.ids, c.npe, c.elem_rank, c.p,
+                                       false, u0, nullptr);
+    const auto ovl = run_overlapped_gs(c.ids, c.npe, c.elem_rank, c.p,
+                                       true, u0, nullptr);
+    // Production reference: same per-element compute on the global
+    // element-major field, then the single-process gather-scatter.
+    std::vector<double> ref(n);
+    const int nelem = static_cast<int>(c.elem_rank.size());
+    for (int e = 0; e < nelem; ++e)
+      for (int j = 0; j < c.npe; ++j) {
+        const std::size_t g = static_cast<std::size_t>(e) * c.npe + j;
+        ref[g] = 1.5 * u0[g] + static_cast<double>(e);
+      }
+    GatherScatter(c.ids).op(ref.data(), GsOp::Add);
+    ASSERT_EQ(0, std::memcmp(ser.data(), ref.data(), n * sizeof(double)))
+        << "serialized vs production, P" << c.p;
+    ASSERT_EQ(0, std::memcmp(ovl.data(), ser.data(), n * sizeof(double)))
+        << "overlapped vs serialized, P" << c.p;
+  }
+}
+
+TEST(Overlap, SlowNeighborFinishBlocksForLateMessages) {
+  // Rank 1 delays every publish by 20ms (TSEM_MP_SEND_DELAY seam): the
+  // overlapped schedule must still produce bitwise-correct results —
+  // finish blocks for the late messages — and rank 0's exchange wait
+  // must actually absorb the delay.
+  const int nelem = 16, npe = 4, p = 2;
+  const auto ids = chain_ids(nelem, npe);
+  std::vector<int> elem_rank(nelem);
+  for (int e = 0; e < nelem; ++e) elem_rank[e] = e < nelem / 2 ? 0 : 1;
+  const auto u0 = random_field(ids.size(), 61);
+
+  ASSERT_EQ(0, ::setenv("TSEM_MP_SEND_DELAY", "1:20000", 1));
+  std::vector<double> exchange_s;
+  const auto ovl =
+      run_overlapped_gs(ids, npe, elem_rank, p, true, u0, &exchange_s);
+  ::unsetenv("TSEM_MP_SEND_DELAY");
+
+  std::vector<double> ref(ids.size());
+  for (int e = 0; e < nelem; ++e)
+    for (int j = 0; j < npe; ++j) {
+      const std::size_t g = static_cast<std::size_t>(e) * npe + j;
+      ref[g] = 1.5 * u0[g] + static_cast<double>(e);
+    }
+  GatherScatter(ids).op(ref.data(), GsOp::Add);
+  ASSERT_EQ(0,
+            std::memcmp(ovl.data(), ref.data(), ref.size() * sizeof(double)));
+  ASSERT_EQ(exchange_s.size(), static_cast<std::size_t>(p));
+  EXPECT_GE(exchange_s[0], 0.010) << "rank 0 did not wait for the slow "
+                                     "neighbor's delayed publish";
+}
+
+// One forked overlapped Schwarz run (ghost exchange + local FDM solves
+// through the overlap driver); returns the global ghost volume and local
+// solution component.
+struct SchwarzExecOut {
+  std::vector<double> ghost, z;
+};
+SchwarzExecOut run_overlapped_schwarz(const tsem::GhostExchange& gx,
+                                      const DistGhost& ghost,
+                                      const tsem::SchwarzLocalSolver& sl,
+                                      const std::vector<double>& p0, int p,
+                                      bool overlapped) {
+  const std::size_t npe_press = ghost.npress_per_elem();
+  const std::size_t spe =
+      static_cast<std::size_t>(2 * gx.dim()) * gx.tang_slots();
+  const std::size_t np_glob = p0.size();
+  const std::size_t ng_glob =
+      static_cast<std::size_t>(gx.nlayers()) * gx.nslots();
+  std::vector<OverlapSplit> splits;
+  for (int r = 0; r < p; ++r)
+    splits.push_back(tsem::mp::classify_elements(
+        ghost.plan().ranks[static_cast<std::size_t>(r)], ghost.plan().npe));
+
+  MpOptions opt;
+  opt.nranks = p;
+  MpSession session(opt);
+  const auto channels = make_gs_channels(
+      session, ghost.plan(), static_cast<std::size_t>(gx.nlayers()));
+  double* p_shared = session.shared_doubles(np_glob);
+  double* ghost_shared = session.shared_doubles(ng_glob);
+  double* z_shared = session.shared_doubles(np_glob);
+  std::memcpy(p_shared, p0.data(), np_glob * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        const int r = ctx.rank();
+        const auto& rk = ghost.plan().ranks[static_cast<std::size_t>(r)];
+        const auto& split = splits[static_cast<std::size_t>(r)];
+        const std::size_t ns = rk.nlocal;
+        const std::size_t ne = rk.elems.size();
+        std::vector<double> p_loc(ne * npe_press);
+        std::vector<double> z_loc(ne * npe_press, 0.0);
+        std::vector<double> g_loc(static_cast<std::size_t>(gx.nlayers()) * ns);
+        std::vector<double> v_loc(g_loc.size());
+        std::vector<double> lwork(sl.work_doubles());
+        std::vector<std::int32_t> geo;
+        for (std::size_t e = 0; e < ne; ++e)
+          std::memcpy(p_loc.data() + e * npe_press,
+                      p_shared + static_cast<std::size_t>(rk.elems[e]) *
+                                     npe_press,
+                      npe_press * sizeof(double));
+        const auto solve = [&](const std::int32_t* ls, std::size_t nn) {
+          if (nn == 0) return;
+          geo.resize(nn);
+          for (std::size_t i = 0; i < nn; ++i) geo[i] = rk.elems[ls[i]];
+          sl.solve_elems(geo.data(), ls, nn, p_loc.data(), g_loc.data(), ns,
+                         z_loc.data(), v_loc.data(), lwork.data());
+        };
+        DistGhost::Scratch scratch;
+        tsem::mp::OverlapTimes ot;
+        if (!tsem::mp::overlapped_ghost_exchange(
+                ghost, split, r, ctx, channels[static_cast<std::size_t>(r)],
+                p_loc.data(), g_loc.data(), scratch, solve, overlapped, &ot))
+          return 1;
+        for (std::size_t e = 0; e < ne; ++e) {
+          std::memcpy(z_shared + static_cast<std::size_t>(rk.elems[e]) *
+                                     npe_press,
+                      z_loc.data() + e * npe_press,
+                      npe_press * sizeof(double));
+          for (int l = 0; l < gx.nlayers(); ++l)
+            std::memcpy(
+                ghost_shared + static_cast<std::size_t>(l) * gx.nslots() +
+                    static_cast<std::size_t>(rk.elems[e]) * spe,
+                g_loc.data() + static_cast<std::size_t>(l) * ns + e * spe,
+                spe * sizeof(double));
+        }
+        return 0;
+      },
+      &err);
+  EXPECT_TRUE(ok) << err;
+  SchwarzExecOut out;
+  out.ghost.assign(ghost_shared, ghost_shared + ng_glob);
+  out.z.assign(z_shared, z_shared + np_glob);
+  return out;
+}
+
+TEST(Overlap, SchwarzGhostExchangeOverlappedBitwiseWithLocalSolves) {
+  const Mesh m = box3d(4, 2, 2, 3);  // ng1 = 2, overlap 1
+  tsem::ClusterOptions copt;
+  copt.max_ranks = 4;
+  copt.schwarz_overlap = 1;
+  copt.build_coarse = false;
+  const tsem::ClusterSim sim(m, copt);
+  const tsem::GhostExchange& gx = *sim.ghost_exchange();
+  const tsem::SchwarzLocalSolver sl(m, gx.ng1(), gx.nlayers());
+
+  std::size_t npress = 1;
+  for (int d = 0; d < gx.dim(); ++d)
+    npress *= static_cast<std::size_t>(gx.ng1());
+  const std::size_t np_glob = static_cast<std::size_t>(m.nelem) * npress;
+  const std::size_t ng_glob =
+      static_cast<std::size_t>(gx.nlayers()) * gx.nslots();
+  const auto p0 = random_field(np_glob, 43);
+
+  // Production reference: single-process exchange + full element sweep
+  // of the same local solver.
+  std::vector<double> ghost_ref(ng_glob);
+  gx.exchange(p0.data(), ghost_ref.data());
+  std::vector<double> z_ref(np_glob, 0.0);
+  {
+    std::vector<std::int32_t> all(static_cast<std::size_t>(m.nelem));
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<double> vout(ng_glob);
+    std::vector<double> lwork(sl.work_doubles());
+    sl.solve_elems(all.data(), nullptr, all.size(), p0.data(),
+                   ghost_ref.data(), gx.nslots(), z_ref.data(), vout.data(),
+                   lwork.data());
+  }
+
+  for (int p : {2, 4}) {
+    const auto sched = sim.schedule(p);
+    const DistGhost ghost(gx, sched.elem_rank, p);
+    const auto ser = run_overlapped_schwarz(gx, ghost, sl, p0, p, false);
+    const auto ovl = run_overlapped_schwarz(gx, ghost, sl, p0, p, true);
+    ASSERT_EQ(0, std::memcmp(ser.ghost.data(), ghost_ref.data(),
+                             ng_glob * sizeof(double)))
+        << "P" << p;
+    ASSERT_EQ(0, std::memcmp(ser.z.data(), z_ref.data(),
+                             np_glob * sizeof(double)))
+        << "P" << p;
+    ASSERT_EQ(0, std::memcmp(ovl.ghost.data(), ser.ghost.data(),
+                             ng_glob * sizeof(double)))
+        << "P" << p;
+    ASSERT_EQ(0, std::memcmp(ovl.z.data(), ser.z.data(),
+                             np_glob * sizeof(double)))
+        << "P" << p;
+  }
+}
+
+// ---- oversubscription ------------------------------------------------
+
+TEST(MpRuntime, OversubscribedRanksKeepRingBackpressureAndDeterminism) {
+  // pexec = 2 x cores (at least 8): more ranks than cores, so every spin
+  // wait runs against descheduled peers.  The ring (nslots=2, far fewer
+  // than the message count) exercises producer backpressure; the
+  // stretched watchdog must produce no false kills; the allreduce must
+  // stay bitwise deterministic on every rank.
+  const long ncores = ::sysconf(_SC_NPROCESSORS_ONLN);
+  const int P = static_cast<int>(std::max(8L, 2 * std::max(1L, ncores)));
+  const int reps = 20, words = 4;
+
+  MpOptions opt;
+  opt.nranks = P;
+  opt.watchdog_ms = 30000;  // stretched by the session's oversub factor
+  opt.comm_timeout_ms = 60000;
+  MpSession session(opt);
+  EXPECT_GE(session.oversubscription(), 2);
+  EXPECT_GE(session.options().watchdog_ms,
+            30000 * session.oversubscription());
+
+  // Ring topology: rank r sends to (r+1) % P, receives from (r-1+P) % P.
+  std::vector<tsem::mp::ShmChannel*> ring;
+  for (int r = 0; r < P; ++r) ring.push_back(session.channel(words, 2));
+  double* sums = session.shared_doubles(static_cast<std::size_t>(P) * reps);
+  const auto vals = random_field(static_cast<std::size_t>(P) * reps, 71);
+  double* inputs = session.shared_doubles(static_cast<std::size_t>(P) * reps);
+  std::memcpy(inputs, vals.data(), vals.size() * sizeof(double));
+
+  std::string err;
+  const bool ok = session.run(
+      [&](MpRank& ctx) {
+        const int r = ctx.rank();
+        const int prev = (r - 1 + P) % P;
+        double out[words], in[words];
+        for (int i = 0; i < reps; ++i) {
+          for (int w = 0; w < words; ++w) out[w] = 1000.0 * r + 10.0 * i + w;
+          if (!ctx.send(ring[static_cast<std::size_t>(r)], out, words))
+            return 1;
+          if (!ctx.recv(ring[static_cast<std::size_t>(prev)], in, words))
+            return 2;
+          for (int w = 0; w < words; ++w)
+            if (in[w] != 1000.0 * prev + 10.0 * i + w) return 3;
+          double sum = 0.0;
+          if (!ctx.allreduce_sum(
+                  inputs[static_cast<std::size_t>(r) * reps + i], &sum))
+            return 4;
+          sums[static_cast<std::size_t>(r) * reps + i] = sum;
+        }
+        return 0;
+      },
+      &err);
+  ASSERT_TRUE(ok) << err;
+
+  for (int i = 0; i < reps; ++i) {
+    double expect = 0.0;
+    for (int r = 0; r < P; ++r)
+      expect += vals[static_cast<std::size_t>(r) * reps + i];
+    for (int r = 0; r < P; ++r)
+      ASSERT_EQ(sums[static_cast<std::size_t>(r) * reps + i], expect)
+          << "rank " << r << " rep " << i;
+  }
 }
 
 }  // namespace
