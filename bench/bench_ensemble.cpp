@@ -1,23 +1,41 @@
-// Ensemble fleet bench: throughput and fault-recovery overhead of the
-// crash-isolated job engine (src/fleet/) on a Taylor-Green Reynolds
-// sweep.
+// Ensemble fleet bench: throughput, setup-cache savings, and
+// fault-recovery overhead of the crash-isolated job engine (src/fleet/)
+// on a two-shape Taylor-Green sweep.
 //
-// Runs the same expanded sweep twice under the supervisor: once clean,
-// once with a seeded plan of injected worker kills (plus optional
-// preemptive scheduling), and reports wall time, jobs/s, retries, and
-// the recovery overhead ratio.  Every completed faulted job is checked
-// bit-identical (state digest) against its clean twin — the bench fails
-// loudly if fault recovery ever changes an answer.
+// Runs the same expanded sweep three times under the supervisor:
 //
-// Output: BENCH_ensemble.json (terasem-bench-1) from the faulted run,
-// one case per job; meta carries the fleet policy, the full event log,
-// and clean-vs-faulted wall seconds.
+//   1. cold  — setup cache disabled: every worker builds its own mesh,
+//              FDM eigenpairs, XXT tree, dealias operators (baseline);
+//   2. warm  — cache enabled: one cold build per distinct (mesh, order)
+//              shape, every later worker attaches and skips setup;
+//   3. fault — cache enabled plus a seeded plan of injected worker
+//              kills (and optional preemption).
+//
+// Every completed job is checked bit-identical (state digest) across
+// all three passes — the bench fails loudly if the cache or fault
+// recovery ever changes an answer.  The sweep crosses reynolds with TWO
+// polynomial orders so the cache handles multiple keys at once.
+//
+// Output: BENCH_ensemble.json (terasem-bench-1) from the WARM run, one
+// case per job; meta carries the fleet policy, cache counters,
+// setup_seconds_saved, the cold/faulted wall seconds, and the setup
+// speedup (cold aggregate setup wall / warm aggregate setup wall).
+//
+// Note $TSEM_FLEET_CACHE overrides the cache knob of EVERY pass (the
+// fleet-cache CI leg uses that to A/B the whole bench); the intra-run
+// meta (setup_seconds_saved, cache_hits) is computed per pass and stays
+// meaningful under either setting.
 //
 // Usage: bench_ensemble [--cases N] [--steps S] [--order P] [--mesh K]
 //                       [--concurrency C] [--kills F] [--quantum Q]
 //                       [--seed S]
-// Default: 8 cases, 12 steps, order 6, 2x2 mesh, concurrency 4,
-//          2 seeded kills, no preemption, seed 1999.
+// Default: 8 reynolds cases x 2 orders (P and P-2), 12 steps, order 12,
+//          8x8 mesh, concurrency 4, 2 seeded kills, no preemption,
+//          seed 1999.  The default shape is large enough that per-job
+//          setup is dominated by the cacheable artifacts, so the warm
+//          pass demonstrates the >= 2x aggregate setup reduction the
+//          cache is built for.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,8 +61,8 @@ int arg_int(int argc, char** argv, const char* flag, int def) {
 int main(int argc, char** argv) {
   const int cases = arg_int(argc, argv, "--cases", 8);
   const int steps = arg_int(argc, argv, "--steps", 12);
-  const int order = arg_int(argc, argv, "--order", 6);
-  const int mesh_k = arg_int(argc, argv, "--mesh", 2);
+  const int order = arg_int(argc, argv, "--order", 12);
+  const int mesh_k = arg_int(argc, argv, "--mesh", 8);
   const int concurrency = arg_int(argc, argv, "--concurrency", 4);
   const int kills = arg_int(argc, argv, "--kills", 2);
   const int quantum = arg_int(argc, argv, "--quantum", 0);
@@ -57,24 +75,39 @@ int main(int argc, char** argv) {
   spec.base.dt = 0.01;
   spec.base.steps = steps;
   spec.base.checkpoint_every = steps >= 4 ? steps / 4 : 1;
+  spec.base.dealias = true;  // the dealias operators are cached artifacts
   for (int i = 0; i < cases; ++i)
     spec.reynolds.push_back(10.0 + 5.0 * i);
+  // Two distinct shapes so the cache juggles multiple keys at once.
+  spec.order.push_back(order);
+  if (order - 2 >= 3) spec.order.push_back(order - 2);
+  const int njobs = cases * static_cast<int>(spec.order.size());
   spec.fleet.concurrency = concurrency;
   spec.fleet.quantum_steps = quantum;
-  spec.fleet.workdir = "bench_ensemble_work";
 
-  // Pass 1: clean fleet (reference wall time and digests).
+  // Pass 1: cache off — every worker pays full setup (baseline).
   std::string err;
-  tsem::fleet::FleetReport clean;
-  if (!tsem::fleet::run_fleet(spec, &clean, &err)) {
-    std::fprintf(stderr, "clean fleet failed: %s\n", err.c_str());
+  spec.fleet.cache = false;
+  spec.fleet.workdir = "bench_ensemble_work_cold";
+  tsem::fleet::FleetReport cold;
+  if (!tsem::fleet::run_fleet(spec, &cold, &err)) {
+    std::fprintf(stderr, "cold fleet failed: %s\n", err.c_str());
     return 1;
   }
 
-  // Pass 2: same sweep under a seeded kill plan.
+  // Pass 2: cache on — one cold build per shape, the rest attach.
+  spec.fleet.cache = true;
+  spec.fleet.workdir = "bench_ensemble_work_warm";
+  tsem::fleet::FleetReport warm;
+  if (!tsem::fleet::run_fleet(spec, &warm, &err)) {
+    std::fprintf(stderr, "warm fleet failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Pass 3: cache on + seeded kill plan.
   tsem::FaultInjector inj(static_cast<std::uint32_t>(seed));
   spec.faults = inj.plan_worker_kills(
-      cases, static_cast<std::size_t>(kills < cases ? kills : cases - 1),
+      njobs, static_cast<std::size_t>(kills < njobs ? kills : njobs - 1),
       steps);
   spec.fleet.workdir = "bench_ensemble_work_faulted";
   tsem::fleet::FleetReport faulted;
@@ -83,40 +116,73 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Recovery must be invisible in the answers.
+  // The cache and the fault ladder must both be invisible in the
+  // answers: digest equality across all three passes, job by job.
   std::map<int, std::string> ref;
-  for (const auto& out : clean.jobs)
+  for (const auto& out : cold.jobs)
     if (out.completed) ref[out.spec.index] = out.result.digest;
   int mismatches = 0;
-  for (const auto& out : faulted.jobs) {
-    if (!out.completed) {
-      std::fprintf(stderr, "job %d not completed: %s\n", out.spec.index,
-                   out.failure.c_str());
-      ++mismatches;
-    } else if (ref.at(out.spec.index) != out.result.digest) {
-      std::fprintf(stderr, "job %d digest %s != clean %s\n", out.spec.index,
-                   out.result.digest.c_str(),
-                   ref.at(out.spec.index).c_str());
-      ++mismatches;
+  auto check_pass = [&](const tsem::fleet::FleetReport& rep,
+                        const char* what) {
+    for (const auto& out : rep.jobs) {
+      if (!out.completed) {
+        std::fprintf(stderr, "[%s] job %d not completed: %s\n", what,
+                     out.spec.index, out.failure.c_str());
+        ++mismatches;
+      } else if (ref.count(out.spec.index) == 0) {
+        std::fprintf(stderr, "[%s] job %d has no cold twin\n", what,
+                     out.spec.index);
+        ++mismatches;
+      } else if (ref.at(out.spec.index) != out.result.digest) {
+        std::fprintf(stderr, "[%s] job %d digest %s != cold %s\n", what,
+                     out.spec.index, out.result.digest.c_str(),
+                     ref.at(out.spec.index).c_str());
+        ++mismatches;
+      }
     }
-  }
+  };
+  check_pass(warm, "warm");
+  check_pass(faulted, "faulted");
 
-  std::printf("ensemble: %d jobs (order %d, %d steps), concurrency %d\n",
-              cases, order, steps, concurrency);
-  std::printf("  clean:   %6.2f s  (%.2f jobs/s)\n", clean.wall_seconds,
-              cases / clean.wall_seconds);
+  const double setup_speedup =
+      warm.setup_seconds_total > 0.0
+          ? cold.setup_seconds_total / warm.setup_seconds_total
+          : 0.0;
+
   std::printf(
-      "  faulted: %6.2f s  (%.2f jobs/s)  retries %d  preempts %d  "
+      "ensemble: %d jobs (orders %d/%d, mesh %dx%d, %d steps), "
+      "concurrency %d\n",
+      njobs, order, order - 2 >= 3 ? order - 2 : order, mesh_k, mesh_k,
+      steps, concurrency);
+  std::printf("  cold:    %6.2f s  setup %.3f s\n", cold.wall_seconds,
+              cold.setup_seconds_total);
+  std::printf(
+      "  warm:    %6.2f s  setup %.3f s  (speedup %.2fx, saved %.3f s, "
+      "hits %ld/%ld)\n",
+      warm.wall_seconds, warm.setup_seconds_total, setup_speedup,
+      warm.setup_seconds_saved, warm.cache_hits,
+      warm.cache_hits + warm.cache_misses);
+  std::printf(
+      "  faulted: %6.2f s  retries %d  preempts %d  cold_retries %d  "
       "overhead %.2fx\n",
-      faulted.wall_seconds, cases / faulted.wall_seconds, faulted.retries,
-      faulted.preemptions, faulted.wall_seconds / clean.wall_seconds);
+      faulted.wall_seconds, faulted.retries, faulted.preemptions,
+      faulted.cold_retries, faulted.wall_seconds / warm.wall_seconds);
   std::printf("  bit-identity: %s\n",
-              mismatches == 0 ? "all faulted jobs match clean digests"
-                              : "MISMATCH");
+              mismatches == 0
+                  ? "all warm+faulted jobs match cold digests"
+                  : "MISMATCH");
 
-  tsem::obs::Json doc = faulted.to_json("ensemble");
-  doc["meta"]["clean_wall_seconds"] = clean.wall_seconds;
-  doc["meta"]["fault_overhead"] = faulted.wall_seconds / clean.wall_seconds;
+  tsem::obs::Json doc = warm.to_json("ensemble");
+  doc["meta"]["cold_wall_seconds"] = cold.wall_seconds;
+  doc["meta"]["cold_setup_seconds_total"] = cold.setup_seconds_total;
+  doc["meta"]["setup_speedup"] = setup_speedup;
+  doc["meta"]["faulted_wall_seconds"] = faulted.wall_seconds;
+  doc["meta"]["faulted_retries"] = faulted.retries;
+  doc["meta"]["faulted_cold_retries"] = faulted.cold_retries;
+  doc["meta"]["faulted_cache_evictions"] = faulted.cache_evictions;
+  doc["meta"]["fault_overhead"] =
+      warm.wall_seconds > 0.0 ? faulted.wall_seconds / warm.wall_seconds
+                              : 0.0;
   doc["meta"]["digest_mismatches"] = mismatches;
   std::string dir = ".";
   if (const char* env = std::getenv("TSEM_BENCH_DIR"); env && *env) dir = env;

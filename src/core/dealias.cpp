@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "io/binfile.hpp"
 #include "poly/basis1d.hpp"
 #include "poly/lagrange.hpp"
 #include "tensor/mxm.hpp"
@@ -159,6 +160,47 @@ void DealiasedConvection::apply(const double* const* vel, const double* u,
                     ift_.data(), n1_, mfine_, sf, out + off, scratch);
   }
   (void)total;
+}
+
+void DealiasedConvection::serialize(ByteWriter& w) const {
+  w.put<std::int32_t>(dim_);
+  w.put<std::int32_t>(n1_);
+  w.put<std::int32_t>(mfine_);
+  w.put<std::uint64_t>(nfe_);
+  w.put_vec(if_);
+  w.put_vec(ift_);
+  w.put_vec(dif_);
+  w.put_vec(dift_);
+  w.put_vec(jw_);
+  w.put_vec(md_);
+}
+
+std::unique_ptr<DealiasedConvection> DealiasedConvection::deserialize(
+    ByteReader& r, const Mesh& mesh) {
+  auto d = std::unique_ptr<DealiasedConvection>(new DealiasedConvection());
+  std::int32_t dim = 0, n1 = 0, mfine = 0;
+  std::uint64_t nfe = 0;
+  if (!r.get(&dim) || !r.get(&n1) || !r.get(&mfine) || !r.get(&nfe))
+    return nullptr;
+  if (dim != mesh.dim || n1 != mesh.n1d() || mfine < n1) return nullptr;
+  if (!r.get_vec(&d->if_) || !r.get_vec(&d->ift_) || !r.get_vec(&d->dif_) ||
+      !r.get_vec(&d->dift_) || !r.get_vec(&d->jw_) || !r.get_vec(&d->md_))
+    return nullptr;
+  std::size_t want_nfe = 1;
+  for (int k = 0; k < dim; ++k) want_nfe *= static_cast<std::size_t>(mfine);
+  const std::size_t total = static_cast<std::size_t>(mesh.nelem) * want_nfe;
+  const std::size_t mat = static_cast<std::size_t>(mfine) * n1;
+  if (nfe != want_nfe || d->if_.size() != mat || d->ift_.size() != mat ||
+      d->dif_.size() != mat || d->dift_.size() != mat ||
+      d->jw_.size() != total ||
+      d->md_.size() != static_cast<std::size_t>(dim) * dim * total)
+    return nullptr;
+  d->mesh_ = &mesh;
+  d->dim_ = dim;
+  d->n1_ = n1;
+  d->mfine_ = mfine;
+  d->nfe_ = want_nfe;
+  return d;
 }
 
 }  // namespace tsem

@@ -16,12 +16,16 @@
 // like any other weak term.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "mesh/mesh.hpp"
 #include "tensor/tensor_apply.hpp"
 
 namespace tsem {
+
+class ByteWriter;
+class ByteReader;
 
 class DealiasedConvection {
  public:
@@ -30,14 +34,24 @@ class DealiasedConvection {
 
   [[nodiscard]] int fine_pts() const { return mfine_; }
 
+  /// Append the interpolation/differentiation matrices and fine-grid
+  /// metrics to w (setup cache, DESIGN.md "Setup cache").
+  void serialize(ByteWriter& w) const;
+  /// Rebuild from r against `mesh` (which must be the mesh the payload
+  /// was recorded on — enforced structurally here, semantically by the
+  /// cache key).  Returns nullptr on a truncated or mismatched payload.
+  static std::unique_ptr<DealiasedConvection> deserialize(ByteReader& r,
+                                                          const Mesh& mesh);
+
   /// out = weak-form (vel . grad u), element-local.  vel: dim components.
   void apply(const double* const* vel, const double* u, double* out,
              TensorWork& work) const;
 
  private:
-  const Mesh* mesh_;
-  int dim_, n1_, mfine_;
-  std::size_t nfe_;                 // fine nodes per element
+  DealiasedConvection() = default;  // deserialize() fills every member
+  const Mesh* mesh_ = nullptr;
+  int dim_ = 0, n1_ = 0, mfine_ = 0;
+  std::size_t nfe_ = 0;             // fine nodes per element
   std::vector<double> if_, ift_;    // interpolation (M x n1) + transpose
   std::vector<double> dif_, dift_;  // d/dr then interpolate (M x n1) + ^T
   std::vector<double> jw_;          // W_f J_f per fine node (all elements)

@@ -6,8 +6,18 @@
 
 namespace tsem {
 
-Space::Space(Mesh mesh)
-    : mesh_(std::move(mesh)), gs_(mesh_.node_id), mult_(gs_.multiplicity()) {
+Space::Space(Mesh mesh) : mesh_(std::move(mesh)), gs_(mesh_.node_id) {
+  init_derived();
+}
+
+Space::Space(Mesh mesh, GatherScatter gs)
+    : mesh_(std::move(mesh)), gs_(std::move(gs)) {
+  TSEM_REQUIRE(gs_.nlocal() == mesh_.nlocal());
+  init_derived();
+}
+
+void Space::init_derived() {
+  mult_ = gs_.multiplicity();
   bma_ = mesh_.bm;
   gs_.op(bma_.data());
   bmi_.resize(bma_.size());

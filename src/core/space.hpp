@@ -16,6 +16,13 @@ class Space {
  public:
   explicit Space(Mesh mesh);
 
+  /// Setup-cache replay (DESIGN.md "Setup cache"): adopt a finished
+  /// connectivity instead of re-sorting every local node id.  gs must be
+  /// the gather-scatter of exactly this mesh's node_id (the builder
+  /// serialized it from a shape-identical Space); nlocal is required to
+  /// match, everything else is the caller's contract.
+  Space(Mesh mesh, GatherScatter gs);
+
   [[nodiscard]] const Mesh& mesh() const { return mesh_; }
   [[nodiscard]] const GatherScatter& gs() const { return gs_; }
   [[nodiscard]] std::size_t nlocal() const { return mesh_.nlocal(); }
@@ -51,6 +58,8 @@ class Space {
   [[nodiscard]] double l2_norm(const double* u) const;
 
  private:
+  void init_derived();
+
   Mesh mesh_;
   GatherScatter gs_;
   std::vector<double> mult_;

@@ -28,6 +28,16 @@ bool get_int(const obs::Json& o, const char* key, int* out,
   return true;
 }
 
+bool get_bool(const obs::Json& o, const char* key, bool* out,
+              std::string* err) {
+  const obs::Json* v = o.find(key);
+  if (!v) return true;
+  if (!v->is_bool())
+    return fail(err, std::string("spec: '") + key + "' must be a boolean");
+  *out = v->as_bool();
+  return true;
+}
+
 bool get_double(const obs::Json& o, const char* key, double* out,
                 std::string* err) {
   const obs::Json* v = o.find(key);
@@ -103,7 +113,8 @@ int retry_backoff_ms(const FleetOptions& opt, int attempt) {
 
 bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
   if (!doc.is_object()) return fail(err, "spec: document must be an object");
-  if (!check_keys(doc, {"name", "case", "sweep", "fleet", "faults"},
+  if (!check_keys(doc,
+                  {"name", "case", "sweep", "fleet", "faults", "priorities"},
                   "document", err))
     return false;
 
@@ -117,7 +128,7 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
     if (!c->is_object()) return fail(err, "spec: 'case' must be an object");
     if (!check_keys(*c,
                     {"mesh_k", "order", "dt", "steps", "reynolds",
-                     "checkpoint_every"},
+                     "checkpoint_every", "dealias", "priority"},
                     "'case'", err))
       return false;
     if (!get_int(*c, "mesh_k", &s.base.mesh_k, err) ||
@@ -125,7 +136,9 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
         !get_double(*c, "dt", &s.base.dt, err) ||
         !get_int(*c, "steps", &s.base.steps, err) ||
         !get_double(*c, "reynolds", &s.base.reynolds, err) ||
-        !get_int(*c, "checkpoint_every", &s.base.checkpoint_every, err))
+        !get_int(*c, "checkpoint_every", &s.base.checkpoint_every, err) ||
+        !get_bool(*c, "dealias", &s.base.dealias, err) ||
+        !get_int(*c, "priority", &s.base.priority, err))
       return false;
   }
 
@@ -147,7 +160,8 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
     if (!check_keys(*f,
                     {"concurrency", "watchdog_ms", "max_attempts",
                      "backoff_base_ms", "backoff_max_ms", "quantum_steps",
-                     "poll_ms", "workdir"},
+                     "poll_ms", "workdir", "cache", "cache_entry_kb",
+                     "scheduler"},
                     "'fleet'", err))
       return false;
     if (!get_int(*f, "concurrency", &s.fleet.concurrency, err) ||
@@ -156,12 +170,25 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
         !get_int(*f, "backoff_base_ms", &s.fleet.backoff_base_ms, err) ||
         !get_int(*f, "backoff_max_ms", &s.fleet.backoff_max_ms, err) ||
         !get_int(*f, "quantum_steps", &s.fleet.quantum_steps, err) ||
-        !get_int(*f, "poll_ms", &s.fleet.poll_ms, err))
+        !get_int(*f, "poll_ms", &s.fleet.poll_ms, err) ||
+        !get_bool(*f, "cache", &s.fleet.cache, err) ||
+        !get_int(*f, "cache_entry_kb", &s.fleet.cache_entry_kb, err))
       return false;
     if (const obs::Json* wd = f->find("workdir")) {
       if (!wd->is_string())
         return fail(err, "spec: 'fleet.workdir' must be a string");
       s.fleet.workdir = wd->as_string();
+    }
+    if (const obs::Json* sc = f->find("scheduler")) {
+      if (!sc->is_string())
+        return fail(err, "spec: 'fleet.scheduler' must be a string");
+      const std::string name = sc->as_string();
+      if (name == "fifo")
+        s.fleet.scheduler = FleetOptions::Scheduler::Fifo;
+      else if (name == "sjf")
+        s.fleet.scheduler = FleetOptions::Scheduler::Sjf;
+      else
+        return fail(err, "spec: 'fleet.scheduler' must be 'fifo' or 'sjf'");
     }
   }
 
@@ -184,6 +211,25 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
     }
   }
 
+  if (const obs::Json* pl = doc.find("priorities")) {
+    if (!pl->is_array())
+      return fail(err, "spec: 'priorities' must be an array");
+    for (const auto& entry : pl->items()) {
+      if (!entry.is_object())
+        return fail(err, "spec: each 'priorities' entry must be an object");
+      if (!check_keys(entry, {"job", "priority"}, "'priorities' entry", err))
+        return false;
+      const obs::Json* job = entry.find("job");
+      const obs::Json* prio = entry.find("priority");
+      if (!job || !job->is_number() || !prio || !prio->is_number())
+        return fail(err,
+                    "spec: 'priorities' entry needs numeric 'job' and "
+                    "'priority'");
+      s.priorities.emplace_back(static_cast<int>(job->as_int()),
+                                static_cast<int>(prio->as_int()));
+    }
+  }
+
   // Sanity floor: a malformed spec must surface here, not as a crashed
   // worker that burns its retry budget on a nonsense discretization.
   if (s.base.mesh_k < 1 || s.base.order < 2 || s.base.steps < 1 ||
@@ -202,7 +248,7 @@ bool parse_sweep(const obs::Json& doc, SweepSpec* out, std::string* err) {
   if (s.fleet.concurrency < 1 || s.fleet.max_attempts < 1 ||
       s.fleet.watchdog_ms < 1 || s.fleet.poll_ms < 1 ||
       s.fleet.backoff_base_ms < 0 || s.fleet.backoff_max_ms < 0 ||
-      s.fleet.quantum_steps < 0)
+      s.fleet.quantum_steps < 0 || s.fleet.cache_entry_kb < 0)
     return fail(err, "spec: implausible fleet options");
 
   *out = std::move(s);
@@ -256,6 +302,9 @@ std::vector<JobSpec> expand_sweep(const SweepSpec& spec) {
   for (const auto& [index, fault] : spec.faults)
     if (index >= 0 && index < static_cast<int>(jobs.size()))
       jobs[static_cast<std::size_t>(index)].fault = fault;
+  for (const auto& [index, priority] : spec.priorities)
+    if (index >= 0 && index < static_cast<int>(jobs.size()))
+      jobs[static_cast<std::size_t>(index)].priority = priority;
   return jobs;
 }
 

@@ -14,12 +14,15 @@
 //   {
 //     "name": "re_sweep",
 //     "case": { "mesh_k": 2, "order": 4, "dt": 0.01, "steps": 6,
-//               "reynolds": 20.0, "checkpoint_every": 2 },
+//               "reynolds": 20.0, "checkpoint_every": 2,
+//               "dealias": false, "priority": 0 },
 //     "sweep": { "reynolds": [10, 20], "order": [3, 4] },
 //     "fleet": { "concurrency": 4, "watchdog_ms": 2000,
 //                "max_attempts": 3, "backoff_base_ms": 10,
-//                "quantum_steps": 0 },
-//     "faults": [ { "job": 3, "fault": "kill@5" } ]
+//                "quantum_steps": 0, "cache": true, "cache_entry_kb": 0,
+//                "scheduler": "sjf" },
+//     "faults": [ { "job": 3, "fault": "kill@5" } ],
+//     "priorities": [ { "job": 7, "priority": 2 } ]
 //   }
 //
 // "faults" is the spec-driven activation seam for the process-level
@@ -50,6 +53,13 @@ struct JobSpec {
   int steps = 6;            ///< total steps the job must complete
   double reynolds = 20.0;   ///< viscosity = 1/Re
   int checkpoint_every = 2; ///< checkpoint cadence in steps (0 = never)
+  /// Over-integrate convection on the 3/2 fine grid (NsOptions::dealias);
+  /// part of the setup-cache shape key — the interpolation matrices are
+  /// cached artifacts.
+  bool dealias = false;
+  /// Scheduler lane: higher-priority jobs dispatch before lower ones
+  /// regardless of their run-time estimate (Sjf orders within a lane).
+  int priority = 0;
   ProcessFault fault;       ///< injected process fault (tests; default none)
 };
 
@@ -66,6 +76,20 @@ struct FleetOptions {
   int quantum_steps = 0;
   int poll_ms = 5;           ///< supervisor event-loop tick
   std::string workdir = "fleet_work";  ///< checkpoints/results/logs
+  /// Shape-keyed shared setup cache (fleet/setup_cache.hpp): the first
+  /// worker per (mesh, order, precision, ISA) key publishes its setup
+  /// artifacts into a MAP_SHARED arena; later workers attach and skip
+  /// straight to time-stepping.  $TSEM_FLEET_CACHE=0/1 overrides.
+  bool cache = true;
+  /// Per-entry arena capacity override in KiB (0 = analytic estimate).
+  int cache_entry_kb = 0;
+  /// Dispatch order: Fifo = expanded queue order; Sjf = shortest job
+  /// first inside each priority lane, using measured per-key step times
+  /// once available and a steps * order^3 prior before that.  Ties (and
+  /// uniform sweeps under the prior) degrade to queue order, so Sjf is a
+  /// safe default.
+  enum class Scheduler { Fifo, Sjf };
+  Scheduler scheduler = Scheduler::Sjf;
 };
 
 /// Parsed sweep document: base case + axes + fleet policy + fault plan.
@@ -81,6 +105,9 @@ struct SweepSpec {
   std::vector<int> steps;
   // Spec-driven fault plan: (expanded job index, fault).
   std::vector<std::pair<int, ProcessFault>> faults;
+  // Spec-driven priority lanes: (expanded job index, priority), applied
+  // by index like the fault plan; out-of-range entries are ignored.
+  std::vector<std::pair<int, int>> priorities;
 };
 
 /// Retry delay for the n-th attempt (attempt >= 1 is the attempt that

@@ -10,12 +10,16 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
 
 #include "fleet/proc.hpp"
+#include "fleet/setup_cache.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 
@@ -81,6 +85,10 @@ std::string exit_detail(int status) {
         return "exit 68 (orphaned: supervisor heartbeat pipe closed)";
       case kExitInjectedKill: return "exit 70 (injected kill)";
       case kExitInjectedTorn: return "exit 71 (injected torn checkpoint)";
+      case kExitCacheFailed:
+        return "exit 72 (cache entry rejected; relaunch cold)";
+      case kExitInjectedTornPublish:
+        return "exit 73 (injected torn cache publish)";
       default: return "exit " + std::to_string(code);
     }
   }
@@ -95,6 +103,12 @@ struct JobRt {
   JobState state = JobState::Ready;
   int failed_attempts = 0;  ///< crash/hang attempts consumed so far
   Clock::time_point eligible_at{};  ///< backoff gate while Ready
+  /// Relaunch with the cache bypassed (set after kExitCacheFailed).
+  bool force_cold = false;
+  /// The free cold relaunch has been spent; a second kExitCacheFailed
+  /// goes through the normal retry ladder (it can only be a worker bug —
+  /// the cold path never touches the cache).
+  bool cold_retry_used = false;
 };
 
 struct Slot {
@@ -113,10 +127,25 @@ struct Slot {
 }  // namespace
 
 bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
-  const FleetOptions& opt = spec.fleet;
+  FleetOptions opt = spec.fleet;
+  // Environment override for A/B runs of the same spec (the fleet-cache
+  // CI leg runs the identical sweep with 0 and 1 and diffs the digests).
+  if (const char* e = std::getenv("TSEM_FLEET_CACHE"))
+    opt.cache = std::atoi(e) != 0;
   std::vector<JobSpec> jobs = expand_sweep(spec);
   if (jobs.empty()) return fail(err, "fleet: sweep expanded to zero jobs");
   if (!ensure_dir(opt.workdir, err)) return false;
+
+  // Shared setup cache: allocated and sealed BEFORE the first fork so
+  // every worker inherits the same MAP_SHARED pages (mp/shm.hpp).
+  std::unique_ptr<SetupCache> cache;
+  if (opt.cache) {
+    cache = std::make_unique<SetupCache>(jobs, opt.cache_entry_kb);
+    cache->seal();
+  }
+  std::vector<std::uint32_t> job_key(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    job_key[i] = setup_key_for(jobs[i]).digest;
 
   *report = FleetReport{};
   report->sweep_name = spec.name;
@@ -141,6 +170,34 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
   std::vector<Slot> slots;
   const Clock::time_point start = Clock::now();
   int terminal = 0;
+
+  // Measured per-key stepping rate for the Sjf scheduler: seconds per
+  // step averaged over completed attempts of the same shape key, plus a
+  // global steps * order^3 prior calibration for keys not yet measured.
+  std::map<std::uint32_t, std::pair<double, long>> measured;
+  double calib_sum = 0.0;
+  long calib_n = 0;
+  auto estimate = [&](int j) -> double {
+    const double steps = static_cast<double>(jobs[j].steps);
+    const auto it = measured.find(job_key[j]);
+    if (it != measured.end() && it->second.second > 0)
+      return steps * (it->second.first /
+                      static_cast<double>(it->second.second));
+    const double n3 = std::pow(static_cast<double>(jobs[j].order), 3);
+    const double unit =
+        calib_n > 0 ? calib_sum / static_cast<double>(calib_n) : 1.0;
+    return steps * n3 * unit;
+  };
+  auto note_measured = [&](int j, const JobResult& res) {
+    const int fresh = res.steps_done - res.resumed_from_step;
+    if (fresh <= 0 || res.step_seconds <= 0.0) return;
+    const double per = res.step_seconds / static_cast<double>(fresh);
+    auto& m = measured[job_key[j]];
+    m.first += per;
+    m.second++;
+    calib_sum += per / std::pow(static_cast<double>(jobs[j].order), 3);
+    calib_n++;
+  };
 
   auto record = [&](const std::string& type, int job, int attempt, int step,
                     const std::string& detail) {
@@ -187,7 +244,8 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
       // the worker.  worker_main never returns.
       ::close(p[0]);
       for (const Slot& s : slots) ::close(s.fd);
-      worker_main(jobs[j], opt.workdir, p[1], attempt);
+      worker_main(jobs[j], opt.workdir, p[1], attempt, cache.get(),
+                  !rt[j].force_cold);
     }
     ::close(p[1]);
     ::fcntl(p[0], F_SETFL, O_NONBLOCK);
@@ -261,6 +319,18 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
     }
   };
 
+  // A worker died (crash, hang kill, preempt): any cache slot it left in
+  // Building must go back to Empty or the key would starve forever.
+  auto reap_cache_builder = [&](pid_t pid, int j, int attempt, int step) {
+    if (!cache) return;
+    const int n = cache->evict_dead_builder(static_cast<int>(pid));
+    if (n > 0)
+      record("cache_evict", j, attempt, step,
+             "reaped " + std::to_string(n) +
+                 " half-built entries of dead builder pid " +
+                 std::to_string(pid));
+  };
+
   // Close out a slot whose process has been reaped; `status` is the wait
   // status.  Success means a validated result file; anything else goes
   // through the retry ladder.
@@ -282,6 +352,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
         out.result = std::move(res);
         report->completed++;
         terminal++;
+        note_measured(s.job, out.result);
         record("complete", s.job, s.attempt, s.last_step,
                "digest " + out.result.digest);
       } else {
@@ -290,7 +361,22 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
         retry_or_quarantine(s.job, s.attempt, s.last_step,
                             "torn result: " + rerr);
       }
+    } else if (WIFEXITED(status) &&
+               WEXITSTATUS(status) == kExitCacheFailed &&
+               !rt[s.job].cold_retry_used) {
+      // The worker rejected (and evicted) a corrupt cache entry.  The
+      // JOB did nothing wrong: relaunch it with the cache bypassed,
+      // without consuming a retry attempt.  One free pass only.
+      rt[s.job].cold_retry_used = true;
+      rt[s.job].force_cold = true;
+      rt[s.job].state = JobState::Ready;
+      rt[s.job].eligible_at = Clock::now();
+      ready.push_back(s.job);
+      report->cold_retries++;
+      record("cache_cold_retry", s.job, s.attempt, s.last_step,
+             exit_detail(status));
     } else {
+      reap_cache_builder(s.pid, s.job, s.attempt, s.last_step);
       record("crash", s.job, s.attempt, s.last_step, exit_detail(status));
       retry_or_quarantine(s.job, s.attempt, s.last_step,
                           exit_detail(status));
@@ -298,22 +384,57 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
   };
 
   while (terminal < static_cast<int>(jobs.size())) {
-    // Launch phase: fill free pool slots with eligible ready jobs (FIFO
-    // among the eligible — backoff holds a job back without blocking the
-    // jobs behind it).
+    // Launch phase: fill free pool slots with eligible ready jobs
+    // (backoff holds a job back without blocking the jobs behind it).
+    // Fifo takes the eligible jobs in queue order; Sjf picks, within the
+    // highest occupied priority lane, the job with the smallest run-time
+    // estimate — measured per-shape step seconds once a job of the shape
+    // has completed, the steps * order^3 prior before that.  Ties break
+    // on job index, so a uniform sweep under the prior degrades exactly
+    // to Fifo (digests never depend on this choice; only order does).
     const Clock::time_point now = Clock::now();
-    for (auto it = ready.begin();
-         it != ready.end() &&
-         slots.size() < static_cast<std::size_t>(opt.concurrency);) {
-      if (rt[*it].eligible_at <= now) {
-        const int j = *it;
-        it = ready.erase(it);
-        if (!launch(j)) {
-          reap_all();
-          return false;
+    // Cache-aware hold-back: while a same-key builder is in flight and
+    // the key is not yet published, launching another job of that key
+    // can only MISS (the lookup finds the slot Building and goes cold).
+    // Hold those jobs back; they launch as hits once the builder
+    // publishes.  A dead builder lifts the hold automatically — the reap
+    // phase removes it from the pool.  This briefly under-fills the pool
+    // at the start of a sweep, trading idle slots for cache hits.
+    auto held_for_cache = [&](int j) {
+      if (!cache || rt[j].force_cold) return false;
+      if (!cache->publish_pending(job_key[j])) return false;
+      for (const Slot& s : slots)
+        if (job_key[s.job] == job_key[j] && !rt[s.job].force_cold)
+          return true;
+      return false;
+    };
+    while (slots.size() < static_cast<std::size_t>(opt.concurrency)) {
+      auto best = ready.end();
+      double best_est = 0.0;
+      for (auto it = ready.begin(); it != ready.end(); ++it) {
+        if (rt[*it].eligible_at > now) continue;
+        if (held_for_cache(*it)) continue;
+        if (opt.scheduler == FleetOptions::Scheduler::Fifo) {
+          best = it;
+          break;
         }
-      } else {
-        ++it;
+        const double est = estimate(*it);
+        const bool wins =
+            best == ready.end() ||
+            jobs[*it].priority > jobs[*best].priority ||
+            (jobs[*it].priority == jobs[*best].priority &&
+             (est < best_est || (est == best_est && *it < *best)));
+        if (wins) {
+          best = it;
+          best_est = est;
+        }
+      }
+      if (best == ready.end()) break;
+      const int j = *best;
+      ready.erase(best);
+      if (!launch(j)) {
+        reap_all();
+        return false;
       }
     }
 
@@ -355,6 +476,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
         out.wall_seconds += seconds_between(s.started, Clock::now());
         out.hang_kills++;
         report->hang_kills++;
+        reap_cache_builder(s.pid, s.job, s.attempt, s.last_step);
         record("hang_kill", s.job, s.attempt, s.last_step,
                "no heartbeat for " + std::to_string(opt.watchdog_ms) +
                    "ms");
@@ -392,6 +514,7 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
           out.wall_seconds += seconds_between(s.started, Clock::now());
           out.preemptions++;
           report->preemptions++;
+          reap_cache_builder(s.pid, s.job, s.attempt, s.last_step);
           record("preempt", s.job, s.attempt, s.last_step,
                  "quantum " + std::to_string(opt.quantum_steps) +
                      " steps; requeued");
@@ -407,6 +530,50 @@ bool run_fleet(const SweepSpec& spec, FleetReport* report, std::string* err) {
   }
 
   report->wall_seconds = seconds_between(start, Clock::now());
+
+  if (cache) {
+    const SetupCache::Stats st = cache->stats();
+    report->cache_hits = static_cast<long>(st.hits);
+    report->cache_misses = static_cast<long>(st.misses);
+    report->cache_publishes = static_cast<long>(st.publishes);
+    report->cache_evictions = static_cast<long>(st.evictions);
+    report->cache_publish_failures = static_cast<long>(st.publish_failures);
+    report->cache_bytes_mapped = cache->bytes_mapped();
+  }
+  // Setup/step wall totals and the intra-run savings estimate: for each
+  // shape key, the mean setup wall of its COLD builds is what a hit
+  // would have paid without the cache.
+  std::map<std::uint32_t, std::pair<double, long>> cold_setup;
+  double cold_sum = 0.0;
+  long cold_n = 0;
+  for (const JobOutcome& out : report->jobs) {
+    if (!out.completed) continue;
+    report->setup_seconds_total += out.result.setup_seconds;
+    report->step_seconds_total += out.result.step_seconds;
+    if (out.result.cache != "hit") {
+      auto& c = cold_setup[job_key[static_cast<std::size_t>(
+          out.spec.index)]];
+      c.first += out.result.setup_seconds;
+      c.second++;
+      cold_sum += out.result.setup_seconds;
+      cold_n++;
+    }
+  }
+  for (const JobOutcome& out : report->jobs) {
+    if (!out.completed || out.result.cache != "hit") continue;
+    const auto it =
+        cold_setup.find(job_key[static_cast<std::size_t>(out.spec.index)]);
+    // Within one run the first build of a key is always cold, so the
+    // per-key mean normally exists; the global mean is belt-and-
+    // suspenders against a cold builder that never completed.
+    double mean_cold = 0.0;
+    if (it != cold_setup.end() && it->second.second > 0)
+      mean_cold = it->second.first / static_cast<double>(it->second.second);
+    else if (cold_n > 0)
+      mean_cold = cold_sum / static_cast<double>(cold_n);
+    report->setup_seconds_saved +=
+        std::max(0.0, mean_cold - out.result.setup_seconds);
+  }
   return true;
 }
 
@@ -422,12 +589,25 @@ void build_bench_report(const FleetReport& r, obs::BenchReport* rep) {
   meta["backoff_base_ms"] = r.options.backoff_base_ms;
   meta["backoff_max_ms"] = r.options.backoff_max_ms;
   meta["quantum_steps"] = r.options.quantum_steps;
+  meta["cache"] = r.options.cache;
+  meta["scheduler"] =
+      r.options.scheduler == FleetOptions::Scheduler::Sjf ? "sjf" : "fifo";
   meta["wall_seconds"] = r.wall_seconds;
   meta["completed"] = r.completed;
   meta["quarantined"] = r.quarantined;
   meta["retries"] = r.retries;
   meta["preemptions"] = r.preemptions;
   meta["hang_kills"] = r.hang_kills;
+  meta["cold_retries"] = r.cold_retries;
+  meta["cache_hits"] = r.cache_hits;
+  meta["cache_misses"] = r.cache_misses;
+  meta["cache_publishes"] = r.cache_publishes;
+  meta["cache_evictions"] = r.cache_evictions;
+  meta["cache_publish_failures"] = r.cache_publish_failures;
+  meta["cache_bytes_mapped"] = static_cast<std::int64_t>(r.cache_bytes_mapped);
+  meta["setup_seconds_total"] = r.setup_seconds_total;
+  meta["step_seconds_total"] = r.step_seconds_total;
+  meta["setup_seconds_saved"] = r.setup_seconds_saved;
 
   obs::Json events = obs::Json::array();
   for (const FleetEvent& e : r.events) {
@@ -462,6 +642,8 @@ void build_bench_report(const FleetReport& r, obs::BenchReport* rep) {
     c["order"] = out.spec.order;
     c["dt"] = out.spec.dt;
     c["steps"] = out.spec.steps;
+    c["priority"] = out.spec.priority;
+    c["dealias"] = out.spec.dealias;
     c["wall_seconds"] = out.wall_seconds;
     c["completed"] = out.completed;
     c["quarantined"] = out.quarantined;
@@ -477,6 +659,9 @@ void build_bench_report(const FleetReport& r, obs::BenchReport* rep) {
       c["kinetic_energy"] = out.result.kinetic_energy;
       c["divergence"] = out.result.divergence;
       c["recovered_steps"] = out.result.recovered_steps;
+      c["setup_seconds"] = out.result.setup_seconds;
+      c["step_seconds"] = out.result.step_seconds;
+      c["cache"] = out.result.cache;
     } else {
       c["failure"] = out.failure;
     }

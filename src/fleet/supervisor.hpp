@@ -42,6 +42,7 @@
 // into one terasem-bench-1 fleet report (BENCH_ensemble.json).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,8 @@ namespace tsem::fleet {
 struct FleetEvent {
   double t = 0.0;     ///< seconds since run_fleet entry
   std::string type;   ///< launch|complete|crash|hang_kill|preempt|
-                      ///< retry|quarantine|torn_result
+                      ///< retry|quarantine|torn_result|
+                      ///< cache_cold_retry|cache_evict
   int job = -1;
   int attempt = 0;    ///< crash-attempt number in flight
   int step = 0;       ///< last step heard from the worker
@@ -88,6 +90,22 @@ struct FleetReport {
   int retries = 0;      ///< failed attempts that were rescheduled
   int preemptions = 0;
   int hang_kills = 0;
+  /// kExitCacheFailed relaunches: the worker evicted a corrupt cache
+  /// entry and the job went again cold WITHOUT consuming an attempt.
+  int cold_retries = 0;
+  // --- setup-cache accounting (zero when the cache is off) ---
+  long cache_hits = 0;
+  long cache_misses = 0;        ///< cold builds (includes the publishers)
+  long cache_publishes = 0;
+  long cache_evictions = 0;     ///< CRC/decode rejections + dead builders
+  long cache_publish_failures = 0;  ///< payload exceeded slot capacity
+  std::size_t cache_bytes_mapped = 0;
+  double setup_seconds_total = 0.0;  ///< summed over completed jobs
+  double step_seconds_total = 0.0;
+  /// Sum over cache hits of (mean cold setup wall of the same shape key
+  /// minus the hit's setup wall, floored at 0): the wall the cache
+  /// provably elided within THIS run.
+  double setup_seconds_saved = 0.0;
 
   /// Full terasem-bench-1 document: meta carries the fleet policy,
   /// totals, the event log, and the summed per-worker obs counters; one

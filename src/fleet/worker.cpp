@@ -3,17 +3,21 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "fleet/proc.hpp"
+#include "fleet/setup_cache.hpp"
 #include "io/binfile.hpp"
 #include "mesh/build.hpp"
 #include "mesh/spec.hpp"
 #include "ns/navier_stokes.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/checkpoint.hpp"
+#include "solver/setup_bundle.hpp"
+#include "tensor/mxm.hpp"
 
 namespace tsem::fleet {
 namespace {
@@ -51,6 +55,19 @@ bool fault_fires(const ProcessFault& f, ProcessFault::Kind kind, int step,
   if (f.kind != kind) return false;
   if (f.attempt != 0 && f.attempt != attempt) return false;
   return at_or_past ? step >= f.step : step == f.step;
+}
+
+// The cache faults fire during setup, before any step exists; only the
+// kind and attempt gate them (the parsed step is round-trip baggage).
+bool setup_fault_fires(const ProcessFault& f, ProcessFault::Kind kind,
+                       int attempt) {
+  if (f.kind != kind) return false;
+  return f.attempt == 0 || f.attempt == attempt;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 Space make_space(const JobSpec& job) {
@@ -96,7 +113,8 @@ JobPaths job_paths(const std::string& workdir, int index) {
 }
 
 void worker_main(const JobSpec& job, const std::string& workdir,
-                 int heartbeat_fd, int attempt) {
+                 int heartbeat_fd, int attempt, SetupCache* cache,
+                 bool allow_cache) {
   // Without this, a supervisor death turns every worker's next dprintf
   // into a fatal SIGPIPE — the workers die silently with no log line and
   // the failure reads as a worker crash.  Ignore the signal so the write
@@ -122,19 +140,163 @@ void worker_main(const JobSpec& job, const std::string& workdir,
   if (fault.kind == ProcessFault::Kind::None)
     fault = process_fault_from_env();
 
-  std::printf("[worker] job %d '%s' attempt %d pid %d fault %s\n", job.index,
-              job.name.c_str(), attempt, static_cast<int>(::getpid()),
-              format_process_fault(fault).c_str());
+  std::printf("[worker] job %d '%s' attempt %d pid %d fault %s cache %s\n",
+              job.index, job.name.c_str(), attempt,
+              static_cast<int>(::getpid()),
+              format_process_fault(fault).c_str(),
+              cache ? (allow_cache ? "on" : "cold") : "off");
   std::fflush(stdout);
 
-  Space space = make_space(job);
+  const auto t_setup0 = std::chrono::steady_clock::now();
+  // Setup-phase attribution for cache tuning: TSEM_FLEET_SETUP_TRACE=1
+  // prints per-phase wall times into the job log.
+  auto t_phase = t_setup0;
+  const bool phase_trace = [] {
+    const char* e = std::getenv("TSEM_FLEET_SETUP_TRACE");
+    return e != nullptr && *e != '\0' && *e != '0';
+  }();
+  auto mark = [&](const char* what) {
+    if (!phase_trace) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::printf("[worker] setup-phase %-8s %8.3f ms\n", what,
+                std::chrono::duration<double, std::milli>(now - t_phase)
+                    .count());
+    std::fflush(stdout);
+    t_phase = now;
+  };
+
+  // ---- setup-cache attach / claim (DESIGN.md "Setup cache") ----
+  const char* cache_tag = cache ? (allow_cache ? "miss" : "cold") : "off";
+  int publish_slot = -1;
+  SetupBundle imported, recorded;
+  bool importing = false, recording = false;
+  if (cache != nullptr && allow_cache) {
+    if (setup_fault_fires(fault, ProcessFault::Kind::CacheFail, attempt)) {
+      std::printf("[worker] injected cache failure at lookup\n");
+      std::fflush(stdout);
+      ::_exit(kExitCacheFailed);
+    }
+    const SetupKey key = setup_key_for(job);
+    SetupCache::Lookup lk = cache->lookup(key);
+    switch (lk.outcome) {
+      case SetupCache::Outcome::Hit: {
+        // Zero-copy attach: decode straight out of the shared arena (the
+        // one copy of each section lands in the bundle's own vectors),
+        // then revalidate the seqlock generation — only a stable entry
+        // is trusted.
+        const bool decoded =
+            decode_setup_bundle(lk.data, lk.size, &imported);
+        if (!cache->confirm(lk)) {
+          // The entry was evicted/republished while we read it; what we
+          // decoded may be torn.  The new entry is somebody else's
+          // problem — just build cold without recording.
+          imported = SetupBundle{};
+          std::printf("[worker] cache entry '%s' changed mid-read; "
+                      "building cold\n",
+                      key.text.c_str());
+          std::fflush(stdout);
+        } else if (decoded) {
+          importing = true;
+          cache_tag = "hit";
+          obs::count("fleet/cache/hits");
+        } else {
+          // CRC passed but the framing is wrong — a version skew or a
+          // serializer bug, not bit rot.  Same policy: evict the entry,
+          // relaunch the job cold.
+          cache->evict(lk.slot);
+          obs::count("fleet/cache/evictions");
+          std::printf("[worker] cache entry '%s' undecodable; evicted\n",
+                      key.text.c_str());
+          std::fflush(stdout);
+          ::_exit(kExitCacheFailed);
+        }
+        break;
+      }
+      case SetupCache::Outcome::Corrupt:
+        obs::count("fleet/cache/evictions");
+        std::printf("[worker] cache entry '%s' failed CRC; evicted\n",
+                    key.text.c_str());
+        std::fflush(stdout);
+        ::_exit(kExitCacheFailed);
+      case SetupCache::Outcome::Claimed:
+        recording = true;
+        publish_slot = lk.slot;
+        obs::count("fleet/cache/misses");
+        break;
+      case SetupCache::Outcome::Miss:
+        obs::count("fleet/cache/misses");
+        break;
+    }
+  }
+
+  mark("lookup");
+
+  // Install the shared kernel table BEFORE the first mxm call so every
+  // worker of a key computes with identical kernel choices (belt and
+  // suspenders on top of TSEM_MXM_DETERMINISTIC).
+  if (importing && !imported.mxm.empty())
+    mxm_autotune_import_table(imported.mxm);
+
+  Space space = [&] {
+    if (importing && !imported.mesh.empty()) {
+      Mesh m;
+      if (deserialize_mesh(imported.mesh, &m)) {
+        // Replay the C0 connectivity too when its section validates
+        // against this mesh; otherwise rebuild just that (same bits).
+        if (!imported.gs.empty()) {
+          ByteReader r(imported.gs);
+          GatherScatter g;
+          if (g.deserialize(r) && r.exhausted() &&
+              g.nlocal() == m.nlocal())
+            return Space(std::move(m), std::move(g));
+        }
+        return Space(std::move(m));
+      }
+    }
+    return make_space(job);
+  }();
+  mark("space");
   NsOptions opt;
   opt.dt = job.dt;
   opt.viscosity = 1.0 / job.reynolds;
   opt.torder = 2;
   opt.proj_len = 8;
+  opt.dealias = job.dealias;
+  opt.setup_import = importing ? &imported : nullptr;
+  opt.setup_record = recording ? &recorded : nullptr;
   NavierStokes ns(space, 0u, opt);
+  mark("ns");
   init_taylor_green(ns, space);
+  mark("init");
+
+  if (recording) {
+    serialize_mesh(space.mesh(), &recorded.mesh);
+    {
+      ByteWriter w;
+      space.gs().serialize(w);
+      recorded.gs = w.take();
+    }
+    recorded.mxm = mxm_autotune_export_table();
+    const std::vector<std::uint8_t> blob = encode_setup_bundle(recorded);
+    const bool torn = setup_fault_fires(
+        fault, ProcessFault::Kind::TornPublish, attempt);
+    if (cache->publish(publish_slot, blob, torn)) {
+      obs::count("fleet/cache/publishes");
+      if (torn) {
+        // The slot now reads Ready with a full-payload CRC over a
+        // half-written payload — the torn entry the next attach must
+        // reject by checksum.  Die like a mid-copy crash.
+        std::printf("[worker] injected torn cache publish\n");
+        std::fflush(stdout);
+        ::_exit(kExitInjectedTornPublish);
+      }
+    } else {
+      obs::count("fleet/cache/publish_failures");
+      std::printf("[worker] cache publish failed (entry disabled)\n");
+      std::fflush(stdout);
+    }
+    mark("publish");
+  }
 
   int start_step = 0;
   if (::access(paths.checkpoint.c_str(), F_OK) == 0) {
@@ -155,7 +317,9 @@ void worker_main(const JobSpec& job, const std::string& workdir,
     }
     std::fflush(stdout);
   }
+  const double setup_seconds = seconds_since(t_setup0);
   if (!beat(heartbeat_fd, "A", attempt, start_step)) orphan_exit(start_step);
+  const auto t_steps0 = std::chrono::steady_clock::now();
 
   // Test pacing seam: the fleet tests stretch these tiny canonical jobs
   // past the supervisor's poll tick so preemption/watchdog behavior is
@@ -229,6 +393,9 @@ void worker_main(const JobSpec& job, const std::string& workdir,
   result["kinetic_energy"] = ns.kinetic_energy();
   result["divergence"] = ns.divergence_norm();
   result["recovered_steps"] = recovered_steps;
+  result["setup_seconds"] = setup_seconds;
+  result["step_seconds"] = seconds_since(t_steps0);
+  result["cache"] = cache_tag;
   const obs::Json snap = obs::MetricsRegistry::instance().snapshot();
   if (const obs::Json* counters = snap.find("counters"))
     result["counters"] = *counters;
@@ -277,8 +444,13 @@ bool read_job_result(const std::string& path, JobResult* out,
       !get_req_int(doc, "recovered_steps", &r.recovered_steps) ||
       !get_req_double(doc, "final_time", &r.final_time) ||
       !get_req_double(doc, "kinetic_energy", &r.kinetic_energy) ||
-      !get_req_double(doc, "divergence", &r.divergence))
+      !get_req_double(doc, "divergence", &r.divergence) ||
+      !get_req_double(doc, "setup_seconds", &r.setup_seconds) ||
+      !get_req_double(doc, "step_seconds", &r.step_seconds))
     return fail("missing numeric result fields");
+  const obs::Json* cache = doc.find("cache");
+  if (!cache || !cache->is_string()) return fail("missing cache field");
+  r.cache = cache->as_string();
   if (const obs::Json* counters = doc.find("counters"))
     r.counters = *counters;
   *out = std::move(r);

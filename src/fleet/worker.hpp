@@ -54,13 +54,26 @@ enum WorkerExit : int {
   kExitOrphaned = 68,       ///< heartbeat pipe EPIPE: supervisor died
   kExitInjectedKill = 70,   ///< ProcessFault::KillWorker fired
   kExitInjectedTorn = 71,   ///< ProcessFault::TornCheckpoint fired
+  /// Setup-cache incident: a Ready entry failed its CRC (torn publish)
+  /// or structural decode at attach.  The worker EVICTED the entry
+  /// before exiting; the supervisor relaunches the job cold without
+  /// consuming a retry attempt — quarantine the entry, never the job.
+  kExitCacheFailed = 72,
+  kExitInjectedTornPublish = 73,  ///< ProcessFault::TornPublish fired
 };
+
+class SetupCache;  // fleet/setup_cache.hpp
 
 /// Run one job attempt in the current (forked) process and _exit.
 /// `heartbeat_fd` is the write end of the supervisor pipe (-1 for a
 /// standalone run, e.g. driven by $TSEM_FLEET_FAULT from a shell).
+/// `cache` is the supervisor's pre-fork shared setup cache (nullptr =
+/// disabled); `allow_cache` is cleared on a cold relaunch after a
+/// kExitCacheFailed incident so a poisoned entry cannot refire.
 [[noreturn]] void worker_main(const JobSpec& job, const std::string& workdir,
-                              int heartbeat_fd, int attempt);
+                              int heartbeat_fd, int attempt,
+                              SetupCache* cache = nullptr,
+                              bool allow_cache = true);
 
 /// Parsed job result file (schema "terasem-fleet-job-1").
 struct JobResult {
@@ -74,6 +87,16 @@ struct JobResult {
   double kinetic_energy = 0.0;
   double divergence = 0.0;
   int recovered_steps = 0;    ///< steps accepted via the resilience ladder
+  /// Wall split: everything before the first step (mesh, solver setup,
+  /// checkpoint load — the part the setup cache elides) vs the stepping
+  /// loop itself.
+  double setup_seconds = 0.0;
+  double step_seconds = 0.0;
+  /// Cache disposition of this attempt: "hit" (attached to a published
+  /// entry), "miss" (built cold; includes the publisher), "cold"
+  /// (supervisor forced cache off after an incident), "off" (cache
+  /// disabled).
+  std::string cache = "off";
   obs::Json counters;         ///< worker-side obs counter snapshot
 };
 

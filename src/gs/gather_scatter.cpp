@@ -110,6 +110,46 @@ void GatherScatter::op_vec(double* u, int m, GsOp o) const {
   run_groups(u, m, o);
 }
 
+void GatherScatter::serialize(ByteWriter& w) const {
+  w.put<std::uint64_t>(nlocal_);
+  w.put<std::int64_t>(nglobal_);
+  w.put_pod_vec(dense_id_);
+  w.put_pod_vec(gather_ix_);
+  w.put_pod_vec(group_offset_);
+}
+
+bool GatherScatter::deserialize(ByteReader& r) {
+  std::uint64_t nlocal = 0;
+  std::int64_t nglobal = 0;
+  std::vector<std::int64_t> dense;
+  std::vector<std::int32_t> gix, goff;
+  if (!r.get(&nlocal) || !r.get(&nglobal) || !r.get_pod_vec(&dense) ||
+      !r.get_pod_vec(&gix) || !r.get_pod_vec(&goff))
+    return false;
+  if (nglobal < 0 || dense.size() != nlocal) return false;
+  for (const std::int64_t id : dense)
+    if (id < 0 || id >= nglobal) return false;
+  // group_offset_ is either empty (no shared groups) or a monotone
+  // offset table starting at 0 and ending at gather_ix_.size().
+  if (goff.empty()) {
+    if (!gix.empty()) return false;
+  } else {
+    if (goff.front() != 0 ||
+        goff.back() != static_cast<std::int32_t>(gix.size()))
+      return false;
+    for (std::size_t g = 1; g < goff.size(); ++g)
+      if (goff[g] < goff[g - 1]) return false;
+  }
+  for (const std::int32_t ix : gix)
+    if (ix < 0 || static_cast<std::uint64_t>(ix) >= nlocal) return false;
+  nlocal_ = static_cast<std::size_t>(nlocal);
+  nglobal_ = nglobal;
+  dense_id_ = std::move(dense);
+  gather_ix_ = std::move(gix);
+  group_offset_ = std::move(goff);
+  return true;
+}
+
 std::vector<double> GatherScatter::multiplicity() const {
   std::vector<double> mult(nlocal_, 1.0);
   for (std::size_t g = 0; g < ngroups(); ++g) {

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "io/binfile.hpp"
+
 namespace tsem {
 
 enum class GsOp { Add, Mul, Min, Max };
@@ -66,6 +68,14 @@ class GatherScatter {
   [[nodiscard]] const std::vector<std::int64_t>& dense_id() const {
     return dense_id_;
   }
+
+  /// Byte round-trip for the fleet setup cache: building the groups is a
+  /// sort over every local node, so shape-identical workers replay the
+  /// finished structure instead.  deserialize fully validates the group
+  /// tables (sizes, ranges, monotone offsets) and returns false — object
+  /// unchanged — on any structural defect; it never trusts the bytes.
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] bool deserialize(ByteReader& r);
 
  private:
   /// Shared kernel behind op/op_f32/op_vec: reduce-and-broadcast with AoS

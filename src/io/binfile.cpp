@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -11,18 +12,27 @@
 namespace tsem {
 namespace {
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
+// Slice-by-16 CRC-32 (reflected, poly 0xEDB88320): sixteen derived
+// tables let the hot loop fold 16 input bytes per iteration instead
+// of 1.  Same polynomial, same bit order, bit-identical digests to the
+// classic bytewise loop — only an order of magnitude faster, which
+// matters because the fleet setup cache and the checkpoint layer both
+// checksum multi-megabyte payloads on every worker launch.
+const std::array<std::array<std::uint32_t, 256>, 16>& crc_tables() {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 16> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k)
         c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
+      t[0][i] = c;
     }
+    for (int k = 1; k < 16; ++k)
+      for (std::uint32_t i = 0; i < 256; ++i)
+        t[k][i] = t[0][t[k - 1][i] & 0xffu] ^ (t[k - 1][i] >> 8);
     return t;
   }();
-  return table;
+  return tables;
 }
 
 bool fail(std::string* err, const std::string& what) {
@@ -33,10 +43,30 @@ bool fail(std::string* err, const std::string& what) {
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
-  const auto& t = crc_table();
+  const auto& t = crc_tables();
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::uint32_t c = seed ^ 0xffffffffu;
-  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 16) {
+      std::uint32_t w0 = 0, w1 = 0, w2 = 0, w3 = 0;
+      std::memcpy(&w0, p, 4);
+      std::memcpy(&w1, p + 4, 4);
+      std::memcpy(&w2, p + 8, 4);
+      std::memcpy(&w3, p + 12, 4);
+      w0 ^= c;
+      c = t[15][w0 & 0xffu] ^ t[14][(w0 >> 8) & 0xffu] ^
+          t[13][(w0 >> 16) & 0xffu] ^ t[12][w0 >> 24] ^ t[11][w1 & 0xffu] ^
+          t[10][(w1 >> 8) & 0xffu] ^ t[9][(w1 >> 16) & 0xffu] ^
+          t[8][w1 >> 24] ^ t[7][w2 & 0xffu] ^ t[6][(w2 >> 8) & 0xffu] ^
+          t[5][(w2 >> 16) & 0xffu] ^ t[4][w2 >> 24] ^ t[3][w3 & 0xffu] ^
+          t[2][(w3 >> 8) & 0xffu] ^ t[1][(w3 >> 16) & 0xffu] ^
+          t[0][w3 >> 24];
+      p += 16;
+      n -= 16;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    c = t[0][(c ^ p[i]) & 0xffu] ^ (c >> 8);
   return c ^ 0xffffffffu;
 }
 

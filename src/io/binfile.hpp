@@ -52,6 +52,16 @@ class ByteWriter {
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
   }
+  /// Length-prefixed vector of any trivially-copyable element (the setup
+  /// cache serializes int32/int64/float payloads beside the doubles).
+  template <class T>
+  void put_pod_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+  void put_bytes(const std::vector<std::uint8_t>& v) { put_pod_vec(v); }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
@@ -59,32 +69,46 @@ class ByteWriter {
 };
 
 /// Bounds-checked reader over a section payload.  All getters return
-/// false on overrun instead of reading past the end.
+/// false on overrun instead of reading past the end — including the
+/// length prefixes themselves, which are validated against the remaining
+/// bytes BEFORE any allocation.  That makes the reader safe even over a
+/// buffer another process may be rewriting (the setup cache decodes
+/// straight out of shared memory): torn bytes produce a clean false or
+/// wrong-but-bounded data, never an attempted multi-terabyte resize.
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  /// View over raw bytes the caller keeps alive (zero-copy attach path).
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
 
   template <class T>
   bool get(T* v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > buf_->size()) return false;
-    std::memcpy(v, buf_->data() + pos_, sizeof(T));
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return true;
   }
-  bool get_vec(std::vector<double>* v) {
+  bool get_vec(std::vector<double>* v) { return get_pod_vec(v); }
+  template <class T>
+  bool get_pod_vec(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
     std::uint64_t n = 0;
     if (!get(&n)) return false;
-    if (pos_ + n * sizeof(double) > buf_->size()) return false;
+    if (n > (size_ - pos_) / sizeof(T)) return false;
     v->resize(static_cast<std::size_t>(n));
-    std::memcpy(v->data(), buf_->data() + pos_, n * sizeof(double));
-    pos_ += static_cast<std::size_t>(n) * sizeof(double);
+    std::memcpy(v->data(), data_ + pos_, n * sizeof(T));
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return true;
   }
-  [[nodiscard]] bool exhausted() const { return pos_ == buf_->size(); }
+  bool get_bytes(std::vector<std::uint8_t>* v) { return get_pod_vec(v); }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
 
  private:
-  const std::vector<std::uint8_t>* buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

@@ -74,6 +74,40 @@ static_assert(std::atomic<int>::is_always_lock_free,
 static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
               "process-shared channels need address-free atomics");
 
+/// Generation-stamped state word for cross-process publish protocols
+/// (the fleet setup cache's seqlock slots).  The low 32 bits hold a
+/// small state enum, the high 32 a generation counter; EVERY transition
+/// goes through try_transition, which bumps the generation, so a reader
+/// that loads the word, copies payload, and reloads the word knows the
+/// payload is consistent iff the two loads are equal — eviction or
+/// republication in between necessarily changes the word.
+struct ShmStateCell {
+  std::atomic<std::uint64_t> word;  ///< (generation << 32) | state
+
+  static constexpr std::uint64_t pack(std::uint32_t gen, std::uint32_t st) {
+    return (static_cast<std::uint64_t>(gen) << 32) | st;
+  }
+  static constexpr std::uint32_t state_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w);
+  }
+  static constexpr std::uint32_t generation_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 32);
+  }
+
+  std::uint64_t load(std::memory_order mo = std::memory_order_acquire) const {
+    return word.load(mo);
+  }
+  /// CAS from the exact observed word to (generation + 1, to_state).
+  /// Release order: payload writes before a successful transition are
+  /// visible to any reader that acquires the new word.
+  bool try_transition(std::uint64_t observed, std::uint32_t to_state) {
+    const std::uint64_t next = pack(generation_of(observed) + 1, to_state);
+    return word.compare_exchange_strong(observed, next,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+};
+
 /// Single-producer single-consumer message ring in the arena.  seq
 /// counts published messages, ack counts consumed ones; the payload of
 /// message m lives in slot m % nslots.  A send blocks (spins) while the

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "poly/basis1d.hpp"
 #include "poly/filter.hpp"
+#include "solver/setup_bundle.hpp"
 
 namespace tsem {
 namespace {
@@ -134,8 +135,13 @@ NavierStokes::NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
   }
   psys_ = std::make_unique<PressureSystem>(space, mask_);
   p_.assign(psys_->nloc(), 0.0);
-  if (opt_.use_schwarz)
+  if (opt_.use_schwarz) {
+    opt_.schwarz.setup_import = opt_.setup_import;
+    opt_.schwarz.setup_record = opt_.setup_record;
     schwarz_ = std::make_unique<SchwarzPrecond>(*psys_, opt_.schwarz);
+    opt_.schwarz.setup_import = nullptr;  // don't dangle past the ctor
+    opt_.schwarz.setup_record = nullptr;
+  }
   if (opt_.proj_len > 0)
     proj_ = std::make_unique<SolutionProjection>(psys_->nloc(),
                                                  opt_.proj_len);
@@ -143,7 +149,18 @@ NavierStokes::NavierStokes(const Space& space, std::uint32_t dirichlet_tags,
     fmat_ = filter_matrix(m.order, opt_.filter_alpha);
   if (opt_.dealias) {
     TSEM_REQUIRE(opt_.convection == NsOptions::Convection::Oifs);
-    dealias_ = std::make_unique<DealiasedConvection>(m);
+    if (opt_.setup_import != nullptr && !opt_.setup_import->dealias.empty()) {
+      ByteReader r(opt_.setup_import->dealias);
+      dealias_ = DealiasedConvection::deserialize(r, m);
+      if (dealias_ != nullptr && !r.exhausted()) dealias_.reset();
+    }
+    if (dealias_ == nullptr)
+      dealias_ = std::make_unique<DealiasedConvection>(m);
+    if (opt_.setup_record != nullptr) {
+      ByteWriter w;
+      dealias_->serialize(w);
+      opt_.setup_record->dealias = w.take();
+    }
   }
 }
 

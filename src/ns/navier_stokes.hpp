@@ -67,6 +67,14 @@ struct NsOptions {
   SchwarzOptions schwarz;
   /// Remove the pressure nullspace (enclosed / fully periodic flows).
   bool pressure_mean_free = true;
+  /// Setup replay/record (DESIGN.md "Setup cache").  Forwarded into the
+  /// SchwarzOptions seams and applied to the dealiasing operator here:
+  /// with setup_import, the fdm/xxt/dealias sections replace the cold
+  /// builds (falling back per section on validation failure); with
+  /// setup_record, built artifacts are serialized into the bundle.
+  /// Non-owning; must outlive the NavierStokes constructor call only.
+  const SetupBundle* setup_import = nullptr;
+  SetupBundle* setup_record = nullptr;
   /// Failure recovery policy (see resilience/recovery.hpp).
   ResilienceOptions resilience;
 };

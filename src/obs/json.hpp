@@ -49,6 +49,7 @@ class Json {
   [[nodiscard]] bool is_number() const {
     return type_ == Type::Int || type_ == Type::Double;
   }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
   [[nodiscard]] bool is_string() const { return type_ == Type::String; }
 
   [[nodiscard]] bool as_bool() const { return bool_; }

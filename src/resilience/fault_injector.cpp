@@ -35,6 +35,8 @@ const char* to_string(ProcessFault::Kind k) {
     case ProcessFault::Kind::KillWorker: return "kill";
     case ProcessFault::Kind::Hang: return "hang";
     case ProcessFault::Kind::TornCheckpoint: return "torn";
+    case ProcessFault::Kind::TornPublish: return "tornpub";
+    case ProcessFault::Kind::CacheFail: return "cachefail";
   }
   return "none";
 }
@@ -55,9 +57,12 @@ bool parse_process_fault(std::string_view spec, ProcessFault* out,
   if (kind == "kill") f.kind = ProcessFault::Kind::KillWorker;
   else if (kind == "hang") f.kind = ProcessFault::Kind::Hang;
   else if (kind == "torn") f.kind = ProcessFault::Kind::TornCheckpoint;
+  else if (kind == "tornpub") f.kind = ProcessFault::Kind::TornPublish;
+  else if (kind == "cachefail") f.kind = ProcessFault::Kind::CacheFail;
   else
     return fail(err, "process fault kind '" + std::string(kind) +
-                         "': expected kill, hang, or torn");
+                         "': expected kill, hang, torn, tornpub, or "
+                         "cachefail");
 
   const std::size_t hash = rest.find('#');
   if (hash != std::string_view::npos) {

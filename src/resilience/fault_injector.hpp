@@ -30,6 +30,11 @@ struct ProcessFault {
     KillWorker,      ///< _exit() without warning before the step (crash)
     Hang,            ///< stop heartbeating and sleep (watchdog food)
     TornCheckpoint,  ///< die mid-checkpoint-write, leaving a torn temp file
+    TornPublish,     ///< die mid-cache-publish after flipping the slot Ready:
+                     ///< half the payload written, CRC covers the full size —
+                     ///< the next reader MUST reject the entry by checksum
+    CacheFail,       ///< _exit(kExitCacheFailed) at cache lookup — drives the
+                     ///< supervisor's requeue-cold path deterministically
   };
   Kind kind = Kind::None;
   int step = 0;     ///< 1-based step before which the fault fires
@@ -39,7 +44,9 @@ struct ProcessFault {
 [[nodiscard]] const char* to_string(ProcessFault::Kind k);
 
 /// Parse a compact fault spec: "<kind>@<step>[#<attempt>]" with kind in
-/// {kill, hang, torn}; "" and "none" parse to Kind::None.  Examples:
+/// {kill, hang, torn, tornpub, cachefail}; "" and "none" parse to
+/// Kind::None.  The cache kinds fire during setup, so their step field is
+/// ignored by the worker (keep it for round-trip formatting).  Examples:
 /// "kill@5" (crash before step 5, attempt 1), "hang@3#2" (hang on the
 /// second attempt), "torn@4#0" (torn checkpoint write on every attempt).
 bool parse_process_fault(std::string_view spec, ProcessFault* out,

@@ -14,6 +14,11 @@ XxtCoarse::XxtCoarse(const CsrMatrix& a, const std::vector<double>& x,
   solver_ = std::make_unique<XxtSolver>(a, nd);
 }
 
+XxtCoarse::XxtCoarse(std::unique_ptr<XxtSolver> solver)
+    : solver_(std::move(solver)) {
+  TSEM_REQUIRE(solver_ != nullptr);
+}
+
 void XxtCoarse::solve(const double* b, double* x) const {
   solver_->solve(b, x);
 }

@@ -30,6 +30,10 @@ class XxtCoarse final : public CoarseSolver {
   XxtCoarse(const CsrMatrix& a, const std::vector<double>& x,
             const std::vector<double>& y, const std::vector<double>& z,
             int nlevels);
+  /// Adopt an already-factored solver (setup-cache replay path: the
+  /// dissection + factorization were done once by the publishing worker
+  /// and deserialized here — see XxtSolver::deserialize).
+  explicit XxtCoarse(std::unique_ptr<XxtSolver> solver);
   void solve(const double* b, double* x) const override;
   [[nodiscard]] int n() const override { return solver_->n(); }
   [[nodiscard]] const XxtSolver& xxt() const { return *solver_; }

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "fem/fem.hpp"
+#include "io/binfile.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/mxm.hpp"
 #include "tensor/mxm_f32.hpp"
@@ -159,6 +160,50 @@ double FdmLocal::solve_flops() const {
     f += 4.0 * (mx * mx * my * mz + my * my * mx * mz + mz * mz * mx * my);
   }
   return f;
+}
+
+void FdmLocal::serialize(ByteWriter& w) const {
+  w.put<std::int32_t>(dim_);
+  for (int d = 0; d < 3; ++d) w.put<std::int32_t>(m_[d]);
+  for (int d = 0; d < 3; ++d) w.put_vec(s_[d]);
+  for (int d = 0; d < 3; ++d) w.put_vec(st_[d]);
+  w.put_vec(inv_lambda_);
+}
+
+bool FdmLocal::deserialize(ByteReader& r) {
+  std::int32_t dim = 0, m[3] = {0, 0, 0};
+  if (!r.get(&dim)) return false;
+  for (int d = 0; d < 3; ++d)
+    if (!r.get(&m[d])) return false;
+  if (dim != 2 && dim != 3) return false;
+  std::array<std::vector<double>, 3> s, st;
+  std::vector<double> il;
+  for (int d = 0; d < 3; ++d)
+    if (!r.get_vec(&s[d])) return false;
+  for (int d = 0; d < 3; ++d)
+    if (!r.get_vec(&st[d])) return false;
+  if (!r.get_vec(&il)) return false;
+  std::size_t n = 1;
+  for (int d = 0; d < dim; ++d) {
+    if (m[d] < 1) return false;
+    const std::size_t mm = static_cast<std::size_t>(m[d]) * m[d];
+    if (s[d].size() != mm || st[d].size() != mm) return false;
+    n *= static_cast<std::size_t>(m[d]);
+  }
+  if (il.size() != n) return false;
+  dim_ = dim;
+  for (int d = 0; d < 3; ++d) m_[d] = m[d];
+  s_ = std::move(s);
+  st_ = std::move(st);
+  inv_lambda_ = std::move(il);
+  // Same demotion as the constructor: the restored FP32 twins are bitwise
+  // identical to the cold-built ones.
+  for (int d = 0; d < dim_; ++d) {
+    s32_[d].assign(s_[d].begin(), s_[d].end());
+    st32_[d].assign(st_[d].begin(), st_[d].end());
+  }
+  inv_lambda32_.assign(inv_lambda_.begin(), inv_lambda_.end());
+  return true;
 }
 
 }  // namespace tsem

@@ -15,6 +15,9 @@
 
 namespace tsem {
 
+class ByteWriter;
+class ByteReader;
+
 class FdmLocal {
  public:
   FdmLocal() = default;
@@ -48,6 +51,17 @@ class FdmLocal {
   [[nodiscard]] std::size_t size() const { return inv_lambda_.size(); }
   /// Flops for one solve (for the Table 2 cost accounting).
   [[nodiscard]] double solve_flops() const;
+
+  /// Append the FP64 factorization (dim, extents, eigenvector matrices,
+  /// inverse eigenvalue sums) to w.  The FP32 twins are NOT written:
+  /// deserialize() re-demotes them with the constructor's expression, so
+  /// the restored object is bitwise-identical on every member while the
+  /// payload stays half the size (setup cache, DESIGN.md "Setup cache").
+  void serialize(ByteWriter& w) const;
+  /// Rebuild *this from r.  Returns false (object unspecified) on a
+  /// truncated or structurally inconsistent payload; integrity against
+  /// bit rot is the enclosing cache entry's CRC, not this check.
+  bool deserialize(ByteReader& r);
 
  private:
   int dim_ = 0;

@@ -95,6 +95,40 @@ CommProfile GhostExchange::comm_profile(const std::vector<int>& elem_rank,
   return gs_comm_profile(gs_.dense_id(), 2 * dim_ * nt_, elem_rank, nranks);
 }
 
+void GhostExchange::serialize(ByteWriter& w) const {
+  w.put<std::int32_t>(dim_);
+  w.put<std::int32_t>(ng1_);
+  w.put<std::int32_t>(nlayers_);
+  gs_.serialize(w);
+}
+
+std::unique_ptr<GhostExchange> GhostExchange::deserialize(ByteReader& r,
+                                                          const Mesh& m,
+                                                          int ng1,
+                                                          int nlayers) {
+  std::int32_t dim = 0, sng1 = 0, snl = 0;
+  if (!r.get(&dim) || !r.get(&sng1) || !r.get(&snl)) return nullptr;
+  if (dim != m.dim || sng1 != ng1 || snl != nlayers) return nullptr;
+  if (nlayers < 1 || nlayers > ng1) return nullptr;
+  auto gx = std::unique_ptr<GhostExchange>(new GhostExchange());
+  gx->dim_ = dim;
+  gx->ng1_ = ng1;
+  gx->nlayers_ = nlayers;
+  gx->nt_ = 1;
+  for (int d = 1; d < dim; ++d) gx->nt_ *= ng1;
+  gx->nslots_ = static_cast<std::size_t>(m.nelem) * 2 * dim * gx->nt_;
+  if (!gx->gs_.deserialize(r)) return nullptr;
+  // The gather-scatter must cover exactly one anchor id per slot; a
+  // shape mismatch (different mesh than the one serialized) shows up
+  // here even though the ids themselves carry no coordinates.
+  if (gx->gs_.nlocal() != gx->nslots_) return nullptr;
+  gx->buf_.resize(gx->nslots_);
+  gx->own_.resize(gx->nslots_);
+  gx->buf32_.resize(gx->nslots_);
+  gx->own32_.resize(gx->nslots_);
+  return gx;
+}
+
 std::size_t GhostExchange::donor_node(std::size_t slot, int layer) const {
   const int t = static_cast<int>(slot % nt_);
   const int f = static_cast<int>((slot / nt_) % (2 * dim_));

@@ -15,6 +15,7 @@
 // axes); layers are stored as consecutive nslots-sized blocks.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/pressure.hpp"
@@ -72,7 +73,20 @@ class GhostExchange {
   [[nodiscard]] CommProfile comm_profile(const std::vector<int>& elem_rank,
                                          int nranks) const;
 
+  /// Byte round-trip for the fleet setup cache.  The exchange pattern is
+  /// pure shape data (anchor matching over the mesh geometry), so a
+  /// shape-identical worker replays the finished GatherScatter instead of
+  /// redoing the anchor interpolation + point numbering.  deserialize
+  /// validates the stored layout against the mesh and the caller's
+  /// (ng1, nlayers) and returns nullptr on any mismatch or structural
+  /// defect — it never trusts the bytes.
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static std::unique_ptr<GhostExchange> deserialize(
+      ByteReader& r, const Mesh& m, int ng1, int nlayers);
+
  private:
+  GhostExchange() = default;
+
   int dim_, ng1_, nlayers_;
   int nt_;  // tangential slots per face
   std::size_t nslots_;

@@ -7,7 +7,9 @@
 
 #include "common/check.hpp"
 #include "fem/fem.hpp"
+#include "io/binfile.hpp"
 #include "obs/metrics.hpp"
+#include "solver/setup_bundle.hpp"
 #include "poly/basis1d.hpp"
 #include "tensor/linalg.hpp"
 
@@ -207,8 +209,23 @@ SchwarzPrecond::SchwarzPrecond(const PressureSystem& psys, SchwarzOptions opt)
   m1_ = ng1_ + 2 * opt_.overlap;
   nle_ = 1;
   for (int d = 0; d < dim_; ++d) nle_ *= m1_;
-  if (opt_.overlap > 0)
-    ghosts_ = std::make_unique<GhostExchange>(psys, opt_.overlap);
+  if (opt_.overlap > 0) {
+    // Setup-cache replay: the exchange pattern is pure shape data, so a
+    // published GhostExchange skips the anchor interpolation + geometric
+    // point numbering.  Any validation failure falls back cold.
+    if (opt_.setup_import != nullptr && !opt_.setup_import->ghost.empty()) {
+      ByteReader r(opt_.setup_import->ghost);
+      ghosts_ = GhostExchange::deserialize(r, m, ng1_, opt_.overlap);
+      if (ghosts_ != nullptr && !r.exhausted()) ghosts_.reset();
+    }
+    if (ghosts_ == nullptr)
+      ghosts_ = std::make_unique<GhostExchange>(psys, opt_.overlap);
+    if (opt_.setup_record != nullptr) {
+      ByteWriter w;
+      ghosts_->serialize(w);
+      opt_.setup_record->ghost = w.take();
+    }
+  }
   build_local_grids();
   if (opt_.use_coarse) build_coarse();
   if (ghosts_) {
@@ -251,7 +268,22 @@ void SchwarzPrecond::build_local_grids() {
   const int ov = opt_.overlap;
   local_flops_ = 0.0;
   if (opt_.local == SchwarzOptions::Local::Fdm) {
-    fdm_ = build_schwarz_fdm(m, ng1_, ov, &fdm_of_);
+    // Setup-cache replay: restore the deduplicated eigendecompositions
+    // instead of re-solving the generalized eigenproblems.  A missing or
+    // structurally invalid section falls back to the cold build, which
+    // produces bitwise the same factorizations.
+    bool restored = false;
+    if (opt_.setup_import != nullptr && !opt_.setup_import->fdm.empty()) {
+      restored = deserialize_schwarz_fdm(opt_.setup_import->fdm, m.nelem,
+                                         &fdm_, &fdm_of_);
+      if (!restored) {
+        fdm_.clear();
+        fdm_of_.clear();
+      }
+    }
+    if (!restored) fdm_ = build_schwarz_fdm(m, ng1_, ov, &fdm_of_);
+    if (opt_.setup_record != nullptr)
+      serialize_schwarz_fdm(fdm_, fdm_of_, &opt_.setup_record->fdm);
     for (int e = 0; e < m.nelem; ++e)
       local_flops_ += fdm_[fdm_of_[e]].solve_flops();
   } else {
@@ -299,15 +331,33 @@ void SchwarzPrecond::build_local_grids() {
 
 void SchwarzPrecond::build_coarse() {
   const Mesh& m = psys_->vspace().mesh();
-  CsrMatrix a0 = pin_dof(q1_vertex_laplacian(m), 0);
-  std::vector<double> vx, vy, vz;
-  vertex_coords(m, vx, vy, vz);
-  int nlev = opt_.coarse_nlevels;
-  if (nlev < 0) {
-    nlev = 0;
-    while ((m.nvert >> (nlev + 1)) >= 32 && nlev < 12) ++nlev;
+  // Setup-cache replay: adopt the published factored tree and skip the
+  // Q1 assembly, nested dissection, and X X^T factorization entirely.
+  if (opt_.setup_import != nullptr && !opt_.setup_import->xxt.empty()) {
+    ByteReader r(opt_.setup_import->xxt);
+    auto solver = XxtSolver::deserialize(r);
+    if (solver != nullptr && r.exhausted() &&
+        solver->n() == static_cast<int>(m.nvert))
+      coarse_ = std::make_unique<XxtCoarse>(std::move(solver));
   }
-  coarse_ = std::make_unique<XxtCoarse>(a0, vx, vy, vz, nlev);
+  if (coarse_ == nullptr) {
+    CsrMatrix a0 = pin_dof(q1_vertex_laplacian(m), 0);
+    std::vector<double> vx, vy, vz;
+    vertex_coords(m, vx, vy, vz);
+    int nlev = opt_.coarse_nlevels;
+    if (nlev < 0) {
+      nlev = 0;
+      while ((m.nvert >> (nlev + 1)) >= 32 && nlev < 12) ++nlev;
+    }
+    coarse_ = std::make_unique<XxtCoarse>(a0, vx, vy, vz, nlev);
+  }
+  if (opt_.setup_record != nullptr) {
+    if (const auto* xc = dynamic_cast<const XxtCoarse*>(coarse_.get())) {
+      ByteWriter w;
+      xc->xxt().serialize(w);
+      opt_.setup_record->xxt = w.take();
+    }
+  }
   cb_.resize(m.nvert);
   cx_.resize(m.nvert);
 

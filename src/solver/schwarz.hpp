@@ -78,6 +78,8 @@ class SchwarzLocalSolver {
   std::vector<int> fdm_of_;
 };
 
+struct SetupBundle;  // solver/setup_bundle.hpp
+
 struct SchwarzOptions {
   enum class Local { Fdm, FemP1 };
   Local local = Local::Fdm;
@@ -92,6 +94,17 @@ struct SchwarzOptions {
   /// the Fdm local only; FemP1 (dense FP64 Cholesky baseline) ignores it.
   /// The coarse solve and the outer Krylov iteration stay FP64 always.
   PrecondPrecision precision = precond_precision_from_env();
+  /// Setup replay/record seams (DESIGN.md "Setup cache").  With
+  /// setup_import set, the FDM eigendecompositions, the factored XXT
+  /// coarse tree, and the overlap ghost-exchange pattern are restored
+  /// from the bundle's sections instead of rebuilt (a section that is
+  /// absent or fails structural validation
+  /// falls back to the cold build — bitwise the same result).  With
+  /// setup_record set, the built artifacts are serialized into the
+  /// bundle for publication.  Both default off; non-owning pointers must
+  /// outlive the constructor call only.
+  const SetupBundle* setup_import = nullptr;
+  SetupBundle* setup_record = nullptr;
 };
 
 class SchwarzPrecond {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "io/binfile.hpp"
 #include "obs/metrics.hpp"
 
 namespace tsem {
@@ -315,6 +316,54 @@ void XxtSolver::solve(const double* b, double* out) const {
     for (std::int32_t p = col_ptr_[k]; p < col_ptr_[k + 1]; ++p)
       out[row_[p]] += val_[p] * zk;
   }
+}
+
+void XxtSolver::serialize(ByteWriter& w) const {
+  w.put<std::int32_t>(n_);
+  w.put<std::int64_t>(nnz_);
+  w.put<std::int32_t>(nd_.nlevels);
+  w.put_pod_vec(nd_.perm);
+  w.put_pod_vec(nd_.leaf_of);
+  w.put_pod_vec(col_ptr_);
+  w.put_pod_vec(row_);
+  w.put_vec(val_);
+  w.put_pod_vec(level_msg_);
+  w.put_pod_vec(edge_msg_);
+  w.put_pod_vec(leaf_nnz_);
+  w.put<std::int64_t>(max_leaf_nnz_);
+  w.put<std::int64_t>(total_msg_);
+}
+
+std::unique_ptr<XxtSolver> XxtSolver::deserialize(ByteReader& r) {
+  auto s = std::unique_ptr<XxtSolver>(new XxtSolver());
+  std::int32_t n = 0, nlevels = 0;
+  if (!r.get(&n) || !r.get(&s->nnz_) || !r.get(&nlevels)) return nullptr;
+  s->n_ = n;
+  s->nd_.nlevels = nlevels;
+  if (!r.get_pod_vec(&s->nd_.perm) || !r.get_pod_vec(&s->nd_.leaf_of) ||
+      !r.get_pod_vec(&s->col_ptr_) || !r.get_pod_vec(&s->row_) ||
+      !r.get_vec(&s->val_) || !r.get_pod_vec(&s->level_msg_) ||
+      !r.get_pod_vec(&s->edge_msg_) || !r.get_pod_vec(&s->leaf_nnz_) ||
+      !r.get(&s->max_leaf_nnz_) || !r.get(&s->total_msg_))
+    return nullptr;
+  // Structural sanity: solve() indexes through col_ptr_/row_ unchecked,
+  // so a payload that decodes but is internally inconsistent must be
+  // rejected here, not trusted into out-of-bounds reads.
+  if (n < 0 || nlevels < 0) return nullptr;
+  if (s->col_ptr_.size() != static_cast<std::size_t>(n) + 1) return nullptr;
+  if (s->nd_.perm.size() != static_cast<std::size_t>(n) ||
+      s->nd_.leaf_of.size() != static_cast<std::size_t>(n))
+    return nullptr;
+  if (n > 0 && s->col_ptr_[0] != 0) return nullptr;
+  for (int k = 0; k < n; ++k)
+    if (s->col_ptr_[k + 1] < s->col_ptr_[k]) return nullptr;
+  const std::size_t nnz =
+      n > 0 ? static_cast<std::size_t>(s->col_ptr_[n]) : 0;
+  if (s->row_.size() != nnz || s->val_.size() != nnz) return nullptr;
+  for (const std::int32_t rr : s->row_)
+    if (rr < 0 || rr >= n) return nullptr;
+  s->zscratch_.resize(static_cast<std::size_t>(n));
+  return s;
 }
 
 }  // namespace tsem

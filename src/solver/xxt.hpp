@@ -16,11 +16,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/csr.hpp"
 
 namespace tsem {
+
+class ByteWriter;
+class ByteReader;
 
 /// Nested dissection from recursive coordinate bisection.
 struct NestedDissection {
@@ -98,7 +102,18 @@ class XxtSolver {
   /// ranks (mp/dist_xxt.hpp).
   [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
+  /// Append the complete factored state (dissection, CSC factor columns,
+  /// measured message schedule) to w — everything the constructor
+  /// computes, so a deserialized solver's solve() is bitwise identical to
+  /// the cold-built one (setup cache, DESIGN.md "Setup cache").
+  void serialize(ByteWriter& w) const;
+  /// Rebuild a solver from r without refactoring.  Returns nullptr on a
+  /// truncated or structurally inconsistent payload; payload integrity
+  /// against bit rot is the enclosing cache entry's CRC.
+  static std::unique_ptr<XxtSolver> deserialize(ByteReader& r);
+
  private:
+  XxtSolver() = default;  // deserialize() fills every member itself
   int n_ = 0;
   std::int64_t nnz_ = 0;
   NestedDissection nd_;

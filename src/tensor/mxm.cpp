@@ -561,6 +561,141 @@ std::vector<std::pair<std::string, std::string>> mxm_autotune_selections() {
   return out;
 }
 
+namespace {
+
+// Table blob framing: magic, version, then every name as u8-length +
+// bytes.  A name of length 0 encodes "no entry" (unset forced pin).
+constexpr std::uint32_t kTableMagic = 0x544d584du;  // "MXMT"
+constexpr std::uint32_t kTableVersion = 1;
+
+void put_name(std::vector<std::uint8_t>* out, const char* name) {
+  const std::size_t n = name != nullptr ? std::strlen(name) : 0;
+  out->push_back(static_cast<std::uint8_t>(n > 255 ? 255 : n));
+  out->insert(out->end(), name, name + (n > 255 ? 255 : n));
+}
+
+bool take_name(const std::vector<std::uint8_t>& in, std::size_t* pos,
+               std::string* name) {
+  if (*pos >= in.size()) return false;
+  const std::size_t n = in[*pos];
+  ++*pos;
+  if (*pos + n > in.size()) return false;
+  name->assign(reinterpret_cast<const char*>(in.data() + *pos), n);
+  *pos += n;
+  return true;
+}
+
+/// Resolve a recorded name against ONE registry (small/long entries must
+/// come from mxm_registry, bt entries from mxm_bt_registry — the two
+/// families have different call conventions for B).
+const MxmVariant* find_in(const std::vector<MxmVariant>& reg,
+                          const std::string& name) {
+  for (const auto& v : reg)
+    if (name == v.name) return &v;
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mxm_autotune_export_table() {
+  const TuneTable& t = tune_table();
+  std::vector<std::uint8_t> out;
+  const auto put_u32 = [&out](std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+  };
+  put_u32(kTableMagic);
+  put_u32(kTableVersion);
+  put_u32(static_cast<std::uint32_t>(kMaxTuned));
+  put_name(&out, t.forced_nm);
+  put_name(&out, t.forced_bt_nm);
+  for (int m = 1; m <= kMaxTuned; ++m)
+    for (int k = 1; k <= kMaxTuned; ++k) {
+      put_name(&out, t.small_nm[m][k]);
+      put_name(&out, t.long_nm[m][k]);
+    }
+  for (int k = 1; k <= kMaxTuned; ++k) put_name(&out, t.bt_nm[k]);
+  return out;
+}
+
+bool mxm_autotune_import_table(const std::vector<std::uint8_t>& blob) {
+  // An explicit local pin outranks any shipped table: the user asked for
+  // one specific kernel, and importing would silently override that.
+  if (const char* env = std::getenv("TSEM_MXM_KERNEL");
+      env != nullptr && *env != '\0' && mxm_variant_by_name(env) != nullptr)
+    return false;
+
+  std::size_t pos = 0;
+  const auto get_u32 = [&blob, &pos](std::uint32_t* v) {
+    if (pos + 4 > blob.size()) return false;
+    *v = static_cast<std::uint32_t>(blob[pos]) |
+         static_cast<std::uint32_t>(blob[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(blob[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(blob[pos + 3]) << 24;
+    pos += 4;
+    return true;
+  };
+  std::uint32_t magic = 0, version = 0, ntuned = 0;
+  if (!get_u32(&magic) || !get_u32(&version) || !get_u32(&ntuned) ||
+      magic != kTableMagic || version != kTableVersion ||
+      ntuned != static_cast<std::uint32_t>(kMaxTuned))
+    return false;
+
+  auto t = std::make_unique<TuneTable>();
+  std::string name;
+  if (!take_name(blob, &pos, &name)) return false;
+  if (!name.empty()) {
+    const MxmVariant* v = find_in(mxm_registry(), name);
+    if (v == nullptr) return false;
+    t->forced_fn = v->fn;
+    t->forced_nm = v->name;
+  }
+  if (!take_name(blob, &pos, &name)) return false;
+  if (!name.empty()) {
+    const MxmVariant* v = find_in(mxm_bt_registry(), name);
+    if (v == nullptr) return false;
+    t->forced_bt_fn = v->fn;
+    t->forced_bt_nm = v->name;
+  }
+  for (int m = 1; m <= kMaxTuned; ++m)
+    for (int k = 1; k <= kMaxTuned; ++k) {
+      if (!take_name(blob, &pos, &name)) return false;
+      const MxmVariant* s = find_in(mxm_registry(), name);
+      if (s == nullptr) return false;
+      t->small_fn[m][k] = s->fn;
+      t->small_nm[m][k] = s->name;
+      if (!take_name(blob, &pos, &name)) return false;
+      const MxmVariant* l = find_in(mxm_registry(), name);
+      if (l == nullptr) return false;
+      t->long_fn[m][k] = l->fn;
+      t->long_nm[m][k] = l->name;
+    }
+  for (int k = 1; k <= kMaxTuned; ++k) {
+    if (!take_name(blob, &pos, &name)) return false;
+    const MxmVariant* v = find_in(mxm_bt_registry(), name);
+    if (v == nullptr) return false;
+    t->bt_fn[k] = v->fn;
+    t->bt_nm[k] = v->name;
+  }
+  if (pos != blob.size()) return false;
+
+  obs::count("mxm/autotune/imports");
+  obs::Json ev;
+  ev["type"] = "mxm_autotune_import";
+  ev["isa_runtime"] = mxm_isa_runtime_name();
+  ev["selection_8x8"] = t->small_nm[8][8];
+  ev["selection_bt_8"] = t->bt_nm[8];
+  obs::emit_event(std::move(ev));
+
+  std::lock_guard<std::mutex> lk(g_table_mu);
+  const TuneTable* raw = t.get();
+  retired_tables().push_back(std::move(t));
+  g_table.store(raw, std::memory_order_release);
+  return true;
+}
+
 void detail::mxm_autotune_reset_for_testing() {
   std::lock_guard<std::mutex> lk(g_table_mu);
   g_table.store(nullptr, std::memory_order_release);

@@ -40,7 +40,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tsem {
@@ -111,6 +113,25 @@ const char* mxm_bt_selected_name(int k);
 /// Digest of the tuned table for bench/obs metadata: one (shape label,
 /// variant name) pair per tuned shape class, deterministic order.
 std::vector<std::pair<std::string, std::string>> mxm_autotune_selections();
+
+/// Serialize the COMPLETE tuned dispatch table (every (m, k) cell of the
+/// small-n and long-n classes, every bt contraction size, and any forced
+/// pins) as variant names.  Unlike mxm_autotune_selections — a lossy
+/// even-diagonal digest for bench metadata — this captures enough to
+/// reproduce every dispatch decision in another process of the same
+/// build: the fleet's setup cache ships it to cache-hit workers so all
+/// workers of a shape run the exact same kernels even under timed tuning
+/// (DESIGN.md "Setup cache").  Builds the table first if needed.
+std::vector<std::uint8_t> mxm_autotune_export_table();
+
+/// Install a table exported by mxm_autotune_export_table, replacing any
+/// table already built in this process.  Declines (returns false, table
+/// untouched) when (a) TSEM_MXM_KERNEL names a runnable variant — an
+/// explicit pin outranks a shipped table — or (b) any recorded variant
+/// name is not runnable here (version skew, or an ISA the executing CPU
+/// fails the runtime gate for).  On decline the caller falls back to
+/// mxm_autotune_init().
+bool mxm_autotune_import_table(const std::vector<std::uint8_t>& blob);
 
 /// Best vector ISA the executing CPU reports, detected at runtime and
 /// independent of compile flags: "avx512", "avx2", or "none".  Bench
